@@ -1,0 +1,191 @@
+//! §4.3 cost formulas.
+
+/// The paper's worst-case RPS update cost for a hypercube of side `n`,
+/// dimension `d`, box side `k`:
+///
+/// ```text
+/// (k−1)^d  RP cells  +  d·(n/k)·k^{d−1}  border cells  +  (n/k − 1)^d anchors
+/// ```
+///
+/// (the paper then approximates this as `k^d + d·n·k^{d−2} + (n/k)^d`).
+/// Returns the *exact* three-term form; [`rps_update_cost_approx`] gives
+/// the approximation used for the optimum derivation.
+///
+/// **Scope:** this is the *paper's* formula. It is exact for d ≤ 2; for
+/// d ≥ 3 it undercounts (mixed border boxes contribute a k-independent
+/// Θ(n^{d−1}) term the 2-D-derived border term misses) — see
+/// `exp_dimensionality` and DESIGN.md.
+/// ```
+/// use rps_analysis::rps_update_cost;
+/// // The paper's 9×9, k = 3 example: 4 RP + 18 border + 4 anchor cells.
+/// assert_eq!(rps_update_cost(9.0, 2, 3.0), 26.0);
+/// ```
+pub fn rps_update_cost(n: f64, d: u32, k: f64) -> f64 {
+    assert!(k >= 1.0 && n >= k);
+    (k - 1.0).powi(d as i32)
+        + d as f64 * (n / k) * k.powi(d as i32 - 1)
+        + (n / k - 1.0).powi(d as i32)
+}
+
+/// The paper's simplified form `k^d + d·n·k^{d−2} + (n/k)^d`.
+pub fn rps_update_cost_approx(n: f64, d: u32, k: f64) -> f64 {
+    k.powi(d as i32) + d as f64 * n * k.powi(d as i32 - 2) + (n / k).powi(d as i32)
+}
+
+/// §4.3: the update cost is minimized at `k = √n`; with that box size the
+/// worst-case update is O(n^{d/2}).
+pub fn optimal_box_size(n: usize) -> usize {
+    ((n as f64).sqrt().round() as usize).max(1)
+}
+
+/// Per-dimension optimal box sides for a (possibly non-hypercube) shape:
+/// `kᵢ = ⌈√nᵢ⌉` — the §4.3 optimum applied dimension-wise, which is what
+/// minimizes the product-form cost when the dimensions differ (e.g. the
+/// paper's AGE×DATE cube of 100×365).
+pub fn optimal_box_sizes(dims: &[usize]) -> Vec<usize> {
+    dims.iter().map(|&n| optimal_box_size(n)).collect()
+}
+
+/// Integer argmin of [`rps_update_cost`] over `k ∈ 1..=n` — used to show
+/// the formula's discrete optimum sits at ≈ √n.
+pub fn argmin_update_cost(n: usize, d: u32) -> usize {
+    (1..=n)
+        .min_by(|&a, &b| {
+            rps_update_cost(n as f64, d, a as f64)
+                .total_cmp(&rps_update_cost(n as f64, d, b as f64))
+        })
+        .expect("non-empty range")
+}
+
+/// Closed-form worst-case costs of every method, for the §4.3/§5
+/// complexity table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Worst-case cells read per query.
+    pub query_cells: f64,
+    /// Worst-case cells written per update.
+    pub update_cells: f64,
+}
+
+impl CostModel {
+    /// Naive method: O(n^d) query (full-cube scan), O(1) update.
+    pub fn naive(n: f64, d: u32) -> CostModel {
+        CostModel {
+            query_cells: n.powi(d as i32),
+            update_cells: 1.0,
+        }
+    }
+
+    /// Prefix-sum method: 2^d reads per query, O(n^d) update (worst case:
+    /// update at the origin rewrites the whole of P).
+    pub fn prefix_sum(n: f64, d: u32) -> CostModel {
+        CostModel {
+            query_cells: (2f64).powi(d as i32),
+            update_cells: n.powi(d as i32),
+        }
+    }
+
+    /// RPS with box side `k`: 2^d corners × ≤ 2^d values per
+    /// reconstructed prefix (d+2 values at d ≤ 2), update per
+    /// [`rps_update_cost`].
+    pub fn rps(n: f64, d: u32, k: f64) -> CostModel {
+        let per_prefix = if d <= 2 {
+            d as f64 + 2.0
+        } else {
+            (2f64).powi(d as i32)
+        };
+        CostModel {
+            query_cells: (2f64).powi(d as i32) * per_prefix,
+            update_cells: rps_update_cost(n, d, k),
+        }
+    }
+
+    /// d-dimensional Fenwick tree: O(log^d n) for both operations.
+    pub fn fenwick(n: f64, d: u32) -> CostModel {
+        let lg = n.log2().max(1.0);
+        CostModel {
+            query_cells: (2f64).powi(d as i32) * lg.powi(d as i32),
+            update_cells: lg.powi(d as i32),
+        }
+    }
+
+    /// The overall-complexity figure of merit the paper uses: the product
+    /// of query and update costs.
+    pub fn product(&self) -> f64 {
+        self.query_cells * self.update_cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_paper_example_terms() {
+        // 9×9 cube, k = 3, d = 2: (k−1)² = 4 RP cells,
+        // d(n/k)k^{d−1} = 2·3·3 = 18 borders, (n/k−1)² = 4 anchors.
+        let c = rps_update_cost(9.0, 2, 3.0);
+        assert_eq!(c, 4.0 + 18.0 + 4.0);
+    }
+
+    #[test]
+    fn optimum_near_sqrt_n() {
+        for n in [16usize, 64, 100, 256, 1024] {
+            let best = argmin_update_cost(n, 2);
+            let sqrt = (n as f64).sqrt();
+            assert!(
+                (best as f64) >= sqrt / 2.0 && (best as f64) <= sqrt * 2.0,
+                "n = {n}: argmin {best} vs √n {sqrt}"
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_box_cost_scales_as_sqrt_n_for_d2() {
+        // O(n^{d/2}) = O(n) at d = 2: doubling n should ≈ double cost.
+        let c1 = rps_update_cost(256.0, 2, 16.0);
+        let c2 = rps_update_cost(1024.0, 2, 32.0);
+        let ratio = c2 / c1;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}"); // 1024/256 = 4× n ⇒ ~4× cost... n quadrupled
+    }
+
+    #[test]
+    fn complexity_products_ordered() {
+        // §5: naive and prefix-sum products are O(n^d); RPS is O(n^{d/2}).
+        let n = 1024.0;
+        let d = 2;
+        let k = 32.0;
+        let naive = CostModel::naive(n, d).product();
+        let ps = CostModel::prefix_sum(n, d).product();
+        let rps = CostModel::rps(n, d, k).product();
+        assert!(rps < naive / 10.0, "rps {rps} vs naive {naive}");
+        assert!(rps < ps / 10.0, "rps {rps} vs prefix-sum {ps}");
+    }
+
+    #[test]
+    fn fenwick_product_smallest_asymptotically() {
+        let n = 4096.0;
+        let fw = CostModel::fenwick(n, 2).product();
+        let rps = CostModel::rps(n, 2, 64.0).product();
+        assert!(fw < rps);
+    }
+
+    #[test]
+    fn approx_tracks_exact() {
+        for n in [64.0, 256.0] {
+            for k in [4.0, 8.0, 16.0] {
+                let exact = rps_update_cost(n, 2, k);
+                let approx = rps_update_cost_approx(n, 2, k);
+                assert!((exact - approx).abs() / approx < 0.6);
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_box_size_values() {
+        assert_eq!(optimal_box_size(9), 3);
+        assert_eq!(optimal_box_size(100), 10);
+        assert_eq!(optimal_box_size(1000), 32);
+        assert_eq!(optimal_box_size(1), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Least-squares slope fitting on log–log data.
+//!
+//! Used by the complexity-product experiment (E9) to turn measured
+//! `(n, cells)` series into empirical scaling exponents: an update cost of
+//! Θ(n^{d/2}) must fit a log–log slope of ≈ d/2.
+
+/// Least-squares slope of `ln(y)` against `ln(x)`.
+///
+/// Panics on fewer than two points or non-positive values (call sites
+/// control their own data).
+///
+/// ```
+/// use rps_analysis::loglog_slope;
+/// let quadratic: Vec<(f64, f64)> =
+///     (1..=5).map(|i| (i as f64, (i * i) as f64)).collect();
+/// assert!((loglog_slope(&quadratic) - 2.0).abs() < 1e-9);
+/// ```
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "log–log fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law() {
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| (i as f64 * 10.0, (i as f64 * 10.0).powf(1.5)))
+            .collect();
+        let s = loglog_slope(&pts);
+        assert!((s - 1.5).abs() < 1e-9, "slope = {s}");
+    }
+
+    #[test]
+    fn constant_has_zero_slope() {
+        let pts = vec![(1.0, 7.0), (10.0, 7.0), (100.0, 7.0)];
+        assert!(loglog_slope(&pts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_quadratic_close_to_two() {
+        let pts: Vec<(f64, f64)> = (2..=8)
+            .map(|i| {
+                let x = (1 << i) as f64;
+                (x, x * x * (1.0 + 0.05 * ((i % 3) as f64 - 1.0)))
+            })
+            .collect();
+        let s = loglog_slope(&pts);
+        assert!((s - 2.0).abs() < 0.1, "slope = {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn rejects_nonpositive() {
+        loglog_slope(&[(1.0, 0.0), (2.0, 3.0)]);
+    }
+}

@@ -1,0 +1,22 @@
+//! # rps-analysis — the paper's analytic models, evaluated exactly
+//!
+//! §4.3 and §4.4 of the RPS paper argue with closed-form formulas:
+//! the worst-case update cost `k^d + d·n·k^{d−2} + (n/k)^d`, its minimum
+//! at `k = √n`, and the overlay-vs-RP storage ratio of Figure 16. This
+//! crate evaluates those formulas (so the benches can print
+//! measured-vs-predicted tables), fits empirical scaling exponents on
+//! log–log data, and renders aligned ASCII tables for the experiment
+//! binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost_model;
+pub mod fit;
+pub mod storage_model;
+pub mod table;
+
+pub use cost_model::{optimal_box_size, optimal_box_sizes, rps_update_cost, CostModel};
+pub use fit::loglog_slope;
+pub use storage_model::{overlay_fraction, overlay_storage_cells};
+pub use table::Table;

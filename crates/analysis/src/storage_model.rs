@@ -1,0 +1,85 @@
+//! §4.4 / Figure 16 storage model.
+
+/// Overlay cells stored for one full box of side `k` in `d` dimensions:
+/// `k^d − (k−1)^d` (1 anchor + the border cells).
+pub fn overlay_storage_cells(k: u64, d: u32) -> u64 {
+    k.pow(d) - (k - 1).pow(d)
+}
+
+/// Figure 16's y-axis: overlay storage as a fraction of the RP region the
+/// box covers, `(k^d − (k−1)^d) / k^d`.
+pub fn overlay_fraction(k: u64, d: u32) -> f64 {
+    overlay_storage_cells(k, d) as f64 / (k.pow(d)) as f64
+}
+
+/// One row of the Figure 16 data: for each `d`, the storage percentage at
+/// a given `k`.
+pub fn figure16_row(k: u64, ds: &[u32]) -> Vec<f64> {
+    ds.iter().map(|&d| overlay_fraction(k, d) * 100.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_100x100_example() {
+        // §4.4: "The overlay box needs (100² − 99²) = 199 cells of
+        // storage, while the region of RP covered … requires 10,000 cells;
+        // … less than 2% of the storage."
+        assert_eq!(overlay_storage_cells(100, 2), 199);
+        let f = overlay_fraction(100, 2);
+        assert!(f < 0.02, "fraction = {f}");
+    }
+
+    #[test]
+    fn paper_3x3_example() {
+        // Figure 6: a 3×3 box stores 5 of 9 cells.
+        assert_eq!(overlay_storage_cells(3, 2), 5);
+    }
+
+    #[test]
+    fn fraction_decreases_with_k() {
+        for d in [2u32, 3, 4] {
+            let mut prev = overlay_fraction(2, d);
+            for k in 3..=60 {
+                let cur = overlay_fraction(k, d);
+                assert!(cur < prev, "d={d} k={k}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn fraction_increases_with_d() {
+        for k in [4u64, 10, 50] {
+            let mut prev = overlay_fraction(k, 1);
+            for d in 2..=5 {
+                let cur = overlay_fraction(k, d);
+                assert!(cur > prev, "k={k} d={d}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn asymptotics_d_over_k() {
+        // (k^d − (k−1)^d)/k^d → d/k for large k.
+        let f = overlay_fraction(1000, 3);
+        assert!((f - 3.0 / 1000.0).abs() < 1e-4, "f = {f}");
+    }
+
+    #[test]
+    fn k_one_stores_everything() {
+        for d in 1..=4 {
+            assert_eq!(overlay_fraction(1, d), 1.0);
+        }
+    }
+
+    #[test]
+    fn figure16_row_shape() {
+        let row = figure16_row(10, &[2, 3, 4, 5]);
+        assert_eq!(row.len(), 4);
+        assert!(row.windows(2).all(|w| w[0] < w[1])); // grows with d
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the analytic models: the §4.3 optimum really sits
+//! near √n for every n and d, and the storage model behaves monotonically.
+
+use proptest::prelude::*;
+use rps_analysis::{cost_model, loglog_slope, overlay_fraction};
+
+proptest! {
+    #[test]
+    fn argmin_brackets_sqrt_n(n in 4usize..2000, d in 1u32..=4) {
+        let best = cost_model::argmin_update_cost(n, d) as f64;
+        let sqrt = (n as f64).sqrt();
+        // The discrete optimum of the three-term formula stays within a
+        // constant factor of √n across the whole range.
+        prop_assert!(best >= sqrt / 4.0 && best <= sqrt * 4.0,
+            "n={n} d={d}: argmin {best} vs sqrt {sqrt}");
+    }
+
+    #[test]
+    fn update_cost_positive_and_u_shaped_endpoints(n in 4usize..500, d in 1u32..=4) {
+        let nf = n as f64;
+        let at_sqrt = cost_model::rps_update_cost(nf, d, nf.sqrt().max(1.0));
+        let at_1 = cost_model::rps_update_cost(nf, d, 1.0);
+        let at_n = cost_model::rps_update_cost(nf, d, nf);
+        prop_assert!(at_sqrt > 0.0);
+        // Extremes are never better than the √n choice.
+        prop_assert!(at_sqrt <= at_1 + 1e-9, "n={n} d={d}");
+        prop_assert!(at_sqrt <= at_n + 1e-9, "n={n} d={d}");
+    }
+
+    #[test]
+    fn sqrt_choice_scales_as_n_to_d_over_2(d in 1u32..=3) {
+        // Fit the exponent of cost(n, k=√n) against n: must be ≈ d/2.
+        let pts: Vec<(f64, f64)> = [64usize, 256, 1024, 4096]
+            .iter()
+            .map(|&n| {
+                let nf = n as f64;
+                (nf, cost_model::rps_update_cost(nf, d, nf.sqrt()))
+            })
+            .collect();
+        let slope = loglog_slope(&pts);
+        prop_assert!((slope - d as f64 / 2.0).abs() < 0.35,
+            "d={d}: slope {slope}");
+    }
+
+    #[test]
+    fn overlay_fraction_in_unit_interval(k in 1u64..500, d in 1u32..=6) {
+        let f = overlay_fraction(k, d);
+        prop_assert!(f > 0.0 && f <= 1.0);
+    }
+
+    #[test]
+    fn overlay_fraction_monotone(k in 2u64..300, d in 2u32..=5) {
+        prop_assert!(overlay_fraction(k, d) < overlay_fraction(k - 1, d));
+        prop_assert!(overlay_fraction(k, d) > overlay_fraction(k, d - 1));
+    }
+
+    #[test]
+    fn products_ordered_at_scale(exp in 7u32..=11) {
+        // For n ≥ 128, RPS's query·update product beats both baselines.
+        let n = (1u64 << exp) as f64;
+        let k = n.sqrt();
+        let rps = cost_model::CostModel::rps(n, 2, k).product();
+        let naive = cost_model::CostModel::naive(n, 2).product();
+        let ps = cost_model::CostModel::prefix_sum(n, 2).product();
+        prop_assert!(rps < naive && rps < ps);
+    }
+
+    #[test]
+    fn optimal_box_sizes_per_dimension(dims in proptest::collection::vec(1usize..5000, 1..5)) {
+        let ks = cost_model::optimal_box_sizes(&dims);
+        prop_assert_eq!(ks.len(), dims.len());
+        for (&k, &n) in ks.iter().zip(&dims) {
+            prop_assert!(k >= 1);
+            let sqrt = (n as f64).sqrt();
+            prop_assert!((k as f64) >= sqrt - 1.0 && (k as f64) <= sqrt + 1.0);
+        }
+    }
+}

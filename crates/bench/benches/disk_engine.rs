@@ -1,0 +1,75 @@
+//! E11 (wall-clock) — the disk-resident engine through the buffer pool:
+//! query/update latency by layout and pool pressure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndcube::NdCube;
+use rps_core::{BoxGrid, RangeSumEngine};
+use rps_storage::{DeviceConfig, DiskRpsEngine};
+use rps_workload::{CubeGen, QueryGen, RegionSpec, UpdateGen};
+use std::hint::black_box;
+
+const N: usize = 256;
+const K: usize = 16;
+
+fn engine(cube: &NdCube<i64>, box_aligned: bool, frames: usize) -> DiskRpsEngine<i64> {
+    let grid = BoxGrid::new(cube.shape().clone(), &[K, K]).unwrap();
+    DiskRpsEngine::from_cube_with_grid(
+        cube,
+        grid,
+        DeviceConfig {
+            cells_per_page: K * K,
+        },
+        frames,
+        box_aligned,
+    )
+}
+
+fn bench_disk_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_query");
+    group.sample_size(20);
+    let cube = CubeGen::new(31).uniform(&[N, N], 0, 9);
+    let regions = QueryGen::new(&[N, N], 5, RegionSpec::Fraction(0.4)).take(32);
+
+    for &(label, frames) in &[("warm_pool", 256usize), ("cold_pool", 4)] {
+        for &aligned in &[true, false] {
+            let e = engine(&cube, aligned, frames);
+            let name = format!(
+                "{label}/{}",
+                if aligned { "box-aligned" } else { "row-major" }
+            );
+            group.bench_with_input(BenchmarkId::new(name, N), &regions, |b, rs| {
+                b.iter(|| {
+                    let mut acc = 0i64;
+                    for r in rs {
+                        acc = acc.wrapping_add(e.query(black_box(r)).unwrap());
+                    }
+                    acc
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_disk_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_update");
+    group.sample_size(20);
+    let cube = CubeGen::new(32).uniform(&[N, N], 0, 9);
+    let batch = UpdateGen::uniform(&[N, N], 6, 20).take(32);
+
+    for &aligned in &[true, false] {
+        let name = if aligned { "box-aligned" } else { "row-major" };
+        group.bench_with_input(BenchmarkId::new(name, N), &batch, |b, ops| {
+            let mut e = engine(&cube, aligned, 16);
+            b.iter(|| {
+                for (coords, delta) in ops {
+                    e.update(black_box(coords), *delta).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_disk_queries, bench_disk_updates);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E12 (wall-clock) — range-query latency per method as n grows.
+//!
+//! The paper's claims are in cells touched; these benches confirm the
+//! same shape holds in nanoseconds on real hardware: naive grows ~n²,
+//! the O(1) methods stay flat, Fenwick grows polylogarithmically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndcube::Region;
+use rps_core::{FenwickEngine, NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine};
+use rps_workload::{CubeGen, QueryGen, RegionSpec};
+use std::hint::black_box;
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_latency");
+    group.sample_size(30);
+
+    for &n in &[64usize, 256, 1024] {
+        let dims = [n, n];
+        let cube = CubeGen::new(7).uniform(&dims, 0, 9);
+        let regions: Vec<Region> = QueryGen::new(&dims, 3, RegionSpec::Fraction(0.5)).take(64);
+
+        let naive = NaiveEngine::from_cube(cube.clone());
+        let ps = PrefixSumEngine::from_cube(&cube);
+        let rps = RpsEngine::from_cube(&cube);
+        let fw = FenwickEngine::from_cube(&cube);
+
+        // Naive only at the smaller sizes (it is the O(n^d) baseline).
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &regions, |b, rs| {
+                b.iter(|| {
+                    let mut acc = 0i64;
+                    for r in rs {
+                        acc = acc.wrapping_add(naive.query(black_box(r)).unwrap());
+                    }
+                    acc
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("prefix-sum", n), &regions, |b, rs| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for r in rs {
+                    acc = acc.wrapping_add(ps.query(black_box(r)).unwrap());
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rps", n), &regions, |b, rs| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for r in rs {
+                    acc = acc.wrapping_add(rps.query(black_box(r)).unwrap());
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fenwick", n), &regions, |b, rs| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for r in rs {
+                    acc = acc.wrapping_add(fw.query(black_box(r)).unwrap());
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_dimensionality(c: &mut Criterion) {
+    // O(1) query claim across d: the per-query cost depends on d (2^d
+    // corners) but not on n.
+    let mut group = c.benchmark_group("rps_query_by_dimension");
+    group.sample_size(30);
+    for &(d, n, k) in &[
+        (1usize, 4096usize, 64usize),
+        (2, 64, 8),
+        (3, 16, 4),
+        (4, 8, 3),
+    ] {
+        let dims = vec![n; d];
+        let cube = CubeGen::new(11).uniform(&dims, 0, 9);
+        let rps = RpsEngine::from_cube_uniform(&cube, k).unwrap();
+        let lo = vec![1usize; d];
+        let hi = vec![n - 2; d];
+        let r = Region::new(&lo, &hi).unwrap();
+        group.bench_function(BenchmarkId::new("d", d), |b| {
+            b.iter(|| rps.query(black_box(&r)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_query_dimensionality);
+criterion_main!(benches);

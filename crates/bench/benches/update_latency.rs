@@ -1,0 +1,83 @@
+//! E12 (wall-clock) — point-update latency per method as n grows.
+//!
+//! The paper's headline: RPS updates are O(n^{d/2}) against the
+//! prefix-sum method's O(n^d). In nanoseconds that means prefix-sum
+//! update time explodes quadratically with n (d = 2) while RPS grows
+//! only linearly and Fenwick stays polylogarithmic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rps_core::{FenwickEngine, NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine};
+use rps_workload::{CubeGen, UpdateGen};
+use std::hint::black_box;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_latency");
+    group.sample_size(20);
+
+    for &n in &[64usize, 256, 1024] {
+        let dims = [n, n];
+        let cube = CubeGen::new(5).uniform(&dims, 0, 9);
+        let batch = UpdateGen::uniform(&dims, 9, 50).take(32);
+
+        group.bench_with_input(BenchmarkId::new("naive", n), &batch, |b, ops| {
+            let mut e = NaiveEngine::from_cube(cube.clone());
+            b.iter(|| {
+                for (coords, delta) in ops {
+                    e.update(black_box(coords), *delta).unwrap();
+                }
+            })
+        });
+        // Prefix-sum updates at n = 1024 rewrite ~10^6 cells each; keep
+        // the baseline honest but bounded.
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("prefix-sum", n), &batch, |b, ops| {
+                let mut e = PrefixSumEngine::from_cube(&cube);
+                b.iter(|| {
+                    for (coords, delta) in ops {
+                        e.update(black_box(coords), *delta).unwrap();
+                    }
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("rps", n), &batch, |b, ops| {
+            let mut e = RpsEngine::from_cube(&cube);
+            b.iter(|| {
+                for (coords, delta) in ops {
+                    e.update(black_box(coords), *delta).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fenwick", n), &batch, |b, ops| {
+            let mut e = FenwickEngine::from_cube(&cube);
+            b.iter(|| {
+                for (coords, delta) in ops {
+                    e.update(black_box(coords), *delta).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_box_size_effect(c: &mut Criterion) {
+    // §4.3 in wall-clock form: update latency is U-shaped in k.
+    let mut group = c.benchmark_group("rps_update_by_box_size");
+    group.sample_size(20);
+    let n = 256usize;
+    let cube = CubeGen::new(13).uniform(&[n, n], 0, 9);
+    let batch = UpdateGen::uniform(&[n, n], 17, 50).take(32);
+    for &k in &[4usize, 8, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("k", k), &batch, |b, ops| {
+            let mut e = RpsEngine::from_cube_uniform(&cube, k).unwrap();
+            b.iter(|| {
+                for (coords, delta) in ops {
+                    e.update(black_box(coords), *delta).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_box_size_effect);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! E9 — the §4.3/§5 complexity table, measured.
+//!
+//! For each method, measures worst-case query reads and update writes
+//! across a sweep of n, fits the log–log scaling exponent, and prints the
+//! query·update product — the paper's overall figure of merit:
+//!
+//! | method | query | update | product |
+//! |--------|-------|--------|---------|
+//! | naive | O(n^d) | O(1) | O(n^d) |
+//! | prefix sum | O(1) | O(n^d) | O(n^d) |
+//! | **RPS** | O(1) | O(n^{d/2}) | **O(n^{d/2})** |
+
+use ndcube::{NdCube, Region};
+use rps_analysis::{loglog_slope, Table};
+use rps_core::{FenwickEngine, NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine};
+
+/// (n, measured) series for queries and updates of one method.
+type Series = (&'static str, Vec<(f64, f64)>, Vec<(f64, f64)>);
+
+struct Measured {
+    query_reads: u64,
+    update_writes: u64,
+}
+
+fn measure(engine: &mut dyn RangeSumEngine<i64>, n: usize) -> Measured {
+    // Worst-case-style query: a large range not aligned to anything.
+    let r = Region::new(&[1, 1], &[n - 2, n - 2]).unwrap();
+    engine.reset_stats();
+    engine.query(&r).unwrap();
+    let query_reads = engine.stats().cell_reads;
+
+    // Worst-case-style update: just past the origin.
+    engine.reset_stats();
+    engine.update(&[1, 1], 1).unwrap();
+    let update_writes = engine.stats().cell_writes;
+    Measured {
+        query_reads,
+        update_writes,
+    }
+}
+
+fn main() {
+    let ns = [64usize, 128, 256, 512, 1024];
+    let mut series: Vec<Series> = vec![
+        ("naive", vec![], vec![]),
+        ("prefix-sum", vec![], vec![]),
+        ("relative-prefix-sum", vec![], vec![]),
+        ("fenwick", vec![], vec![]),
+    ];
+
+    println!("=== E9: measured worst-case costs (d = 2, k = √n for RPS) ===\n");
+    let mut table = Table::new(&["n", "method", "query reads", "update writes", "q·u product"]);
+
+    for &n in &ns {
+        let cube = NdCube::from_fn(&[n, n], |c| ((c[0] ^ c[1]) % 7) as i64).unwrap();
+        let k = (n as f64).sqrt() as usize;
+        let mut engines: Vec<Box<dyn RangeSumEngine<i64>>> = vec![
+            Box::new(NaiveEngine::from_cube(cube.clone())),
+            Box::new(PrefixSumEngine::from_cube(&cube)),
+            Box::new(RpsEngine::from_cube_uniform(&cube, k).unwrap()),
+            Box::new(FenwickEngine::from_cube(&cube)),
+        ];
+        for (engine, (name, qs, us)) in engines.iter_mut().zip(series.iter_mut()) {
+            let m = measure(engine.as_mut(), n);
+            qs.push((n as f64, m.query_reads.max(1) as f64));
+            us.push((n as f64, m.update_writes.max(1) as f64));
+            table.row(&[
+                n.to_string(),
+                name.to_string(),
+                m.query_reads.to_string(),
+                m.update_writes.to_string(),
+                (m.query_reads * m.update_writes).to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+
+    println!("\n=== fitted log–log scaling exponents (d = 2) ===\n");
+    let mut fit_table = Table::new(&[
+        "method",
+        "query exponent",
+        "update exponent",
+        "paper (query, update)",
+    ]);
+    let expected = [
+        ("naive", "n^2, 1"),
+        ("prefix-sum", "1, n^2"),
+        ("relative-prefix-sum", "1, n^1 = n^{d/2}"),
+        ("fenwick", "log^2 n, log^2 n"),
+    ];
+    for ((name, qs, us), (_, paper)) in series.iter().zip(expected.iter()) {
+        fit_table.row(&[
+            name.to_string(),
+            format!("{:.2}", loglog_slope(qs)),
+            format!("{:.2}", loglog_slope(us)),
+            paper.to_string(),
+        ]);
+    }
+    print!("{}", fit_table.render());
+
+    // Hard checks on the headline claims.
+    let slope = |idx: usize, which: usize| {
+        let s = &series[idx];
+        loglog_slope(if which == 0 { &s.1 } else { &s.2 })
+    };
+    assert!(slope(0, 0) > 1.8, "naive query must scale ~n^2");
+    assert!(slope(1, 0).abs() < 0.2, "prefix-sum query must be O(1)");
+    assert!(slope(1, 1) > 1.8, "prefix-sum update must scale ~n^2");
+    assert!(slope(2, 0).abs() < 0.2, "RPS query must be O(1)");
+    assert!(
+        (slope(2, 1) - 1.0).abs() < 0.3,
+        "RPS update must scale ~n^{{d/2}} = n (got {})",
+        slope(2, 1)
+    );
+    println!("\nall fitted exponents match the paper's complexity table ✓");
+}

@@ -1,0 +1,132 @@
+//! Extension experiment — the curse of dimensionality (§1).
+//!
+//! "As the number of dimensions in a data cube grows, the size of the
+//! data cube grows exponentially. Update costs on the order of the size
+//! of the data cube may not be practical…" This experiment holds the
+//! total cell count roughly fixed (~4^6) while varying d, and measures
+//! worst-case query reads, update writes, and the query·update product
+//! per method — showing RPS's O(n^{d/2}) advantage survives across
+//! dimensionalities, not just at the d = 2 the worked examples use.
+
+use ndcube::{NdCube, Region};
+use rps_analysis::{loglog_slope, Table};
+use rps_core::{FenwickEngine, NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine};
+
+fn main() {
+    // Two regimes: fixed total size N ≈ 4096 (so higher d means tiny n),
+    // plus realistic larger-n points at d = 3 and d = 4.
+    let configs = [
+        (1usize, 4096usize),
+        (2, 64),
+        (3, 16),
+        (4, 8),
+        (6, 4),
+        (3, 64),
+        (4, 24),
+    ];
+
+    println!("=== dimensionality sweep (k = ⌈√n⌉ per dimension) ===\n");
+    let mut table = Table::new(&[
+        "d",
+        "n",
+        "method",
+        "query reads",
+        "update writes",
+        "q·u product",
+    ]);
+
+    for &(d, n) in &configs {
+        let dims = vec![n; d];
+        let cube = NdCube::from_fn(&dims, |c| {
+            (c.iter()
+                .enumerate()
+                .map(|(i, &x)| x * (i + 1))
+                .sum::<usize>()
+                % 10) as i64
+        })
+        .unwrap();
+
+        let mut engines: Vec<Box<dyn RangeSumEngine<i64>>> = vec![
+            Box::new(NaiveEngine::from_cube(cube.clone())),
+            Box::new(PrefixSumEngine::from_cube(&cube)),
+            Box::new(RpsEngine::from_cube(&cube)),
+            Box::new(FenwickEngine::from_cube(&cube)),
+        ];
+
+        // Worst-case-ish region: nearly the whole cube, unaligned.
+        let lo = vec![1usize; d];
+        let hi: Vec<usize> = dims.iter().map(|&x| x - 2).collect();
+        let region = Region::new(&lo, &hi).unwrap();
+        let update_pos = vec![1usize; d];
+
+        let mut products = Vec::new();
+        for e in &mut engines {
+            e.reset_stats();
+            e.query(&region).unwrap();
+            let q = e.stats().cell_reads;
+            e.reset_stats();
+            e.update(&update_pos, 1).unwrap();
+            let u = e.stats().cell_writes.max(1);
+            products.push((e.name(), q * u));
+            table.row(&[
+                d.to_string(),
+                n.to_string(),
+                e.name().to_string(),
+                q.to_string(),
+                u.to_string(),
+                (q * u).to_string(),
+            ]);
+        }
+        // At d = 2 the asymptotic win shows whenever n is non-trivial.
+        if d == 2 && n >= 64 {
+            let get = |name: &str| {
+                products
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|&(_, p)| p)
+                    .unwrap()
+            };
+            let rps = get("relative-prefix-sum");
+            assert!(rps < get("naive"), "d={d} n={n}: rps {rps} vs naive");
+            assert!(
+                rps < get("prefix-sum"),
+                "d={d} n={n}: rps {rps} vs prefix-sum"
+            );
+        }
+    }
+    print!("{}", table.render());
+
+    // The d ≥ 3 finding: with the paper-faithful stored values, the
+    // worst-case update scales as n^{d−1}, not the n^{d/2} the paper's
+    // §4.3 formula (derived from the d = 2 picture) suggests — mixed
+    // border boxes (later in ≥2 dims, same slab in ≥1) dominate and are
+    // absent from the formula. Measure the exponent directly.
+    println!("\n=== measured RPS update exponent at d = 3 (k = ⌈√n⌉) ===\n");
+    let mut pts = Vec::new();
+    let mut slope_table = Table::new(&["n", "worst-case update writes"]);
+    for n in [32usize, 64, 128] {
+        let k = (n as f64).sqrt().ceil() as usize;
+        let cube = NdCube::from_fn(&[n, n, n], |_| 1i64).unwrap();
+        let mut e = RpsEngine::from_cube_uniform(&cube, k).unwrap();
+        e.reset_stats();
+        e.update(&[1, 1, 1], 1).unwrap();
+        let w = e.stats().cell_writes;
+        slope_table.row(&[n.to_string(), w.to_string()]);
+        pts.push((n as f64, w as f64));
+    }
+    print!("{}", slope_table.render());
+    let slope = loglog_slope(&pts);
+    println!("\nfitted exponent: {slope:.2} (≈ d − 1 = 2, not d/2 = 1.5)");
+    assert!(slope > 1.6, "update slope {slope} unexpectedly small");
+    assert!(slope < 2.5, "update slope {slope} unexpectedly large");
+
+    println!(
+        "\nfindings: (1) at d = 2 — the paper's demonstrated case — every\n\
+         claim reproduces exactly; (2) at d ≥ 3, with the paper's own value\n\
+         definitions, the worst-case update is Θ(n^(d−1)): better than the\n\
+         baselines' Θ(n^d) product but short of the O(n^{{d/2}}) headline,\n\
+         whose derivation counts only the 2-D-style border 'arms'; and (3)\n\
+         at fixed total size, the 4^d query constant also erodes the gap\n\
+         for tiny per-dimension sizes. See DESIGN.md / docs/ALGORITHMS.md."
+    );
+}

@@ -1,0 +1,88 @@
+//! E3 + E7 — the paper's update examples (Figures 4 and 15).
+//!
+//! Reproduces, in exact cell counts, §4.2's comparison: "the total update
+//! cost for the overlay algorithm is sixteen cells (twelve overlay cells
+//! and four cells in RP), compared to sixty four cells in the prefix sum
+//! method."
+//!
+//! Then generalizes the same measurement across update positions to show
+//! the whole cost distribution, not just the worked example.
+
+use rps_analysis::Table;
+use rps_core::testdata::{paper_array_a, PAPER_BOX_SIZE};
+use rps_core::{NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine};
+
+fn main() {
+    let a = paper_array_a();
+
+    println!("=== E7: the paper's worked update (A[1,1] += 1 on the 9×9 cube) ===\n");
+    let mut table = Table::new(&["method", "cells written", "paper says"]);
+
+    let mut naive = NaiveEngine::from_cube(a.clone());
+    naive.update(&[1, 1], 1).unwrap();
+    table.row(&[
+        "naive".into(),
+        naive.stats().cell_writes.to_string(),
+        "1".into(),
+    ]);
+
+    let mut ps = PrefixSumEngine::from_cube(&a);
+    ps.update(&[1, 1], 1).unwrap();
+    table.row(&[
+        "prefix-sum".into(),
+        ps.stats().cell_writes.to_string(),
+        "64".into(),
+    ]);
+
+    let mut rps = RpsEngine::from_cube_uniform(&a, PAPER_BOX_SIZE).unwrap();
+    rps.update(&[1, 1], 1).unwrap();
+    table.row(&[
+        "relative-prefix-sum".into(),
+        rps.stats().cell_writes.to_string(),
+        "16 (12 overlay + 4 RP)".into(),
+    ]);
+    print!("{}", table.render());
+
+    assert_eq!(naive.stats().cell_writes, 1);
+    assert_eq!(ps.stats().cell_writes, 64);
+    assert_eq!(rps.stats().cell_writes, 16);
+
+    println!("\n=== E3/E7 generalized: update cost by position (9×9, k=3) ===\n");
+    let mut pos_table = Table::new(&["position", "prefix-sum writes", "rps writes", "ratio"]);
+    for pos in [[0usize, 0], [1, 1], [4, 4], [8, 8], [0, 8], [3, 3]] {
+        let mut ps = PrefixSumEngine::from_cube(&a);
+        ps.update(&pos, 1).unwrap();
+        let mut rps = RpsEngine::from_cube_uniform(&a, PAPER_BOX_SIZE).unwrap();
+        rps.update(&pos, 1).unwrap();
+        let psw = ps.stats().cell_writes;
+        let rpsw = rps.stats().cell_writes;
+        pos_table.row(&[
+            format!("A[{},{}]", pos[0], pos[1]),
+            psw.to_string(),
+            rpsw.to_string(),
+            format!("{:.1}×", psw as f64 / rpsw as f64),
+        ]);
+    }
+    print!("{}", pos_table.render());
+
+    println!("\n=== same comparison at realistic scale (1024×1024, k=32) ===\n");
+    let n = 1024usize;
+    let big = ndcube::NdCube::from_fn(&[n, n], |c| ((c[0] + c[1]) % 10) as i64).unwrap();
+    let mut scale_table = Table::new(&["position", "prefix-sum writes", "rps writes", "ratio"]);
+    for pos in [[1usize, 1], [n / 2, n / 2], [n - 1, n - 1]] {
+        let mut ps = PrefixSumEngine::from_cube(&big);
+        ps.update(&pos, 1).unwrap();
+        let mut rps = RpsEngine::from_cube_uniform(&big, 32).unwrap();
+        rps.update(&pos, 1).unwrap();
+        let psw = ps.stats().cell_writes;
+        let rpsw = rps.stats().cell_writes;
+        scale_table.row(&[
+            format!("A[{},{}]", pos[0], pos[1]),
+            psw.to_string(),
+            rpsw.to_string(),
+            format!("{:.0}×", psw as f64 / rpsw as f64),
+        ]);
+    }
+    print!("{}", scale_table.render());
+    println!("\nshape check: RPS worst-case update is Θ(n) at d=2 (k=√n), prefix-sum Θ(n²).");
+}

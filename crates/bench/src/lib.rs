@@ -1,0 +1,50 @@
+//! # rps-bench — the experiment harness
+//!
+//! Report binaries (`src/bin/exp_*`) regenerate every figure and table of
+//! the paper in cell-count/storage terms; Criterion benches (`benches/`)
+//! add wall-clock numbers. See `EXPERIMENTS.md` at the workspace root for
+//! the experiment-by-experiment index and paper-vs-measured record.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p rps-bench --bin exp_update_example
+//! cargo run --release -p rps-bench --bin exp_box_size_sweep
+//! cargo run --release -p rps-bench --bin exp_complexity_product
+//! cargo run --release -p rps-bench --bin exp_fig16_storage
+//! cargo run --release -p rps-bench --bin exp_disk_io
+//! cargo bench -p rps-bench
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ndcube::Region;
+use rps_core::RangeSumEngine;
+use rps_workload::Op;
+
+/// Replays a pre-generated op batch on an engine, returning a checksum of
+/// query answers (so benches can't be optimized away and engines can be
+/// cross-checked).
+pub fn replay(engine: &mut dyn RangeSumEngine<i64>, ops: &[Op]) -> i64 {
+    let mut checksum = 0i64;
+    for op in ops {
+        match op {
+            Op::Query(r) => checksum = checksum.wrapping_add(engine.query(r).unwrap()),
+            Op::Update { coords, delta } => engine.update(coords, *delta).unwrap(),
+        }
+    }
+    checksum
+}
+
+/// The worst-typical update position for cost measurements: just past the
+/// first anchor in every dimension (the paper's Figure 15 position is the
+/// d = 2, n = 9 instance of this).
+pub fn worst_update_position(d: usize) -> Vec<usize> {
+    vec![1; d]
+}
+
+/// The cube-wide query region for an engine.
+pub fn full_region(engine: &dyn RangeSumEngine<i64>) -> Region {
+    engine.shape().full_region()
+}

@@ -1,0 +1,213 @@
+//! Minimal dependency-free argument parsing for `rps-cube`.
+//!
+//! Grammar: `rps-cube <command> [--flag value]…`. Values use compact
+//! notations: dims `64x64x8`, cells `3,4`, ranges `0,0:63,63`.
+
+use std::collections::HashMap;
+
+/// A parsed command line: the subcommand plus `--flag value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+/// Errors from parsing the command line or a flag value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    NoCommand,
+    /// A `--flag` had no following value.
+    MissingValue(String),
+    /// An argument did not start with `--` where a flag was expected.
+    UnexpectedToken(String),
+    /// A required flag was absent.
+    MissingFlag(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Problem description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::NoCommand => write!(f, "no command given (try `rps-cube help`)"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::UnexpectedToken(t) => write!(f, "unexpected argument `{t}`"),
+            ArgError::MissingFlag(flag) => write!(f, "required flag --{flag} missing"),
+            ArgError::BadValue { flag, reason } => {
+                write!(f, "bad value for --{flag}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv[1..]`.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
+        let mut it = argv.into_iter();
+        let command = it.next().ok_or(ArgError::NoCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::UnexpectedToken(command));
+        }
+        let mut flags = HashMap::new();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedToken(tok));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+            flags.insert(name.to_string(), value);
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, flag: &str) -> Result<&str, ArgError> {
+        self.flags
+            .get(flag)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError::MissingFlag(flag.to_string()))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// An optional flag parsed as `usize`.
+    pub fn optional_usize(&self, flag: &str) -> Result<Option<usize>, ArgError> {
+        self.optional(flag)
+            .map(|v| {
+                v.parse::<usize>().map_err(|e| ArgError::BadValue {
+                    flag: flag.to_string(),
+                    reason: e.to_string(),
+                })
+            })
+            .transpose()
+    }
+
+    /// An optional flag parsed as `u64` with a default.
+    pub fn u64_or(&self, flag: &str, default: u64) -> Result<u64, ArgError> {
+        match self.optional(flag) {
+            None => Ok(default),
+            Some(v) => v.parse::<u64>().map_err(|e| ArgError::BadValue {
+                flag: flag.to_string(),
+                reason: e.to_string(),
+            }),
+        }
+    }
+
+    /// An optional flag parsed as `i64` with a default.
+    pub fn i64_or(&self, flag: &str, default: i64) -> Result<i64, ArgError> {
+        match self.optional(flag) {
+            None => Ok(default),
+            Some(v) => v.parse::<i64>().map_err(|e| ArgError::BadValue {
+                flag: flag.to_string(),
+                reason: e.to_string(),
+            }),
+        }
+    }
+}
+
+/// Parses `64x64x8` into `[64, 64, 8]`.
+pub fn parse_dims(s: &str) -> Result<Vec<usize>, ArgError> {
+    let dims: Result<Vec<usize>, _> = s.split('x').map(|p| p.trim().parse::<usize>()).collect();
+    let dims = dims.map_err(|e| ArgError::BadValue {
+        flag: "dims".into(),
+        reason: format!("{e} in `{s}` (expected e.g. 64x64)"),
+    })?;
+    if dims.is_empty() || dims.contains(&0) {
+        return Err(ArgError::BadValue {
+            flag: "dims".into(),
+            reason: format!("dimensions must be positive in `{s}`"),
+        });
+    }
+    Ok(dims)
+}
+
+/// Parses `3,4` into `[3, 4]`.
+pub fn parse_cell(s: &str) -> Result<Vec<usize>, ArgError> {
+    let cell: Result<Vec<usize>, _> = s.split(',').map(|p| p.trim().parse::<usize>()).collect();
+    cell.map_err(|e| ArgError::BadValue {
+        flag: "cell".into(),
+        reason: format!("{e} in `{s}` (expected e.g. 3,4)"),
+    })
+}
+
+/// Parses `0,0:63,63` into `([0,0], [63,63])` (inclusive corners).
+pub fn parse_range(s: &str) -> Result<(Vec<usize>, Vec<usize>), ArgError> {
+    let (lo_s, hi_s) = s.split_once(':').ok_or_else(|| ArgError::BadValue {
+        flag: "range".into(),
+        reason: format!("missing `:` in `{s}` (expected lo:hi, e.g. 0,0:63,63)"),
+    })?;
+    Ok((parse_cell(lo_s)?, parse_cell(hi_s)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(argv(&["generate", "--dims", "8x8", "--seed", "7"])).unwrap();
+        assert_eq!(a.command, "generate");
+        assert_eq!(a.required("dims").unwrap(), "8x8");
+        assert_eq!(a.u64_or("seed", 0).unwrap(), 7);
+        assert_eq!(a.u64_or("absent", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(Args::parse(argv(&[])), Err(ArgError::NoCommand));
+        assert_eq!(
+            Args::parse(argv(&["q", "--x"])),
+            Err(ArgError::MissingValue("x".into()))
+        );
+        assert_eq!(
+            Args::parse(argv(&["q", "oops"])),
+            Err(ArgError::UnexpectedToken("oops".into()))
+        );
+        let a = Args::parse(argv(&["q"])).unwrap();
+        assert!(matches!(a.required("file"), Err(ArgError::MissingFlag(_))));
+    }
+
+    #[test]
+    fn dims_parsing() {
+        assert_eq!(parse_dims("64x64").unwrap(), vec![64, 64]);
+        assert_eq!(parse_dims("4x5x6").unwrap(), vec![4, 5, 6]);
+        assert!(parse_dims("64x0").is_err());
+        assert!(parse_dims("abc").is_err());
+        assert!(parse_dims("").is_err());
+    }
+
+    #[test]
+    fn cell_and_range_parsing() {
+        assert_eq!(parse_cell("3,4").unwrap(), vec![3, 4]);
+        let (lo, hi) = parse_range("0,0:63,63").unwrap();
+        assert_eq!(lo, vec![0, 0]);
+        assert_eq!(hi, vec![63, 63]);
+        assert!(parse_range("1,2-3,4").is_err());
+        assert!(parse_range("1,a:2,3").is_err());
+    }
+
+    #[test]
+    fn i64_flags() {
+        let a = Args::parse(argv(&["u", "--delta", "-5"])).unwrap();
+        assert_eq!(a.i64_or("delta", 0).unwrap(), -5);
+        let bad = Args::parse(argv(&["u", "--delta", "x"])).unwrap();
+        assert!(bad.i64_or("delta", 0).is_err());
+    }
+}

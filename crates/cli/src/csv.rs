@@ -1,0 +1,189 @@
+//! A small, dependency-free CSV reader (RFC 4180 subset): quoted fields,
+//! escaped quotes (`""`), CR/LF line endings, header row handled by the
+//! caller.
+
+use std::io::{BufRead, BufReader, Read};
+
+/// CSV parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// Underlying read failure (message form).
+    Io(String),
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based record number.
+        record: usize,
+    },
+    /// A record had a different field count than the header.
+    FieldCount {
+        /// 1-based record number.
+        record: usize,
+        /// Fields expected (from the header).
+        expected: usize,
+        /// Fields found.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::UnterminatedQuote { record } => {
+                write!(f, "unterminated quote in record {record}")
+            }
+            CsvError::FieldCount {
+                record,
+                expected,
+                got,
+            } => {
+                write!(f, "record {record}: expected {expected} fields, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Splits one CSV line (no trailing newline) into fields.
+fn split_record(line: &str, record: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        match chars.peek() {
+            None => {
+                fields.push(std::mem::take(&mut cur));
+                return Ok(fields);
+            }
+            Some('"') => {
+                chars.next();
+                // Quoted field: read until the closing quote.
+                loop {
+                    match chars.next() {
+                        None => return Err(CsvError::UnterminatedQuote { record }),
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                cur.push('"'); // escaped quote
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => cur.push(c),
+                    }
+                }
+            }
+            Some(',') => {
+                chars.next();
+                fields.push(std::mem::take(&mut cur));
+            }
+            Some(_) => {
+                cur.push(chars.next().expect("peeked"));
+            }
+        }
+    }
+}
+
+/// Reads a whole CSV document: the header row plus data records, with the
+/// field count validated against the header.
+pub fn read_csv<R: Read>(r: R) -> Result<(Vec<String>, Vec<Vec<String>>), CsvError> {
+    let reader = BufReader::new(r);
+    let mut lines = Vec::new();
+    for line in reader.lines() {
+        let mut line = line.map_err(|e| CsvError::Io(e.to_string()))?;
+        if line.ends_with('\r') {
+            line.pop();
+        }
+        lines.push(line);
+    }
+    // Drop one trailing empty line (common file ending).
+    if lines.last().is_some_and(|l| l.is_empty()) {
+        lines.pop();
+    }
+    let mut it = lines.into_iter().enumerate();
+    let header = match it.next() {
+        None => return Ok((Vec::new(), Vec::new())),
+        Some((_, h)) => split_record(&h, 1)?,
+    };
+    let mut records = Vec::new();
+    for (i, line) in it {
+        let record = split_record(&line, i + 1)?;
+        if record.len() != header.len() {
+            return Err(CsvError::FieldCount {
+                record: i + 1,
+                expected: header.len(),
+                got: record.len(),
+            });
+        }
+        records.push(record);
+    }
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_document() {
+        let doc = "age,day,sales\n37,275,250\n52,364,100\n";
+        let (header, rows) = read_csv(doc.as_bytes()).unwrap();
+        assert_eq!(header, vec!["age", "day", "sales"]);
+        assert_eq!(
+            rows,
+            vec![vec!["37", "275", "250"], vec!["52", "364", "100"]]
+        );
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let doc = "name,notes\n\"Smith, Jane\",\"said \"\"hi\"\"\"\n";
+        let (_, rows) = read_csv(doc.as_bytes()).unwrap();
+        assert_eq!(rows[0], vec!["Smith, Jane", "said \"hi\""]);
+    }
+
+    #[test]
+    fn crlf_endings() {
+        let doc = "a,b\r\n1,2\r\n";
+        let (header, rows) = read_csv(doc.as_bytes()).unwrap();
+        assert_eq!(header, vec!["a", "b"]);
+        assert_eq!(rows, vec![vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn empty_fields() {
+        let doc = "a,b,c\n,,\n1,,3\n";
+        let (_, rows) = read_csv(doc.as_bytes()).unwrap();
+        assert_eq!(rows[0], vec!["", "", ""]);
+        assert_eq!(rows[1], vec!["1", "", "3"]);
+    }
+
+    #[test]
+    fn field_count_mismatch() {
+        let doc = "a,b\n1,2,3\n";
+        assert!(matches!(
+            read_csv(doc.as_bytes()),
+            Err(CsvError::FieldCount {
+                record: 2,
+                expected: 2,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote() {
+        let doc = "a\n\"oops\n";
+        assert!(matches!(
+            read_csv(doc.as_bytes()),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_document() {
+        let (header, rows) = read_csv("".as_bytes()).unwrap();
+        assert!(header.is_empty() && rows.is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! `rps-cube` — command-line front end for the RPS data-cube library.
+//!
+//! ```text
+//! rps-cube generate --dims 256x256 --seed 7 --out sales.cube
+//! rps-cube build --cube sales.cube --out sales.rps
+//! rps-cube query --file sales.rps --range 37,275:52,364
+//! rps-cube update --file sales.rps --cell 41,364 --delta 250
+//! rps-cube bench --dims 128x128 --ops 2000
+//! ```
+
+mod args;
+mod commands;
+mod csv;
+mod spec;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            let _ = commands::help(&mut std::io::stderr());
+            return ExitCode::from(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    match commands::run(&parsed, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Schema specification strings for `rps-cube ingest`.
+//!
+//! Grammar, one entry per dimension, comma-separated:
+//!
+//! ```text
+//! NAME:num:MIN:MAX          numeric attribute spanning MIN..=MAX
+//! NAME:cat:L1|L2|L3         categorical attribute with members in order
+//! ```
+//!
+//! Example: `AGE:num:18:99,REGION:cat:East|North|South|West`
+
+use rps_workload::{CubeSchema, Dimension};
+
+/// Spec parse errors, with enough context to fix the string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad schema spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses a schema spec string into a [`CubeSchema`].
+pub fn parse_schema_spec(spec: &str) -> Result<CubeSchema, SpecError> {
+    let mut dims = Vec::new();
+    for (i, entry) in spec.split(',').enumerate() {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            return Err(SpecError(format!("empty entry at position {i}")));
+        }
+        let parts: Vec<&str> = entry.split(':').collect();
+        match parts.as_slice() {
+            [name, "num", min, max] => {
+                let min: i64 = min
+                    .parse()
+                    .map_err(|e| SpecError(format!("{name}: bad min `{min}`: {e}")))?;
+                let max: i64 = max
+                    .parse()
+                    .map_err(|e| SpecError(format!("{name}: bad max `{max}`: {e}")))?;
+                if min > max {
+                    return Err(SpecError(format!("{name}: min {min} > max {max}")));
+                }
+                dims.push(Dimension::numeric(name, min, max));
+            }
+            [name, "cat", members] => {
+                let labels: Vec<&str> = members.split('|').filter(|l| !l.is_empty()).collect();
+                if labels.is_empty() {
+                    return Err(SpecError(format!("{name}: no members listed")));
+                }
+                dims.push(Dimension::categorical(name, &labels));
+            }
+            _ => {
+                return Err(SpecError(format!(
+                    "`{entry}` (expected NAME:num:MIN:MAX or NAME:cat:A|B|C)"
+                )))
+            }
+        }
+    }
+    if dims.is_empty() {
+        return Err(SpecError("no dimensions".into()));
+    }
+    Ok(CubeSchema::new(dims))
+}
+
+/// Parses a where clause like `AGE=37..52,REGION=East..West` against a
+/// schema into an inclusive region. Attributes omitted from the clause
+/// span their full domain; `ATTR=value` selects a single coordinate.
+pub fn parse_where(
+    schema: &rps_workload::CubeSchema,
+    clause: &str,
+) -> Result<ndcube::Region, SpecError> {
+    use rps_workload::{Dimension, Key};
+    let dims = schema.dims();
+    let mut lo: Vec<usize> = vec![0; dims.len()];
+    let mut hi: Vec<usize> = dims.iter().map(|&n| n - 1).collect();
+
+    for part in clause.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (name, range) = part
+            .split_once('=')
+            .ok_or_else(|| SpecError(format!("`{part}` needs ATTR=lo..hi or ATTR=value")))?;
+        let dim = schema
+            .dim_index(name.trim())
+            .ok_or_else(|| SpecError(format!("unknown attribute `{name}`")))?;
+        let (lo_s, hi_s) = match range.split_once("..") {
+            Some((l, h)) => (l.trim(), h.trim()),
+            None => (range.trim(), range.trim()),
+        };
+        let key_of = |raw: &str| -> Result<usize, SpecError> {
+            let key = match &schema.dimensions()[dim] {
+                Dimension::Numeric { name, .. } => Key::Num(
+                    raw.parse::<i64>()
+                        .map_err(|e| SpecError(format!("{name}: bad value `{raw}`: {e}")))?,
+                ),
+                Dimension::Categorical { .. } => Key::Cat(raw),
+            };
+            schema
+                .index_of(dim, &key)
+                .map_err(|e| SpecError(format!("{name}: `{raw}` out of domain ({e})")))
+        };
+        lo[dim] = key_of(lo_s)?;
+        hi[dim] = key_of(hi_s)?;
+        if lo[dim] > hi[dim] {
+            return Err(SpecError(format!("{name}: range `{range}` is inverted")));
+        }
+    }
+    ndcube::Region::new(&lo, &hi).map_err(|e| SpecError(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_spec() {
+        let s = parse_schema_spec("AGE:num:18:99,REGION:cat:East|North|South|West").unwrap();
+        assert_eq!(s.dims(), vec![82, 4]);
+        assert_eq!(s.dimensions()[0].name(), "AGE");
+        assert_eq!(s.dimensions()[1].name(), "REGION");
+    }
+
+    #[test]
+    fn negative_numeric_domain() {
+        let s = parse_schema_spec("TEMP:num:-40:60").unwrap();
+        assert_eq!(s.dims(), vec![101]);
+    }
+
+    #[test]
+    fn where_clause_builds_region() {
+        let schema =
+            parse_schema_spec("AGE:num:18:99,DAY:num:0:364,REGION:cat:East|North|South|West")
+                .unwrap();
+        let r = parse_where(&schema, "AGE=37..52,DAY=275..364").unwrap();
+        assert_eq!(r.lo(), &[19, 275, 0]);
+        assert_eq!(r.hi(), &[34, 364, 3]); // REGION unconstrained
+        let point = parse_where(&schema, "REGION=South").unwrap();
+        assert_eq!(point.lo()[2], 2);
+        assert_eq!(point.hi()[2], 2);
+        let all = parse_where(&schema, "").unwrap();
+        assert_eq!(all.cell_count(), 82 * 365 * 4);
+    }
+
+    #[test]
+    fn where_clause_errors() {
+        let schema = parse_schema_spec("AGE:num:18:99").unwrap();
+        assert!(parse_where(&schema, "HEIGHT=1..2").is_err());
+        assert!(parse_where(&schema, "AGE=52..37").is_err());
+        assert!(parse_where(&schema, "AGE=200").is_err());
+        assert!(parse_where(&schema, "AGE").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_schema_spec("").is_err());
+        assert!(parse_schema_spec("AGE:num:18").is_err());
+        assert!(parse_schema_spec("AGE:int:1:2").is_err());
+        assert!(parse_schema_spec("AGE:num:10:5").is_err());
+        assert!(parse_schema_spec("R:cat:").is_err());
+        assert!(parse_schema_spec("AGE:num:x:5").is_err());
+    }
+}

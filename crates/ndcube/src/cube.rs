@@ -1,0 +1,250 @@
+use std::fmt;
+
+use crate::{NdError, Region, Shape};
+
+/// A dense, row-major, d-dimensional array.
+///
+/// This is the representation of the paper's arrays `A`, `P` and `RP`.
+/// Values only need `Clone`; arithmetic is layered on top by `rps-core`'s
+/// value algebra, keeping this substrate agnostic.
+///
+/// ```
+/// use ndcube::NdCube;
+/// let a = NdCube::from_fn(&[2, 3], |c| (c[0] * 10 + c[1]) as i64).unwrap();
+/// assert_eq!(a.get(&[1, 2]), 12);
+/// assert_eq!(a.as_slice(), &[0, 1, 2, 10, 11, 12]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NdCube<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Clone> NdCube<T> {
+    /// Builds a cube with every cell set to `fill`.
+    pub fn filled(dims: &[usize], fill: T) -> Result<NdCube<T>, NdError> {
+        let shape = Shape::new(dims)?;
+        let data = vec![fill; shape.len()];
+        Ok(NdCube { shape, data })
+    }
+
+    /// Builds a cube by evaluating `f` at every coordinate, row-major.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(&[usize]) -> T) -> Result<NdCube<T>, NdError> {
+        let shape = Shape::new(dims)?;
+        let mut data = Vec::with_capacity(shape.len());
+        crate::RegionIter::for_each_coords(&shape.full_region(), |c| data.push(f(c)));
+        Ok(NdCube { shape, data })
+    }
+
+    /// Wraps an existing row-major buffer. Fails when the buffer length does
+    /// not match the shape.
+    pub fn from_vec(dims: &[usize], data: Vec<T>) -> Result<NdCube<T>, NdError> {
+        let shape = Shape::new(dims)?;
+        if data.len() != shape.len() {
+            return Err(NdError::DimMismatch {
+                expected: shape.len(),
+                got: data.len(),
+            });
+        }
+        Ok(NdCube { shape, data })
+    }
+
+    /// Reads a cell (checked; panics on bad coordinates, like slice
+    /// indexing).
+    #[inline]
+    pub fn get(&self, coords: &[usize]) -> T {
+        self.data[self.shape.linear(coords).expect("coordinates in bounds")].clone()
+    }
+
+    /// Fallible cell read.
+    pub fn try_get(&self, coords: &[usize]) -> Result<T, NdError> {
+        Ok(self.data[self.shape.linear(coords)?].clone())
+    }
+
+    /// Writes a cell (checked; panics on bad coordinates).
+    #[inline]
+    pub fn set(&mut self, coords: &[usize], value: T) {
+        let lin = self.shape.linear(coords).expect("coordinates in bounds");
+        self.data[lin] = value;
+    }
+
+    /// Fallible cell write.
+    pub fn try_set(&mut self, coords: &[usize], value: T) -> Result<(), NdError> {
+        let lin = self.shape.linear(coords)?;
+        self.data[lin] = value;
+        Ok(())
+    }
+
+    /// Returns a cube of the same shape with `f` applied cell-wise.
+    pub fn map<U: Clone>(&self, f: impl FnMut(&T) -> U) -> NdCube<U> {
+        NdCube {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+}
+
+impl<T> NdCube<T> {
+    /// The cube's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.ndim()
+    }
+
+    /// Total cell count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false for constructed cubes; by convention.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads a cell by raw linear offset (hot path; offset must be valid).
+    #[inline]
+    pub fn get_linear(&self, linear: usize) -> &T {
+        &self.data[linear]
+    }
+
+    /// Mutable access by raw linear offset.
+    #[inline]
+    pub fn get_linear_mut(&mut self, linear: usize) -> &mut T {
+        &mut self.data[linear]
+    }
+
+    /// The backing row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable backing buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the cube, returning its buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl<T: Clone + Default> NdCube<T> {
+    /// A cube of `T::default()` values (e.g. zeros for numeric `T`).
+    pub fn zeros(dims: &[usize]) -> NdCube<T> {
+        NdCube::filled(dims, T::default()).expect("valid dims")
+    }
+}
+
+/// Pretty-prints 2-dimensional cubes as the row/column tables used in the
+/// paper's figures. Higher-dimensional cubes print shape + flat data.
+impl<T: fmt::Display> fmt::Display for NdCube<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ndim() == 2 {
+            let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+            // Column widths for alignment.
+            let mut width = 1;
+            for v in &self.data {
+                width = width.max(v.to_string().len());
+            }
+            for r in 0..rows {
+                for c in 0..cols {
+                    if c > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{:>width$}", self.data[r * cols + c], width = width)?;
+                }
+                writeln!(f)?;
+            }
+            Ok(())
+        } else {
+            writeln!(f, "NdCube{:?} ({} cells)", self.shape.dims(), self.len())
+        }
+    }
+}
+
+impl<T: Clone> NdCube<T> {
+    /// Clones the cells of `region` into a row-major `Vec`.
+    pub fn region_to_vec(&self, region: &Region) -> Result<Vec<T>, NdError> {
+        self.shape.check_region(region)?;
+        Ok(self
+            .shape
+            .linear_region_iter(region)
+            .map(|lin| self.data[lin].clone())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_get_set() {
+        let mut c = NdCube::filled(&[3, 3], 0i64).unwrap();
+        c.set(&[2, 1], 42);
+        assert_eq!(c.get(&[2, 1]), 42);
+        assert_eq!(c.get(&[0, 0]), 0);
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let c = NdCube::from_fn(&[2, 2], |xy| (xy[0], xy[1])).unwrap();
+        assert_eq!(c.as_slice(), &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(NdCube::from_vec(&[2, 2], vec![1, 2, 3]).is_err());
+        let c = NdCube::from_vec(&[2, 2], vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(c.get(&[1, 0]), 3);
+    }
+
+    #[test]
+    fn try_accessors_report_errors() {
+        let mut c = NdCube::<i32>::zeros(&[2, 2]);
+        assert!(c.try_get(&[2, 0]).is_err());
+        assert!(c.try_set(&[0, 5], 1).is_err());
+        assert!(c.try_set(&[1, 1], 9).is_ok());
+        assert_eq!(c.try_get(&[1, 1]).unwrap(), 9);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let c = NdCube::from_fn(&[2, 3], |xy| xy[0] + xy[1]).unwrap();
+        let doubled = c.map(|v| v * 2);
+        assert_eq!(doubled.shape().dims(), &[2, 3]);
+        assert_eq!(doubled.get(&[1, 2]), 6);
+    }
+
+    #[test]
+    fn region_to_vec_extracts_block() {
+        let c = NdCube::from_fn(&[3, 3], |xy| (xy[0] * 3 + xy[1]) as i64).unwrap();
+        let r = Region::new(&[1, 1], &[2, 2]).unwrap();
+        assert_eq!(c.region_to_vec(&r).unwrap(), vec![4, 5, 7, 8]);
+    }
+
+    #[test]
+    fn display_2d_is_table() {
+        let c = NdCube::from_vec(&[2, 2], vec![1, 22, 3, 4]).unwrap();
+        let s = format!("{c}");
+        assert_eq!(s, " 1 22\n 3  4\n");
+    }
+
+    #[test]
+    fn three_d_cube() {
+        let c = NdCube::from_fn(&[2, 2, 2], |xyz| xyz[0] * 4 + xyz[1] * 2 + xyz[2]).unwrap();
+        assert_eq!(c.get(&[1, 1, 1]), 7);
+        assert_eq!(c.len(), 8);
+    }
+}

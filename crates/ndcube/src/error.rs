@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Errors produced by shape and region construction / validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NdError {
+    /// A shape was constructed with zero dimensions.
+    EmptyShape,
+    /// A dimension had size zero.
+    ZeroDim {
+        /// Index of the offending dimension.
+        dim: usize,
+    },
+    /// The total number of cells overflowed `usize`.
+    SizeOverflow,
+    /// A coordinate vector had the wrong number of dimensions.
+    DimMismatch {
+        /// Dimensions expected by the shape.
+        expected: usize,
+        /// Dimensions actually supplied.
+        got: usize,
+    },
+    /// A coordinate was out of bounds for its dimension.
+    OutOfBounds {
+        /// Offending dimension.
+        dim: usize,
+        /// Supplied coordinate.
+        coord: usize,
+        /// Size of that dimension.
+        size: usize,
+    },
+    /// Two whole shapes were expected to match and did not.
+    ShapeMismatch {
+        /// Dimensions expected.
+        expected: Vec<usize>,
+        /// Dimensions actually supplied.
+        got: Vec<usize>,
+    },
+    /// A region lower bound exceeded its upper bound.
+    InvertedRegion {
+        /// Offending dimension.
+        dim: usize,
+        /// Lower bound supplied.
+        lo: usize,
+        /// Upper bound supplied.
+        hi: usize,
+    },
+}
+
+impl fmt::Display for NdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NdError::EmptyShape => write!(f, "shape must have at least one dimension"),
+            NdError::ZeroDim { dim } => write!(f, "dimension {dim} has size zero"),
+            NdError::SizeOverflow => write!(f, "total cell count overflows usize"),
+            NdError::DimMismatch { expected, got } => {
+                write!(f, "expected {expected} coordinates, got {got}")
+            }
+            NdError::OutOfBounds { dim, coord, size } => {
+                write!(
+                    f,
+                    "coordinate {coord} out of bounds for dimension {dim} (size {size})"
+                )
+            }
+            NdError::ShapeMismatch { expected, got } => {
+                write!(f, "expected shape {expected:?}, got {got:?}")
+            }
+            NdError::InvertedRegion { dim, lo, hi } => {
+                write!(
+                    f,
+                    "region lower bound {lo} exceeds upper bound {hi} in dimension {dim}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NdError {}

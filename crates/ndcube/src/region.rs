@@ -1,0 +1,207 @@
+use crate::{NdError, RegionIter};
+
+/// An inclusive d-dimensional hyper-rectangle `lo ..= hi`.
+///
+/// Matches the paper's range notation `Sum(A[l₁,…,l_d] : A[h₁,…,h_d])`:
+/// both corners are part of the region. A region always contains at least
+/// one cell.
+///
+/// ```
+/// use ndcube::Region;
+/// let r = Region::new(&[1, 2], &[3, 2]).unwrap();
+/// assert_eq!(r.cell_count(), 3);
+/// assert!(r.contains(&[2, 2]));
+/// assert!(!r.contains(&[2, 3]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region {
+    lo: Vec<usize>,
+    hi: Vec<usize>,
+}
+
+impl Region {
+    /// Builds a region from inclusive corners; fails if the corners have
+    /// mismatched dimensionality or are inverted in any dimension.
+    pub fn new(lo: &[usize], hi: &[usize]) -> Result<Region, NdError> {
+        if lo.len() != hi.len() {
+            return Err(NdError::DimMismatch {
+                expected: lo.len(),
+                got: hi.len(),
+            });
+        }
+        if lo.is_empty() {
+            return Err(NdError::EmptyShape);
+        }
+        for (dim, (&l, &h)) in lo.iter().zip(hi).enumerate() {
+            if l > h {
+                return Err(NdError::InvertedRegion { dim, lo: l, hi: h });
+            }
+        }
+        Ok(Region {
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+        })
+    }
+
+    /// The single-cell region containing exactly `coords`.
+    pub fn point(coords: &[usize]) -> Result<Region, NdError> {
+        Region::new(coords, coords)
+    }
+
+    /// The prefix region `[0,…,0] ..= hi`, the shape of every region sum
+    /// used by the prefix-sum decomposition (Figure 3 of the paper).
+    pub fn prefix(hi: &[usize]) -> Result<Region, NdError> {
+        Region::new(&vec![0; hi.len()], hi)
+    }
+
+    /// Inclusive lower corner.
+    #[inline]
+    pub fn lo(&self) -> &[usize] {
+        &self.lo
+    }
+
+    /// Inclusive upper corner.
+    #[inline]
+    pub fn hi(&self) -> &[usize] {
+        &self.hi
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Extent along one dimension (inclusive, so at least 1).
+    #[inline]
+    pub fn extent(&self, dim: usize) -> usize {
+        self.hi[dim] - self.lo[dim] + 1
+    }
+
+    /// Number of cells in the region (product of extents). Saturates on
+    /// overflow, which only matters for absurd synthetic shapes.
+    pub fn cell_count(&self) -> usize {
+        (0..self.ndim()).fold(1usize, |acc, d| acc.saturating_mul(self.extent(d)))
+    }
+
+    /// Whether `coords` lies inside the region.
+    pub fn contains(&self, coords: &[usize]) -> bool {
+        coords.len() == self.ndim()
+            && coords
+                .iter()
+                .zip(self.lo.iter().zip(&self.hi))
+                .all(|(&c, (&l, &h))| l <= c && c <= h)
+    }
+
+    /// The intersection with another region, or `None` when disjoint.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        if self.ndim() != other.ndim() {
+            return None;
+        }
+        let lo: Vec<usize> = self
+            .lo
+            .iter()
+            .zip(&other.lo)
+            .map(|(&a, &b)| a.max(b))
+            .collect();
+        let hi: Vec<usize> = self
+            .hi
+            .iter()
+            .zip(&other.hi)
+            .map(|(&a, &b)| a.min(b))
+            .collect();
+        if lo.iter().zip(&hi).any(|(&l, &h)| l > h) {
+            None
+        } else {
+            Some(Region { lo, hi })
+        }
+    }
+
+    /// Whether this region fully contains another.
+    pub fn contains_region(&self, other: &Region) -> bool {
+        self.ndim() == other.ndim() && self.contains(other.lo()) && self.contains(other.hi())
+    }
+
+    /// Iterates every coordinate vector in the region in row-major order.
+    ///
+    /// Allocates one `Vec` per yielded cell; hot paths should prefer
+    /// [`crate::Shape::linear_region_iter`] or
+    /// [`RegionIter::for_each_coords`].
+    pub fn iter(&self) -> RegionIter<'_> {
+        RegionIter::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let r = Region::new(&[0, 1], &[2, 4]).unwrap();
+        assert_eq!(r.ndim(), 2);
+        assert_eq!(r.extent(0), 3);
+        assert_eq!(r.extent(1), 4);
+        assert_eq!(r.cell_count(), 12);
+    }
+
+    #[test]
+    fn rejects_inverted() {
+        assert_eq!(
+            Region::new(&[2, 0], &[1, 5]),
+            Err(NdError::InvertedRegion {
+                dim: 0,
+                lo: 2,
+                hi: 1
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_mismatch_and_empty() {
+        assert!(Region::new(&[1], &[1, 2]).is_err());
+        assert!(Region::new(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn point_region() {
+        let p = Region::point(&[3, 4, 5]).unwrap();
+        assert_eq!(p.cell_count(), 1);
+        assert!(p.contains(&[3, 4, 5]));
+        assert!(!p.contains(&[3, 4, 6]));
+    }
+
+    #[test]
+    fn prefix_region() {
+        let p = Region::prefix(&[2, 3]).unwrap();
+        assert_eq!(p.lo(), &[0, 0]);
+        assert_eq!(p.cell_count(), 12);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Region::new(&[0, 0], &[4, 4]).unwrap();
+        let b = Region::new(&[3, 2], &[8, 3]).unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.lo(), &[3, 2]);
+        assert_eq!(i.hi(), &[4, 3]);
+
+        let c = Region::new(&[6, 0], &[7, 4]).unwrap();
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Region::new(&[0, 0], &[9, 9]).unwrap();
+        let inner = Region::new(&[2, 3], &[4, 4]).unwrap();
+        assert!(outer.contains_region(&inner));
+        assert!(!inner.contains_region(&outer));
+    }
+
+    #[test]
+    fn iter_row_major() {
+        let r = Region::new(&[1, 1], &[2, 2]).unwrap();
+        let cells: Vec<Vec<usize>> = r.iter().collect();
+        assert_eq!(cells, vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2]]);
+    }
+}

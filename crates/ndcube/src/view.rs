@@ -1,0 +1,240 @@
+//! Borrowed sub-cube views, dimension slicing and axis reductions.
+
+use crate::{NdCube, NdError, Region, RegionIter};
+
+/// A read-only view of a region within a cube: coordinates are relative
+/// to the region's lower corner.
+#[derive(Debug, Clone, Copy)]
+pub struct CubeView<'a, T> {
+    cube: &'a NdCube<T>,
+    region: &'a Region,
+}
+
+impl<'a, T: Clone> CubeView<'a, T> {
+    /// The viewed region (in the parent cube's coordinates).
+    pub fn region(&self) -> &Region {
+        self.region
+    }
+
+    /// Extent per dimension.
+    pub fn dims(&self) -> Vec<usize> {
+        (0..self.region.ndim())
+            .map(|d| self.region.extent(d))
+            .collect()
+    }
+
+    /// Reads a cell by view-relative coordinates.
+    pub fn get(&self, rel: &[usize]) -> T {
+        assert_eq!(rel.len(), self.region.ndim(), "dimension mismatch");
+        let abs: Vec<usize> = rel
+            .iter()
+            .zip(self.region.lo())
+            .map(|(&r, &l)| l + r)
+            .collect();
+        assert!(
+            self.region.contains(&abs),
+            "view coordinates {rel:?} out of bounds"
+        );
+        self.cube.get(&abs)
+    }
+
+    /// Copies the view into an owned cube.
+    pub fn to_cube(&self) -> NdCube<T> {
+        let data = self
+            .cube
+            .shape()
+            .linear_region_iter(self.region)
+            .map(|lin| self.cube.get_linear(lin).clone())
+            .collect();
+        NdCube::from_vec(&self.dims(), data).expect("view dims match cell count")
+    }
+}
+
+impl<T: Clone> NdCube<T> {
+    /// A read-only view of `region` (which must lie inside the cube).
+    pub fn view<'a>(&'a self, region: &'a Region) -> Result<CubeView<'a, T>, NdError> {
+        self.shape().check_region(region)?;
+        Ok(CubeView { cube: self, region })
+    }
+
+    /// The (d−1)-dimensional slice at `index` along `dim`. For 1-d cubes
+    /// the result is a single-cell 1-d cube.
+    pub fn slice(&self, dim: usize, index: usize) -> Result<NdCube<T>, NdError> {
+        let shape = self.shape();
+        if dim >= shape.ndim() {
+            return Err(NdError::DimMismatch {
+                expected: shape.ndim(),
+                got: dim,
+            });
+        }
+        if index >= shape.dim(dim) {
+            return Err(NdError::OutOfBounds {
+                dim,
+                coord: index,
+                size: shape.dim(dim),
+            });
+        }
+        let mut lo = vec![0usize; shape.ndim()];
+        let mut hi: Vec<usize> = shape.dims().iter().map(|&n| n - 1).collect();
+        lo[dim] = index;
+        hi[dim] = index;
+        let region = Region::new(&lo, &hi).expect("slice region valid");
+        let data: Vec<T> = shape
+            .linear_region_iter(&region)
+            .map(|lin| self.get_linear(lin).clone())
+            .collect();
+        let out_dims: Vec<usize> = if shape.ndim() == 1 {
+            vec![1]
+        } else {
+            shape
+                .dims()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != dim)
+                .map(|(_, &n)| n)
+                .collect()
+        };
+        NdCube::from_vec(&out_dims, data)
+    }
+
+    /// Reduces along `dim` with `combine` (e.g. `|acc, v| *acc += v` for
+    /// sums), producing a cube with that dimension removed (for 1-d
+    /// input, a single-cell cube). The accumulator starts from the slice
+    /// at index 0.
+    pub fn reduce_along(
+        &self,
+        dim: usize,
+        mut combine: impl FnMut(&mut T, &T),
+    ) -> Result<NdCube<T>, NdError> {
+        let mut acc = self.slice(dim, 0)?;
+        for i in 1..self.shape().dim(dim) {
+            let layer = self.slice(dim, i)?;
+            for (a, v) in acc.as_mut_slice().iter_mut().zip(layer.as_slice()) {
+                combine(a, v);
+            }
+        }
+        Ok(acc)
+    }
+}
+
+/// Iterates the coordinates of a view (view-relative).
+impl<T: Clone> CubeView<'_, T> {
+    /// Calls `f` with each (relative coordinates, value) pair in
+    /// row-major order.
+    pub fn for_each(&self, mut f: impl FnMut(&[usize], T)) {
+        let dims = self.dims();
+        let zero = vec![0usize; dims.len()];
+        let hi: Vec<usize> = dims.iter().map(|&n| n - 1).collect();
+        let rel_region = Region::new(&zero, &hi).expect("view region valid");
+        RegionIter::for_each_coords(&rel_region, |rel| {
+            f(rel, self.get(rel));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube() -> NdCube<i64> {
+        NdCube::from_fn(&[4, 5], |c| (c[0] * 10 + c[1]) as i64).unwrap()
+    }
+
+    #[test]
+    fn view_reads_relative() {
+        let c = cube();
+        let r = Region::new(&[1, 2], &[3, 4]).unwrap();
+        let v = c.view(&r).unwrap();
+        assert_eq!(v.dims(), vec![3, 3]);
+        assert_eq!(v.get(&[0, 0]), 12);
+        assert_eq!(v.get(&[2, 2]), 34);
+    }
+
+    #[test]
+    fn view_to_cube() {
+        let c = cube();
+        let r = Region::new(&[0, 3], &[1, 4]).unwrap();
+        let sub = c.view(&r).unwrap().to_cube();
+        assert_eq!(sub.shape().dims(), &[2, 2]);
+        assert_eq!(sub.as_slice(), &[3, 4, 13, 14]);
+    }
+
+    #[test]
+    fn view_for_each_row_major() {
+        let c = cube();
+        let r = Region::new(&[2, 1], &[3, 2]).unwrap();
+        let mut seen = Vec::new();
+        c.view(&r)
+            .unwrap()
+            .for_each(|rel, v| seen.push((rel.to_vec(), v)));
+        assert_eq!(
+            seen,
+            vec![
+                (vec![0, 0], 21),
+                (vec![0, 1], 22),
+                (vec![1, 0], 31),
+                (vec![1, 1], 32)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn view_checks_bounds() {
+        let c = cube();
+        let r = Region::new(&[1, 1], &[2, 2]).unwrap();
+        let v = c.view(&r).unwrap();
+        v.get(&[2, 0]);
+    }
+
+    #[test]
+    fn slice_drops_dimension() {
+        let c = cube();
+        let row2 = c.slice(0, 2).unwrap();
+        assert_eq!(row2.shape().dims(), &[5]);
+        assert_eq!(row2.as_slice(), &[20, 21, 22, 23, 24]);
+        let col3 = c.slice(1, 3).unwrap();
+        assert_eq!(col3.shape().dims(), &[4]);
+        assert_eq!(col3.as_slice(), &[3, 13, 23, 33]);
+    }
+
+    #[test]
+    fn slice_3d() {
+        let c = NdCube::from_fn(&[2, 3, 4], |x| (x[0] * 100 + x[1] * 10 + x[2]) as i64).unwrap();
+        let mid = c.slice(1, 1).unwrap();
+        assert_eq!(mid.shape().dims(), &[2, 4]);
+        assert_eq!(mid.get(&[1, 3]), 113);
+    }
+
+    #[test]
+    fn slice_1d_gives_single_cell() {
+        let c = NdCube::from_vec(&[4], vec![5i64, 6, 7, 8]).unwrap();
+        let s = c.slice(0, 2).unwrap();
+        assert_eq!(s.shape().dims(), &[1]);
+        assert_eq!(s.as_slice(), &[7]);
+    }
+
+    #[test]
+    fn slice_rejects_bad_args() {
+        let c = cube();
+        assert!(c.slice(2, 0).is_err());
+        assert!(c.slice(0, 4).is_err());
+    }
+
+    #[test]
+    fn reduce_along_sums() {
+        let c = cube();
+        let row_sums = c.reduce_along(1, |acc, v| *acc += v).unwrap();
+        assert_eq!(row_sums.shape().dims(), &[4]);
+        assert_eq!(row_sums.as_slice(), &[10, 60, 110, 160]);
+        let col_sums = c.reduce_along(0, |acc, v| *acc += v).unwrap();
+        assert_eq!(col_sums.as_slice(), &[60, 64, 68, 72, 76]);
+    }
+
+    #[test]
+    fn reduce_along_max() {
+        let c = NdCube::from_vec(&[2, 3], vec![3i64, 9, 1, 7, 2, 8]).unwrap();
+        let col_max = c.reduce_along(0, |acc, v| *acc = (*acc).max(*v)).unwrap();
+        assert_eq!(col_max.as_slice(), &[7, 9, 8]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the array substrate: index arithmetic and the two
+//! region iterators must agree with each other and with a naive model on
+//! arbitrary shapes and regions.
+
+use ndcube::{NdCube, Region, RegionIter, Shape};
+use proptest::prelude::*;
+
+fn shape_and_region() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, Vec<usize>)> {
+    (1usize..=4)
+        .prop_flat_map(|d| proptest::collection::vec(1usize..=6, d..=d))
+        .prop_flat_map(|dims| {
+            let lo = dims.iter().map(|&n| 0..n).collect::<Vec<_>>();
+            let hi = dims.iter().map(|&n| 0..n).collect::<Vec<_>>();
+            (Just(dims), lo, hi)
+        })
+        .prop_map(|(dims, a, b)| {
+            let lo: Vec<usize> = a.iter().zip(&b).map(|(&x, &y)| x.min(y)).collect();
+            let hi: Vec<usize> = a.iter().zip(&b).map(|(&x, &y)| x.max(y)).collect();
+            (dims, lo, hi)
+        })
+}
+
+proptest! {
+    #[test]
+    fn linear_round_trips((dims, lo, _hi) in shape_and_region()) {
+        let shape = Shape::new(&dims).unwrap();
+        let lin = shape.linear(&lo).unwrap();
+        prop_assert_eq!(shape.coords_of(lin), lo);
+    }
+
+    #[test]
+    fn region_iterators_agree((dims, lo, hi) in shape_and_region()) {
+        let shape = Shape::new(&dims).unwrap();
+        let region = Region::new(&lo, &hi).unwrap();
+        let via_coords: Vec<usize> = region
+            .iter()
+            .map(|c| shape.linear(&c).unwrap())
+            .collect();
+        let via_linear: Vec<usize> = shape.linear_region_iter(&region).collect();
+        prop_assert_eq!(&via_coords, &via_linear);
+        prop_assert_eq!(via_linear.len(), region.cell_count());
+
+        let mut via_for_each = Vec::new();
+        RegionIter::for_each_coords(&region, |c| {
+            via_for_each.push(shape.linear(c).unwrap());
+        });
+        prop_assert_eq!(via_coords, via_for_each);
+    }
+
+    #[test]
+    fn iteration_is_strictly_increasing((dims, lo, hi) in shape_and_region()) {
+        // Row-major order over a box region ⇒ strictly increasing linear
+        // offsets.
+        let shape = Shape::new(&dims).unwrap();
+        let region = Region::new(&lo, &hi).unwrap();
+        let offs: Vec<usize> = shape.linear_region_iter(&region).collect();
+        prop_assert!(offs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn contains_matches_iteration((dims, lo, hi) in shape_and_region()) {
+        let shape = Shape::new(&dims).unwrap();
+        let region = Region::new(&lo, &hi).unwrap();
+        let members: std::collections::HashSet<Vec<usize>> = region.iter().collect();
+        for cell in shape.full_region().iter() {
+            prop_assert_eq!(region.contains(&cell), members.contains(&cell));
+        }
+    }
+
+    #[test]
+    fn intersection_is_conjunction(
+        (dims, lo, hi) in shape_and_region(),
+        flips in proptest::collection::vec(0usize..6, 8),
+    ) {
+        // Derive a second region in the SAME shape by perturbing the
+        // first with the extra entropy.
+        let lo2: Vec<usize> = lo
+            .iter()
+            .zip(&dims)
+            .enumerate()
+            .map(|(i, (&l, &n))| (l + flips[i % 8]) % n)
+            .collect();
+        let hi2: Vec<usize> = hi
+            .iter()
+            .zip(&lo2)
+            .zip(&dims)
+            .enumerate()
+            .map(|(i, ((&h, &l2), &n))| ((h + flips[(i + 3) % 8]) % n).max(l2))
+            .collect();
+        let a = Region::new(&lo, &hi).unwrap();
+        let b = Region::new(&lo2, &hi2).unwrap();
+        let inter = a.intersect(&b);
+        let shape = Shape::new(&dims).unwrap();
+        for cell in shape.full_region().iter() {
+            let in_both = a.contains(&cell) && b.contains(&cell);
+            let in_inter = inter.as_ref().is_some_and(|i| i.contains(&cell));
+            prop_assert_eq!(in_both, in_inter, "cell {:?}", cell);
+        }
+    }
+
+    #[test]
+    fn from_fn_get_consistency((dims, lo, _hi) in shape_and_region()) {
+        let cube = NdCube::from_fn(&dims, |c| {
+            c.iter().enumerate().map(|(i, &x)| x * (i + 1) * 100).sum::<usize>()
+        })
+        .unwrap();
+        let expect: usize =
+            lo.iter().enumerate().map(|(i, &x)| x * (i + 1) * 100).sum();
+        prop_assert_eq!(cube.get(&lo), expect);
+    }
+
+    #[test]
+    fn region_to_vec_matches_gets((dims, lo, hi) in shape_and_region()) {
+        let cube = NdCube::from_fn(&dims, |c| c.iter().sum::<usize>() as i64).unwrap();
+        let region = Region::new(&lo, &hi).unwrap();
+        let vec = cube.region_to_vec(&region).unwrap();
+        let direct: Vec<i64> = region.iter().map(|c| cube.get(&c)).collect();
+        prop_assert_eq!(vec, direct);
+    }
+}

@@ -1,0 +1,71 @@
+//! The FNV-1a checksum shared by every on-disk format in this workspace
+//! (snapshot footers and WAL record frames — see `docs/FORMATS.md`).
+//!
+//! One implementation, used by both, so the documented byte format can
+//! never drift between the two.
+
+/// Incremental 64-bit FNV-1a.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// The standard FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds more bytes into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// The current hash value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.value(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn single_byte_change_changes_hash() {
+        // The torn-tail detection in the WAL relies on this.
+        let a = fnv1a(b"RPS1 payload");
+        let b = fnv1a(b"RPS1 payloae");
+        assert_ne!(a, b);
+    }
+}

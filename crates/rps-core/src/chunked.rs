@@ -1,0 +1,265 @@
+//! The materialized-block-aggregate baseline ("chunked" method).
+//!
+//! Not from the RPS paper, but the approach practical OLAP engines of the
+//! era actually shipped: keep the raw cube `A` plus one precomputed total
+//! per `k^d` block. A range query sums whole blocks from the coarse cube
+//! and scans raw cells only along the region's boundary; an update writes
+//! two cells (the raw cell and its block total).
+//!
+//! Costs for a hypercube (side n, block side k):
+//!
+//! * query  — O((n/k)^d) block reads + O(d·k·n^{d−1}/k^{d−1}) … in the
+//!   2-d case O((n/k)² + k·n/k·…) ≈ O((n/k)² + n) boundary cells: *not*
+//!   O(1), which is exactly why Ho et al. and the RPS paper improve on
+//!   it; including it lets the benches show the gap to a realistic
+//!   deployed baseline, not just the naive strawman.
+//! * update — O(2): raw cell + block total.
+//!
+//! The engine reuses [`BoxGrid`] for its block geometry.
+
+use ndcube::{NdCube, NdError, Region, Shape};
+
+use crate::engine::RangeSumEngine;
+use crate::rps::BoxGrid;
+use crate::stats::{CostStats, StatsCell};
+use crate::value::GroupValue;
+
+/// Range-sum engine over raw cells plus per-block totals.
+///
+/// ```
+/// use rps_core::{ChunkedEngine, RangeSumEngine};
+/// use ndcube::{NdCube, Region};
+///
+/// let cube = NdCube::from_fn(&[9, 9], |c| (c[0] * c[1]) as i64).unwrap();
+/// let e = ChunkedEngine::from_cube_uniform(&cube, 3).unwrap();
+/// // A block-aligned query reads only block totals: 1 cell here.
+/// e.query(&Region::new(&[3, 3], &[5, 5]).unwrap()).unwrap();
+/// assert_eq!(e.stats().cell_reads, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChunkedEngine<T> {
+    grid: BoxGrid,
+    a: NdCube<T>,
+    /// One total per block, shaped like the block grid.
+    blocks: NdCube<T>,
+    stats: StatsCell,
+}
+
+impl<T: GroupValue> ChunkedEngine<T> {
+    /// Builds with uniform block side `k`.
+    pub fn from_cube_uniform(a: &NdCube<T>, k: usize) -> Result<Self, NdError> {
+        let grid = BoxGrid::new(a.shape().clone(), &vec![k; a.ndim()])?;
+        Ok(Self::from_cube_with_grid(a, grid))
+    }
+
+    /// Builds with `k = ⌈√n⌉` per dimension.
+    pub fn from_cube(a: &NdCube<T>) -> Self {
+        Self::from_cube_with_grid(a, BoxGrid::with_sqrt_boxes(a.shape().clone()))
+    }
+
+    fn from_cube_with_grid(a: &NdCube<T>, grid: BoxGrid) -> Self {
+        let mut blocks =
+            NdCube::filled(grid.grid_shape().dims(), T::zero()).expect("grid shape valid");
+        let full = a.shape().full_region();
+        a.shape().for_each_region_cell(&full, |coords, lin| {
+            let b = grid.box_index_of(coords);
+            let blin = grid.grid_shape().linear_unchecked(&b);
+            blocks.get_linear_mut(blin).add_assign(a.get_linear(lin));
+        });
+        ChunkedEngine {
+            grid,
+            a: a.clone(),
+            blocks,
+            stats: StatsCell::new(),
+        }
+    }
+
+    /// An all-zero engine.
+    pub fn zeros(dims: &[usize]) -> Result<Self, NdError> {
+        let a = NdCube::filled(dims, T::zero())?;
+        Ok(Self::from_cube(&a))
+    }
+
+    /// The block geometry.
+    pub fn grid(&self) -> &BoxGrid {
+        &self.grid
+    }
+}
+
+impl<T: GroupValue> RangeSumEngine<T> for ChunkedEngine<T> {
+    fn name(&self) -> &'static str {
+        "chunked"
+    }
+
+    fn shape(&self) -> &Shape {
+        self.a.shape()
+    }
+
+    fn query(&self, region: &Region) -> Result<T, NdError> {
+        self.a.shape().check_region(region)?;
+        let mut acc = T::zero();
+        let mut reads = 0u64;
+
+        // Walk the grid of blocks intersecting the region; fully covered
+        // blocks contribute their total, partial blocks are scanned raw.
+        let lo_b = self.grid.box_index_of(region.lo());
+        let hi_b = self.grid.box_index_of(region.hi());
+        let block_span = Region::new(&lo_b, &hi_b).expect("block corners ordered");
+        ndcube::RegionIter::for_each_coords(&block_span, |b| {
+            let block_region = self.grid.box_region(b);
+            if region.contains_region(&block_region) {
+                let blin = self.grid.grid_shape().linear_unchecked(b);
+                acc.add_assign(self.blocks.get_linear(blin));
+                reads += 1;
+            } else {
+                let part = block_region
+                    .intersect(region)
+                    .expect("block intersects the region by construction");
+                for lin in self.a.shape().linear_region_iter(&part) {
+                    acc.add_assign(self.a.get_linear(lin));
+                    reads += 1;
+                }
+            }
+        });
+        self.stats.reads(reads);
+        self.stats.query();
+        Ok(acc)
+    }
+
+    fn update(&mut self, coords: &[usize], delta: T) -> Result<(), NdError> {
+        let lin = self.a.shape().linear(coords)?;
+        self.a.get_linear_mut(lin).add_assign(&delta);
+        let b = self.grid.box_index_of(coords);
+        let blin = self.grid.grid_shape().linear_unchecked(&b);
+        self.blocks.get_linear_mut(blin).add_assign(&delta);
+        self.stats.writes(2);
+        self.stats.update();
+        Ok(())
+    }
+
+    fn stats(&self) -> CostStats {
+        self.stats.get()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    fn storage_cells(&self) -> usize {
+        self.a.len() + self.blocks.len()
+    }
+
+    fn cell(&self, coords: &[usize]) -> Result<T, NdError> {
+        let lin = self.a.shape().linear(coords)?;
+        self.stats.reads(1);
+        Ok(self.a.get_linear(lin).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveEngine;
+    use crate::testdata::paper_array_a;
+
+    #[test]
+    fn matches_naive_on_paper_array() {
+        let a = paper_array_a();
+        let e = ChunkedEngine::from_cube_uniform(&a, 3).unwrap();
+        let naive = NaiveEngine::from_cube(a);
+        for (lo, hi) in [
+            ([0, 0], [8, 8]),
+            ([2, 3], [7, 5]),
+            ([4, 4], [4, 4]),
+            ([0, 5], [3, 8]),
+            ([3, 3], [5, 5]),
+        ] {
+            let r = Region::new(&lo, &hi).unwrap();
+            assert_eq!(e.query(&r).unwrap(), naive.query(&r).unwrap(), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn aligned_query_reads_only_block_totals() {
+        let a = paper_array_a();
+        let e = ChunkedEngine::from_cube_uniform(&a, 3).unwrap();
+        e.reset_stats();
+        // [3,3]..[5,5] is exactly one block.
+        let r = Region::new(&[3, 3], &[5, 5]).unwrap();
+        e.query(&r).unwrap();
+        assert_eq!(e.stats().cell_reads, 1);
+        // Whole cube = 9 block totals.
+        e.reset_stats();
+        e.query(&Region::new(&[0, 0], &[8, 8]).unwrap()).unwrap();
+        assert_eq!(e.stats().cell_reads, 9);
+    }
+
+    #[test]
+    fn misaligned_query_scans_boundaries() {
+        let a = paper_array_a();
+        let e = ChunkedEngine::from_cube_uniform(&a, 3).unwrap();
+        e.reset_stats();
+        // [1,1]..[7,7]: one fully covered block (the centre), 8 partial.
+        let r = Region::new(&[1, 1], &[7, 7]).unwrap();
+        e.query(&r).unwrap();
+        // 1 block read + boundary cells (49 − 9 = 40 raw cells).
+        assert_eq!(e.stats().cell_reads, 1 + 40);
+    }
+
+    #[test]
+    fn update_costs_two_writes() {
+        let mut e = ChunkedEngine::from_cube_uniform(&paper_array_a(), 3).unwrap();
+        e.reset_stats();
+        e.update(&[4, 4], 7).unwrap();
+        assert_eq!(e.stats().cell_writes, 2);
+        assert_eq!(e.total(), 297);
+    }
+
+    #[test]
+    fn updates_keep_blocks_consistent() {
+        let a = paper_array_a();
+        let mut e = ChunkedEngine::from_cube_uniform(&a, 3).unwrap();
+        let mut naive = NaiveEngine::from_cube(a);
+        for (c, d) in [
+            ([0usize, 0usize], 5i64),
+            ([8, 8], -2),
+            ([4, 5], 9),
+            ([3, 0], 1),
+        ] {
+            e.update(&c, d).unwrap();
+            naive.update(&c, d).unwrap();
+        }
+        for (lo, hi) in [([0, 0], [8, 8]), ([0, 0], [2, 2]), ([2, 2], [6, 6])] {
+            let r = Region::new(&lo, &hi).unwrap();
+            assert_eq!(e.query(&r).unwrap(), naive.query(&r).unwrap(), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn ragged_blocks() {
+        let a = NdCube::from_fn(&[7, 5], |c| (c[0] * 5 + c[1]) as i64).unwrap();
+        let e = ChunkedEngine::from_cube_uniform(&a, 3).unwrap();
+        let naive = NaiveEngine::from_cube(a);
+        for (lo, hi) in [([0, 0], [6, 4]), ([5, 3], [6, 4]), ([2, 0], [6, 2])] {
+            let r = Region::new(&lo, &hi).unwrap();
+            assert_eq!(e.query(&r).unwrap(), naive.query(&r).unwrap(), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn three_dimensional() {
+        let a = NdCube::from_fn(&[6, 6, 6], |c| (c[0] + 2 * c[1] + 4 * c[2]) as i64).unwrap();
+        let mut e = ChunkedEngine::from_cube_uniform(&a, 2).unwrap();
+        let naive = NaiveEngine::from_cube(a);
+        let r = Region::new(&[1, 0, 3], &[4, 5, 5]).unwrap();
+        assert_eq!(e.query(&r).unwrap(), naive.query(&r).unwrap());
+        e.update(&[3, 3, 3], 11).unwrap();
+        assert_eq!(e.query(&r).unwrap(), naive.query(&r).unwrap() + 11);
+    }
+
+    #[test]
+    fn storage_is_raw_plus_blocks() {
+        let e = ChunkedEngine::<i64>::zeros(&[9, 9]).unwrap();
+        assert_eq!(e.storage_cells(), 81 + 9);
+    }
+}

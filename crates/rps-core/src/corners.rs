@@ -1,0 +1,168 @@
+//! The 2^d-corner inclusion–exclusion of Figure 3.
+//!
+//! Every O(1)-query method reduces a range sum over `lo ..= hi` to an
+//! alternating sum of *prefix* region sums `Sum(A[0,…,0] : A[x])`:
+//!
+//! ```text
+//! Sum(lo..=hi) = Σ_{S ⊆ D} (−1)^|S| · P(corner_S)
+//! corner_S[i]  = lo[i] − 1   if i ∈ S      (dropped when lo[i] = 0)
+//!              = hi[i]        otherwise
+//! ```
+//!
+//! The paper's Figure 3 is the d = 2 instance:
+//! `Sum(E) = Sum(A) − Sum(B) − Sum(C) + Sum(D)`.
+
+use ndcube::Region;
+
+use crate::value::GroupValue;
+
+/// Evaluates the inclusion–exclusion over a region given a prefix-sum
+/// oracle.
+///
+/// ```
+/// use rps_core::corners::range_sum_from_prefix;
+/// use ndcube::Region;
+///
+/// // 1-d prefix oracle over [1, 2, 3, 4]: P[i] = 1 + 2 + … + (i+1).
+/// let prefix = |x: &[usize]| ((x[0] + 1) * (x[0] + 2) / 2) as i64;
+/// let r = Region::new(&[1], &[3]).unwrap();
+/// assert_eq!(range_sum_from_prefix(&r, prefix), 2 + 3 + 4);
+/// ```
+///
+/// `prefix(x)` must return `Sum(A[0,…,0] : A[x])` for in-bounds `x`;
+/// corners where any coordinate of `lo − 1` underflows contribute zero and
+/// `prefix` is *not* called for them, so oracles never see invalid input.
+///
+/// The corner buffer is reused across the 2^d evaluations: no per-corner
+/// allocation.
+pub fn range_sum_from_prefix<T: GroupValue>(
+    region: &Region,
+    mut prefix: impl FnMut(&[usize]) -> T,
+) -> T {
+    let d = region.ndim();
+    debug_assert!(d < usize::BITS as usize, "dimension count fits in a mask");
+    let mut corner = vec![0usize; d];
+    let mut acc = T::zero();
+    for mask in 0u64..(1u64 << d) {
+        let mut skip = false;
+        for (i, c) in corner.iter_mut().enumerate() {
+            if mask & (1 << i) != 0 {
+                if region.lo()[i] == 0 {
+                    // This corner's prefix region is empty: contributes 0.
+                    skip = true;
+                    break;
+                }
+                *c = region.lo()[i] - 1;
+            } else {
+                *c = region.hi()[i];
+            }
+        }
+        if skip {
+            continue;
+        }
+        let term = prefix(&corner);
+        if mask.count_ones() % 2 == 0 {
+            acc.add_assign(&term);
+        } else {
+            acc.sub_assign(&term);
+        }
+    }
+    acc
+}
+
+/// Number of prefix evaluations `range_sum_from_prefix` will make for a
+/// region: 2^d minus the corners suppressed by zero lower bounds.
+///
+/// Used by tests to pin down the constant in the O(1) query-cost claim.
+pub fn corner_count(region: &Region) -> usize {
+    let zero_lb = region.lo().iter().filter(|&&l| l == 0).count();
+    // Each dimension with lo = 0 halves the surviving corner set.
+    1usize << (region.ndim() - zero_lb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndcube::{NdCube, Shape};
+
+    /// Brute-force prefix oracle over a literal cube.
+    fn prefix_oracle(cube: &NdCube<i64>) -> impl FnMut(&[usize]) -> i64 + '_ {
+        move |x: &[usize]| {
+            let region = Region::prefix(x).unwrap();
+            cube.shape()
+                .linear_region_iter(&region)
+                .map(|lin| *cube.get_linear(lin))
+                .sum()
+        }
+    }
+
+    fn brute(cube: &NdCube<i64>, region: &Region) -> i64 {
+        cube.shape()
+            .linear_region_iter(region)
+            .map(|lin| *cube.get_linear(lin))
+            .sum()
+    }
+
+    #[test]
+    fn two_dim_matches_brute_force() {
+        let cube = NdCube::from_fn(&[5, 6], |c| (c[0] * 7 + c[1] * 3 + 1) as i64).unwrap();
+        for lo0 in 0..5 {
+            for hi0 in lo0..5 {
+                for lo1 in 0..6 {
+                    for hi1 in lo1..6 {
+                        let r = Region::new(&[lo0, lo1], &[hi0, hi1]).unwrap();
+                        let got = range_sum_from_prefix(&r, prefix_oracle(&cube));
+                        assert_eq!(got, brute(&cube, &r), "region {r:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_dim_spot_checks() {
+        let cube = NdCube::from_fn(&[4, 3, 5], |c| (c[0] * 100 + c[1] * 10 + c[2]) as i64).unwrap();
+        let regions = [
+            Region::new(&[0, 0, 0], &[3, 2, 4]).unwrap(),
+            Region::new(&[1, 1, 1], &[2, 2, 3]).unwrap(),
+            Region::new(&[3, 0, 2], &[3, 2, 2]).unwrap(),
+            Region::point(&[2, 1, 4]).unwrap(),
+        ];
+        for r in &regions {
+            let got = range_sum_from_prefix(r, prefix_oracle(&cube));
+            assert_eq!(got, brute(&cube, r), "region {r:?}");
+        }
+    }
+
+    #[test]
+    fn one_dim_is_p_hi_minus_p_lo_minus_1() {
+        let cube = NdCube::from_vec(&[6], vec![1i64, 2, 3, 4, 5, 6]).unwrap();
+        let r = Region::new(&[2], &[4]).unwrap();
+        assert_eq!(range_sum_from_prefix(&r, prefix_oracle(&cube)), 12);
+        let full = Region::new(&[0], &[5]).unwrap();
+        assert_eq!(range_sum_from_prefix(&full, prefix_oracle(&cube)), 21);
+    }
+
+    #[test]
+    fn corner_count_formula() {
+        let r = Region::new(&[0, 3, 0], &[5, 5, 5]).unwrap();
+        assert_eq!(corner_count(&r), 2); // two dims have lo = 0
+        let r2 = Region::new(&[1, 1], &[2, 2]).unwrap();
+        assert_eq!(corner_count(&r2), 4);
+        let r3 = Region::prefix(&[4, 4, 4]).unwrap();
+        assert_eq!(corner_count(&r3), 1);
+    }
+
+    #[test]
+    fn oracle_called_exactly_corner_count_times() {
+        let shape = Shape::new(&[5, 5]).unwrap();
+        let _ = shape;
+        let r = Region::new(&[0, 2], &[4, 4]).unwrap();
+        let mut calls = 0usize;
+        let _ = range_sum_from_prefix(&r, |_x| {
+            calls += 1;
+            0i64
+        });
+        assert_eq!(calls, corner_count(&r));
+    }
+}

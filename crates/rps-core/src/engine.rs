@@ -1,0 +1,74 @@
+//! The common interface of every range-sum method.
+
+use ndcube::{NdCube, NdError, Region, Shape};
+
+use crate::stats::CostStats;
+use crate::value::GroupValue;
+
+/// A dynamic range-sum structure over a dense data cube.
+///
+/// Every method in the paper — naive, prefix sum, relative prefix sum —
+/// plus the Fenwick extension implements this trait, so workloads, tests,
+/// and benches can drive them interchangeably.
+///
+/// Semantics: the engine represents a conceptual cube `A`; `query` returns
+/// `⊕` over all cells of `A` inside the (inclusive) region; `update` adds a
+/// delta to a single cell of `A`.
+pub trait RangeSumEngine<T: GroupValue> {
+    /// Human-readable method name ("naive", "prefix-sum", …).
+    fn name(&self) -> &'static str;
+
+    /// The shape of the conceptual cube `A`.
+    fn shape(&self) -> &Shape;
+
+    /// Range-sum over an inclusive region.
+    fn query(&self, region: &Region) -> Result<T, NdError>;
+
+    /// Adds `delta` to cell `coords` of the conceptual cube.
+    fn update(&mut self, coords: &[usize], delta: T) -> Result<(), NdError>;
+
+    /// Running cell-access counters.
+    fn stats(&self) -> CostStats;
+
+    /// Resets the counters (the structure itself is untouched).
+    fn reset_stats(&self);
+
+    /// Cells of storage allocated by this engine across all of its backing
+    /// structures (used for the Figure 16 style storage accounting).
+    fn storage_cells(&self) -> usize;
+
+    /// The current value of one cell of `A`.
+    ///
+    /// Default: a point-region query, which every method answers in O(1)
+    /// (or O(n^d) for naive, where it is a direct read anyway).
+    fn cell(&self, coords: &[usize]) -> Result<T, NdError> {
+        self.query(&Region::point(coords)?)
+    }
+
+    /// Overwrites a cell with `value` (the paper's "given any new value for
+    /// a cell" update model), implemented as a read plus a delta update.
+    fn set(&mut self, coords: &[usize], value: T) -> Result<(), NdError> {
+        let old = self.cell(coords)?;
+        self.update(coords, value.sub(&old))
+    }
+
+    /// Sum over the whole cube.
+    fn total(&self) -> T {
+        self.query(&self.shape().full_region())
+            .expect("full region is always valid")
+    }
+
+    /// Materializes the conceptual cube `A` cell by cell. Intended for
+    /// tests and debugging (O(N) point queries).
+    fn materialize(&self) -> NdCube<T> {
+        let shape = self.shape().clone();
+        NdCube::from_fn(shape.dims(), |c| self.cell(c).expect("in-bounds cell"))
+            .expect("valid shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The trait itself is exercised through its implementors; shared
+    // behavioural tests live in `tests/engine_conformance.rs`.
+}

@@ -1,0 +1,185 @@
+//! Construction of the RP array and overlay from a data cube (§3.1–3.2).
+
+use ndcube::NdCube;
+
+use crate::prefix::prefix_sums_in_place;
+use crate::rps::grid::BoxGrid;
+use crate::rps::overlay::Overlay;
+use crate::value::GroupValue;
+
+/// Computes the relative-prefix array `RP` of `a`: per overlay box, the
+/// prefix sums relative to the box's anchor (Figure 10).
+///
+/// O(d·N): one running-sum sweep per dimension that simply *stops
+/// accumulating* at box boundaries.
+pub fn relative_prefix_sums<T: GroupValue>(a: &NdCube<T>, grid: &BoxGrid) -> NdCube<T> {
+    let mut rp = a.clone();
+    let shape = a.shape().clone();
+    for dim in 0..shape.ndim() {
+        // A cell accumulates its predecessor along `dim` only when it is
+        // not the first cell of its box in that dimension: regions of RP
+        // are independent across boxes (§3.2).
+        crate::prefix::sweep_dim_forward(
+            rp.as_mut_slice(),
+            shape.strides()[dim],
+            shape.dim(dim),
+            grid.box_size()[dim],
+        );
+    }
+    rp
+}
+
+/// Inverts [`relative_prefix_sums`]: recovers the cube `A` from its RP
+/// array — O(d·N). Reverse sweeps so each cell's predecessor is still in
+/// summed state when subtracted.
+pub fn inverse_relative_prefix_sums<T: GroupValue>(rp: &NdCube<T>, grid: &BoxGrid) -> NdCube<T> {
+    let mut a = rp.clone();
+    let shape = a.shape().clone();
+    for dim in (0..shape.ndim()).rev() {
+        crate::prefix::sweep_dim_backward(
+            a.as_mut_slice(),
+            shape.strides()[dim],
+            shape.dim(dim),
+            grid.box_size()[dim],
+        );
+    }
+    a
+}
+
+/// Builds the overlay (anchors + borders) for `a`.
+///
+/// Uses the identities of §3.3 against a transient full prefix array `P`
+/// (O(N) temporary, discarded after construction):
+///
+/// * anchor(α)  = `P[α] − A[α]`
+/// * border(p)  = `P[p] − RP[p] − anchor`
+pub fn build_overlay<T: GroupValue>(a: &NdCube<T>, rp: &NdCube<T>, grid: BoxGrid) -> Overlay<T> {
+    let mut p = a.clone();
+    prefix_sums_in_place(&mut p);
+    build_overlay_from_p(a, &p, rp, grid)
+}
+
+/// [`build_overlay`] with a caller-supplied prefix array `P` (e.g. one
+/// computed by the parallel sweeps).
+pub fn build_overlay_from_p<T: GroupValue>(
+    a: &NdCube<T>,
+    p: &NdCube<T>,
+    rp: &NdCube<T>,
+    grid: BoxGrid,
+) -> Overlay<T> {
+    // Keep an owned grid handle so the box walk can read geometry while
+    // the closure mutates overlay cells (no per-box Vec materialization).
+    let walk_grid = grid.clone();
+    let mut overlay = Overlay::zeros(grid);
+    let grid_region = walk_grid.grid_shape().full_region();
+    let shape = a.shape().clone();
+
+    ndcube::RegionIter::for_each_coords(&grid_region, |b| {
+        let box_lin = overlay.box_linear(b);
+        let anchor = walk_grid.anchor_of(b);
+        let extents = walk_grid.extents_of(b);
+        let stored = overlay.box_stored_count(box_lin);
+
+        let a_lin = shape.linear_unchecked(&anchor);
+        let anchor_val = p.get_linear(a_lin).sub(a.get_linear(a_lin));
+        *overlay.get_mut(overlay.anchor_index(box_lin)) = anchor_val.clone();
+
+        let mut coords = vec![0usize; shape.ndim()];
+        for slot in 1..stored {
+            let e = BoxGrid::offset_of_slot(slot, &extents);
+            for (ci, (ai, ei)) in coords.iter_mut().zip(anchor.iter().zip(&e)) {
+                *ci = ai + ei;
+            }
+            let lin = shape.linear_unchecked(&coords);
+            let border = p.get_linear(lin).sub(rp.get_linear(lin)).sub(&anchor_val);
+            let idx = overlay
+                .cell_index(box_lin, &e, &extents)
+                .expect("enumerated slots are stored");
+            *overlay.get_mut(idx) = border;
+        }
+    });
+    overlay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::{paper_array_a, paper_array_rp, paper_overlay_cells, PAPER_BOX_SIZE};
+    use ndcube::Shape;
+
+    fn paper_grid() -> BoxGrid {
+        BoxGrid::new(
+            Shape::new(&[9, 9]).unwrap(),
+            &[PAPER_BOX_SIZE, PAPER_BOX_SIZE],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure10_rp_array_reproduced() {
+        let rp = relative_prefix_sums(&paper_array_a(), &paper_grid());
+        assert_eq!(rp, paper_array_rp());
+    }
+
+    #[test]
+    fn figure13_overlay_reproduced() {
+        let a = paper_array_a();
+        let grid = paper_grid();
+        let rp = relative_prefix_sums(&a, &grid);
+        let overlay = build_overlay(&a, &rp, grid);
+        for (r, c, v) in paper_overlay_cells() {
+            assert_eq!(
+                overlay.value_at(&[r, c]),
+                Some(&v),
+                "overlay value at ({r},{c})"
+            );
+        }
+    }
+
+    #[test]
+    fn section33_worked_anchor_and_borders() {
+        // "anchor value in overlay cell O[3,3] … = 51−5 = 46.
+        //  border [4,3] = 61−8−46 = 7;  [5,3] = 75−14−46 = 15;
+        //  [3,4] = 67−8−46 = 13;        [3,5] = 86−13−46 = 27."
+        let a = paper_array_a();
+        let grid = paper_grid();
+        let rp = relative_prefix_sums(&a, &grid);
+        let overlay = build_overlay(&a, &rp, grid);
+        assert_eq!(overlay.value_at(&[3, 3]), Some(&46));
+        assert_eq!(overlay.value_at(&[4, 3]), Some(&7));
+        assert_eq!(overlay.value_at(&[5, 3]), Some(&15));
+        assert_eq!(overlay.value_at(&[3, 4]), Some(&13));
+        assert_eq!(overlay.value_at(&[3, 5]), Some(&27));
+    }
+
+    #[test]
+    fn rp_regions_are_independent() {
+        // Changing A inside one box must leave other boxes' RP untouched.
+        let mut a = paper_array_a();
+        let grid = paper_grid();
+        let rp1 = relative_prefix_sums(&a, &grid);
+        a.set(&[4, 4], 100); // interior of box (1,1)
+        let rp2 = relative_prefix_sums(&a, &grid);
+        for r in 0..9 {
+            for c in 0..9 {
+                let same_box = (3..6).contains(&r) && (3..6).contains(&c);
+                if !same_box {
+                    assert_eq!(rp1.get(&[r, c]), rp2.get(&[r, c]), "RP[{r},{c}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_shape_builds() {
+        let a = NdCube::from_fn(&[7, 5], |c| (c[0] * 5 + c[1]) as i64).unwrap();
+        let grid = BoxGrid::new(a.shape().clone(), &[3, 2]).unwrap();
+        let rp = relative_prefix_sums(&a, &grid);
+        let overlay = build_overlay(&a, &rp, grid);
+        // Anchor of the last box must equal P[anchor] − A[anchor].
+        let anchor_val = overlay.value_at(&[6, 4]).copied().unwrap();
+        let mut p = a.clone();
+        crate::prefix::prefix_sums_in_place(&mut p);
+        assert_eq!(anchor_val, p.get(&[6, 4]) - a.get(&[6, 4]));
+    }
+}

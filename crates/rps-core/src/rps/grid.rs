@@ -1,0 +1,357 @@
+//! Overlay box geometry: how the cube is partitioned into boxes (§3.1) and
+//! how a box's *stored* overlay cells (anchor + borders) are numbered.
+
+use ndcube::{NdError, Region, Shape};
+
+/// The partition of a cube into overlay boxes of side `k_i` per dimension.
+///
+/// Boxes are anchored at coordinates that are multiples of `k_i`; edge
+/// boxes are clamped when `n_i` is not divisible by `k_i` (the paper
+/// assumes divisibility "for convenience"; we support ragged edges and
+/// property-test them).
+///
+/// ```
+/// use rps_core::BoxGrid;
+/// use ndcube::Shape;
+///
+/// let grid = BoxGrid::new(Shape::new(&[9, 9]).unwrap(), &[3, 3]).unwrap();
+/// assert_eq!(grid.num_boxes(), 9);
+/// assert_eq!(grid.box_index_of(&[7, 5]), vec![2, 1]);
+/// assert_eq!(grid.anchor_of(&[2, 1]), vec![6, 3]);
+/// assert_eq!(BoxGrid::stored_cells(&[3, 3]), 5); // anchor + 4 borders
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoxGrid {
+    cube_shape: Shape,
+    box_size: Vec<usize>,
+    grid_shape: Shape,
+}
+
+impl BoxGrid {
+    /// Builds a grid over `cube_shape` with per-dimension box sides
+    /// `box_size`. Every side must be ≥ 1; sides larger than the dimension
+    /// are clamped to it (a single box spanning the dimension).
+    pub fn new(cube_shape: Shape, box_size: &[usize]) -> Result<BoxGrid, NdError> {
+        if box_size.len() != cube_shape.ndim() {
+            return Err(NdError::DimMismatch {
+                expected: cube_shape.ndim(),
+                got: box_size.len(),
+            });
+        }
+        if let Some(dim) = box_size.iter().position(|&k| k == 0) {
+            return Err(NdError::ZeroDim { dim });
+        }
+        let clamped: Vec<usize> = box_size
+            .iter()
+            .zip(cube_shape.dims())
+            .map(|(&k, &n)| k.min(n))
+            .collect();
+        let grid_dims: Vec<usize> = clamped
+            .iter()
+            .zip(cube_shape.dims())
+            .map(|(&k, &n)| n.div_ceil(k))
+            .collect();
+        let grid_shape = Shape::new(&grid_dims)?;
+        Ok(BoxGrid {
+            cube_shape,
+            box_size: clamped,
+            grid_shape,
+        })
+    }
+
+    /// Grid with the paper's recommended `k = ⌈√n⌉` per dimension (§4.3).
+    pub fn with_sqrt_boxes(cube_shape: Shape) -> BoxGrid {
+        let ks: Vec<usize> = cube_shape
+            .dims()
+            .iter()
+            .map(|&n| (n as f64).sqrt().ceil().max(1.0) as usize)
+            .collect();
+        BoxGrid::new(cube_shape, &ks).expect("sqrt box sizes are valid")
+    }
+
+    /// Shape of the underlying cube.
+    pub fn cube_shape(&self) -> &Shape {
+        &self.cube_shape
+    }
+
+    /// Per-dimension box side lengths (after clamping).
+    pub fn box_size(&self) -> &[usize] {
+        &self.box_size
+    }
+
+    /// Shape of the box grid: `⌈n_i / k_i⌉` boxes per dimension.
+    pub fn grid_shape(&self) -> &Shape {
+        &self.grid_shape
+    }
+
+    /// Total number of overlay boxes.
+    pub fn num_boxes(&self) -> usize {
+        self.grid_shape.len()
+    }
+
+    /// The box index (per dimension) covering a cube coordinate.
+    pub fn box_index_of(&self, coords: &[usize]) -> Vec<usize> {
+        coords
+            .iter()
+            .zip(&self.box_size)
+            .map(|(&c, &k)| c / k)
+            .collect()
+    }
+
+    /// The anchor (first covered cell) of a box.
+    pub fn anchor_of(&self, box_idx: &[usize]) -> Vec<usize> {
+        box_idx
+            .iter()
+            .zip(&self.box_size)
+            .map(|(&b, &k)| b * k)
+            .collect()
+    }
+
+    /// The extent of a box in each dimension (clamped at cube edges).
+    pub fn extents_of(&self, box_idx: &[usize]) -> Vec<usize> {
+        box_idx
+            .iter()
+            .zip(self.box_size.iter().zip(self.cube_shape.dims()))
+            .map(|(&b, (&k, &n))| k.min(n - b * k))
+            .collect()
+    }
+
+    /// The cube region covered by a box.
+    pub fn box_region(&self, box_idx: &[usize]) -> Region {
+        let lo = self.anchor_of(box_idx);
+        let ext = self.extents_of(box_idx);
+        let hi: Vec<usize> = lo.iter().zip(&ext).map(|(&a, &t)| a + t - 1).collect();
+        Region::new(&lo, &hi).expect("box region is valid")
+    }
+
+    /// Number of *stored* overlay cells for a box of the given extents:
+    /// `∏tᵢ − ∏(tᵢ−1)` — the cells with at least one zero offset
+    /// (1 anchor + the border cells; paper: `k^d − (k−1)^d` for full boxes).
+    pub fn stored_cells(extents: &[usize]) -> usize {
+        let all: usize = extents.iter().product();
+        let interior: usize = extents.iter().map(|&t| t - 1).product();
+        all - interior
+    }
+
+    /// The slot (0-based, per box) of the stored overlay cell at in-box
+    /// offset `e`, or `None` when `e` is an interior cell (not stored).
+    ///
+    /// Slot 0 is always the anchor (`e = 0`). The numbering is canonical
+    /// "first zero dimension" order: cells are grouped by the first
+    /// dimension `z` where `e_z = 0`; within a group, remaining offsets are
+    /// mixed-radix digits (dims before `z` shifted down by one since they
+    /// are ≥ 1 there).
+    pub fn slot_of(e: &[usize], extents: &[usize]) -> Option<usize> {
+        let z = e.iter().position(|&x| x == 0)?;
+        let mut slot = 0usize;
+        // Skip the groups of earlier zero-dimensions.
+        for zz in 0..z {
+            slot += Self::group_size(zz, extents);
+        }
+        // Mixed-radix rank within group z, dims in order, skipping z.
+        let mut rank = 0usize;
+        for (i, &ei) in e.iter().enumerate() {
+            if i == z {
+                continue;
+            }
+            let (digit, radix) = if i < z {
+                (ei - 1, extents[i] - 1)
+            } else {
+                (ei, extents[i])
+            };
+            debug_assert!(digit < radix);
+            rank = rank * radix + digit;
+        }
+        Some(slot + rank)
+    }
+
+    /// Size of the slot group whose first zero dimension is `z`.
+    fn group_size(z: usize, extents: &[usize]) -> usize {
+        let mut size = 1usize;
+        for (i, &t) in extents.iter().enumerate() {
+            if i == z {
+                continue;
+            }
+            size *= if i < z { t - 1 } else { t };
+        }
+        size
+    }
+
+    /// Inverse of [`Self::slot_of`]: the in-box offset of a slot. Used by
+    /// tests and by iteration over a box's stored cells.
+    pub fn offset_of_slot(mut slot: usize, extents: &[usize]) -> Vec<usize> {
+        let d = extents.len();
+        let mut z = 0;
+        while z < d {
+            let g = Self::group_size(z, extents);
+            if slot < g {
+                break;
+            }
+            slot -= g;
+            z += 1;
+        }
+        assert!(z < d, "slot out of range");
+        // Decode the mixed-radix rank.
+        let mut e = vec![0usize; d];
+        for i in (0..d).rev() {
+            if i == z {
+                continue;
+            }
+            let radix = if i < z { extents[i] - 1 } else { extents[i] };
+            let digit = slot % radix;
+            slot /= radix;
+            e[i] = if i < z { digit + 1 } else { digit };
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_9x9_k3() -> BoxGrid {
+        BoxGrid::new(Shape::new(&[9, 9]).unwrap(), &[3, 3]).unwrap()
+    }
+
+    #[test]
+    fn figure5_nine_boxes() {
+        // "The total number of overlay boxes is (9/3)² = 9 … anchored at
+        //  (0,0), (0,3), (0,6), (3,0), (3,3), (3,6), (6,0), (6,3), (6,6)."
+        let g = grid_9x9_k3();
+        assert_eq!(g.num_boxes(), 9);
+        let anchors: Vec<Vec<usize>> = g
+            .grid_shape()
+            .full_region()
+            .iter()
+            .map(|b| g.anchor_of(&b))
+            .collect();
+        assert_eq!(
+            anchors,
+            vec![
+                vec![0, 0],
+                vec![0, 3],
+                vec![0, 6],
+                vec![3, 0],
+                vec![3, 3],
+                vec![3, 6],
+                vec![6, 0],
+                vec![6, 3],
+                vec![6, 6],
+            ]
+        );
+    }
+
+    #[test]
+    fn figure6_stored_cell_count() {
+        // A 3×3 box stores k^d − (k−1)^d = 9 − 4 = 5 cells
+        // (1 anchor V + borders X₁ X₂ Y₁ Y₂).
+        assert_eq!(BoxGrid::stored_cells(&[3, 3]), 5);
+        // §4.4: a 100×100 box needs 100² − 99² = 199 cells.
+        assert_eq!(BoxGrid::stored_cells(&[100, 100]), 199);
+    }
+
+    #[test]
+    fn box_lookup() {
+        let g = grid_9x9_k3();
+        assert_eq!(g.box_index_of(&[7, 5]), vec![2, 1]);
+        assert_eq!(g.anchor_of(&[2, 1]), vec![6, 3]);
+        assert_eq!(g.extents_of(&[2, 1]), vec![3, 3]);
+        let r = g.box_region(&[2, 1]);
+        assert_eq!(r.lo(), &[6, 3]);
+        assert_eq!(r.hi(), &[8, 5]);
+    }
+
+    #[test]
+    fn ragged_edges() {
+        // 10×7 cube with 3×3 boxes: grid is 4×3; edge boxes clamp.
+        let g = BoxGrid::new(Shape::new(&[10, 7]).unwrap(), &[3, 3]).unwrap();
+        assert_eq!(g.grid_shape().dims(), &[4, 3]);
+        assert_eq!(g.extents_of(&[3, 2]), vec![1, 1]);
+        assert_eq!(g.extents_of(&[0, 2]), vec![3, 1]);
+        assert_eq!(g.box_region(&[3, 2]).cell_count(), 1);
+    }
+
+    #[test]
+    fn oversized_box_clamps_to_dimension() {
+        let g = BoxGrid::new(Shape::new(&[4, 4]).unwrap(), &[10, 2]).unwrap();
+        assert_eq!(g.box_size(), &[4, 2]);
+        assert_eq!(g.num_boxes(), 2);
+    }
+
+    #[test]
+    fn sqrt_boxes() {
+        let g = BoxGrid::with_sqrt_boxes(Shape::new(&[100, 100]).unwrap());
+        assert_eq!(g.box_size(), &[10, 10]);
+        let g2 = BoxGrid::with_sqrt_boxes(Shape::new(&[10, 10]).unwrap());
+        assert_eq!(g2.box_size(), &[4, 4]); // ⌈√10⌉
+    }
+
+    #[test]
+    fn slot_round_trip_full_box() {
+        let extents = [3usize, 3];
+        let stored = BoxGrid::stored_cells(&extents);
+        let mut seen = vec![false; stored];
+        for e0 in 0..3 {
+            for e1 in 0..3 {
+                let e = [e0, e1];
+                match BoxGrid::slot_of(&e, &extents) {
+                    Some(slot) => {
+                        assert!(e.contains(&0));
+                        assert!(!seen[slot], "slot {slot} assigned twice");
+                        seen[slot] = true;
+                        assert_eq!(BoxGrid::offset_of_slot(slot, &extents), e.to_vec());
+                    }
+                    None => assert!(!e.contains(&0)),
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn slot_round_trip_3d_ragged() {
+        let extents = [3usize, 2, 4];
+        let stored = BoxGrid::stored_cells(&extents);
+        assert_eq!(stored, 3 * 2 * 4 - 2 * 3);
+        let mut seen = vec![false; stored];
+        for e0 in 0..3 {
+            for e1 in 0..2 {
+                for e2 in 0..4 {
+                    let e = [e0, e1, e2];
+                    if let Some(slot) = BoxGrid::slot_of(&e, &extents) {
+                        assert!(!seen[slot]);
+                        seen[slot] = true;
+                        assert_eq!(BoxGrid::offset_of_slot(slot, &extents), e.to_vec());
+                    }
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn anchor_is_slot_zero() {
+        for extents in [vec![3, 3], vec![1, 5], vec![2, 2, 2], vec![4]] {
+            let zero = vec![0usize; extents.len()];
+            assert_eq!(BoxGrid::slot_of(&zero, &extents), Some(0));
+        }
+    }
+
+    #[test]
+    fn unit_extent_stores_everything() {
+        // When an extent is 1, every cell has a zero offset in that dim.
+        let extents = [1usize, 4];
+        assert_eq!(BoxGrid::stored_cells(&extents), 4);
+        for e1 in 0..4 {
+            assert!(BoxGrid::slot_of(&[0, e1], &extents).is_some());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let s = Shape::new(&[4, 4]).unwrap();
+        assert!(BoxGrid::new(s.clone(), &[2]).is_err());
+        assert!(BoxGrid::new(s, &[2, 0]).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Structural integrity checking for the RPS engine.
+//!
+//! `check_invariants` re-derives every structure from the recovered cube
+//! `A` and compares — an O(d·N) full audit used by the soak tests, after
+//! snapshot restores, and whenever corruption is suspected. Each defining
+//! identity of §3 is verified independently, so a failure report names
+//! the structure *and* the first offending cell.
+
+use crate::prefix::prefix_sums_in_place;
+use crate::rps::build::relative_prefix_sums;
+use crate::rps::grid::BoxGrid;
+use crate::rps::RpsEngine;
+use crate::value::GroupValue;
+
+/// A structural inconsistency found by [`RpsEngine::check_invariants`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// An RP cell disagrees with the box-local prefix of the recovered A.
+    RpCell {
+        /// Cell coordinates.
+        coords: Vec<usize>,
+    },
+    /// A box's anchor value disagrees with `P[α] − A[α]`.
+    Anchor {
+        /// Anchor coordinates.
+        coords: Vec<usize>,
+    },
+    /// A border value disagrees with `P[p] − RP[p] − anchor`.
+    Border {
+        /// Border cell coordinates.
+        coords: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::RpCell { coords } => write!(f, "RP{coords:?} inconsistent"),
+            Violation::Anchor { coords } => write!(f, "anchor at {coords:?} inconsistent"),
+            Violation::Border { coords } => write!(f, "border at {coords:?} inconsistent"),
+        }
+    }
+}
+
+impl<T: GroupValue> RpsEngine<T> {
+    /// Audits every defining identity of the structure against the
+    /// recovered cube. Returns all violations (empty = healthy).
+    ///
+    /// Cost: O(d·N) — a full rebuild's worth of work; intended for tests,
+    /// post-restore checks and debugging, not per-operation use.
+    pub fn check_invariants(&self) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let a = self.to_cube();
+        let grid: &BoxGrid = self.grid();
+
+        // RP must be the box-local prefix of A. (to_cube inverts RP, so
+        // this mostly guards the inverse/forward pair against drift — and
+        // catches NaN-style self-inconsistency for float cubes.)
+        let expect_rp = relative_prefix_sums(&a, grid);
+        let shape = a.shape().clone();
+        let full = shape.full_region();
+        shape.for_each_region_cell(&full, |coords, lin| {
+            if self.rp_array().get_linear(lin) != expect_rp.get_linear(lin) {
+                violations.push(Violation::RpCell {
+                    coords: coords.to_vec(),
+                });
+            }
+        });
+
+        // Overlay anchors and borders from first principles.
+        let mut p = a.clone();
+        prefix_sums_in_place(&mut p);
+        let boxes: Vec<Vec<usize>> = grid.grid_shape().full_region().iter().collect();
+        for b in boxes {
+            let box_lin = self.overlay().box_linear(&b);
+            let anchor = grid.anchor_of(&b);
+            let extents = grid.extents_of(&b);
+            let a_lin = shape.linear_unchecked(&anchor);
+            let anchor_expect = p.get_linear(a_lin).sub(a.get_linear(a_lin));
+            let anchor_got = self.overlay().get(self.overlay().anchor_index(box_lin));
+            if *anchor_got != anchor_expect {
+                violations.push(Violation::Anchor {
+                    coords: anchor.clone(),
+                });
+            }
+            let stored = self.overlay().box_stored_count(box_lin);
+            let mut cell = vec![0usize; shape.ndim()];
+            for slot in 1..stored {
+                let e = BoxGrid::offset_of_slot(slot, &extents);
+                for (ci, (ai, ei)) in cell.iter_mut().zip(anchor.iter().zip(&e)) {
+                    *ci = ai + ei;
+                }
+                let lin = shape.linear_unchecked(&cell);
+                let expect = p
+                    .get_linear(lin)
+                    .sub(expect_rp.get_linear(lin))
+                    .sub(&anchor_expect);
+                let idx = self
+                    .overlay()
+                    .cell_index(box_lin, &e, &extents)
+                    .expect("enumerated slots are stored");
+                if *self.overlay().get(idx) != expect {
+                    violations.push(Violation::Border {
+                        coords: cell.clone(),
+                    });
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RangeSumEngine;
+    use crate::testdata::paper_array_a;
+
+    #[test]
+    fn fresh_engine_is_healthy() {
+        let e = RpsEngine::from_cube_uniform(&paper_array_a(), 3).unwrap();
+        assert!(e.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn healthy_after_updates_and_batches() {
+        let mut e = RpsEngine::from_cube_uniform(&paper_array_a(), 3).unwrap();
+        e.update(&[1, 1], 7).unwrap();
+        e.update(&[8, 8], -3).unwrap();
+        e.apply_batch(
+            &(0..20)
+                .map(|i| (vec![i % 9, (i * 4) % 9], 1i64))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(e.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn detects_corrupted_border() {
+        let mut e = RpsEngine::from_cube_uniform(&paper_array_a(), 3).unwrap();
+        // Vandalize a border value directly through the overlay.
+        let b = e.grid().box_index_of(&[6, 4]);
+        let box_lin = e.overlay().box_linear(&b);
+        let extents = e.grid().extents_of(&b);
+        let idx = e.overlay().cell_index(box_lin, &[0, 1], &extents).unwrap();
+        *e.overlay_mut_for_tests().get_mut(idx) += 1;
+        let violations = e.check_invariants();
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::Border { coords } if coords == &vec![6, 4])),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn detects_corrupted_anchor() {
+        let mut e = RpsEngine::from_cube_uniform(&paper_array_a(), 3).unwrap();
+        let b = e.grid().box_index_of(&[3, 3]);
+        let box_lin = e.overlay().box_linear(&b);
+        let idx = e.overlay().anchor_index(box_lin);
+        *e.overlay_mut_for_tests().get_mut(idx) -= 5;
+        let violations = e.check_invariants();
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::Anchor { coords } if coords == &vec![3, 3])),
+            "{violations:?}"
+        );
+    }
+}

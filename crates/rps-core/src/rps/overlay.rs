@@ -1,0 +1,169 @@
+//! The overlay structure (§3.1): per-box anchor + border values, stored
+//! compactly (only `∏tᵢ − ∏(tᵢ−1)` cells per box, never the full box).
+
+use ndcube::Shape;
+
+use crate::rps::grid::BoxGrid;
+use crate::value::GroupValue;
+
+/// Compact storage for every overlay box's anchor and border values.
+///
+/// All boxes' stored cells live in one flat `Vec`, indexed by a per-box
+/// offset table; within a box, cells are numbered by
+/// [`BoxGrid::slot_of`] (slot 0 = anchor).
+#[derive(Debug, Clone)]
+pub struct Overlay<T> {
+    grid: BoxGrid,
+    /// `box_offsets[b] .. box_offsets[b+1]` is box `b`'s slot range.
+    box_offsets: Vec<usize>,
+    cells: Vec<T>,
+}
+
+impl<T: GroupValue> Overlay<T> {
+    /// An all-zero overlay for the given grid (consistent with an all-zero
+    /// cube).
+    pub fn zeros(grid: BoxGrid) -> Overlay<T> {
+        let num_boxes = grid.num_boxes();
+        let mut box_offsets = Vec::with_capacity(num_boxes + 1);
+        box_offsets.push(0usize);
+        let grid_region = grid.grid_shape().full_region();
+        ndcube::RegionIter::for_each_coords(&grid_region, |b| {
+            let stored = BoxGrid::stored_cells(&grid.extents_of(b));
+            box_offsets.push(box_offsets.last().unwrap() + stored);
+        });
+        let cells = vec![T::zero(); *box_offsets.last().unwrap()];
+        Overlay {
+            grid,
+            box_offsets,
+            cells,
+        }
+    }
+
+    /// The grid this overlay partitions.
+    pub fn grid(&self) -> &BoxGrid {
+        &self.grid
+    }
+
+    /// Total stored cells across all boxes — the overlay's storage
+    /// footprint (Figure 16 accounting).
+    pub fn storage_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Linear box number of a per-dimension box index.
+    #[inline]
+    pub fn box_linear(&self, box_idx: &[usize]) -> usize {
+        self.grid.grid_shape().linear_unchecked(box_idx)
+    }
+
+    /// Flat index of a stored cell, or `None` for interior (unstored)
+    /// offsets.
+    #[inline]
+    pub fn cell_index(&self, box_lin: usize, e: &[usize], extents: &[usize]) -> Option<usize> {
+        BoxGrid::slot_of(e, extents).map(|slot| self.box_offsets[box_lin] + slot)
+    }
+
+    /// Flat index of a box's anchor (always its slot 0).
+    #[inline]
+    pub fn anchor_index(&self, box_lin: usize) -> usize {
+        self.box_offsets[box_lin]
+    }
+
+    /// Reads a stored cell by flat index.
+    #[inline]
+    pub fn get(&self, idx: usize) -> &T {
+        &self.cells[idx]
+    }
+
+    /// Mutates a stored cell by flat index.
+    #[inline]
+    pub fn get_mut(&mut self, idx: usize) -> &mut T {
+        &mut self.cells[idx]
+    }
+
+    /// Reads the overlay value stored for a *global* cube coordinate, or
+    /// `None` when that coordinate is an interior cell of its box.
+    ///
+    /// Convenience for tests and figure reproduction; engines use the flat
+    /// index paths.
+    pub fn value_at(&self, coords: &[usize]) -> Option<&T> {
+        let b = self.grid.box_index_of(coords);
+        let anchor = self.grid.anchor_of(&b);
+        let extents = self.grid.extents_of(&b);
+        let e: Vec<usize> = coords.iter().zip(&anchor).map(|(&c, &a)| c - a).collect();
+        let box_lin = self.box_linear(&b);
+        self.cell_index(box_lin, &e, &extents)
+            .map(|i| &self.cells[i])
+    }
+
+    /// The number of stored cells of one box.
+    pub fn box_stored_count(&self, box_lin: usize) -> usize {
+        self.box_offsets[box_lin + 1] - self.box_offsets[box_lin]
+    }
+
+    /// The cube shape this overlay belongs to.
+    pub fn cube_shape(&self) -> &Shape {
+        self.grid.cube_shape()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndcube::Shape;
+
+    fn overlay_9x9_k3() -> Overlay<i64> {
+        let grid = BoxGrid::new(Shape::new(&[9, 9]).unwrap(), &[3, 3]).unwrap();
+        Overlay::zeros(grid)
+    }
+
+    #[test]
+    fn storage_matches_formula() {
+        // 9 boxes × 5 stored cells (k^d − (k−1)^d = 5).
+        let o = overlay_9x9_k3();
+        assert_eq!(o.storage_cells(), 45);
+        for b in 0..9 {
+            assert_eq!(o.box_stored_count(b), 5);
+        }
+    }
+
+    #[test]
+    fn ragged_storage() {
+        let grid = BoxGrid::new(Shape::new(&[5, 5]).unwrap(), &[3, 3]).unwrap();
+        let o = Overlay::<i64>::zeros(grid);
+        // Boxes: (0,0) 3×3→5, (0,1) 3×2→4, (1,0) 2×3→4, (1,1) 2×2→3.
+        assert_eq!(o.storage_cells(), 5 + 4 + 4 + 3);
+    }
+
+    #[test]
+    fn value_at_distinguishes_stored_and_interior() {
+        let mut o = overlay_9x9_k3();
+        // (6,3) is an anchor; (7,4) is interior to box (2,1).
+        let b = o.grid().box_index_of(&[6, 3]);
+        let lin = o.box_linear(&b);
+        let idx = o.anchor_index(lin);
+        *o.get_mut(idx) = 86;
+        assert_eq!(o.value_at(&[6, 3]), Some(&86));
+        assert_eq!(o.value_at(&[7, 4]), None);
+    }
+
+    #[test]
+    fn cell_index_addresses_all_slots_uniquely() {
+        let o = overlay_9x9_k3();
+        let mut seen = std::collections::HashSet::new();
+        let grid_region = o.grid().grid_shape().full_region();
+        for b in grid_region.iter() {
+            let lin = o.box_linear(&b);
+            let extents = o.grid().extents_of(&b);
+            for e0 in 0..3 {
+                for e1 in 0..3 {
+                    if let Some(i) = o.cell_index(lin, &[e0, e1], &extents) {
+                        assert!(seen.insert(i), "index {i} reused");
+                        assert!(i < o.storage_cells());
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 45);
+    }
+}

@@ -1,0 +1,307 @@
+//! Parallel structure construction.
+//!
+//! Building RP and P is O(d·N) of running-sum sweeps — embarrassing to
+//! leave single-threaded for the cube sizes the paper targets. Both
+//! sweeps decompose over contiguous row-major slabs of the first
+//! dimension (`std::thread::scope`, no dependencies):
+//!
+//! * **RP** — slabs aligned to the dim-0 box side `k₀` are fully
+//!   independent: the box-local sweep never crosses a `k₀` boundary, and
+//!   sweeps along later dimensions stay inside a row anyway.
+//! * **P** — dims ≥ 1 are independent per slab; dim 0 uses the classic
+//!   two-phase scan: local prefix per slab, then each slab adds the
+//!   accumulated last-row of every earlier slab.
+
+use ndcube::NdCube;
+
+use crate::rps::grid::BoxGrid;
+use crate::value::GroupValue;
+
+/// Runs one dimension's (box-local or global) sweep over a contiguous
+/// chunk of the row-major buffer. `global_offset` is the chunk's first
+/// linear index in the full array; `k = usize::MAX` gives the global
+/// (prefix-sum) sweep, otherwise accumulation stops at multiples of `k`.
+fn sweep_chunk<T: GroupValue>(
+    chunk: &mut [T],
+    global_offset: usize,
+    stride: usize,
+    n: usize,
+    k: usize,
+) {
+    for local in 0..chunk.len() {
+        let coord = ((global_offset + local) / stride) % n;
+        let in_box = if k == usize::MAX {
+            coord > 0
+        } else {
+            !coord.is_multiple_of(k)
+        };
+        if in_box {
+            debug_assert!(local >= stride, "predecessor lies within the chunk");
+            let prev = chunk[local - stride].clone();
+            chunk[local].add_assign(&prev);
+        }
+    }
+}
+
+/// Splits the buffer into per-thread slabs of whole dim-0 rows, each a
+/// multiple of `align` rows (except possibly the last).
+fn slab_sizes(rows: usize, row_len: usize, align: usize, threads: usize) -> Vec<usize> {
+    let align = align.max(1);
+    let target_rows = rows.div_ceil(threads).div_ceil(align) * align;
+    let mut sizes = Vec::new();
+    let mut left = rows;
+    while left > 0 {
+        let take = target_rows.min(left);
+        sizes.push(take * row_len);
+        left -= take;
+    }
+    sizes
+}
+
+/// Parallel box-local prefix sweep: identical output to
+/// [`crate::rps::relative_prefix_sums`].
+pub fn relative_prefix_sums_parallel<T: GroupValue + Send>(
+    a: &NdCube<T>,
+    grid: &BoxGrid,
+    threads: usize,
+) -> NdCube<T> {
+    let threads = threads.max(1);
+    let shape = a.shape().clone();
+    if threads == 1 || shape.ndim() == 0 {
+        return crate::rps::relative_prefix_sums(a, grid);
+    }
+    let mut rp = a.clone();
+    let rows = shape.dim(0);
+    let row_len = shape.strides()[0];
+    let k0 = grid.box_size()[0];
+    let sizes = slab_sizes(rows, row_len, k0, threads);
+
+    for dim in 0..shape.ndim() {
+        let stride = shape.strides()[dim];
+        let n = shape.dim(dim);
+        let k = grid.box_size()[dim];
+        let data = rp.as_mut_slice();
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            let mut offset = 0usize;
+            for &size in &sizes {
+                let (chunk, tail) = rest.split_at_mut(size);
+                rest = tail;
+                let off = offset;
+                scope.spawn(move || sweep_chunk(chunk, off, stride, n, k));
+                offset += size;
+            }
+        });
+    }
+    rp
+}
+
+/// Parallel global prefix sums: identical output to
+/// [`crate::prefix::prefix_sums_in_place`].
+pub fn prefix_sums_parallel<T: GroupValue + Send + Sync>(a: &mut NdCube<T>, threads: usize) {
+    let threads = threads.max(1);
+    let shape = a.shape().clone();
+    // The dim-0 two-phase scan does the dim-0 work twice (local prefix +
+    // base add); below 3 threads that overhead cancels the parallelism.
+    if threads <= 2 {
+        crate::prefix::prefix_sums_in_place(a);
+        return;
+    }
+    let rows = shape.dim(0);
+    let row_len = shape.strides()[0];
+    let sizes = slab_sizes(rows, row_len, 1, threads);
+
+    // Dims ≥ 1: sweeps never cross a row, so slabs are independent.
+    for dim in 1..shape.ndim() {
+        let stride = shape.strides()[dim];
+        let n = shape.dim(dim);
+        let data = a.as_mut_slice();
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            let mut offset = 0usize;
+            for &size in &sizes {
+                let (chunk, tail) = rest.split_at_mut(size);
+                rest = tail;
+                let off = offset;
+                scope.spawn(move || sweep_chunk(chunk, off, stride, n, usize::MAX));
+                offset += size;
+            }
+        });
+    }
+
+    if shape.ndim() == 0 || rows == 1 {
+        return;
+    }
+
+    // Dim 0, phase 1: local prefix within each slab (parallel).
+    {
+        let data = a.as_mut_slice();
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            for &size in &sizes {
+                let (chunk, tail) = rest.split_at_mut(size);
+                rest = tail;
+                scope.spawn(move || {
+                    // Local sweep: offset 0 makes the first row of the
+                    // chunk the sweep's row 0.
+                    sweep_chunk(chunk, 0, row_len, usize::MAX, usize::MAX)
+                });
+            }
+        });
+    }
+
+    // Dim 0, phase 2: accumulate each slab's last row into a running
+    // base and add it to every row of the following slab (parallel per
+    // slab after the serial base accumulation).
+    let mut bases: Vec<Vec<T>> = Vec::with_capacity(sizes.len());
+    {
+        let data = a.as_slice();
+        let mut base = vec![T::zero(); row_len];
+        let mut offset = 0usize;
+        for &size in &sizes {
+            bases.push(base.clone());
+            let last_row = &data[offset + size - row_len..offset + size];
+            for (b, v) in base.iter_mut().zip(last_row) {
+                b.add_assign(v);
+            }
+            offset += size;
+        }
+    }
+    {
+        let data = a.as_mut_slice();
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            for (i, &size) in sizes.iter().enumerate() {
+                let (chunk, tail) = rest.split_at_mut(size);
+                rest = tail;
+                let base = &bases[i];
+                scope.spawn(move || {
+                    if base.iter().all(T::is_zero) {
+                        return; // first slab: nothing to add
+                    }
+                    for row in chunk.chunks_exact_mut(row_len) {
+                        for (cell, b) in row.iter_mut().zip(base) {
+                            cell.add_assign(b);
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl<T: GroupValue + Send + Sync> crate::rps::RpsEngine<T> {
+    /// Builds the engine using `threads` worker threads for the P and RP
+    /// sweeps (overlay derivation is serial; it is O(d·N/k), dwarfed by
+    /// the sweeps).
+    pub fn from_cube_parallel(a: &NdCube<T>, threads: usize) -> Self {
+        let grid = BoxGrid::with_sqrt_boxes(a.shape().clone());
+        let rp = relative_prefix_sums_parallel(a, &grid, threads);
+        let mut p = a.clone();
+        prefix_sums_parallel(&mut p, threads);
+        let overlay = crate::rps::build::build_overlay_from_p(a, &p, &rp, grid.clone());
+        Self::from_parts(grid, overlay, rp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RangeSumEngine;
+    use crate::prefix::prefix_sums_in_place;
+    use crate::rps::{relative_prefix_sums, RpsEngine};
+    use crate::testdata::paper_array_a;
+    use ndcube::Region;
+
+    #[test]
+    fn parallel_rp_matches_serial() {
+        for dims in [vec![9usize, 9], vec![16, 8], vec![7, 5, 6], vec![33, 4]] {
+            let a = NdCube::from_fn(&dims, |c| {
+                c.iter()
+                    .enumerate()
+                    .map(|(i, &x)| (x + 1) * (i + 2))
+                    .sum::<usize>() as i64
+            })
+            .unwrap();
+            let grid = BoxGrid::with_sqrt_boxes(a.shape().clone());
+            let serial = relative_prefix_sums(&a, &grid);
+            for threads in [2, 3, 8] {
+                let par = relative_prefix_sums_parallel(&a, &grid, threads);
+                assert_eq!(par, serial, "dims {dims:?}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_prefix_matches_serial() {
+        for dims in [
+            vec![9usize, 9],
+            vec![16, 8],
+            vec![7, 5, 6],
+            vec![2, 31],
+            vec![64],
+        ] {
+            let a = NdCube::from_fn(&dims, |c| (c.iter().sum::<usize>() * 3 + 1) as i64).unwrap();
+            let mut serial = a.clone();
+            prefix_sums_in_place(&mut serial);
+            for threads in [2, 4, 7] {
+                let mut par = a.clone();
+                prefix_sums_parallel(&mut par, threads);
+                assert_eq!(par, serial, "dims {dims:?}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial_engine() {
+        let a = paper_array_a();
+        let serial = RpsEngine::from_cube(&a);
+        let par = RpsEngine::from_cube_parallel(&a, 4);
+        assert_eq!(par.rp_array(), serial.rp_array());
+        for r in 0..9 {
+            for c in 0..9 {
+                assert_eq!(
+                    par.prefix_sum(&[r, c]).unwrap(),
+                    serial.prefix_sum(&[r, c]).unwrap(),
+                    "P[{r},{c}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_updates_and_queries() {
+        let a = NdCube::from_fn(&[40, 40], |c| ((c[0] * 17 + c[1]) % 23) as i64).unwrap();
+        let mut e = RpsEngine::from_cube_parallel(&a, 8);
+        let naive = crate::naive::NaiveEngine::from_cube(a);
+        let r = Region::new(&[3, 5], &[30, 38]).unwrap();
+        assert_eq!(e.query(&r).unwrap(), naive.query(&r).unwrap());
+        e.update(&[10, 10], 99).unwrap();
+        assert_eq!(e.query(&r).unwrap(), naive.query(&r).unwrap() + 99);
+    }
+
+    #[test]
+    fn single_thread_falls_back() {
+        let a = paper_array_a();
+        let grid = BoxGrid::new(a.shape().clone(), &[3, 3]).unwrap();
+        assert_eq!(
+            relative_prefix_sums_parallel(&a, &grid, 1),
+            relative_prefix_sums(&a, &grid)
+        );
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let a = NdCube::from_fn(&[3, 50], |c| (c[0] + c[1]) as i64).unwrap();
+        let grid = BoxGrid::with_sqrt_boxes(a.shape().clone());
+        assert_eq!(
+            relative_prefix_sums_parallel(&a, &grid, 16),
+            relative_prefix_sums(&a, &grid)
+        );
+        let mut p = a.clone();
+        prefix_sums_parallel(&mut p, 16);
+        let mut s = a.clone();
+        prefix_sums_in_place(&mut s);
+        assert_eq!(p, s);
+    }
+}

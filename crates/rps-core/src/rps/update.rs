@@ -1,0 +1,241 @@
+//! The RPS point-update algorithm (§4.2, Figures 14–15).
+//!
+//! An update to `A[c]` with box index `b = c ÷ k` touches:
+//!
+//! 1. **RP** — only cells of `c`'s own box with coordinates ≥ `c`
+//!    (cascading stops at the box boundary): at most `(k−1)^d + …` ≈ `k^d`.
+//! 2. **Overlay** — boxes in the "upper orthant" `b' ≥ b`:
+//!    * *interior* boxes (`c ≤ α'`, the anchor region sum contains `A[c]`):
+//!      anchor gets the delta; borders provably unchanged;
+//!    * *border* boxes (same slab as `c` in ≥ 1 dimension, strictly later
+//!      in ≥ 1): stored cells `p ≥ c` get the delta — these are the shaded
+//!      "cross" regions of Figure 14;
+//!    * the box containing `c` itself: overlay untouched (its anchor and
+//!      borders describe regions outside the box, none containing `c`).
+//!
+//! The classification follows from the defining identities
+//! `anchor(α) = P[α] − A[α]` and `border(p) = P[p] − RP[p] − anchor`:
+//! differencing each with respect to `A[c]` gives
+//! `Δborder(p) = Δ·([c≤p] − [α≤c≤p] − [c≤α ∧ c≠α])`, which collapses to
+//! the three cases above. Every case is pinned against the paper's
+//! Figure 15 numbers in the tests below and against brute-force rebuilds
+//! in the property tests.
+
+use ndcube::{NdCube, Region};
+
+use crate::rps::grid::BoxGrid;
+use crate::rps::overlay::Overlay;
+use crate::stats::StatsCell;
+use crate::value::GroupValue;
+
+/// Applies `delta` at `c`, mutating `rp` and `overlay`. Returns nothing;
+/// cell-write counts are recorded on `stats`.
+///
+/// `c` must already be validated against the cube shape.
+pub fn apply_update<T: GroupValue>(
+    grid: &BoxGrid,
+    overlay: &mut Overlay<T>,
+    rp: &mut NdCube<T>,
+    stats: &StatsCell,
+    c: &[usize],
+    delta: &T,
+) {
+    let b = grid.box_index_of(c);
+
+    // --- 1. RP: cascade within the box, clipped to x ≥ c. ---
+    let box_region = grid.box_region(&b);
+    let rp_region = Region::new(c, box_region.hi()).expect("c within its box");
+    let shape = rp.shape().clone();
+    let mut writes = 0u64;
+    for lin in shape.linear_region_iter(&rp_region) {
+        rp.get_linear_mut(lin).add_assign(delta);
+        writes += 1;
+    }
+    stats.writes(writes);
+
+    // --- 2. Overlay: walk the upper orthant of boxes. ---
+    stats.writes(apply_overlay_update(grid, overlay, c, delta));
+}
+
+/// The overlay half of a point update: walks the upper orthant of boxes,
+/// adding `delta` to interior anchors and to border cells with offsets
+/// `≥` the per-dimension lower bounds (§4.2, Figure 14). Returns the
+/// number of overlay cells written.
+///
+/// Shared by the in-memory engine and the disk-resident engine — the
+/// overlay always lives in memory, so this half is byte-identical in
+/// both deployments and must exist exactly once.
+pub fn apply_overlay_update<T: GroupValue>(
+    grid: &BoxGrid,
+    overlay: &mut Overlay<T>,
+    c: &[usize],
+    delta: &T,
+) -> u64 {
+    let d = c.len();
+    let b = grid.box_index_of(c);
+    let grid_hi: Vec<usize> = grid.grid_shape().dims().iter().map(|&g| g - 1).collect();
+    let orthant = Region::new(&b, &grid_hi).expect("b within grid");
+
+    let mut overlay_writes = 0u64;
+    let mut alpha = vec![0usize; d];
+    let mut lb = vec![0usize; d];
+    ndcube::RegionIter::for_each_coords(&orthant, |bp| {
+        if bp == b.as_slice() {
+            return; // own box: overlay provably unchanged
+        }
+        for (ai, (&bi, &ki)) in alpha.iter_mut().zip(bp.iter().zip(grid.box_size())) {
+            *ai = bi * ki;
+        }
+        let box_lin = overlay.box_linear(bp);
+        if c.iter().zip(&alpha).all(|(&ci, &ai)| ci <= ai) {
+            // Interior box: A[c] is part of the anchor's region sum.
+            // (c = α' is impossible here: that would make bp the own box.)
+            let idx = overlay.anchor_index(box_lin);
+            overlay.get_mut(idx).add_assign(delta);
+            overlay_writes += 1;
+        } else {
+            // Border box: same slab as c in every dim where α'_i < c_i.
+            // Affected stored cells are those with offset e ≥ lb.
+            for (l, (&ci, &ai)) in lb.iter_mut().zip(c.iter().zip(&alpha)) {
+                *l = ci.saturating_sub(ai);
+            }
+            let extents = grid.extents_of(bp);
+            for_each_stored_offset_geq(&extents, &lb, |e| {
+                let idx = overlay
+                    .cell_index(box_lin, e, &extents)
+                    .expect("enumeration yields stored cells");
+                overlay.get_mut(idx).add_assign(delta);
+                overlay_writes += 1;
+            });
+        }
+    });
+    overlay_writes
+}
+
+/// Enumerates every *stored* offset `e` (at least one zero component) of a
+/// box with the given extents satisfying `e ≥ lb` componentwise, visiting
+/// each exactly once (canonical order: grouped by first zero dimension).
+///
+/// Cost is proportional to the number of offsets yielded, never to the
+/// full box volume — this is what keeps border updates within the paper's
+/// `d·(n/k)·k^(d−1)` bound.
+pub fn for_each_stored_offset_geq(extents: &[usize], lb: &[usize], mut f: impl FnMut(&[usize])) {
+    let d = extents.len();
+    let mut e = vec![0usize; d];
+    for z in 0..d {
+        // Dimension z is the first zero component: requires lb[z] = 0.
+        if lb[z] != 0 {
+            continue;
+        }
+        // Ranges: dims before z must be ≥ 1 (z is the FIRST zero), dims
+        // after z may be anything ≥ lb.
+        let mut empty = false;
+        for i in 0..d {
+            let start = match i.cmp(&z) {
+                std::cmp::Ordering::Less => lb[i].max(1),
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => lb[i],
+            };
+            if start >= extents[i] && i != z {
+                empty = true;
+                break;
+            }
+            e[i] = start;
+        }
+        if empty {
+            continue;
+        }
+        e[z] = 0;
+        // Odometer over the constrained ranges (dim z fixed at 0).
+        'class: loop {
+            f(&e);
+            let mut dim = d;
+            loop {
+                if dim == 0 {
+                    break 'class;
+                }
+                dim -= 1;
+                if dim == z {
+                    continue;
+                }
+                if e[dim] + 1 < extents[dim] {
+                    e[dim] += 1;
+                    // Reset later dims to their range starts.
+                    for j in dim + 1..d {
+                        if j == z {
+                            continue;
+                        }
+                        e[j] = if j < z { lb[j].max(1) } else { lb[j] };
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndcube::Shape;
+    use std::collections::HashSet;
+
+    fn collect(extents: &[usize], lb: &[usize]) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for_each_stored_offset_geq(extents, lb, |e| out.push(e.to_vec()));
+        out
+    }
+
+    /// Oracle: brute-force enumeration over the whole box.
+    fn brute(extents: &[usize], lb: &[usize]) -> HashSet<Vec<usize>> {
+        let shape = Shape::new(extents).unwrap();
+        shape
+            .full_region()
+            .iter()
+            .filter(|e| e.contains(&0) && e.iter().zip(lb).all(|(&x, &l)| x >= l))
+            .collect()
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force_2d() {
+        for ext in [[3usize, 3], [1, 4], [4, 1], [2, 5]] {
+            for lb0 in 0..ext[0] {
+                for lb1 in 0..ext[1] {
+                    let lb = [lb0, lb1];
+                    let got: HashSet<_> = collect(&ext, &lb).into_iter().collect();
+                    let want = brute(&ext, &lb);
+                    assert_eq!(got, want, "extents {ext:?} lb {lb:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force_3d() {
+        let ext = [3usize, 2, 3];
+        for lb0 in 0..3 {
+            for lb1 in 0..2 {
+                for lb2 in 0..3 {
+                    let lb = [lb0, lb1, lb2];
+                    let got = collect(&ext, &lb);
+                    let got_set: HashSet<_> = got.iter().cloned().collect();
+                    assert_eq!(got.len(), got_set.len(), "duplicates for lb {lb:?}");
+                    assert_eq!(got_set, brute(&ext, &lb), "lb {lb:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_lb_yields_all_stored_cells() {
+        let ext = [3usize, 3];
+        assert_eq!(collect(&ext, &[0, 0]).len(), BoxGrid::stored_cells(&ext));
+    }
+
+    #[test]
+    fn unsatisfiable_lb_yields_nothing() {
+        // Every dimension needs e ≥ 1, but stored cells need a zero.
+        assert!(collect(&[3, 3], &[1, 1]).is_empty());
+        assert!(collect(&[3, 3], &[2, 1]).is_empty());
+    }
+}

@@ -1,0 +1,510 @@
+//! Snapshot persistence: a small, versioned, checksummed binary format
+//! for data cubes and RPS engines.
+//!
+//! Warehouse refresh cycles (the paper's "updated weekly or daily")
+//! need the structure to survive restarts without an O(N·2^d) reload
+//! from queries. A snapshot stores the recovered cube `A` plus the box
+//! geometry; loading rebuilds RP and the overlay in O(d·N).
+//!
+//! ```
+//! use rps_core::{snapshot, RangeSumEngine, RpsEngine};
+//!
+//! let mut engine = RpsEngine::<i64>::zeros(&[8, 8]).unwrap();
+//! engine.update(&[3, 3], 42).unwrap();
+//! let mut buf = Vec::new();
+//! snapshot::save_rps(&engine, &mut buf).unwrap();
+//! let restored = snapshot::load_rps(&buf[..]).unwrap();
+//! assert_eq!(restored.total(), 42);
+//! ```
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  "RPS1"            4 bytes
+//! kind   u8                1 = i64 cube, 2 = rps engine, 3 = (sum,count) cube
+//! ndim   u32, dims…        shape
+//! [kind 2] box sizes…      u32 per dimension
+//! cells  8 bytes each      i64 payload, row-major (16 bytes for kind 3)
+//! crc    u64               FNV-1a over everything above
+//! ```
+
+use std::io::{self, Read, Write};
+
+use ndcube::NdCube;
+
+use crate::engine::RangeSumEngine;
+use crate::rps::RpsEngine;
+
+const MAGIC: &[u8; 4] = b"RPS1";
+
+/// Ceiling on the cell count a snapshot may declare (2^28 cells = 2 GiB
+/// of i64 payload) — rejects corrupted headers before allocation.
+const MAX_SNAPSHOT_CELLS: u64 = 1 << 28;
+const KIND_CUBE: u8 = 1;
+const KIND_RPS: u8 = 2;
+const KIND_SUMCOUNT: u8 = 3;
+
+/// Errors from snapshot encoding/decoding.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a snapshot, or an unsupported version.
+    BadMagic,
+    /// The snapshot holds a different kind of structure.
+    WrongKind {
+        /// Kind byte found in the header.
+        found: u8,
+    },
+    /// Declared geometry is invalid.
+    BadGeometry(String),
+    /// Payload checksum mismatch (corruption or truncation).
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not an RPS1 snapshot"),
+            SnapshotError::WrongKind { found } => {
+                write!(f, "snapshot holds kind {found}, expected another")
+            }
+            SnapshotError::BadGeometry(msg) => write!(f, "bad geometry: {msg}"),
+            SnapshotError::ChecksumMismatch => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+use crate::checksum::Fnv1a;
+
+/// A writer that checksums everything passing through it.
+struct SummingWriter<W> {
+    inner: W,
+    sum: Fnv1a,
+}
+
+impl<W: Write> SummingWriter<W> {
+    fn new(inner: W) -> Self {
+        SummingWriter {
+            inner,
+            sum: Fnv1a::new(),
+        }
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.sum.update(bytes);
+        self.inner.write_all(bytes)
+    }
+
+    fn finish(mut self) -> io::Result<()> {
+        let crc = self.sum.value();
+        self.inner.write_all(&crc.to_le_bytes())?;
+        // Flush here so a buffered writer's deferred I/O errors surface
+        // as a save failure instead of being swallowed by Drop.
+        self.inner.flush()
+    }
+}
+
+/// A reader that checksums everything passing through it.
+struct SummingReader<R> {
+    inner: R,
+    sum: Fnv1a,
+}
+
+impl<R: Read> SummingReader<R> {
+    fn new(inner: R) -> Self {
+        SummingReader {
+            inner,
+            sum: Fnv1a::new(),
+        }
+    }
+
+    fn take(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read_exact(buf)?;
+        self.sum.update(buf);
+        Ok(())
+    }
+
+    fn take_u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.take(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn take_i64(&mut self) -> io::Result<i64> {
+        let mut b = [0u8; 8];
+        self.take(&mut b)?;
+        Ok(i64::from_le_bytes(b))
+    }
+
+    fn verify(mut self) -> Result<(), SnapshotError> {
+        let expect = self.sum.value();
+        let mut b = [0u8; 8];
+        self.inner.read_exact(&mut b)?;
+        if u64::from_le_bytes(b) == expect {
+            Ok(())
+        } else {
+            Err(SnapshotError::ChecksumMismatch)
+        }
+    }
+}
+
+/// The kind of structure a snapshot holds (its header byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// A plain `i64` cube (kind byte 1).
+    Cube,
+    /// An RPS engine: recovered cube + box geometry (kind byte 2).
+    RpsEngine,
+    /// A `(sum, count)` facts cube (kind byte 3).
+    SumCountCube,
+}
+
+/// Reads just the magic and kind byte — a cheap dispatch helper so
+/// tools don't have to probe formats by attempting (and swallowing the
+/// real errors of) each full loader in turn.
+pub fn peek_kind<R: Read>(mut r: R) -> Result<SnapshotKind, SnapshotError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    match kind[0] {
+        KIND_CUBE => Ok(SnapshotKind::Cube),
+        KIND_RPS => Ok(SnapshotKind::RpsEngine),
+        KIND_SUMCOUNT => Ok(SnapshotKind::SumCountCube),
+        other => Err(SnapshotError::WrongKind { found: other }),
+    }
+}
+
+/// Writer-side mirror of the loader's geometry limits: what we cannot
+/// load, we refuse to save (instead of silently truncating dimensions to
+/// u32 or emitting a snapshot every loader rejects).
+fn check_writable_geometry(dims: &[usize]) -> Result<(), SnapshotError> {
+    if dims.is_empty() || dims.len() > 16 {
+        return Err(SnapshotError::BadGeometry(format!("ndim {}", dims.len())));
+    }
+    let mut cells: u128 = 1;
+    for &d in dims {
+        if d == 0 || d > u32::MAX as usize {
+            return Err(SnapshotError::BadGeometry(format!("dimension size {d}")));
+        }
+        cells = cells.saturating_mul(d as u128);
+    }
+    if cells > MAX_SNAPSHOT_CELLS as u128 {
+        return Err(SnapshotError::BadGeometry(format!(
+            "cell count {cells} exceeds limit {MAX_SNAPSHOT_CELLS}"
+        )));
+    }
+    Ok(())
+}
+
+fn write_header<W: Write>(
+    w: &mut SummingWriter<W>,
+    kind: u8,
+    dims: &[usize],
+) -> Result<(), SnapshotError> {
+    check_writable_geometry(dims)?;
+    w.put(MAGIC)?;
+    w.put(&[kind])?;
+    w.put(&(dims.len() as u32).to_le_bytes())?;
+    for &d in dims {
+        w.put(&(d as u32).to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_header<R: Read>(r: &mut SummingReader<R>) -> Result<(u8, Vec<usize>), SnapshotError> {
+    let mut magic = [0u8; 4];
+    r.take(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let mut kind = [0u8; 1];
+    r.take(&mut kind)?;
+    let ndim = r.take_u32()? as usize;
+    if ndim == 0 || ndim > 16 {
+        return Err(SnapshotError::BadGeometry(format!("ndim {ndim}")));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        dims.push(r.take_u32()? as usize);
+    }
+    // Guard against corrupted headers declaring absurd geometry: the
+    // checksum would catch it eventually, but only after we tried to
+    // allocate the declared payload.
+    let mut cells: u128 = 1;
+    for &d in &dims {
+        if d == 0 {
+            return Err(SnapshotError::BadGeometry("zero-sized dimension".into()));
+        }
+        cells = cells.saturating_mul(d as u128);
+    }
+    if cells > MAX_SNAPSHOT_CELLS as u128 {
+        return Err(SnapshotError::BadGeometry(format!(
+            "declared cell count {cells} exceeds limit {MAX_SNAPSHOT_CELLS}"
+        )));
+    }
+    Ok((kind[0], dims))
+}
+
+/// Writes a cube snapshot.
+pub fn save_cube<W: Write>(cube: &NdCube<i64>, w: W) -> Result<(), SnapshotError> {
+    let mut w = SummingWriter::new(w);
+    write_header(&mut w, KIND_CUBE, cube.shape().dims())?;
+    for v in cube.as_slice() {
+        w.put(&v.to_le_bytes())?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Reads a cube snapshot.
+pub fn load_cube<R: Read>(r: R) -> Result<NdCube<i64>, SnapshotError> {
+    let mut r = SummingReader::new(r);
+    let (kind, dims) = read_header(&mut r)?;
+    if kind != KIND_CUBE {
+        return Err(SnapshotError::WrongKind { found: kind });
+    }
+    let len: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(r.take_i64()?);
+    }
+    r.verify()?;
+    NdCube::from_vec(&dims, data).map_err(|e| SnapshotError::BadGeometry(e.to_string()))
+}
+
+/// Writes a (sum, count) cube snapshot — the payload behind AVERAGE
+/// cubes ([`crate::aggregate::AverageCube`]).
+pub fn save_sumcount_cube<W: Write>(
+    cube: &NdCube<crate::value::SumCount<i64>>,
+    w: W,
+) -> Result<(), SnapshotError> {
+    let mut w = SummingWriter::new(w);
+    write_header(&mut w, KIND_SUMCOUNT, cube.shape().dims())?;
+    for v in cube.as_slice() {
+        w.put(&v.sum.to_le_bytes())?;
+        w.put(&v.count.to_le_bytes())?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Reads a (sum, count) cube snapshot.
+pub fn load_sumcount_cube<R: Read>(
+    r: R,
+) -> Result<NdCube<crate::value::SumCount<i64>>, SnapshotError> {
+    let mut r = SummingReader::new(r);
+    let (kind, dims) = read_header(&mut r)?;
+    if kind != KIND_SUMCOUNT {
+        return Err(SnapshotError::WrongKind { found: kind });
+    }
+    let len: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        let sum = r.take_i64()?;
+        let count = r.take_i64()?;
+        data.push(crate::value::SumCount::new(sum, count));
+    }
+    r.verify()?;
+    NdCube::from_vec(&dims, data).map_err(|e| SnapshotError::BadGeometry(e.to_string()))
+}
+
+/// Writes an RPS engine snapshot (cube + box geometry; structures are
+/// rebuilt on load).
+pub fn save_rps<W: Write>(engine: &RpsEngine<i64>, w: W) -> Result<(), SnapshotError> {
+    let mut w = SummingWriter::new(w);
+    write_header(&mut w, KIND_RPS, engine.shape().dims())?;
+    for &k in engine.grid().box_size() {
+        w.put(&(k as u32).to_le_bytes())?;
+    }
+    let cube = engine.to_cube();
+    for v in cube.as_slice() {
+        w.put(&v.to_le_bytes())?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Reads an RPS engine snapshot, rebuilding RP and the overlay.
+pub fn load_rps<R: Read>(r: R) -> Result<RpsEngine<i64>, SnapshotError> {
+    let mut r = SummingReader::new(r);
+    let (kind, dims) = read_header(&mut r)?;
+    if kind != KIND_RPS {
+        return Err(SnapshotError::WrongKind { found: kind });
+    }
+    let mut box_size = Vec::with_capacity(dims.len());
+    for _ in 0..dims.len() {
+        box_size.push(r.take_u32()? as usize);
+    }
+    let len: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(r.take_i64()?);
+    }
+    r.verify()?;
+    let cube =
+        NdCube::from_vec(&dims, data).map_err(|e| SnapshotError::BadGeometry(e.to_string()))?;
+    RpsEngine::from_cube_with_box_size(&cube, &box_size)
+        .map_err(|e| SnapshotError::BadGeometry(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RangeSumEngine;
+    use crate::testdata::paper_array_a;
+    use ndcube::Region;
+
+    #[test]
+    fn cube_round_trip() {
+        let cube = paper_array_a();
+        let mut buf = Vec::new();
+        save_cube(&cube, &mut buf).unwrap();
+        let loaded = load_cube(&buf[..]).unwrap();
+        assert_eq!(loaded, cube);
+    }
+
+    #[test]
+    fn rps_round_trip_preserves_answers() {
+        let mut e = RpsEngine::from_cube_uniform(&paper_array_a(), 3).unwrap();
+        e.update(&[4, 4], 17).unwrap();
+        let mut buf = Vec::new();
+        save_rps(&e, &mut buf).unwrap();
+        let loaded = load_rps(&buf[..]).unwrap();
+        assert_eq!(loaded.grid().box_size(), e.grid().box_size());
+        for (lo, hi) in [([0, 0], [8, 8]), ([2, 2], [7, 5])] {
+            let r = Region::new(&lo, &hi).unwrap();
+            assert_eq!(loaded.query(&r).unwrap(), e.query(&r).unwrap());
+        }
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut buf = Vec::new();
+        save_cube(&paper_array_a(), &mut buf).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        match load_cube(&buf[..]) {
+            Err(SnapshotError::ChecksumMismatch) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let mut buf = Vec::new();
+        save_cube(&paper_array_a(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 9);
+        assert!(load_cube(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn peek_kind_dispatches_without_full_load() {
+        let mut cube_buf = Vec::new();
+        save_cube(&paper_array_a(), &mut cube_buf).unwrap();
+        assert_eq!(peek_kind(&cube_buf[..]).unwrap(), SnapshotKind::Cube);
+
+        let e = RpsEngine::from_cube_uniform(&paper_array_a(), 3).unwrap();
+        let mut rps_buf = Vec::new();
+        save_rps(&e, &mut rps_buf).unwrap();
+        assert_eq!(peek_kind(&rps_buf[..]).unwrap(), SnapshotKind::RpsEngine);
+
+        assert!(matches!(
+            peek_kind(&b"NOPE...."[..]),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn writers_enforce_loader_geometry_limits() {
+        // What cannot be loaded must not be saveable.
+        let seventeen_d = NdCube::<i64>::zeros(&[2usize; 17]);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            save_cube(&seventeen_d, &mut buf),
+            Err(SnapshotError::BadGeometry(_))
+        ));
+
+        let too_many_cells = NdCube::<i64>::zeros(&[1 << 15, 1 << 14]); // 2^29 > 2^28
+        let mut buf = Vec::new();
+        assert!(matches!(
+            save_cube(&too_many_cells, &mut buf),
+            Err(SnapshotError::BadGeometry(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_absurd_declared_geometry_before_allocating() {
+        // Corrupting a dims byte to declare a multi-billion-cell cube must
+        // fail cleanly (BadGeometry), never attempt the allocation.
+        let mut buf = Vec::new();
+        save_cube(&paper_array_a(), &mut buf).unwrap();
+        // Header layout: magic(4) + kind(1) + ndim(4) + dim0(4) + dim1(4).
+        buf[9..13].copy_from_slice(&u32::MAX.to_le_bytes()); // dim0 = 2^32−1
+        match load_cube(&buf[..]) {
+            Err(SnapshotError::BadGeometry(_)) => {}
+            other => panic!("expected BadGeometry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_kind() {
+        assert!(matches!(
+            load_cube(&b"NOPE"[..]),
+            Err(SnapshotError::BadMagic)
+        ));
+        let mut buf = Vec::new();
+        save_cube(&paper_array_a(), &mut buf).unwrap();
+        match load_rps(&buf[..]) {
+            Err(SnapshotError::WrongKind { found }) => assert_eq!(found, KIND_CUBE),
+            other => panic!("expected wrong kind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sumcount_cube_round_trip() {
+        use crate::value::SumCount;
+        let cube = NdCube::from_fn(&[3, 4], |c| {
+            SumCount::new((c[0] * 4 + c[1]) as i64 * 7, c[0] as i64 + 1)
+        })
+        .unwrap();
+        let mut buf = Vec::new();
+        save_sumcount_cube(&cube, &mut buf).unwrap();
+        let loaded = load_sumcount_cube(&buf[..]).unwrap();
+        assert_eq!(loaded, cube);
+        // Kind confusion is detected both ways.
+        assert!(matches!(
+            load_cube(&buf[..]),
+            Err(SnapshotError::WrongKind { found: 3 })
+        ));
+        let mut plain = Vec::new();
+        save_cube(&paper_array_a(), &mut plain).unwrap();
+        assert!(matches!(
+            load_sumcount_cube(&plain[..]),
+            Err(SnapshotError::WrongKind { found: 1 })
+        ));
+    }
+
+    #[test]
+    fn three_dim_engine_round_trip() {
+        let cube = NdCube::from_fn(&[5, 4, 6], |c| (c[0] * 31 + c[1] * 7 + c[2]) as i64).unwrap();
+        let e = RpsEngine::from_cube_with_box_size(&cube, &[2, 2, 3]).unwrap();
+        let mut buf = Vec::new();
+        save_rps(&e, &mut buf).unwrap();
+        let loaded = load_rps(&buf[..]).unwrap();
+        assert_eq!(loaded.to_cube(), cube);
+    }
+}

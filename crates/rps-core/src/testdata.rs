@@ -1,0 +1,188 @@
+//! The paper's running example: the 9×9 arrays of Figures 1, 2, 10 and 13.
+//!
+//! Exposed publicly so integration tests, examples and benches can assert
+//! the exact numbers printed in the paper.
+
+use ndcube::NdCube;
+
+/// Figure 1: the two-dimensional data cube `A` (9×9).
+pub fn paper_array_a() -> NdCube<i64> {
+    #[rustfmt::skip]
+    let rows: [[i64; 9]; 9] = [
+        [3, 5, 1, 2, 2, 4, 6, 3, 3],
+        [7, 3, 2, 6, 8, 7, 1, 2, 4],
+        [2, 4, 2, 3, 3, 3, 4, 5, 7],
+        [3, 2, 1, 5, 3, 5, 2, 8, 2],
+        [4, 2, 1, 3, 3, 4, 7, 1, 3],
+        [2, 3, 3, 6, 1, 8, 5, 1, 1],
+        [4, 5, 2, 7, 1, 9, 3, 3, 4],
+        [2, 4, 2, 2, 3, 1, 9, 1, 3],
+        [5, 4, 3, 1, 3, 2, 1, 9, 6],
+    ];
+    NdCube::from_vec(&[9, 9], rows.into_iter().flatten().collect()).unwrap()
+}
+
+/// Figure 2: the prefix-sum array `P` for [`paper_array_a`].
+pub fn paper_array_p() -> NdCube<i64> {
+    #[rustfmt::skip]
+    let rows: [[i64; 9]; 9] = [
+        [ 3,  8,  9,  11,  13,  17,  23,  26,  29],
+        [10, 18, 21,  29,  39,  50,  57,  62,  69],
+        [12, 24, 29,  40,  53,  67,  78,  88, 102],
+        [15, 29, 35,  51,  67,  86,  99, 117, 133],
+        [19, 35, 42,  61,  80, 103, 123, 142, 161],
+        [21, 40, 50,  75,  95, 126, 151, 171, 191],
+        [25, 49, 61,  93, 114, 154, 182, 205, 229],
+        [27, 55, 69, 103, 127, 168, 205, 229, 256],
+        [32, 64, 81, 116, 143, 186, 224, 257, 290],
+    ];
+    NdCube::from_vec(&[9, 9], rows.into_iter().flatten().collect()).unwrap()
+}
+
+/// Figure 10: the relative-prefix array `RP` for [`paper_array_a`] with
+/// 3×3 overlay boxes.
+pub fn paper_array_rp() -> NdCube<i64> {
+    #[rustfmt::skip]
+    let rows: [[i64; 9]; 9] = [
+        [ 3,  8,  9,  2,  4,  8,  6,  9, 12],
+        [10, 18, 21,  8, 18, 29,  7, 12, 19],
+        [12, 24, 29, 11, 24, 38, 11, 21, 35],
+        [ 3,  5,  6,  5,  8, 13,  2, 10, 12],
+        [ 7, 11, 13,  8, 14, 23,  9, 18, 23],
+        [ 9, 16, 21, 14, 21, 38, 14, 24, 30],
+        [ 4,  9, 11,  7,  8, 17,  3,  6, 10],
+        [ 6, 15, 19,  9, 13, 23, 12, 16, 23],
+        [11, 24, 31, 10, 17, 29, 13, 26, 39],
+    ];
+    NdCube::from_vec(&[9, 9], rows.into_iter().flatten().collect()).unwrap()
+}
+
+/// The overlay box side length used throughout the paper's example.
+pub const PAPER_BOX_SIZE: usize = 3;
+
+/// Figure 13's overlay values, addressed by the position the overlay cell
+/// occupies in the conceptual 9×9 grid: `(row, col, value)`.
+///
+/// The anchor of each box is the first entry of its triple-group; the other
+/// entries are border cells. Cells not listed are not stored by the
+/// overlay.
+pub fn paper_overlay_cells() -> Vec<(usize, usize, i64)> {
+    vec![
+        // Box (0,0)
+        (0, 0, 0),
+        (0, 1, 0),
+        (0, 2, 0),
+        (1, 0, 0),
+        (2, 0, 0),
+        // Box (0,3)
+        (0, 3, 9),
+        (0, 4, 0),
+        (0, 5, 0),
+        (1, 3, 12),
+        (2, 3, 20),
+        // Box (0,6)
+        (0, 6, 17),
+        (0, 7, 0),
+        (0, 8, 0),
+        (1, 6, 33),
+        (2, 6, 50),
+        // Box (3,0)
+        (3, 0, 12),
+        (3, 1, 12),
+        (3, 2, 17),
+        (4, 0, 0),
+        (5, 0, 0),
+        // Box (3,3)
+        (3, 3, 46),
+        (3, 4, 13),
+        (3, 5, 27),
+        (4, 3, 7),
+        (5, 3, 15),
+        // Box (3,6)
+        (3, 6, 97),
+        (3, 7, 10),
+        (3, 8, 24),
+        (4, 6, 17),
+        (5, 6, 40),
+        // Box (6,0)
+        (6, 0, 21),
+        (6, 1, 19),
+        (6, 2, 29),
+        (7, 0, 0),
+        (8, 0, 0),
+        // Box (6,3)
+        (6, 3, 86),
+        (6, 4, 20),
+        (6, 5, 51),
+        (7, 3, 8),
+        (8, 3, 20),
+        // Box (6,6)
+        (6, 6, 179),
+        (6, 7, 20),
+        (6, 8, 40),
+        (7, 6, 14),
+        (8, 6, 32),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_p_is_prefix_of_figure1_a() {
+        // Cross-check the transcription: P[x] must equal the brute-force
+        // prefix sum of A at every cell.
+        let a = paper_array_a();
+        let p = paper_array_p();
+        for r in 0..9 {
+            for c in 0..9 {
+                let mut sum = 0i64;
+                for i in 0..=r {
+                    for j in 0..=c {
+                        sum += a.get(&[i, j]);
+                    }
+                }
+                assert_eq!(p.get(&[r, c]), sum, "P[{r},{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn figure10_rp_is_box_local_prefix() {
+        let a = paper_array_a();
+        let rp = paper_array_rp();
+        let k = PAPER_BOX_SIZE;
+        for r in 0..9 {
+            for c in 0..9 {
+                let (ar, ac) = ((r / k) * k, (c / k) * k);
+                let mut sum = 0i64;
+                for i in ar..=r {
+                    for j in ac..=c {
+                        sum += a.get(&[i, j]);
+                    }
+                }
+                assert_eq!(rp.get(&[r, c]), sum, "RP[{r},{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn figure13_overlay_values_consistent() {
+        // Anchor: SUM(A[0,0]:A[a]) − A[a]. Border at p: P[p] − RP[p] − anchor.
+        let a = paper_array_a();
+        let p = paper_array_p();
+        let rp = paper_array_rp();
+        let k = PAPER_BOX_SIZE;
+        for (r, c, v) in paper_overlay_cells() {
+            let (ar, ac) = ((r / k) * k, (c / k) * k);
+            let anchor = p.get(&[ar, ac]) - a.get(&[ar, ac]);
+            let expected = if (r, c) == (ar, ac) {
+                anchor
+            } else {
+                p.get(&[r, c]) - rp.get(&[r, c]) - anchor
+            };
+            assert_eq!(v, expected, "overlay cell ({r},{c})");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Instrumented-cost bounds: the engines' measured cell accesses must obey
+//! the closed-form bounds of §2 and §4.3 on every input.
+
+use ndcube::{NdCube, Region};
+use proptest::prelude::*;
+use rps_core::{NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine};
+
+/// §4.3 worst-case RPS update bound, evaluated for a concrete shape/box:
+/// `(k−1)^d` RP cells… we use the *exact* structural bound rather than the
+/// paper's approximation: RP ≤ ∏kᵢ cells, overlay ≤ total stored overlay
+/// cells, so their sum is a hard ceiling; the sharper per-term checks are
+/// in the assertions below.
+fn rps_update_ceiling(dims: &[usize], k: &[usize]) -> u64 {
+    let box_cells: usize = k.iter().zip(dims).map(|(&ki, &n)| ki.min(n)).product();
+    // overlay stored cells total
+    let num_boxes: usize = dims.iter().zip(k).map(|(&n, &ki)| n.div_ceil(ki)).product();
+    let stored_per_box: usize = {
+        let all: usize = k.iter().zip(dims).map(|(&ki, &n)| ki.min(n)).product();
+        let interior: usize = k.iter().zip(dims).map(|(&ki, &n)| ki.min(n) - 1).product();
+        all - interior
+    };
+    (box_cells + num_boxes * stored_per_box) as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn naive_query_reads_equal_region_size(
+        dims in proptest::collection::vec(2usize..8, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let cube = NdCube::from_fn(&dims, |c| {
+            (c.iter().sum::<usize>() as i64).wrapping_mul(seed as i64 | 1)
+        }).unwrap();
+        let hi: Vec<usize> = dims.iter().map(|&n| n - 1).collect();
+        let lo: Vec<usize> = dims.iter().map(|&n| n / 2).collect();
+        let r = Region::new(&lo, &hi).unwrap();
+        let e = NaiveEngine::from_cube(cube);
+        e.reset_stats();
+        e.query(&r).unwrap();
+        prop_assert_eq!(e.stats().cell_reads, r.cell_count() as u64);
+    }
+
+    #[test]
+    fn prefix_query_reads_at_most_2_pow_d(
+        dims in proptest::collection::vec(2usize..8, 1..4),
+    ) {
+        let cube = NdCube::from_fn(&dims, |c| c[0] as i64).unwrap();
+        let e = PrefixSumEngine::from_cube(&cube);
+        let hi: Vec<usize> = dims.iter().map(|&n| n - 1).collect();
+        let lo: Vec<usize> = dims.iter().map(|&n| n / 2).collect();
+        let r = Region::new(&lo, &hi).unwrap();
+        e.reset_stats();
+        e.query(&r).unwrap();
+        prop_assert!(e.stats().cell_reads <= 1 << dims.len());
+    }
+
+    #[test]
+    fn prefix_update_writes_equal_dominated_region(
+        dims in proptest::collection::vec(2usize..8, 1..4),
+        raw in proptest::collection::vec(0usize..usize::MAX, 3),
+    ) {
+        let d = dims.len();
+        let c: Vec<usize> = (0..d).map(|i| raw[i % 3] % dims[i]).collect();
+        let mut e = PrefixSumEngine::<i64>::zeros(&dims).unwrap();
+        e.reset_stats();
+        e.update(&c, 7).unwrap();
+        let expected: usize = dims.iter().zip(&c).map(|(&n, &ci)| n - ci).product();
+        prop_assert_eq!(e.stats().cell_writes, expected as u64);
+    }
+
+    #[test]
+    fn rps_query_reads_at_most_4_pow_d(
+        dims in proptest::collection::vec(2usize..8, 1..4),
+        k in proptest::collection::vec(1usize..5, 3),
+    ) {
+        let d = dims.len();
+        let ks: Vec<usize> = (0..d).map(|i| k[i % 3]).collect();
+        let cube = NdCube::from_fn(&dims, |c| c.iter().sum::<usize>() as i64).unwrap();
+        let e = RpsEngine::from_cube_with_box_size(&cube, &ks).unwrap();
+        let hi: Vec<usize> = dims.iter().map(|&n| n - 1).collect();
+        let lo: Vec<usize> = dims.iter().map(|&n| n / 3).collect();
+        let r = Region::new(&lo, &hi).unwrap();
+        e.reset_stats();
+        e.query(&r).unwrap();
+        // 2^d corners × ≤ 2^d reads per reconstructed prefix sum.
+        prop_assert!(
+            e.stats().cell_reads <= 1u64 << (2 * d),
+            "reads {} > 4^{d}", e.stats().cell_reads
+        );
+    }
+
+    #[test]
+    fn rps_update_writes_below_structural_ceiling(
+        dims in proptest::collection::vec(2usize..9, 1..4),
+        k in proptest::collection::vec(1usize..5, 3),
+        raw in proptest::collection::vec(0usize..usize::MAX, 3),
+    ) {
+        let d = dims.len();
+        let ks: Vec<usize> = (0..d).map(|i| k[i % 3]).collect();
+        let c: Vec<usize> = (0..d).map(|i| raw[i % 3] % dims[i]).collect();
+        let mut e = RpsEngine::<i64>::zeros(&dims).ok().and_then(|_|
+            RpsEngine::from_cube_with_box_size(
+                &NdCube::filled(&dims, 0i64).unwrap(), &ks).ok()).unwrap();
+        e.reset_stats();
+        e.update(&c, 3).unwrap();
+        prop_assert!(
+            e.stats().cell_writes <= rps_update_ceiling(&dims, &ks),
+            "writes {} exceed ceiling {}",
+            e.stats().cell_writes,
+            rps_update_ceiling(&dims, &ks)
+        );
+    }
+}
+
+/// §4.3: with k = √n the measured worst-case update touches O(n^{d/2})
+/// cells — concretely, far fewer than the prefix-sum method's n^d, and the
+/// measured count is within the paper's formula ceiling
+/// `k^d + d·n·k^{d−2} + (n/k)^d`.
+#[test]
+fn sqrt_box_worst_case_update_within_formula() {
+    for n in [16usize, 36, 64, 100] {
+        let k = (n as f64).sqrt() as usize;
+        let mut e = RpsEngine::<i64>::zeros_uniform(&[n, n], k).unwrap();
+        e.reset_stats();
+        // Worst position: just past the first anchor in both dims.
+        e.update(&[1, 1], 1).unwrap();
+        let measured = e.stats().cell_writes as f64;
+        let d = 2f64;
+        let formula = (k as f64).powf(d)
+            + d * n as f64 * (k as f64).powf(d - 2.0)
+            + (n as f64 / k as f64).powf(d);
+        assert!(
+            measured <= formula,
+            "n={n}: measured {measured} > formula {formula}"
+        );
+        // And it must actually beat prefix-sum's cascade by a wide margin.
+        let mut ps = PrefixSumEngine::<i64>::zeros(&[n, n]).unwrap();
+        ps.reset_stats();
+        ps.update(&[1, 1], 1).unwrap();
+        assert!(measured * 2.0 < ps.stats().cell_writes as f64);
+    }
+}
+
+/// The Figure 15 example again, but through the public stats surface:
+/// RPS 16 cells vs prefix-sum 64 cells on the identical update.
+#[test]
+fn paper_update_example_cost_ratio() {
+    let a = rps_core::testdata::paper_array_a();
+    let mut rps = RpsEngine::from_cube_uniform(&a, 3).unwrap();
+    let mut ps = PrefixSumEngine::from_cube(&a);
+    rps.reset_stats();
+    ps.reset_stats();
+    rps.update(&[1, 1], 1).unwrap();
+    ps.update(&[1, 1], 1).unwrap();
+    assert_eq!(rps.stats().cell_writes, 16);
+    assert_eq!(ps.stats().cell_writes, 64);
+}

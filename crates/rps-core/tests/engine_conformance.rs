@@ -1,0 +1,203 @@
+//! Cross-engine conformance: every engine must agree with the naive scan
+//! on arbitrary shapes, box sizes, update sequences and query regions.
+//!
+//! This is the main correctness net for the RPS reconstruction — in
+//! particular the d ≥ 3 alternating-border query and the orthant-walk
+//! update, neither of which is spelled out in the paper body.
+
+use ndcube::{NdCube, Region};
+use proptest::prelude::*;
+use rps_core::{FenwickEngine, NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine};
+
+/// A random cube of 1..=4 dimensions with small per-dimension sizes,
+/// a compatible box size per dimension, a batch of point updates and a
+/// batch of query regions.
+#[derive(Debug, Clone)]
+struct Scenario {
+    dims: Vec<usize>,
+    box_size: Vec<usize>,
+    initial: Vec<i64>,
+    updates: Vec<(Vec<usize>, i64)>,
+    queries: Vec<(Vec<usize>, Vec<usize>)>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (1usize..=4)
+        .prop_flat_map(|d| {
+            (
+                proptest::collection::vec(1usize..=7, d..=d),
+                proptest::collection::vec(1usize..=5, d..=d),
+            )
+        })
+        .prop_flat_map(|(dims, box_size)| {
+            let n: usize = dims.iter().product();
+            let coord = {
+                let dims = dims.clone();
+                move || {
+                    let dims: Vec<usize> = dims.clone();
+                    proptest::collection::vec(0usize..usize::MAX, dims.len()).prop_map(move |raw| {
+                        raw.iter()
+                            .zip(&dims)
+                            .map(|(&r, &s)| r % s)
+                            .collect::<Vec<_>>()
+                    })
+                }
+            };
+            let corners = {
+                (coord(), coord()).prop_map(move |(a, b)| {
+                    let lo: Vec<usize> = a.iter().zip(&b).map(|(&x, &y)| x.min(y)).collect();
+                    let hi: Vec<usize> = a.iter().zip(&b).map(|(&x, &y)| x.max(y)).collect();
+                    (lo, hi)
+                })
+            };
+            (
+                Just(dims),
+                Just(box_size),
+                proptest::collection::vec(-50i64..50, n..=n),
+                proptest::collection::vec((coord(), -100i64..100), 0..12),
+                proptest::collection::vec(corners, 1..8),
+            )
+        })
+        .prop_map(|(dims, box_size, initial, updates, queries)| Scenario {
+            dims,
+            box_size,
+            initial,
+            updates,
+            queries,
+        })
+}
+
+fn run_against_naive<E: RangeSumEngine<i64>>(mut engine: E, sc: &Scenario) {
+    let cube = NdCube::from_vec(&sc.dims, sc.initial.clone()).unwrap();
+    let mut naive = NaiveEngine::from_cube(cube);
+    for (c, delta) in &sc.updates {
+        engine.update(c, *delta).unwrap();
+        naive.update(c, *delta).unwrap();
+    }
+    for (lo, hi) in &sc.queries {
+        let r = Region::new(lo, hi).unwrap();
+        assert_eq!(
+            engine.query(&r).unwrap(),
+            naive.query(&r).unwrap(),
+            "{} disagrees with naive on {r:?} (scenario {sc:?})",
+            engine.name()
+        );
+    }
+    assert_eq!(engine.total(), naive.total());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn rps_matches_naive(sc in scenario()) {
+        let cube = NdCube::from_vec(&sc.dims, sc.initial.clone()).unwrap();
+        let engine = RpsEngine::from_cube_with_box_size(&cube, &sc.box_size).unwrap();
+        run_against_naive(engine, &sc);
+    }
+
+    #[test]
+    fn rps_sqrt_boxes_match_naive(sc in scenario()) {
+        let cube = NdCube::from_vec(&sc.dims, sc.initial.clone()).unwrap();
+        let engine = RpsEngine::from_cube(&cube);
+        run_against_naive(engine, &sc);
+    }
+
+    #[test]
+    fn prefix_sum_matches_naive(sc in scenario()) {
+        let cube = NdCube::from_vec(&sc.dims, sc.initial.clone()).unwrap();
+        let engine = PrefixSumEngine::from_cube(&cube);
+        run_against_naive(engine, &sc);
+    }
+
+    #[test]
+    fn fenwick_matches_naive(sc in scenario()) {
+        let cube = NdCube::from_vec(&sc.dims, sc.initial.clone()).unwrap();
+        let engine = FenwickEngine::from_cube(&cube);
+        run_against_naive(engine, &sc);
+    }
+
+    #[test]
+    fn rps_incremental_equals_rebuilt(sc in scenario()) {
+        // Applying updates incrementally must produce the *same internal
+        // state* as rebuilding from the updated cube.
+        let mut cube = NdCube::from_vec(&sc.dims, sc.initial.clone()).unwrap();
+        let mut engine = RpsEngine::from_cube_with_box_size(&cube, &sc.box_size).unwrap();
+        for (c, delta) in &sc.updates {
+            engine.update(c, *delta).unwrap();
+            let old = cube.get(c);
+            cube.set(c, old + *delta);
+        }
+        let rebuilt = RpsEngine::from_cube_with_box_size(&cube, &sc.box_size).unwrap();
+        prop_assert_eq!(engine.rp_array(), rebuilt.rp_array());
+        // Overlay equality via every prefix sum (covers anchors + borders).
+        for (lo, _hi) in &sc.queries {
+            prop_assert_eq!(
+                engine.prefix_sum(lo).unwrap(),
+                rebuilt.prefix_sum(lo).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn set_then_cell_round_trips(sc in scenario()) {
+        let cube = NdCube::from_vec(&sc.dims, sc.initial.clone()).unwrap();
+        let mut engine = RpsEngine::from_cube_with_box_size(&cube, &sc.box_size).unwrap();
+        for (i, (c, v)) in sc.updates.iter().enumerate() {
+            let value = *v + i as i64;
+            engine.set(c, value).unwrap();
+            prop_assert_eq!(engine.cell(c).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn materialize_recovers_cube(sc in scenario()) {
+        let cube = NdCube::from_vec(&sc.dims, sc.initial.clone()).unwrap();
+        let engine = RpsEngine::from_cube_with_box_size(&cube, &sc.box_size).unwrap();
+        prop_assert_eq!(engine.materialize(), cube);
+    }
+}
+
+#[test]
+fn four_dimensional_smoke() {
+    // A deterministic 4-d case exercising the alternating query signs
+    // (d − 1 − |S| spans both parities).
+    let a = NdCube::from_fn(&[4, 4, 4, 4], |c| {
+        (c[0] * 27 + c[1] * 9 + c[2] * 3 + c[3] + 1) as i64
+    })
+    .unwrap();
+    let mut rps = RpsEngine::from_cube_uniform(&a, 2).unwrap();
+    let naive = NaiveEngine::from_cube(a);
+    let regions = [
+        Region::new(&[1, 1, 1, 1], &[2, 3, 2, 3]).unwrap(),
+        Region::new(&[0, 0, 0, 0], &[3, 3, 3, 3]).unwrap(),
+        Region::new(&[1, 0, 2, 1], &[1, 0, 2, 1]).unwrap(),
+        Region::new(&[0, 2, 1, 3], &[3, 3, 1, 3]).unwrap(),
+    ];
+    for r in &regions {
+        assert_eq!(rps.query(r).unwrap(), naive.query(r).unwrap(), "{r:?}");
+    }
+    rps.update(&[1, 2, 3, 0], 1000).unwrap();
+    let r = Region::new(&[0, 0, 0, 0], &[3, 3, 3, 3]).unwrap();
+    assert_eq!(rps.query(&r).unwrap(), naive.query(&r).unwrap() + 1000);
+}
+
+#[test]
+fn large_2d_engines_agree() {
+    let a = NdCube::from_fn(&[64, 64], |c| ((c[0] * 131 + c[1] * 7) % 23) as i64).unwrap();
+    let rps = RpsEngine::from_cube(&a);
+    let ps = PrefixSumEngine::from_cube(&a);
+    let fw = FenwickEngine::from_cube(&a);
+    let naive = NaiveEngine::from_cube(a);
+    for (lo, hi) in [
+        ([0, 0], [63, 63]),
+        ([17, 3], [61, 58]),
+        ([32, 32], [32, 32]),
+    ] {
+        let r = Region::new(&lo, &hi).unwrap();
+        let want = naive.query(&r).unwrap();
+        assert_eq!(rps.query(&r).unwrap(), want);
+        assert_eq!(ps.query(&r).unwrap(), want);
+        assert_eq!(fw.query(&r).unwrap(), want);
+    }
+}

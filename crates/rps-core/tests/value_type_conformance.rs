@@ -1,0 +1,89 @@
+//! Engine conformance over non-`i64` value types: the group-generic
+//! engines must behave identically for `SumCount` pairs (exact) and stay
+//! within floating-point tolerance for `f64` (where summation order
+//! differs between methods).
+
+use ndcube::{NdCube, Region};
+use rps_core::{FenwickEngine, NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine, SumCount};
+
+fn regions() -> Vec<Region> {
+    vec![
+        Region::new(&[0, 0], &[11, 11]).unwrap(),
+        Region::new(&[3, 2], &[9, 10]).unwrap(),
+        Region::point(&[5, 5]).unwrap(),
+        Region::new(&[0, 7], &[11, 7]).unwrap(),
+    ]
+}
+
+#[test]
+fn sumcount_engines_agree_exactly() {
+    let cube = NdCube::from_fn(&[12, 12], |c| {
+        SumCount::new((c[0] * 13 + c[1] * 7) as i64, (c[0] + 1) as i64)
+    })
+    .unwrap();
+    let naive = NaiveEngine::from_cube(cube.clone());
+    let mut rps = RpsEngine::from_cube_uniform(&cube, 4).unwrap();
+    let ps = PrefixSumEngine::from_cube(&cube);
+    let fw = FenwickEngine::from_cube(&cube);
+
+    for r in regions() {
+        let want = naive.query(&r).unwrap();
+        assert_eq!(rps.query(&r).unwrap(), want, "rps {r:?}");
+        assert_eq!(ps.query(&r).unwrap(), want, "prefix {r:?}");
+        assert_eq!(fw.query(&r).unwrap(), want, "fenwick {r:?}");
+    }
+
+    // Updates carry both components.
+    rps.update(&[6, 6], SumCount::new(100, 3)).unwrap();
+    let total = rps.total();
+    let naive_total = naive.total();
+    assert_eq!(total.sum, naive_total.sum + 100);
+    assert_eq!(total.count, naive_total.count + 3);
+}
+
+#[test]
+fn f64_engines_agree_within_tolerance() {
+    // Different methods sum in different orders; exact equality is not
+    // guaranteed for floats, but relative error must stay tiny for
+    // well-conditioned data.
+    let cube = NdCube::from_fn(&[12, 12], |c| {
+        0.1 + (c[0] as f64) * 0.37 + (c[1] as f64) * 0.59
+    })
+    .unwrap();
+    let naive = NaiveEngine::from_cube(cube.clone());
+    let rps = RpsEngine::from_cube_uniform(&cube, 4).unwrap();
+    let ps = PrefixSumEngine::from_cube(&cube);
+
+    for r in regions() {
+        let want = naive.query(&r).unwrap();
+        for (name, got) in [
+            ("rps", rps.query(&r).unwrap()),
+            ("prefix", ps.query(&r).unwrap()),
+        ] {
+            let rel = ((got - want) / want.max(1e-12)).abs();
+            assert!(rel < 1e-9, "{name} {r:?}: {got} vs {want} (rel {rel})");
+        }
+    }
+}
+
+#[test]
+fn f64_update_round_trip_tolerance() {
+    let cube = NdCube::from_fn(&[10, 10], |c| (c[0] + c[1]) as f64 * 0.25).unwrap();
+    let mut rps = RpsEngine::from_cube_uniform(&cube, 3).unwrap();
+    let full = Region::new(&[0, 0], &[9, 9]).unwrap();
+    let before = rps.query(&full).unwrap();
+    rps.update(&[4, 4], 2.5).unwrap();
+    rps.update(&[4, 4], -2.5).unwrap();
+    let after = rps.query(&full).unwrap();
+    assert!((after - before).abs() < 1e-9, "{before} vs {after}");
+}
+
+#[test]
+fn paired_measures_track_independently() {
+    // (SALES, UNITS) in one engine via the tuple group.
+    let mut e = RpsEngine::<(i64, i64)>::zeros(&[8, 8]).unwrap();
+    e.update(&[1, 1], (250, 1)).unwrap();
+    e.update(&[1, 2], (100, 2)).unwrap();
+    let r = Region::new(&[0, 0], &[3, 3]).unwrap();
+    assert_eq!(e.query(&r).unwrap(), (350, 3));
+}

@@ -1,0 +1,189 @@
+//! The simulated block device.
+//!
+//! **Substitution note (DESIGN.md, S8):** the paper reasons about disk
+//! behaviour purely in terms of *how many blocks an operation touches*;
+//! it reports no testbed measurements. This device therefore stores pages
+//! in memory and counts accesses — the observable the paper's §4.4
+//! analysis is written in — instead of modelling seek times.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Identifier of one fixed-size page on a [`BlockDevice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// Device geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Number of array cells that fit in one page. A real 8 KiB page
+    /// holds 1024 `i64` cells; tests use small values to exercise layout
+    /// boundaries.
+    pub cells_per_page: usize,
+}
+
+impl DeviceConfig {
+    /// A geometry mimicking 8 KiB pages of 8-byte cells.
+    pub fn default_8k() -> Self {
+        DeviceConfig {
+            cells_per_page: 1024,
+        }
+    }
+}
+
+/// Cumulative page-level I/O counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Pages transferred device → memory.
+    pub page_reads: u64,
+    /// Pages transferred memory → device.
+    pub page_writes: u64,
+}
+
+impl fmt::Display for DeviceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "page_reads={} page_writes={}",
+            self.page_reads, self.page_writes
+        )
+    }
+}
+
+/// An in-memory array of fixed-size pages with I/O accounting.
+///
+/// Every page holds exactly `cells_per_page` cells of `T`; freshly
+/// allocated pages are zero-filled (`T::default()`).
+#[derive(Debug)]
+pub struct BlockDevice<T> {
+    config: DeviceConfig,
+    pages: Vec<Vec<T>>,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+}
+
+impl<T: Clone + Default> BlockDevice<T> {
+    /// An empty device with the given geometry.
+    pub fn new(config: DeviceConfig) -> Self {
+        assert!(
+            config.cells_per_page >= 1,
+            "pages must hold at least one cell"
+        );
+        BlockDevice {
+            config,
+            pages: Vec::new(),
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+        }
+    }
+
+    /// The device geometry.
+    pub fn config(&self) -> DeviceConfig {
+        self.config
+    }
+
+    /// Number of allocated pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Allocates a zero-filled page and returns its id.
+    pub fn alloc_page(&mut self) -> PageId {
+        let id = PageId(u32::try_from(self.pages.len()).expect("page count fits u32"));
+        self.pages
+            .push(vec![T::default(); self.config.cells_per_page]);
+        id
+    }
+
+    /// Allocates `n` consecutive pages, returning the first id.
+    pub fn alloc_pages(&mut self, n: usize) -> PageId {
+        let first = self.alloc_page();
+        for _ in 1..n {
+            self.alloc_page();
+        }
+        first
+    }
+
+    /// Reads a page into `buf` (resized to the page size). Counted.
+    pub fn read_page(&self, id: PageId, buf: &mut Vec<T>) {
+        let page = &self.pages[id.0 as usize];
+        buf.clear();
+        buf.extend_from_slice(page);
+        self.reads.set(self.reads.get() + 1);
+    }
+
+    /// Writes `data` (exactly one page worth) to a page. Counted.
+    pub fn write_page(&mut self, id: PageId, data: &[T]) {
+        assert_eq!(data.len(), self.config.cells_per_page, "partial page write");
+        self.pages[id.0 as usize].clone_from_slice(data);
+        self.writes.set(self.writes.get() + 1);
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn stats(&self) -> DeviceStats {
+        DeviceStats {
+            page_reads: self.reads.get(),
+            page_writes: self.writes.get(),
+        }
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_stats(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_round_trip() {
+        let mut dev = BlockDevice::<i64>::new(DeviceConfig { cells_per_page: 4 });
+        let p0 = dev.alloc_page();
+        let p1 = dev.alloc_page();
+        assert_eq!((p0, p1), (PageId(0), PageId(1)));
+        dev.write_page(p1, &[1, 2, 3, 4]);
+        let mut buf = Vec::new();
+        dev.read_page(p1, &mut buf);
+        assert_eq!(buf, vec![1, 2, 3, 4]);
+        dev.read_page(p0, &mut buf);
+        assert_eq!(buf, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn stats_count_transfers() {
+        let mut dev = BlockDevice::<i64>::new(DeviceConfig { cells_per_page: 2 });
+        let p = dev.alloc_page();
+        let mut buf = Vec::new();
+        dev.read_page(p, &mut buf);
+        dev.read_page(p, &mut buf);
+        dev.write_page(p, &[5, 6]);
+        assert_eq!(
+            dev.stats(),
+            DeviceStats {
+                page_reads: 2,
+                page_writes: 1
+            }
+        );
+        dev.reset_stats();
+        assert_eq!(dev.stats(), DeviceStats::default());
+    }
+
+    #[test]
+    fn alloc_pages_consecutive() {
+        let mut dev = BlockDevice::<i64>::new(DeviceConfig { cells_per_page: 1 });
+        let first = dev.alloc_pages(5);
+        assert_eq!(first, PageId(0));
+        assert_eq!(dev.num_pages(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "partial page write")]
+    fn rejects_partial_write() {
+        let mut dev = BlockDevice::<i64>::new(DeviceConfig { cells_per_page: 4 });
+        let p = dev.alloc_page();
+        dev.write_page(p, &[1, 2]);
+    }
+}

@@ -1,0 +1,398 @@
+//! The paper's §4.4 deployment: overlay in main memory, RP on disk.
+
+use std::cell::RefCell;
+
+use ndcube::{NdCube, NdError, Region, Shape};
+use rps_core::corners::range_sum_from_prefix;
+use rps_core::rps::{
+    apply_overlay_update, build_overlay, inverse_relative_prefix_sums, overlay_prefix_part,
+    relative_prefix_sums,
+};
+use rps_core::{BoxGrid, CostStats, GroupValue, Overlay, RangeSumEngine, StatsCell};
+
+use crate::device::{BlockDevice, DeviceConfig};
+use crate::disk_array::{DiskArray, Layout};
+use crate::file_device::PageStore;
+use crate::pool::{BufferPool, IoStats};
+
+/// Relative-prefix-sum engine with a disk-resident RP array.
+///
+/// The overlay (anchors + borders) lives in memory — §4.4 shows it needs a
+/// small fraction of RP's storage (≈ 2% for 100×100 boxes) — while RP sits
+/// behind an LRU [`BufferPool`] on a [`crate::BlockDevice`]. With the
+/// box-aligned layout, each query touches at most one RP page per corner
+/// and each update touches only the page run of a single box: the
+/// constant-block-I/O behaviour the paper predicts.
+///
+/// The buffer pool is interior-mutable (`RefCell`): faulting a page on a
+/// read query mutates LRU state, exactly as in a real database engine
+/// where reads dirty the cache but not the data. The engine is
+/// single-threaded (`!Sync`), which the `RefCell` encodes in the type.
+#[derive(Debug)]
+pub struct DiskRpsEngine<T, S = BlockDevice<T>> {
+    grid: BoxGrid,
+    overlay: Overlay<T>,
+    rp: DiskArray<T>,
+    pool: RefCell<BufferPool<T, S>>,
+    stats: StatsCell,
+}
+
+impl<T: GroupValue + Default> DiskRpsEngine<T> {
+    /// Builds from a cube with uniform box side `k`, the given device
+    /// geometry, and `pool_frames` buffer-pool frames. RP is laid out
+    /// box-aligned.
+    pub fn from_cube_uniform(
+        a: &NdCube<T>,
+        k: usize,
+        device: DeviceConfig,
+        pool_frames: usize,
+    ) -> Result<Self, NdError> {
+        let grid = BoxGrid::new(a.shape().clone(), &vec![k; a.ndim()])?;
+        Ok(Self::from_cube_with_grid(
+            a,
+            grid,
+            device,
+            pool_frames,
+            true,
+        ))
+    }
+
+    /// Builds with an explicit grid and a choice of RP layout
+    /// (`box_aligned = false` gives the flat row-major layout, the
+    /// configuration the §4.4 benches compare against).
+    pub fn from_cube_with_grid(
+        a: &NdCube<T>,
+        grid: BoxGrid,
+        device: DeviceConfig,
+        pool_frames: usize,
+        box_aligned: bool,
+    ) -> Self {
+        let pool = BufferPool::new(BlockDevice::new(device), pool_frames);
+        Self::from_cube_with_pool(a, grid, pool, box_aligned)
+    }
+}
+
+impl<T: GroupValue + Default, S: PageStore<T>> DiskRpsEngine<T, S> {
+    /// Builds on an explicit buffer pool — the entry point for custom
+    /// page stores such as the persistent [`crate::FileDevice`].
+    pub fn from_cube_with_pool(
+        a: &NdCube<T>,
+        grid: BoxGrid,
+        mut pool: BufferPool<T, S>,
+        box_aligned: bool,
+    ) -> Self {
+        // Construction happens in memory (one pass), then RP is spilled
+        // to the device page by page.
+        let rp_mem = relative_prefix_sums(a, &grid);
+        let overlay = build_overlay(a, &rp_mem, grid.clone());
+
+        let layout = if box_aligned {
+            Layout::BoxAligned(grid.clone())
+        } else {
+            Layout::RowMajor
+        };
+        let rp = DiskArray::allocate(&mut pool, a.shape().clone(), layout);
+        let full = a.shape().full_region();
+        a.shape().for_each_region_cell(&full, |coords, lin| {
+            rp.set(&mut pool, coords, rp_mem.get_linear(lin).clone());
+        });
+        pool.flush();
+        pool.reset_stats();
+
+        DiskRpsEngine {
+            grid,
+            overlay,
+            rp,
+            pool: RefCell::new(pool),
+            stats: StatsCell::new(),
+        }
+    }
+
+    /// Reattaches to an RP array already resident on a page store —
+    /// restart after a shutdown with a persistent device (e.g.
+    /// [`crate::FileDevice`]). Reads RP back (O(N) page reads), recovers
+    /// `A` by the inverse sweep, and rebuilds the in-memory overlay.
+    ///
+    /// The caller must supply the same grid and layout the engine was
+    /// created with; RP pages must start at the store's first page, as
+    /// [`Self::from_cube_with_pool`] lays them out on a fresh device.
+    pub fn reopen(grid: BoxGrid, mut pool: BufferPool<T, S>, box_aligned: bool) -> Self {
+        let shape = grid.cube_shape().clone();
+        let layout = if box_aligned {
+            Layout::BoxAligned(grid.clone())
+        } else {
+            Layout::RowMajor
+        };
+        // Re-derive the page mapping without allocating: the device
+        // already holds the pages, so allocation would double them.
+        let rp = DiskArray::attach(&mut pool, shape.clone(), layout);
+
+        // Read RP back into memory to rebuild the overlay.
+        let mut rp_mem = NdCube::filled(shape.dims(), T::default()).expect("valid shape");
+        let full = shape.full_region();
+        shape.for_each_region_cell(&full, |coords, lin| {
+            *rp_mem.get_linear_mut(lin) = rp.get(&mut pool, coords);
+        });
+        let a = inverse_relative_prefix_sums(&rp_mem, &grid);
+        let overlay = build_overlay(&a, &rp_mem, grid.clone());
+        pool.reset_stats();
+        DiskRpsEngine {
+            grid,
+            overlay,
+            rp,
+            pool: RefCell::new(pool),
+            stats: StatsCell::new(),
+        }
+    }
+
+    /// Page-level I/O counters (reads, writes, hits, misses, evictions).
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.borrow().io_stats()
+    }
+
+    /// Resets page-level counters.
+    pub fn reset_io_stats(&self) {
+        self.pool.borrow_mut().reset_stats();
+    }
+
+    /// Writes all dirty pages back to the device.
+    pub fn flush(&self) {
+        self.pool.borrow_mut().flush();
+    }
+
+    /// The box partition in use.
+    pub fn grid(&self) -> &BoxGrid {
+        &self.grid
+    }
+
+    /// Number of device pages the RP array occupies.
+    pub fn rp_pages(&self) -> usize {
+        self.rp.num_pages()
+    }
+
+    /// In-memory overlay cells (the RAM footprint §4.4 reasons about).
+    pub fn overlay_cells(&self) -> usize {
+        self.overlay.storage_cells()
+    }
+
+    /// The prefix region sum `Sum(A[0,…,0] : A[x])` — the same
+    /// reconstruction as [`rps_core::RpsEngine::prefix_sum`], with the
+    /// single RP read going to disk.
+    pub fn prefix_sum(&self, x: &[usize]) -> Result<T, NdError> {
+        self.rp.shape().check(x)?;
+        Ok(self.prefix_internal(x))
+    }
+
+    fn prefix_internal(&self, x: &[usize]) -> T {
+        let (mut acc, mut reads) = overlay_prefix_part(&self.grid, &self.overlay, x);
+
+        // The single disk access of the reconstruction: one RP cell.
+        let rp_val = self.rp.get(&mut self.pool.borrow_mut(), x);
+        acc.add_assign(&rp_val);
+        reads += 1;
+        self.stats.reads(reads);
+        acc
+    }
+}
+
+impl<T: GroupValue + Default, S: PageStore<T>> RangeSumEngine<T> for DiskRpsEngine<T, S> {
+    fn name(&self) -> &'static str {
+        "disk-rps"
+    }
+
+    fn shape(&self) -> &Shape {
+        self.rp.shape()
+    }
+
+    fn query(&self, region: &Region) -> Result<T, NdError> {
+        self.rp.shape().check_region(region)?;
+        let sum = range_sum_from_prefix(region, |corner| self.prefix_internal(corner));
+        self.stats.query();
+        Ok(sum)
+    }
+
+    fn update(&mut self, coords: &[usize], delta: T) -> Result<(), NdError> {
+        self.rp.shape().check(coords)?;
+        if delta.is_zero() {
+            // Same short-circuit as the in-memory engine: adding the
+            // identity must not fault or dirty any RP page.
+            self.stats.update();
+            return Ok(());
+        }
+        let b = self.grid.box_index_of(coords);
+
+        // RP cascade within the box, through the pool.
+        let box_region = self.grid.box_region(&b);
+        let rp_region = Region::new(coords, box_region.hi()).expect("coords within box");
+        let mut writes = 0u64;
+        {
+            let pool = self.pool.get_mut();
+            ndcube::RegionIter::for_each_coords(&rp_region, |cur| {
+                self.rp.modify(pool, cur, |c| c.add_assign(&delta));
+                writes += 1;
+            });
+        }
+        self.stats.writes(writes);
+
+        // Overlay walk — the overlay lives in memory, so this half is
+        // shared verbatim with the in-memory engine.
+        let overlay_writes = apply_overlay_update(&self.grid, &mut self.overlay, coords, &delta);
+        self.stats.writes(overlay_writes);
+        self.stats.update();
+        Ok(())
+    }
+
+    fn stats(&self) -> CostStats {
+        self.stats.get()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    fn storage_cells(&self) -> usize {
+        self.rp.shape().len() + self.overlay.storage_cells()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube_16() -> NdCube<i64> {
+        NdCube::from_fn(&[16, 16], |c| ((c[0] * 31 + c[1] * 7) % 11) as i64).unwrap()
+    }
+
+    #[test]
+    fn matches_in_memory_rps() {
+        let a = cube_16();
+        let disk = DiskRpsEngine::from_cube_uniform(&a, 4, DeviceConfig { cells_per_page: 16 }, 8)
+            .unwrap();
+        let mem = rps_core::RpsEngine::from_cube_uniform(&a, 4).unwrap();
+        for (lo, hi) in [([0, 0], [15, 15]), ([3, 5], [12, 14]), ([7, 7], [7, 7])] {
+            let r = Region::new(&lo, &hi).unwrap();
+            assert_eq!(disk.query(&r).unwrap(), mem.query(&r).unwrap(), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn updates_persist_through_pool() {
+        let a = cube_16();
+        let mut disk = DiskRpsEngine::from_cube_uniform(
+            &a,
+            4,
+            DeviceConfig { cells_per_page: 8 },
+            2, // tiny pool: forces evictions + write-backs
+        )
+        .unwrap();
+        let full = Region::new(&[0, 0], &[15, 15]).unwrap();
+        let before = disk.query(&full).unwrap();
+        disk.update(&[5, 9], 100).unwrap();
+        disk.update(&[0, 0], -7).unwrap();
+        assert_eq!(disk.query(&full).unwrap(), before + 93);
+        assert!(disk.io_stats().evictions > 0, "tiny pool must evict");
+    }
+
+    #[test]
+    fn box_aligned_update_touches_one_box_run() {
+        // §4.4: with box-aligned layout, an update's RP I/O is confined
+        // to the pages of one box.
+        let a = cube_16();
+        let mut disk = DiskRpsEngine::from_cube_uniform(
+            &a,
+            4,
+            DeviceConfig { cells_per_page: 16 }, // one box = exactly 1 page
+            4,
+        )
+        .unwrap();
+        disk.reset_io_stats();
+        disk.update(&[1, 1], 1).unwrap();
+        disk.flush();
+        let io = disk.io_stats();
+        assert_eq!(io.page_reads, 1, "update should fault exactly one RP page");
+        assert_eq!(io.page_writes, 1, "flush writes exactly one dirty page");
+    }
+
+    #[test]
+    fn query_faults_bounded_pages() {
+        let a = cube_16();
+        let disk = DiskRpsEngine::from_cube_uniform(&a, 4, DeviceConfig { cells_per_page: 16 }, 8)
+            .unwrap();
+        disk.reset_io_stats();
+        let r = Region::new(&[2, 3], &[13, 12]).unwrap();
+        disk.query(&r).unwrap();
+        // ≤ 4 corners ⇒ ≤ 4 distinct RP pages.
+        assert!(disk.io_stats().page_reads <= 4);
+    }
+
+    #[test]
+    fn overlay_is_small_fraction_of_rp() {
+        let a = NdCube::from_fn(&[100, 100], |c| (c[0] + c[1]) as i64).unwrap();
+        let disk = DiskRpsEngine::from_cube_uniform(
+            &a,
+            10,
+            DeviceConfig {
+                cells_per_page: 100,
+            },
+            16,
+        )
+        .unwrap();
+        let overlay = disk.overlay_cells() as f64;
+        let rp = (disk.rp_pages() * 100) as f64;
+        assert!(overlay / rp < 0.25, "overlay {overlay} vs rp {rp}");
+    }
+
+    #[test]
+    fn zero_delta_update_does_no_io() {
+        let a = cube_16();
+        let mut disk =
+            DiskRpsEngine::from_cube_uniform(&a, 4, DeviceConfig { cells_per_page: 16 }, 4)
+                .unwrap();
+        disk.reset_io_stats();
+        disk.update(&[5, 5], 0).unwrap();
+        disk.flush();
+        let io = disk.io_stats();
+        assert_eq!(io.page_reads, 0);
+        assert_eq!(io.page_writes, 0);
+    }
+
+    #[test]
+    fn set_round_trip() {
+        let a = cube_16();
+        let mut disk =
+            DiskRpsEngine::from_cube_uniform(&a, 4, DeviceConfig { cells_per_page: 32 }, 8)
+                .unwrap();
+        disk.set(&[3, 3], 42).unwrap();
+        assert_eq!(disk.cell(&[3, 3]).unwrap(), 42);
+    }
+
+    #[test]
+    fn three_dimensional_disk_engine() {
+        let a = NdCube::from_fn(&[8, 8, 8], |c| (c[0] + 2 * c[1] + 3 * c[2]) as i64).unwrap();
+        let mut disk =
+            DiskRpsEngine::from_cube_uniform(&a, 2, DeviceConfig { cells_per_page: 8 }, 16)
+                .unwrap();
+        let mem = rps_core::RpsEngine::from_cube_uniform(&a, 2).unwrap();
+        let r = Region::new(&[1, 2, 3], &[6, 7, 7]).unwrap();
+        assert_eq!(disk.query(&r).unwrap(), mem.query(&r).unwrap());
+        disk.update(&[4, 4, 4], 99).unwrap();
+        assert_eq!(disk.query(&r).unwrap(), mem.query(&r).unwrap() + 99);
+    }
+
+    #[test]
+    fn row_major_layout_also_correct() {
+        let a = cube_16();
+        let shape = a.shape().clone();
+        let grid = BoxGrid::new(shape, &[4, 4]).unwrap();
+        let disk = DiskRpsEngine::from_cube_with_grid(
+            &a,
+            grid,
+            DeviceConfig { cells_per_page: 16 },
+            8,
+            false, // row-major RP layout
+        );
+        let mem = rps_core::RpsEngine::from_cube_uniform(&a, 4).unwrap();
+        let r = Region::new(&[3, 5], &[12, 14]).unwrap();
+        assert_eq!(disk.query(&r).unwrap(), mem.query(&r).unwrap());
+    }
+}

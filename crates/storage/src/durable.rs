@@ -1,0 +1,329 @@
+//! Durability wrapper: WAL-protected updates over any engine.
+//!
+//! Protocol (classic ARIES-lite at the granularity of whole snapshots):
+//!
+//! 1. [`DurableEngine::open`] loads the last checkpoint (the caller
+//!    supplies the base engine *and the LSN that snapshot includes*) and
+//!    replays only WAL records **newer than that LSN**;
+//! 2. every [`update`](DurableEngine::update) appends to the WAL *before*
+//!    touching the structure (optionally fsyncing per append);
+//! 3. [`checkpoint`](DurableEngine::checkpoint) hands the caller's
+//!    persistence action the engine **and the LSN the snapshot will
+//!    include**; on success the WAL is truncated as a replay-time
+//!    optimization.
+//!
+//! Because recovery filters by LSN, a crash *anywhere* — including
+//! between a successful persist and the WAL truncation — replays exactly
+//! the updates the snapshot does not contain: no loss, no double-apply.
+//! The caller must store the checkpoint LSN durably alongside the
+//! snapshot (a sidecar file, a filename suffix, …).
+
+use std::io;
+use std::path::Path;
+
+use ndcube::{NdError, Region};
+use rps_core::{CostStats, RangeSumEngine};
+
+use crate::wal::Wal;
+
+/// An engine whose updates are write-ahead logged.
+///
+/// Deltas are `i64` — the WAL frame stores one fixed-width delta, so
+/// wrapping a `SumCount`/float engine would need a pluggable delta codec
+/// (deliberately out of scope; see DESIGN.md S21). Every example and the
+/// CLI persist `i64` measures.
+#[derive(Debug)]
+pub struct DurableEngine<E> {
+    engine: E,
+    wal: Wal,
+    sync_every_append: bool,
+}
+
+impl<E: RangeSumEngine<i64>> DurableEngine<E> {
+    /// Wraps `engine` — the state of the checkpoint taken at
+    /// `snapshot_lsn` (0 for a fresh structure with no checkpoint) — and
+    /// replays WAL records with LSN > `snapshot_lsn` onto it. Repairs a
+    /// torn tail left by a crash.
+    pub fn open(mut engine: E, wal_path: &Path, snapshot_lsn: u64) -> io::Result<DurableEngine<E>> {
+        let records = Wal::repair(wal_path)?;
+        for rec in records.iter().filter(|r| r.lsn > snapshot_lsn) {
+            engine
+                .update(&rec.coords, rec.delta)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        }
+        let mut wal = Wal::open(wal_path)?;
+        // After a checkpoint truncated the log, a reopened counter would
+        // restart below snapshot_lsn and recovery would later discard new
+        // records; pin the floor to the snapshot's LSN.
+        wal.ensure_lsn_after(snapshot_lsn);
+        Ok(DurableEngine {
+            engine,
+            wal,
+            sync_every_append: false,
+        })
+    }
+
+    /// Per-append `fdatasync` for strict durability (survives power
+    /// loss, not just process crash). Default off: group-commit style,
+    /// records are synced at checkpoints.
+    pub fn set_sync_every_append(&mut self, on: bool) {
+        self.sync_every_append = on;
+    }
+
+    /// Logged point update: the WAL append happens first, so a crash
+    /// after the append but before the structural change is replayed on
+    /// recovery, and a crash during the append leaves a repairable tail.
+    pub fn update(&mut self, coords: &[usize], delta: i64) -> Result<(), NdError> {
+        self.engine.shape().check(coords)?;
+        self.wal
+            .append(coords, delta)
+            .expect("WAL append failed: refusing to apply an unlogged update");
+        if self.sync_every_append {
+            self.wal.sync().expect("WAL sync failed");
+        }
+        self.engine.update(coords, delta)
+    }
+
+    /// Range query (read-only; never logged).
+    pub fn query(&self, region: &Region) -> Result<i64, NdError> {
+        self.engine.query(region)
+    }
+
+    /// Checkpoints: `persist` receives the engine and the LSN this
+    /// snapshot includes, and must durably save **both**. On success the
+    /// WAL is truncated (replay-time optimization only — recovery is
+    /// already correct without it, thanks to the LSN filter).
+    pub fn checkpoint<Err>(
+        &mut self,
+        persist: impl FnOnce(&E, u64) -> Result<(), Err>,
+    ) -> Result<u64, Err> {
+        self.wal.sync().expect("WAL sync before checkpoint");
+        let lsn = self.wal.last_lsn();
+        persist(&self.engine, lsn)?;
+        self.wal
+            .checkpoint()
+            .expect("WAL truncate after successful checkpoint");
+        Ok(lsn)
+    }
+
+    /// LSN of the most recent logged update (0 when none ever).
+    pub fn last_lsn(&self) -> u64 {
+        self.wal.last_lsn()
+    }
+
+    /// Unflushed updates currently protected only by the WAL.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.len().unwrap_or(0)
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Engine cost counters.
+    pub fn stats(&self) -> CostStats {
+        self.engine.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rps_core::snapshot;
+    use rps_core::RpsEngine;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("rps-durable-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn full() -> Region {
+        Region::new(&[0, 0], &[7, 7]).unwrap()
+    }
+
+    /// Persists snapshot + LSN sidecar the way a real caller would.
+    fn persist_with_lsn(
+        e: &RpsEngine<i64>,
+        lsn: u64,
+        snap: &Path,
+    ) -> Result<(), snapshot::SnapshotError> {
+        snapshot::save_rps(e, std::fs::File::create(snap).unwrap())?;
+        std::fs::write(snap.with_extension("lsn"), lsn.to_string()).unwrap();
+        Ok(())
+    }
+
+    fn load_with_lsn(snap: &Path) -> (RpsEngine<i64>, u64) {
+        let engine = snapshot::load_rps(std::fs::File::open(snap).unwrap()).unwrap();
+        let lsn: u64 = std::fs::read_to_string(snap.with_extension("lsn"))
+            .map(|s| s.trim().parse().unwrap())
+            .unwrap_or(0);
+        (engine, lsn)
+    }
+
+    #[test]
+    fn crash_before_checkpoint_recovers_from_wal() {
+        let wal = tmp("crash.wal");
+        let snap = tmp("crash.rps");
+
+        {
+            let mut d =
+                DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
+            d.checkpoint(|e, lsn| persist_with_lsn(e, lsn, &snap))
+                .unwrap();
+            d.update(&[2, 2], 10).unwrap();
+            d.update(&[5, 5], 32).unwrap();
+            // dropped here without another checkpoint
+        }
+
+        let (base, lsn) = load_with_lsn(&snap);
+        let d = DurableEngine::open(base, &wal, lsn).unwrap();
+        assert_eq!(d.query(&full()).unwrap(), 42);
+    }
+
+    #[test]
+    fn crash_between_persist_and_truncate_does_not_double_apply() {
+        // The window the LSN filter exists for: the snapshot succeeded
+        // but the WAL truncation never ran (persist returns Err AFTER
+        // durably saving, simulating a crash at exactly that point).
+        let wal = tmp("window.wal");
+        let snap = tmp("window.rps");
+
+        {
+            let mut d =
+                DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
+            d.update(&[1, 1], 100).unwrap();
+            // Persist succeeds durably, then "crash" before truncation.
+            let result: Result<u64, ()> = d.checkpoint(|e, lsn| {
+                persist_with_lsn(e, lsn, &snap).unwrap();
+                Err(()) // simulate dying before checkpoint() truncates
+            });
+            assert!(result.is_err());
+            assert!(d.wal_bytes() > 0, "WAL must still hold the record");
+        }
+
+        // Recovery: snapshot already CONTAINS the +100; the WAL record
+        // for it (lsn 1) must be skipped, not re-applied.
+        let (base, lsn) = load_with_lsn(&snap);
+        assert_eq!(lsn, 1);
+        let d = DurableEngine::open(base, &wal, lsn).unwrap();
+        assert_eq!(d.query(&full()).unwrap(), 100, "double-apply detected");
+    }
+
+    #[test]
+    fn updates_after_checkpoint_and_restart_survive_next_recovery() {
+        // Regression (found in review): session 1 checkpoints (lsn 3,
+        // WAL truncated) and shuts down cleanly; session 2 reopens and
+        // applies more updates; session 3 recovers. Without an LSN floor
+        // the session-2 records get LSNs 1.. and are filtered out.
+        let wal = tmp("restartlsn.wal");
+        let snap = tmp("restartlsn.rps");
+
+        // Session 1.
+        {
+            let mut d =
+                DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
+            d.update(&[0, 0], 1).unwrap();
+            d.update(&[0, 1], 2).unwrap();
+            d.update(&[0, 2], 4).unwrap();
+            d.checkpoint(|e, lsn| persist_with_lsn(e, lsn, &snap))
+                .unwrap();
+        }
+        // Session 2: more updates, no checkpoint ("crash" at the end).
+        {
+            let (base, lsn) = load_with_lsn(&snap);
+            assert_eq!(lsn, 3);
+            let mut d = DurableEngine::open(base, &wal, lsn).unwrap();
+            d.update(&[1, 0], 8).unwrap();
+            d.update(&[1, 1], 16).unwrap();
+            assert_eq!(d.last_lsn(), 5, "LSNs must continue past the snapshot");
+        }
+        // Session 3: recovery must include the session-2 updates.
+        let (base, lsn) = load_with_lsn(&snap);
+        let d = DurableEngine::open(base, &wal, lsn).unwrap();
+        assert_eq!(d.query(&full()).unwrap(), 31);
+    }
+
+    #[test]
+    fn checkpoint_clears_wal() {
+        let wal = tmp("ckpt.wal");
+        let snap = tmp("ckpt.rps");
+        let mut d =
+            DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
+        d.update(&[1, 1], 7).unwrap();
+        assert!(d.wal_bytes() > 0);
+        let lsn = d
+            .checkpoint(|e, lsn| persist_with_lsn(e, lsn, &snap))
+            .unwrap();
+        assert_eq!(lsn, 1);
+        assert_eq!(d.wal_bytes(), 0);
+
+        let (base, lsn) = load_with_lsn(&snap);
+        let d2 = DurableEngine::open(base, &wal, lsn).unwrap();
+        assert_eq!(d2.query(&full()).unwrap(), 7);
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_prefix() {
+        let wal = tmp("torn.wal");
+        {
+            let mut d =
+                DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
+            d.update(&[0, 0], 1).unwrap();
+            d.update(&[1, 1], 2).unwrap();
+        }
+        let len = std::fs::metadata(&wal).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+
+        let d = DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
+        assert_eq!(d.query(&full()).unwrap(), 1); // first update survived
+    }
+
+    #[test]
+    fn failed_checkpoint_keeps_wal() {
+        let wal = tmp("fail.wal");
+        let mut d =
+            DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
+        d.update(&[3, 3], 5).unwrap();
+        let before = d.wal_bytes();
+        let result: Result<u64, &str> = d.checkpoint(|_, _| Err("disk full"));
+        assert!(result.is_err());
+        assert_eq!(
+            d.wal_bytes(),
+            before,
+            "WAL must survive a failed checkpoint"
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_without_logging() {
+        let wal = tmp("oob.wal");
+        let mut d =
+            DurableEngine::open(RpsEngine::<i64>::zeros(&[4, 4]).unwrap(), &wal, 0).unwrap();
+        assert!(d.update(&[9, 9], 1).is_err());
+        assert_eq!(d.wal_bytes(), 0, "invalid updates must not be logged");
+    }
+
+    #[test]
+    fn sync_every_append_mode() {
+        let wal = tmp("strict.wal");
+        let mut d =
+            DurableEngine::open(RpsEngine::<i64>::zeros(&[4, 4]).unwrap(), &wal, 0).unwrap();
+        d.set_sync_every_append(true);
+        d.update(&[1, 1], 3).unwrap();
+        assert_eq!(d.query(&full_small()).unwrap(), 3);
+
+        fn full_small() -> Region {
+            Region::new(&[0, 0], &[3, 3]).unwrap()
+        }
+    }
+}

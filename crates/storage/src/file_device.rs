@@ -1,0 +1,285 @@
+//! A file-backed page store: the same page interface as the in-memory
+//! [`crate::BlockDevice`], persisted to a real file.
+//!
+//! Pages live at byte offset `page · cells_per_page · CELL_BYTES`, cells
+//! little-endian. This is the "production" end of the storage substrate:
+//! the simulated device measures I/O counts, the file device actually
+//! persists — both sit behind the same [`PageStore`] trait, so the buffer
+//! pool and every experiment run unchanged on either.
+
+use std::cell::Cell;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+
+use crate::device::{BlockDevice, DeviceConfig, DeviceStats, PageId};
+
+/// A fixed-width cell that can live on a [`FileDevice`] page.
+pub trait PodCell: Clone + Default {
+    /// Encoded width in bytes.
+    const BYTES: usize;
+    /// Encodes into exactly [`Self::BYTES`] bytes.
+    fn write_le(&self, out: &mut [u8]);
+    /// Decodes from exactly [`Self::BYTES`] bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {$(
+        impl PodCell for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+            fn write_le(&self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("width checked"))
+            }
+        }
+    )*};
+}
+
+impl_pod!(i32, i64, u32, u64, f32, f64);
+
+/// The abstract page interface shared by the simulated and file-backed
+/// devices.
+pub trait PageStore<T> {
+    /// Cells per page.
+    fn cells_per_page(&self) -> usize;
+    /// Allocated pages.
+    fn num_pages(&self) -> usize;
+    /// Allocates `n` consecutive zeroed pages, returning the first id.
+    fn alloc_pages(&mut self, n: usize) -> PageId;
+    /// Reads a page into `buf` (resized to page size). Counted.
+    fn read_page(&self, id: PageId, buf: &mut Vec<T>);
+    /// Writes one full page. Counted.
+    fn write_page(&mut self, id: PageId, data: &[T]);
+    /// I/O counters.
+    fn stats(&self) -> DeviceStats;
+    /// Resets counters.
+    fn reset_stats(&self);
+}
+
+impl<T: Clone + Default> PageStore<T> for BlockDevice<T> {
+    fn cells_per_page(&self) -> usize {
+        self.config().cells_per_page
+    }
+
+    fn num_pages(&self) -> usize {
+        BlockDevice::num_pages(self)
+    }
+
+    fn alloc_pages(&mut self, n: usize) -> PageId {
+        BlockDevice::alloc_pages(self, n)
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut Vec<T>) {
+        BlockDevice::read_page(self, id, buf);
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[T]) {
+        BlockDevice::write_page(self, id, data);
+    }
+
+    fn stats(&self) -> DeviceStats {
+        BlockDevice::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        BlockDevice::reset_stats(self);
+    }
+}
+
+/// Pages persisted in a real file.
+#[derive(Debug)]
+pub struct FileDevice<T> {
+    file: File,
+    config: DeviceConfig,
+    pages: usize,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: PodCell> FileDevice<T> {
+    /// Creates (truncating) a device file.
+    pub fn create(path: &Path, config: DeviceConfig) -> io::Result<Self> {
+        assert!(config.cells_per_page >= 1);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileDevice {
+            file,
+            config,
+            pages: 0,
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Opens an existing device file, inferring the page count from its
+    /// length (must be a whole number of pages).
+    pub fn open(path: &Path, config: DeviceConfig) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let page_bytes = (config.cells_per_page * T::BYTES) as u64;
+        let len = file.metadata()?.len();
+        if len % page_bytes != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("file length {len} is not a whole number of {page_bytes}-byte pages"),
+            ));
+        }
+        Ok(FileDevice {
+            file,
+            config,
+            pages: (len / page_bytes) as usize,
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    fn page_bytes(&self) -> usize {
+        self.config.cells_per_page * T::BYTES
+    }
+
+    fn offset(&self, id: PageId) -> u64 {
+        id.0 as u64 * self.page_bytes() as u64
+    }
+}
+
+impl<T: PodCell> PageStore<T> for FileDevice<T> {
+    fn cells_per_page(&self) -> usize {
+        self.config.cells_per_page
+    }
+
+    fn num_pages(&self) -> usize {
+        self.pages
+    }
+
+    fn alloc_pages(&mut self, n: usize) -> PageId {
+        use std::io::{Seek, SeekFrom, Write};
+        let first = PageId(u32::try_from(self.pages).expect("page count fits u32"));
+        let zeros = vec![0u8; self.page_bytes()];
+        self.file
+            .seek(SeekFrom::Start(self.offset(first)))
+            .expect("seek to end of device file");
+        for _ in 0..n {
+            self.file.write_all(&zeros).expect("extend device file");
+        }
+        self.pages += n;
+        first
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut Vec<T>) {
+        use std::os::unix::fs::FileExt;
+        assert!((id.0 as usize) < self.pages, "page {id:?} unallocated");
+        let mut raw = vec![0u8; self.page_bytes()];
+        self.file
+            .read_exact_at(&mut raw, self.offset(id))
+            .expect("read device page");
+        buf.clear();
+        buf.extend(raw.chunks_exact(T::BYTES).map(T::read_le));
+        self.reads.set(self.reads.get() + 1);
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[T]) {
+        use std::os::unix::fs::FileExt;
+        assert!((id.0 as usize) < self.pages, "page {id:?} unallocated");
+        assert_eq!(data.len(), self.config.cells_per_page, "partial page write");
+        let mut raw = vec![0u8; self.page_bytes()];
+        for (cell, chunk) in data.iter().zip(raw.chunks_exact_mut(T::BYTES)) {
+            cell.write_le(chunk);
+        }
+        self.file
+            .write_all_at(&raw, self.offset(id))
+            .expect("write device page");
+        self.writes.set(self.writes.get() + 1);
+    }
+
+    fn stats(&self) -> DeviceStats {
+        DeviceStats {
+            page_reads: self.reads.get(),
+            page_writes: self.writes.get(),
+        }
+    }
+
+    fn reset_stats(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rps-file-device");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let path = tmp("rt.pages");
+        let mut dev = FileDevice::<i64>::create(&path, DeviceConfig { cells_per_page: 4 }).unwrap();
+        let p0 = dev.alloc_pages(3);
+        assert_eq!(p0, PageId(0));
+        dev.write_page(PageId(1), &[10, -20, 30, -40]);
+        let mut buf = Vec::new();
+        dev.read_page(PageId(1), &mut buf);
+        assert_eq!(buf, vec![10, -20, 30, -40]);
+        dev.read_page(PageId(0), &mut buf);
+        assert_eq!(buf, vec![0, 0, 0, 0]);
+        assert_eq!(dev.stats().page_reads, 2);
+        assert_eq!(dev.stats().page_writes, 1);
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let path = tmp("persist.pages");
+        {
+            let mut dev =
+                FileDevice::<i64>::create(&path, DeviceConfig { cells_per_page: 2 }).unwrap();
+            dev.alloc_pages(2);
+            dev.write_page(PageId(0), &[7, 8]);
+            dev.write_page(PageId(1), &[9, 10]);
+        }
+        let dev = FileDevice::<i64>::open(&path, DeviceConfig { cells_per_page: 2 }).unwrap();
+        assert_eq!(PageStore::<i64>::num_pages(&dev), 2);
+        let mut buf = Vec::new();
+        dev.read_page(PageId(1), &mut buf);
+        assert_eq!(buf, vec![9, 10]);
+    }
+
+    #[test]
+    fn open_rejects_misaligned_file() {
+        let path = tmp("odd.pages");
+        std::fs::write(&path, [0u8; 13]).unwrap();
+        assert!(FileDevice::<i64>::open(&path, DeviceConfig { cells_per_page: 2 }).is_err());
+    }
+
+    #[test]
+    fn f64_cells() {
+        let path = tmp("floats.pages");
+        let mut dev = FileDevice::<f64>::create(&path, DeviceConfig { cells_per_page: 2 }).unwrap();
+        dev.alloc_pages(1);
+        dev.write_page(PageId(0), &[1.5, -2.25]);
+        let mut buf = Vec::new();
+        dev.read_page(PageId(0), &mut buf);
+        assert_eq!(buf, vec![1.5, -2.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn reads_beyond_allocation_panic() {
+        let path = tmp("oob.pages");
+        let dev = FileDevice::<i64>::create(&path, DeviceConfig { cells_per_page: 2 }).unwrap();
+        let mut buf = Vec::new();
+        dev.read_page(PageId(0), &mut buf);
+    }
+}

@@ -1,0 +1,98 @@
+//! Latency models: turning page-I/O counts into estimated device time.
+//!
+//! §4.4 argues in block counts because the dominant cost per block is a
+//! device constant. This module supplies those constants for typical
+//! devices so experiments can report estimated I/O time alongside raw
+//! counts — the substitution for the testbed the paper never had.
+
+use std::time::Duration;
+
+use crate::pool::IoStats;
+
+/// Per-page access costs of a storage device.
+///
+/// ```
+/// use rps_storage::{IoStats, LatencyModel};
+/// let io = IoStats { page_reads: 100, page_writes: 10, ..Default::default() };
+/// let hdd = LatencyModel::hdd_1999().io_time(&io);
+/// let ssd = LatencyModel::nvme().io_time(&io);
+/// assert!(hdd > ssd * 50); // the medium §4.4 designed for was slow
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Cost of transferring one page device → memory.
+    pub page_read: Duration,
+    /// Cost of transferring one page memory → device.
+    pub page_write: Duration,
+}
+
+impl LatencyModel {
+    /// A 1999-era spinning disk: ~10 ms average positioning + transfer
+    /// per random page — the device class the paper's §4.4 had in mind.
+    pub fn hdd_1999() -> LatencyModel {
+        LatencyModel {
+            page_read: Duration::from_micros(10_000),
+            page_write: Duration::from_micros(10_500),
+        }
+    }
+
+    /// A modern NVMe SSD: ~80 µs random page read, ~20 µs write (into
+    /// the device cache).
+    pub fn nvme() -> LatencyModel {
+        LatencyModel {
+            page_read: Duration::from_micros(80),
+            page_write: Duration::from_micros(20),
+        }
+    }
+
+    /// Estimated device time for a batch of I/O.
+    pub fn io_time(&self, io: &IoStats) -> Duration {
+        self.page_read * u32::try_from(io.page_reads).unwrap_or(u32::MAX)
+            + self.page_write * u32::try_from(io.page_writes).unwrap_or(u32::MAX)
+    }
+
+    /// Estimated mean device time per operation.
+    pub fn per_op(&self, io: &IoStats, ops: u64) -> Duration {
+        if ops == 0 {
+            Duration::ZERO
+        } else {
+            self.io_time(io) / u32::try_from(ops).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn io(reads: u64, writes: u64) -> IoStats {
+        IoStats {
+            page_reads: reads,
+            page_writes: writes,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn io_time_accumulates() {
+        let m = LatencyModel::nvme();
+        let t = m.io_time(&io(10, 5));
+        assert_eq!(t, Duration::from_micros(10 * 80 + 5 * 20));
+    }
+
+    #[test]
+    fn per_op_divides() {
+        let m = LatencyModel::nvme();
+        let t = m.per_op(&io(100, 0), 50);
+        assert_eq!(t, Duration::from_micros(160));
+        assert_eq!(m.per_op(&io(100, 0), 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn hdd_dwarfs_nvme() {
+        let stats = io(100, 100);
+        assert!(
+            LatencyModel::hdd_1999().io_time(&stats) > 50 * LatencyModel::nvme().io_time(&stats)
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end persistence: an RPS engine whose RP array lives in a real
+//! file survives shutdown and restart — updates applied before the flush
+//! are visible after reopening from the same file, through a fresh
+//! buffer pool and a rebuilt overlay.
+
+use ndcube::{NdCube, Region};
+use rps_core::{BoxGrid, RangeSumEngine, RpsEngine};
+use rps_storage::{BufferPool, DeviceConfig, DiskRpsEngine, FileDevice};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("rps-persistent-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+const N: usize = 16;
+const K: usize = 4;
+const CPP: usize = 16; // one box region = one page
+
+fn grid(cube: &NdCube<i64>) -> BoxGrid {
+    BoxGrid::new(cube.shape().clone(), &[K, K]).unwrap()
+}
+
+#[test]
+fn survives_restart_from_file() {
+    let path = tmp("restart.pages");
+    let cube = NdCube::from_fn(&[N, N], |c| ((c[0] * 5 + c[1]) % 7) as i64).unwrap();
+
+    // Session 1: build on a fresh file device, update, flush, drop.
+    {
+        let device = FileDevice::<i64>::create(
+            &path,
+            DeviceConfig {
+                cells_per_page: CPP,
+            },
+        )
+        .unwrap();
+        let pool = BufferPool::new(device, 8);
+        let mut engine = DiskRpsEngine::from_cube_with_pool(&cube, grid(&cube), pool, true);
+        engine.update(&[3, 3], 100).unwrap();
+        engine.update(&[15, 0], -7).unwrap();
+        engine.flush();
+    }
+
+    // Session 2: reopen the same file, rebuild the overlay, verify.
+    let device = FileDevice::<i64>::open(
+        &path,
+        DeviceConfig {
+            cells_per_page: CPP,
+        },
+    )
+    .unwrap();
+    let pool = BufferPool::new(device, 8);
+    let reopened = DiskRpsEngine::reopen(grid(&cube), pool, true);
+
+    let mut oracle = RpsEngine::from_cube_uniform(&cube, K).unwrap();
+    oracle.update(&[3, 3], 100).unwrap();
+    oracle.update(&[15, 0], -7).unwrap();
+
+    for (lo, hi) in [
+        ([0, 0], [15, 15]),
+        ([2, 2], [12, 13]),
+        ([3, 3], [3, 3]),
+        ([15, 0], [15, 0]),
+    ] {
+        let r = Region::new(&lo, &hi).unwrap();
+        assert_eq!(
+            reopened.query(&r).unwrap(),
+            oracle.query(&r).unwrap(),
+            "{r:?}"
+        );
+    }
+}
+
+#[test]
+fn updates_after_restart_also_persist() {
+    let path = tmp("restart2.pages");
+    let cube = NdCube::from_fn(&[N, N], |c| (c[0] + c[1]) as i64).unwrap();
+
+    {
+        let device = FileDevice::<i64>::create(
+            &path,
+            DeviceConfig {
+                cells_per_page: CPP,
+            },
+        )
+        .unwrap();
+        let pool = BufferPool::new(device, 4);
+        let engine = DiskRpsEngine::from_cube_with_pool(&cube, grid(&cube), pool, true);
+        engine.flush();
+    }
+    // Second session applies more updates.
+    {
+        let device = FileDevice::<i64>::open(
+            &path,
+            DeviceConfig {
+                cells_per_page: CPP,
+            },
+        )
+        .unwrap();
+        let pool = BufferPool::new(device, 4);
+        let mut engine = DiskRpsEngine::reopen(grid(&cube), pool, true);
+        engine.update(&[0, 0], 1000).unwrap();
+        engine.flush();
+    }
+    // Third session sees both generations of data.
+    let device = FileDevice::<i64>::open(
+        &path,
+        DeviceConfig {
+            cells_per_page: CPP,
+        },
+    )
+    .unwrap();
+    let pool = BufferPool::new(device, 4);
+    let engine = DiskRpsEngine::reopen(grid(&cube), pool, true);
+    let full = Region::new(&[0, 0], &[N - 1, N - 1]).unwrap();
+    let base: i64 = (0..N)
+        .flat_map(|r| (0..N).map(move |c| (r + c) as i64))
+        .sum();
+    assert_eq!(engine.query(&full).unwrap(), base + 1000);
+}
+
+#[test]
+fn row_major_layout_restarts_too() {
+    let path = tmp("restart3.pages");
+    let cube = NdCube::from_fn(&[N, N], |c| (c[0] * c[1] % 5) as i64).unwrap();
+    {
+        let device = FileDevice::<i64>::create(&path, DeviceConfig { cells_per_page: 10 }).unwrap();
+        let pool = BufferPool::new(device, 4);
+        let mut engine = DiskRpsEngine::from_cube_with_pool(&cube, grid(&cube), pool, false);
+        engine.update(&[7, 7], 9).unwrap();
+        engine.flush();
+    }
+    let device = FileDevice::<i64>::open(&path, DeviceConfig { cells_per_page: 10 }).unwrap();
+    let pool = BufferPool::new(device, 4);
+    let engine = DiskRpsEngine::reopen(grid(&cube), pool, false);
+    assert_eq!(engine.cell(&[7, 7]).unwrap(), cube.get(&[7, 7]) + 9);
+}
+
+#[test]
+fn reopen_rejects_undersized_device() {
+    let path = tmp("short.pages");
+    let device = FileDevice::<i64>::create(
+        &path,
+        DeviceConfig {
+            cells_per_page: CPP,
+        },
+    )
+    .unwrap();
+    let pool = BufferPool::<i64, _>::new(device, 4);
+    let cube = NdCube::from_fn(&[N, N], |_| 0i64).unwrap();
+    let g = grid(&cube);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        DiskRpsEngine::reopen(g, pool, true)
+    }));
+    assert!(
+        result.is_err(),
+        "reopen on an empty device must fail loudly"
+    );
+}

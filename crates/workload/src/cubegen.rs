@@ -1,0 +1,122 @@
+//! Seeded data-cube generators.
+
+use ndcube::NdCube;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Deterministic generator of synthetic data cubes.
+///
+/// Every method takes the dimensions and draws from a `StdRng` seeded at
+/// construction, so a `(seed, dims, method)` triple always produces the
+/// same cube.
+///
+/// ```
+/// use rps_workload::CubeGen;
+/// let a = CubeGen::new(7).uniform(&[4, 4], 0, 9);
+/// let b = CubeGen::new(7).uniform(&[4, 4], 0, 9);
+/// assert_eq!(a, b); // same seed, same cube
+/// ```
+#[derive(Debug)]
+pub struct CubeGen {
+    rng: StdRng,
+}
+
+impl CubeGen {
+    /// A generator with a fixed seed.
+    pub fn new(seed: u64) -> CubeGen {
+        CubeGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Cube with every cell drawn uniformly from `lo..=hi`.
+    ///
+    /// Mirrors the paper's running example (Figure 1 uses small uniform
+    /// values 1..9).
+    pub fn uniform(&mut self, dims: &[usize], lo: i64, hi: i64) -> NdCube<i64> {
+        assert!(lo <= hi);
+        NdCube::from_fn(dims, |_| self.rng.gen_range(lo..=hi)).expect("valid dims")
+    }
+
+    /// Sparse cube: each cell is nonzero with probability `density`, with
+    /// nonzero values uniform in `1..=max`. OLAP cubes are typically very
+    /// sparse.
+    pub fn sparse(&mut self, dims: &[usize], density: f64, max: i64) -> NdCube<i64> {
+        assert!((0.0..=1.0).contains(&density));
+        assert!(max >= 1);
+        NdCube::from_fn(dims, |_| {
+            if self.rng.gen::<f64>() < density {
+                self.rng.gen_range(1..=max)
+            } else {
+                0
+            }
+        })
+        .expect("valid dims")
+    }
+
+    /// Skewed cube: cell magnitudes follow Zipf ranks along the first
+    /// dimension (hot rows), modelling e.g. recent dates dominating sales.
+    pub fn zipf_rows(&mut self, dims: &[usize], theta: f64, scale: i64) -> NdCube<i64> {
+        let z = Zipf::new(dims[0], theta);
+        NdCube::from_fn(dims, |c| {
+            let weight = z.pmf(c[0]) * dims[0] as f64;
+            let base = (weight * scale as f64).round() as i64;
+            base + self.rng.gen_range(0..=scale / 10 + 1)
+        })
+        .expect("valid dims")
+    }
+
+    /// The raw RNG, for ad-hoc draws sharing the generator's seed stream.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = CubeGen::new(9).uniform(&[6, 6], 0, 100);
+        let b = CubeGen::new(9).uniform(&[6, 6], 0, 100);
+        let c = CubeGen::new(10).uniform(&[6, 6], 0, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let cube = CubeGen::new(1).uniform(&[10, 10], -5, 5);
+        assert!(cube.as_slice().iter().all(|&v| (-5..=5).contains(&v)));
+    }
+
+    #[test]
+    fn sparse_density_approximate() {
+        let cube = CubeGen::new(2).sparse(&[50, 50], 0.1, 9);
+        let nonzero = cube.as_slice().iter().filter(|&&v| v != 0).count();
+        let frac = nonzero as f64 / 2500.0;
+        assert!(frac > 0.05 && frac < 0.16, "frac = {frac}");
+        assert!(cube.as_slice().iter().all(|&v| (0..=9).contains(&v)));
+    }
+
+    #[test]
+    fn zipf_rows_front_loaded() {
+        let cube = CubeGen::new(3).zipf_rows(&[20, 8], 1.2, 1000);
+        let row_sum = |r: usize| -> i64 { (0..8).map(|c| cube.get(&[r, c])).sum() };
+        assert!(
+            row_sum(0) > row_sum(19),
+            "{} vs {}",
+            row_sum(0),
+            row_sum(19)
+        );
+    }
+
+    #[test]
+    fn three_dim_generation() {
+        let cube = CubeGen::new(4).uniform(&[4, 5, 6], 1, 9);
+        assert_eq!(cube.len(), 120);
+    }
+}

@@ -1,0 +1,28 @@
+//! # rps-workload — deterministic workload generation
+//!
+//! Drives the benches, examples and integration tests of the RPS
+//! reproduction: seeded random data cubes, skewed (Zipf) and uniform
+//! update/query streams, and the paper's motivating OLAP scenario —
+//! a SALES cube over CUSTOMER_AGE × DATE receiving daily updates while
+//! analysts run range-sum queries ("total sales to customers aged 37–52
+//! over the past three months").
+//!
+//! Everything is deterministic given a seed, so experiment tables are
+//! reproducible run to run.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cubegen;
+pub mod scenario;
+pub mod schema;
+pub mod stream;
+pub mod trace;
+pub mod zipf;
+
+pub use cubegen::CubeGen;
+pub use scenario::SalesScenario;
+pub use schema::{CubeSchema, Dimension, Key};
+pub use stream::{MixedWorkload, Op, QueryGen, RegionSpec, UpdateGen};
+pub use trace::{load_trace, save_trace, TraceError};
+pub use zipf::Zipf;

@@ -1,0 +1,138 @@
+//! The paper's motivating OLAP scenario.
+//!
+//! §1: "consider a hypothetical database maintained by an insurance
+//! company … a data cube with SALES as a measure attribute, and
+//! CUSTOMER_AGE and DATE_OF_SALE as dimensions", queried like *find the
+//! total sales for customers with an age from 37 to 52, over the past
+//! three months* while "new information may arrive on a daily basis."
+
+use ndcube::{NdCube, Region};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// A synthetic SALES × (CUSTOMER_AGE, DAY) workload.
+///
+/// Ages follow a rough bell over `0..ages` (most customers mid-range);
+/// days are Zipf-skewed toward *recent* days (index `days−1` is "today"),
+/// which is what makes near-current analysis demanding: the hottest cells
+/// keep changing.
+#[derive(Debug)]
+pub struct SalesScenario {
+    ages: usize,
+    days: usize,
+    rng: StdRng,
+    recency: Zipf,
+}
+
+impl SalesScenario {
+    /// A scenario over `ages × days` cells.
+    pub fn new(ages: usize, days: usize, seed: u64) -> SalesScenario {
+        SalesScenario {
+            ages,
+            days,
+            rng: StdRng::seed_from_u64(seed),
+            recency: Zipf::new(days, 0.9),
+        }
+    }
+
+    /// Cube dimensions `[ages, days]`.
+    pub fn dims(&self) -> [usize; 2] {
+        [self.ages, self.days]
+    }
+
+    /// Historical base cube: accumulated sales for every (age, day).
+    pub fn base_cube(&mut self) -> NdCube<i64> {
+        let ages = self.ages;
+        NdCube::from_fn(&[self.ages, self.days], |c| {
+            // Bell-ish age profile peaking mid-range.
+            let age = c[0] as f64;
+            let mid = ages as f64 / 2.0;
+            let w = 1.0 - ((age - mid) / mid).powi(2).min(1.0);
+            let base = (w * 40.0) as i64;
+            base + self.rng.gen_range(0..20)
+        })
+        .expect("valid dims")
+    }
+
+    /// The next arriving sale: `(age, day, amount)`, recency-skewed.
+    pub fn next_sale(&mut self) -> ([usize; 2], i64) {
+        let mid = self.ages as f64 / 2.0;
+        // Sum of two uniforms ≈ triangular ≈ bell-ish age draw.
+        let age = ((self.rng.gen::<f64>() + self.rng.gen::<f64>()) * mid) as usize;
+        let age = age.min(self.ages - 1);
+        // recency rank 0 = today = last day index.
+        let rank = self.recency.sample(&mut self.rng);
+        let day = self.days - 1 - rank;
+        let amount = self.rng.gen_range(10..=500);
+        ([age, day], amount)
+    }
+
+    /// A batch of arriving sales.
+    pub fn sales_batch(&mut self, count: usize) -> Vec<([usize; 2], i64)> {
+        (0..count).map(|_| self.next_sale()).collect()
+    }
+
+    /// The paper's example query: total sales for ages `lo_age..=hi_age`
+    /// over the trailing `window_days` days.
+    pub fn age_window_query(&self, lo_age: usize, hi_age: usize, window_days: usize) -> Region {
+        let from_day = self.days.saturating_sub(window_days);
+        Region::new(&[lo_age, from_day], &[hi_age, self.days - 1]).expect("query within cube")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_cube_shape_and_determinism() {
+        let a = SalesScenario::new(100, 365, 11).base_cube();
+        let b = SalesScenario::new(100, 365, 11).base_cube();
+        assert_eq!(a.shape().dims(), &[100, 365]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sales_in_bounds_and_recent_heavy() {
+        let mut s = SalesScenario::new(100, 365, 5);
+        let batch = s.sales_batch(3000);
+        let mut recent = 0;
+        for ([age, day], amount) in &batch {
+            assert!(*age < 100 && *day < 365);
+            assert!((10..=500).contains(amount));
+            if *day >= 365 - 30 {
+                recent += 1;
+            }
+        }
+        // Zipf(0.9) recency: the last 30 of 365 days draw a large share.
+        assert!(recent > 900, "recent sales: {recent}");
+    }
+
+    #[test]
+    fn example_query_is_papers_shape() {
+        let s = SalesScenario::new(100, 365, 1);
+        let q = s.age_window_query(37, 52, 90); // "ages 37–52, past 3 months"
+        assert_eq!(q.lo(), &[37, 275]);
+        assert_eq!(q.hi(), &[52, 364]);
+    }
+
+    #[test]
+    fn window_larger_than_history_clamps() {
+        let s = SalesScenario::new(10, 20, 1);
+        let q = s.age_window_query(0, 9, 100);
+        assert_eq!(q.lo(), &[0, 0]);
+    }
+
+    #[test]
+    fn age_distribution_is_mid_heavy() {
+        let mut s = SalesScenario::new(100, 30, 9);
+        let batch = s.sales_batch(5000);
+        let mid = batch
+            .iter()
+            .filter(|([a, _], _)| (30..70).contains(a))
+            .count();
+        assert!(mid > 2500, "mid-age sales: {mid}");
+    }
+}

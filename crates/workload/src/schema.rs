@@ -1,0 +1,264 @@
+//! Dimension schemas: mapping real attribute values to cube indices.
+//!
+//! The paper's model (§2) assumes each dimension's distinct values are
+//! already dense integers `0..nᵢ`. Real functional attributes are ages,
+//! dates, product names — this module supplies the mapping layer so the
+//! examples and CLI can speak in attribute values ("ages 37–52", "region
+//! = West") while the engines speak in indices.
+
+use std::collections::HashMap;
+
+use ndcube::{NdError, Region};
+
+/// One functional attribute of the cube.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dimension {
+    /// A dense integer attribute spanning `min ..= max` (e.g. AGE 0–99,
+    /// or DAY as days-since-epoch for a fixed year).
+    Numeric {
+        /// Attribute name (e.g. `CUSTOMER_AGE`).
+        name: String,
+        /// Smallest attribute value (maps to index 0).
+        min: i64,
+        /// Largest attribute value (inclusive).
+        max: i64,
+    },
+    /// An enumerated attribute with named members (e.g. REGION).
+    Categorical {
+        /// Attribute name.
+        name: String,
+        /// Member labels in index order.
+        labels: Vec<String>,
+    },
+}
+
+impl Dimension {
+    /// A numeric dimension.
+    pub fn numeric(name: &str, min: i64, max: i64) -> Dimension {
+        assert!(min <= max, "numeric dimension needs min ≤ max");
+        Dimension::Numeric {
+            name: name.to_string(),
+            min,
+            max,
+        }
+    }
+
+    /// A categorical dimension.
+    pub fn categorical(name: &str, labels: &[&str]) -> Dimension {
+        assert!(!labels.is_empty(), "categorical dimension needs members");
+        Dimension::Categorical {
+            name: name.to_string(),
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Dimension::Numeric { name, .. } | Dimension::Categorical { name, .. } => name,
+        }
+    }
+
+    /// Number of distinct values — the paper's `nᵢ`.
+    pub fn size(&self) -> usize {
+        match self {
+            Dimension::Numeric { min, max, .. } => (max - min + 1) as usize,
+            Dimension::Categorical { labels, .. } => labels.len(),
+        }
+    }
+}
+
+/// A coordinate along one dimension, in attribute terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Key<'a> {
+    /// A numeric attribute value.
+    Num(i64),
+    /// A categorical label.
+    Cat(&'a str),
+}
+
+/// A cube schema: an ordered list of dimensions plus value↔index mapping.
+///
+/// ```
+/// use rps_workload::{CubeSchema, Dimension, Key};
+///
+/// let schema = CubeSchema::new(vec![
+///     Dimension::numeric("AGE", 18, 99),
+///     Dimension::categorical("REGION", &["East", "West"]),
+/// ]);
+/// assert_eq!(schema.dims(), vec![82, 2]);
+/// let coords = schema.coords(&[Key::Num(37), Key::Cat("West")]).unwrap();
+/// assert_eq!(coords, vec![19, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CubeSchema {
+    dimensions: Vec<Dimension>,
+    /// Per categorical dimension: label → index.
+    lookups: Vec<Option<HashMap<String, usize>>>,
+}
+
+impl CubeSchema {
+    /// Builds a schema from dimensions.
+    pub fn new(dimensions: Vec<Dimension>) -> CubeSchema {
+        let lookups = dimensions
+            .iter()
+            .map(|d| match d {
+                Dimension::Numeric { .. } => None,
+                Dimension::Categorical { labels, .. } => Some(
+                    labels
+                        .iter()
+                        .enumerate()
+                        .map(|(i, l)| (l.clone(), i))
+                        .collect(),
+                ),
+            })
+            .collect();
+        CubeSchema {
+            dimensions,
+            lookups,
+        }
+    }
+
+    /// The dimensions, in order.
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dimensions
+    }
+
+    /// Cube shape: the `nᵢ` per dimension.
+    pub fn dims(&self) -> Vec<usize> {
+        self.dimensions.iter().map(Dimension::size).collect()
+    }
+
+    /// Index of the dimension with the given attribute name.
+    pub fn dim_index(&self, name: &str) -> Option<usize> {
+        self.dimensions.iter().position(|d| d.name() == name)
+    }
+
+    /// Maps one attribute value to its index along dimension `dim`.
+    pub fn index_of(&self, dim: usize, key: &Key) -> Result<usize, NdError> {
+        let out_of_bounds = |coord: usize| NdError::OutOfBounds {
+            dim,
+            coord,
+            size: self.dimensions[dim].size(),
+        };
+        match (&self.dimensions[dim], key) {
+            (Dimension::Numeric { min, max, .. }, Key::Num(v)) => {
+                if v < min || v > max {
+                    // Saturate the reported coordinate for the error.
+                    Err(out_of_bounds(usize::MAX))
+                } else {
+                    Ok((v - min) as usize)
+                }
+            }
+            (Dimension::Categorical { .. }, Key::Cat(label)) => self.lookups[dim]
+                .as_ref()
+                .expect("categorical lookup exists")
+                .get(*label)
+                .copied()
+                .ok_or_else(|| out_of_bounds(usize::MAX)),
+            // Key kind mismatch: report as a dimension mismatch.
+            _ => Err(NdError::DimMismatch {
+                expected: dim,
+                got: dim,
+            }),
+        }
+    }
+
+    /// Maps a full attribute-value coordinate to cube indices.
+    pub fn coords(&self, keys: &[Key]) -> Result<Vec<usize>, NdError> {
+        if keys.len() != self.dimensions.len() {
+            return Err(NdError::DimMismatch {
+                expected: self.dimensions.len(),
+                got: keys.len(),
+            });
+        }
+        keys.iter()
+            .enumerate()
+            .map(|(d, k)| self.index_of(d, k))
+            .collect()
+    }
+
+    /// Builds a region from inclusive per-dimension attribute ranges.
+    ///
+    /// Categorical ranges select a contiguous run of members in label
+    /// order (`("East", "South")` selects every region between those
+    /// labels' indices).
+    pub fn region(&self, lo: &[Key], hi: &[Key]) -> Result<Region, NdError> {
+        let lo = self.coords(lo)?;
+        let hi = self.coords(hi)?;
+        Region::new(&lo, &hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales_schema() -> CubeSchema {
+        CubeSchema::new(vec![
+            Dimension::numeric("CUSTOMER_AGE", 18, 99),
+            Dimension::numeric("DAY", 0, 364),
+            Dimension::categorical("REGION", &["East", "North", "South", "West"]),
+        ])
+    }
+
+    #[test]
+    fn shape_from_schema() {
+        let s = sales_schema();
+        assert_eq!(s.dims(), vec![82, 365, 4]);
+        assert_eq!(s.dim_index("DAY"), Some(1));
+        assert_eq!(s.dim_index("NOPE"), None);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let s = sales_schema();
+        let c = s
+            .coords(&[Key::Num(37), Key::Num(275), Key::Cat("South")])
+            .unwrap();
+        assert_eq!(c, vec![19, 275, 2]);
+    }
+
+    #[test]
+    fn region_in_attribute_terms() {
+        let s = sales_schema();
+        // "ages 37–52, past 3 months, regions North..West"
+        let r = s
+            .region(
+                &[Key::Num(37), Key::Num(275), Key::Cat("North")],
+                &[Key::Num(52), Key::Num(364), Key::Cat("West")],
+            )
+            .unwrap();
+        assert_eq!(r.lo(), &[19, 275, 1]);
+        assert_eq!(r.hi(), &[34, 364, 3]);
+    }
+
+    #[test]
+    fn rejects_out_of_domain() {
+        let s = sales_schema();
+        assert!(s.index_of(0, &Key::Num(17)).is_err()); // below min age
+        assert!(s.index_of(0, &Key::Num(100)).is_err());
+        assert!(s.index_of(2, &Key::Cat("Mars")).is_err());
+        assert!(s.index_of(2, &Key::Num(1)).is_err()); // kind mismatch
+        assert!(s.coords(&[Key::Num(20)]).is_err()); // arity
+    }
+
+    #[test]
+    fn schema_drives_an_engine() {
+        use rps_core::{RangeSumEngine, RpsEngine};
+        let s = CubeSchema::new(vec![
+            Dimension::numeric("AGE", 18, 27),
+            Dimension::categorical("REGION", &["E", "W"]),
+        ]);
+        let mut engine = RpsEngine::<i64>::zeros(&s.dims()).unwrap();
+        let c = s.coords(&[Key::Num(21), Key::Cat("W")]).unwrap();
+        engine.update(&c, 500).unwrap();
+        let r = s
+            .region(
+                &[Key::Num(18), Key::Cat("E")],
+                &[Key::Num(27), Key::Cat("W")],
+            )
+            .unwrap();
+        assert_eq!(engine.query(&r).unwrap(), 500);
+    }
+}

@@ -1,0 +1,247 @@
+//! Update and query streams: the operation mixes the benches replay
+//! against every engine.
+
+use ndcube::Region;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// One operation of a mixed workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Add `1` fact worth `delta` at the cell.
+    Update {
+        /// Target cell.
+        coords: Vec<usize>,
+        /// Measure delta.
+        delta: i64,
+    },
+    /// Range-sum over the region.
+    Query(Region),
+}
+
+/// Shape of generated query regions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RegionSpec {
+    /// A single cell.
+    Point,
+    /// Hyper-rectangles whose extent per dimension is uniform in
+    /// `1..=⌈fraction·nᵢ⌉`.
+    Fraction(f64),
+    /// The full cube.
+    Full,
+}
+
+/// Deterministic generator of point updates.
+#[derive(Debug)]
+pub struct UpdateGen {
+    dims: Vec<usize>,
+    rng: StdRng,
+    /// Optional per-dimension Zipf skew (None = uniform coordinates).
+    skew: Option<Vec<Zipf>>,
+    max_delta: i64,
+}
+
+impl UpdateGen {
+    /// Uniform-coordinate updates with deltas in `1..=max_delta`.
+    pub fn uniform(dims: &[usize], seed: u64, max_delta: i64) -> UpdateGen {
+        assert!(max_delta >= 1);
+        UpdateGen {
+            dims: dims.to_vec(),
+            rng: StdRng::seed_from_u64(seed),
+            skew: None,
+            max_delta,
+        }
+    }
+
+    /// Zipf(θ)-skewed coordinates per dimension — hot-cell update streams.
+    pub fn zipf(dims: &[usize], seed: u64, theta: f64, max_delta: i64) -> UpdateGen {
+        let skew = dims.iter().map(|&n| Zipf::new(n, theta)).collect();
+        UpdateGen {
+            dims: dims.to_vec(),
+            rng: StdRng::seed_from_u64(seed),
+            skew: Some(skew),
+            max_delta,
+        }
+    }
+
+    /// Draws the next update.
+    pub fn next_update(&mut self) -> (Vec<usize>, i64) {
+        let coords = match &self.skew {
+            None => self
+                .dims
+                .iter()
+                .map(|&n| self.rng.gen_range(0..n))
+                .collect(),
+            Some(zipfs) => zipfs.iter().map(|z| z.sample(&mut self.rng)).collect(),
+        };
+        let delta = self.rng.gen_range(1..=self.max_delta);
+        (coords, delta)
+    }
+
+    /// Materializes a batch of `count` updates.
+    pub fn take(&mut self, count: usize) -> Vec<(Vec<usize>, i64)> {
+        (0..count).map(|_| self.next_update()).collect()
+    }
+}
+
+/// Deterministic generator of query regions.
+#[derive(Debug)]
+pub struct QueryGen {
+    dims: Vec<usize>,
+    rng: StdRng,
+    spec: RegionSpec,
+}
+
+impl QueryGen {
+    /// A query generator for the given cube dimensions.
+    pub fn new(dims: &[usize], seed: u64, spec: RegionSpec) -> QueryGen {
+        QueryGen {
+            dims: dims.to_vec(),
+            rng: StdRng::seed_from_u64(seed),
+            spec,
+        }
+    }
+
+    /// Draws the next query region.
+    pub fn next_region(&mut self) -> Region {
+        match self.spec {
+            RegionSpec::Point => {
+                let c: Vec<usize> = self
+                    .dims
+                    .iter()
+                    .map(|&n| self.rng.gen_range(0..n))
+                    .collect();
+                Region::point(&c).expect("point in bounds")
+            }
+            RegionSpec::Full => {
+                let hi: Vec<usize> = self.dims.iter().map(|&n| n - 1).collect();
+                Region::new(&vec![0; self.dims.len()], &hi).expect("full region")
+            }
+            RegionSpec::Fraction(f) => {
+                let mut lo = Vec::with_capacity(self.dims.len());
+                let mut hi = Vec::with_capacity(self.dims.len());
+                for &n in &self.dims {
+                    let max_extent = ((n as f64 * f).ceil() as usize).clamp(1, n);
+                    let extent = self.rng.gen_range(1..=max_extent);
+                    let start = self.rng.gen_range(0..=n - extent);
+                    lo.push(start);
+                    hi.push(start + extent - 1);
+                }
+                Region::new(&lo, &hi).expect("in bounds")
+            }
+        }
+    }
+
+    /// Materializes a batch of `count` regions.
+    pub fn take(&mut self, count: usize) -> Vec<Region> {
+        (0..count).map(|_| self.next_region()).collect()
+    }
+}
+
+/// Interleaved queries and updates with a fixed query ratio — the
+/// "analysts keep querying while sales keep arriving" workload the paper
+/// motivates.
+#[derive(Debug)]
+pub struct MixedWorkload {
+    updates: UpdateGen,
+    queries: QueryGen,
+    query_ratio: f64,
+    rng: StdRng,
+}
+
+impl MixedWorkload {
+    /// A workload where each operation is a query with probability
+    /// `query_ratio`, else an update.
+    pub fn new(updates: UpdateGen, queries: QueryGen, query_ratio: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&query_ratio));
+        MixedWorkload {
+            updates,
+            queries,
+            query_ratio,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        if self.rng.gen::<f64>() < self.query_ratio {
+            Op::Query(self.queries.next_region())
+        } else {
+            let (coords, delta) = self.updates.next_update();
+            Op::Update { coords, delta }
+        }
+    }
+
+    /// Materializes a batch of `count` operations.
+    pub fn take(&mut self, count: usize) -> Vec<Op> {
+        (0..count).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_in_bounds_and_deterministic() {
+        let mut a = UpdateGen::uniform(&[9, 9], 5, 10);
+        let mut b = UpdateGen::uniform(&[9, 9], 5, 10);
+        for _ in 0..50 {
+            let (c, d) = a.next_update();
+            assert_eq!((c.clone(), d), b.next_update());
+            assert!(c.iter().all(|&x| x < 9));
+            assert!((1..=10).contains(&d));
+        }
+    }
+
+    #[test]
+    fn zipf_updates_prefer_low_coords() {
+        let mut g = UpdateGen::zipf(&[100, 100], 3, 1.2, 5);
+        let batch = g.take(2000);
+        let low = batch.iter().filter(|(c, _)| c[0] < 10).count();
+        assert!(low > 500, "low-coordinate hits: {low}");
+    }
+
+    #[test]
+    fn fraction_queries_bounded() {
+        let mut g = QueryGen::new(&[20, 30], 7, RegionSpec::Fraction(0.25));
+        for r in g.take(100) {
+            assert!(r.extent(0) <= 5);
+            assert!(r.extent(1) <= 8);
+            assert!(r.hi()[0] < 20 && r.hi()[1] < 30);
+        }
+    }
+
+    #[test]
+    fn point_and_full_specs() {
+        let mut p = QueryGen::new(&[4, 4], 1, RegionSpec::Point);
+        assert_eq!(p.next_region().cell_count(), 1);
+        let mut f = QueryGen::new(&[4, 4], 1, RegionSpec::Full);
+        assert_eq!(f.next_region().cell_count(), 16);
+    }
+
+    #[test]
+    fn mixed_ratio_roughly_respected() {
+        let u = UpdateGen::uniform(&[8, 8], 1, 3);
+        let q = QueryGen::new(&[8, 8], 2, RegionSpec::Fraction(0.5));
+        let mut w = MixedWorkload::new(u, q, 0.7, 3);
+        let ops = w.take(1000);
+        let queries = ops.iter().filter(|o| matches!(o, Op::Query(_))).count();
+        assert!((550..850).contains(&queries), "queries = {queries}");
+    }
+
+    #[test]
+    fn mixed_is_deterministic() {
+        let mk = || {
+            MixedWorkload::new(
+                UpdateGen::uniform(&[8, 8], 1, 3),
+                QueryGen::new(&[8, 8], 2, RegionSpec::Fraction(0.5)),
+                0.5,
+                3,
+            )
+        };
+        assert_eq!(mk().take(64), mk().take(64));
+    }
+}

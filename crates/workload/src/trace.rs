@@ -1,0 +1,265 @@
+//! Operation traces: record a workload once, replay it anywhere.
+//!
+//! Benchmark comparability needs *identical* op sequences across engines,
+//! machines and runs; a trace file pins the sequence down in a
+//! line-oriented text format that diffs cleanly:
+//!
+//! ```text
+//! RPSTRACE v1 dims=9x9
+//! U 1,1 +5
+//! Q 0,0:8,8
+//! U 4,4 -2
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use ndcube::Region;
+
+use crate::stream::Op;
+
+/// Errors from reading a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Underlying read failure (message form).
+    Io(String),
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A body line failed to parse.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::BadHeader(h) => write!(f, "bad trace header `{h}`"),
+            TraceError::BadLine { line, reason } => {
+                write!(f, "trace line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn fmt_coords(c: &[usize]) -> String {
+    c.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_coords(s: &str, line: usize) -> Result<Vec<usize>, TraceError> {
+    s.split(',')
+        .map(|p| {
+            p.trim().parse::<usize>().map_err(|e| TraceError::BadLine {
+                line,
+                reason: format!("bad coordinate `{p}`: {e}"),
+            })
+        })
+        .collect()
+}
+
+/// Writes a trace: a header naming the cube dimensions, then one op per
+/// line.
+pub fn save_trace<W: Write>(dims: &[usize], ops: &[Op], mut w: W) -> std::io::Result<()> {
+    let dims_str = dims
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("x");
+    writeln!(w, "RPSTRACE v1 dims={dims_str}")?;
+    for op in ops {
+        match op {
+            Op::Update { coords, delta } => {
+                writeln!(w, "U {} {delta:+}", fmt_coords(coords))?;
+            }
+            Op::Query(region) => {
+                writeln!(
+                    w,
+                    "Q {}:{}",
+                    fmt_coords(region.lo()),
+                    fmt_coords(region.hi())
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace back: `(dims, ops)`.
+pub fn load_trace<R: Read>(r: R) -> Result<(Vec<usize>, Vec<Op>), TraceError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| TraceError::BadHeader("<empty file>".into()))?
+        .map_err(|e| TraceError::Io(e.to_string()))?;
+    let dims_part = header
+        .strip_prefix("RPSTRACE v1 dims=")
+        .ok_or_else(|| TraceError::BadHeader(header.clone()))?;
+    let dims: Vec<usize> = dims_part
+        .split('x')
+        .map(|p| {
+            p.parse::<usize>()
+                .map_err(|_| TraceError::BadHeader(header.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    if dims.is_empty() || dims.contains(&0) {
+        return Err(TraceError::BadHeader(header));
+    }
+    // Same guard as the snapshot loader: reject headers declaring absurd
+    // cube sizes before any caller tries to allocate them.
+    const MAX_TRACE_CELLS: u128 = 1 << 28;
+    let cells = dims
+        .iter()
+        .fold(1u128, |acc, &d| acc.saturating_mul(d as u128));
+    if cells > MAX_TRACE_CELLS {
+        return Err(TraceError::BadHeader(format!(
+            "{header} (declares {cells} cells, limit {MAX_TRACE_CELLS})"
+        )));
+    }
+
+    let mut ops = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line.map_err(|e| TraceError::Io(e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (tag, rest) = line.split_once(' ').ok_or_else(|| TraceError::BadLine {
+            line: line_no,
+            reason: "missing operands".into(),
+        })?;
+        match tag {
+            "U" => {
+                let (coords_s, delta_s) =
+                    rest.split_once(' ').ok_or_else(|| TraceError::BadLine {
+                        line: line_no,
+                        reason: "update needs `coords delta`".into(),
+                    })?;
+                let coords = parse_coords(coords_s, line_no)?;
+                let delta = delta_s
+                    .trim()
+                    .parse::<i64>()
+                    .map_err(|e| TraceError::BadLine {
+                        line: line_no,
+                        reason: format!("bad delta `{delta_s}`: {e}"),
+                    })?;
+                ops.push(Op::Update { coords, delta });
+            }
+            "Q" => {
+                let (lo_s, hi_s) = rest.split_once(':').ok_or_else(|| TraceError::BadLine {
+                    line: line_no,
+                    reason: "query needs `lo:hi`".into(),
+                })?;
+                let lo = parse_coords(lo_s, line_no)?;
+                let hi = parse_coords(hi_s, line_no)?;
+                let region = Region::new(&lo, &hi).map_err(|e| TraceError::BadLine {
+                    line: line_no,
+                    reason: e.to_string(),
+                })?;
+                ops.push(Op::Query(region));
+            }
+            other => {
+                return Err(TraceError::BadLine {
+                    line: line_no,
+                    reason: format!("unknown op tag `{other}`"),
+                })
+            }
+        }
+    }
+    Ok((dims, ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MixedWorkload, QueryGen, RegionSpec, UpdateGen};
+
+    #[test]
+    fn round_trip() {
+        let dims = [9usize, 9];
+        let ops = MixedWorkload::new(
+            UpdateGen::uniform(&dims, 1, 10),
+            QueryGen::new(&dims, 2, RegionSpec::Fraction(0.5)),
+            0.5,
+            3,
+        )
+        .take(50);
+        let mut buf = Vec::new();
+        save_trace(&dims, &ops, &mut buf).unwrap();
+        let (dims2, ops2) = load_trace(&buf[..]).unwrap();
+        assert_eq!(dims2, dims.to_vec());
+        assert_eq!(ops2, ops);
+    }
+
+    #[test]
+    fn format_is_human_readable() {
+        let ops = vec![
+            Op::Update {
+                coords: vec![1, 1],
+                delta: 5,
+            },
+            Op::Query(Region::new(&[0, 0], &[8, 8]).unwrap()),
+            Op::Update {
+                coords: vec![4, 4],
+                delta: -2,
+            },
+        ];
+        let mut buf = Vec::new();
+        save_trace(&[9, 9], &ops, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(
+            text,
+            "RPSTRACE v1 dims=9x9\nU 1,1 +5\nQ 0,0:8,8\nU 4,4 -2\n"
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "RPSTRACE v1 dims=4x4\n# a comment\n\nU 0,0 +1\n";
+        let (dims, ops) = load_trace(text.as_bytes()).unwrap();
+        assert_eq!(dims, vec![4, 4]);
+        assert_eq!(ops.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(
+            load_trace("".as_bytes()),
+            Err(TraceError::BadHeader(_))
+        ));
+        assert!(matches!(
+            load_trace("WRONG v1 dims=2x2\n".as_bytes()),
+            Err(TraceError::BadHeader(_))
+        ));
+        let bad_line = "RPSTRACE v1 dims=4x4\nX 0,0\n";
+        assert!(matches!(
+            load_trace(bad_line.as_bytes()),
+            Err(TraceError::BadLine { line: 2, .. })
+        ));
+        let bad_region = "RPSTRACE v1 dims=4x4\nQ 3,3:1,1\n";
+        assert!(matches!(
+            load_trace(bad_region.as_bytes()),
+            Err(TraceError::BadLine { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn negative_deltas_round_trip() {
+        let ops = vec![Op::Update {
+            coords: vec![2],
+            delta: -1000,
+        }];
+        let mut buf = Vec::new();
+        save_trace(&[5], &ops, &mut buf).unwrap();
+        let (_, back) = load_trace(&buf[..]).unwrap();
+        assert_eq!(back, ops);
+    }
+}

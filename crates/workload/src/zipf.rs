@@ -1,0 +1,137 @@
+//! A Zipf(θ) sampler over `0..n`, built from scratch (the `rand` crate in
+//! this workspace's dependency budget has no Zipf distribution).
+//!
+//! OLAP update streams are famously skewed — most new facts land in a few
+//! hot cells (recent dates, popular products). The benches use Zipf-skewed
+//! coordinates to show the RPS update cost is insensitive to skew (its
+//! worst case depends only on *where* in the box the update lands).
+
+use rand::Rng;
+
+/// Zipf-distributed ranks: `P(rank = i) ∝ 1 / (i+1)^θ` for `i ∈ 0..n`.
+///
+/// Sampling is O(log n) by binary search over the precomputed CDF;
+/// construction is O(n).
+///
+/// ```
+/// use rps_workload::Zipf;
+/// use rand::{SeedableRng, rngs::StdRng};
+/// let z = Zipf::new(100, 1.0);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let x = z.sample(&mut rng);
+/// assert!(x < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `0..n` with exponent `theta ≥ 0`
+    /// (`theta = 0` is uniform; `theta = 1` is classic Zipf).
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n >= 1, "support must be non-empty");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite and ≥ 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index with cdf ≥ u.
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-12, "pmf({i}) = {}", z.pmf(i));
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut hits_top10 = 0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                hits_top10 += 1;
+            }
+        }
+        // Top 10 of 1000 ranks carry ~39% of the mass at θ = 1.
+        let frac = hits_top10 as f64 / N as f64;
+        assert!(frac > 0.30 && frac < 0.50, "frac = {frac}");
+    }
+
+    #[test]
+    fn samples_in_range_and_deterministic() {
+        let z = Zipf::new(7, 0.8);
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let x = z.sample(&mut a);
+            assert!(x < 7);
+            assert_eq!(x, z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn monotone_pmf() {
+        let z = Zipf::new(20, 1.5);
+        for i in 1..20 {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12);
+        }
+    }
+}

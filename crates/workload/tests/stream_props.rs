@@ -1,0 +1,96 @@
+//! Property tests for workload generation: determinism, bounds, and
+//! distribution sanity for arbitrary seeds and shapes.
+
+use proptest::prelude::*;
+use rps_workload::{CubeGen, MixedWorkload, Op, QueryGen, RegionSpec, UpdateGen, Zipf};
+
+proptest! {
+    #[test]
+    fn cubes_deterministic_and_bounded(
+        seed in any::<u64>(),
+        dims in proptest::collection::vec(1usize..=8, 1..=3),
+        lo in -20i64..0,
+        span in 1i64..40,
+    ) {
+        let hi = lo + span;
+        let a = CubeGen::new(seed).uniform(&dims, lo, hi);
+        let b = CubeGen::new(seed).uniform(&dims, lo, hi);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.as_slice().iter().all(|v| (lo..=hi).contains(v)));
+    }
+
+    #[test]
+    fn update_streams_in_bounds(
+        seed in any::<u64>(),
+        dims in proptest::collection::vec(1usize..=10, 1..=3),
+        theta in 0.0f64..2.0,
+    ) {
+        let mut uniform = UpdateGen::uniform(&dims, seed, 10);
+        let mut skewed = UpdateGen::zipf(&dims, seed, theta, 10);
+        for _ in 0..50 {
+            let (c, d) = uniform.next_update();
+            prop_assert!(c.iter().zip(&dims).all(|(&x, &n)| x < n));
+            prop_assert!((1..=10).contains(&d));
+            let (c, _) = skewed.next_update();
+            prop_assert!(c.iter().zip(&dims).all(|(&x, &n)| x < n));
+        }
+    }
+
+    #[test]
+    fn query_regions_valid(
+        seed in any::<u64>(),
+        dims in proptest::collection::vec(1usize..=12, 1..=3),
+        frac in 0.01f64..1.0,
+    ) {
+        let mut g = QueryGen::new(&dims, seed, RegionSpec::Fraction(frac));
+        for _ in 0..50 {
+            let r = g.next_region();
+            prop_assert_eq!(r.ndim(), dims.len());
+            prop_assert!(r.hi().iter().zip(&dims).all(|(&h, &n)| h < n));
+            for (d, &nd) in dims.iter().enumerate() {
+                let cap = ((nd as f64 * frac).ceil() as usize).clamp(1, nd);
+                prop_assert!(r.extent(d) <= cap);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_workload_deterministic(seed in any::<u64>(), ratio in 0.0f64..=1.0) {
+        let mk = || {
+            MixedWorkload::new(
+                UpdateGen::uniform(&[6, 6], seed, 5),
+                QueryGen::new(&[6, 6], seed ^ 1, RegionSpec::Fraction(0.5)),
+                ratio,
+                seed ^ 2,
+            )
+        };
+        prop_assert_eq!(mk().take(40), mk().take(40));
+    }
+
+    #[test]
+    fn zipf_pmf_valid(n in 1usize..200, theta in 0.0f64..3.0) {
+        let z = Zipf::new(n, theta);
+        let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for i in 1..n {
+            prop_assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn extreme_ratios_are_pure(seed in any::<u64>()) {
+        let mk = |ratio: f64| {
+            MixedWorkload::new(
+                UpdateGen::uniform(&[4, 4], seed, 5),
+                QueryGen::new(&[4, 4], seed, RegionSpec::Point),
+                ratio,
+                seed,
+            )
+            .take(30)
+        };
+        let all_queries = mk(1.0).iter().all(|o| matches!(o, Op::Query(_)));
+        let all_updates = mk(0.0).iter().all(|o| matches!(o, Op::Update { .. }));
+        prop_assert!(all_queries);
+        prop_assert!(all_updates);
+    }
+}

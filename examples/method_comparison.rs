@@ -1,0 +1,91 @@
+//! Head-to-head: all five range-sum methods on the identical mixed
+//! workload, reporting the paper's figures of merit — cells read per
+//! query, cells written per update, and the query·update product.
+//!
+//! ```text
+//! cargo run --release --example method_comparison
+//! ```
+
+use rps::analysis::Table;
+use rps::core::ChunkedEngine;
+use rps::ndcube::NdCube;
+use rps::workload::{CubeGen, MixedWorkload, Op, QueryGen, RegionSpec, UpdateGen};
+use rps::{FenwickEngine, NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine};
+
+fn drive(engine: &mut dyn RangeSumEngine<i64>, ops: &[Op]) -> (f64, f64, i64) {
+    engine.reset_stats();
+    let mut checksum = 0i64;
+    for op in ops {
+        match op {
+            Op::Query(r) => checksum = checksum.wrapping_add(engine.query(r).unwrap()),
+            Op::Update { coords, delta } => engine.update(coords, *delta).unwrap(),
+        }
+    }
+    let s = engine.stats();
+    (
+        s.reads_per_query().unwrap_or(0.0),
+        s.writes_per_update().unwrap_or(0.0),
+        checksum,
+    )
+}
+
+fn main() {
+    const N: usize = 128;
+    let dims = [N, N];
+
+    let cube: NdCube<i64> = CubeGen::new(42).uniform(&dims, 0, 9);
+    let ops = MixedWorkload::new(
+        UpdateGen::uniform(&dims, 7, 100),
+        QueryGen::new(&dims, 8, RegionSpec::Fraction(0.5)),
+        0.5,
+        9,
+    )
+    .take(2_000);
+
+    let mut engines: Vec<Box<dyn RangeSumEngine<i64>>> = vec![
+        Box::new(NaiveEngine::from_cube(cube.clone())),
+        Box::new(ChunkedEngine::from_cube(&cube)), // materialized block totals
+        Box::new(PrefixSumEngine::from_cube(&cube)),
+        Box::new(RpsEngine::from_cube(&cube)), // k = ⌈√n⌉
+        Box::new(FenwickEngine::from_cube(&cube)),
+    ];
+
+    println!("cube {N}×{N}, 2,000 ops (50% range queries / 50% point updates)\n");
+    let mut table = Table::new(&[
+        "method",
+        "reads/query",
+        "writes/update",
+        "query·update",
+        "storage cells",
+    ]);
+    let mut checksums = Vec::new();
+    for engine in &mut engines {
+        let (rq, wu, checksum) = drive(engine.as_mut(), &ops);
+        checksums.push(checksum);
+        table.row(&[
+            engine.name().to_string(),
+            format!("{rq:.1}"),
+            format!("{wu:.1}"),
+            format!("{:.0}", rq * wu),
+            engine.storage_cells().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // Every method must have produced identical query answers.
+    assert!(
+        checksums.windows(2).all(|w| w[0] == w[1]),
+        "engines disagree!"
+    );
+    println!(
+        "\nall methods returned identical query results (checksum {})",
+        checksums[0]
+    );
+    println!(
+        "\nreading the table: naive pays at query time; the chunked baseline\n\
+         (materialized block totals, what 1990s OLAP servers shipped) improves\n\
+         queries to O((n/k)²+boundary) but is still far from O(1); prefix-sum\n\
+         pays at update time; RPS balances both at O(n^(d/2)) = O(n) for d = 2;\n\
+         Fenwick trades a higher query constant for O(log² n) updates."
+    );
+}

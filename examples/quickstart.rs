@@ -1,0 +1,52 @@
+//! Quickstart: build a data cube, run O(1) range-sum queries, apply
+//! cheap point updates.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rps::ndcube::{NdCube, Region};
+use rps::{RangeSumEngine, RpsEngine};
+
+fn main() {
+    // A SALES data cube over CUSTOMER_AGE (0..100) × DAY (0..365),
+    // as in the paper's motivating example.
+    let sales = NdCube::from_fn(&[100, 365], |c| ((c[0] * 13 + c[1] * 7) % 97) as i64).unwrap();
+
+    // The relative prefix sum engine with the paper-recommended k = ⌈√n⌉.
+    let mut engine = RpsEngine::from_cube(&sales);
+    println!(
+        "engine: {} over {:?} cells, box size {:?}, storage {} cells",
+        engine.name(),
+        engine.shape().dims(),
+        engine.grid().box_size(),
+        engine.storage_cells()
+    );
+
+    // "Find the total sales for customers with an age from 37 to 52,
+    //  over the past three months."
+    let query = Region::new(&[37, 275], &[52, 364]).unwrap();
+    let total = engine.query(&query).unwrap();
+    println!("total sales, ages 37–52, days 275–364: {total}");
+
+    // Cost accounting: the query touched a constant number of cells.
+    let s = engine.stats();
+    println!(
+        "query cost: {} cell reads (vs {} cells scanned by a naive sum)",
+        s.cell_reads,
+        query.cell_count()
+    );
+
+    // A new sale arrives — update in place, no cube rebuild.
+    engine.reset_stats();
+    engine.update(&[41, 364], 250).unwrap();
+    println!(
+        "update cost: {} cell writes (vs {} the prefix-sum method would rewrite)",
+        engine.stats().cell_writes,
+        100 * 365 // worst case for an update near the origin
+    );
+
+    let after = engine.query(&query).unwrap();
+    assert_eq!(after, total + 250);
+    println!("re-run query: {after} (reflects the new sale immediately)");
+}

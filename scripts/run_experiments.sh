@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table in EXPERIMENTS.md (release mode).
+# Usage: scripts/run_experiments.sh [output-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-experiment-results}"
+mkdir -p "$OUT"
+
+BINS=(
+  exp_update_example
+  exp_query_cost
+  exp_box_size_sweep
+  exp_complexity_product
+  exp_fig16_storage
+  exp_disk_io
+  exp_batch_updates
+  exp_skew_sensitivity
+  exp_dimensionality
+  exp_parallel_build
+  exp_query_many
+)
+
+cargo build --release -p rps-bench --bins
+
+for bin in "${BINS[@]}"; do
+  echo "== $bin =="
+  cargo run -q --release -p rps-bench --bin "$bin" | tee "$OUT/$bin.txt"
+  echo
+done
+
+echo "all experiment outputs written to $OUT/"

@@ -1,0 +1,82 @@
+//! # rps — Relative Prefix Sums for dynamic OLAP data cubes
+//!
+//! A complete, from-scratch Rust reproduction of
+//!
+//! > S. Geffner, D. Agrawal, A. El Abbadi, T. Smith.
+//! > *Relative Prefix Sums: An Efficient Approach for Querying Dynamic
+//! > OLAP Data Cubes.* ICDE 1999.
+//!
+//! The relative prefix sum (RPS) method answers arbitrary range-SUM
+//! queries over a d-dimensional data cube in **O(1)** time while keeping
+//! point updates at **O(n^{d/2})** — against the O(n^d) query of the raw
+//! cube and the O(n^d) update of the precomputed prefix-sum cube.
+//!
+//! This facade re-exports the workspace:
+//!
+//! * [`core`] — the engines: [`NaiveEngine`], [`PrefixSumEngine`],
+//!   [`RpsEngine`] (the paper's contribution), [`FenwickEngine`]
+//!   (extension baseline), plus the value algebra and aggregation adapters.
+//! * [`ndcube`] — the dense d-dimensional array substrate.
+//! * [`storage`] — §4.4: simulated block device, buffer
+//!   pool, and [`DiskRpsEngine`] (RP on disk, overlay in RAM).
+//! * [`workload`] — deterministic cube/query/update
+//!   generators and the paper's SALES scenario.
+//! * [`analysis`] — the paper's closed-form cost and
+//!   storage models.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rps::{RangeSumEngine, RpsEngine};
+//! use rps::ndcube::{NdCube, Region};
+//!
+//! // SALES by CUSTOMER_AGE × DAY.
+//! let sales = NdCube::from_fn(&[100, 365], |c| ((c[0] * 13 + c[1]) % 97) as i64).unwrap();
+//! let mut engine = RpsEngine::from_cube(&sales);
+//!
+//! // "Total sales for ages 37–52 over the past three months" — O(1).
+//! let q = Region::new(&[37, 275], &[52, 364]).unwrap();
+//! let before = engine.query(&q).unwrap();
+//!
+//! // Near-current data: apply today's sale without rebuilding the cube.
+//! engine.update(&[41, 364], 250).unwrap();
+//! assert_eq!(engine.query(&q).unwrap(), before + 250);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harness that regenerates every figure and table of the paper
+//! (documented in `EXPERIMENTS.md`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ndcube;
+pub use rps_analysis as analysis;
+pub use rps_core as core;
+pub use rps_storage as storage;
+pub use rps_workload as workload;
+
+pub use rps_core::{
+    BufferedEngine, CostStats, FenwickEngine, GroupValue, NaiveEngine, PrefixSumEngine,
+    RangeSumEngine, RpsEngine, SharedEngine, SparseDelta, SumCount,
+};
+pub use rps_storage::DiskRpsEngine;
+
+/// One-stop imports for applications: engines, the engine trait, and the
+/// array/region types they operate on.
+///
+/// ```
+/// use rps::prelude::*;
+/// let cube = NdCube::from_fn(&[8, 8], |c| (c[0] + c[1]) as i64).unwrap();
+/// let engine = RpsEngine::from_cube(&cube);
+/// let r = Region::new(&[1, 1], &[6, 6]).unwrap();
+/// let _sum = engine.query(&r).unwrap();
+/// ```
+pub mod prelude {
+    pub use ndcube::{NdCube, Region, Shape};
+    pub use rps_core::{
+        BufferedEngine, ChunkedEngine, FenwickEngine, GroupValue, NaiveEngine, PrefixSumEngine,
+        RangeSumEngine, RpsEngine, SharedEngine, SumCount,
+    };
+    pub use rps_storage::DiskRpsEngine;
+}

@@ -1,0 +1,159 @@
+//! Cross-crate integration: workload streams drive every engine
+//! (in-memory and disk-resident) to identical answers, and the analysis
+//! crate's closed-form models agree with instrumented measurements.
+
+use rps::analysis::{cost_model, overlay_fraction, overlay_storage_cells};
+use rps::core::aggregate::AverageCube;
+use rps::ndcube::{NdCube, Region};
+use rps::storage::{DeviceConfig, DiskRpsEngine};
+use rps::workload::{CubeGen, MixedWorkload, Op, QueryGen, RegionSpec, SalesScenario, UpdateGen};
+use rps::{FenwickEngine, NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine, SumCount};
+
+const N: usize = 64;
+
+fn workload(ops: usize) -> Vec<Op> {
+    MixedWorkload::new(
+        UpdateGen::zipf(&[N, N], 5, 0.8, 100),
+        QueryGen::new(&[N, N], 6, RegionSpec::Fraction(0.6)),
+        0.5,
+        7,
+    )
+    .take(ops)
+}
+
+fn replay(engine: &mut dyn RangeSumEngine<i64>, ops: &[Op]) -> i64 {
+    let mut acc = 0i64;
+    for op in ops {
+        match op {
+            Op::Query(r) => acc = acc.wrapping_add(engine.query(r).unwrap()),
+            Op::Update { coords, delta } => engine.update(coords, *delta).unwrap(),
+        }
+    }
+    acc
+}
+
+#[test]
+fn all_engines_agree_on_mixed_zipf_workload() {
+    let cube = CubeGen::new(99).sparse(&[N, N], 0.3, 50);
+    let ops = workload(600);
+
+    let mut naive = NaiveEngine::from_cube(cube.clone());
+    let baseline = replay(&mut naive, &ops);
+
+    let mut ps = PrefixSumEngine::from_cube(&cube);
+    assert_eq!(replay(&mut ps, &ops), baseline, "prefix-sum diverged");
+
+    let mut rps = RpsEngine::from_cube(&cube);
+    assert_eq!(replay(&mut rps, &ops), baseline, "rps diverged");
+
+    let mut fw = FenwickEngine::from_cube(&cube);
+    assert_eq!(replay(&mut fw, &ops), baseline, "fenwick diverged");
+
+    let mut disk =
+        DiskRpsEngine::from_cube_uniform(&cube, 8, DeviceConfig { cells_per_page: 64 }, 8).unwrap();
+    assert_eq!(replay(&mut disk, &ops), baseline, "disk-rps diverged");
+}
+
+#[test]
+fn disk_engine_survives_thrashing_pool() {
+    // A pool of 2 frames on a 64-page array: constant eviction pressure
+    // must never corrupt answers.
+    let cube = CubeGen::new(3).uniform(&[N, N], 0, 9);
+    let ops = workload(300);
+    let mut naive = NaiveEngine::from_cube(cube.clone());
+    let mut disk =
+        DiskRpsEngine::from_cube_uniform(&cube, 8, DeviceConfig { cells_per_page: 64 }, 2).unwrap();
+    assert_eq!(replay(&mut disk, &ops), replay(&mut naive, &ops));
+    assert!(disk.io_stats().evictions > 100, "expected heavy eviction");
+}
+
+#[test]
+fn measured_update_cost_within_formula_across_k() {
+    // The §4.3 formula is a worst-case bound: every measured update cost
+    // must sit at or below it.
+    let cube = CubeGen::new(17).uniform(&[N, N], 0, 9);
+    for k in [2usize, 4, 8, 16, 32] {
+        let formula = cost_model::rps_update_cost(N as f64, 2, k as f64);
+        let mut e = RpsEngine::from_cube_uniform(&cube, k).unwrap();
+        let mut gen = UpdateGen::uniform(&[N, N], 23, 10);
+        for (c, delta) in gen.take(50) {
+            e.reset_stats();
+            e.update(&c, delta).unwrap();
+            let w = e.stats().cell_writes as f64;
+            assert!(w <= formula + 1.0, "k={k}: writes {w} > formula {formula}");
+        }
+    }
+}
+
+#[test]
+fn overlay_allocation_matches_storage_model() {
+    for (n, k) in [(64usize, 8usize), (64, 16), (100, 10)] {
+        let cube = CubeGen::new(1).uniform(&[n, n], 0, 5);
+        let e = RpsEngine::from_cube_uniform(&cube, k).unwrap();
+        if n % k == 0 {
+            let expected = (n / k).pow(2) as u64 * overlay_storage_cells(k as u64, 2);
+            assert_eq!(e.overlay().storage_cells() as u64, expected);
+            // And the engine's total storage overhead over RP matches
+            // the Figure 16 fraction.
+            let frac = overlay_fraction(k as u64, 2);
+            let measured = e.overlay().storage_cells() as f64 / (n * n) as f64;
+            assert!((frac - measured).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn sales_scenario_end_to_end_consistency() {
+    // The full motivating pipeline: historical load + live stream, AVERAGE
+    // cube on RPS vs a naive SumCount engine as oracle.
+    let mut scenario = SalesScenario::new(40, 120, 2026);
+    let mut fast = AverageCube::new(RpsEngine::<SumCount<i64>>::zeros(&[40, 120]).unwrap());
+    let mut slow = AverageCube::new(NaiveEngine::<SumCount<i64>>::zeros(&[40, 120]).unwrap());
+
+    for ([age, day], amount) in scenario.sales_batch(5_000) {
+        fast.record(&[age, day], amount).unwrap();
+        slow.record(&[age, day], amount).unwrap();
+    }
+    let queries = [
+        scenario.age_window_query(10, 25, 30),
+        scenario.age_window_query(0, 39, 120),
+        scenario.age_window_query(37, 39, 7),
+    ];
+    for q in &queries {
+        assert_eq!(fast.sum(q).unwrap(), slow.sum(q).unwrap());
+        assert_eq!(fast.count(q).unwrap(), slow.count(q).unwrap());
+        assert_eq!(fast.average(q).unwrap(), slow.average(q).unwrap());
+    }
+    // But the fast engine must have read far fewer cells per query.
+    let fast_reads = fast.engine().stats().reads_per_query().unwrap();
+    let slow_reads = slow.engine().stats().reads_per_query().unwrap();
+    assert!(
+        fast_reads * 10.0 < slow_reads,
+        "rps {fast_reads} vs naive {slow_reads} reads/query"
+    );
+}
+
+#[test]
+fn three_d_cube_through_facade() {
+    let cube = CubeGen::new(8).uniform(&[16, 16, 16], 0, 9);
+    let mut rps = RpsEngine::from_cube_uniform(&cube, 4).unwrap();
+    let naive = NaiveEngine::from_cube(cube);
+    let mut qg = QueryGen::new(&[16, 16, 16], 9, RegionSpec::Fraction(0.7));
+    for r in qg.take(40) {
+        assert_eq!(rps.query(&r).unwrap(), naive.query(&r).unwrap(), "{r:?}");
+    }
+    rps.update(&[3, 7, 11], 55).unwrap();
+    let full = Region::new(&[0, 0, 0], &[15, 15, 15]).unwrap();
+    assert_eq!(rps.query(&full).unwrap(), naive.query(&full).unwrap() + 55);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Compile-time shape of the public API: construct one of everything.
+    let cube: NdCube<i64> = NdCube::zeros(&[4, 4]);
+    let _: NaiveEngine<i64> = NaiveEngine::from_cube(cube.clone());
+    let _: PrefixSumEngine<i64> = PrefixSumEngine::from_cube(&cube);
+    let _: RpsEngine<i64> = RpsEngine::from_cube(&cube);
+    let _: FenwickEngine<i64> = FenwickEngine::from_cube(&cube);
+    let _ = rps::analysis::optimal_box_size(100);
+}

@@ -1,0 +1,293 @@
+//! A claims audit: every quantitative statement in the paper's prose,
+//! verified against the implementation. Quotes follow the ICDE 1999
+//! text; each test names the section it audits. (The figure *tables* are
+//! audited separately in `paper_figures.rs`; this file covers the claims
+//! made in sentences.)
+
+use rps::analysis::{cost_model, overlay_fraction, overlay_storage_cells};
+use rps::core::testdata::{paper_array_a, PAPER_BOX_SIZE};
+use rps::core::BoxGrid;
+use rps::ndcube::Region;
+use rps::{NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine};
+
+// --- §2: The Model -------------------------------------------------------
+
+#[test]
+fn s2_naive_query_cost_is_region_size_updates_constant() {
+    // "Arbitrary range queries on array A can cost O(n^d): a range query
+    //  over the range of the entire array will require summing every cell
+    //  in the array. Updates to array A take O(1)."
+    let mut e = NaiveEngine::from_cube(paper_array_a());
+    e.reset_stats();
+    e.query(&Region::new(&[0, 0], &[8, 8]).unwrap()).unwrap();
+    assert_eq!(e.stats().cell_reads, 81); // every cell
+    e.reset_stats();
+    e.update(&[0, 0], 1).unwrap();
+    assert_eq!(e.stats().cell_writes, 1);
+}
+
+#[test]
+fn s2_product_of_costs_naive() {
+    // "For the naive method, this product of query and update costs is
+    //  O(n^d) * O(1) = O(n^d)."
+    let m = cost_model::CostModel::naive(9.0, 2);
+    assert_eq!(m.product(), 81.0);
+}
+
+#[test]
+fn s2_prefix_sum_constant_lookups() {
+    // "Using P, a range query on d dimensions can be answered with a
+    //  constant (2^d) cell lookups."
+    let e = PrefixSumEngine::from_cube(&paper_array_a());
+    e.reset_stats();
+    e.query(&Region::new(&[2, 3], &[7, 5]).unwrap()).unwrap();
+    assert_eq!(e.stats().cell_reads, 4); // 2^2
+}
+
+#[test]
+fn s2_prefix_sum_worst_case_rebuild() {
+    // "In the worst case, when cell A[0,0] is updated, this cascading
+    //  update property will require that every cell in the data cube be
+    //  updated."
+    let mut e = PrefixSumEngine::from_cube(&paper_array_a());
+    e.reset_stats();
+    e.update(&[0, 0], 1).unwrap();
+    assert_eq!(e.stats().cell_writes, 81);
+}
+
+#[test]
+fn s2_inverse_operator_family() {
+    // "…and any binary operator + for which there exists an inverse
+    //  binary operator − such that a + b − b = a." — COUNT and AVERAGE
+    // work through the SumCount group.
+    use rps::core::aggregate::AverageCube;
+    let mut avg = AverageCube::new(RpsEngine::zeros(&[4, 4]).unwrap());
+    avg.record(&[1, 1], 10).unwrap();
+    avg.record(&[2, 2], 30).unwrap();
+    let all = Region::new(&[0, 0], &[3, 3]).unwrap();
+    assert_eq!(avg.average(&all).unwrap(), Some(20.0));
+    avg.retract(&[2, 2], 30).unwrap(); // a + b − b = a
+    assert_eq!(avg.average(&all).unwrap(), Some(10.0));
+}
+
+// --- §3.1: Overlays -------------------------------------------------------
+
+#[test]
+fn s31_total_number_of_overlay_boxes() {
+    // "the total number of overlay boxes is ⌈n/k⌉^d … (9/3)² = 9."
+    let grid = BoxGrid::new(paper_array_a().shape().clone(), &[3, 3]).unwrap();
+    assert_eq!(grid.num_boxes(), 9);
+    // Ceiling behaviour for non-divisible n:
+    let g2 = BoxGrid::new(rps::ndcube::Shape::new(&[10, 10]).unwrap(), &[3, 3]).unwrap();
+    assert_eq!(g2.num_boxes(), 16); // ⌈10/3⌉² = 4²
+}
+
+#[test]
+fn s31_each_box_covers_k_to_the_d_cells() {
+    // "Each overlay box corresponds to an area of array A of size k^d
+    //  cells; thus, in this example each overlay box covers 3² = 9 cells."
+    let grid = BoxGrid::new(paper_array_a().shape().clone(), &[3, 3]).unwrap();
+    for b in grid.grid_shape().full_region().iter() {
+        assert_eq!(grid.box_region(&b).cell_count(), 9);
+    }
+}
+
+#[test]
+fn s31_stored_values_per_box() {
+    // "Each overlay box stores an anchor value, plus (k^d − (k−1)^d) − 1
+    //  border values."
+    let k: usize = 3;
+    let d: u32 = 2;
+    let borders = k.pow(d) - (k - 1).pow(d) - 1;
+    assert_eq!(borders, 4); // X₁ X₂ Y₁ Y₂ in Figure 6
+    assert_eq!(BoxGrid::stored_cells(&[k, k]), 1 + borders);
+}
+
+// --- §4.1: Range Sum Queries ---------------------------------------------
+
+#[test]
+fn s41_region_sum_needs_anchor_d_borders_one_rp() {
+    // "Calculating each region sum requires adding one anchor value, d
+    //  border values, and one value from RP." — exact at the paper's
+    // d = 2 (see DESIGN.md for d ≥ 3).
+    let e = RpsEngine::from_cube_uniform(&paper_array_a(), PAPER_BOX_SIZE).unwrap();
+    e.reset_stats();
+    e.prefix_sum(&[7, 5]).unwrap(); // interior cell: worst case
+    assert_eq!(e.stats().cell_reads, 1 + 2 + 1);
+}
+
+#[test]
+fn s41_constant_time_queries_any_box_size() {
+    // "Range sum queries using the overlay box method are thus achieved
+    //  in constant time. This is irrespective of the overlay box size."
+    let a = paper_array_a();
+    for k in [1usize, 2, 3, 4, 9] {
+        let e = RpsEngine::from_cube_uniform(&a, k).unwrap();
+        e.reset_stats();
+        e.query(&Region::new(&[2, 3], &[7, 5]).unwrap()).unwrap();
+        assert!(
+            e.stats().cell_reads <= 16,
+            "k={k}: {}",
+            e.stats().cell_reads
+        );
+    }
+}
+
+// --- §4.2: Updates ---------------------------------------------------------
+
+#[test]
+fn s42_rp_cascade_stops_at_box_boundary() {
+    // "Updates cascade in RP within the overlay box boundary, but
+    //  cascading stops at the boundary; cells in RP covered by other
+    //  overlay boxes will not be modified."
+    let mut e = RpsEngine::from_cube_uniform(&paper_array_a(), 3).unwrap();
+    let before = e.rp_array().clone();
+    e.update(&[1, 1], 1).unwrap();
+    for r in 0..9 {
+        for c in 0..9 {
+            let own_box = r < 3 && c < 3;
+            if !own_box {
+                assert_eq!(
+                    e.rp_array().get(&[r, c]),
+                    before.get(&[r, c]),
+                    "RP[{r},{c}] outside the box must not change"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn s42_twelve_overlay_cells_in_example() {
+    // "In this example, twelve overlay cells are modified."
+    let mut e = RpsEngine::from_cube_uniform(&paper_array_a(), 3).unwrap();
+    e.reset_stats();
+    e.update(&[1, 1], 1).unwrap();
+    let total = e.stats().cell_writes;
+    // 4 RP cells + 12 overlay cells.
+    assert_eq!(total - 4, 12);
+}
+
+// --- §4.3: Choosing the Overlay Box Size -----------------------------------
+
+#[test]
+fn s43_update_formula_terms() {
+    // "an update … will affect (k−1)^d cells in the RP array +
+    //  d(n/k)(k^{d−1}) overlay border cells + (n/k − 1)^d overlay anchor
+    //  cells."
+    let (n, d, k) = (9.0, 2, 3.0);
+    assert_eq!(cost_model::rps_update_cost(n, d, k), 4.0 + 18.0 + 4.0);
+}
+
+#[test]
+fn s43_cost_minimized_at_sqrt_n() {
+    // "the cost is minimized when the overlay box size is chosen to be
+    //  k = √n."
+    for n in [64usize, 256, 1024, 4096] {
+        let best = cost_model::argmin_update_cost(n, 2);
+        let sqrt = (n as f64).sqrt() as usize;
+        assert!(
+            best.abs_diff(sqrt) <= sqrt / 2,
+            "n={n}: argmin {best} vs √n {sqrt}"
+        );
+    }
+}
+
+#[test]
+fn s43_product_reduced_vs_both_baselines() {
+    // "The product of the query cost and update cost is thus O(1) ·
+    //  O(n^{d/2}) = O(n^{d/2}). This is in contrast to the prefix sum
+    //  algorithm and the naive method, both of which have a total cost
+    //  of O(n^d)." — measured at n = 256, d = 2.
+    let n = 256usize;
+    let a = rps::ndcube::NdCube::from_fn(&[n, n], |c| ((c[0] + c[1]) % 5) as i64).unwrap();
+    let region = Region::new(&[1, 1], &[n - 2, n - 2]).unwrap();
+    let measure = |e: &mut dyn RangeSumEngine<i64>| {
+        e.reset_stats();
+        e.query(&region).unwrap();
+        let q = e.stats().cell_reads;
+        e.reset_stats();
+        e.update(&[1, 1], 1).unwrap();
+        q * e.stats().cell_writes
+    };
+    let mut naive = NaiveEngine::from_cube(a.clone());
+    let mut ps = PrefixSumEngine::from_cube(&a);
+    let mut rps = RpsEngine::from_cube_uniform(&a, 16).unwrap();
+    let p_rps = measure(&mut rps);
+    assert!(p_rps < measure(&mut naive) / 4);
+    assert!(p_rps < measure(&mut ps) / 4);
+}
+
+// --- §4.4: Practical Considerations ----------------------------------------
+
+#[test]
+fn s44_overlay_storage_example() {
+    // "consider a two dimensional array RP and an overlay size of
+    //  100×100 cells. The overlay box needs (100² − 99²) = 199 cells of
+    //  storage, while the region of RP covered by the overlay box
+    //  requires 10,000 cells; the overlay box requires less than 2% of
+    //  the storage."
+    assert_eq!(overlay_storage_cells(100, 2), 199);
+    assert_eq!(100u64.pow(2), 10_000);
+    assert!(overlay_fraction(100, 2) < 0.02);
+}
+
+#[test]
+fn s44_storage_savings_grow_with_box_size() {
+    // "space savings grow larger as the size of the overlay box grows."
+    let mut prev = overlay_fraction(2, 2);
+    for k in 3..=100 {
+        let cur = overlay_fraction(k, 2);
+        assert!(cur < prev);
+        prev = cur;
+    }
+}
+
+#[test]
+fn s44_box_sized_pages_give_constant_io() {
+    // "it would be preferred to set the overlay box size such that the
+    //  corresponding region of RP fits exactly into a constant number of
+    //  disk pages; both queries and updates will then require only a
+    //  constant number of disk reads or writes."
+    use rps::storage::{DeviceConfig, DiskRpsEngine};
+    let n = 64usize;
+    let k = 8usize;
+    let a = rps::ndcube::NdCube::from_fn(&[n, n], |c| (c[0] ^ c[1]) as i64).unwrap();
+    let mut disk = DiskRpsEngine::from_cube_uniform(
+        &a,
+        k,
+        DeviceConfig {
+            cells_per_page: k * k,
+        }, // box region = exactly 1 page
+        8,
+    )
+    .unwrap();
+    disk.reset_io_stats();
+    disk.update(&[9, 9], 1).unwrap();
+    disk.flush();
+    let io = disk.io_stats();
+    assert!(io.page_reads <= 1 && io.page_writes <= 1, "{io:?}");
+
+    disk.reset_io_stats();
+    disk.query(&Region::new(&[3, 3], &[60, 61]).unwrap())
+        .unwrap();
+    assert!(disk.io_stats().page_reads <= 4); // ≤ 2^d corner pages
+}
+
+// --- §5: Conclusion ---------------------------------------------------------
+
+#[test]
+fn s5_update_complexity_reduced() {
+    // "its update complexity is reduced to O(n^{d/2})" — at d = 2, the
+    // measured worst-case update scales linearly in n (slope ≈ 1).
+    let mut pts = Vec::new();
+    for n in [64usize, 256, 1024] {
+        let k = (n as f64).sqrt() as usize;
+        let mut e = RpsEngine::<i64>::zeros_uniform(&[n, n], k).unwrap();
+        e.reset_stats();
+        e.update(&[1, 1], 1).unwrap();
+        pts.push((n as f64, e.stats().cell_writes as f64));
+    }
+    let slope = rps::analysis::loglog_slope(&pts);
+    assert!((slope - 1.0).abs() < 0.25, "slope {slope}");
+}

@@ -1,0 +1,337 @@
+//! E1–E7: every number printed in the paper's figures, asserted exactly
+//! through the public API. Figure and section references follow the ICDE
+//! 1999 text.
+
+use rps::core::testdata::{
+    paper_array_a, paper_array_p, paper_array_rp, paper_overlay_cells, PAPER_BOX_SIZE,
+};
+use rps::core::{corners, BoxGrid};
+use rps::ndcube::Region;
+use rps::{NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine};
+
+fn paper_rps() -> RpsEngine<i64> {
+    RpsEngine::from_cube_uniform(&paper_array_a(), PAPER_BOX_SIZE).unwrap()
+}
+
+// --- Figure 1: the data cube -------------------------------------------
+
+#[test]
+fn figure1_array_a_spot_values() {
+    let a = paper_array_a();
+    assert_eq!(a.get(&[0, 0]), 3);
+    assert_eq!(a.get(&[1, 1]), 3);
+    assert_eq!(a.get(&[8, 8]), 6);
+    assert_eq!(a.get(&[6, 5]), 9);
+    // §2: "the cell at A[37,25] contains the total sales…" analog —
+    // A is a 9×9 cube of small sales totals.
+    assert_eq!(a.shape().dims(), &[9, 9]);
+}
+
+// --- Figure 2: the prefix-sum array P ----------------------------------
+
+#[test]
+fn figure2_p_array_full_equality() {
+    let ps = PrefixSumEngine::from_cube(&paper_array_a());
+    assert_eq!(ps.p_array(), &paper_array_p());
+}
+
+#[test]
+fn figure2_worked_cells() {
+    let ps = PrefixSumEngine::from_cube(&paper_array_a());
+    // "cell P[4,0] contains … 19, while cell P[2,1] contains … 24.
+    //  The sum of the entire A array is found in the last cell, P[8,8]."
+    assert_eq!(ps.prefix_sum(&[4, 0]).unwrap(), 19);
+    assert_eq!(ps.prefix_sum(&[2, 1]).unwrap(), 24);
+    assert_eq!(ps.prefix_sum(&[8, 8]).unwrap(), 290);
+}
+
+// --- Figure 3: the 2^d-corner identity ---------------------------------
+
+#[test]
+fn figure3_inclusion_exclusion_identity() {
+    // Sum(Area_E) = Sum(A) − Sum(B) − Sum(C) + Sum(D): for region
+    // [lo..hi], P[hi] − P[lo−1, hi] − P[hi, lo−1] + P[lo−1, lo−1].
+    let a = paper_array_a();
+    let p = paper_array_p();
+    let naive = NaiveEngine::from_cube(a);
+    let (lo, hi) = ([3usize, 2usize], [7usize, 6usize]);
+    let region = Region::new(&lo, &hi).unwrap();
+    let direct = naive.query(&region).unwrap();
+    let via_corners =
+        p.get(&[hi[0], hi[1]]) - p.get(&[lo[0] - 1, hi[1]]) - p.get(&[hi[0], lo[1] - 1])
+            + p.get(&[lo[0] - 1, lo[1] - 1]);
+    assert_eq!(direct, via_corners);
+}
+
+#[test]
+fn figure3_corner_count_is_2_pow_d() {
+    let r = Region::new(&[3, 2], &[7, 6]).unwrap();
+    assert_eq!(corners::corner_count(&r), 4);
+}
+
+// --- Figure 4: prefix-sum cascading update -----------------------------
+
+#[test]
+fn figure4_update_marks_shown_cells() {
+    // Figure 4 prints the post-update P: P[1,1]=19, P[1,2]=22, P[8,8]=291.
+    let mut ps = PrefixSumEngine::from_cube(&paper_array_a());
+    ps.update(&[1, 1], 1).unwrap(); // A[1,1]: 3 → 4
+    assert_eq!(ps.p_array().get(&[1, 1]), 19);
+    assert_eq!(ps.p_array().get(&[1, 2]), 22);
+    assert_eq!(ps.p_array().get(&[2, 1]), 25);
+    assert_eq!(ps.p_array().get(&[8, 8]), 291);
+    // Cells outside the shaded region are untouched.
+    assert_eq!(ps.p_array().get(&[0, 8]), 29);
+    assert_eq!(ps.p_array().get(&[8, 0]), 32);
+    assert_eq!(ps.stats().cell_writes, 64);
+}
+
+// --- Figure 5: the overlay partition -----------------------------------
+
+#[test]
+fn figure5_boxes_and_anchors() {
+    let e = paper_rps();
+    let grid = e.grid();
+    assert_eq!(grid.num_boxes(), 9);
+    let expected_anchors = [
+        [0, 0],
+        [0, 3],
+        [0, 6],
+        [3, 0],
+        [3, 3],
+        [3, 6],
+        [6, 0],
+        [6, 3],
+        [6, 6],
+    ];
+    for (b, want) in grid.grid_shape().full_region().iter().zip(expected_anchors) {
+        assert_eq!(grid.anchor_of(&b), want.to_vec());
+    }
+}
+
+// --- Figure 6: stored values per box ------------------------------------
+
+#[test]
+fn figure6_box_stores_anchor_plus_borders() {
+    // k^d − (k−1)^d = 5 values: V, X₁, X₂, Y₁, Y₂.
+    assert_eq!(BoxGrid::stored_cells(&[3, 3]), 5);
+    let e = paper_rps();
+    assert_eq!(e.overlay().storage_cells(), 9 * 5);
+}
+
+// --- Figures 7–8: anchor and border semantics ---------------------------
+
+#[test]
+fn figure7_anchor_is_sum_of_preceding_region() {
+    // Box anchored at (6,3): anchor = SUM(A[0,0]:A[6,3]) − A[6,3]
+    //                               = 93 − 7 = 86.
+    let e = paper_rps();
+    assert_eq!(e.overlay().value_at(&[6, 3]), Some(&86));
+}
+
+#[test]
+fn figure8_border_values_semantics() {
+    let a = paper_array_a();
+    let e = paper_rps();
+    // X₁ at (6,4): the column above its cell, A[0..5, 4].
+    let x1: i64 = (0..6).map(|r| a.get(&[r, 4])).sum();
+    assert_eq!(e.overlay().value_at(&[6, 4]), Some(&x1));
+    assert_eq!(x1, 20);
+    // X₂ at (6,5): columns above (6,4) and (6,5) — cumulative.
+    let x2: i64 = x1 + (0..6).map(|r| a.get(&[r, 5])).sum::<i64>();
+    assert_eq!(e.overlay().value_at(&[6, 5]), Some(&x2));
+    assert_eq!(x2, 51);
+    // Y₁ at (7,3): the row to the left, A[7, 0..2].
+    let y1: i64 = (0..3).map(|c| a.get(&[7, c])).sum();
+    assert_eq!(e.overlay().value_at(&[7, 3]), Some(&y1));
+    assert_eq!(y1, 8);
+    // Y₂ at (8,3): rows 7 and 8 to the left — cumulative.
+    let y2: i64 = y1 + (0..3).map(|c| a.get(&[8, c])).sum::<i64>();
+    assert_eq!(e.overlay().value_at(&[8, 3]), Some(&y2));
+    assert_eq!(y2, 20);
+}
+
+// --- Figure 9 / 12: region sum from anchor + borders + RP ---------------
+
+#[test]
+fn figure9_outside_portion_from_overlay() {
+    // For target (7,5): anchor 86 + Y₁ 8 + X₂ 51 = 145 is the sum of the
+    // shaded region outside the overlay box.
+    let e = paper_rps();
+    let naive = NaiveEngine::from_cube(paper_array_a());
+    let outside = 86 + 8 + 51;
+    let full = naive
+        .query(&Region::new(&[0, 0], &[7, 5]).unwrap())
+        .unwrap();
+    let inside_box = naive
+        .query(&Region::new(&[6, 3], &[7, 5]).unwrap())
+        .unwrap();
+    assert_eq!(outside, full - inside_box);
+    let _ = e;
+}
+
+// --- Figures 10–11: the RP array ----------------------------------------
+
+#[test]
+fn figure10_rp_array_full_equality() {
+    let e = paper_rps();
+    assert_eq!(e.rp_array(), &paper_array_rp());
+}
+
+#[test]
+fn figure11_rp_cell_is_box_local_prefix() {
+    // RP[7,5] = SUM(A[6,3]:A[7,5]) = 23.
+    let naive = NaiveEngine::from_cube(paper_array_a());
+    let box_prefix = naive
+        .query(&Region::new(&[6, 3], &[7, 5]).unwrap())
+        .unwrap();
+    assert_eq!(box_prefix, 23);
+    assert_eq!(paper_array_rp().get(&[7, 5]), 23);
+}
+
+// --- Figure 13 + §3.3: the worked examples -------------------------------
+
+#[test]
+fn figure13_overlay_table_full_equality() {
+    let e = paper_rps();
+    for (r, c, v) in paper_overlay_cells() {
+        assert_eq!(e.overlay().value_at(&[r, c]), Some(&v), "overlay ({r},{c})");
+    }
+}
+
+#[test]
+fn section33_anchor_border_arithmetic() {
+    // anchor O[3,3] = 51 − 5 = 46; borders 61−8−46=7, 75−14−46=15,
+    // 67−8−46=13, 86−13−46=27.
+    let e = paper_rps();
+    assert_eq!(e.overlay().value_at(&[3, 3]), Some(&46));
+    assert_eq!(e.overlay().value_at(&[4, 3]), Some(&7));
+    assert_eq!(e.overlay().value_at(&[5, 3]), Some(&15));
+    assert_eq!(e.overlay().value_at(&[3, 4]), Some(&13));
+    assert_eq!(e.overlay().value_at(&[3, 5]), Some(&27));
+}
+
+#[test]
+fn section33_complete_region_sum_168() {
+    // "The complete region sum for the region A[0,0]:A[7,5] is thus
+    //  86 + 51 + 8 + 23 = 168."
+    let e = paper_rps();
+    assert_eq!(e.prefix_sum(&[7, 5]).unwrap(), 168);
+    assert_eq!(86 + 51 + 8 + 23, 168);
+}
+
+// --- Figures 14–15 + §4.2: the update example ---------------------------
+
+#[test]
+fn figure15_rp_cells_after_update() {
+    // Figure 15 prints RP after A[1,1] += 1: RP[1,1]=19, [1,2]=22,
+    // [2,1]=25, [2,2]=30; everything else unchanged.
+    let mut e = paper_rps();
+    e.update(&[1, 1], 1).unwrap();
+    assert_eq!(e.rp_array().get(&[1, 1]), 19);
+    assert_eq!(e.rp_array().get(&[1, 2]), 22);
+    assert_eq!(e.rp_array().get(&[2, 1]), 25);
+    assert_eq!(e.rp_array().get(&[2, 2]), 30);
+    assert_eq!(e.rp_array().get(&[0, 1]), 8); // row 0 untouched
+    assert_eq!(e.rp_array().get(&[1, 3]), 8); // next box untouched
+}
+
+#[test]
+fn figure15_overlay_cells_after_update() {
+    // Figure 15 prints the overlay after the update: [1,3]=13, [2,3]=21,
+    // [3,3]=47, [1,6]=34, [2,6]=51, [3,6]=98, [3,1]=13, [3,2]=18,
+    // [6,1]=20, [6,2]=30, [6,3]=87, [6,6]=180.
+    let mut e = paper_rps();
+    e.update(&[1, 1], 1).unwrap();
+    let expect = [
+        ((1, 3), 13),
+        ((2, 3), 21),
+        ((3, 3), 47),
+        ((1, 6), 34),
+        ((2, 6), 51),
+        ((3, 6), 98),
+        ((3, 1), 13),
+        ((3, 2), 18),
+        ((6, 1), 20),
+        ((6, 2), 30),
+        ((6, 3), 87),
+        ((6, 6), 180),
+    ];
+    for ((r, c), v) in expect {
+        assert_eq!(e.overlay().value_at(&[r, c]), Some(&v), "overlay ({r},{c})");
+    }
+    // Unaffected cells retain their Figure 13 values.
+    assert_eq!(e.overlay().value_at(&[0, 3]), Some(&9));
+    assert_eq!(e.overlay().value_at(&[7, 3]), Some(&8));
+    assert_eq!(e.overlay().value_at(&[6, 4]), Some(&20));
+}
+
+#[test]
+fn section42_sixteen_vs_sixtyfour() {
+    // "the total update cost for the overlay algorithm is sixteen cells
+    //  (twelve overlay cells and four cells in RP), compared to sixty four
+    //  cells in the prefix sum method."
+    let mut rps = paper_rps();
+    rps.update(&[1, 1], 1).unwrap();
+    assert_eq!(rps.stats().cell_writes, 16);
+
+    let mut ps = PrefixSumEngine::from_cube(&paper_array_a());
+    ps.update(&[1, 1], 1).unwrap();
+    assert_eq!(ps.stats().cell_writes, 64);
+}
+
+#[test]
+fn section42_anchor_cell_update_special_case() {
+    // "when an update occurs to a cell directly under an anchor cell,
+    //  e.g. cell [0,0] … only updating anchor cells in other overlay
+    //  boxes; no border values would then need to be changed."
+    let mut e = paper_rps();
+    e.update(&[0, 0], 1).unwrap();
+    for (r, c, v) in paper_overlay_cells() {
+        let is_other_anchor = r % 3 == 0 && c % 3 == 0 && !(r == 0 && c == 0);
+        let expect = v + i64::from(is_other_anchor);
+        assert_eq!(e.overlay().value_at(&[r, c]), Some(&expect), "({r},{c})");
+    }
+}
+
+// --- §4.1: constant-time queries ----------------------------------------
+
+#[test]
+fn section41_query_reads_bounded() {
+    let e = paper_rps();
+    for (lo, hi) in [([2, 3], [7, 5]), ([0, 0], [8, 8]), ([4, 4], [4, 4])] {
+        e.reset_stats();
+        e.query(&Region::new(&lo, &hi).unwrap()).unwrap();
+        // d = 2: ≤ 2² corners × (d + 2) = 16 reads.
+        assert!(e.stats().cell_reads <= 16, "{:?}", e.stats());
+    }
+}
+
+// --- §5: the complexity-product headline --------------------------------
+
+#[test]
+fn section5_rps_beats_both_baselines_on_product() {
+    // The product claim is asymptotic — at the 9×9 example size the
+    // naive method's O(1) update still wins, so measure at n = 256
+    // (k = √n = 16) where the paper's ordering holds decisively.
+    let a = rps::ndcube::NdCube::from_fn(&[256, 256], |c| ((c[0] + c[1]) % 10) as i64).unwrap();
+    let region = Region::new(&[2, 2], &[250, 251]).unwrap();
+
+    let run = |engine: &mut dyn RangeSumEngine<i64>| -> u64 {
+        engine.reset_stats();
+        engine.query(&region).unwrap();
+        let q = engine.stats().cell_reads;
+        engine.reset_stats();
+        engine.update(&[1, 1], 1).unwrap();
+        q * engine.stats().cell_writes
+    };
+
+    let mut naive = NaiveEngine::from_cube(a.clone());
+    let mut ps = PrefixSumEngine::from_cube(&a);
+    let mut rps = RpsEngine::from_cube_uniform(&a, 16).unwrap();
+    let p_naive = run(&mut naive);
+    let p_ps = run(&mut ps);
+    let p_rps = run(&mut rps);
+    assert!(p_rps < p_naive, "rps {p_rps} vs naive {p_naive}");
+    assert!(p_rps < p_ps, "rps {p_rps} vs prefix-sum {p_ps}");
+}

@@ -1,0 +1,132 @@
+//! Soak test: a long deterministic mixed workload driven through every
+//! engine variant in the workspace simultaneously — in-memory methods,
+//! the combinators, and the disk engine on a thrashing pool — checking
+//! exact agreement at periodic checkpoints and full-state agreement at
+//! the end.
+
+use rps::core::ChunkedEngine;
+use rps::ndcube::Region;
+use rps::storage::DeviceConfig;
+use rps::workload::{CubeGen, MixedWorkload, Op, QueryGen, RegionSpec, UpdateGen};
+use rps::{
+    BufferedEngine, DiskRpsEngine, FenwickEngine, NaiveEngine, PrefixSumEngine, RangeSumEngine,
+    RpsEngine,
+};
+
+const N: usize = 48;
+const OPS: usize = 3_000;
+const CHECK_EVERY: usize = 250;
+
+#[test]
+fn all_engine_variants_agree_over_long_mixed_run() {
+    let cube = CubeGen::new(20260706).sparse(&[N, N], 0.4, 99);
+
+    let mut engines: Vec<Box<dyn RangeSumEngine<i64>>> = vec![
+        Box::new(NaiveEngine::from_cube(cube.clone())),
+        Box::new(PrefixSumEngine::from_cube(&cube)),
+        Box::new(RpsEngine::from_cube(&cube)),
+        Box::new(RpsEngine::from_cube_uniform(&cube, 5).unwrap()), // ragged k
+        Box::new(FenwickEngine::from_cube(&cube)),
+        Box::new(ChunkedEngine::from_cube(&cube)),
+        Box::new(BufferedEngine::new(PrefixSumEngine::from_cube(&cube), 64)),
+        Box::new(BufferedEngine::new(RpsEngine::from_cube(&cube), 16)),
+        Box::new(
+            DiskRpsEngine::from_cube_uniform(
+                &cube,
+                8,
+                DeviceConfig { cells_per_page: 32 },
+                3, // tiny pool: constant eviction pressure
+            )
+            .unwrap(),
+        ),
+    ];
+
+    let mut workload = MixedWorkload::new(
+        UpdateGen::zipf(&[N, N], 1, 0.9, 200),
+        QueryGen::new(&[N, N], 2, RegionSpec::Fraction(0.7)),
+        0.4,
+        3,
+    );
+
+    let full = Region::new(&[0, 0], &[N - 1, N - 1]).unwrap();
+    for step in 0..OPS {
+        match workload.next_op() {
+            Op::Update { coords, delta } => {
+                for e in &mut engines {
+                    e.update(&coords, delta).unwrap();
+                }
+            }
+            Op::Query(r) => {
+                let expect = engines[0].query(&r).unwrap();
+                for e in &engines[1..] {
+                    assert_eq!(
+                        e.query(&r).unwrap(),
+                        expect,
+                        "{} at step {step} {r:?}",
+                        e.name()
+                    );
+                }
+            }
+        }
+        if step % CHECK_EVERY == 0 {
+            let expect = engines[0].query(&full).unwrap();
+            for e in &engines[1..] {
+                assert_eq!(
+                    e.query(&full).unwrap(),
+                    expect,
+                    "{} checkpoint {step}",
+                    e.name()
+                );
+            }
+        }
+    }
+
+    // Final full-state agreement, cell by cell, via point queries.
+    let probe_cells: Vec<[usize; 2]> = (0..64).map(|i| [(i * 7) % N, (i * 13) % N]).collect();
+    for c in &probe_cells {
+        let expect = engines[0].cell(c).unwrap();
+        for e in &engines[1..] {
+            assert_eq!(e.cell(c).unwrap(), expect, "{} cell {c:?}", e.name());
+        }
+    }
+}
+
+#[test]
+fn soak_with_sets_and_batches() {
+    // Mixes `set` (read-modify-write) and `apply_batch` into the stream,
+    // exercising the derived paths under sustained load.
+    let cube = CubeGen::new(7).uniform(&[32, 32], 0, 9);
+    let mut rps = RpsEngine::from_cube_uniform(&cube, 6).unwrap();
+    let mut oracle = NaiveEngine::from_cube(cube);
+
+    let mut upd = UpdateGen::uniform(&[32, 32], 11, 50);
+    for round in 0..40 {
+        match round % 3 {
+            0 => {
+                let (c, v) = upd.next_update();
+                rps.set(&c, v).unwrap();
+                oracle.set(&c, v).unwrap();
+            }
+            1 => {
+                let batch = upd.take(round % 7 + 1);
+                rps.apply_batch(&batch).unwrap();
+                for (c, d) in &batch {
+                    oracle.update(c, *d).unwrap();
+                }
+            }
+            _ => {
+                let (c, d) = upd.next_update();
+                rps.update(&c, d).unwrap();
+                oracle.update(&c, d).unwrap();
+            }
+        }
+        let r = Region::new(&[round % 16, 0], &[31, 31 - (round % 16)]).unwrap();
+        assert_eq!(
+            rps.query(&r).unwrap(),
+            oracle.query(&r).unwrap(),
+            "round {round}"
+        );
+    }
+    assert_eq!(rps.materialize(), oracle.materialize());
+    assert!(rps.check_invariants().is_empty(), "structural audit failed");
+}

@@ -1,0 +1,85 @@
+//! Larger-scale deterministic stress: a 512×512 cube (the paper's
+//! "large data cube" regime scaled to CI time) driven through the three
+//! sublinear engines with spot agreement against precomputed partial
+//! sums, plus a full structural audit at the end.
+
+use rps::core::ChunkedEngine;
+use rps::ndcube::{NdCube, Region};
+use rps::workload::{CubeGen, UpdateGen};
+use rps::{FenwickEngine, RangeSumEngine, RpsEngine};
+
+const N: usize = 512;
+
+#[test]
+fn half_meg_cube_stays_consistent_under_updates() {
+    let cube = CubeGen::new(31415).uniform(&[N, N], 0, 999);
+
+    // Ground truth via the prefix identity computed once, directly.
+    let mut p = cube.clone();
+    rps::core::prefix::prefix_sums_in_place(&mut p);
+    let truth = |lo: [usize; 2], hi: [usize; 2]| -> i64 {
+        let term = |r: i64, c: i64| -> i64 {
+            if r < 0 || c < 0 {
+                0
+            } else {
+                p.get(&[r as usize, c as usize])
+            }
+        };
+        term(hi[0] as i64, hi[1] as i64)
+            - term(lo[0] as i64 - 1, hi[1] as i64)
+            - term(hi[0] as i64, lo[1] as i64 - 1)
+            + term(lo[0] as i64 - 1, lo[1] as i64 - 1)
+    };
+
+    let mut rps_e = RpsEngine::from_cube(&cube); // k = ⌈√512⌉ = 23
+    let mut chunked = ChunkedEngine::from_cube(&cube);
+    let mut fenwick = FenwickEngine::from_cube(&cube);
+
+    let probes = [
+        ([0usize, 0usize], [N - 1, N - 1]),
+        ([0, 0], [0, 0]),
+        ([17, 400], [489, 511]),
+        ([255, 255], [256, 256]),
+        ([100, 0], [100, N - 1]),
+    ];
+    for (lo, hi) in probes {
+        let want = truth(lo, hi);
+        let r = Region::new(&lo, &hi).unwrap();
+        assert_eq!(rps_e.query(&r).unwrap(), want, "rps {lo:?}..{hi:?}");
+        assert_eq!(chunked.query(&r).unwrap(), want, "chunked {lo:?}..{hi:?}");
+        assert_eq!(fenwick.query(&r).unwrap(), want, "fenwick {lo:?}..{hi:?}");
+    }
+
+    // 300 deterministic updates; track the expected full-cube total.
+    let mut total = truth([0, 0], [N - 1, N - 1]);
+    for (c, delta) in UpdateGen::zipf(&[N, N], 8, 1.1, 1000).take(300) {
+        rps_e.update(&c, delta).unwrap();
+        chunked.update(&c, delta).unwrap();
+        fenwick.update(&c, delta).unwrap();
+        total += delta;
+    }
+    let full = Region::new(&[0, 0], &[N - 1, N - 1]).unwrap();
+    assert_eq!(rps_e.query(&full).unwrap(), total);
+    assert_eq!(chunked.query(&full).unwrap(), total);
+    assert_eq!(fenwick.query(&full).unwrap(), total);
+
+    // The engines must agree with each other on fresh regions too.
+    for (lo, hi) in [([3usize, 9usize], [501, 477]), ([460, 0], [511, 511])] {
+        let r = Region::new(&lo, &hi).unwrap();
+        let a = rps_e.query(&r).unwrap();
+        assert_eq!(chunked.query(&r).unwrap(), a);
+        assert_eq!(fenwick.query(&r).unwrap(), a);
+    }
+
+    // Full structural audit of the RPS engine after the stress.
+    assert!(rps_e.check_invariants().is_empty());
+
+    // And the recovered cube matches cell-for-cell with one applied
+    // independently.
+    let mut expect: NdCube<i64> = cube;
+    for (c, delta) in UpdateGen::zipf(&[N, N], 8, 1.1, 1000).take(300) {
+        let lin = expect.shape().linear_unchecked(&c);
+        *expect.get_linear_mut(lin) += delta;
+    }
+    assert_eq!(rps_e.to_cube(), expect);
+}
