@@ -1,0 +1,302 @@
+//! # criterion (compat shim)
+//!
+//! A dependency-free, in-tree stand-in for the subset of the
+//! [`criterion` 0.5](https://docs.rs/criterion/0.5) API this workspace's
+//! benches use. The build environment for this repository is fully
+//! offline, so the workspace vendors the few third-party APIs it needs as
+//! path dependencies under `compat/` (see
+//! `compat/README.md`).
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up, then
+//! timed over `sample_size` samples; the shim reports min / median / mean
+//! per iteration to stdout. There are no HTML reports, no statistical
+//! regression analysis and no saved baselines — for paper-figure-grade
+//! numbers see the `exp_*` binaries in `crates/bench`, which carry their
+//! own measurement loops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Substring filter from the command line (`cargo bench -- <filter>`).
+    filter: Option<String>,
+    /// When true (cargo's `--test` smoke mode), run each body once.
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let smoke = args.iter().any(|a| a == "--test");
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Criterion { filter, smoke }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let id = id.to_string();
+        if self.skip(&id) {
+            return;
+        }
+        run_one(&id, 100, None, self.smoke, |b| f(b));
+    }
+
+    fn skip(&self, id: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !id.contains(f))
+    }
+}
+
+/// Units for [`BenchmarkGroup::throughput`] reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named benchmark within a group: `BenchmarkId::new("rps", n)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    // Signature mirrors upstream criterion exactly (id by value, `iter`
+    // naming below) so benches stay source-compatible.
+    #[allow(clippy::needless_pass_by_value)]
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.skip(&full) {
+            return;
+        }
+        run_one(
+            &full,
+            self.sample_size,
+            self.throughput,
+            self.criterion.smoke,
+            |b| {
+                f(b, input);
+            },
+        );
+    }
+
+    /// Benchmarks `f` without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.skip(&full) {
+            return;
+        }
+        run_one(
+            &full,
+            self.sample_size,
+            self.throughput,
+            self.criterion.smoke,
+            |b| f(b),
+        );
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints as
+    /// it goes, so this only exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    smoke: bool,
+}
+
+impl Bencher {
+    /// Times `body`, collecting one duration per sample.
+    // Upstream criterion's method name; it times, it does not iterate.
+    #[allow(clippy::iter_not_returning_iterator)]
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        if self.smoke {
+            black_box(body());
+            return;
+        }
+        // Warm-up: run until ~20ms have elapsed so first-touch effects
+        // (page faults, caches) don't land in the samples.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(body());
+        }
+        // Batch iterations so that cheap bodies still get a measurable
+        // per-sample duration.
+        let probe = Instant::now();
+        black_box(body());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
+        let per_sample = usize::try_from(per_sample).unwrap_or(usize::MAX);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(body());
+            }
+            let total = start.elapsed();
+            self.samples
+                .push(total / u32::try_from(per_sample).unwrap_or(u32::MAX));
+        }
+    }
+}
+
+fn run_one(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    smoke: bool,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        smoke,
+    };
+    f(&mut bencher);
+    if smoke {
+        println!("{id}: ok (smoke)");
+        return;
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{id}: no samples (body never called iter)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples.first().copied().unwrap_or_default();
+    let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+    let sum: Duration = samples.iter().sum();
+    let mean = sum / u32::try_from(samples.len().max(1)).unwrap_or(u32::MAX);
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => format!(
+                "  {:.0} elem/s",
+                f64::from(u32::try_from(n.min(u64::from(u32::MAX))).unwrap_or(u32::MAX))
+                    / median.as_secs_f64()
+            ),
+            Throughput::Bytes(n) => format!(
+                "  {:.0} B/s",
+                f64::from(u32::try_from(n.min(u64::from(u32::MAX))).unwrap_or(u32::MAX))
+                    / median.as_secs_f64()
+            ),
+        })
+        .unwrap_or_default();
+    println!("{id}: min {min:?}  median {median:?}  mean {mean:?}{rate}");
+}
+
+/// Collects benchmark functions under one name (API-compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("rps", 64).to_string(), "rps/64");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+            smoke: true,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! # loom (compat shim)
+//!
+//! An in-tree stand-in for the subset of the [`loom`
+//! 0.7](https://docs.rs/loom/0.7) API used by this workspace's
+//! `--cfg loom` concurrency tests.
+//!
+//! **This is not a model checker.** Upstream loom exhaustively explores
+//! the interleavings of a bounded concurrent test under the C11 memory
+//! model. Offline, this shim substitutes a *stress scheduler*:
+//! [`model`] reruns the test body many times (`LOOM_SHIM_ITERS`,
+//! default 200) while the wrapped synchronization types inject
+//! randomized yields and micro-sleeps at every acquire/atomic-op
+//! boundary, shaking out orderings the bare test loop would never hit.
+//! Bugs are caught probabilistically, not exhaustively.
+//!
+//! The tests written against this API are source-compatible with real
+//! loom: point the `loom` entry of `[workspace.dependencies]` at
+//! crates.io wherever network access exists and the same tests become
+//! exhaustive (see `compat/README.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+static SCHED_STATE: StdAtomicU64 = StdAtomicU64::new(0x853C_49E6_748F_EA9B);
+
+/// One pseudo-random draw from the global scheduler state. The state is
+/// shared across threads on purpose: contended RMW on it adds its own
+/// timing noise, which is exactly what a stress scheduler wants.
+fn sched_draw() -> u64 {
+    let x = SCHED_STATE.fetch_add(0x9E37_79B9_7F4A_7C15, StdOrdering::Relaxed);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Preemption point: mostly no-op, sometimes a yield, rarely a
+/// micro-sleep (which forces a real deschedule on most OSes).
+fn preempt() {
+    match sched_draw() % 16 {
+        0..=10 => {}
+        11..=14 => std::thread::yield_now(),
+        _ => std::thread::sleep(std::time::Duration::from_micros(sched_draw() % 40)),
+    }
+}
+
+/// Runs `body` under the stress scheduler, many times.
+///
+/// Panics from any iteration propagate, annotated with the iteration
+/// number. `LOOM_SHIM_ITERS` overrides the default 200 iterations.
+pub fn model<F>(body: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    for i in 0..iters {
+        // Re-seed so iterations explore different schedules but a fixed
+        // iteration count stays reasonably reproducible.
+        SCHED_STATE.store(
+            0x853C_49E6_748F_EA9B ^ i.wrapping_mul(0x2545_F491_4F6C_DD1D),
+            StdOrdering::Relaxed,
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&body));
+        if let Err(payload) = result {
+            eprintln!("loom shim: model iteration {i}/{iters} failed");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Thread spawning with preemption points (mirrors `loom::thread`).
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawns a thread; the scheduler gets a preemption point on both
+    /// sides of the handoff.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::preempt();
+        std::thread::spawn(move || {
+            super::preempt();
+            f()
+        })
+    }
+
+    /// Cooperative yield (always yields; it *is* the preemption point).
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// Synchronization primitives with injected preemption points (mirrors
+/// `loom::sync`).
+pub mod sync {
+    pub use std::sync::Arc;
+
+    use std::sync::LockResult;
+
+    /// `std::sync::Mutex` plus preemption points around acquisition.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Acquires the lock (preemption point before and after).
+        pub fn lock(&self) -> LockResult<std::sync::MutexGuard<'_, T>> {
+            super::preempt();
+            let guard = self.0.lock();
+            super::preempt();
+            guard
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.0.into_inner()
+        }
+    }
+
+    /// `std::sync::RwLock` plus preemption points around acquisition.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T>(std::sync::RwLock<T>);
+
+    impl<T> RwLock<T> {
+        /// Creates a new reader–writer lock.
+        pub fn new(value: T) -> Self {
+            RwLock(std::sync::RwLock::new(value))
+        }
+
+        /// Acquires shared access (preemption point before and after).
+        pub fn read(&self) -> LockResult<std::sync::RwLockReadGuard<'_, T>> {
+            super::preempt();
+            let guard = self.0.read();
+            super::preempt();
+            guard
+        }
+
+        /// Acquires exclusive access (preemption point before and after).
+        pub fn write(&self) -> LockResult<std::sync::RwLockWriteGuard<'_, T>> {
+            super::preempt();
+            let guard = self.0.write();
+            super::preempt();
+            guard
+        }
+
+        /// Consumes the lock, returning the inner value.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.0.into_inner()
+        }
+    }
+
+    /// Atomics with injected preemption points.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! shim_atomic {
+            ($(#[$meta:meta])* $name:ident, $std:ident, $t:ty) => {
+                $(#[$meta])*
+                #[derive(Debug, Default)]
+                pub struct $name(std::sync::atomic::$std);
+
+                impl $name {
+                    /// Creates a new atomic.
+                    pub fn new(value: $t) -> Self {
+                        $name(std::sync::atomic::$std::new(value))
+                    }
+
+                    /// Atomic load (preemption point first).
+                    pub fn load(&self, order: Ordering) -> $t {
+                        super::super::preempt();
+                        self.0.load(order)
+                    }
+
+                    /// Atomic store (preemption point first).
+                    pub fn store(&self, value: $t, order: Ordering) {
+                        super::super::preempt();
+                        self.0.store(value, order);
+                    }
+
+                    /// Atomic fetch-add (preemption point first).
+                    pub fn fetch_add(&self, value: $t, order: Ordering) -> $t {
+                        super::super::preempt();
+                        self.0.fetch_add(value, order)
+                    }
+
+                    /// Atomic compare-exchange (preemption point first).
+                    pub fn compare_exchange(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$t, $t> {
+                        super::super::preempt();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(
+            /// `AtomicU64` with preemption points.
+            AtomicU64, AtomicU64, u64
+        );
+        shim_atomic!(
+            /// `AtomicUsize` with preemption points.
+            AtomicUsize, AtomicUsize, usize
+        );
+
+        /// `AtomicBool` with preemption points.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates a new atomic.
+            pub fn new(value: bool) -> Self {
+                AtomicBool(std::sync::atomic::AtomicBool::new(value))
+            }
+
+            /// Atomic load (preemption point first).
+            pub fn load(&self, order: Ordering) -> bool {
+                super::super::preempt();
+                self.0.load(order)
+            }
+
+            /// Atomic store (preemption point first).
+            pub fn store(&self, value: bool, order: Ordering) {
+                super::super::preempt();
+                self.0.store(value, order);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn model_runs_many_schedules() {
+        std::env::set_var("LOOM_SHIM_ITERS", "8");
+        let runs = Arc::new(AtomicU64::new(0));
+        let runs2 = Arc::clone(&runs);
+        super::model(move || {
+            runs2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 8);
+        std::env::remove_var("LOOM_SHIM_ITERS");
+    }
+
+    #[test]
+    fn primitives_behave_like_std() {
+        let m = Mutex::new(1);
+        *m.lock().unwrap() += 1;
+        assert_eq!(m.into_inner().unwrap(), 2);
+
+        let rw = RwLock::new(5);
+        assert_eq!(*rw.read().unwrap(), 5);
+        *rw.write().unwrap() = 6;
+        assert_eq!(rw.into_inner().unwrap(), 6);
+    }
+
+    #[test]
+    fn threads_join() {
+        let total = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let total = Arc::clone(&total);
+                super::thread::spawn(move || {
+                    for _ in 0..100 {
+                        total.fetch_add(1, Ordering::Relaxed);
+                        super::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 400);
+    }
+}

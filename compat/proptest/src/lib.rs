@@ -1,0 +1,159 @@
+//! # proptest (compat shim)
+//!
+//! A dependency-free, in-tree stand-in for the subset of the
+//! [`proptest` 1.x](https://docs.rs/proptest/1) API this workspace uses.
+//! The build environment for this repository is fully offline, so the
+//! workspace vendors the few third-party APIs it needs as path
+//! dependencies under `compat/` (see `compat/README.md`).
+//!
+//! ## What is implemented
+//!
+//! * [`proptest!`] with an optional `#![proptest_config(..)]` header,
+//!   `pattern in strategy` bindings and `#[test]` attribute pass-through.
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, implemented
+//!   for integer and float ranges, tuples (arity ≤ 6), `Vec<S>` and
+//!   [`strategy::Just`].
+//! * [`collection::vec`], [`arbitrary::any`], [`sample::Index`],
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`] and [`test_runner::ProptestConfig::with_cases`].
+//!
+//! ## What is deliberately different
+//!
+//! * **No shrinking.** A failing case reports the per-case seed
+//!   (`PROPTEST_CASE_SEED=<n>` reruns exactly that case) instead of a
+//!   minimized input. This keeps the shim small and fully deterministic.
+//! * **Deterministic by default.** Case generation derives from a hash of
+//!   the test name, so runs are reproducible without recording seed
+//!   files. `PROPTEST_SEED` perturbs the base seed, `PROPTEST_CASES`
+//!   overrides the default case count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The customary glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in 0..10) {..} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run(&config, stringify!($name), |__proptest_rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Like `assert!`, reported through the property-test runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Like `assert_eq!`, reported through the property-test runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Like `assert_ne!`, reported through the property-test runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Discards the current case (it does not count towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            $crate::test_runner::reject_case();
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            $crate::test_runner::reject_case();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, 5i64..=9)) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn config_and_collections(v in crate::collection::vec(1usize..=4, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (1..=4).contains(&x)));
+        }
+
+        #[test]
+        fn maps_compose(n in (1usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0usize..n, n..=n).prop_map(move |v| (n, v))
+        })) {
+            let (n, v) = n;
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+
+        #[test]
+        fn assume_discards(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn index_in_bounds(ix in any::<crate::sample::Index>()) {
+            for len in [1usize, 2, 7, 1000] {
+                prop_assert!(ix.index(len) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 3..=3);
+        let mut rng_a = crate::test_runner::TestRng::from_seed(99);
+        let mut rng_b = crate::test_runner::TestRng::from_seed(99);
+        assert_eq!(strat.generate(&mut rng_a), strat.generate(&mut rng_b));
+    }
+}

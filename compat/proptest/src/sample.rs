@@ -1,0 +1,43 @@
+//! Sampling helpers: [`Index`].
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An opaque position that can be projected into any non-empty
+/// collection: `any::<Index>()` then [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects this value into `[0, size)`. Panics when `size == 0`.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on an empty collection");
+        // Multiply-shift keeps the projection uniform across sizes.
+        ((u128::from(self.0) * size as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projects_uniformly_in_bounds() {
+        let mut rng = TestRng::from_seed(5);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            let ix = Index::arbitrary(&mut rng);
+            let p = ix.index(4);
+            assert!(p < 4);
+            seen[p] = true;
+            assert!(ix.index(1) == 0);
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+}

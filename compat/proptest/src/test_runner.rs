@@ -1,0 +1,145 @@
+//! The case runner: deterministic RNG, configuration and the
+//! reject/failure protocol used by the `proptest!` macro.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Deterministic generator driving every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            // Avoid the all-zero fixed point of the raw state.
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runner configuration. Only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Panic payload marking a `prop_assume!` rejection.
+struct Rejected;
+
+/// Aborts the current case without failing the test (see `prop_assume!`).
+pub fn reject_case() -> ! {
+    std::panic::panic_any(Rejected)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Silences the default panic printer for `Rejected` payloads; every other
+/// panic keeps the pre-existing hook behaviour.
+fn install_reject_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<Rejected>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Runs `property` until `config.cases` cases pass, rejecting via
+/// `prop_assume!` without consuming the budget. Panics propagate with a
+/// line explaining how to rerun the exact failing case.
+pub fn run(config: &ProptestConfig, name: &str, property: impl Fn(&mut TestRng)) {
+    install_reject_hook();
+
+    // PROPTEST_CASE_SEED pins a single case — the reproduction path
+    // printed on failure.
+    if let Some(case_seed) = env_u64("PROPTEST_CASE_SEED") {
+        let mut rng = TestRng::from_seed(case_seed);
+        property(&mut rng);
+        return;
+    }
+
+    let base_seed = fnv1a(name) ^ env_u64("PROPTEST_SEED").unwrap_or(0);
+    let mut accepted: u32 = 0;
+    let mut attempts: u64 = 0;
+    let max_attempts = u64::from(config.cases).saturating_mul(20).max(200);
+    while accepted < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "proptest shim: `{name}`: prop_assume! rejected too often \
+             ({accepted}/{} cases accepted after {attempts} attempts)",
+            config.cases
+        );
+        let case_seed = base_seed.wrapping_add(attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::from_seed(case_seed);
+        match catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
+            Ok(()) => accepted += 1,
+            Err(payload) if payload.is::<Rejected>() => {}
+            Err(payload) => {
+                eprintln!(
+                    "proptest shim: `{name}` failed on case {n} of {total}; rerun just this \
+                     case with PROPTEST_CASE_SEED={case_seed}",
+                    n = accepted + 1,
+                    total = config.cases,
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! # rand (compat shim)
+//!
+//! A dependency-free, in-tree stand-in for the subset of the
+//! [`rand` 0.8](https://docs.rs/rand/0.8) API this workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`],
+//! [`Rng::gen_range`] and [`Rng::gen_bool`].
+//!
+//! The build environment for this repository is fully offline, so the
+//! workspace vendors the few third-party APIs it needs as path
+//! dependencies under `compat/` (see `compat/README.md`).
+//! The shim is *API*-compatible, not *stream*-compatible: seeds produce a
+//! different (but equally deterministic) value sequence than upstream
+//! `rand`. Nothing in the workspace depends on the exact stream — only on
+//! determinism per seed, which this shim guarantees.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++, seeded through
+//! SplitMix64 — the construction recommended by its authors for seeding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators (shim: only [`rngs::StdRng`]).
+pub mod rngs {
+    /// A deterministic pseudo-random generator (xoshiro256++ here;
+    /// upstream uses ChaCha12 — streams differ, determinism does not).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StdRng {
+    fn next_u64_impl(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna, 2019).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seedable generators (shim: only `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // An all-zero state would be a fixed point; SplitMix64 cannot
+        // produce four zero outputs in a row, but keep the guard explicit.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+}
+
+/// Types that [`Rng::gen`] can produce uniformly over their whole domain.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types [`Rng::gen_range`] supports (shim-internal).
+pub trait UniformInt: Copy {
+    /// Widens to the `u64` offset domain used for range sampling.
+    fn to_u64_offset(self) -> u64;
+    /// Narrows back from the `u64` offset domain.
+    fn from_u64_offset(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[allow(clippy::cast_sign_loss, clippy::cast_lossless)]
+            fn to_u64_offset(self) -> u64 { self as u64 }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn from_u64_offset(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics when empty.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn sample_span<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    // `span == 0` encodes the full 2^64 domain.
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Multiply-shift bounded sampling (Lemire); bias is negligible for
+    // the spans the workspace draws and irrelevant to its tests.
+
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start.to_u64_offset();
+        let hi = self.end.to_u64_offset();
+        let span = hi.wrapping_sub(lo);
+        assert!(span != 0, "cannot sample from an empty range");
+        T::from_u64_offset(lo.wrapping_add(sample_span(rng, span)))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start().to_u64_offset();
+        let hi = self.end().to_u64_offset();
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        T::from_u64_offset(lo.wrapping_add(sample_span(rng, span)))
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let unit = f64::sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample from an empty range");
+        let unit = f64::sample(rng);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// The user-facing generator trait (shim subset).
+pub trait Rng {
+    /// The raw 64-bit output feeding every other method.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniform value over `T`'s whole domain.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a uniform value from `range`. Panics on empty ranges.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::sample(self) < p
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let w: usize = rng.gen_range(1usize..=7);
+            assert!((1..=7).contains(&w));
+            let f: f64 = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        // Mean of 1000 uniforms should land near 0.5.
+        assert!((sum / 1000.0 - 0.5).abs() < 0.06, "mean {}", sum / 1000.0);
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..6 hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

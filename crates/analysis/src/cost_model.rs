@@ -49,11 +49,13 @@ pub fn optimal_box_sizes(dims: &[usize]) -> Vec<usize> {
 /// Integer argmin of [`rps_update_cost`] over `k ∈ 1..=n` — used to show
 /// the formula's discrete optimum sits at ≈ √n.
 pub fn argmin_update_cost(n: usize, d: u32) -> usize {
+    assert!(n >= 1, "side length must be at least 1");
     (1..=n)
         .min_by(|&a, &b| {
             rps_update_cost(n as f64, d, a as f64)
                 .total_cmp(&rps_update_cost(n as f64, d, b as f64))
         })
+        // lint:allow(L2): 1..=n is non-empty — asserted above
         .expect("non-empty range")
 }
 

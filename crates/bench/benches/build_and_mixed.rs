@@ -11,30 +11,30 @@ fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("build");
     group.sample_size(10);
     for &n in &[256usize, 1024] {
-        let cube = CubeGen::new(3).uniform(&[n, n], 0, 9);
+        let cube = CubeGen::new(3).uniform(&[n, n], 0, 9).expect("valid dims");
         group.bench_with_input(BenchmarkId::new("prefix-sum", n), &cube, |b, a| {
-            b.iter(|| PrefixSumEngine::from_cube(black_box(a)))
+            b.iter(|| PrefixSumEngine::from_cube(black_box(a)));
         });
         group.bench_with_input(BenchmarkId::new("rps", n), &cube, |b, a| {
-            b.iter(|| RpsEngine::from_cube(black_box(a)))
+            b.iter(|| RpsEngine::from_cube(black_box(a)));
         });
         group.bench_with_input(BenchmarkId::new("rps-parallel-4", n), &cube, |b, a| {
-            b.iter(|| RpsEngine::from_cube_parallel(black_box(a), 4))
+            b.iter(|| RpsEngine::from_cube_parallel(black_box(a), 4));
         });
         group.bench_with_input(BenchmarkId::new("fenwick", n), &cube, |b, a| {
-            b.iter(|| FenwickEngine::from_cube(black_box(a)))
+            b.iter(|| FenwickEngine::from_cube(black_box(a)));
         });
     }
     group.finish();
 }
 
 fn bench_mixed(c: &mut Criterion) {
+    const OPS: usize = 512;
     let mut group = c.benchmark_group("mixed_workload");
     group.sample_size(10);
     let n = 256usize;
     let dims = [n, n];
-    let cube = CubeGen::new(21).uniform(&dims, 0, 9);
-    const OPS: usize = 512;
+    let cube = CubeGen::new(21).uniform(&dims, 0, 9).expect("valid dims");
 
     for &query_ratio in &[0.1f64, 0.5, 0.9] {
         let ops = MixedWorkload::new(
@@ -51,25 +51,25 @@ fn bench_mixed(c: &mut Criterion) {
             b.iter(|| {
                 let mut e = NaiveEngine::from_cube(cube.clone());
                 replay(&mut e, black_box(ops))
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("prefix-sum", &label), &ops, |b, ops| {
             b.iter(|| {
                 let mut e = PrefixSumEngine::from_cube(&cube);
                 replay(&mut e, black_box(ops))
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("rps", &label), &ops, |b, ops| {
             b.iter(|| {
                 let mut e = RpsEngine::from_cube(&cube);
                 replay(&mut e, black_box(ops))
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("fenwick", &label), &ops, |b, ops| {
             b.iter(|| {
                 let mut e = FenwickEngine::from_cube(&cube);
                 replay(&mut e, black_box(ops))
-            })
+            });
         });
     }
     group.finish();

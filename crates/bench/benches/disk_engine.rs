@@ -27,7 +27,7 @@ fn engine(cube: &NdCube<i64>, box_aligned: bool, frames: usize) -> DiskRpsEngine
 fn bench_disk_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("disk_query");
     group.sample_size(20);
-    let cube = CubeGen::new(31).uniform(&[N, N], 0, 9);
+    let cube = CubeGen::new(31).uniform(&[N, N], 0, 9).expect("valid dims");
     let regions = QueryGen::new(&[N, N], 5, RegionSpec::Fraction(0.4)).take(32);
 
     for &(label, frames) in &[("warm_pool", 256usize), ("cold_pool", 4)] {
@@ -44,7 +44,7 @@ fn bench_disk_queries(c: &mut Criterion) {
                         acc = acc.wrapping_add(e.query(black_box(r)).unwrap());
                     }
                     acc
-                })
+                });
             });
         }
     }
@@ -54,7 +54,7 @@ fn bench_disk_queries(c: &mut Criterion) {
 fn bench_disk_updates(c: &mut Criterion) {
     let mut group = c.benchmark_group("disk_update");
     group.sample_size(20);
-    let cube = CubeGen::new(32).uniform(&[N, N], 0, 9);
+    let cube = CubeGen::new(32).uniform(&[N, N], 0, 9).expect("valid dims");
     let batch = UpdateGen::uniform(&[N, N], 6, 20).take(32);
 
     for &aligned in &[true, false] {
@@ -65,7 +65,7 @@ fn bench_disk_updates(c: &mut Criterion) {
                 for (coords, delta) in ops {
                     e.update(black_box(coords), *delta).unwrap();
                 }
-            })
+            });
         });
     }
     group.finish();

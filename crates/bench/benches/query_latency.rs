@@ -16,7 +16,7 @@ fn bench_queries(c: &mut Criterion) {
 
     for &n in &[64usize, 256, 1024] {
         let dims = [n, n];
-        let cube = CubeGen::new(7).uniform(&dims, 0, 9);
+        let cube = CubeGen::new(7).uniform(&dims, 0, 9).expect("valid dims");
         let regions: Vec<Region> = QueryGen::new(&dims, 3, RegionSpec::Fraction(0.5)).take(64);
 
         let naive = NaiveEngine::from_cube(cube.clone());
@@ -33,7 +33,7 @@ fn bench_queries(c: &mut Criterion) {
                         acc = acc.wrapping_add(naive.query(black_box(r)).unwrap());
                     }
                     acc
-                })
+                });
             });
         }
         group.bench_with_input(BenchmarkId::new("prefix-sum", n), &regions, |b, rs| {
@@ -43,7 +43,7 @@ fn bench_queries(c: &mut Criterion) {
                     acc = acc.wrapping_add(ps.query(black_box(r)).unwrap());
                 }
                 acc
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("rps", n), &regions, |b, rs| {
             b.iter(|| {
@@ -52,7 +52,7 @@ fn bench_queries(c: &mut Criterion) {
                     acc = acc.wrapping_add(rps.query(black_box(r)).unwrap());
                 }
                 acc
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("fenwick", n), &regions, |b, rs| {
             b.iter(|| {
@@ -61,7 +61,7 @@ fn bench_queries(c: &mut Criterion) {
                     acc = acc.wrapping_add(fw.query(black_box(r)).unwrap());
                 }
                 acc
-            })
+            });
         });
     }
     group.finish();
@@ -79,13 +79,13 @@ fn bench_query_dimensionality(c: &mut Criterion) {
         (4, 8, 3),
     ] {
         let dims = vec![n; d];
-        let cube = CubeGen::new(11).uniform(&dims, 0, 9);
+        let cube = CubeGen::new(11).uniform(&dims, 0, 9).expect("valid dims");
         let rps = RpsEngine::from_cube_uniform(&cube, k).unwrap();
         let lo = vec![1usize; d];
         let hi = vec![n - 2; d];
         let r = Region::new(&lo, &hi).unwrap();
         group.bench_function(BenchmarkId::new("d", d), |b| {
-            b.iter(|| rps.query(black_box(&r)).unwrap())
+            b.iter(|| rps.query(black_box(&r)).unwrap());
         });
     }
     group.finish();

@@ -16,7 +16,7 @@ fn bench_updates(c: &mut Criterion) {
 
     for &n in &[64usize, 256, 1024] {
         let dims = [n, n];
-        let cube = CubeGen::new(5).uniform(&dims, 0, 9);
+        let cube = CubeGen::new(5).uniform(&dims, 0, 9).expect("valid dims");
         let batch = UpdateGen::uniform(&dims, 9, 50).take(32);
 
         group.bench_with_input(BenchmarkId::new("naive", n), &batch, |b, ops| {
@@ -25,7 +25,7 @@ fn bench_updates(c: &mut Criterion) {
                 for (coords, delta) in ops {
                     e.update(black_box(coords), *delta).unwrap();
                 }
-            })
+            });
         });
         // Prefix-sum updates at n = 1024 rewrite ~10^6 cells each; keep
         // the baseline honest but bounded.
@@ -36,7 +36,7 @@ fn bench_updates(c: &mut Criterion) {
                     for (coords, delta) in ops {
                         e.update(black_box(coords), *delta).unwrap();
                     }
-                })
+                });
             });
         }
         group.bench_with_input(BenchmarkId::new("rps", n), &batch, |b, ops| {
@@ -45,7 +45,7 @@ fn bench_updates(c: &mut Criterion) {
                 for (coords, delta) in ops {
                     e.update(black_box(coords), *delta).unwrap();
                 }
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("fenwick", n), &batch, |b, ops| {
             let mut e = FenwickEngine::from_cube(&cube);
@@ -53,7 +53,7 @@ fn bench_updates(c: &mut Criterion) {
                 for (coords, delta) in ops {
                     e.update(black_box(coords), *delta).unwrap();
                 }
-            })
+            });
         });
     }
     group.finish();
@@ -64,7 +64,7 @@ fn bench_box_size_effect(c: &mut Criterion) {
     let mut group = c.benchmark_group("rps_update_by_box_size");
     group.sample_size(20);
     let n = 256usize;
-    let cube = CubeGen::new(13).uniform(&[n, n], 0, 9);
+    let cube = CubeGen::new(13).uniform(&[n, n], 0, 9).expect("valid dims");
     let batch = UpdateGen::uniform(&[n, n], 17, 50).take(32);
     for &k in &[4usize, 8, 16, 32, 64] {
         group.bench_with_input(BenchmarkId::new("k", k), &batch, |b, ops| {
@@ -73,7 +73,7 @@ fn bench_box_size_effect(c: &mut Criterion) {
                 for (coords, delta) in ops {
                     e.update(black_box(coords), *delta).unwrap();
                 }
-            })
+            });
         });
     }
     group.finish();

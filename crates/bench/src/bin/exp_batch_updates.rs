@@ -21,7 +21,7 @@ use rps_workload::{CubeGen, QueryGen, RegionSpec, UpdateGen};
 fn main() {
     const N: usize = 256;
     let dims = [N, N];
-    let cube: NdCube<i64> = CubeGen::new(4).uniform(&dims, 0, 9);
+    let cube: NdCube<i64> = CubeGen::new(4).uniform(&dims, 0, 9).expect("valid dims");
     let k = 16; // √n
 
     println!("=== batch refresh strategies, {N}×{N} cube, k = {k} ===\n");

@@ -14,10 +14,10 @@ use rps_workload::CubeGen;
 
 fn main() {
     const N: usize = 2048;
-    let cube: NdCube<i64> = CubeGen::new(12).uniform(&[N, N], 0, 99);
-    let cores = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
+    let cube: NdCube<i64> = CubeGen::new(12)
+        .uniform(&[N, N], 0, 99)
+        .expect("valid dims");
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!(
         "=== parallel build: {N}×{N} cube ({} cells), {cores} hardware thread(s) ===\n",
         N * N

@@ -64,14 +64,14 @@ fn main() {
             "rps mean {m} exceeded worst-case formula {formula}"
         );
     }
-    let spread = rps_means.iter().cloned().fold(f64::MIN, f64::max)
-        / rps_means.iter().cloned().fold(f64::MAX, f64::min);
+    let spread = rps_means.iter().copied().fold(f64::MIN, f64::max)
+        / rps_means.iter().copied().fold(f64::MAX, f64::min);
     println!(
         "\nunder origin-heavy skew both methods drift toward their worst case,\n\
          but RPS is capped by the §4.3 bound ({formula:.0} cells here; observed\n\
          ≤ {:.0}, a {spread:.1}× spread) while prefix-sum keeps climbing toward\n\
          n² = {} — the paper's advantage widens exactly when data is hot.",
-        rps_means.iter().cloned().fold(f64::MIN, f64::max),
+        rps_means.iter().copied().fold(f64::MIN, f64::max),
         N * N
     );
 }

@@ -99,9 +99,9 @@ fn generate(args: &Args, out: &mut dyn Write) -> CmdResult {
 
     let mut gen = CubeGen::new(seed);
     let cube = match dist {
-        "uniform" => gen.uniform(&dims, 0, 99),
-        "sparse" => gen.sparse(&dims, 0.1, 99),
-        "zipf" => gen.zipf_rows(&dims, 1.0, 100),
+        "uniform" => gen.uniform(&dims, 0, 99)?,
+        "sparse" => gen.sparse(&dims, 0.1, 99)?,
+        "zipf" => gen.zipf_rows(&dims, 1.0, 100)?,
         other => return Err(format!("unknown --dist `{other}`").into()),
     };
     save_atomic(path, |w| snapshot::save_cube(&cube, w))?;
@@ -489,7 +489,7 @@ fn bench(args: &Args, out: &mut dyn Write) -> CmdResult {
     let ops = args.u64_or("ops", 1000)? as usize;
     let seed = args.u64_or("seed", 1)?;
 
-    let cube = CubeGen::new(seed).uniform(&dims, 0, 9);
+    let cube = CubeGen::new(seed).uniform(&dims, 0, 9)?;
     let workload = rps_workload::MixedWorkload::new(
         rps_workload::UpdateGen::uniform(&dims, seed + 1, 100),
         rps_workload::QueryGen::new(&dims, seed + 2, rps_workload::RegionSpec::Fraction(0.5)),
@@ -545,7 +545,7 @@ mod tests {
     use crate::args::Args;
 
     fn run_capture(argv: &[&str]) -> (String, bool) {
-        let args = Args::parse(argv.iter().map(|s| s.to_string())).unwrap();
+        let args = Args::parse(argv.iter().map(std::string::ToString::to_string)).unwrap();
         let mut buf = Vec::new();
         let ok = run(&args, &mut buf).is_ok();
         (String::from_utf8(buf).unwrap(), ok)
@@ -704,7 +704,7 @@ mod tests {
                 "avg",
             ]
             .iter()
-            .map(|s| s.to_string()),
+            .map(std::string::ToString::to_string),
         )
         .unwrap();
         let mut buf = Vec::new();
@@ -730,7 +730,7 @@ mod tests {
                 cube.as_str(),
             ]
             .iter()
-            .map(|s| s.to_string()),
+            .map(std::string::ToString::to_string),
         )
         .unwrap();
         let mut buf = Vec::new();
@@ -755,7 +755,7 @@ mod tests {
                 "/dev/null",
             ]
             .iter()
-            .map(|s| s.to_string()),
+            .map(std::string::ToString::to_string),
         )
         .unwrap();
         let mut buf = Vec::new();
@@ -939,7 +939,7 @@ mod tests {
                 cube.as_str(),
             ]
             .iter()
-            .map(|s| s.to_string()),
+            .map(std::string::ToString::to_string),
         )
         .unwrap();
         let mut buf = Vec::new();

@@ -98,7 +98,7 @@ pub fn read_csv<R: Read>(r: R) -> Result<(Vec<String>, Vec<Vec<String>>), CsvErr
         lines.push(line);
     }
     // Drop one trailing empty line (common file ending).
-    if lines.last().is_some_and(|l| l.is_empty()) {
+    if lines.last().is_some_and(std::string::String::is_empty) {
         lines.pop();
     }
     let mut it = lines.into_iter().enumerate();

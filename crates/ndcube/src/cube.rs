@@ -53,6 +53,7 @@ impl<T: Clone> NdCube<T> {
     /// indexing).
     #[inline]
     pub fn get(&self, coords: &[usize]) -> T {
+        // lint:allow(L2): documented slice-like panic contract; try_get is the fallible twin
         self.data[self.shape.linear(coords).expect("coordinates in bounds")].clone()
     }
 
@@ -64,6 +65,7 @@ impl<T: Clone> NdCube<T> {
     /// Writes a cell (checked; panics on bad coordinates).
     #[inline]
     pub fn set(&mut self, coords: &[usize], value: T) {
+        // lint:allow(L2): documented slice-like panic contract; try_set is the fallible twin
         let lin = self.shape.linear(coords).expect("coordinates in bounds");
         self.data[lin] = value;
     }
@@ -142,6 +144,7 @@ impl<T> NdCube<T> {
 impl<T: Clone + Default> NdCube<T> {
     /// A cube of `T::default()` values (e.g. zeros for numeric `T`).
     pub fn zeros(dims: &[usize]) -> NdCube<T> {
+        // lint:allow(L2): mirrors `vec![0; n]` semantics — panics only on invalid dims
         NdCube::filled(dims, T::default()).expect("valid dims")
     }
 }

@@ -72,9 +72,11 @@ impl Region {
         self.lo.len()
     }
 
-    /// Extent along one dimension (inclusive, so at least 1).
+    /// Extent along one dimension (inclusive, so at least 1). Panics if
+    /// `dim ≥ ndim()`, like slice indexing.
     #[inline]
     pub fn extent(&self, dim: usize) -> usize {
+        // lint:allow(L1): documented slice-like panic on a bad dim; lo ≤ hi per constructor
         self.hi[dim] - self.lo[dim] + 1
     }
 
@@ -129,6 +131,15 @@ impl Region {
     /// [`RegionIter::for_each_coords`].
     pub fn iter(&self) -> RegionIter<'_> {
         RegionIter::new(self)
+    }
+}
+
+impl<'a> IntoIterator for &'a Region {
+    type Item = Vec<usize>;
+    type IntoIter = RegionIter<'a>;
+
+    fn into_iter(self) -> RegionIter<'a> {
+        self.iter()
     }
 }
 

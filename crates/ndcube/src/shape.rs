@@ -140,6 +140,7 @@ impl Shape {
     pub fn full_region(&self) -> Region {
         let lo = vec![0usize; self.ndim()];
         let hi: Vec<usize> = self.dims.iter().map(|&n| n - 1).collect();
+        // lint:allow(L2): shapes reject zero-sized dims, so 0 ≤ n−1 always holds
         Region::new(&lo, &hi).expect("full region of a valid shape is valid")
     }
 

@@ -10,7 +10,7 @@ pub struct CubeView<'a, T> {
     region: &'a Region,
 }
 
-impl<'a, T: Clone> CubeView<'a, T> {
+impl<T: Clone> CubeView<'_, T> {
     /// The viewed region (in the parent cube's coordinates).
     pub fn region(&self) -> &Region {
         self.region
@@ -46,6 +46,7 @@ impl<'a, T: Clone> CubeView<'a, T> {
             .linear_region_iter(self.region)
             .map(|lin| self.cube.get_linear(lin).clone())
             .collect();
+        // lint:allow(L2): the iterator yields exactly dims().product() cells
         NdCube::from_vec(&self.dims(), data).expect("view dims match cell count")
     }
 }
@@ -74,10 +75,16 @@ impl<T: Clone> NdCube<T> {
                 size: shape.dim(dim),
             });
         }
-        let mut lo = vec![0usize; shape.ndim()];
-        let mut hi: Vec<usize> = shape.dims().iter().map(|&n| n - 1).collect();
-        lo[dim] = index;
-        hi[dim] = index;
+        let lo: Vec<usize> = (0..shape.ndim())
+            .map(|i| if i == dim { index } else { 0 })
+            .collect();
+        let hi: Vec<usize> = shape
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| if i == dim { index } else { n - 1 })
+            .collect();
+        // lint:allow(L2): lo ≤ hi per the index bound checked above
         let region = Region::new(&lo, &hi).expect("slice region valid");
         let data: Vec<T> = shape
             .linear_region_iter(&region)
@@ -125,6 +132,7 @@ impl<T: Clone> CubeView<'_, T> {
         let dims = self.dims();
         let zero = vec![0usize; dims.len()];
         let hi: Vec<usize> = dims.iter().map(|&n| n - 1).collect();
+        // lint:allow(L2): 0 ≤ n−1 for every view dimension (regions are non-empty)
         let rel_region = Region::new(&zero, &hi).expect("view region valid");
         RegionIter::for_each_coords(&rel_region, |rel| {
             f(rel, self.get(rel));

@@ -62,7 +62,7 @@ proptest! {
         let shape = Shape::new(&dims).unwrap();
         let region = Region::new(&lo, &hi).unwrap();
         let members: std::collections::HashSet<Vec<usize>> = region.iter().collect();
-        for cell in shape.full_region().iter() {
+        for cell in &shape.full_region() {
             prop_assert_eq!(region.contains(&cell), members.contains(&cell));
         }
     }
@@ -91,7 +91,7 @@ proptest! {
         let b = Region::new(&lo2, &hi2).unwrap();
         let inter = a.intersect(&b);
         let shape = Shape::new(&dims).unwrap();
-        for cell in shape.full_region().iter() {
+        for cell in &shape.full_region() {
             let in_both = a.contains(&cell) && b.contains(&cell);
             let in_inter = inter.as_ref().is_some_and(|i| i.contains(&cell));
             prop_assert_eq!(in_both, in_inter, "cell {:?}", cell);

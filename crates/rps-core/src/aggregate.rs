@@ -10,6 +10,23 @@ use ndcube::{NdError, Region};
 use crate::engine::RangeSumEngine;
 use crate::value::{GroupValue, SumCount};
 
+/// The inclusive `(lo, hi)` bounds of `base` along `dim`, through the
+/// checked accessors. Callers validate `dim` before calling.
+fn axis_bounds(base: &Region, dim: usize) -> (usize, usize) {
+    // lint:allow(L2): every public entry point asserts dim < base.ndim()
+    let lo = *base.lo().get(dim).expect("dim validated by caller");
+    // lint:allow(L2): every public entry point asserts dim < base.ndim()
+    let hi = *base.hi().get(dim).expect("dim validated by caller");
+    (lo, hi)
+}
+
+/// Sets `corner[dim] = value` through the checked accessor. Callers
+/// validate `dim` before calling.
+fn set_axis(corner: &mut [usize], dim: usize, value: usize) {
+    // lint:allow(L2): every public entry point asserts dim < base.ndim()
+    *corner.get_mut(dim).expect("dim validated by caller") = value;
+}
+
 /// AVERAGE (and COUNT) range queries, layered over any engine that sums
 /// [`SumCount`] pairs.
 ///
@@ -97,8 +114,7 @@ where
 {
     assert!(window >= 1, "window must be at least 1");
     assert!(dim < base.ndim(), "dim out of range");
-    let lo_d = base.lo()[dim];
-    let hi_d = base.hi()[dim];
+    let (lo_d, hi_d) = axis_bounds(base, dim);
     let extent = hi_d - lo_d + 1;
     if window > extent {
         return Ok(Vec::new());
@@ -107,8 +123,9 @@ where
     let mut lo = base.lo().to_vec();
     let mut hi = base.hi().to_vec();
     for start in lo_d..=hi_d + 1 - window {
-        lo[dim] = start;
-        hi[dim] = start + window - 1;
+        set_axis(&mut lo, dim, start);
+        set_axis(&mut hi, dim, start + window - 1);
+        // lint:allow(L2): start ≤ start+window−1 ≤ hi_d, other axes untouched
         let r = Region::new(&lo, &hi).expect("window within base");
         out.push(engine.query(&r)?);
     }
@@ -145,16 +162,16 @@ where
 {
     assert!(bucket >= 1, "bucket must be at least 1");
     assert!(dim < base.ndim(), "dim out of range");
-    let lo_d = base.lo()[dim];
-    let hi_d = base.hi()[dim];
+    let (lo_d, hi_d) = axis_bounds(base, dim);
     let mut out = Vec::with_capacity((hi_d - lo_d) / bucket + 1);
     let mut lo = base.lo().to_vec();
     let mut hi = base.hi().to_vec();
     let mut start = lo_d;
     while start <= hi_d {
         let end = (start + bucket - 1).min(hi_d);
-        lo[dim] = start;
-        hi[dim] = end;
+        set_axis(&mut lo, dim, start);
+        set_axis(&mut hi, dim, end);
+        // lint:allow(L2): start ≤ end ≤ hi_d by the min() above, other axes untouched
         let r = Region::new(&lo, &hi).expect("bucket within base");
         out.push(engine.query(&r)?);
         start = end + 1;
@@ -181,9 +198,13 @@ where
     E: RangeSumEngine<T>,
 {
     assert_ne!(dim_a, dim_b, "cross-tab needs two distinct dimensions");
+    assert!(
+        dim_a < base.ndim() && dim_b < base.ndim(),
+        "dims out of range"
+    );
     assert!(bucket_a >= 1 && bucket_b >= 1);
     let buckets = |dim: usize, bucket: usize| -> Vec<(usize, usize)> {
-        let (lo_d, hi_d) = (base.lo()[dim], base.hi()[dim]);
+        let (lo_d, hi_d) = axis_bounds(base, dim);
         let mut v = Vec::new();
         let mut start = lo_d;
         while start <= hi_d {
@@ -200,10 +221,11 @@ where
     let mut hi = base.hi().to_vec();
     for &(ra, rb) in &rows {
         for &(ca, cb) in &cols {
-            lo[dim_a] = ra;
-            hi[dim_a] = rb;
-            lo[dim_b] = ca;
-            hi[dim_b] = cb;
+            set_axis(&mut lo, dim_a, ra);
+            set_axis(&mut hi, dim_a, rb);
+            set_axis(&mut lo, dim_b, ca);
+            set_axis(&mut hi, dim_b, cb);
+            // lint:allow(L2): start ≤ end ≤ hi_d by the min() above, other axes untouched
             let r = Region::new(&lo, &hi).expect("bucket within base");
             out.push(engine.query(&r)?);
         }

@@ -59,6 +59,7 @@ impl<T: GroupValue> ChunkedEngine<T> {
 
     fn from_cube_with_grid(a: &NdCube<T>, grid: BoxGrid) -> Self {
         let mut blocks =
+            // lint:allow(L2): the grid shape is derived from an already-validated cube shape
             NdCube::filled(grid.grid_shape().dims(), T::zero()).expect("grid shape valid");
         let full = a.shape().full_region();
         a.shape().for_each_region_cell(&full, |coords, lin| {
@@ -104,6 +105,7 @@ impl<T: GroupValue> RangeSumEngine<T> for ChunkedEngine<T> {
         // blocks contribute their total, partial blocks are scanned raw.
         let lo_b = self.grid.box_index_of(region.lo());
         let hi_b = self.grid.box_index_of(region.hi());
+        // lint:allow(L2): box_index_of is componentwise monotone, so lo_b ≤ hi_b
         let block_span = Region::new(&lo_b, &hi_b).expect("block corners ordered");
         ndcube::RegionIter::for_each_coords(&block_span, |b| {
             let block_region = self.grid.box_region(b);
@@ -114,6 +116,7 @@ impl<T: GroupValue> RangeSumEngine<T> for ChunkedEngine<T> {
             } else {
                 let part = block_region
                     .intersect(region)
+                    // lint:allow(L2): block_span enumerates only boxes overlapping the region
                     .expect("block intersects the region by construction");
                 for lin in self.a.shape().linear_region_iter(&part) {
                     acc.add_assign(self.a.get_linear(lin));

@@ -12,8 +12,7 @@
 //! *not* shared across threads; `SharedEngine` therefore exposes its own
 //! atomic op counters instead of the cell-level ones.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use crate::sync_compat::{Arc, AtomicU64, Ordering, RwLock};
 
 use ndcube::{NdError, Region};
 
@@ -78,11 +77,13 @@ impl<E> SharedEngine<E> {
 
     /// Runs a closure with shared (read) access to the engine.
     pub fn read<R>(&self, f: impl FnOnce(&E) -> R) -> R {
+        // lint:allow(L2): poisoning means a writer already panicked; fail fast is the policy
         f(&self.inner.engine.read().expect("engine lock poisoned"))
     }
 
     /// Runs a closure with exclusive (write) access to the engine.
     pub fn write<R>(&self, f: impl FnOnce(&mut E) -> R) -> R {
+        // lint:allow(L2): poisoning means a writer already panicked; fail fast is the policy
         f(&mut self.inner.engine.write().expect("engine lock poisoned"))
     }
 }
@@ -125,7 +126,7 @@ impl<E> SharedEngine<E> {
     where
         E: RangeSumEngine<T>,
     {
-        self.read(|e| e.total())
+        self.read(super::engine::RangeSumEngine::total)
     }
 }
 

@@ -40,6 +40,7 @@ pub fn range_sum_from_prefix<T: GroupValue>(
     mut prefix: impl FnMut(&[usize]) -> T,
 ) -> T {
     let d = region.ndim();
+    // lint:allow(L4): u32 → usize is lossless on every supported target
     debug_assert!(d < usize::BITS as usize, "dimension count fits in a mask");
     let mut corner = vec![0usize; d];
     let mut acc = T::zero();

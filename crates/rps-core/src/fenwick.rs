@@ -48,12 +48,13 @@ impl<T: GroupValue> FenwickEngine<T> {
     /// Builds the engine from a data cube by N point updates —
     /// O(N·log^d n) total, amortized fine for the workloads here.
     pub fn from_cube(a: &NdCube<T>) -> Self {
+        // lint:allow(L2): dims come from an existing valid shape
         let mut e = FenwickEngine::zeros(a.shape().dims()).expect("valid dims");
         let full = a.shape().full_region();
         a.shape().for_each_region_cell(&full, |coords, lin| {
             let v = a.get_linear(lin);
             if !v.is_zero() {
-                e.add_internal(coords, v.clone());
+                e.add_internal(coords, v);
             }
         });
         e.reset_stats();
@@ -93,10 +94,10 @@ impl<T: GroupValue> FenwickEngine<T> {
         acc
     }
 
-    fn add_internal(&mut self, coords: &[usize], delta: T) {
+    fn add_internal(&mut self, coords: &[usize], delta: &T) {
         let d = coords.len();
         let mut idx = vec![0usize; d];
-        self.add_rec(coords, 0, &mut idx, &delta);
+        self.add_rec(coords, 0, &mut idx, delta);
     }
 
     fn add_rec(&mut self, coords: &[usize], dim: usize, idx: &mut Vec<usize>, delta: &T) {
@@ -134,7 +135,7 @@ impl<T: GroupValue> RangeSumEngine<T> for FenwickEngine<T> {
 
     fn update(&mut self, coords: &[usize], delta: T) -> Result<(), NdError> {
         self.tree.shape().check(coords)?;
-        self.add_internal(coords, delta);
+        self.add_internal(coords, &delta);
         self.stats.update();
         Ok(())
     }

@@ -59,6 +59,7 @@ pub mod prefix;
 pub mod rps;
 pub mod snapshot;
 pub mod stats;
+pub mod sync_compat;
 pub mod testdata;
 pub mod value;
 

@@ -150,6 +150,7 @@ impl<T: GroupValue> RangeSumEngine<T> for PrefixSumEngine<T> {
         // (componentwise) contains A[coords] and must change.
         let shape = self.p.shape().clone();
         let hi: Vec<usize> = shape.dims().iter().map(|&n| n - 1).collect();
+        // lint:allow(L2): shape.check(coords) above proves coords ≤ n−1 per axis
         let region = Region::new(coords, &hi).expect("coords ≤ hi");
         let mut writes = 0u64;
         for lin in shape.linear_region_iter(&region) {

@@ -13,6 +13,13 @@ use crate::engine::RangeSumEngine;
 use crate::rps::RpsEngine;
 use crate::value::GroupValue;
 
+/// Moves a count/extent into the cost model's f64 domain. All lossy
+/// numeric entry into the estimator funnels through this one function.
+fn est(x: usize) -> f64 {
+    // lint:allow(L4): cost estimates tolerate f64 rounding above 2^53
+    x as f64
+}
+
 impl<T: GroupValue> RpsEngine<T> {
     /// Recovers the data cube `A` from the RP array alone by inverting
     /// the box-local prefix sweeps — O(d·N), no point queries.
@@ -34,7 +41,9 @@ impl<T: GroupValue> RpsEngine<T> {
             });
         }
         let fresh = RpsEngine::from_cube_with_box_size(a, self.grid().box_size())?;
-        let prior = self.stats(); // carry counters across the rebuild
+        // Carry counters across the rebuild.
+        let prior = self.stats();
+        // lint:allow(L4): the estimate is nonnegative and far below 2^53
         let rebuild_writes = self.rebuild_cost() as u64;
         *self = fresh;
         // The fresh engine starts at zero; restore history and account
@@ -61,18 +70,18 @@ impl<T: GroupValue> RpsEngine<T> {
     pub fn estimated_update_cost(&self) -> f64 {
         let dims = self.shape().dims();
         let ks = self.grid().box_size();
-        let rp: f64 = ks.iter().map(|&k| (k as f64 - 1.0).max(1.0)).product();
+        let rp: f64 = ks.iter().map(|&k| (est(k) - 1.0).max(1.0)).product();
         let anchors: f64 = dims
             .iter()
             .zip(ks)
-            .map(|(&n, &k)| (n as f64 / k as f64 - 1.0).max(0.0))
+            .map(|(&n, &k)| (est(n) / est(k) - 1.0).max(0.0))
             .product();
         let mut borders = 0.0;
-        for i in 0..dims.len() {
-            let mut term = dims[i] as f64 / ks[i] as f64;
+        for (i, (&n, &k)) in dims.iter().zip(ks).enumerate() {
+            let mut term = est(n) / est(k);
             for (j, &kj) in ks.iter().enumerate() {
                 if j != i {
-                    term *= kj as f64;
+                    term *= est(kj);
                 }
             }
             borders += term;
@@ -83,7 +92,7 @@ impl<T: GroupValue> RpsEngine<T> {
     /// Cell writes a full rebuild costs: recovering A (d sweeps) plus
     /// reconstructing RP and the overlay.
     fn rebuild_cost(&self) -> f64 {
-        (self.shape().ndim() as f64 + 2.0) * self.shape().len() as f64
+        (est(self.shape().ndim()) + 2.0) * est(self.shape().len())
     }
 
     /// Applies a batch of point updates, adaptively choosing between
@@ -98,22 +107,23 @@ impl<T: GroupValue> RpsEngine<T> {
     ///
     /// Duplicate coordinates in the batch are fine (deltas accumulate).
     pub fn apply_batch(&mut self, updates: &[(Vec<usize>, T)]) -> Result<bool, NdError> {
+        const SAMPLE: usize = 32;
         // Validate everything up front: a batch is all-or-nothing.
         for (coords, _) in updates {
             self.shape().check(coords)?;
         }
-        const SAMPLE: usize = 32;
         let sample = updates.len().min(SAMPLE);
         let before = self.stats().cell_writes;
-        for (coords, delta) in &updates[..sample] {
+        let (sampled, rest) = updates.split_at(sample);
+        for (coords, delta) in sampled {
             self.update(coords, delta.clone())?;
         }
-        let rest = &updates[sample..];
         if rest.is_empty() {
             return Ok(false);
         }
-        let measured = (self.stats().cell_writes - before) as f64 / sample as f64;
-        if measured * rest.len() as f64 <= self.rebuild_cost() {
+        // lint:allow(L4): write counters stay far below 2^53; f64 rounding is harmless here
+        let measured = (self.stats().cell_writes - before) as f64 / est(sample);
+        if measured * est(rest.len()) <= self.rebuild_cost() {
             for (coords, delta) in rest {
                 self.update(coords, delta.clone())?;
             }

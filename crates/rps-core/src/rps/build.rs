@@ -94,6 +94,7 @@ pub fn build_overlay_from_p<T: GroupValue>(
             let border = p.get_linear(lin).sub(rp.get_linear(lin)).sub(&anchor_val);
             let idx = overlay
                 .cell_index(box_lin, &e, &extents)
+                // lint:allow(L2): the offset enumeration visits exactly the stored slots
                 .expect("enumerated slots are stored");
             *overlay.get_mut(idx) = border;
         }

@@ -64,8 +64,10 @@ impl BoxGrid {
         let ks: Vec<usize> = cube_shape
             .dims()
             .iter()
+            // lint:allow(L4): n < 2^53 is exact in f64; ⌈√n⌉ ≤ n maps back losslessly
             .map(|&n| (n as f64).sqrt().ceil().max(1.0) as usize)
             .collect();
+        // lint:allow(L2): 1 ≤ ⌈√n⌉ ≤ n satisfies BoxGrid's box-size precondition
         BoxGrid::new(cube_shape, &ks).expect("sqrt box sizes are valid")
     }
 
@@ -121,6 +123,7 @@ impl BoxGrid {
         let lo = self.anchor_of(box_idx);
         let ext = self.extents_of(box_idx);
         let hi: Vec<usize> = lo.iter().zip(&ext).map(|(&a, &t)| a + t - 1).collect();
+        // lint:allow(L2): extents are ≥ 1, so hi = lo + t − 1 ≥ lo
         Region::new(&lo, &hi).expect("box region is valid")
     }
 

@@ -98,6 +98,7 @@ impl<T: GroupValue> RpsEngine<T> {
                 let idx = self
                     .overlay()
                     .cell_index(box_lin, &e, &extents)
+                    // lint:allow(L2): the offset enumeration visits exactly the stored slots
                     .expect("enumerated slots are stored");
                 if *self.overlay().get(idx) != expect {
                     violations.push(Violation::Border {

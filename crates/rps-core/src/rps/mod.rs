@@ -235,6 +235,7 @@ pub fn overlay_prefix_part<T: GroupValue>(
         if offsets.iter().any(|&e| e != 0) {
             let idx = overlay
                 .cell_index(box_lin, &offsets, &extents)
+                // lint:allow(L2): x has a non-zero offset, so its border slot is stored
                 .expect("zero-offset cells are stored");
             acc.add_assign(overlay.get(idx));
             reads += 1;
@@ -244,13 +245,15 @@ pub fn overlay_prefix_part<T: GroupValue>(
         // the sub-box α..=x. Subset S of dimensions taking x's offset.
         let mut e = vec![0usize; d];
         for mask in 1u64..((1u64 << d) - 1) {
-            for (i, ei) in e.iter_mut().enumerate() {
-                *ei = if mask & (1 << i) != 0 { offsets[i] } else { 0 };
+            for (i, (ei, &off)) in e.iter_mut().zip(&offsets).enumerate() {
+                *ei = if mask & (1 << i) != 0 { off } else { 0 };
             }
             let idx = overlay
                 .cell_index(box_lin, &e, &extents)
+                // lint:allow(L2): mask < 2^d−1 keeps at least one zero offset, so the slot is stored
                 .expect("corner cells have a zero offset");
             let term = overlay.get(idx);
+            // lint:allow(L4): u32 → usize is lossless on every supported target
             let s = mask.count_ones() as usize;
             if (d - 1 - s).is_multiple_of(2) {
                 acc.add_assign(term);

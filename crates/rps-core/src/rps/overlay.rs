@@ -27,11 +27,12 @@ impl<T: GroupValue> Overlay<T> {
         let mut box_offsets = Vec::with_capacity(num_boxes + 1);
         box_offsets.push(0usize);
         let grid_region = grid.grid_shape().full_region();
+        let mut total = 0usize;
         ndcube::RegionIter::for_each_coords(&grid_region, |b| {
-            let stored = BoxGrid::stored_cells(&grid.extents_of(b));
-            box_offsets.push(box_offsets.last().unwrap() + stored);
+            total += BoxGrid::stored_cells(&grid.extents_of(b));
+            box_offsets.push(total);
         });
-        let cells = vec![T::zero(); *box_offsets.last().unwrap()];
+        let cells = vec![T::zero(); total];
         Overlay {
             grid,
             box_offsets,
@@ -152,7 +153,7 @@ mod tests {
         let o = overlay_9x9_k3();
         let mut seen = std::collections::HashSet::new();
         let grid_region = o.grid().grid_shape().full_region();
-        for b in grid_region.iter() {
+        for b in &grid_region {
             let lin = o.box_linear(&b);
             let extents = o.grid().extents_of(&b);
             for e0 in 0..3 {

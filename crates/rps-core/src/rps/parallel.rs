@@ -144,7 +144,7 @@ pub fn prefix_sums_parallel<T: GroupValue + Send + Sync>(a: &mut NdCube<T>, thre
                 scope.spawn(move || {
                     // Local sweep: offset 0 makes the first row of the
                     // chunk the sweep's row 0.
-                    sweep_chunk(chunk, 0, row_len, usize::MAX, usize::MAX)
+                    sweep_chunk(chunk, 0, row_len, usize::MAX, usize::MAX);
                 });
             }
         });
@@ -303,5 +303,118 @@ mod tests {
         let mut s = a.clone();
         prefix_sums_in_place(&mut s);
         assert_eq!(p, s);
+    }
+}
+
+/// Property tests for the slab decomposition itself — the invariants the
+/// scoped-thread splitting in the sweeps above relies on. Exercised over
+/// geometries chosen to hit the awkward cases: rows not divisible by
+/// `k₀ × threads`, single-row slabs, and more threads than rows.
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::prefix::prefix_sums_in_place;
+    use crate::rps::relative_prefix_sums;
+    use proptest::prelude::*;
+
+    fn geometry() -> impl Strategy<Value = (usize, usize, usize, usize)> {
+        // (rows, row_len, align, threads) — small enough to stay fast,
+        // wide enough to cover ragged/degenerate splits.
+        (1usize..=40, 1usize..=12, 1usize..=7, 1usize..=10)
+    }
+
+    proptest! {
+        /// Slabs partition the buffer exactly: they are all nonempty,
+        /// whole multiples of the row length, and sum to the total size.
+        #[test]
+        fn slabs_partition_the_buffer((rows, row_len, align, threads) in geometry()) {
+            let sizes = slab_sizes(rows, row_len, align, threads);
+            prop_assert!(sizes.iter().all(|&s| s > 0));
+            prop_assert!(sizes.iter().all(|&s| s.is_multiple_of(row_len)));
+            prop_assert_eq!(sizes.iter().sum::<usize>(), rows * row_len);
+        }
+
+        /// Every slab except possibly the last holds a multiple of
+        /// `align` rows — the guarantee that keeps each RP slab's box
+        /// sweeps from crossing a `k₀` boundary.
+        #[test]
+        fn slabs_are_aligned((rows, row_len, align, threads) in geometry()) {
+            let sizes = slab_sizes(rows, row_len, align, threads);
+            for &s in &sizes[..sizes.len() - 1] {
+                prop_assert!((s / row_len).is_multiple_of(align));
+            }
+        }
+
+        /// The split never produces more slabs than requested threads —
+        /// each slab becomes one spawned worker.
+        #[test]
+        fn slab_count_bounded_by_threads((rows, row_len, align, threads) in geometry()) {
+            let sizes = slab_sizes(rows, row_len, align, threads);
+            prop_assert!(sizes.len() <= threads);
+        }
+
+        /// A whole-buffer `sweep_chunk` with `k = usize::MAX` along dim 0
+        /// is exactly a running prefix along that dimension.
+        #[test]
+        fn sweep_chunk_is_prefix_along_dim0(
+            rows in 1usize..=12,
+            cols in 1usize..=8,
+        ) {
+            let a = NdCube::from_fn(&[rows, cols], |c| (c[0] * 31 + c[1] * 7 + 1) as i64).unwrap();
+            let mut swept = a.clone().into_vec();
+            sweep_chunk(&mut swept, 0, cols, rows, usize::MAX);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let expect: i64 = (0..=r).map(|i| a.get(&[i, c])).sum();
+                    prop_assert_eq!(swept[r * cols + c], expect);
+                }
+            }
+        }
+
+        /// Box-bounded `sweep_chunk` restarts accumulation at every
+        /// multiple of `k` instead of running to the edge.
+        #[test]
+        fn sweep_chunk_restarts_at_box_boundaries(
+            rows in 1usize..=12,
+            cols in 1usize..=8,
+            k in 1usize..=5,
+        ) {
+            let a = NdCube::from_fn(&[rows, cols], |c| (c[0] * 13 + c[1] + 1) as i64).unwrap();
+            let mut swept = a.clone().into_vec();
+            sweep_chunk(&mut swept, 0, cols, rows, k);
+            for r in 0..rows {
+                let box_lo = (r / k) * k;
+                for c in 0..cols {
+                    let expect: i64 = (box_lo..=r).map(|i| a.get(&[i, c])).sum();
+                    prop_assert_eq!(swept[r * cols + c], expect);
+                }
+            }
+        }
+
+        /// End-to-end: the parallel RP and P builds agree with the serial
+        /// sweeps on arbitrary small shapes and thread counts, including
+        /// rows not divisible by `k₀ × threads` and threads > rows.
+        #[test]
+        fn parallel_sweeps_agree_with_serial(
+            dims in (1usize..=3).prop_flat_map(|d| {
+                proptest::collection::vec(1usize..=14, d..=d)
+            }),
+            threads in 1usize..=9,
+        ) {
+            let a = NdCube::from_fn(&dims, |c| {
+                c.iter().enumerate().map(|(i, &x)| (x + 1) * (i + 3)).sum::<usize>() as i64
+            })
+            .unwrap();
+            let grid = BoxGrid::with_sqrt_boxes(a.shape().clone());
+            prop_assert_eq!(
+                relative_prefix_sums_parallel(&a, &grid, threads),
+                relative_prefix_sums(&a, &grid)
+            );
+            let mut par = a.clone();
+            prefix_sums_parallel(&mut par, threads);
+            let mut ser = a.clone();
+            prefix_sums_in_place(&mut ser);
+            prop_assert_eq!(par, ser);
+        }
     }
 }

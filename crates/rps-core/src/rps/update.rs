@@ -44,6 +44,7 @@ pub fn apply_update<T: GroupValue>(
 
     // --- 1. RP: cascade within the box, clipped to x ≥ c. ---
     let box_region = grid.box_region(&b);
+    // lint:allow(L2): c lies inside the box that box_index_of(c) names
     let rp_region = Region::new(c, box_region.hi()).expect("c within its box");
     let shape = rp.shape().clone();
     let mut writes = 0u64;
@@ -74,6 +75,7 @@ pub fn apply_overlay_update<T: GroupValue>(
     let d = c.len();
     let b = grid.box_index_of(c);
     let grid_hi: Vec<usize> = grid.grid_shape().dims().iter().map(|&g| g - 1).collect();
+    // lint:allow(L2): box indices are strictly below the grid dims
     let orthant = Region::new(&b, &grid_hi).expect("b within grid");
 
     let mut overlay_writes = 0u64;
@@ -103,6 +105,7 @@ pub fn apply_overlay_update<T: GroupValue>(
             for_each_stored_offset_geq(&extents, &lb, |e| {
                 let idx = overlay
                     .cell_index(box_lin, e, &extents)
+                    // lint:allow(L2): the offset enumeration visits exactly the stored slots
                     .expect("enumeration yields stored cells");
                 overlay.get_mut(idx).add_assign(delta);
                 overlay_writes += 1;

@@ -180,7 +180,7 @@ pub fn peek_kind<R: Read>(mut r: R) -> Result<SnapshotKind, SnapshotError> {
     }
     let mut kind = [0u8; 1];
     r.read_exact(&mut kind)?;
-    match kind[0] {
+    match u8::from_le_bytes(kind) {
         KIND_CUBE => Ok(SnapshotKind::Cube),
         KIND_RPS => Ok(SnapshotKind::RpsEngine),
         KIND_SUMCOUNT => Ok(SnapshotKind::SumCountCube),
@@ -197,11 +197,13 @@ fn check_writable_geometry(dims: &[usize]) -> Result<(), SnapshotError> {
     }
     let mut cells: u128 = 1;
     for &d in dims {
-        if d == 0 || d > u32::MAX as usize {
+        if d == 0 || u32::try_from(d).is_err() {
             return Err(SnapshotError::BadGeometry(format!("dimension size {d}")));
         }
+        // lint:allow(L4): usize → u128 is a lossless widening
         cells = cells.saturating_mul(d as u128);
     }
+    // lint:allow(L4): usize → u128 is a lossless widening
     if cells > MAX_SNAPSHOT_CELLS as u128 {
         return Err(SnapshotError::BadGeometry(format!(
             "cell count {cells} exceeds limit {MAX_SNAPSHOT_CELLS}"
@@ -218,8 +220,10 @@ fn write_header<W: Write>(
     check_writable_geometry(dims)?;
     w.put(MAGIC)?;
     w.put(&[kind])?;
+    // lint:allow(L4): ndim ≤ 16 enforced by check_writable_geometry
     w.put(&(dims.len() as u32).to_le_bytes())?;
     for &d in dims {
+        // lint:allow(L4): d ≤ u32::MAX enforced by check_writable_geometry
         w.put(&(d as u32).to_le_bytes())?;
     }
     Ok(())
@@ -233,12 +237,14 @@ fn read_header<R: Read>(r: &mut SummingReader<R>) -> Result<(u8, Vec<usize>), Sn
     }
     let mut kind = [0u8; 1];
     r.take(&mut kind)?;
+    // lint:allow(L4): u32 → usize is lossless on every supported target
     let ndim = r.take_u32()? as usize;
     if ndim == 0 || ndim > 16 {
         return Err(SnapshotError::BadGeometry(format!("ndim {ndim}")));
     }
     let mut dims = Vec::with_capacity(ndim);
     for _ in 0..ndim {
+        // lint:allow(L4): u32 → usize is lossless on every supported target
         dims.push(r.take_u32()? as usize);
     }
     // Guard against corrupted headers declaring absurd geometry: the
@@ -249,14 +255,16 @@ fn read_header<R: Read>(r: &mut SummingReader<R>) -> Result<(u8, Vec<usize>), Sn
         if d == 0 {
             return Err(SnapshotError::BadGeometry("zero-sized dimension".into()));
         }
+        // lint:allow(L4): usize → u128 is a lossless widening
         cells = cells.saturating_mul(d as u128);
     }
+    // lint:allow(L4): usize → u128 is a lossless widening
     if cells > MAX_SNAPSHOT_CELLS as u128 {
         return Err(SnapshotError::BadGeometry(format!(
             "declared cell count {cells} exceeds limit {MAX_SNAPSHOT_CELLS}"
         )));
     }
-    Ok((kind[0], dims))
+    Ok((u8::from_le_bytes(kind), dims))
 }
 
 /// Writes a cube snapshot.
@@ -328,7 +336,9 @@ pub fn save_rps<W: Write>(engine: &RpsEngine<i64>, w: W) -> Result<(), SnapshotE
     let mut w = SummingWriter::new(w);
     write_header(&mut w, KIND_RPS, engine.shape().dims())?;
     for &k in engine.grid().box_size() {
-        w.put(&(k as u32).to_le_bytes())?;
+        let k32 =
+            u32::try_from(k).map_err(|_| SnapshotError::BadGeometry(format!("box size {k}")))?;
+        w.put(&k32.to_le_bytes())?;
     }
     let cube = engine.to_cube();
     for v in cube.as_slice() {
@@ -347,6 +357,7 @@ pub fn load_rps<R: Read>(r: R) -> Result<RpsEngine<i64>, SnapshotError> {
     }
     let mut box_size = Vec::with_capacity(dims.len());
     for _ in 0..dims.len() {
+        // lint:allow(L4): u32 → usize is lossless on every supported target
         box_size.push(r.take_u32()? as usize);
     }
     let len: usize = dims.iter().product();

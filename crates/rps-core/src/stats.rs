@@ -31,11 +31,13 @@ impl CostStats {
 
     /// Mean cells read per query, or `None` before the first query.
     pub fn reads_per_query(&self) -> Option<f64> {
+        // lint:allow(L4): diagnostics; f64 rounding beyond 2^53 ops is irrelevant
         (self.queries != 0).then(|| self.cell_reads as f64 / self.queries as f64)
     }
 
     /// Mean cells written per update, or `None` before the first update.
     pub fn writes_per_update(&self) -> Option<f64> {
+        // lint:allow(L4): diagnostics; f64 rounding beyond 2^53 ops is irrelevant
         (self.updates != 0).then(|| self.cell_writes as f64 / self.updates as f64)
     }
 }

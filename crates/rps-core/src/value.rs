@@ -26,12 +26,15 @@ pub trait GroupValue: Clone + PartialEq + Debug + 'static {
     fn zero() -> Self;
 
     /// The group operation ⊕ (addition for sums).
+    #[must_use]
     fn add(&self, other: &Self) -> Self;
 
     /// The inverse element (negation for sums).
+    #[must_use]
     fn neg(&self) -> Self;
 
     /// `self ⊖ other`, defaulting to `self ⊕ (−other)`.
+    #[must_use]
     fn sub(&self, other: &Self) -> Self {
         self.add(&other.neg())
     }
@@ -142,6 +145,7 @@ impl<T> SumCount<T> {
 impl SumCount<i64> {
     /// `sum / count` as a float, or `None` for an empty region.
     pub fn average_f64(&self) -> Option<f64> {
+        // lint:allow(L4): averages are reporting output; f64 rounding is acceptable
         (self.count != 0).then(|| self.sum as f64 / self.count as f64)
     }
 }
@@ -149,6 +153,7 @@ impl SumCount<i64> {
 impl SumCount<f64> {
     /// `sum / count`, or `None` for an empty region.
     pub fn average(&self) -> Option<f64> {
+        // lint:allow(L4): averages are reporting output; f64 rounding is acceptable
         (self.count != 0).then(|| self.sum / self.count as f64)
     }
 }

@@ -5,44 +5,44 @@
 use proptest::prelude::*;
 use rps_core::value::{GroupValue, SumCount};
 
-fn laws<T: GroupValue>(a: T, b: T, c: T) {
+fn laws<T: GroupValue>(a: &T, b: &T, c: &T) {
     // identity
-    assert_eq!(a.add(&T::zero()), a);
-    assert_eq!(T::zero().add(&a), a);
+    assert_eq!(a.add(&T::zero()), *a);
+    assert_eq!(T::zero().add(a), *a);
     // commutativity
-    assert_eq!(a.add(&b), b.add(&a));
+    assert_eq!(a.add(b), b.add(a));
     // associativity
-    assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    assert_eq!(a.add(b).add(c), a.add(&b.add(c)));
     // inverse: a + b − b = a
-    assert_eq!(a.add(&b).sub(&b), a);
+    assert_eq!(a.add(b).sub(b), *a);
     assert_eq!(a.add(&a.neg()), T::zero());
     // assign forms agree
     let mut x = a.clone();
-    x.add_assign(&b);
-    assert_eq!(x, a.add(&b));
-    x.sub_assign(&b);
-    assert_eq!(x, a);
+    x.add_assign(b);
+    assert_eq!(x, a.add(b));
+    x.sub_assign(b);
+    assert_eq!(x, *a);
 }
 
 proptest! {
     #[test]
     fn i64_laws(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
-        laws(a, b, c);
+        laws(&a, &b, &c);
     }
 
     #[test]
     fn i32_laws(a in any::<i32>(), b in any::<i32>(), c in any::<i32>()) {
-        laws(a, b, c);
+        laws(&a, &b, &c);
     }
 
     #[test]
     fn u64_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
-        laws(a, b, c);
+        laws(&a, &b, &c);
     }
 
     #[test]
     fn i128_laws(a in any::<i128>(), b in any::<i128>(), c in any::<i128>()) {
-        laws(a, b, c);
+        laws(&a, &b, &c);
     }
 
     #[test]
@@ -51,7 +51,7 @@ proptest! {
         (s2, c2) in (any::<i64>(), any::<i64>()),
         (s3, c3) in (any::<i64>(), any::<i64>()),
     ) {
-        laws(SumCount::new(s1, c1), SumCount::new(s2, c2), SumCount::new(s3, c3));
+        laws(&SumCount::new(s1, c1), &SumCount::new(s2, c2), &SumCount::new(s3, c3));
     }
 
     #[test]
@@ -60,7 +60,7 @@ proptest! {
         b in (any::<i64>(), any::<i32>()),
         c in (any::<i64>(), any::<i32>()),
     ) {
-        laws(a, b, c);
+        laws(&a, &b, &c);
     }
 
     /// Floats form a group only approximately; we check the exact laws on

@@ -89,6 +89,7 @@ impl<T: Clone + Default> BlockDevice<T> {
 
     /// Allocates a zero-filled page and returns its id.
     pub fn alloc_page(&mut self) -> PageId {
+        // lint:allow(L2): an in-memory device exhausts RAM long before 2^32 pages
         let id = PageId(u32::try_from(self.pages.len()).expect("page count fits u32"));
         self.pages
             .push(vec![T::default(); self.config.cells_per_page]);

@@ -56,12 +56,13 @@ impl<T: Clone + Default> DiskArray<T> {
                 let mut offsets = Vec::with_capacity(grid.num_boxes() + 1);
                 offsets.push(0usize);
                 let region = grid.grid_shape().full_region();
+                let mut total = 0usize;
                 ndcube::RegionIter::for_each_coords(&region, |b| {
                     let cells: usize = grid.extents_of(b).iter().product();
-                    let pages = cells.div_ceil(cells_per_page);
-                    offsets.push(offsets.last().unwrap() + pages);
+                    total += cells.div_ceil(cells_per_page);
+                    offsets.push(total);
                 });
-                (*offsets.last().unwrap(), offsets)
+                (total, offsets)
             }
         };
         let first_page = pool.device_mut().alloc_pages(total_pages.max(1));
@@ -92,11 +93,13 @@ impl<T: Clone + Default> DiskArray<T> {
                 let mut offsets = Vec::with_capacity(grid.num_boxes() + 1);
                 offsets.push(0usize);
                 let region = grid.grid_shape().full_region();
+                let mut total = 0usize;
                 ndcube::RegionIter::for_each_coords(&region, |b| {
                     let cells: usize = grid.extents_of(b).iter().product();
-                    offsets.push(offsets.last().unwrap() + cells.div_ceil(cells_per_page));
+                    total += cells.div_ceil(cells_per_page);
+                    offsets.push(total);
                 });
-                (*offsets.last().unwrap(), offsets)
+                (total, offsets)
             }
         };
         assert!(
@@ -124,6 +127,7 @@ impl<T: Clone + Default> DiskArray<T> {
     pub fn num_pages(&self) -> usize {
         match &self.layout {
             Layout::RowMajor => self.shape.len().div_ceil(self.cells_per_page),
+            // lint:allow(L2): box_page_offsets always starts with a pushed 0 entry
             Layout::BoxAligned(_) => *self.box_page_offsets.last().unwrap(),
         }
     }

@@ -128,6 +128,7 @@ impl<T: GroupValue + Default, S: PageStore<T>> DiskRpsEngine<T, S> {
         let rp = DiskArray::attach(&mut pool, shape.clone(), layout);
 
         // Read RP back into memory to rebuild the overlay.
+        // lint:allow(L2): dims come from an existing valid shape
         let mut rp_mem = NdCube::filled(shape.dims(), T::default()).expect("valid shape");
         let full = shape.full_region();
         shape.for_each_region_cell(&full, |coords, lin| {
@@ -223,6 +224,7 @@ impl<T: GroupValue + Default, S: PageStore<T>> RangeSumEngine<T> for DiskRpsEngi
 
         // RP cascade within the box, through the pool.
         let box_region = self.grid.box_region(&b);
+        // lint:allow(L2): coords lie inside the box that box_index_of named
         let rp_region = Region::new(coords, box_region.hi()).expect("coords within box");
         let mut writes = 0u64;
         {

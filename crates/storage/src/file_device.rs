@@ -32,6 +32,7 @@ macro_rules! impl_pod {
                 out.copy_from_slice(&self.to_le_bytes());
             }
             fn read_le(bytes: &[u8]) -> Self {
+                // lint:allow(L2): chunks_exact(BYTES) hands us exactly BYTES bytes
                 <$t>::from_le_bytes(bytes.try_into().expect("width checked"))
             }
         }
@@ -162,12 +163,15 @@ impl<T: PodCell> PageStore<T> for FileDevice<T> {
 
     fn alloc_pages(&mut self, n: usize) -> PageId {
         use std::io::{Seek, SeekFrom, Write};
+        // lint:allow(L2): a file device exhausts disk long before 2^32 pages
         let first = PageId(u32::try_from(self.pages).expect("page count fits u32"));
         let zeros = vec![0u8; self.page_bytes()];
         self.file
             .seek(SeekFrom::Start(self.offset(first)))
+            // lint:allow(L2): the Device trait is infallible by design; I/O loss is fatal
             .expect("seek to end of device file");
         for _ in 0..n {
+            // lint:allow(L2): the Device trait is infallible by design; I/O loss is fatal
             self.file.write_all(&zeros).expect("extend device file");
         }
         self.pages += n;
@@ -180,6 +184,7 @@ impl<T: PodCell> PageStore<T> for FileDevice<T> {
         let mut raw = vec![0u8; self.page_bytes()];
         self.file
             .read_exact_at(&mut raw, self.offset(id))
+            // lint:allow(L2): the Device trait is infallible by design; I/O loss is fatal
             .expect("read device page");
         buf.clear();
         buf.extend(raw.chunks_exact(T::BYTES).map(T::read_le));
@@ -196,6 +201,7 @@ impl<T: PodCell> PageStore<T> for FileDevice<T> {
         }
         self.file
             .write_all_at(&raw, self.offset(id))
+            // lint:allow(L2): the Device trait is infallible by design; I/O loss is fatal
             .expect("write device page");
         self.writes.set(self.writes.get() + 1);
     }

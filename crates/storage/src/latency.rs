@@ -31,7 +31,7 @@ impl LatencyModel {
     /// per random page — the device class the paper's §4.4 had in mind.
     pub fn hdd_1999() -> LatencyModel {
         LatencyModel {
-            page_read: Duration::from_micros(10_000),
+            page_read: Duration::from_millis(10),
             page_write: Duration::from_micros(10_500),
         }
     }

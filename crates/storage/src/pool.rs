@@ -149,6 +149,7 @@ impl<T: Clone + Default, S: PageStore<T>> BufferPool<T, S> {
             .filter(|(_, fr)| fr.pins == 0)
             .min_by_key(|(_, fr)| fr.last_used)
             .map(|(i, _)| i)
+            // lint:allow(L2): a pool sized below its working set is a config bug; fail loudly
             .expect("all frames pinned: pool too small for working set")
     }
 

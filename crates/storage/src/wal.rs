@@ -77,7 +77,7 @@ impl Wal {
     /// of the log, silently losing them.
     pub fn open(path: &Path) -> io::Result<Wal> {
         let (records, valid_bytes) = Wal::replay(path)?;
-        let next_lsn = records.last().map(|r| r.lsn + 1).unwrap_or(1);
+        let next_lsn = records.last().map_or(1, |r| r.lsn + 1);
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -224,8 +224,10 @@ impl Wal {
             }
             let coords: Vec<usize> = body[..ndim * 4]
                 .chunks_exact(4)
+                // lint:allow(L2): chunks_exact(4) hands us exactly 4 bytes
                 .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")) as usize)
                 .collect();
+            // lint:allow(L2): the record length check above guarantees an 8-byte tail
             let delta = i64::from_le_bytes(body[ndim * 4..].try_into().expect("8 bytes"));
             records.push(WalRecord { lsn, coords, delta });
             valid_bytes += (8 + 4 + ndim * 4 + 8 + 8) as u64;

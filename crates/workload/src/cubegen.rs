@@ -1,6 +1,6 @@
 //! Seeded data-cube generators.
 
-use ndcube::NdCube;
+use ndcube::{NdCube, NdError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,15 +35,20 @@ impl CubeGen {
     ///
     /// Mirrors the paper's running example (Figure 1 uses small uniform
     /// values 1..9).
-    pub fn uniform(&mut self, dims: &[usize], lo: i64, hi: i64) -> NdCube<i64> {
+    pub fn uniform(&mut self, dims: &[usize], lo: i64, hi: i64) -> Result<NdCube<i64>, NdError> {
         assert!(lo <= hi);
-        NdCube::from_fn(dims, |_| self.rng.gen_range(lo..=hi)).expect("valid dims")
+        NdCube::from_fn(dims, |_| self.rng.gen_range(lo..=hi))
     }
 
     /// Sparse cube: each cell is nonzero with probability `density`, with
     /// nonzero values uniform in `1..=max`. OLAP cubes are typically very
     /// sparse.
-    pub fn sparse(&mut self, dims: &[usize], density: f64, max: i64) -> NdCube<i64> {
+    pub fn sparse(
+        &mut self,
+        dims: &[usize],
+        density: f64,
+        max: i64,
+    ) -> Result<NdCube<i64>, NdError> {
         assert!((0.0..=1.0).contains(&density));
         assert!(max >= 1);
         NdCube::from_fn(dims, |_| {
@@ -53,19 +58,22 @@ impl CubeGen {
                 0
             }
         })
-        .expect("valid dims")
     }
 
     /// Skewed cube: cell magnitudes follow Zipf ranks along the first
     /// dimension (hot rows), modelling e.g. recent dates dominating sales.
-    pub fn zipf_rows(&mut self, dims: &[usize], theta: f64, scale: i64) -> NdCube<i64> {
+    pub fn zipf_rows(
+        &mut self,
+        dims: &[usize],
+        theta: f64,
+        scale: i64,
+    ) -> Result<NdCube<i64>, NdError> {
         let z = Zipf::new(dims[0], theta);
         NdCube::from_fn(dims, |c| {
             let weight = z.pmf(c[0]) * dims[0] as f64;
             let base = (weight * scale as f64).round() as i64;
             base + self.rng.gen_range(0..=scale / 10 + 1)
         })
-        .expect("valid dims")
     }
 
     /// The raw RNG, for ad-hoc draws sharing the generator's seed stream.
@@ -89,13 +97,13 @@ mod tests {
 
     #[test]
     fn uniform_respects_bounds() {
-        let cube = CubeGen::new(1).uniform(&[10, 10], -5, 5);
+        let cube = CubeGen::new(1).uniform(&[10, 10], -5, 5).unwrap();
         assert!(cube.as_slice().iter().all(|&v| (-5..=5).contains(&v)));
     }
 
     #[test]
     fn sparse_density_approximate() {
-        let cube = CubeGen::new(2).sparse(&[50, 50], 0.1, 9);
+        let cube = CubeGen::new(2).sparse(&[50, 50], 0.1, 9).unwrap();
         let nonzero = cube.as_slice().iter().filter(|&&v| v != 0).count();
         let frac = nonzero as f64 / 2500.0;
         assert!(frac > 0.05 && frac < 0.16, "frac = {frac}");
@@ -104,7 +112,7 @@ mod tests {
 
     #[test]
     fn zipf_rows_front_loaded() {
-        let cube = CubeGen::new(3).zipf_rows(&[20, 8], 1.2, 1000);
+        let cube = CubeGen::new(3).zipf_rows(&[20, 8], 1.2, 1000).unwrap();
         let row_sum = |r: usize| -> i64 { (0..8).map(|c| cube.get(&[r, c])).sum() };
         assert!(
             row_sum(0) > row_sum(19),
@@ -116,7 +124,7 @@ mod tests {
 
     #[test]
     fn three_dim_generation() {
-        let cube = CubeGen::new(4).uniform(&[4, 5, 6], 1, 9);
+        let cube = CubeGen::new(4).uniform(&[4, 5, 6], 1, 9).unwrap();
         assert_eq!(cube.len(), 120);
     }
 }

@@ -29,6 +29,7 @@ pub struct SalesScenario {
 impl SalesScenario {
     /// A scenario over `ages × days` cells.
     pub fn new(ages: usize, days: usize, seed: u64) -> SalesScenario {
+        assert!(ages >= 1, "scenario needs at least one age bucket");
         SalesScenario {
             ages,
             days,
@@ -53,6 +54,7 @@ impl SalesScenario {
             let base = (w * 40.0) as i64;
             base + self.rng.gen_range(0..20)
         })
+        // lint:allow(L2): dims validated by the constructor (ages ≥ 1, days ≥ 1 via Zipf)
         .expect("valid dims")
     }
 
@@ -78,6 +80,7 @@ impl SalesScenario {
     /// over the trailing `window_days` days.
     pub fn age_window_query(&self, lo_age: usize, hi_age: usize, window_days: usize) -> Region {
         let from_day = self.days.saturating_sub(window_days);
+        // lint:allow(L2): documented precondition — lo_age ≤ hi_age < ages
         Region::new(&[lo_age, from_day], &[hi_age, self.days - 1]).expect("query within cube")
     }
 }

@@ -48,7 +48,10 @@ impl Dimension {
         assert!(!labels.is_empty(), "categorical dimension needs members");
         Dimension::Categorical {
             name: name.to_string(),
-            labels: labels.iter().map(|s| s.to_string()).collect(),
+            labels: labels
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
         }
     }
 
@@ -152,6 +155,7 @@ impl CubeSchema {
             }
             (Dimension::Categorical { .. }, Key::Cat(label)) => self.lookups[dim]
                 .as_ref()
+                // lint:allow(L2): the constructor builds a lookup for every categorical dim
                 .expect("categorical lookup exists")
                 .get(*label)
                 .copied()

@@ -113,10 +113,12 @@ impl QueryGen {
                     .iter()
                     .map(|&n| self.rng.gen_range(0..n))
                     .collect();
+                // lint:allow(L2): each coordinate is drawn from 0..n of its own axis
                 Region::point(&c).expect("point in bounds")
             }
             RegionSpec::Full => {
                 let hi: Vec<usize> = self.dims.iter().map(|&n| n - 1).collect();
+                // lint:allow(L2): 0 ≤ n−1 because generator dims are validated non-zero
                 Region::new(&vec![0; self.dims.len()], &hi).expect("full region")
             }
             RegionSpec::Fraction(f) => {
@@ -129,6 +131,7 @@ impl QueryGen {
                     lo.push(start);
                     hi.push(start + extent - 1);
                 }
+                // lint:allow(L2): start + extent − 1 ≤ n − 1 by the ranges drawn above
                 Region::new(&lo, &hi).expect("in bounds")
             }
         }

@@ -94,6 +94,9 @@ pub fn save_trace<W: Write>(dims: &[usize], ops: &[Op], mut w: W) -> std::io::Re
 
 /// Reads a trace back: `(dims, ops)`.
 pub fn load_trace<R: Read>(r: R) -> Result<(Vec<usize>, Vec<Op>), TraceError> {
+    // Same guard as the snapshot loader: reject headers declaring absurd
+    // cube sizes before any caller tries to allocate them.
+    const MAX_TRACE_CELLS: u128 = 1 << 28;
     let mut lines = BufReader::new(r).lines();
     let header = lines
         .next()
@@ -112,9 +115,6 @@ pub fn load_trace<R: Read>(r: R) -> Result<(Vec<usize>, Vec<Op>), TraceError> {
     if dims.is_empty() || dims.contains(&0) {
         return Err(TraceError::BadHeader(header));
     }
-    // Same guard as the snapshot loader: reject headers declaring absurd
-    // cube sizes before any caller tries to allocate them.
-    const MAX_TRACE_CELLS: u128 = 1 << 28;
     let cells = dims
         .iter()
         .fold(1u128, |acc, &d| acc.saturating_mul(d as u128));

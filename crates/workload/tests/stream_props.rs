@@ -13,8 +13,8 @@ proptest! {
         span in 1i64..40,
     ) {
         let hi = lo + span;
-        let a = CubeGen::new(seed).uniform(&dims, lo, hi);
-        let b = CubeGen::new(seed).uniform(&dims, lo, hi);
+        let a = CubeGen::new(seed).uniform(&dims, lo, hi).expect("valid dims");
+        let b = CubeGen::new(seed).uniform(&dims, lo, hi).expect("valid dims");
         prop_assert_eq!(&a, &b);
         prop_assert!(a.as_slice().iter().all(|v| (lo..=hi).contains(v)));
     }

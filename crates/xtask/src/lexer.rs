@@ -1,0 +1,317 @@
+//! A minimal Rust token scanner.
+//!
+//! The custom lints need token-level structure — "is this `[` an index
+//! expression?", "is this `unwrap` a method call?" — but nothing like a
+//! full AST. A real parser (`syn`) is unavailable in this repository's
+//! offline build environment, so this module hand-rolls the 10% of a
+//! lexer the lints require: comments, all string/char literal forms and
+//! lifetimes are recognized and skipped; everything else is emitted as a
+//! line-numbered token stream of identifiers, numbers and punctuation.
+//!
+//! It does not attempt macro expansion or type resolution; the lints
+//! compensate with allowlists and explicit `lint:allow` escapes.
+
+/// What a token is, at the granularity the lints care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`buf`, `unwrap`, `as`, `mod`, …).
+    Ident,
+    /// Numeric literal (`0`, `1_000`, `0xFF`, `1.5e3`).
+    Number,
+    /// A single punctuation character (`[`, `.`, `!`, `#`, …).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// The token text (one char for punctuation).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Token {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// Rust keywords that can directly precede a `[` that is *not* an index
+/// expression (`return [..]`, `break [..]`, `in [..]`, …).
+pub const KEYWORDS_BEFORE_ARRAY: &[&str] = &[
+    "return", "break", "in", "if", "else", "match", "while", "loop", "move", "mut", "ref", "box",
+    "yield", "as", "const", "static", "let", "where",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `source` into tokens, skipping comments, strings and lifetimes.
+///
+/// Unterminated literals/comments end the scan at end-of-file rather than
+/// erroring: the compiler is the authority on malformed source; the lints
+/// only need best-effort structure.
+#[allow(clippy::too_many_lines)] // one arm per token class; splitting obscures the scanner
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            // Line comment (also covers doc comments; doctests are
+            // examples, exempt from the library-code lints by design).
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            // Block comment, nesting tracked.
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut line);
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                let next = chars.get(i + 1).copied();
+                let after = chars.get(i + 2).copied();
+                let is_lifetime = next.is_some_and(is_ident_start) && after != Some('\'');
+                if is_lifetime {
+                    i += 2;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                } else {
+                    // Char literal: skip to the closing quote, honouring
+                    // backslash escapes.
+                    i += 1;
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // Raw / byte string prefixes: `r"`, `r#"`, `b"`, `br#"`.
+                let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br")
+                    && matches!(chars.get(i), Some('"' | '#'));
+                if is_str_prefix && looks_like_raw_string(&chars, i) {
+                    i = skip_raw_or_plain_string(&chars, i, &mut line);
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text,
+                        line,
+                    });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    // Stop a number before `..` (range) or a method call
+                    // on a literal (`1.max(2)`).
+                    if chars[i] == '.'
+                        && (chars.get(i + 1) == Some(&'.')
+                            || chars.get(i + 1).copied().is_some_and(is_ident_start))
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ if c.is_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// True when position `i` (just past an `r`/`b`/`br` prefix) starts a raw
+/// or plain string body.
+fn looks_like_raw_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Skips a plain string starting at the `"` at `i`; returns the index
+/// just past the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw (`#`-fenced) or plain string starting at `i` (at the first
+/// `#` or `"` after an `r`/`b`/`br` prefix).
+fn skip_raw_or_plain_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return i;
+    }
+    if hashes == 0 {
+        return skip_string(chars, i, line);
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(j) == Some(&'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_skipped() {
+        let src = r##"
+            // line comment with buf[0]
+            /* block /* nested */ buf[1] */
+            let s = "buf[2]";
+            let r = r#"buf[3]"#;
+            let c = 'x';
+            real[4];
+        "##;
+        let t = texts(src);
+        assert!(t.contains(&"real".to_string()));
+        assert!(!t.contains(&"buf".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = texts("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(t.contains(&"str".to_string()));
+        // The lifetime name itself is skipped entirely.
+        assert!(!t.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn char_literals_skipped() {
+        let t = texts("let q = '\"'; let n = '\\n'; arr[0]");
+        assert!(t.contains(&"arr".to_string()));
+        assert!(t.iter().any(|x| x == "["));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = tokenize("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_lex_as_one_token() {
+        let toks = tokenize("1_000 0xFF 1.5e3 0..n 1.max(2)");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1_000", "0xFF", "1.5e3", "0", "1", "2"]);
+    }
+}

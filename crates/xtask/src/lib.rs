@@ -1,0 +1,20 @@
+//! Workspace automation for the RPS repository, invoked as `cargo xtask`
+//! (alias in `.cargo/config.toml`).
+//!
+//! The only subcommand today is `lint`: four repo-specific static checks
+//! (L1–L4, see [`lints`]) that guard the invariants the paper's O(1)
+//! query / O(n^(d/2)) update bounds rest on. The checks are implemented
+//! on a hand-rolled token scanner ([`lexer`]) because the build
+//! environment is offline and `syn` is unavailable; the scanner handles
+//! exactly the token structure the lints need.
+//!
+//! The crate is a library plus a thin binary so the integration tests in
+//! `tests/lint_fixtures.rs` can call the lint functions directly against
+//! fixture files (and against the real workspace, proving `cargo xtask
+//! lint` stays clean).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod lints;

@@ -1,0 +1,702 @@
+//! The four repo-specific lints behind `cargo xtask lint`.
+//!
+//! | ID | What it catches | Where |
+//! |----|-----------------|-------|
+//! | L1 | raw slice/array indexing `buf[i]` outside the audited low-level modules | `ndcube`, `rps-core` |
+//! | L2 | `unwrap()` / `expect()` / `panic!`-family in library code | the five library crates |
+//! | L3 | missing crate-root lint headers / missing `[lints] workspace = true` | all workspace members |
+//! | L4 | bare `as` numeric casts | `ndcube`, `rps-core` |
+//!
+//! Every lint accepts an explicit escape written as a comment on the
+//! offending line or the line directly above:
+//!
+//! ```text
+//! // lint:allow(L4): sum of box counts fits u32 by construction (≤ 2^16 boxes)
+//! let n = total as u32;
+//! ```
+//!
+//! The reason string is mandatory; an allow without one is itself a
+//! finding. See `docs/STATIC_ANALYSIS.md` for the full policy.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{tokenize, Token, TokenKind, KEYWORDS_BEFORE_ARRAY};
+
+/// Lint identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lint {
+    /// Raw slice/array indexing outside allow-listed low-level modules.
+    L1,
+    /// Panic-family calls (`unwrap`, `expect`, `panic!`, …) in library code.
+    L2,
+    /// Crate-root lint headers and `[lints] workspace = true` opt-in.
+    L3,
+    /// Bare `as` numeric casts in `ndcube`/`rps-core`.
+    L4,
+}
+
+impl Lint {
+    /// The short identifier used in output and `lint:allow(..)` escapes.
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::L1 => "L1",
+            Lint::L2 => "L2",
+            Lint::L3 => "L3",
+            Lint::L4 => "L4",
+        }
+    }
+
+    /// Parses `"L1"`..`"L4"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Lint> {
+        match s.to_ascii_uppercase().as_str() {
+            "L1" => Some(Lint::L1),
+            "L2" => Some(Lint::L2),
+            "L3" => Some(Lint::L3),
+            "L4" => Some(Lint::L4),
+            _ => None,
+        }
+    }
+
+    /// All lints, in report order.
+    pub const ALL: [Lint; 4] = [Lint::L1, Lint::L2, Lint::L3, Lint::L4];
+
+    /// One-line description for `cargo xtask lint --list`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Lint::L1 => "raw slice indexing outside audited low-level modules (ndcube, rps-core)",
+            Lint::L2 => "unwrap()/expect()/panic!-family in library code (five library crates)",
+            Lint::L3 => "crate-root lint headers + `[lints] workspace = true` in every manifest",
+            Lint::L4 => "bare `as` numeric casts in ndcube/rps-core (use TryFrom/From)",
+        }
+    }
+}
+
+/// One lint violation, pointing at a workspace-relative `file:line`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line, or 0 for whole-file findings (L3 headers).
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            writeln!(f, "{} {}: {}", self.lint.id(), self.file, self.message)?;
+        } else {
+            writeln!(
+                f,
+                "{} {}:{}: {}",
+                self.lint.id(),
+                self.file,
+                self.line,
+                self.message
+            )?;
+        }
+        write!(f, "    fix: {}", self.hint)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+/// Crates whose `src/` trees are scanned by L1 and L4 (the index-math
+/// crates where a silent truncation corrupts region sums).
+const INDEX_MATH_SRC: &[&str] = &["crates/ndcube/src", "crates/rps-core/src"];
+
+/// Low-level modules allowed to use raw indexing (L1). These are the
+/// audited sweep/stride kernels where bounds are established once per
+/// loop nest and checked access would be pure overhead; everything else
+/// in `ndcube`/`rps-core` must go through the checked `Shape` helpers.
+pub const L1_ALLOWED_MODULES: &[&str] = &[
+    // ndcube: the shape/stride arithmetic itself plus the dense-cube
+    // cell accessors and the odometer iterator it is defined against.
+    "crates/ndcube/src/shape.rs",
+    "crates/ndcube/src/cube.rs",
+    "crates/ndcube/src/iter.rs",
+    // rps-core: the prefix-sum sweeps and the RP/P/overlay kernels that
+    // implement the paper's recurrences, the box-grid coordinate maps,
+    // and the Fenwick/corner fallback structures.
+    "crates/rps-core/src/prefix.rs",
+    "crates/rps-core/src/fenwick.rs",
+    "crates/rps-core/src/corners.rs",
+    "crates/rps-core/src/rps/build.rs",
+    "crates/rps-core/src/rps/grid.rs",
+    "crates/rps-core/src/rps/overlay.rs",
+    "crates/rps-core/src/rps/parallel.rs",
+    "crates/rps-core/src/rps/update.rs",
+];
+
+/// The five library crates whose `src/` trees L2 scans. Tests, benches,
+/// examples, the CLI binary, the bench harness and the `compat/` shims
+/// are exempt by construction.
+const L2_LIBRARY_SRC: &[&str] = &[
+    "crates/ndcube/src",
+    "crates/rps-core/src",
+    "crates/storage/src",
+    "crates/workload/src",
+    "crates/analysis/src",
+];
+
+/// Crate roots that must carry the L3 lint header.
+const L3_CRATE_ROOTS: &[&str] = &[
+    "crates/ndcube/src/lib.rs",
+    "crates/rps-core/src/lib.rs",
+    "crates/storage/src/lib.rs",
+    "crates/workload/src/lib.rs",
+    "crates/analysis/src/lib.rs",
+    "src/lib.rs",
+];
+
+/// Manifest locations that must opt into the workspace lint table.
+const L3_MANIFEST_DIRS: &[&str] = &["crates", "compat"];
+
+// ---------------------------------------------------------------------------
+// Shared machinery: allow-escapes and #[cfg(test)] masking
+// ---------------------------------------------------------------------------
+
+/// The `lint:allow` escapes found in a file for one lint: which lines
+/// they cover, plus malformed escapes (missing reason), which are
+/// findings in their own right.
+struct Allows {
+    lines: HashSet<usize>,
+    malformed: Vec<(usize, String)>,
+}
+
+fn collect_allows(source: &str, lint: Lint) -> Allows {
+    let mut lines = HashSet::new();
+    let mut malformed = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        // The escape must live in a line comment.
+        let Some(comment_at) = raw.find("//") else {
+            continue;
+        };
+        let comment = &raw[comment_at..];
+        let Some(marker) = comment.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &comment[marker + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            malformed.push((line_no, "unclosed `lint:allow(` escape".to_string()));
+            continue;
+        };
+        let id = rest[..close].trim();
+        if id != lint.id() {
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let has_reason = after
+            .strip_prefix(':')
+            .is_some_and(|reason| !reason.trim().is_empty());
+        if has_reason {
+            // Covers a trailing comment on the offending line and a
+            // comment on the line directly above it.
+            lines.insert(line_no);
+            lines.insert(line_no + 1);
+        } else {
+            malformed.push((
+                line_no,
+                format!(
+                    "`lint:allow({id})` escape without a reason — every allow must justify itself"
+                ),
+            ));
+        }
+    }
+    Allows { lines, malformed }
+}
+
+/// Line ranges covered by `#[cfg(test)]` / `#[test]` items (inclusive).
+/// Library-code lints skip these: tests are exempt by design.
+fn test_line_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start_line = tokens[i].line;
+        let (attr_end, mut is_test) = scan_attribute(tokens, i + 1);
+        // Swallow any further attributes stacked on the same item
+        // (`#[cfg(test)] #[allow(..)] mod tests`).
+        let mut k = attr_end + 1;
+        while tokens.get(k).is_some_and(|t| t.is_punct('#'))
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let (end, test_too) = scan_attribute(tokens, k + 1);
+            is_test = is_test || test_too;
+            k = end + 1;
+        }
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        let item_end = skip_item(tokens, k);
+        let end_line = tokens
+            .get(item_end.min(tokens.len().saturating_sub(1)))
+            .map_or(attr_start_line, |t| t.line);
+        ranges.push((attr_start_line, end_line));
+        i = item_end + 1;
+    }
+    ranges
+}
+
+/// Scans one attribute whose `[` is at `open`; returns (index of the
+/// matching `]`, whether the attribute marks test-only code).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut saw_cfg = false;
+    let mut is_test = false;
+    let mut idents = 0usize;
+    let mut only_ident = None;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokenKind::Ident {
+            idents += 1;
+            only_ident = Some(t.text.as_str());
+            if t.text == "cfg" {
+                saw_cfg = true;
+            } else if t.text == "test" && saw_cfg {
+                is_test = true;
+            }
+        }
+        j += 1;
+    }
+    // `#[test]` — a lone `test` ident with no cfg wrapper.
+    if idents == 1 && only_ident == Some("test") {
+        is_test = true;
+    }
+    (j, is_test)
+}
+
+/// Skips the item starting at `start`: ends at a `;` outside any
+/// bracket/brace/paren nesting, or at the `}` closing the item body.
+fn skip_item(tokens: &[Token], start: usize) -> usize {
+    let mut braces = 0isize;
+    let mut parens = 0isize;
+    let mut brackets = 0isize;
+    let mut j = start;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('{') {
+            braces += 1;
+        } else if t.is_punct('}') {
+            braces -= 1;
+            if braces == 0 {
+                return j;
+            }
+        } else if t.is_punct('(') {
+            parens += 1;
+        } else if t.is_punct(')') {
+            parens -= 1;
+        } else if t.is_punct('[') {
+            brackets += 1;
+        } else if t.is_punct(']') {
+            brackets -= 1;
+        } else if t.is_punct(';') && braces == 0 && parens == 0 && brackets == 0 {
+            return j;
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+fn in_ranges(line: usize, ranges: &[(usize, usize)]) -> bool {
+    ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+}
+
+fn malformed_to_findings(file: &str, lint: Lint, allows: &Allows, out: &mut Vec<Finding>) {
+    for (line, message) in &allows.malformed {
+        out.push(Finding {
+            lint,
+            file: file.to_string(),
+            line: *line,
+            message: message.clone(),
+            hint: format!(
+                "write `// lint:allow({}): <why this site is sound>`",
+                lint.id()
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L1 — raw slice indexing
+// ---------------------------------------------------------------------------
+
+/// Checks one file for raw index expressions (`expr[..]`).
+pub fn check_l1(file: &str, source: &str) -> Vec<Finding> {
+    let tokens = tokenize(source);
+    let masked = test_line_ranges(&tokens);
+    let allows = collect_allows(source, Lint::L1);
+    let mut out = Vec::new();
+    malformed_to_findings(file, Lint::L1, &allows, &mut out);
+
+    for (idx, tok) in tokens.iter().enumerate() {
+        if !tok.is_punct('[') || idx == 0 {
+            continue;
+        }
+        let prev = &tokens[idx - 1];
+        let indexes = match prev.kind {
+            TokenKind::Number => true,
+            TokenKind::Ident => !KEYWORDS_BEFORE_ARRAY.contains(&prev.text.as_str()),
+            TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']') || prev.is_punct('?'),
+        };
+        if !indexes || in_ranges(tok.line, &masked) || allows.lines.contains(&tok.line) {
+            continue;
+        }
+        out.push(Finding {
+            lint: Lint::L1,
+            file: file.to_string(),
+            line: tok.line,
+            message: format!(
+                "raw index expression `{}[..]` outside the audited low-level modules",
+                prev.text
+            ),
+            hint: "go through the checked Shape/stride helpers (Shape::linear, NdCube::try_get, \
+                   slice::get), move the code into an L1-allow-listed kernel module, or add \
+                   `// lint:allow(L1): <why bounds hold>`"
+                .to_string(),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L2 — panic-family in library code
+// ---------------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Checks one library file for panic-family calls.
+pub fn check_l2(file: &str, source: &str) -> Vec<Finding> {
+    let tokens = tokenize(source);
+    let masked = test_line_ranges(&tokens);
+    let allows = collect_allows(source, Lint::L2);
+    let mut out = Vec::new();
+    malformed_to_findings(file, Lint::L2, &allows, &mut out);
+
+    for (idx, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |ch: char| tokens.get(idx + 1).is_some_and(|t| t.is_punct(ch));
+        let prev_is_dot = idx > 0 && tokens[idx - 1].is_punct('.');
+        let name = tok.text.as_str();
+
+        let hit = if PANIC_MACROS.contains(&name) && next_is('!') {
+            Some(format!("`{name}!` in library code"))
+        } else if PANIC_METHODS.contains(&name) && prev_is_dot && next_is('(') {
+            Some(format!("`.{name}()` in library code"))
+        } else {
+            None
+        };
+        let Some(message) = hit else { continue };
+        if in_ranges(tok.line, &masked) || allows.lines.contains(&tok.line) {
+            continue;
+        }
+        out.push(Finding {
+            lint: Lint::L2,
+            file: file.to_string(),
+            line: tok.line,
+            message,
+            hint: "return a Result with a typed error instead; if the failure is truly \
+                   unreachable, prove it with a comment and `// lint:allow(L2): <invariant>`"
+                .to_string(),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L3 — crate-root headers and manifest opt-in
+// ---------------------------------------------------------------------------
+
+/// Checks a crate-root source file for the required lint header.
+pub fn check_l3_crate_root(file: &str, source: &str) -> Vec<Finding> {
+    // Whitespace-insensitive match so rustfmt layout differences don't
+    // defeat the check.
+    let squashed: String = source.chars().filter(|c| !c.is_whitespace()).collect();
+    let mut out = Vec::new();
+    if !squashed.contains("#![forbid(unsafe_code)]") {
+        out.push(Finding {
+            lint: Lint::L3,
+            file: file.to_string(),
+            line: 0,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            hint: "add the header attribute at the top of the crate root (the workspace lint \
+                   table also forbids unsafe_code, but the header keeps the guarantee visible \
+                   and survives the crate being built out-of-workspace)"
+                .to_string(),
+        });
+    }
+    if !squashed.contains("#![warn(missing_docs)]") && !squashed.contains("#![deny(missing_docs)]")
+    {
+        out.push(Finding {
+            lint: Lint::L3,
+            file: file.to_string(),
+            line: 0,
+            message: "crate root is missing `#![warn(missing_docs)]`".to_string(),
+            hint: "add `#![warn(missing_docs)]` (or deny) at the top of the crate root".to_string(),
+        });
+    }
+    out
+}
+
+/// Checks a `Cargo.toml` for the `[lints] workspace = true` opt-in.
+pub fn check_l3_manifest(file: &str, source: &str) -> Vec<Finding> {
+    let mut in_lints = false;
+    let mut opted_in = false;
+    for line in source.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('[') {
+            in_lints = trimmed == "[lints]";
+            continue;
+        }
+        if in_lints {
+            let no_space: String = trimmed.chars().filter(|c| !c.is_whitespace()).collect();
+            if no_space.starts_with("workspace=true") {
+                opted_in = true;
+            }
+        }
+    }
+    if opted_in {
+        Vec::new()
+    } else {
+        vec![Finding {
+            lint: Lint::L3,
+            file: file.to_string(),
+            line: 0,
+            message: "manifest does not opt into the workspace lint table".to_string(),
+            hint: "add `[lints]` with `workspace = true` so the crate inherits the shared \
+                   clippy::pedantic + forbid(unsafe_code) policy from the root Cargo.toml"
+                .to_string(),
+        }]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L4 — bare `as` numeric casts
+// ---------------------------------------------------------------------------
+
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Checks one file for bare `as <numeric-type>` casts.
+pub fn check_l4(file: &str, source: &str) -> Vec<Finding> {
+    let tokens = tokenize(source);
+    let masked = test_line_ranges(&tokens);
+    let allows = collect_allows(source, Lint::L4);
+    let mut out = Vec::new();
+    malformed_to_findings(file, Lint::L4, &allows, &mut out);
+
+    for (idx, tok) in tokens.iter().enumerate() {
+        if !tok.is_ident("as") {
+            continue;
+        }
+        let Some(target) = tokens.get(idx + 1) else {
+            continue;
+        };
+        if target.kind != TokenKind::Ident || !NUMERIC_TYPES.contains(&target.text.as_str()) {
+            continue;
+        }
+        if in_ranges(tok.line, &masked) || allows.lines.contains(&tok.line) {
+            continue;
+        }
+        out.push(Finding {
+            lint: Lint::L4,
+            file: file.to_string(),
+            line: tok.line,
+            message: format!("bare `as {}` numeric cast in index-math code", target.text),
+            hint: "use TryFrom/try_into (lossy narrowing must be handled, not silenced), a \
+                   widening From impl, or add `// lint:allow(L4): <why the value fits>`"
+                .to_string(),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Workspace driver
+// ---------------------------------------------------------------------------
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn read(path: &Path) -> io::Result<String> {
+    fs::read_to_string(path)
+}
+
+/// Runs the enabled lints over the workspace rooted at `root` and
+/// returns all findings, sorted by (lint, file, line).
+pub fn run_workspace(root: &Path, only: Option<&[Lint]>) -> io::Result<Vec<Finding>> {
+    let enabled = |l: Lint| only.is_none_or(|set| set.contains(&l));
+    let mut findings = Vec::new();
+
+    if enabled(Lint::L1) || enabled(Lint::L4) {
+        let mut files = Vec::new();
+        for scope in INDEX_MATH_SRC {
+            rust_files(&root.join(scope), &mut files)?;
+        }
+        for path in &files {
+            let name = rel(root, path);
+            let source = read(path)?;
+            if enabled(Lint::L1) && !L1_ALLOWED_MODULES.contains(&name.as_str()) {
+                findings.extend(check_l1(&name, &source));
+            }
+            if enabled(Lint::L4) {
+                findings.extend(check_l4(&name, &source));
+            }
+        }
+    }
+
+    if enabled(Lint::L2) {
+        let mut files = Vec::new();
+        for scope in L2_LIBRARY_SRC {
+            rust_files(&root.join(scope), &mut files)?;
+        }
+        for path in &files {
+            let name = rel(root, path);
+            let source = read(path)?;
+            findings.extend(check_l2(&name, &source));
+        }
+    }
+
+    if enabled(Lint::L3) {
+        for root_file in L3_CRATE_ROOTS {
+            let path = root.join(root_file);
+            if path.exists() {
+                findings.extend(check_l3_crate_root(root_file, &read(&path)?));
+            }
+        }
+        let mut manifests = vec![root.join("Cargo.toml")];
+        for dir in L3_MANIFEST_DIRS {
+            let parent = root.join(dir);
+            if !parent.exists() {
+                continue;
+            }
+            for entry in fs::read_dir(&parent)? {
+                let manifest = entry?.path().join("Cargo.toml");
+                if manifest.exists() {
+                    manifests.push(manifest);
+                }
+            }
+        }
+        manifests.sort();
+        for manifest in manifests {
+            let name = rel(root, &manifest);
+            findings.extend(check_l3_manifest(&name, &read(&manifest)?));
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.lint.id(), a.file.as_str(), a.line).cmp(&(b.lint.id(), b.file.as_str(), b.line))
+    });
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_escape_suppresses_same_and_next_line() {
+        let src = "fn f(xs: &[u64]) -> u64 {\n    // lint:allow(L1): bounds checked by caller\n    xs[0]\n}\n";
+        assert!(check_l1("x.rs", src).is_empty());
+        let trailing =
+            "fn f(xs: &[u64]) -> u64 {\n    xs[0] // lint:allow(L1): bounds checked by caller\n}\n";
+        assert!(check_l1("x.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn allow_escape_without_reason_is_a_finding() {
+        let src = "fn f(xs: &[u64]) -> u64 {\n    // lint:allow(L1)\n    xs[0]\n}\n";
+        let found = check_l1("x.rs", src);
+        assert_eq!(found.len(), 2, "missing reason + the unsuppressed index");
+        assert!(found[0].message.contains("without a reason"));
+    }
+
+    #[test]
+    fn allow_escape_for_other_lint_does_not_suppress() {
+        let src = "fn f(xs: &[u64]) -> u64 {\n    // lint:allow(L2): wrong lint\n    xs[0]\n}\n";
+        assert_eq!(check_l1("x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let xs = vec![1];\n        assert_eq!(xs[0], 1);\n        None::<u64>.unwrap();\n    }\n}\n";
+        assert!(check_l1("x.rs", src).is_empty());
+        assert!(check_l2("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn array_literals_and_types_are_not_indexing() {
+        let src = "pub fn f() -> [u64; 2] {\n    let a: [u64; 2] = [1, 2];\n    let _v = vec![0u8; 4];\n    a\n}\n";
+        assert!(check_l1("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn attribute_brackets_are_not_indexing() {
+        let src = "#[derive(Debug)]\npub struct S;\n#[allow(dead_code)]\nfn g() {}\n";
+        assert!(check_l1("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn use_as_rename_is_not_a_cast() {
+        let src =
+            "use std::io::Error as IoError;\npub fn f(x: u32) -> u64 {\n    u64::from(x)\n}\n";
+        assert!(check_l4("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn manifest_without_lints_table_fails() {
+        let bad = "[package]\nname = \"demo\"\n";
+        assert_eq!(check_l3_manifest("Cargo.toml", bad).len(), 1);
+        let good = "[package]\nname = \"demo\"\n\n[lints]\nworkspace = true\n";
+        assert!(check_l3_manifest("Cargo.toml", good).is_empty());
+    }
+}

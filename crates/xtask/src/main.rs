@@ -1,0 +1,114 @@
+//! `cargo xtask` — workspace automation entry point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::lints::{self, Lint};
+
+const USAGE: &str = "\
+cargo xtask — workspace automation
+
+USAGE:
+    cargo xtask lint [--only <L1|L2|L3|L4>]... [--root <path>] [--list]
+
+SUBCOMMANDS:
+    lint    run the repo-specific static-analysis lints (see docs/STATIC_ANALYSIS.md)
+
+OPTIONS:
+    --only <ID>    run only the named lint (repeatable)
+    --root <path>  workspace root to scan (default: this workspace)
+    --list         print the lint table and exit
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown subcommand `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut only: Vec<Lint> = Vec::new();
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => {
+                for lint in Lint::ALL {
+                    println!("{}  {}", lint.id(), lint.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--only" => {
+                if let Some(Some(lint)) = iter.next().map(|s| Lint::parse(s)) {
+                    only.push(lint)
+                } else {
+                    eprintln!("error: --only expects one of L1, L2, L3, L4");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--root" => {
+                if let Some(path) = iter.next() {
+                    root = Some(PathBuf::from(path))
+                } else {
+                    eprintln!("error: --root expects a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(workspace_root);
+    let filter = if only.is_empty() {
+        None
+    } else {
+        Some(only.as_slice())
+    };
+    match lints::run_workspace(&root, filter) {
+        Ok(findings) if findings.is_empty() => {
+            let which = filter.map_or_else(
+                || "L1 L2 L3 L4".to_string(),
+                |set| set.iter().map(|l| l.id()).collect::<Vec<_>>().join(" "),
+            );
+            println!("xtask lint: clean ({which})");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            eprintln!("xtask lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask lint: io error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest
+/// (`crates/xtask` → repo root), falling back to the current directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map_or_else(|| PathBuf::from("."), PathBuf::from)
+}

@@ -1,0 +1,34 @@
+//! Positive fixture: code every lint accepts.
+//! Never compiled — consumed as text by `tests/lint_fixtures.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::TryFromIntError;
+
+pub fn checked_get(xs: &[u64], i: usize) -> Option<u64> {
+    xs.get(i).copied()
+}
+
+pub fn narrow(i: i64) -> Result<usize, TryFromIntError> {
+    usize::try_from(i)
+}
+
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}
+
+pub fn arrays_are_fine() -> [u64; 3] {
+    let a: [u64; 3] = [1, 2, 3];
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn anything_goes_in_tests() {
+        let xs = vec![1u64, 2, 3];
+        assert_eq!(xs[1] as usize, 2usize);
+        let _ = "5".parse::<u64>().unwrap();
+    }
+}

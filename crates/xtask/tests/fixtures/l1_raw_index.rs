@@ -1,0 +1,23 @@
+//! L1 negative fixture: raw indexing in non-allow-listed library code.
+//! Never compiled — consumed as text by `tests/lint_fixtures.rs`.
+
+pub fn sum3(xs: &[u64], strides: &[usize]) -> u64 {
+    let a = xs[0]; // line 5: direct literal index
+    let b = xs[strides[1]]; // line 6: two violations, nested
+    let tail = &xs[2..]; // line 7: range slicing panics too
+    a + b + tail.iter().sum::<u64>()
+}
+
+pub fn allowed(xs: &[u64]) -> u64 {
+    // lint:allow(L1): fixture demonstrating a justified escape
+    xs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_exempt() {
+        let xs = [1u64, 2, 3];
+        assert_eq!(xs[0], 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! L2 negative fixture: panic-family calls in library code.
+//! Never compiled — consumed as text by `tests/lint_fixtures.rs`.
+
+pub fn parse(input: &str) -> u64 {
+    let value: u64 = input.parse().unwrap(); // line 5: .unwrap()
+    if value == 0 {
+        panic!("zero is not allowed"); // line 7: panic!
+    }
+    value
+}
+
+pub fn lookup(map: &std::collections::HashMap<u32, u64>, key: u32) -> u64 {
+    *map.get(&key).expect("key must exist") // line 13: .expect()
+}
+
+pub fn not_yet() {
+    todo!() // line 17: todo!
+}
+
+pub fn guarded(lock: &std::sync::Mutex<u64>) -> u64 {
+    // lint:allow(L2): lock poisoning only happens after another panic
+    *lock.lock().expect("poisoned")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: u64 = "7".parse().unwrap();
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,7 @@
+//! L3 negative fixture: a crate root missing both required lint
+//! headers (the unsafe-code forbid and the missing-docs warn).
+//! Never compiled — consumed as text by `tests/lint_fixtures.rs`.
+
+pub fn library_entry_point() -> u64 {
+    42
+}

@@ -1,0 +1,28 @@
+//! L4 negative fixture: bare `as` numeric casts in index math.
+//! Never compiled — consumed as text by `tests/lint_fixtures.rs`.
+
+pub fn linear(i: i64, stride: usize) -> usize {
+    let base = i as usize; // line 5: sign-dropping cast
+    base * stride
+}
+
+pub fn ratio(hits: u64, total: u64) -> f64 {
+    hits as f64 / total as f64 // line 10: two precision-losing casts
+}
+
+pub fn widened(x: u32) -> u64 {
+    u64::from(x) // fine: lossless From, not a cast
+}
+
+pub fn documented(total: usize) -> u32 {
+    // lint:allow(L4): box counts are bounded by 2^16 per the grid invariant
+    total as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_cast() {
+        assert_eq!(3i64 as usize, 3usize);
+    }
+}

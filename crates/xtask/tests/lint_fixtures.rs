@@ -1,0 +1,107 @@
+//! Fixture tests for the `cargo xtask lint` checks: each lint must fire
+//! on its seeded-violation fixture (negative fixtures) and stay silent
+//! on the clean fixture — and the real workspace must be lint-clean.
+
+use std::path::{Path, PathBuf};
+
+use xtask::lints::{
+    check_l1, check_l2, check_l3_crate_root, check_l3_manifest, check_l4, run_workspace, Finding,
+    Lint,
+};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn lines(findings: &[Finding]) -> Vec<usize> {
+    findings.iter().map(|f| f.line).collect()
+}
+
+#[test]
+fn l1_fires_on_raw_indexing() {
+    let found = check_l1("l1_raw_index.rs", &fixture("l1_raw_index.rs"));
+    // Line 5: xs[0]; line 6: xs[..] and strides[..]; line 7: xs[2..].
+    assert_eq!(lines(&found), vec![5, 6, 6, 7], "findings: {found:#?}");
+    for f in &found {
+        assert_eq!(f.lint, Lint::L1);
+        assert!(!f.hint.is_empty(), "every finding carries a fix hint");
+    }
+}
+
+#[test]
+fn l2_fires_on_panic_family() {
+    let found = check_l2("l2_panics.rs", &fixture("l2_panics.rs"));
+    assert_eq!(lines(&found), vec![5, 7, 13, 17], "findings: {found:#?}");
+    let messages: Vec<&str> = found.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages[0].contains("unwrap"));
+    assert!(messages[1].contains("panic!"));
+    assert!(messages[2].contains("expect"));
+    assert!(messages[3].contains("todo!"));
+}
+
+#[test]
+fn l3_fires_on_missing_headers() {
+    let found = check_l3_crate_root("l3_missing_header.rs", &fixture("l3_missing_header.rs"));
+    assert_eq!(found.len(), 2, "both headers missing: {found:#?}");
+    assert!(found[0].message.contains("forbid(unsafe_code)"));
+    assert!(found[1].message.contains("missing_docs"));
+}
+
+#[test]
+fn l3_fires_on_manifest_without_workspace_lints() {
+    let bad = "[package]\nname = \"demo\"\nversion = \"0.0.0\"\n";
+    let found = check_l3_manifest("Cargo.toml", bad);
+    assert_eq!(found.len(), 1);
+    assert!(found[0].hint.contains("workspace = true"));
+}
+
+#[test]
+fn l4_fires_on_bare_casts() {
+    let found = check_l4("l4_bare_cast.rs", &fixture("l4_bare_cast.rs"));
+    assert_eq!(lines(&found), vec![5, 10, 10], "findings: {found:#?}");
+    assert!(found[0].message.contains("as usize"));
+    assert!(found[1].message.contains("as f64"));
+}
+
+#[test]
+fn clean_fixture_passes_every_lint() {
+    let src = fixture("clean.rs");
+    assert!(check_l1("clean.rs", &src).is_empty());
+    assert!(check_l2("clean.rs", &src).is_empty());
+    assert!(check_l3_crate_root("clean.rs", &src).is_empty());
+    assert!(check_l4("clean.rs", &src).is_empty());
+}
+
+#[test]
+fn allow_escape_without_reason_is_rejected() {
+    let src = "pub fn f(i: i64) -> usize {\n    // lint:allow(L4)\n    i as usize\n}\n";
+    let found = check_l4("x.rs", src);
+    assert_eq!(found.len(), 2, "bad escape + unsuppressed cast: {found:#?}");
+    assert!(found[0].message.contains("without a reason"));
+}
+
+/// The acceptance criterion: `cargo xtask lint` passes on the real
+/// workspace. Running the driver in-process keeps the gate inside
+/// `cargo test`, so tier-1 itself fails if a violation lands.
+#[test]
+fn real_workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf();
+    let findings = run_workspace(&root, None).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -22,7 +22,7 @@ fn main() {
     };
     let pool_frames = 64;
 
-    let cube = CubeGen::new(1).uniform(&dims, 0, 9);
+    let cube = CubeGen::new(1).uniform(&dims, 0, 9).expect("valid dims");
     let grid = BoxGrid::new(cube.shape().clone(), &[K, K]).unwrap();
 
     let mut engines = [

@@ -83,9 +83,8 @@ fn main() {
 
     // --- Session 2: recover = last checkpoint + WAL tail (> lsn). --------
     let base = snapshot::load_rps(File::open(&snap_path).unwrap()).unwrap();
-    let snapshot_lsn: u64 = std::fs::read_to_string(&lsn_path)
-        .map(|s| s.trim().parse().unwrap())
-        .unwrap_or(0);
+    let snapshot_lsn: u64 =
+        std::fs::read_to_string(&lsn_path).map_or(0, |s| s.trim().parse().unwrap());
     let recovered = DurableEngine::open(base, &wal_path, snapshot_lsn).unwrap();
     let full = Region::new(&[0, 0], &[AGES - 1, DAYS - 1]).unwrap();
     let recovered_total = recovered.query(&full).unwrap();

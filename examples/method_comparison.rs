@@ -33,7 +33,7 @@ fn main() {
     const N: usize = 128;
     let dims = [N, N];
 
-    let cube: NdCube<i64> = CubeGen::new(42).uniform(&dims, 0, 9);
+    let cube: NdCube<i64> = CubeGen::new(42).uniform(&dims, 0, 9).expect("valid dims");
     let ops = MixedWorkload::new(
         UpdateGen::uniform(&dims, 7, 100),
         QueryGen::new(&dims, 8, RegionSpec::Fraction(0.5)),

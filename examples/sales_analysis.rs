@@ -35,7 +35,7 @@ fn main() {
     println!("  COUNT   = {}", cube.count(&q).unwrap());
     println!(
         "  AVERAGE = {:?}",
-        cube.average(&q).unwrap().map(|a| a.round())
+        cube.average(&q).unwrap().map(f64::round)
     );
 
     // Rolling 30-day average sales across the year, all ages: each window
@@ -68,8 +68,7 @@ fn main() {
     let after = cube.sum(&q).unwrap();
     assert_eq!(after - before, landed_in_window);
     println!(
-        "window sum moved {} → {} (+{} from sales inside the window)",
-        before, after, landed_in_window
+        "window sum moved {before} → {after} (+{landed_in_window} from sales inside the window)"
     );
 
     // What did a day of near-current analysis cost?

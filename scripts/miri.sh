@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the index-arithmetic cores under Miri to catch undefined behaviour
+# in the raw-offset paths (linear indexing, slab splitting, snapshot
+# byte-twiddling). Needs a nightly toolchain with the `miri` component:
+#
+#   rustup toolchain install nightly --component miri
+#
+# Strict provenance flags make Miri reject integer→pointer round-trips
+# outright instead of tracking them permissively — the strongest setting
+# this pure-safe-Rust workspace should pass trivially, so any report is a
+# real bug (most likely in a dependency shim).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export MIRIFLAGS="-Zmiri-strict-provenance ${MIRIFLAGS:-}"
+# Keep the proptest shims' case counts small: Miri runs ~100× slower
+# than native, and the UB coverage does not grow with case count.
+export PROPTEST_CASES="${PROPTEST_CASES:-8}"
+
+# Slow, exhaustive interpreter — restrict to the crates whose index math
+# the xtask L1 lint polices; everything else is plumbing over these.
+exec cargo +nightly miri test -p ndcube -p rps-core "$@"

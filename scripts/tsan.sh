@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the concurrency-sensitive tests under ThreadSanitizer: the
+# parallel RP/P build sweeps (scoped threads over split_at_mut slabs —
+# including the non-aligned slab geometries the property tests
+# generate), SharedEngine's readers–writer paths, and the buffered
+# engine's flush. Needs a nightly toolchain with rust-src (TSan requires
+# rebuilding std with instrumentation):
+#
+#   rustup toolchain install nightly --component rust-src
+#
+# Complements scripts/loom.sh: loom model-checks tiny interleavings
+# exhaustively; TSan watches real full-size executions for data races.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="-Z sanitizer=thread ${RUSTFLAGS:-}"
+# TSan intercepts every memory access; keep the randomized suites short.
+export PROPTEST_CASES="${PROPTEST_CASES:-16}"
+
+TARGET="$(rustc +nightly -vV | sed -n 's/^host: //p')"
+
+exec cargo +nightly test -Z build-std --target "$TARGET" -p rps-core \
+    concurrent:: parallel:: buffered:: "$@"

@@ -34,7 +34,9 @@ fn replay(engine: &mut dyn RangeSumEngine<i64>, ops: &[Op]) -> i64 {
 
 #[test]
 fn all_engines_agree_on_mixed_zipf_workload() {
-    let cube = CubeGen::new(99).sparse(&[N, N], 0.3, 50);
+    let cube = CubeGen::new(99)
+        .sparse(&[N, N], 0.3, 50)
+        .expect("valid dims");
     let ops = workload(600);
 
     let mut naive = NaiveEngine::from_cube(cube.clone());
@@ -58,7 +60,7 @@ fn all_engines_agree_on_mixed_zipf_workload() {
 fn disk_engine_survives_thrashing_pool() {
     // A pool of 2 frames on a 64-page array: constant eviction pressure
     // must never corrupt answers.
-    let cube = CubeGen::new(3).uniform(&[N, N], 0, 9);
+    let cube = CubeGen::new(3).uniform(&[N, N], 0, 9).expect("valid dims");
     let ops = workload(300);
     let mut naive = NaiveEngine::from_cube(cube.clone());
     let mut disk =
@@ -71,7 +73,7 @@ fn disk_engine_survives_thrashing_pool() {
 fn measured_update_cost_within_formula_across_k() {
     // The §4.3 formula is a worst-case bound: every measured update cost
     // must sit at or below it.
-    let cube = CubeGen::new(17).uniform(&[N, N], 0, 9);
+    let cube = CubeGen::new(17).uniform(&[N, N], 0, 9).expect("valid dims");
     for k in [2usize, 4, 8, 16, 32] {
         let formula = cost_model::rps_update_cost(N as f64, 2, k as f64);
         let mut e = RpsEngine::from_cube_uniform(&cube, k).unwrap();
@@ -88,7 +90,7 @@ fn measured_update_cost_within_formula_across_k() {
 #[test]
 fn overlay_allocation_matches_storage_model() {
     for (n, k) in [(64usize, 8usize), (64, 16), (100, 10)] {
-        let cube = CubeGen::new(1).uniform(&[n, n], 0, 5);
+        let cube = CubeGen::new(1).uniform(&[n, n], 0, 5).expect("valid dims");
         let e = RpsEngine::from_cube_uniform(&cube, k).unwrap();
         if n % k == 0 {
             let expected = (n / k).pow(2) as u64 * overlay_storage_cells(k as u64, 2);
@@ -135,7 +137,9 @@ fn sales_scenario_end_to_end_consistency() {
 
 #[test]
 fn three_d_cube_through_facade() {
-    let cube = CubeGen::new(8).uniform(&[16, 16, 16], 0, 9);
+    let cube = CubeGen::new(8)
+        .uniform(&[16, 16, 16], 0, 9)
+        .expect("valid dims");
     let mut rps = RpsEngine::from_cube_uniform(&cube, 4).unwrap();
     let naive = NaiveEngine::from_cube(cube);
     let mut qg = QueryGen::new(&[16, 16, 16], 9, RegionSpec::Fraction(0.7));

@@ -87,7 +87,7 @@ fn s31_each_box_covers_k_to_the_d_cells() {
     // "Each overlay box corresponds to an area of array A of size k^d
     //  cells; thus, in this example each overlay box covers 3² = 9 cells."
     let grid = BoxGrid::new(paper_array_a().shape().clone(), &[3, 3]).unwrap();
-    for b in grid.grid_shape().full_region().iter() {
+    for b in &grid.grid_shape().full_region() {
         assert_eq!(grid.box_region(&b).cell_count(), 9);
     }
 }

@@ -19,7 +19,9 @@ const CHECK_EVERY: usize = 250;
 
 #[test]
 fn all_engine_variants_agree_over_long_mixed_run() {
-    let cube = CubeGen::new(20260706).sparse(&[N, N], 0.4, 99);
+    let cube = CubeGen::new(20260706)
+        .sparse(&[N, N], 0.4, 99)
+        .expect("valid dims");
 
     let mut engines: Vec<Box<dyn RangeSumEngine<i64>>> = vec![
         Box::new(NaiveEngine::from_cube(cube.clone())),
@@ -95,7 +97,9 @@ fn all_engine_variants_agree_over_long_mixed_run() {
 fn soak_with_sets_and_batches() {
     // Mixes `set` (read-modify-write) and `apply_batch` into the stream,
     // exercising the derived paths under sustained load.
-    let cube = CubeGen::new(7).uniform(&[32, 32], 0, 9);
+    let cube = CubeGen::new(7)
+        .uniform(&[32, 32], 0, 9)
+        .expect("valid dims");
     let mut rps = RpsEngine::from_cube_uniform(&cube, 6).unwrap();
     let mut oracle = NaiveEngine::from_cube(cube);
 

@@ -12,7 +12,9 @@ const N: usize = 512;
 
 #[test]
 fn half_meg_cube_stays_consistent_under_updates() {
-    let cube = CubeGen::new(31415).uniform(&[N, N], 0, 999);
+    let cube = CubeGen::new(31415)
+        .uniform(&[N, N], 0, 999)
+        .expect("valid dims");
 
     // Ground truth via the prefix identity computed once, directly.
     let mut p = cube.clone();
