@@ -17,7 +17,9 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
+
+pub mod alloc_counter;
 
 use ndcube::Region;
 use rps_core::RangeSumEngine;

@@ -135,6 +135,14 @@ impl<T> NdCube<T> {
         &mut self.data
     }
 
+    /// Shape and mutable buffer together — for callers that must compute
+    /// offsets from the strides while mutating cells (a plain
+    /// `as_mut_slice` borrow would lock out `shape()`).
+    #[inline]
+    pub fn parts_mut(&mut self) -> (&Shape, &mut [T]) {
+        (&self.shape, &mut self.data)
+    }
+
     /// Consumes the cube, returning its buffer.
     pub fn into_vec(self) -> Vec<T> {
         self.data

@@ -21,26 +21,52 @@ impl<'a> RegionIter<'a> {
     }
 
     /// Calls `f` with each coordinate vector in row-major order, reusing a
-    /// single buffer (no per-cell allocation).
-    pub fn for_each_coords(region: &Region, mut f: impl FnMut(&[usize])) {
-        let d = region.ndim();
-        let mut cur = region.lo().to_vec();
+    /// single buffer (one allocation per call, none per cell).
+    pub fn for_each_coords(region: &Region, f: impl FnMut(&[usize])) {
+        let mut cur = Vec::new();
+        Self::for_each_coords_with(region, &mut cur, f);
+    }
+
+    /// [`Self::for_each_coords`] with a caller-provided odometer buffer —
+    /// zero allocations, for hot paths that walk many regions with one
+    /// reused buffer. The buffer is cleared and refilled; any previous
+    /// contents and capacity beyond `region.ndim()` are reused.
+    pub fn for_each_coords_with(region: &Region, cur: &mut Vec<usize>, f: impl FnMut(&[usize])) {
+        for_each_coords_in_bounds(region.lo(), region.hi(), cur, f);
+    }
+}
+
+/// The odometer walk underlying [`RegionIter::for_each_coords_with`],
+/// taking raw `lo`/`hi` slices so callers holding bounds in scratch
+/// buffers need not materialize a [`Region`] (whose constructor
+/// allocates). Bounds are inclusive; `lo[i] ≤ hi[i]` must hold for every
+/// dimension (debug-asserted, like the `Region` invariant it mirrors).
+pub fn for_each_coords_in_bounds(
+    lo: &[usize],
+    hi: &[usize],
+    cur: &mut Vec<usize>,
+    mut f: impl FnMut(&[usize]),
+) {
+    let d = lo.len();
+    debug_assert_eq!(d, hi.len());
+    debug_assert!(lo.iter().zip(hi).all(|(l, h)| l <= h));
+    cur.clear();
+    cur.extend_from_slice(lo);
+    loop {
+        f(cur);
+        // Odometer increment: bump the last dimension, carrying left.
+        let mut dim = d;
         loop {
-            f(&cur);
-            // Odometer increment: bump the last dimension, carrying left.
-            let mut dim = d;
-            loop {
-                if dim == 0 {
-                    return;
+            if dim == 0 {
+                return;
+            }
+            dim -= 1;
+            if cur[dim] < hi[dim] {
+                cur[dim] += 1;
+                for (later, &l) in cur.iter_mut().zip(lo.iter()).skip(dim + 1) {
+                    *later = l;
                 }
-                dim -= 1;
-                if cur[dim] < region.hi()[dim] {
-                    cur[dim] += 1;
-                    for (later, &lo) in cur.iter_mut().zip(region.lo().iter()).skip(dim + 1) {
-                        *later = lo;
-                    }
-                    break;
-                }
+                break;
             }
         }
     }
@@ -212,6 +238,42 @@ mod tests {
         RegionIter::for_each_coords(&r, |c| collected.push(c.to_vec()));
         let expected: Vec<Vec<usize>> = r.iter().collect();
         assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn for_each_coords_with_reuses_buffer() {
+        let r = Region::new(&[1, 0, 2], &[2, 1, 3]).unwrap();
+        // Pre-dirty the buffer: the walk must clear and refill it.
+        let mut buf = vec![99usize; 7];
+        let mut collected = Vec::new();
+        RegionIter::for_each_coords_with(&r, &mut buf, |c| collected.push(c.to_vec()));
+        let expected: Vec<Vec<usize>> = r.iter().collect();
+        assert_eq!(collected, expected);
+
+        // Second walk over a different region with the same buffer.
+        let r2 = Region::new(&[0, 0], &[2, 2]).unwrap();
+        collected.clear();
+        RegionIter::for_each_coords_with(&r2, &mut buf, |c| collected.push(c.to_vec()));
+        let expected2: Vec<Vec<usize>> = r2.iter().collect();
+        assert_eq!(collected, expected2);
+    }
+
+    #[test]
+    fn bounds_walk_matches_region_walk() {
+        let r = Region::new(&[2, 1], &[4, 3]).unwrap();
+        let mut buf = Vec::new();
+        let mut via_bounds = Vec::new();
+        for_each_coords_in_bounds(&[2, 1], &[4, 3], &mut buf, |c| via_bounds.push(c.to_vec()));
+        let via_region: Vec<Vec<usize>> = r.iter().collect();
+        assert_eq!(via_bounds, via_region);
+    }
+
+    #[test]
+    fn bounds_walk_singleton() {
+        let mut buf = Vec::new();
+        let mut seen = Vec::new();
+        for_each_coords_in_bounds(&[3, 3], &[3, 3], &mut buf, |c| seen.push(c.to_vec()));
+        assert_eq!(seen, vec![vec![3, 3]]);
     }
 
     #[test]

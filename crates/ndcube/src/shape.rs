@@ -159,6 +159,57 @@ impl Shape {
         LinearRegionIter::new(self, region)
     }
 
+    /// Calls `f` with the linear offset of every cell in `lo ..= hi`
+    /// (inclusive bounds, row-major order), advancing incrementally — one
+    /// add per step in the common case — and reusing the caller's
+    /// coordinate buffer: zero allocations.
+    ///
+    /// The bounds-slice form of [`Self::linear_region_iter`], for hot
+    /// paths whose bounds live in scratch buffers rather than a
+    /// [`Region`]. Bounds must be in range (debug-asserted).
+    pub fn for_each_linear_in_bounds(
+        &self,
+        lo: &[usize],
+        hi: &[usize],
+        cur: &mut Vec<usize>,
+        mut f: impl FnMut(usize),
+    ) {
+        let d = self.ndim();
+        debug_assert_eq!(lo.len(), d);
+        debug_assert_eq!(hi.len(), d);
+        debug_assert!(lo.iter().zip(hi).all(|(l, h)| l <= h));
+        debug_assert!(self.check(hi).is_ok());
+        cur.clear();
+        cur.extend_from_slice(lo);
+        let mut linear = self.linear_unchecked(cur);
+        let last = d - 1;
+        loop {
+            f(linear);
+            if cur[last] < hi[last] {
+                // Fast path: step within the innermost dimension.
+                cur[last] += 1;
+                linear += self.strides[last];
+                continue;
+            }
+            // Carry: rewind exhausted dimensions, bump the next one out.
+            let mut dim = last;
+            loop {
+                let span = cur[dim] - lo[dim];
+                linear -= span * self.strides[dim];
+                cur[dim] = lo[dim];
+                if dim == 0 {
+                    return;
+                }
+                dim -= 1;
+                if cur[dim] < hi[dim] {
+                    cur[dim] += 1;
+                    linear += self.strides[dim];
+                    break;
+                }
+            }
+        }
+    }
+
     /// Calls `f` with each (coordinates, linear offset) pair of `region`
     /// in row-major order, reusing one coordinate buffer — the pairing
     /// every cube-walking loop needs, so call sites don't hand-roll the
@@ -271,6 +322,26 @@ mod tests {
             assert_eq!(pc, c);
             assert_eq!(plin, lin);
         }
+    }
+
+    #[test]
+    fn for_each_linear_in_bounds_matches_iterator() {
+        let s = Shape::new(&[3, 4, 2]).unwrap();
+        let r = Region::new(&[1, 0, 1], &[2, 3, 1]).unwrap();
+        let mut buf = vec![7usize; 9]; // pre-dirtied: must be cleared
+        let mut got = Vec::new();
+        s.for_each_linear_in_bounds(r.lo(), r.hi(), &mut buf, |lin| got.push(lin));
+        let want: Vec<usize> = s.linear_region_iter(&r).collect();
+        assert_eq!(got, want);
+
+        // One-dimensional and singleton walks.
+        let s1 = Shape::new(&[10]).unwrap();
+        got.clear();
+        s1.for_each_linear_in_bounds(&[4], &[8], &mut buf, |lin| got.push(lin));
+        assert_eq!(got, vec![4, 5, 6, 7, 8]);
+        got.clear();
+        s1.for_each_linear_in_bounds(&[9], &[9], &mut buf, |lin| got.push(lin));
+        assert_eq!(got, vec![9]);
     }
 
     #[test]

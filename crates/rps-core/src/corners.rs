@@ -37,12 +37,25 @@ use crate::value::GroupValue;
 /// allocation.
 pub fn range_sum_from_prefix<T: GroupValue>(
     region: &Region,
+    prefix: impl FnMut(&[usize]) -> T,
+) -> T {
+    let mut corner = Vec::new();
+    range_sum_from_prefix_with(region, &mut corner, prefix)
+}
+
+/// [`range_sum_from_prefix`] with a caller-provided corner buffer — zero
+/// allocations, for hot paths evaluating many regions with one reused
+/// buffer (cleared and resized to `region.ndim()` on entry).
+pub fn range_sum_from_prefix_with<T: GroupValue>(
+    region: &Region,
+    corner: &mut Vec<usize>,
     mut prefix: impl FnMut(&[usize]) -> T,
 ) -> T {
     let d = region.ndim();
     // lint:allow(L4): u32 → usize is lossless on every supported target
     debug_assert!(d < usize::BITS as usize, "dimension count fits in a mask");
-    let mut corner = vec![0usize; d];
+    corner.clear();
+    corner.resize(d, 0);
     let mut acc = T::zero();
     for mask in 0u64..(1u64 << d) {
         let mut skip = false;
@@ -61,7 +74,7 @@ pub fn range_sum_from_prefix<T: GroupValue>(
         if skip {
             continue;
         }
-        let term = prefix(&corner);
+        let term = prefix(corner);
         if mask.count_ones() % 2 == 0 {
             acc.add_assign(&term);
         } else {
@@ -142,6 +155,22 @@ mod tests {
         assert_eq!(range_sum_from_prefix(&r, prefix_oracle(&cube)), 12);
         let full = Region::new(&[0], &[5]).unwrap();
         assert_eq!(range_sum_from_prefix(&full, prefix_oracle(&cube)), 21);
+    }
+
+    #[test]
+    fn with_variant_matches_and_reuses_buffer() {
+        let cube = NdCube::from_fn(&[5, 6], |c| (c[0] * 7 + c[1] * 3 + 1) as i64).unwrap();
+        // Pre-dirtied, wrongly-sized buffer: must be cleared and resized.
+        let mut corner = vec![42usize; 7];
+        for r in [
+            Region::new(&[0, 0], &[4, 5]).unwrap(),
+            Region::new(&[1, 2], &[3, 4]).unwrap(),
+            Region::point(&[2, 3]).unwrap(),
+        ] {
+            let got = range_sum_from_prefix_with(&r, &mut corner, prefix_oracle(&cube));
+            assert_eq!(got, brute(&cube, &r), "region {r:?}");
+            assert_eq!(corner.len(), 2);
+        }
     }
 
     #[test]

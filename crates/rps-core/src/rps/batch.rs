@@ -15,7 +15,7 @@ use crate::value::GroupValue;
 
 /// Moves a count/extent into the cost model's f64 domain. All lossy
 /// numeric entry into the estimator funnels through this one function.
-fn est(x: usize) -> f64 {
+pub(crate) fn est(x: usize) -> f64 {
     // lint:allow(L4): cost estimates tolerate f64 rounding above 2^53
     x as f64
 }
@@ -91,10 +91,12 @@ impl<T: GroupValue> RpsEngine<T> {
 
     /// Cell writes a full rebuild costs: recovering A (d sweeps) plus
     /// reconstructing RP and the overlay.
-    fn rebuild_cost(&self) -> f64 {
+    pub(crate) fn rebuild_cost(&self) -> f64 {
         (est(self.shape().ndim()) + 2.0) * est(self.shape().len())
     }
+}
 
+impl<T: GroupValue + Send + Sync> RpsEngine<T> {
     /// Applies a batch of point updates, adaptively choosing between
     /// incremental application and a full rebuild. Returns `true` when
     /// the rebuild path was taken.
@@ -106,37 +108,10 @@ impl<T: GroupValue> RpsEngine<T> {
     /// rebuild, recover `A`, fold in the rest of the batch, and rebuild.
     ///
     /// Duplicate coordinates in the batch are fine (deltas accumulate).
+    /// Large incremental batches are partitioned across worker threads —
+    /// see [`Self::apply_batch_parallel`] for the thread-count knob.
     pub fn apply_batch(&mut self, updates: &[(Vec<usize>, T)]) -> Result<bool, NdError> {
-        const SAMPLE: usize = 32;
-        // Validate everything up front: a batch is all-or-nothing.
-        for (coords, _) in updates {
-            self.shape().check(coords)?;
-        }
-        let sample = updates.len().min(SAMPLE);
-        let before = self.stats().cell_writes;
-        let (sampled, rest) = updates.split_at(sample);
-        for (coords, delta) in sampled {
-            self.update(coords, delta.clone())?;
-        }
-        if rest.is_empty() {
-            return Ok(false);
-        }
-        // lint:allow(L4): write counters stay far below 2^53; f64 rounding is harmless here
-        let measured = (self.stats().cell_writes - before) as f64 / est(sample);
-        if measured * est(rest.len()) <= self.rebuild_cost() {
-            for (coords, delta) in rest {
-                self.update(coords, delta.clone())?;
-            }
-            Ok(false)
-        } else {
-            let mut a = self.to_cube();
-            for (coords, delta) in rest {
-                let lin = a.shape().linear_unchecked(coords);
-                a.get_linear_mut(lin).add_assign(delta);
-            }
-            self.rebuild_from(&a)?;
-            Ok(true)
-        }
+        self.apply_batch_parallel(updates, crate::rps::parallel::default_threads())
     }
 }
 

@@ -25,6 +25,61 @@ pub struct BoxGrid {
     cube_shape: Shape,
     box_size: Vec<usize>,
     grid_shape: Shape,
+    /// Per-dimension precomputed divider for `c / k_i` — box lookup is on
+    /// the O(1) query path, and a multiply-shift beats a hardware divide.
+    divs: Vec<BoxDiv>,
+}
+
+/// Precomputed strategy for dividing a cube coordinate by a box side `k`.
+///
+/// Uses the round-up ("Granlund–Montgomery") magic number `m = ⌊2⁶⁴/k⌋ + 1`:
+/// `⌊c·m / 2⁶⁴⌋ = ⌊c/k⌋` exactly for every `c < 2³²` when `k ≤ 2³²` (and for
+/// all `c` when `k` is a power of two, where `m` is exact). Dimensions
+/// larger than 2³² cells fall back to hardware division; `k = 1` skips the
+/// multiply entirely.
+#[derive(Debug, Clone, Copy)]
+enum BoxDiv {
+    /// `k = 1`: the identity.
+    One,
+    /// Multiply-shift by the round-up magic number.
+    Magic { m: u64 },
+    /// Hardware division (dimension too large for the 2³² exactness bound).
+    Hw { k: u64 },
+}
+
+impl BoxDiv {
+    fn new(k: usize, n: usize) -> BoxDiv {
+        if k == 1 {
+            return BoxDiv::One;
+        }
+        // lint:allow(L4): usize → u64 is lossless on every supported target
+        let (k64, n64) = (k as u64, n as u64);
+        // Coordinates are < n, so n ≤ 2³² guarantees c < 2³² (the magic
+        // number's exactness precondition; see the type-level docs).
+        if u32::try_from(n64.saturating_sub(1)).is_ok() {
+            BoxDiv::Magic {
+                m: u64::MAX / k64 + 1,
+            }
+        } else {
+            BoxDiv::Hw { k: k64 }
+        }
+    }
+
+    /// Computes `c / k` for an in-bounds cube coordinate.
+    #[inline]
+    fn div(self, c: usize) -> usize {
+        match self {
+            BoxDiv::One => c,
+            BoxDiv::Magic { m } => {
+                // lint:allow(L4): usize → u128 widens losslessly; the shifted-down result is ⌊c/k⌋ ≤ c, which fits usize
+                (((c as u128) * (m as u128)) >> 64) as usize
+            }
+            BoxDiv::Hw { k } => {
+                // lint:allow(L4): usize → u64 lossless; quotient ≤ c fits usize
+                ((c as u64) / k) as usize
+            }
+        }
+    }
 }
 
 impl BoxGrid {
@@ -52,10 +107,16 @@ impl BoxGrid {
             .map(|(&k, &n)| n.div_ceil(k))
             .collect();
         let grid_shape = Shape::new(&grid_dims)?;
+        let divs: Vec<BoxDiv> = clamped
+            .iter()
+            .zip(cube_shape.dims())
+            .map(|(&k, &n)| BoxDiv::new(k, n))
+            .collect();
         Ok(BoxGrid {
             cube_shape,
             box_size: clamped,
             grid_shape,
+            divs,
         })
     }
 
@@ -95,9 +156,19 @@ impl BoxGrid {
     pub fn box_index_of(&self, coords: &[usize]) -> Vec<usize> {
         coords
             .iter()
-            .zip(&self.box_size)
-            .map(|(&c, &k)| c / k)
+            .zip(&self.divs)
+            .map(|(&c, div)| div.div(c))
             .collect()
+    }
+
+    /// [`Self::box_index_of`] into a caller-provided buffer — the hot-path
+    /// form (no allocation, precomputed multiply-shift division).
+    #[inline]
+    pub fn box_index_into(&self, coords: &[usize], out: &mut [usize]) {
+        debug_assert_eq!(coords.len(), out.len());
+        for (o, (&c, div)) in out.iter_mut().zip(coords.iter().zip(&self.divs)) {
+            *o = div.div(c);
+        }
     }
 
     /// The anchor (first covered cell) of a box.
@@ -109,6 +180,15 @@ impl BoxGrid {
             .collect()
     }
 
+    /// [`Self::anchor_of`] into a caller-provided buffer (hot-path form).
+    #[inline]
+    pub fn anchor_into(&self, box_idx: &[usize], out: &mut [usize]) {
+        debug_assert_eq!(box_idx.len(), out.len());
+        for (o, (&b, &k)) in out.iter_mut().zip(box_idx.iter().zip(&self.box_size)) {
+            *o = b * k;
+        }
+    }
+
     /// The extent of a box in each dimension (clamped at cube edges).
     pub fn extents_of(&self, box_idx: &[usize]) -> Vec<usize> {
         box_idx
@@ -116,6 +196,30 @@ impl BoxGrid {
             .zip(self.box_size.iter().zip(self.cube_shape.dims()))
             .map(|(&b, (&k, &n))| k.min(n - b * k))
             .collect()
+    }
+
+    /// [`Self::extents_of`] into a caller-provided buffer (hot-path form).
+    #[inline]
+    pub fn extents_into(&self, box_idx: &[usize], out: &mut [usize]) {
+        debug_assert_eq!(box_idx.len(), out.len());
+        let sizes = self.box_size.iter().zip(self.cube_shape.dims());
+        for (o, (&b, (&k, &n))) in out.iter_mut().zip(box_idx.iter().zip(sizes)) {
+            *o = k.min(n - b * k);
+        }
+    }
+
+    /// Writes the inclusive upper corner (last covered cell) of the box
+    /// containing `coords` — the upper bound of a point update's in-box
+    /// cascade region — without materializing the box index.
+    #[inline]
+    pub fn box_hi_of_cell_into(&self, coords: &[usize], out: &mut [usize]) {
+        debug_assert_eq!(coords.len(), out.len());
+        let sizes = self.box_size.iter().zip(self.cube_shape.dims());
+        for (o, ((&c, div), (&k, &n))) in
+            out.iter_mut().zip(coords.iter().zip(&self.divs).zip(sizes))
+        {
+            *o = ((div.div(c) + 1) * k).min(n) - 1;
+        }
     }
 
     /// The cube region covered by a box.
@@ -195,6 +299,7 @@ impl BoxGrid {
         }
         assert!(z < d, "slot out of range");
         // Decode the mixed-radix rank.
+        // lint:allow(L5): test/figure helper, not on the query or update path
         let mut e = vec![0usize; d];
         for i in (0..d).rev() {
             if i == z {
@@ -348,6 +453,75 @@ mod tests {
         assert_eq!(BoxGrid::stored_cells(&extents), 4);
         for e1 in 0..4 {
             assert!(BoxGrid::slot_of(&[0, e1], &extents).is_some());
+        }
+    }
+
+    #[test]
+    fn magic_division_is_exact() {
+        // Exhaustive near box boundaries plus a spread of coordinates, for
+        // small k, prime k, power-of-two k, and k near the 32-bit gate.
+        for k in [
+            1usize,
+            2,
+            3,
+            5,
+            7,
+            8,
+            11,
+            16,
+            100,
+            101,
+            1 << 16,
+            (1 << 16) + 1,
+        ] {
+            let n = (1usize << 20).max(k);
+            let div = BoxDiv::new(k, n);
+            let probe = |c: usize| assert_eq!(div.div(c), c / k, "c={c} k={k}");
+            for mult in 0..64usize {
+                let base = mult * k;
+                probe(base);
+                probe(base + 1);
+                if base > 0 {
+                    probe(base - 1);
+                }
+            }
+            let mut c = 1usize;
+            while c < n {
+                probe(c.min(n - 1));
+                c = c.saturating_mul(3) + 1;
+            }
+            probe(n - 1);
+        }
+    }
+
+    #[test]
+    fn huge_dimension_falls_back_to_hardware_division() {
+        // n > 2³² is outside the magic number's exactness bound; the
+        // fallback must still divide correctly. (Constructing the grid is
+        // fine: no allocation proportional to n happens here.)
+        let n = 1usize << 40;
+        let k = 12_345usize;
+        let div = BoxDiv::new(k, n);
+        assert!(matches!(div, BoxDiv::Hw { .. }));
+        for c in [0usize, 1, k - 1, k, n / 2 + 17, n - 1] {
+            assert_eq!(div.div(c), c / k);
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let g = BoxGrid::new(Shape::new(&[10, 7, 9]).unwrap(), &[3, 3, 4]).unwrap();
+        let mut buf = [0usize; 3];
+        for c in &g.cube_shape().full_region() {
+            g.box_index_into(&c, &mut buf);
+            let b = g.box_index_of(&c);
+            assert_eq!(buf.as_slice(), b.as_slice());
+            g.anchor_into(&b, &mut buf);
+            assert_eq!(buf.as_slice(), g.anchor_of(&b).as_slice());
+            g.extents_into(&b, &mut buf);
+            assert_eq!(buf.as_slice(), g.extents_of(&b).as_slice());
+            g.box_hi_of_cell_into(&c, &mut buf);
+            assert_eq!(buf.as_slice(), g.box_region(&b).hi());
         }
     }
 

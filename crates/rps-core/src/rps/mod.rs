@@ -22,6 +22,7 @@ mod grid;
 mod invariants;
 mod overlay;
 mod parallel;
+mod scratch;
 mod update;
 
 pub use build::{
@@ -31,11 +32,15 @@ pub use grid::BoxGrid;
 pub use invariants::Violation;
 pub use overlay::Overlay;
 pub use parallel::{prefix_sums_parallel, relative_prefix_sums_parallel};
-pub use update::{apply_overlay_update, apply_update, for_each_stored_offset_geq};
+pub use scratch::{with_scratch, KernelScratch, Scratch};
+pub use update::{
+    apply_overlay_update, apply_overlay_update_with, apply_update, apply_update_with,
+    for_each_rp_cascade_cell, for_each_stored_offset_geq, for_each_stored_offset_geq_with,
+};
 
 use ndcube::{NdCube, NdError, Region, Shape};
 
-use crate::corners::range_sum_from_prefix;
+use crate::corners::range_sum_from_prefix_with;
 use crate::engine::RangeSumEngine;
 use crate::stats::{CostStats, StatsCell};
 use crate::value::GroupValue;
@@ -60,6 +65,9 @@ pub struct RpsEngine<T> {
     overlay: Overlay<T>,
     rp: NdCube<T>,
     stats: StatsCell,
+    /// Reusable coordinate buffers for the `&mut self` update path;
+    /// queries (`&self`) borrow the thread-local scratch instead.
+    scratch: KernelScratch,
 }
 
 impl<T: GroupValue> RpsEngine<T> {
@@ -73,6 +81,7 @@ impl<T: GroupValue> RpsEngine<T> {
     /// Builds from a data cube with a uniform box side `k` in every
     /// dimension (the paper's tunable parameter, §4.3).
     pub fn from_cube_uniform(a: &NdCube<T>, k: usize) -> Result<Self, NdError> {
+        // lint:allow(L5): construction path, runs once per engine
         let grid = BoxGrid::new(a.shape().clone(), &vec![k; a.ndim()])?;
         Ok(Self::from_cube_with_grid(a, grid))
     }
@@ -91,6 +100,7 @@ impl<T: GroupValue> RpsEngine<T> {
             overlay,
             rp,
             stats: StatsCell::new(),
+            scratch: KernelScratch::new(),
         }
     }
 
@@ -114,6 +124,7 @@ impl<T: GroupValue> RpsEngine<T> {
             overlay,
             rp,
             stats: StatsCell::new(),
+            scratch: KernelScratch::new(),
         }
     }
 
@@ -128,12 +139,14 @@ impl<T: GroupValue> RpsEngine<T> {
             overlay,
             rp,
             stats: StatsCell::new(),
+            scratch: KernelScratch::new(),
         })
     }
 
     /// An all-zero cube with a uniform box side.
     pub fn zeros_uniform(dims: &[usize], k: usize) -> Result<Self, NdError> {
         let shape = Shape::new(dims)?;
+        // lint:allow(L5): construction path, runs once per engine
         let grid = BoxGrid::new(shape, &vec![k; dims.len()])?;
         let rp = NdCube::filled(dims, T::zero())?;
         let overlay = Overlay::zeros(grid.clone());
@@ -142,6 +155,7 @@ impl<T: GroupValue> RpsEngine<T> {
             overlay,
             rp,
             stats: StatsCell::new(),
+            scratch: KernelScratch::new(),
         })
     }
 
@@ -185,18 +199,25 @@ impl<T: GroupValue> RpsEngine<T> {
     /// exploits.
     pub fn prefix_sum(&self, x: &[usize]) -> Result<T, NdError> {
         self.rp.shape().check(x)?;
-        Ok(self.prefix_internal(x))
+        Ok(with_scratch(|s| {
+            let (acc, reads) = self.prefix_kernel(x, &mut s.kernel);
+            self.stats.reads(reads);
+            acc
+        }))
     }
 
-    fn prefix_internal(&self, x: &[usize]) -> T {
-        let (mut acc, mut reads) = overlay_prefix_part(&self.grid, &self.overlay, x);
+    /// One prefix reconstruction with caller scratch: overlay part plus
+    /// the in-box RP cell. Returns (value, cells read) — no stats side
+    /// effects, so callers can coalesce many reconstructions into a
+    /// single counter add.
+    fn prefix_kernel(&self, x: &[usize], ks: &mut KernelScratch) -> (T, u64) {
+        let (mut acc, mut reads) = overlay_prefix_part_with(&self.grid, &self.overlay, x, ks);
 
         // Plus the in-box relative prefix.
         let lin = self.rp.shape().linear_unchecked(x);
         acc.add_assign(self.rp.get_linear(lin));
         reads += 1;
-        self.stats.reads(reads);
-        acc
+        (acc, reads)
     }
 }
 
@@ -205,26 +226,50 @@ impl<T: GroupValue> RpsEngine<T> {
 /// corner sum for d ≥ 3 — see [`RpsEngine::prefix_sum`]). Returns the
 /// accumulated value and the number of overlay cells read.
 ///
-/// Shared by the in-memory engine and the disk-resident engine
-/// (`rps-storage`), which differ only in where the final RP cell comes
-/// from — this is the subtlest arithmetic in the workspace and must
-/// exist exactly once.
+/// Compatibility wrapper over [`overlay_prefix_part_with`] using the
+/// thread-local scratch.
 pub fn overlay_prefix_part<T: GroupValue>(
     grid: &BoxGrid,
     overlay: &Overlay<T>,
     x: &[usize],
 ) -> (T, u64) {
+    with_scratch(|s| overlay_prefix_part_with(grid, overlay, x, &mut s.kernel))
+}
+
+/// [`overlay_prefix_part`] with caller scratch — zero heap allocations.
+///
+/// Shared by the in-memory engine and the disk-resident engine
+/// (`rps-storage`), which differ only in where the final RP cell comes
+/// from — this is the subtlest arithmetic in the workspace and must
+/// exist exactly once.
+pub fn overlay_prefix_part_with<T: GroupValue>(
+    grid: &BoxGrid,
+    overlay: &Overlay<T>,
+    x: &[usize],
+    ks: &mut KernelScratch,
+) -> (T, u64) {
     let d = x.len();
-    let b = grid.box_index_of(x);
-    let box_lin = overlay.box_linear(&b);
-    let anchor = grid.anchor_of(&b);
-    let extents = grid.extents_of(&b);
+    ks.ensure(d);
+    let KernelScratch {
+        b,
+        anchor,
+        extents,
+        offsets,
+        e,
+        ..
+    } = ks;
+    grid.box_index_into(x, b);
+    let box_lin = overlay.box_linear(b);
+    grid.anchor_into(b, anchor);
+    grid.extents_into(b, extents);
 
     // Anchor value: everything preceding the box's anchor cell.
     let mut acc = overlay.get(overlay.anchor_index(box_lin)).clone();
     let mut reads = 1u64;
 
-    let offsets: Vec<usize> = x.iter().zip(&anchor).map(|(&xi, &ai)| xi - ai).collect();
+    for (o, (&xi, &ai)) in offsets.iter_mut().zip(x.iter().zip(anchor.iter())) {
+        *o = xi - ai;
+    }
 
     if offsets.contains(&0) {
         // x itself is a stored overlay cell: every other border term
@@ -234,7 +279,7 @@ pub fn overlay_prefix_part<T: GroupValue>(
         // and is skipped.
         if offsets.iter().any(|&e| e != 0) {
             let idx = overlay
-                .cell_index(box_lin, &offsets, &extents)
+                .cell_index(box_lin, offsets, extents)
                 // lint:allow(L2): x has a non-zero offset, so its border slot is stored
                 .expect("zero-offset cells are stored");
             acc.add_assign(overlay.get(idx));
@@ -243,13 +288,12 @@ pub fn overlay_prefix_part<T: GroupValue>(
     } else {
         // Interior x: alternating sum over the proper corner cells of
         // the sub-box α..=x. Subset S of dimensions taking x's offset.
-        let mut e = vec![0usize; d];
         for mask in 1u64..((1u64 << d) - 1) {
-            for (i, (ei, &off)) in e.iter_mut().zip(&offsets).enumerate() {
+            for (i, (ei, &off)) in e.iter_mut().zip(offsets.iter()).enumerate() {
                 *ei = if mask & (1 << i) != 0 { off } else { 0 };
             }
             let idx = overlay
-                .cell_index(box_lin, &e, &extents)
+                .cell_index(box_lin, e, extents)
                 // lint:allow(L2): mask < 2^d−1 keeps at least one zero offset, so the slot is stored
                 .expect("corner cells have a zero offset");
             let term = overlay.get(idx);
@@ -279,23 +323,39 @@ impl<T: GroupValue> RpsEngine<T> {
         for r in regions {
             self.rp.shape().check_region(r)?;
         }
-        let mut cache: HashMap<Vec<usize>, T> = HashMap::new();
-        let out = regions
-            .iter()
-            .map(|r| {
-                let sum = range_sum_from_prefix(r, |corner| {
-                    if let Some(v) = cache.get(corner) {
-                        v.clone()
-                    } else {
-                        let v = self.prefix_internal(corner);
-                        cache.insert(corner.to_vec(), v.clone());
-                        v
-                    }
-                });
-                self.stats.query();
-                sum
-            })
-            .collect();
+        let d = self.rp.shape().ndim();
+        // Pre-size for the worst case — every region contributing 2^d
+        // distinct corners — so the cache never rehashes mid-batch.
+        let cap = regions.len().saturating_mul(
+            1usize
+                .checked_shl(u32::try_from(d).unwrap_or(u32::MAX))
+                .unwrap_or(usize::MAX),
+        );
+        let mut cache: HashMap<Vec<usize>, T> = HashMap::with_capacity(cap);
+        let mut total_reads = 0u64;
+        let out = with_scratch(|s| {
+            let (corner_buf, ks) = s.split();
+            regions
+                .iter()
+                .map(|r| {
+                    let sum = range_sum_from_prefix_with(r, corner_buf, |corner| {
+                        // Entry API: one hash per corner whether hit or miss.
+                        cache
+                            // lint:allow(L5): the cache key must own its corner; amortized by dedup across regions
+                            .entry(corner.to_vec())
+                            .or_insert_with(|| {
+                                let (v, reads) = self.prefix_kernel(corner, ks);
+                                total_reads += reads;
+                                v
+                            })
+                            .clone()
+                    });
+                    self.stats.query();
+                    sum
+                })
+                .collect()
+        });
+        self.stats.reads(total_reads);
         Ok(out)
     }
 }
@@ -311,7 +371,18 @@ impl<T: GroupValue> RangeSumEngine<T> for RpsEngine<T> {
 
     fn query(&self, region: &Region) -> Result<T, NdError> {
         self.rp.shape().check_region(region)?;
-        let sum = range_sum_from_prefix(region, |corner| self.prefix_internal(corner));
+        let sum = with_scratch(|s| {
+            let (corner_buf, ks) = s.split();
+            let mut reads = 0u64;
+            let sum = range_sum_from_prefix_with(region, corner_buf, |corner| {
+                let (v, r) = self.prefix_kernel(corner, ks);
+                reads += r;
+                v
+            });
+            // One atomic add for the whole query, not one per corner.
+            self.stats.reads(reads);
+            sum
+        });
         self.stats.query();
         Ok(sum)
     }
@@ -323,14 +394,16 @@ impl<T: GroupValue> RangeSumEngine<T> for RpsEngine<T> {
             self.stats.update();
             return Ok(());
         }
-        apply_update(
+        let writes = apply_update_with(
             &self.grid,
             &mut self.overlay,
             &mut self.rp,
-            &self.stats,
             coords,
             &delta,
+            &mut self.scratch,
         );
+        // One atomic add for the whole update, not one per cascade half.
+        self.stats.writes(writes);
         self.stats.update();
         Ok(())
     }
@@ -345,6 +418,121 @@ impl<T: GroupValue> RangeSumEngine<T> for RpsEngine<T> {
 
     fn storage_cells(&self) -> usize {
         self.rp.len() + self.overlay.storage_cells()
+    }
+}
+
+/// The original allocating `overlay_prefix_part`, kept verbatim as the
+/// oracle the scratch kernel is property-tested against.
+#[cfg(test)]
+fn oracle_overlay_prefix_part<T: GroupValue>(
+    grid: &BoxGrid,
+    overlay: &Overlay<T>,
+    x: &[usize],
+) -> (T, u64) {
+    let d = x.len();
+    let b = grid.box_index_of(x);
+    let box_lin = overlay.box_linear(&b);
+    let anchor = grid.anchor_of(&b);
+    let extents = grid.extents_of(&b);
+
+    let mut acc = overlay.get(overlay.anchor_index(box_lin)).clone();
+    let mut reads = 1u64;
+
+    let offsets: Vec<usize> = x.iter().zip(&anchor).map(|(&xi, &ai)| xi - ai).collect();
+
+    if offsets.contains(&0) {
+        if offsets.iter().any(|&e| e != 0) {
+            let idx = overlay
+                .cell_index(box_lin, &offsets, &extents)
+                .expect("zero-offset cells are stored");
+            acc.add_assign(overlay.get(idx));
+            reads += 1;
+        }
+    } else {
+        let mut e = vec![0usize; d];
+        for mask in 1u64..((1u64 << d) - 1) {
+            for (i, (ei, &off)) in e.iter_mut().zip(&offsets).enumerate() {
+                *ei = if mask & (1 << i) != 0 { off } else { 0 };
+            }
+            let idx = overlay
+                .cell_index(box_lin, &e, &extents)
+                .expect("corner cells have a zero offset");
+            let term = overlay.get(idx);
+            let s = mask.count_ones() as usize;
+            if (d - 1 - s).is_multiple_of(2) {
+                acc.add_assign(term);
+            } else {
+                acc.sub_assign(term);
+            }
+            reads += 1;
+        }
+    }
+    (acc, reads)
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random geometry + cube contents, for d ∈ 1..=4.
+    fn engine_case() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, Vec<i64>)> {
+        (1usize..=4)
+            .prop_flat_map(|d| {
+                (
+                    proptest::collection::vec(1usize..=6, d),
+                    proptest::collection::vec(1usize..=4, d),
+                )
+            })
+            .prop_flat_map(|(dims, ks)| {
+                let len: usize = dims.iter().product();
+                (
+                    Just(dims),
+                    Just(ks),
+                    proptest::collection::vec(-100i64..100, len..=len),
+                )
+            })
+    }
+
+    proptest! {
+        /// The scratch prefix kernel agrees with the original allocating
+        /// path — value AND read count — at every coordinate.
+        #[test]
+        fn scratch_prefix_matches_oracle((dims, ks, data) in engine_case()) {
+            let cube = NdCube::from_vec(&dims, data).unwrap();
+            let engine = RpsEngine::from_cube_with_box_size(&cube, &ks).unwrap();
+            let mut scratch = KernelScratch::new();
+            for x in &cube.shape().full_region() {
+                let (v_new, r_new) =
+                    overlay_prefix_part_with(&engine.grid, &engine.overlay, &x, &mut scratch);
+                let (v_old, r_old) =
+                    oracle_overlay_prefix_part(&engine.grid, &engine.overlay, &x);
+                prop_assert_eq!(v_new, v_old, "value at {:?}", &x);
+                prop_assert_eq!(r_new, r_old, "reads at {:?}", &x);
+            }
+        }
+
+        /// End to end: queries through the scratch path match a naive
+        /// engine on random cubes.
+        #[test]
+        fn scratch_queries_match_naive((dims, ks, data) in engine_case()) {
+            let cube = NdCube::from_vec(&dims, data).unwrap();
+            let engine = RpsEngine::from_cube_with_box_size(&cube, &ks).unwrap();
+            let naive = crate::naive::NaiveEngine::from_cube(cube);
+            let full = engine.shape().full_region();
+            prop_assert_eq!(
+                engine.query(&full).unwrap(),
+                naive.query(&full).unwrap()
+            );
+            for x in &full {
+                let r = Region::new(&vec![0; x.len()], &x).unwrap();
+                prop_assert_eq!(
+                    engine.query(&r).unwrap(),
+                    naive.query(&r).unwrap(),
+                    "prefix region to {:?}", &x
+                );
+            }
+        }
     }
 }
 
@@ -388,6 +576,18 @@ mod tests {
             e.stats().cell_reads
         );
         assert_eq!(e.stats().queries, 1);
+    }
+
+    #[test]
+    fn query_reads_counted_once_per_operation() {
+        // Coalesced stats (one atomic add per query) must report the same
+        // totals as the old per-cell accounting: the paper query [2,3]..[7,5]
+        // touches exactly 4 corners × 4 reads = 16 cells.
+        let e = paper_engine();
+        e.reset_stats();
+        let r = Region::new(&[2, 3], &[7, 5]).unwrap();
+        e.query(&r).unwrap();
+        assert_eq!(e.stats().cell_reads, 16);
     }
 
     #[test]

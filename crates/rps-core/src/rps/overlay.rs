@@ -97,6 +97,14 @@ impl<T: GroupValue> Overlay<T> {
             .map(|i| &self.cells[i])
     }
 
+    /// The offset table and the mutable flat cell buffer together, for the
+    /// update walks: the offset table stays readable while cell slices are
+    /// handed out (and split across threads by the parallel batch path).
+    #[inline]
+    pub(crate) fn parts_mut(&mut self) -> (&[usize], &mut [T]) {
+        (&self.box_offsets, &mut self.cells)
+    }
+
     /// The number of stored cells of one box.
     pub fn box_stored_count(&self, box_lin: usize) -> usize {
         self.box_offsets[box_lin + 1] - self.box_offsets[box_lin]

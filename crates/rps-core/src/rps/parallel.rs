@@ -1,4 +1,4 @@
-//! Parallel structure construction.
+//! Parallel structure construction and parallel batch updates.
 //!
 //! Building RP and P is O(d·N) of running-sum sweeps — embarrassing to
 //! leave single-threaded for the cube sizes the paper targets. Both
@@ -11,11 +11,33 @@
 //! * **P** — dims ≥ 1 are independent per slab; dim 0 uses the classic
 //!   two-phase scan: local prefix per slab, then each slab adds the
 //!   accumulated last-row of every earlier slab.
+//!
+//! **Batch updates** decompose the same way, by dim-0 *box rows*: an
+//! update's RP cascade stays inside its own box, and the overlay walk
+//! visits boxes grouped contiguously by their dim-0 index (both the
+//! offset table and the RP buffer are row-major). Each worker owns a
+//! disjoint slab of box rows — a contiguous range of overlay cells plus
+//! the matching range of RP rows — and replays *every* update of the
+//! batch against its slab only. Writes never overlap, no locks are
+//! needed, and each cell receives exactly the adds the serial loop would
+//! have applied, in the same order: the result is bit-identical to
+//! serial application.
 
 use ndcube::NdCube;
 
 use crate::rps::grid::BoxGrid;
+use crate::rps::scratch::KernelScratch;
+use crate::rps::update::overlay_update_walk;
 use crate::value::GroupValue;
+
+/// Worker-thread count for [`crate::rps::RpsEngine::apply_batch`]:
+/// available parallelism, capped — batch updates are memory-bound and
+/// stop scaling well before large core counts.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(8)
+}
 
 /// Runs one dimension's (box-local or global) sweep over a contiguous
 /// chunk of the row-major buffer. `global_offset` is the chunk's first
@@ -202,6 +224,145 @@ impl<T: GroupValue + Send + Sync> crate::rps::RpsEngine<T> {
         let overlay = crate::rps::build::build_overlay_from_p(a, &p, &rp, grid.clone());
         Self::from_parts(grid, overlay, rp)
     }
+
+    /// Applies a batch of point updates using up to `threads` worker
+    /// threads, with the same adaptive incremental/rebuild decision as
+    /// [`Self::apply_batch`]. Returns `true` when the rebuild path was
+    /// taken.
+    ///
+    /// A sample of the batch is applied serially to *measure* the
+    /// per-update write cost; if the projected incremental cost beats a
+    /// rebuild, the remainder is partitioned across `threads` workers by
+    /// dim-0 box-row slabs (see the module docs — the result is
+    /// bit-identical to serial application). Otherwise the engine
+    /// recovers `A`, folds the batch in, and rebuilds.
+    pub fn apply_batch_parallel(
+        &mut self,
+        updates: &[(Vec<usize>, T)],
+        threads: usize,
+    ) -> Result<bool, ndcube::NdError> {
+        use crate::engine::RangeSumEngine;
+        use crate::rps::batch::est;
+
+        const SAMPLE: usize = 32;
+        // Validate everything up front: a batch is all-or-nothing.
+        for (coords, _) in updates {
+            self.shape().check(coords)?;
+        }
+        let sample = updates.len().min(SAMPLE);
+        let before = self.stats().cell_writes;
+        let (sampled, rest) = updates.split_at(sample);
+        for (coords, delta) in sampled {
+            self.update(coords, delta.clone())?;
+        }
+        if rest.is_empty() {
+            return Ok(false);
+        }
+        // lint:allow(L4): write counters stay far below 2^53; f64 rounding is harmless here
+        let measured = (self.stats().cell_writes - before) as f64 / est(sample);
+        if measured * est(rest.len()) <= self.rebuild_cost() {
+            let rows = self.grid().grid_shape().dim(0);
+            if threads > 1 && rows >= 2 && rest.len() >= 2 {
+                self.apply_updates_parallel(rest, threads);
+            } else {
+                for (coords, delta) in rest {
+                    self.update(coords, delta.clone())?;
+                }
+            }
+            Ok(false)
+        } else {
+            let mut a = self.to_cube();
+            for (coords, delta) in rest {
+                let lin = a.shape().linear_unchecked(coords);
+                a.get_linear_mut(lin).add_assign(delta);
+            }
+            self.rebuild_from(&a)?;
+            Ok(true)
+        }
+    }
+
+    /// Applies pre-validated updates by slab-partitioning the structures
+    /// across scoped worker threads. Every worker replays the whole batch
+    /// in order against its own disjoint slab, so the outcome matches the
+    /// serial loop exactly (see the module docs for the argument).
+    pub(crate) fn apply_updates_parallel(&mut self, updates: &[(Vec<usize>, T)], threads: usize) {
+        let k0 = self.grid.box_size()[0];
+        let rows = self.grid.grid_shape().dim(0);
+        // Boxes per dim-0 box row: the tail dimensions of the grid shape.
+        let row_boxes = self.grid.grid_shape().strides()[0];
+        let row_counts = slab_sizes(rows, 1, 1, threads);
+
+        let grid = &self.grid;
+        let (box_offsets, mut ov_rest) = self.overlay.parts_mut();
+        let (rp_shape, mut rp_rest) = self.rp.parts_mut();
+        let stride0 = rp_shape.strides()[0];
+        let n0 = rp_shape.dim(0);
+
+        let mut total_writes = 0u64;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(row_counts.len());
+            let mut r_lo = 0usize;
+            let mut ov_base = 0usize;
+            let mut rp_base = 0usize;
+            for &nrows in &row_counts {
+                let r_hi = r_lo + nrows;
+                // Overlay cells of box rows r_lo..r_hi are contiguous.
+                let ov_hi = box_offsets[r_hi * row_boxes];
+                let (my_cells, ov_tail) = ov_rest.split_at_mut(ov_hi - ov_base);
+                ov_rest = ov_tail;
+                // RP rows of the same slab: cube rows r_lo·k₀ .. r_hi·k₀.
+                let cube_row_hi = (r_hi * k0).min(n0);
+                let rp_hi = cube_row_hi * stride0;
+                let (my_rp, rp_tail) = rp_rest.split_at_mut(rp_hi - rp_base);
+                rp_rest = rp_tail;
+                let (my_ov_base, my_rp_base, my_r_lo) = (ov_base, rp_base, r_lo);
+                let cube_row_lo = my_r_lo * k0;
+                handles.push(scope.spawn(move || {
+                    let mut ks = KernelScratch::new();
+                    let mut writes = 0u64;
+                    for (c, delta) in updates {
+                        if delta.is_zero() {
+                            continue;
+                        }
+                        // RP cascade — confined to c's own box, which lies
+                        // entirely inside one slab (slab bounds are box-row
+                        // multiples).
+                        if c[0] >= cube_row_lo && c[0] < cube_row_hi {
+                            ks.ensure(c.len());
+                            grid.box_hi_of_cell_into(c, &mut ks.hi);
+                            rp_shape.for_each_linear_in_bounds(c, &ks.hi, &mut ks.cur, |lin| {
+                                my_rp[lin - my_rp_base].add_assign(delta);
+                                writes += 1;
+                            });
+                        }
+                        // Overlay orthant walk, clipped to this slab's rows.
+                        writes += overlay_update_walk(
+                            grid,
+                            box_offsets,
+                            my_cells,
+                            my_ov_base,
+                            my_r_lo,
+                            r_hi,
+                            c,
+                            delta,
+                            &mut ks,
+                        );
+                    }
+                    writes
+                }));
+                r_lo = r_hi;
+                ov_base = ov_hi;
+                rp_base = rp_hi;
+            }
+            for h in handles {
+                // lint:allow(L2): a worker panic is already a bug; propagate it
+                total_writes += h.join().expect("batch update worker panicked");
+            }
+        });
+        self.stats.writes(total_writes);
+        // lint:allow(L4): batch lengths are far below 2^64
+        self.stats.updates_n(updates.len() as u64);
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +439,47 @@ mod tests {
         assert_eq!(e.query(&r).unwrap(), naive.query(&r).unwrap());
         e.update(&[10, 10], 99).unwrap();
         assert_eq!(e.query(&r).unwrap(), naive.query(&r).unwrap() + 99);
+    }
+
+    #[test]
+    fn parallel_batch_updates_match_naive() {
+        // Geometry chosen so the measured crossover keeps the batch
+        // incremental: 50 updates on a 64×64 cube (rebuild ≈ 16k writes)
+        // leaves the post-sample remainder on the slab-parallel path.
+        let a = NdCube::from_fn(&[64, 64], |c| ((c[0] * 13 + c[1] * 29) % 17) as i64).unwrap();
+        let mut e = RpsEngine::from_cube_uniform(&a, 8).unwrap();
+        let mut naive = crate::naive::NaiveEngine::from_cube(a);
+        let batch: Vec<(Vec<usize>, i64)> = (0..50)
+            .map(|i| (vec![(i * 11) % 64, (i * 23) % 64], (i % 9) as i64 - 4))
+            .collect();
+        for (c, d) in &batch {
+            naive.update(c, *d).unwrap();
+        }
+        let rebuilt = e.apply_batch_parallel(&batch, 4).unwrap();
+        assert!(!rebuilt, "this batch should stay incremental");
+        for (lo, hi) in [([0, 0], [63, 63]), ([5, 9], [60, 44]), ([33, 33], [33, 33])] {
+            let r = Region::new(&lo, &hi).unwrap();
+            assert_eq!(e.query(&r).unwrap(), naive.query(&r).unwrap(), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_stats_match_serial() {
+        let a = NdCube::from_fn(&[24, 24], |c| (c[0] + c[1]) as i64).unwrap();
+        let batch: Vec<(Vec<usize>, i64)> = (0..40)
+            .map(|i| (vec![(i * 7) % 24, (i * 3) % 24], 1i64))
+            .collect();
+
+        let mut serial = RpsEngine::from_cube_uniform(&a, 4).unwrap();
+        for (c, d) in &batch {
+            serial.update(c, *d).unwrap();
+        }
+        let mut par = RpsEngine::from_cube_uniform(&a, 4).unwrap();
+        par.apply_updates_parallel(&batch, 4);
+        // Same write totals, same op counts — the coalesced batch
+        // accounting is indistinguishable from per-op accounting.
+        assert_eq!(par.stats(), serial.stats());
+        assert_eq!(par.rp_array(), serial.rp_array());
     }
 
     #[test]
@@ -388,6 +590,56 @@ mod props {
                     let expect: i64 = (box_lo..=r).map(|i| a.get(&[i, c])).sum();
                     prop_assert_eq!(swept[r * cols + c], expect);
                 }
+            }
+        }
+
+        /// Slab-parallel batch updates are bit-identical to the serial
+        /// update loop — structures AND stats — for every thread count,
+        /// including threads > box rows and single-box-row grids.
+        #[test]
+        fn parallel_batch_matches_serial_updates(
+            (dims, ks, batch) in (1usize..=3)
+                .prop_flat_map(|d| {
+                    (
+                        proptest::collection::vec(1usize..=8, d),
+                        proptest::collection::vec(1usize..=4, d),
+                    )
+                })
+                .prop_flat_map(|(dims, ks)| {
+                    let coord: Vec<std::ops::Range<usize>> =
+                        dims.iter().map(|&n| 0..n).collect();
+                    let upd = (coord, -50i64..50);
+                    (
+                        Just(dims),
+                        Just(ks),
+                        proptest::collection::vec(upd, 0..=12),
+                    )
+                }),
+        ) {
+            let a = NdCube::from_fn(&dims, |c| {
+                c.iter().enumerate().map(|(i, &x)| (x + 2) * (i + 1)).sum::<usize>() as i64
+            })
+            .unwrap();
+            let mut serial = crate::rps::RpsEngine::from_cube_with_box_size(&a, &ks).unwrap();
+            for (c, d) in &batch {
+                crate::engine::RangeSumEngine::update(&mut serial, c, *d).unwrap();
+            }
+            for threads in [1usize, 2, 4, 7] {
+                let mut par = crate::rps::RpsEngine::from_cube_with_box_size(&a, &ks).unwrap();
+                par.apply_updates_parallel(&batch, threads);
+                prop_assert_eq!(par.rp_array(), serial.rp_array(), "rp, threads {}", threads);
+                for i in 0..par.overlay.storage_cells() {
+                    prop_assert_eq!(
+                        par.overlay.get(i),
+                        serial.overlay.get(i),
+                        "overlay cell {}, threads {}", i, threads
+                    );
+                }
+                prop_assert_eq!(
+                    crate::engine::RangeSumEngine::stats(&par),
+                    crate::engine::RangeSumEngine::stats(&serial),
+                    "stats, threads {}", threads
+                );
             }
         }
 

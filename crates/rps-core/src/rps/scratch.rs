@@ -1,0 +1,198 @@
+//! Reusable coordinate workspaces for the allocation-free hot-path
+//! kernels.
+//!
+//! The query and update kernels need a handful of `d`-length coordinate
+//! buffers (box index, anchor, extents, corner offsets, odometer
+//! cursors). Allocating them per operation dominated the measured cost
+//! of the O(1) query at small `d` (≈ 20 heap allocations per query, see
+//! `BENCH_HOTPATH.json`), so every kernel takes a [`KernelScratch`] and
+//! the engines thread one through:
+//!
+//! * **updates** (`&mut self`) reuse an engine-owned scratch;
+//! * **queries** (`&self`) must stay `Sync` — [`crate::SharedEngine`]
+//!   serves them through a read lock from many threads — so they borrow
+//!   a thread-local [`Scratch`] via [`with_scratch`] instead of mutating
+//!   engine state.
+//!
+//! [`Scratch`] additionally carries the 2^d-corner buffer of the
+//! inclusion–exclusion layer, kept separate from the kernel buffers so a
+//! query can drive [`crate::corners::range_sum_from_prefix_with`] with
+//! one buffer while the per-corner kernel borrows the rest
+//! ([`Scratch::split`]).
+
+use std::cell::RefCell;
+
+/// Coordinate buffers for one prefix-sum reconstruction or one point
+/// update. All buffers hold `d` elements once sized by the kernels;
+/// contents between calls are unspecified.
+///
+/// Opaque outside `rps-core`: obtain one from [`Scratch::split`] (or an
+/// engine's own field) and hand it to the `_with` kernels.
+#[derive(Debug, Clone, Default)]
+pub struct KernelScratch {
+    /// Box index of the queried/updated cell.
+    pub(crate) b: Vec<usize>,
+    /// Anchor coordinate of a box.
+    pub(crate) anchor: Vec<usize>,
+    /// Clamped extents of a box.
+    pub(crate) extents: Vec<usize>,
+    /// In-box offsets `x − anchor` of the queried cell.
+    pub(crate) offsets: Vec<usize>,
+    /// Stored-cell offset cursor (corner terms, border enumeration).
+    pub(crate) e: Vec<usize>,
+    /// Inclusive lower bound of a walk (orthant ∩ slab clamping).
+    pub(crate) lo: Vec<usize>,
+    /// Inclusive upper bound of a walk (box corner, orthant corner).
+    pub(crate) hi: Vec<usize>,
+    /// Anchor coordinate of the box currently visited by an update walk.
+    pub(crate) alpha: Vec<usize>,
+    /// Per-dimension lower bounds of affected border offsets (§4.2).
+    pub(crate) lb: Vec<usize>,
+    /// Odometer cursor for region walks.
+    pub(crate) cur: Vec<usize>,
+}
+
+impl KernelScratch {
+    /// A fresh workspace; buffers grow to the engine's dimension count on
+    /// first use and are reused afterwards.
+    pub fn new() -> KernelScratch {
+        KernelScratch::default()
+    }
+
+    /// Sizes every fixed-length buffer to `d` elements. No-op (a single
+    /// length compare) once sized.
+    pub(crate) fn ensure(&mut self, d: usize) {
+        if self.b.len() == d {
+            return;
+        }
+        for buf in [
+            &mut self.b,
+            &mut self.anchor,
+            &mut self.extents,
+            &mut self.offsets,
+            &mut self.e,
+            &mut self.lo,
+            &mut self.hi,
+            &mut self.alpha,
+            &mut self.lb,
+        ] {
+            buf.clear();
+            buf.resize(d, 0);
+        }
+    }
+}
+
+/// A full query/update workspace: the inclusion–exclusion corner buffer
+/// plus the kernel buffers.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    pub(crate) corner: Vec<usize>,
+    pub(crate) kernel: KernelScratch,
+}
+
+impl Scratch {
+    /// A fresh workspace.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    /// Splits into the corner buffer (for
+    /// [`crate::corners::range_sum_from_prefix_with`]) and the kernel
+    /// buffers (for the per-corner prefix reconstruction) so both layers
+    /// can borrow simultaneously.
+    pub fn split(&mut self) -> (&mut Vec<usize>, &mut KernelScratch) {
+        (&mut self.corner, &mut self.kernel)
+    }
+}
+
+thread_local! {
+    // One workspace per thread, shared by every engine the thread
+    // queries. Const-init so first access does not register a
+    // destructor-ordering hazard with other TLS users.
+    static TLS_SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            corner: Vec::new(),
+            kernel: KernelScratch {
+                b: Vec::new(),
+                anchor: Vec::new(),
+                extents: Vec::new(),
+                offsets: Vec::new(),
+                e: Vec::new(),
+                lo: Vec::new(),
+                hi: Vec::new(),
+                alpha: Vec::new(),
+                lb: Vec::new(),
+                cur: Vec::new(),
+            },
+        })
+    };
+}
+
+/// Runs `f` with the calling thread's reusable [`Scratch`].
+///
+/// Reentrant calls (a legacy wrapper invoked from inside a `with_scratch`
+/// closure) fall back to a fresh, short-lived workspace instead of
+/// panicking on the inner borrow, so composing old and new entry points
+/// is always safe — the inner call merely loses the reuse benefit.
+pub fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    TLS_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut Scratch::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_sizes_all_buffers() {
+        let mut ks = KernelScratch::new();
+        ks.ensure(3);
+        assert_eq!(ks.b.len(), 3);
+        assert_eq!(ks.anchor.len(), 3);
+        assert_eq!(ks.extents.len(), 3);
+        assert_eq!(ks.offsets.len(), 3);
+        assert_eq!(ks.e.len(), 3);
+        assert_eq!(ks.lo.len(), 3);
+        assert_eq!(ks.hi.len(), 3);
+        assert_eq!(ks.alpha.len(), 3);
+        assert_eq!(ks.lb.len(), 3);
+        // Re-sizing to a different dimension count works too.
+        ks.ensure(5);
+        assert_eq!(ks.b.len(), 5);
+        ks.ensure(2);
+        assert_eq!(ks.b.len(), 2);
+    }
+
+    #[test]
+    fn with_scratch_reuses_and_nests() {
+        let cap_before = with_scratch(|s| {
+            s.corner.reserve(64);
+            s.corner.capacity()
+        });
+        // Same thread: the reserved capacity is still there.
+        let cap_again = with_scratch(|s| s.corner.capacity());
+        assert!(cap_again >= cap_before);
+        // Nested access must not panic; the inner closure simply gets a
+        // fresh workspace.
+        with_scratch(|outer| {
+            outer.kernel.ensure(2);
+            with_scratch(|inner| {
+                inner.kernel.ensure(4);
+                assert_eq!(inner.kernel.b.len(), 4);
+            });
+            assert_eq!(outer.kernel.b.len(), 2);
+        });
+    }
+
+    #[test]
+    fn split_borrows_are_disjoint() {
+        let mut s = Scratch::new();
+        let (corner, kernel) = s.split();
+        corner.push(1);
+        kernel.ensure(2);
+        assert_eq!(corner.len(), 1);
+        assert_eq!(kernel.b.len(), 2);
+    }
+}

@@ -20,18 +20,28 @@
 //! the three cases above. Every case is pinned against the paper's
 //! Figure 15 numbers in the tests below and against brute-force rebuilds
 //! in the property tests.
+//!
+//! The `_with` kernels take a [`KernelScratch`] and perform **zero heap
+//! allocations**; the scratch-free functions are compatibility wrappers
+//! that borrow the thread-local workspace. The orthant walk itself lives
+//! in `overlay_update_walk`, parameterized by a dim-0 box-row range so the
+//! parallel batch path (`rps::parallel`) can partition the same walk into
+//! disjoint slabs.
 
-use ndcube::{NdCube, Region};
+use ndcube::NdCube;
 
 use crate::rps::grid::BoxGrid;
 use crate::rps::overlay::Overlay;
+use crate::rps::scratch::{with_scratch, KernelScratch};
 use crate::stats::StatsCell;
 use crate::value::GroupValue;
 
 /// Applies `delta` at `c`, mutating `rp` and `overlay`. Returns nothing;
 /// cell-write counts are recorded on `stats`.
 ///
-/// `c` must already be validated against the cube shape.
+/// Compatibility wrapper over [`apply_update_with`] using the
+/// thread-local scratch. `c` must already be validated against the cube
+/// shape.
 pub fn apply_update<T: GroupValue>(
     grid: &BoxGrid,
     overlay: &mut Overlay<T>,
@@ -40,22 +50,56 @@ pub fn apply_update<T: GroupValue>(
     c: &[usize],
     delta: &T,
 ) {
-    let b = grid.box_index_of(c);
+    let writes = with_scratch(|s| apply_update_with(grid, overlay, rp, c, delta, &mut s.kernel));
+    stats.writes(writes);
+}
+
+/// Applies `delta` at `c`, mutating `rp` and `overlay`, using caller
+/// scratch — zero heap allocations. Returns the number of cells written
+/// (RP + overlay), for the caller to record on its stats in one add.
+///
+/// `c` must already be validated against the cube shape.
+pub fn apply_update_with<T: GroupValue>(
+    grid: &BoxGrid,
+    overlay: &mut Overlay<T>,
+    rp: &mut NdCube<T>,
+    c: &[usize],
+    delta: &T,
+    ks: &mut KernelScratch,
+) -> u64 {
+    ks.ensure(c.len());
 
     // --- 1. RP: cascade within the box, clipped to x ≥ c. ---
-    let box_region = grid.box_region(&b);
-    // lint:allow(L2): c lies inside the box that box_index_of(c) names
-    let rp_region = Region::new(c, box_region.hi()).expect("c within its box");
-    let shape = rp.shape().clone();
+    grid.box_hi_of_cell_into(c, &mut ks.hi);
     let mut writes = 0u64;
-    for lin in shape.linear_region_iter(&rp_region) {
-        rp.get_linear_mut(lin).add_assign(delta);
-        writes += 1;
+    {
+        let (shape, data) = rp.parts_mut();
+        shape.for_each_linear_in_bounds(c, &ks.hi, &mut ks.cur, |lin| {
+            data[lin].add_assign(delta);
+            writes += 1;
+        });
     }
-    stats.writes(writes);
 
     // --- 2. Overlay: walk the upper orthant of boxes. ---
-    stats.writes(apply_overlay_update(grid, overlay, c, delta));
+    writes + apply_overlay_update_with(grid, overlay, c, delta, ks)
+}
+
+/// Walks the RP cells a point update at `c` must touch — `c`'s own box,
+/// clipped to coordinates ≥ `c` — invoking `f` with each cell's
+/// coordinates. Zero allocations.
+///
+/// The coordinate-level twin of the cascade inside [`apply_update_with`],
+/// for engines that resolve cells through an indirection (the
+/// disk-resident engine routes each coordinate through its buffer pool).
+pub fn for_each_rp_cascade_cell(
+    grid: &BoxGrid,
+    c: &[usize],
+    ks: &mut KernelScratch,
+    f: impl FnMut(&[usize]),
+) {
+    ks.ensure(c.len());
+    grid.box_hi_of_cell_into(c, &mut ks.hi);
+    ndcube::for_each_coords_in_bounds(c, &ks.hi, &mut ks.cur, f);
 }
 
 /// The overlay half of a point update: walks the upper orthant of boxes,
@@ -63,68 +107,141 @@ pub fn apply_update<T: GroupValue>(
 /// `≥` the per-dimension lower bounds (§4.2, Figure 14). Returns the
 /// number of overlay cells written.
 ///
-/// Shared by the in-memory engine and the disk-resident engine — the
-/// overlay always lives in memory, so this half is byte-identical in
-/// both deployments and must exist exactly once.
+/// Compatibility wrapper over [`apply_overlay_update_with`] using the
+/// thread-local scratch.
 pub fn apply_overlay_update<T: GroupValue>(
     grid: &BoxGrid,
     overlay: &mut Overlay<T>,
     c: &[usize],
     delta: &T,
 ) -> u64 {
-    let d = c.len();
-    let b = grid.box_index_of(c);
-    let grid_hi: Vec<usize> = grid.grid_shape().dims().iter().map(|&g| g - 1).collect();
-    // lint:allow(L2): box indices are strictly below the grid dims
-    let orthant = Region::new(&b, &grid_hi).expect("b within grid");
+    with_scratch(|s| apply_overlay_update_with(grid, overlay, c, delta, &mut s.kernel))
+}
 
-    let mut overlay_writes = 0u64;
-    let mut alpha = vec![0usize; d];
-    let mut lb = vec![0usize; d];
-    ndcube::RegionIter::for_each_coords(&orthant, |bp| {
+/// The overlay half of a point update, using caller scratch — zero heap
+/// allocations. Returns the number of overlay cells written.
+///
+/// Shared by the in-memory engine and the disk-resident engine — the
+/// overlay always lives in memory, so this half is byte-identical in
+/// both deployments and must exist exactly once.
+pub fn apply_overlay_update_with<T: GroupValue>(
+    grid: &BoxGrid,
+    overlay: &mut Overlay<T>,
+    c: &[usize],
+    delta: &T,
+    ks: &mut KernelScratch,
+) -> u64 {
+    let rows = grid.grid_shape().dim(0);
+    let (box_offsets, cells) = overlay.parts_mut();
+    overlay_update_walk(grid, box_offsets, cells, 0, 0, rows, c, delta, ks)
+}
+
+/// The upper-orthant overlay walk, restricted to boxes whose dim-0 index
+/// lies in `row_lo .. row_hi` and writing through a cell slice that starts
+/// at flat overlay index `base`.
+///
+/// With `base = 0` and the full row range this **is** the overlay update;
+/// the parallel batch path hands each worker thread a disjoint
+/// `(base, row range, cells slice)` triple so all threads can walk the
+/// same update without write overlap. Returns cells written.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn overlay_update_walk<T: GroupValue>(
+    grid: &BoxGrid,
+    box_offsets: &[usize],
+    cells: &mut [T],
+    base: usize,
+    row_lo: usize,
+    row_hi: usize,
+    c: &[usize],
+    delta: &T,
+    ks: &mut KernelScratch,
+) -> u64 {
+    debug_assert!(row_lo < row_hi && row_hi <= grid.grid_shape().dim(0));
+    ks.ensure(c.len());
+    let KernelScratch {
+        b,
+        alpha,
+        lb,
+        extents,
+        lo,
+        hi,
+        cur,
+        e,
+        ..
+    } = ks;
+    grid.box_index_into(c, b);
+    if b[0] >= row_hi {
+        // Every box of this slab precedes c's box in dim 0: the upper
+        // orthant misses the slab entirely.
+        return 0;
+    }
+    // Walk bounds: the orthant `b' ≥ b`, with dim 0 clamped to the slab.
+    lo.copy_from_slice(b);
+    lo[0] = lo[0].max(row_lo);
+    for (h, &g) in hi.iter_mut().zip(grid.grid_shape().dims()) {
+        *h = g - 1;
+    }
+    hi[0] = row_hi - 1;
+
+    let grid_shape = grid.grid_shape();
+    let mut writes = 0u64;
+    ndcube::for_each_coords_in_bounds(lo, hi, cur, |bp| {
         if bp == b.as_slice() {
             return; // own box: overlay provably unchanged
         }
         for (ai, (&bi, &ki)) in alpha.iter_mut().zip(bp.iter().zip(grid.box_size())) {
             *ai = bi * ki;
         }
-        let box_lin = overlay.box_linear(bp);
-        if c.iter().zip(&alpha).all(|(&ci, &ai)| ci <= ai) {
+        let cell_base = box_offsets[grid_shape.linear_unchecked(bp)] - base;
+        if c.iter().zip(&*alpha).all(|(&ci, &ai)| ci <= ai) {
             // Interior box: A[c] is part of the anchor's region sum.
             // (c = α' is impossible here: that would make bp the own box.)
-            let idx = overlay.anchor_index(box_lin);
-            overlay.get_mut(idx).add_assign(delta);
-            overlay_writes += 1;
+            cells[cell_base].add_assign(delta); // anchor is always slot 0
+            writes += 1;
         } else {
             // Border box: same slab as c in every dim where α'_i < c_i.
             // Affected stored cells are those with offset e ≥ lb.
-            for (l, (&ci, &ai)) in lb.iter_mut().zip(c.iter().zip(&alpha)) {
+            for (l, (&ci, &ai)) in lb.iter_mut().zip(c.iter().zip(&*alpha)) {
                 *l = ci.saturating_sub(ai);
             }
-            let extents = grid.extents_of(bp);
-            for_each_stored_offset_geq(&extents, &lb, |e| {
-                let idx = overlay
-                    .cell_index(box_lin, e, &extents)
+            grid.extents_into(bp, extents);
+            for_each_stored_offset_geq_with(extents, lb, e, |eo| {
+                let slot = BoxGrid::slot_of(eo, extents)
                     // lint:allow(L2): the offset enumeration visits exactly the stored slots
                     .expect("enumeration yields stored cells");
-                overlay.get_mut(idx).add_assign(delta);
-                overlay_writes += 1;
+                cells[cell_base + slot].add_assign(delta);
+                writes += 1;
             });
         }
     });
-    overlay_writes
+    writes
 }
 
 /// Enumerates every *stored* offset `e` (at least one zero component) of a
 /// box with the given extents satisfying `e ≥ lb` componentwise, visiting
 /// each exactly once (canonical order: grouped by first zero dimension).
 ///
+/// Compatibility wrapper over [`for_each_stored_offset_geq_with`] using
+/// the thread-local scratch.
+pub fn for_each_stored_offset_geq(extents: &[usize], lb: &[usize], f: impl FnMut(&[usize])) {
+    with_scratch(|s| for_each_stored_offset_geq_with(extents, lb, &mut s.kernel.e, f));
+}
+
+/// [`for_each_stored_offset_geq`] with a caller-provided cursor buffer —
+/// zero allocations.
+///
 /// Cost is proportional to the number of offsets yielded, never to the
 /// full box volume — this is what keeps border updates within the paper's
 /// `d·(n/k)·k^(d−1)` bound.
-pub fn for_each_stored_offset_geq(extents: &[usize], lb: &[usize], mut f: impl FnMut(&[usize])) {
+pub fn for_each_stored_offset_geq_with(
+    extents: &[usize],
+    lb: &[usize],
+    e: &mut Vec<usize>,
+    mut f: impl FnMut(&[usize]),
+) {
     let d = extents.len();
-    let mut e = vec![0usize; d];
+    e.clear();
+    e.resize(d, 0);
     for z in 0..d {
         // Dimension z is the first zero component: requires lb[z] = 0.
         if lb[z] != 0 {
@@ -151,7 +268,7 @@ pub fn for_each_stored_offset_geq(extents: &[usize], lb: &[usize], mut f: impl F
         e[z] = 0;
         // Odometer over the constrained ranges (dim z fixed at 0).
         'class: loop {
-            f(&e);
+            f(e);
             let mut dim = d;
             loop {
                 if dim == 0 {
@@ -174,6 +291,79 @@ pub fn for_each_stored_offset_geq(extents: &[usize], lb: &[usize], mut f: impl F
                 }
             }
         }
+    }
+}
+
+/// The original allocating update path, kept verbatim as the oracle the
+/// scratch kernels are property-tested against.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use ndcube::{NdCube, Region};
+
+    use super::{BoxGrid, GroupValue, Overlay};
+
+    /// Pre-scratch `apply_update`: allocates per call, returns writes.
+    pub fn apply_update<T: GroupValue>(
+        grid: &BoxGrid,
+        overlay: &mut Overlay<T>,
+        rp: &mut NdCube<T>,
+        c: &[usize],
+        delta: &T,
+    ) -> u64 {
+        let b = grid.box_index_of(c);
+        let box_region = grid.box_region(&b);
+        let rp_region = Region::new(c, box_region.hi()).expect("c within its box");
+        let shape = rp.shape().clone();
+        let mut writes = 0u64;
+        for lin in shape.linear_region_iter(&rp_region) {
+            rp.get_linear_mut(lin).add_assign(delta);
+            writes += 1;
+        }
+        writes + apply_overlay_update(grid, overlay, c, delta)
+    }
+
+    /// Pre-scratch `apply_overlay_update`: Region-based orthant walk.
+    pub fn apply_overlay_update<T: GroupValue>(
+        grid: &BoxGrid,
+        overlay: &mut Overlay<T>,
+        c: &[usize],
+        delta: &T,
+    ) -> u64 {
+        let d = c.len();
+        let b = grid.box_index_of(c);
+        let grid_hi: Vec<usize> = grid.grid_shape().dims().iter().map(|&g| g - 1).collect();
+        let orthant = Region::new(&b, &grid_hi).expect("b within grid");
+
+        let mut overlay_writes = 0u64;
+        let mut alpha = vec![0usize; d];
+        let mut lb = vec![0usize; d];
+        ndcube::RegionIter::for_each_coords(&orthant, |bp| {
+            if bp == b.as_slice() {
+                return;
+            }
+            for (ai, (&bi, &ki)) in alpha.iter_mut().zip(bp.iter().zip(grid.box_size())) {
+                *ai = bi * ki;
+            }
+            let box_lin = overlay.box_linear(bp);
+            if c.iter().zip(&alpha).all(|(&ci, &ai)| ci <= ai) {
+                let idx = overlay.anchor_index(box_lin);
+                overlay.get_mut(idx).add_assign(delta);
+                overlay_writes += 1;
+            } else {
+                for (l, (&ci, &ai)) in lb.iter_mut().zip(c.iter().zip(&alpha)) {
+                    *l = ci.saturating_sub(ai);
+                }
+                let extents = grid.extents_of(bp);
+                super::for_each_stored_offset_geq(&extents, &lb, |e| {
+                    let idx = overlay
+                        .cell_index(box_lin, e, &extents)
+                        .expect("enumeration yields stored cells");
+                    overlay.get_mut(idx).add_assign(delta);
+                    overlay_writes += 1;
+                });
+            }
+        });
+        overlay_writes
     }
 }
 
@@ -240,5 +430,83 @@ mod tests {
         // Every dimension needs e ≥ 1, but stored cells need a zero.
         assert!(collect(&[3, 3], &[1, 1]).is_empty());
         assert!(collect(&[3, 3], &[2, 1]).is_empty());
+    }
+
+    #[test]
+    fn with_variant_reuses_dirty_buffer() {
+        let mut e = vec![9usize; 5];
+        let mut n = 0usize;
+        for_each_stored_offset_geq_with(&[3, 3], &[0, 0], &mut e, |_| n += 1);
+        assert_eq!(n, BoxGrid::stored_cells(&[3, 3]));
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::rps::scratch::Scratch;
+    use ndcube::Shape;
+    use proptest::prelude::*;
+
+    /// Random geometry + one update point, for d ∈ 1..=4.
+    fn update_case() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, Vec<usize>, i64)> {
+        (1usize..=4)
+            .prop_flat_map(|d| {
+                (
+                    proptest::collection::vec(1usize..=6, d),
+                    proptest::collection::vec(1usize..=4, d),
+                )
+            })
+            .prop_flat_map(|(dims, ks)| {
+                let coord: Vec<std::ops::Range<usize>> = dims.iter().map(|&n| 0..n).collect();
+                (Just(dims), Just(ks), coord, -50i64..50)
+            })
+    }
+
+    proptest! {
+        /// The scratch update kernel and the original allocating path
+        /// produce identical overlay cells, RP arrays, and write counts.
+        #[test]
+        fn scratch_update_matches_oracle((dims, ks, c, delta) in update_case()) {
+            let grid = BoxGrid::new(Shape::new(&dims).unwrap(), &ks).unwrap();
+            let mut ov_new = Overlay::<i64>::zeros(grid.clone());
+            let mut ov_old = ov_new.clone();
+            let mut rp_new = NdCube::<i64>::zeros(&dims);
+            let mut rp_old = rp_new.clone();
+
+            let mut scratch = Scratch::new();
+            let w_new =
+                apply_update_with(&grid, &mut ov_new, &mut rp_new, &c, &delta, &mut scratch.kernel);
+            let w_old = oracle::apply_update(&grid, &mut ov_old, &mut rp_old, &c, &delta);
+
+            prop_assert_eq!(w_new, w_old);
+            prop_assert_eq!(rp_new.as_slice(), rp_old.as_slice());
+            let all: Vec<usize> = (0..ov_new.storage_cells()).collect();
+            for i in all {
+                prop_assert_eq!(ov_new.get(i), ov_old.get(i), "overlay cell {}", i);
+            }
+        }
+
+        /// Scratch reuse across a sequence of updates does not leak state
+        /// between calls (same result as fresh scratch every time).
+        #[test]
+        fn scratch_reuse_is_stateless((dims, ks, c, delta) in update_case()) {
+            // Dirty the scratch with a *different* dimension count, then
+            // run the real case through it.
+            let grid = BoxGrid::new(Shape::new(&dims).unwrap(), &ks).unwrap();
+            let mut ov_a = Overlay::<i64>::zeros(grid.clone());
+            let mut ov_b = ov_a.clone();
+            let mut rp_a = NdCube::<i64>::zeros(&dims);
+            let mut rp_b = rp_a.clone();
+
+            let mut dirty = Scratch::new();
+            dirty.kernel.ensure(7);
+            let w_a = apply_update_with(&grid, &mut ov_a, &mut rp_a, &c, &delta, &mut dirty.kernel);
+            let mut fresh = Scratch::new();
+            let w_b = apply_update_with(&grid, &mut ov_b, &mut rp_b, &c, &delta, &mut fresh.kernel);
+
+            prop_assert_eq!(w_a, w_b);
+            prop_assert_eq!(rp_a.as_slice(), rp_b.as_slice());
+        }
     }
 }

@@ -140,6 +140,13 @@ impl StatsCell {
         self.updates.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` applied updates in one add — batch paths coalesce
+    /// their op counting the same way they coalesce cell counts.
+    #[inline]
+    pub fn updates_n(&self, n: u64) {
+        self.updates.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Folds a whole snapshot into the counters (e.g. carrying history
     /// across a structure rebuild).
     pub fn add_snapshot(&self, s: CostStats) {
@@ -180,6 +187,17 @@ mod tests {
         assert_eq!(snap.queries, 1);
         assert_eq!(snap.updates, 1);
         assert_eq!(snap.cells_touched(), 6);
+    }
+
+    #[test]
+    fn updates_n_matches_repeated_update() {
+        let a = StatsCell::new();
+        let b = StatsCell::new();
+        for _ in 0..5 {
+            a.update();
+        }
+        b.updates_n(5);
+        assert_eq!(a.get(), b.get());
     }
 
     #[test]

@@ -3,10 +3,11 @@
 use std::cell::RefCell;
 
 use ndcube::{NdCube, NdError, Region, Shape};
-use rps_core::corners::range_sum_from_prefix;
+use rps_core::corners::range_sum_from_prefix_with;
 use rps_core::rps::{
-    apply_overlay_update, build_overlay, inverse_relative_prefix_sums, overlay_prefix_part,
-    relative_prefix_sums,
+    apply_overlay_update_with, build_overlay, for_each_rp_cascade_cell,
+    inverse_relative_prefix_sums, overlay_prefix_part_with, relative_prefix_sums, with_scratch,
+    KernelScratch,
 };
 use rps_core::{BoxGrid, CostStats, GroupValue, Overlay, RangeSumEngine, StatsCell};
 
@@ -181,18 +182,22 @@ impl<T: GroupValue + Default, S: PageStore<T>> DiskRpsEngine<T, S> {
     /// single RP read going to disk.
     pub fn prefix_sum(&self, x: &[usize]) -> Result<T, NdError> {
         self.rp.shape().check(x)?;
-        Ok(self.prefix_internal(x))
+        let (acc, reads) = with_scratch(|s| self.prefix_kernel(x, s.split().1));
+        self.stats.reads(reads);
+        Ok(acc)
     }
 
-    fn prefix_internal(&self, x: &[usize]) -> T {
-        let (mut acc, mut reads) = overlay_prefix_part(&self.grid, &self.overlay, x);
+    /// The prefix reconstruction without stats side effects: returns the
+    /// value and the cell-read count so callers can coalesce stats into a
+    /// single counter update per operation.
+    fn prefix_kernel(&self, x: &[usize], ks: &mut KernelScratch) -> (T, u64) {
+        let (mut acc, mut reads) = overlay_prefix_part_with(&self.grid, &self.overlay, x, ks);
 
         // The single disk access of the reconstruction: one RP cell.
         let rp_val = self.rp.get(&mut self.pool.borrow_mut(), x);
         acc.add_assign(&rp_val);
         reads += 1;
-        self.stats.reads(reads);
-        acc
+        (acc, reads)
     }
 }
 
@@ -207,7 +212,16 @@ impl<T: GroupValue + Default, S: PageStore<T>> RangeSumEngine<T> for DiskRpsEngi
 
     fn query(&self, region: &Region) -> Result<T, NdError> {
         self.rp.shape().check_region(region)?;
-        let sum = range_sum_from_prefix(region, |corner| self.prefix_internal(corner));
+        let mut total_reads = 0u64;
+        let sum = with_scratch(|s| {
+            let (corner_buf, ks) = s.split();
+            range_sum_from_prefix_with(region, corner_buf, |corner| {
+                let (v, reads) = self.prefix_kernel(corner, ks);
+                total_reads += reads;
+                v
+            })
+        });
+        self.stats.reads(total_reads);
         self.stats.query();
         Ok(sum)
     }
@@ -220,26 +234,25 @@ impl<T: GroupValue + Default, S: PageStore<T>> RangeSumEngine<T> for DiskRpsEngi
             self.stats.update();
             return Ok(());
         }
-        let b = self.grid.box_index_of(coords);
 
-        // RP cascade within the box, through the pool.
-        let box_region = self.grid.box_region(&b);
-        // lint:allow(L2): coords lie inside the box that box_index_of named
-        let rp_region = Region::new(coords, box_region.hi()).expect("coords within box");
-        let mut writes = 0u64;
-        {
-            let pool = self.pool.get_mut();
-            ndcube::RegionIter::for_each_coords(&rp_region, |cur| {
-                self.rp.modify(pool, cur, |c| c.add_assign(&delta));
-                writes += 1;
-            });
-        }
+        let writes = with_scratch(|s| {
+            let (_, ks) = s.split();
+            // RP cascade within the box, through the pool.
+            let mut writes = 0u64;
+            {
+                let pool = self.pool.get_mut();
+                let rp = &self.rp;
+                for_each_rp_cascade_cell(&self.grid, coords, ks, |cur| {
+                    rp.modify(pool, cur, |c| c.add_assign(&delta));
+                    writes += 1;
+                });
+            }
+
+            // Overlay walk — the overlay lives in memory, so this half is
+            // shared verbatim with the in-memory engine.
+            writes + apply_overlay_update_with(&self.grid, &mut self.overlay, coords, &delta, ks)
+        });
         self.stats.writes(writes);
-
-        // Overlay walk — the overlay lives in memory, so this half is
-        // shared verbatim with the in-memory engine.
-        let overlay_writes = apply_overlay_update(&self.grid, &mut self.overlay, coords, &delta);
-        self.stats.writes(overlay_writes);
         self.stats.update();
         Ok(())
     }

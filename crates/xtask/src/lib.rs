@@ -1,8 +1,8 @@
 //! Workspace automation for the RPS repository, invoked as `cargo xtask`
 //! (alias in `.cargo/config.toml`).
 //!
-//! The only subcommand today is `lint`: four repo-specific static checks
-//! (L1–L4, see [`lints`]) that guard the invariants the paper's O(1)
+//! The only subcommand today is `lint`: five repo-specific static checks
+//! (L1–L5, see [`lints`]) that guard the invariants the paper's O(1)
 //! query / O(n^(d/2)) update bounds rest on. The checks are implemented
 //! on a hand-rolled token scanner ([`lexer`]) because the build
 //! environment is offline and `syn` is unavailable; the scanner handles

@@ -6,6 +6,7 @@
 //! | L2 | `unwrap()` / `expect()` / `panic!`-family in library code | the five library crates |
 //! | L3 | missing crate-root lint headers / missing `[lints] workspace = true` | all workspace members |
 //! | L4 | bare `as` numeric casts | `ndcube`, `rps-core` |
+//! | L5 | heap allocation (`vec!`, `Vec::new`, `.to_vec()`, `.collect::<Vec`) in hot-path kernel modules | `rps-core` hot paths |
 //!
 //! Every lint accepts an explicit escape written as a comment on the
 //! offending line or the line directly above:
@@ -37,6 +38,8 @@ pub enum Lint {
     L3,
     /// Bare `as` numeric casts in `ndcube`/`rps-core`.
     L4,
+    /// Heap allocation in the allocation-free hot-path kernel modules.
+    L5,
 }
 
 impl Lint {
@@ -47,6 +50,7 @@ impl Lint {
             Lint::L2 => "L2",
             Lint::L3 => "L3",
             Lint::L4 => "L4",
+            Lint::L5 => "L5",
         }
     }
 
@@ -57,12 +61,13 @@ impl Lint {
             "L2" => Some(Lint::L2),
             "L3" => Some(Lint::L3),
             "L4" => Some(Lint::L4),
+            "L5" => Some(Lint::L5),
             _ => None,
         }
     }
 
     /// All lints, in report order.
-    pub const ALL: [Lint; 4] = [Lint::L1, Lint::L2, Lint::L3, Lint::L4];
+    pub const ALL: [Lint; 5] = [Lint::L1, Lint::L2, Lint::L3, Lint::L4, Lint::L5];
 
     /// One-line description for `cargo xtask lint --list`.
     pub fn describe(self) -> &'static str {
@@ -71,6 +76,9 @@ impl Lint {
             Lint::L2 => "unwrap()/expect()/panic!-family in library code (five library crates)",
             Lint::L3 => "crate-root lint headers + `[lints] workspace = true` in every manifest",
             Lint::L4 => "bare `as` numeric casts in ndcube/rps-core (use TryFrom/From)",
+            Lint::L5 => {
+                "heap allocation (vec!/Vec::new/.to_vec/.collect::<Vec) in hot-path kernel modules"
+            }
         }
     }
 }
@@ -148,6 +156,18 @@ const L2_LIBRARY_SRC: &[&str] = &[
     "crates/storage/src",
     "crates/workload/src",
     "crates/analysis/src",
+];
+
+/// Hot-path kernel modules that must stay allocation-free in steady
+/// state (L5): the query/update kernels, the engine entry points, and the
+/// box-grid `_into` coordinate maps. Construction-time and cold-path
+/// allocations inside these files carry explicit `lint:allow(L5)`
+/// escapes; the counting-allocator test in `crates/bench` enforces the
+/// zero-allocation claim at runtime.
+pub const L5_HOT_PATH_MODULES: &[&str] = &[
+    "crates/rps-core/src/rps/update.rs",
+    "crates/rps-core/src/rps/mod.rs",
+    "crates/rps-core/src/rps/grid.rs",
 ];
 
 /// Crate roots that must carry the L3 lint header.
@@ -541,6 +561,69 @@ pub fn check_l4(file: &str, source: &str) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
+// L5 — heap allocation in hot-path kernel modules
+// ---------------------------------------------------------------------------
+
+/// Checks one hot-path file for allocating constructs: `vec![..]`,
+/// `Vec::new()`, `.to_vec()`, and `.collect::<Vec..>`.
+///
+/// Token-level like the other lints, so it cannot see through type
+/// inference (`.collect()` into an annotated `Vec` binding passes); the
+/// counting-allocator test closes that gap at runtime. The four patterns
+/// cover every allocation the hot paths historically performed.
+pub fn check_l5(file: &str, source: &str) -> Vec<Finding> {
+    let tokens = tokenize(source);
+    let masked = test_line_ranges(&tokens);
+    let allows = collect_allows(source, Lint::L5);
+    let mut out = Vec::new();
+    malformed_to_findings(file, Lint::L5, &allows, &mut out);
+
+    for (idx, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let punct_at = |off: usize, ch: char| tokens.get(idx + off).is_some_and(|t| t.is_punct(ch));
+        let ident_at =
+            |off: usize, name: &str| tokens.get(idx + off).is_some_and(|t| t.is_ident(name));
+        let prev_is_dot = idx > 0 && tokens[idx - 1].is_punct('.');
+        let name = tok.text.as_str();
+
+        let hit = if name == "vec" && punct_at(1, '!') {
+            Some("`vec![..]` allocates in a hot-path kernel module".to_string())
+        } else if name == "Vec" && punct_at(1, ':') && punct_at(2, ':') && ident_at(3, "new") {
+            Some("`Vec::new()` allocates in a hot-path kernel module".to_string())
+        } else if name == "to_vec" && prev_is_dot && punct_at(1, '(') {
+            Some("`.to_vec()` allocates in a hot-path kernel module".to_string())
+        } else if name == "collect"
+            && prev_is_dot
+            && punct_at(1, ':')
+            && punct_at(2, ':')
+            && punct_at(3, '<')
+            && ident_at(4, "Vec")
+        {
+            Some("`.collect::<Vec..>()` allocates in a hot-path kernel module".to_string())
+        } else {
+            None
+        };
+        let Some(message) = hit else { continue };
+        if in_ranges(tok.line, &masked) || allows.lines.contains(&tok.line) {
+            continue;
+        }
+        out.push(Finding {
+            lint: Lint::L5,
+            file: file.to_string(),
+            line: tok.line,
+            message,
+            hint: "reuse a KernelScratch/Scratch buffer (the `_with` kernel variants) or write \
+                   into a caller-provided `&mut [usize]`; if the allocation is construction-time \
+                   or otherwise cold, add `// lint:allow(L5): <why this path is cold>`"
+                .to_string(),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Workspace driver
 // ---------------------------------------------------------------------------
 
@@ -603,6 +686,15 @@ pub fn run_workspace(root: &Path, only: Option<&[Lint]>) -> io::Result<Vec<Findi
             let name = rel(root, path);
             let source = read(path)?;
             findings.extend(check_l2(&name, &source));
+        }
+    }
+
+    if enabled(Lint::L5) {
+        for module in L5_HOT_PATH_MODULES {
+            let path = root.join(module);
+            if path.exists() {
+                findings.extend(check_l5(module, &read(&path)?));
+            }
         }
     }
 
@@ -690,6 +782,53 @@ mod tests {
         let src =
             "use std::io::Error as IoError;\npub fn f(x: u32) -> u64 {\n    u64::from(x)\n}\n";
         assert!(check_l4("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_each_allocation_pattern() {
+        let cases = [
+            ("pub fn f() { let _v = vec![0usize; 4]; }\n", "vec!"),
+            ("pub fn f() { let _v: Vec<u8> = Vec::new(); }\n", "Vec::new"),
+            ("pub fn f(xs: &[u8]) { let _v = xs.to_vec(); }\n", "to_vec"),
+            (
+                "pub fn f(xs: &[u8]) { let _v = xs.iter().collect::<Vec<_>>(); }\n",
+                "collect::<Vec",
+            ),
+        ];
+        for (src, what) in cases {
+            let found = check_l5("hot.rs", src);
+            assert_eq!(found.len(), 1, "{what} must be flagged");
+            assert_eq!(found[0].line, 1, "{what} line");
+        }
+    }
+
+    #[test]
+    fn l5_allow_escape_and_tests_are_exempt() {
+        let allowed = "pub fn cold() {\n    // lint:allow(L5): construction path, runs once\n    let _v = vec![0usize; 4];\n}\n";
+        assert!(check_l5("hot.rs", allowed).is_empty());
+        let test_only = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let v = vec![1, 2].to_vec();\n        let _w: Vec<u8> = Vec::new();\n        assert_eq!(v.len(), 2);\n    }\n}\n";
+        assert!(check_l5("hot.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn l5_does_not_flag_lookalikes() {
+        // `Vec::with_capacity` (pre-sizing is the point), a local named
+        // `vec` without the macro bang, and an un-turbofished `collect`
+        // are all outside the four patterns.
+        let src =
+            "pub fn f(n: usize) -> Vec<u8> {\n    let vec = Vec::with_capacity(n);\n    vec\n}\n";
+        assert!(check_l5("hot.rs", src).is_empty());
+        let collect_plain =
+            "pub fn g(xs: &[u8]) -> u32 {\n    xs.iter().map(|&x| u32::from(x)).sum()\n}\n";
+        assert!(check_l5("hot.rs", collect_plain).is_empty());
+    }
+
+    #[test]
+    fn l5_allow_without_reason_is_a_finding() {
+        let src = "pub fn f() {\n    // lint:allow(L5)\n    let _v = vec![0usize; 4];\n}\n";
+        let found = check_l5("hot.rs", src);
+        assert_eq!(found.len(), 2, "missing reason + the unsuppressed vec!");
+        assert!(found[0].message.contains("without a reason"));
     }
 
     #[test]

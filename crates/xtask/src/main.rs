@@ -13,7 +13,7 @@ const USAGE: &str = "\
 cargo xtask — workspace automation
 
 USAGE:
-    cargo xtask lint [--only <L1|L2|L3|L4>]... [--root <path>] [--list]
+    cargo xtask lint [--only <L1|L2|L3|L4|L5>]... [--root <path>] [--list]
 
 SUBCOMMANDS:
     lint    run the repo-specific static-analysis lints (see docs/STATIC_ANALYSIS.md)
@@ -53,15 +53,15 @@ fn run_lint(args: &[String]) -> ExitCode {
             }
             "--only" => {
                 if let Some(Some(lint)) = iter.next().map(|s| Lint::parse(s)) {
-                    only.push(lint)
+                    only.push(lint);
                 } else {
-                    eprintln!("error: --only expects one of L1, L2, L3, L4");
+                    eprintln!("error: --only expects one of L1, L2, L3, L4, L5");
                     return ExitCode::FAILURE;
                 }
             }
             "--root" => {
                 if let Some(path) = iter.next() {
-                    root = Some(PathBuf::from(path))
+                    root = Some(PathBuf::from(path));
                 } else {
                     eprintln!("error: --root expects a path");
                     return ExitCode::FAILURE;
@@ -83,7 +83,7 @@ fn run_lint(args: &[String]) -> ExitCode {
     match lints::run_workspace(&root, filter) {
         Ok(findings) if findings.is_empty() => {
             let which = filter.map_or_else(
-                || "L1 L2 L3 L4".to_string(),
+                || "L1 L2 L3 L4 L5".to_string(),
                 |set| set.iter().map(|l| l.id()).collect::<Vec<_>>().join(" "),
             );
             println!("xtask lint: clean ({which})");

@@ -1,0 +1,27 @@
+//! Seeded L5 violations: heap allocations in what pretends to be a
+//! hot-path kernel module. Lines are pinned by the fixture test.
+
+pub fn kernel(xs: &[usize]) -> Vec<usize> {
+    let mut buf = vec![0usize; xs.len()];
+    let spare: Vec<usize> = Vec::new();
+    let copy = xs.to_vec();
+    let doubled = xs.iter().map(|&x| x * 2).collect::<Vec<usize>>();
+    buf.extend(spare);
+    buf.extend(copy);
+    doubled
+}
+
+pub fn escaped(xs: &[usize]) -> Vec<usize> {
+    // lint:allow(L5): fixture escape — cold path by construction
+    xs.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate() {
+        let v = vec![1usize, 2].to_vec();
+        let _w: Vec<usize> = Vec::new();
+        assert_eq!(super::kernel(&v).len(), 2);
+    }
+}

@@ -5,8 +5,8 @@
 use std::path::{Path, PathBuf};
 
 use xtask::lints::{
-    check_l1, check_l2, check_l3_crate_root, check_l3_manifest, check_l4, run_workspace, Finding,
-    Lint,
+    check_l1, check_l2, check_l3_crate_root, check_l3_manifest, check_l4, check_l5, run_workspace,
+    Finding, Lint,
 };
 
 fn fixture(name: &str) -> String {
@@ -68,12 +68,31 @@ fn l4_fires_on_bare_casts() {
 }
 
 #[test]
+fn l5_fires_on_hot_path_allocations() {
+    let found = check_l5("l5_hot_alloc.rs", &fixture("l5_hot_alloc.rs"));
+    // Line 5: vec!; line 6: Vec::new; line 7: .to_vec(); line 8:
+    // .collect::<Vec..>. The escaped and test-module allocations stay
+    // silent.
+    assert_eq!(lines(&found), vec![5, 6, 7, 8], "findings: {found:#?}");
+    let messages: Vec<&str> = found.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages[0].contains("vec!"));
+    assert!(messages[1].contains("Vec::new"));
+    assert!(messages[2].contains("to_vec"));
+    assert!(messages[3].contains("collect"));
+    for f in &found {
+        assert_eq!(f.lint, Lint::L5);
+        assert!(f.hint.contains("KernelScratch"), "hint teaches the fix");
+    }
+}
+
+#[test]
 fn clean_fixture_passes_every_lint() {
     let src = fixture("clean.rs");
     assert!(check_l1("clean.rs", &src).is_empty());
     assert!(check_l2("clean.rs", &src).is_empty());
     assert!(check_l3_crate_root("clean.rs", &src).is_empty());
     assert!(check_l4("clean.rs", &src).is_empty());
+    assert!(check_l5("clean.rs", &src).is_empty());
 }
 
 #[test]
