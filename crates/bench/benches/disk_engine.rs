@@ -22,6 +22,7 @@ fn engine(cube: &NdCube<i64>, box_aligned: bool, frames: usize) -> DiskRpsEngine
         frames,
         box_aligned,
     )
+    .expect("build disk engine")
 }
 
 fn bench_disk_queries(c: &mut Criterion) {

@@ -30,7 +30,8 @@ fn run(
         DeviceConfig { cells_per_page },
         pool_frames,
         box_aligned,
-    );
+    )
+    .expect("build disk engine");
     let dims: Vec<usize> = cube.shape().dims().to_vec();
 
     let mut qg = QueryGen::new(&dims, 11, RegionSpec::Fraction(0.4));
@@ -45,7 +46,7 @@ fn run(
     for (c, delta) in ug.take(OPS) {
         engine.update(&c, delta).unwrap();
     }
-    engine.flush();
+    engine.flush().expect("flush");
     let io = engine.io_stats();
     (
         q_reads,

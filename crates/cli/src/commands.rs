@@ -43,6 +43,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
         "bench" => bench(args, out),
         "rollup" => rollup(args, out),
         "verify" => verify(args, out),
+        "recover" => recover(args, out),
         "record" => record(args, out),
         "replay" => replay(args, out),
         other => {
@@ -80,8 +81,12 @@ pub fn help(out: &mut dyn Write) -> CmdResult {
          \x20     compare all methods on a mixed workload (cells touched)\n\
          \x20 rollup   --file FILE --dim D --bucket B [--range LO:HI]\n\
          \x20     GROUP BY along dimension D in buckets of B (engine snapshots)\n\
-         \x20 verify   --file FILE\n\
-         \x20     audit an engine snapshot's structural invariants\n\
+         \x20 verify   [--file FILE] [--wal FILE]\n\
+         \x20     audit an engine snapshot's structural invariants and/or a\n\
+         \x20     write-ahead log (intact records, last LSN, torn-tail bytes)\n\
+         \x20 recover  --snapshot FILE --wal FILE [--out FILE]\n\
+         \x20     crash recovery: trim the WAL's torn tail, replay records\n\
+         \x20     newer than the snapshot's `.lsn` sidecar, save atomically\n\
          \x20 record   [--dims 128x128] [--ops N] [--seed N] [--ratio PCT] --out FILE\n\
          \x20     record a mixed workload as a replayable trace file\n\
          \x20 replay   --trace FILE [--method naive|chunked|prefix|rps|fenwick]\n\
@@ -357,22 +362,105 @@ fn update(args: &Args, out: &mut dyn Write) -> CmdResult {
 }
 
 fn verify(args: &Args, out: &mut dyn Write) -> CmdResult {
-    let path = args.required("file")?;
-    let engine = snapshot::load_rps(BufReader::new(File::open(path)?))?;
-    let violations = engine.check_invariants();
-    if violations.is_empty() {
-        writeln!(
-            out,
-            "{path}: OK — RP, anchors and borders all consistent ({} cells audited)",
-            engine.storage_cells()
-        )?;
-        Ok(())
-    } else {
-        for v in violations.iter().take(10) {
-            writeln!(out, "{path}: VIOLATION: {v}")?;
-        }
-        Err(format!("{} structural violation(s) found", violations.len()).into())
+    let file = args.optional("file");
+    let wal = args.optional("wal");
+    if file.is_none() && wal.is_none() {
+        return Err("verify needs --file and/or --wal".into());
     }
+    if let Some(path) = file {
+        let engine = snapshot::load_rps(BufReader::new(File::open(path)?))?;
+        let violations = engine.check_invariants();
+        if violations.is_empty() {
+            writeln!(
+                out,
+                "{path}: OK — RP, anchors and borders all consistent ({} cells audited)",
+                engine.storage_cells()
+            )?;
+        } else {
+            for v in violations.iter().take(10) {
+                writeln!(out, "{path}: VIOLATION: {v}")?;
+            }
+            return Err(format!("{} structural violation(s) found", violations.len()).into());
+        }
+    }
+    if let Some(path) = wal {
+        let bytes = std::fs::read(path)?;
+        let (records, valid_len) = rps_storage::decode_records(&bytes);
+        let torn = bytes.len() as u64 - valid_len;
+        let last_lsn = records.last().map_or(0, |r| r.lsn);
+        if torn == 0 {
+            writeln!(
+                out,
+                "{path}: OK — {} intact record(s), last LSN {last_lsn}, no torn tail",
+                records.len()
+            )?;
+        } else {
+            writeln!(
+                out,
+                "{path}: {} intact record(s), last LSN {last_lsn}; \
+                 WARNING: {torn} torn trailing byte(s) — run `recover` to trim and replay",
+                records.len()
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads the `<snapshot>.lsn` sidecar recording the highest LSN already
+/// folded into the snapshot; absent means a snapshot that predates the
+/// WAL entirely (LSN 0).
+fn read_lsn_sidecar(snap_path: &str) -> Result<u64, Box<dyn std::error::Error>> {
+    let lsn_path = format!("{snap_path}.lsn");
+    match std::fs::read_to_string(&lsn_path) {
+        Ok(s) => Ok(s
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad LSN sidecar {lsn_path}: {e}"))?),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn recover(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let snap_path = args.required("snapshot")?;
+    let wal_path = args.required("wal")?;
+    let out_path = args.optional("out").unwrap_or(snap_path);
+
+    let mut engine = snapshot::load_rps(BufReader::new(File::open(snap_path)?))?;
+    let applied_lsn = read_lsn_sidecar(snap_path)?;
+
+    // Repair first: trims any torn tail down to the last intact record,
+    // so the replay below only ever sees fully-written updates.
+    let len_before = std::fs::metadata(wal_path)?.len();
+    let records = rps_storage::Wal::repair(std::path::Path::new(wal_path))?;
+    let torn = len_before - std::fs::metadata(wal_path)?.len();
+
+    let mut replayed = 0usize;
+    let mut last_lsn = applied_lsn;
+    for rec in &records {
+        // The LSN filter makes recovery idempotent: records at or below
+        // the snapshot's LSN are already folded in and must not double-apply.
+        if rec.lsn <= applied_lsn {
+            continue;
+        }
+        engine.update(&rec.coords, rec.delta)?;
+        replayed += 1;
+        last_lsn = rec.lsn;
+    }
+
+    save_atomic(out_path, |w| snapshot::save_rps(&engine, w))?;
+    let lsn_tmp = format!("{out_path}.lsn.tmp");
+    std::fs::write(&lsn_tmp, format!("{last_lsn}\n"))?;
+    std::fs::rename(&lsn_tmp, format!("{out_path}.lsn"))?;
+
+    writeln!(
+        out,
+        "recovered {out_path}: {} WAL record(s), {replayed} replayed, {} already applied, \
+         {torn} torn byte(s) trimmed; snapshot LSN {applied_lsn} → {last_lsn}",
+        records.len(),
+        records.len() - replayed
+    )?;
+    Ok(())
 }
 
 fn rollup(args: &Args, out: &mut dyn Write) -> CmdResult {
@@ -817,6 +905,114 @@ mod tests {
         let (out, ok) = run_capture(&["verify", "--file", &engine]);
         assert!(ok, "{out}");
         assert!(out.contains("OK"), "{out}");
+    }
+
+    fn query_sum(engine: &str, range: &str) -> i64 {
+        let (q, ok) = run_capture(&["query", "--file", engine, "--range", range]);
+        assert!(ok, "{q}");
+        q.split(" = ")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn recover_replays_wal_and_is_idempotent() {
+        let cube = tmp("rec.cube");
+        let engine = tmp("rec.rps");
+        let wal = tmp("rec.wal");
+        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_file(format!("{engine}.lsn"));
+        run_capture(&["generate", "--dims", "8x8", "--seed", "7", "--out", &cube]);
+        run_capture(&["build", "--cube", &cube, "--k", "4", "--out", &engine]);
+        let before = query_sum(&engine, "0,0:7,7");
+
+        let mut w = rps_storage::Wal::open(std::path::Path::new(&wal)).unwrap();
+        w.append(&[1, 2], 10).unwrap();
+        w.append(&[3, 3], -4).unwrap();
+        w.append(&[7, 0], 25).unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        let (out, ok) = run_capture(&["recover", "--snapshot", &engine, "--wal", &wal]);
+        assert!(ok, "{out}");
+        assert!(out.contains("3 replayed"), "{out}");
+        assert!(out.contains("LSN 0 → 3"), "{out}");
+        assert_eq!(query_sum(&engine, "0,0:7,7"), before + 10 - 4 + 25);
+        let (v, ok) = run_capture(&["verify", "--file", &engine]);
+        assert!(ok, "{v}");
+
+        // Running recovery again replays nothing: the `.lsn` sidecar
+        // filters every record as already applied.
+        let (out, ok) = run_capture(&["recover", "--snapshot", &engine, "--wal", &wal]);
+        assert!(ok, "{out}");
+        assert!(out.contains("0 replayed"), "{out}");
+        assert!(out.contains("3 already applied"), "{out}");
+        assert_eq!(query_sum(&engine, "0,0:7,7"), before + 31);
+    }
+
+    #[test]
+    fn recover_trims_torn_tail_before_replay() {
+        let cube = tmp("torn.cube");
+        let engine = tmp("torn.rps");
+        let wal = tmp("torn.wal");
+        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_file(format!("{engine}.lsn"));
+        run_capture(&["generate", "--dims", "8x8", "--out", &cube]);
+        run_capture(&["build", "--cube", &cube, "--out", &engine]);
+        let before = query_sum(&engine, "0,0:7,7");
+
+        let mut w = rps_storage::Wal::open(std::path::Path::new(&wal)).unwrap();
+        w.append(&[2, 2], 5).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // A torn append: half a record of junk past the intact prefix.
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let intact = bytes.len();
+        bytes.extend_from_slice(&[0xEE; 13]);
+        std::fs::write(&wal, &bytes).unwrap();
+
+        let (out, ok) = run_capture(&["recover", "--snapshot", &engine, "--wal", &wal]);
+        assert!(ok, "{out}");
+        assert!(out.contains("13 torn byte(s) trimmed"), "{out}");
+        assert!(out.contains("1 replayed"), "{out}");
+        assert_eq!(std::fs::metadata(&wal).unwrap().len(), intact as u64);
+        assert_eq!(query_sum(&engine, "0,0:7,7"), before + 5);
+    }
+
+    #[test]
+    fn verify_wal_reports_intact_records_and_torn_tail() {
+        let wal = tmp("vw.wal");
+        let _ = std::fs::remove_file(&wal);
+        let mut w = rps_storage::Wal::open(std::path::Path::new(&wal)).unwrap();
+        w.append(&[0, 1], 2).unwrap();
+        w.append(&[1, 0], 3).unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        let (out, ok) = run_capture(&["verify", "--wal", &wal]);
+        assert!(ok, "{out}");
+        assert!(out.contains("OK — 2 intact record(s), last LSN 2"), "{out}");
+
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        std::fs::write(&wal, &bytes).unwrap();
+        let (out, ok) = run_capture(&["verify", "--wal", &wal]);
+        assert!(ok, "{out}");
+        assert!(out.contains("1 intact record(s)"), "{out}");
+        assert!(out.contains("torn trailing byte(s)"), "{out}");
+    }
+
+    #[test]
+    fn verify_without_any_target_is_an_error() {
+        let args = Args::parse(["verify"].iter().map(std::string::ToString::to_string)).unwrap();
+        let mut buf = Vec::new();
+        let err = run(&args, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("--file and/or --wal"), "{err}");
     }
 
     #[test]

@@ -44,6 +44,14 @@ pub enum NdError {
         /// Upper bound supplied.
         hi: usize,
     },
+    /// A storage backend beneath the engine failed (I/O error, detected
+    /// corruption, …). Geometry crates never produce this; it exists so
+    /// disk-backed `RangeSumEngine` implementations can surface backend
+    /// failures through the shared trait instead of panicking.
+    Backend {
+        /// Human-readable description of the backend failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NdError {
@@ -70,6 +78,7 @@ impl fmt::Display for NdError {
                     "region lower bound {lo} exceeds upper bound {hi} in dimension {dim}"
                 )
             }
+            NdError::Backend { detail } => write!(f, "storage backend failure: {detail}"),
         }
     }
 }

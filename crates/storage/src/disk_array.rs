@@ -15,6 +15,7 @@ use ndcube::Shape;
 use rps_core::BoxGrid;
 
 use crate::device::PageId;
+use crate::error::StorageError;
 use crate::file_device::PageStore;
 use crate::pool::BufferPool;
 
@@ -40,6 +41,39 @@ pub struct DiskArray<T> {
     _marker: std::marker::PhantomData<T>,
 }
 
+/// Shared layout computation for [`DiskArray::allocate`] and
+/// [`DiskArray::attach`]: total pages plus per-box page offsets.
+fn layout_pages(
+    shape: &Shape,
+    layout: &Layout,
+    cells_per_page: usize,
+) -> Result<(usize, Vec<usize>), StorageError> {
+    match layout {
+        Layout::RowMajor => Ok((shape.len().div_ceil(cells_per_page), Vec::new())),
+        Layout::BoxAligned(grid) => {
+            if grid.cube_shape() != shape {
+                return Err(StorageError::Layout {
+                    detail: format!(
+                        "grid shape {:?} does not match array shape {:?}",
+                        grid.cube_shape().dims(),
+                        shape.dims()
+                    ),
+                });
+            }
+            let mut offsets = Vec::with_capacity(grid.num_boxes() + 1);
+            offsets.push(0usize);
+            let region = grid.grid_shape().full_region();
+            let mut total = 0usize;
+            ndcube::RegionIter::for_each_coords(&region, |b| {
+                let cells: usize = grid.extents_of(b).iter().product();
+                total += cells.div_ceil(cells_per_page);
+                offsets.push(total);
+            });
+            Ok((total, offsets))
+        }
+    }
+}
+
 impl<T: Clone + Default> DiskArray<T> {
     /// Allocates pages on the pool's device for an array of `shape` and
     /// returns the mapped array (all cells zero).
@@ -47,33 +81,18 @@ impl<T: Clone + Default> DiskArray<T> {
         pool: &mut BufferPool<T, S>,
         shape: Shape,
         layout: Layout,
-    ) -> Self {
+    ) -> Result<Self, StorageError> {
         let cells_per_page = pool.device().cells_per_page();
-        let (total_pages, box_page_offsets) = match &layout {
-            Layout::RowMajor => (shape.len().div_ceil(cells_per_page), Vec::new()),
-            Layout::BoxAligned(grid) => {
-                assert_eq!(grid.cube_shape(), &shape, "grid must match array shape");
-                let mut offsets = Vec::with_capacity(grid.num_boxes() + 1);
-                offsets.push(0usize);
-                let region = grid.grid_shape().full_region();
-                let mut total = 0usize;
-                ndcube::RegionIter::for_each_coords(&region, |b| {
-                    let cells: usize = grid.extents_of(b).iter().product();
-                    total += cells.div_ceil(cells_per_page);
-                    offsets.push(total);
-                });
-                (total, offsets)
-            }
-        };
-        let first_page = pool.device_mut().alloc_pages(total_pages.max(1));
-        DiskArray {
+        let (total_pages, box_page_offsets) = layout_pages(&shape, &layout, cells_per_page)?;
+        let first_page = pool.device_mut().alloc_pages(total_pages.max(1))?;
+        Ok(DiskArray {
             shape,
             layout,
             first_page,
             cells_per_page,
             box_page_offsets,
             _marker: std::marker::PhantomData,
-        }
+        })
     }
 
     /// Maps an array onto pages that already exist on the device
@@ -84,43 +103,37 @@ impl<T: Clone + Default> DiskArray<T> {
         pool: &mut BufferPool<T, S>,
         shape: Shape,
         layout: Layout,
-    ) -> Self {
+    ) -> Result<Self, StorageError> {
         let cells_per_page = pool.device().cells_per_page();
-        let (total_pages, box_page_offsets) = match &layout {
-            Layout::RowMajor => (shape.len().div_ceil(cells_per_page), Vec::new()),
-            Layout::BoxAligned(grid) => {
-                assert_eq!(grid.cube_shape(), &shape, "grid must match array shape");
-                let mut offsets = Vec::with_capacity(grid.num_boxes() + 1);
-                offsets.push(0usize);
-                let region = grid.grid_shape().full_region();
-                let mut total = 0usize;
-                ndcube::RegionIter::for_each_coords(&region, |b| {
-                    let cells: usize = grid.extents_of(b).iter().product();
-                    total += cells.div_ceil(cells_per_page);
-                    offsets.push(total);
-                });
-                (total, offsets)
-            }
-        };
-        assert!(
-            pool.device().num_pages() >= total_pages.max(1),
-            "device holds {} pages, layout needs {}",
-            pool.device().num_pages(),
-            total_pages.max(1)
-        );
-        DiskArray {
+        let (total_pages, box_page_offsets) = layout_pages(&shape, &layout, cells_per_page)?;
+        if pool.device().num_pages() < total_pages.max(1) {
+            return Err(StorageError::Layout {
+                detail: format!(
+                    "device holds {} pages, layout needs {}",
+                    pool.device().num_pages(),
+                    total_pages.max(1)
+                ),
+            });
+        }
+        Ok(DiskArray {
             shape,
             layout,
             first_page: PageId(0),
             cells_per_page,
             box_page_offsets,
             _marker: std::marker::PhantomData,
-        }
+        })
     }
 
     /// The array's shape.
     pub fn shape(&self) -> &Shape {
         &self.shape
+    }
+
+    /// First device page of the array's run (pages are contiguous:
+    /// `first_page .. first_page + num_pages`).
+    pub fn first_page(&self) -> PageId {
+        self.first_page
     }
 
     /// Number of device pages occupied.
@@ -163,7 +176,11 @@ impl<T: Clone + Default> DiskArray<T> {
     }
 
     /// Reads one cell through the pool.
-    pub fn get<S: PageStore<T>>(&self, pool: &mut BufferPool<T, S>, coords: &[usize]) -> T {
+    pub fn get<S: PageStore<T>>(
+        &self,
+        pool: &mut BufferPool<T, S>,
+        coords: &[usize],
+    ) -> Result<T, StorageError> {
         let (page, slot) = self.locate(coords);
         pool.with_page(page, |data| data[slot].clone())
     }
@@ -174,14 +191,19 @@ impl<T: Clone + Default> DiskArray<T> {
         pool: &mut BufferPool<T, S>,
         coords: &[usize],
         f: impl FnOnce(&mut T),
-    ) {
+    ) -> Result<(), StorageError> {
         let (page, slot) = self.locate(coords);
-        pool.with_page_mut(page, |data| f(&mut data[slot]));
+        pool.with_page_mut(page, |data| f(&mut data[slot]))
     }
 
     /// Writes one cell through the pool.
-    pub fn set<S: PageStore<T>>(&self, pool: &mut BufferPool<T, S>, coords: &[usize], value: T) {
-        self.modify(pool, coords, |c| *c = value);
+    pub fn set<S: PageStore<T>>(
+        &self,
+        pool: &mut BufferPool<T, S>,
+        coords: &[usize],
+        value: T,
+    ) -> Result<(), StorageError> {
+        self.modify(pool, coords, |c| *c = value)
     }
 }
 
@@ -202,16 +224,17 @@ mod tests {
     #[test]
     fn row_major_round_trip() {
         let mut pool = pool(4);
-        let arr = DiskArray::allocate(&mut pool, Shape::new(&[5, 5]).unwrap(), Layout::RowMajor);
+        let arr =
+            DiskArray::allocate(&mut pool, Shape::new(&[5, 5]).unwrap(), Layout::RowMajor).unwrap();
         assert_eq!(arr.num_pages(), 7); // ⌈25/4⌉
         for r in 0..5 {
             for c in 0..5 {
-                arr.set(&mut pool, &[r, c], (r * 5 + c) as i64);
+                arr.set(&mut pool, &[r, c], (r * 5 + c) as i64).unwrap();
             }
         }
         for r in 0..5 {
             for c in 0..5 {
-                assert_eq!(arr.get(&mut pool, &[r, c]), (r * 5 + c) as i64);
+                assert_eq!(arr.get(&mut pool, &[r, c]).unwrap(), (r * 5 + c) as i64);
             }
         }
     }
@@ -221,7 +244,7 @@ mod tests {
         let mut pool = pool(4);
         let shape = Shape::new(&[6, 6]).unwrap();
         let grid = BoxGrid::new(shape.clone(), &[3, 3]).unwrap();
-        let arr = DiskArray::allocate(&mut pool, shape, Layout::BoxAligned(grid));
+        let arr = DiskArray::allocate(&mut pool, shape, Layout::BoxAligned(grid)).unwrap();
         // 4 boxes × ⌈9/4⌉ = 3 pages each.
         assert_eq!(arr.num_pages(), 12);
     }
@@ -231,16 +254,16 @@ mod tests {
         let mut pool = pool(5);
         let shape = Shape::new(&[7, 5]).unwrap();
         let grid = BoxGrid::new(shape.clone(), &[3, 3]).unwrap();
-        let arr = DiskArray::allocate(&mut pool, shape, Layout::BoxAligned(grid));
+        let arr = DiskArray::allocate(&mut pool, shape, Layout::BoxAligned(grid)).unwrap();
         for r in 0..7 {
             for c in 0..5 {
-                arr.set(&mut pool, &[r, c], (r * 100 + c) as i64);
+                arr.set(&mut pool, &[r, c], (r * 100 + c) as i64).unwrap();
             }
         }
         for r in 0..7 {
             for c in 0..5 {
                 assert_eq!(
-                    arr.get(&mut pool, &[r, c]),
+                    arr.get(&mut pool, &[r, c]).unwrap(),
                     (r * 100 + c) as i64,
                     "({r},{c})"
                 );
@@ -255,7 +278,7 @@ mod tests {
         let mut pool = pool(4);
         let shape = Shape::new(&[6, 6]).unwrap();
         let grid = BoxGrid::new(shape.clone(), &[3, 3]).unwrap();
-        let arr = DiskArray::allocate(&mut pool, shape, Layout::BoxAligned(grid.clone()));
+        let arr = DiskArray::allocate(&mut pool, shape, Layout::BoxAligned(grid.clone())).unwrap();
         let region = grid.box_region(&[1, 0]); // box 2 in linear order
         let pages: std::collections::HashSet<u32> =
             region.iter().map(|c| arr.locate(&c).0 .0).collect();
@@ -272,9 +295,10 @@ mod tests {
     #[test]
     fn modify_accumulates() {
         let mut pool = pool(8);
-        let arr = DiskArray::allocate(&mut pool, Shape::new(&[4]).unwrap(), Layout::RowMajor);
-        arr.modify(&mut pool, &[2], |c| *c += 5);
-        arr.modify(&mut pool, &[2], |c| *c += 7);
-        assert_eq!(arr.get(&mut pool, &[2]), 12);
+        let arr =
+            DiskArray::allocate(&mut pool, Shape::new(&[4]).unwrap(), Layout::RowMajor).unwrap();
+        arr.modify(&mut pool, &[2], |c| *c += 5).unwrap();
+        arr.modify(&mut pool, &[2], |c| *c += 7).unwrap();
+        assert_eq!(arr.get(&mut pool, &[2]).unwrap(), 12);
     }
 }

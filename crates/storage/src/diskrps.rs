@@ -1,6 +1,7 @@
 //! The paper's §4.4 deployment: overlay in main memory, RP on disk.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 
 use ndcube::{NdCube, NdError, Region, Shape};
 use rps_core::corners::range_sum_from_prefix_with;
@@ -11,10 +12,22 @@ use rps_core::rps::{
 };
 use rps_core::{BoxGrid, CostStats, GroupValue, Overlay, RangeSumEngine, StatsCell};
 
-use crate::device::{BlockDevice, DeviceConfig};
+use crate::device::{BlockDevice, DeviceConfig, PageId};
 use crate::disk_array::{DiskArray, Layout};
+use crate::error::{to_nd_error, StorageError};
 use crate::file_device::PageStore;
 use crate::pool::{BufferPool, IoStats};
+
+/// Outcome of a [`DiskRpsEngine::scrub`] pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// RP pages checked.
+    pub pages_checked: usize,
+    /// Pages found corrupt (checksum mismatch or unreadable payload).
+    pub corrupted: Vec<PageId>,
+    /// Pages rebuilt from the base cube.
+    pub rebuilt: usize,
+}
 
 /// Relative-prefix-sum engine with a disk-resident RP array.
 ///
@@ -29,6 +42,12 @@ use crate::pool::{BufferPool, IoStats};
 /// read query mutates LRU state, exactly as in a real database engine
 /// where reads dirty the cache but not the data. The engine is
 /// single-threaded (`!Sync`), which the `RefCell` encodes in the type.
+///
+/// Storage failures surface as [`NdError::Backend`] through the
+/// [`RangeSumEngine`] trait. An update that fails mid-cascade may have
+/// partially applied its RP writes; pair the engine with
+/// [`crate::DurableEngine`] so the WAL record makes the update
+/// recoverable.
 #[derive(Debug)]
 pub struct DiskRpsEngine<T, S = BlockDevice<T>> {
     grid: BoxGrid,
@@ -47,15 +66,9 @@ impl<T: GroupValue + Default> DiskRpsEngine<T> {
         k: usize,
         device: DeviceConfig,
         pool_frames: usize,
-    ) -> Result<Self, NdError> {
+    ) -> Result<Self, StorageError> {
         let grid = BoxGrid::new(a.shape().clone(), &vec![k; a.ndim()])?;
-        Ok(Self::from_cube_with_grid(
-            a,
-            grid,
-            device,
-            pool_frames,
-            true,
-        ))
+        Self::from_cube_with_grid(a, grid, device, pool_frames, true)
     }
 
     /// Builds with an explicit grid and a choice of RP layout
@@ -67,7 +80,7 @@ impl<T: GroupValue + Default> DiskRpsEngine<T> {
         device: DeviceConfig,
         pool_frames: usize,
         box_aligned: bool,
-    ) -> Self {
+    ) -> Result<Self, StorageError> {
         let pool = BufferPool::new(BlockDevice::new(device), pool_frames);
         Self::from_cube_with_pool(a, grid, pool, box_aligned)
     }
@@ -81,7 +94,7 @@ impl<T: GroupValue + Default, S: PageStore<T>> DiskRpsEngine<T, S> {
         grid: BoxGrid,
         mut pool: BufferPool<T, S>,
         box_aligned: bool,
-    ) -> Self {
+    ) -> Result<Self, StorageError> {
         // Construction happens in memory (one pass), then RP is spilled
         // to the device page by page.
         let rp_mem = relative_prefix_sums(a, &grid);
@@ -92,21 +105,30 @@ impl<T: GroupValue + Default, S: PageStore<T>> DiskRpsEngine<T, S> {
         } else {
             Layout::RowMajor
         };
-        let rp = DiskArray::allocate(&mut pool, a.shape().clone(), layout);
+        let rp = DiskArray::allocate(&mut pool, a.shape().clone(), layout)?;
         let full = a.shape().full_region();
+        let mut io_err: Option<StorageError> = None;
         a.shape().for_each_region_cell(&full, |coords, lin| {
-            rp.set(&mut pool, coords, rp_mem.get_linear(lin).clone());
+            if io_err.is_some() {
+                return;
+            }
+            if let Err(e) = rp.set(&mut pool, coords, rp_mem.get_linear(lin).clone()) {
+                io_err = Some(e);
+            }
         });
-        pool.flush();
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        pool.flush()?;
         pool.reset_stats();
 
-        DiskRpsEngine {
+        Ok(DiskRpsEngine {
             grid,
             overlay,
             rp,
             pool: RefCell::new(pool),
             stats: StatsCell::new(),
-        }
+        })
     }
 
     /// Reattaches to an RP array already resident on a page store —
@@ -117,7 +139,11 @@ impl<T: GroupValue + Default, S: PageStore<T>> DiskRpsEngine<T, S> {
     /// The caller must supply the same grid and layout the engine was
     /// created with; RP pages must start at the store's first page, as
     /// [`Self::from_cube_with_pool`] lays them out on a fresh device.
-    pub fn reopen(grid: BoxGrid, mut pool: BufferPool<T, S>, box_aligned: bool) -> Self {
+    pub fn reopen(
+        grid: BoxGrid,
+        mut pool: BufferPool<T, S>,
+        box_aligned: bool,
+    ) -> Result<Self, StorageError> {
         let shape = grid.cube_shape().clone();
         let layout = if box_aligned {
             Layout::BoxAligned(grid.clone())
@@ -126,25 +152,47 @@ impl<T: GroupValue + Default, S: PageStore<T>> DiskRpsEngine<T, S> {
         };
         // Re-derive the page mapping without allocating: the device
         // already holds the pages, so allocation would double them.
-        let rp = DiskArray::attach(&mut pool, shape.clone(), layout);
+        let rp = DiskArray::attach(&mut pool, shape.clone(), layout)?;
 
         // Read RP back into memory to rebuild the overlay.
-        // lint:allow(L2): dims come from an existing valid shape
-        let mut rp_mem = NdCube::filled(shape.dims(), T::default()).expect("valid shape");
+        let mut rp_mem = NdCube::filled(shape.dims(), T::default())?;
         let full = shape.full_region();
+        let mut io_err: Option<StorageError> = None;
         shape.for_each_region_cell(&full, |coords, lin| {
-            *rp_mem.get_linear_mut(lin) = rp.get(&mut pool, coords);
+            if io_err.is_some() {
+                return;
+            }
+            match rp.get(&mut pool, coords) {
+                Ok(v) => *rp_mem.get_linear_mut(lin) = v,
+                Err(e) => io_err = Some(e),
+            }
         });
+        if let Some(e) = io_err {
+            return Err(e);
+        }
         let a = inverse_relative_prefix_sums(&rp_mem, &grid);
         let overlay = build_overlay(&a, &rp_mem, grid.clone());
         pool.reset_stats();
-        DiskRpsEngine {
+        Ok(DiskRpsEngine {
             grid,
             overlay,
             rp,
             pool: RefCell::new(pool),
             stats: StatsCell::new(),
-        }
+        })
+    }
+
+    /// Runs `f` against the underlying page store (e.g. to inspect a
+    /// [`crate::CheckedStore`]'s quarantine or a [`crate::FaultyStore`]'s
+    /// injection counters).
+    pub fn with_device<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        f(self.pool.borrow().device())
+    }
+
+    /// Runs `f` against the underlying page store mutably (tests use
+    /// this to plant corruption beneath the engine).
+    pub fn with_device_mut<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(self.pool.borrow_mut().device_mut())
     }
 
     /// Page-level I/O counters (reads, writes, hits, misses, evictions).
@@ -158,8 +206,8 @@ impl<T: GroupValue + Default, S: PageStore<T>> DiskRpsEngine<T, S> {
     }
 
     /// Writes all dirty pages back to the device.
-    pub fn flush(&self) {
-        self.pool.borrow_mut().flush();
+    pub fn flush(&self) -> Result<(), StorageError> {
+        self.pool.borrow_mut().flush()
     }
 
     /// The box partition in use.
@@ -177,12 +225,96 @@ impl<T: GroupValue + Default, S: PageStore<T>> DiskRpsEngine<T, S> {
         self.overlay.storage_cells()
     }
 
+    /// Reads every RP page directly from the device and reports the
+    /// pages whose payload fails validation (a [`crate::CheckedStore`]
+    /// beneath the pool turns checksum mismatches into
+    /// [`StorageError::Corrupted`], which this collects). Dirty cached
+    /// pages are flushed first so the device state is current; other
+    /// error kinds propagate.
+    pub fn verify_pages(&self) -> Result<Vec<PageId>, StorageError> {
+        self.pool.borrow_mut().flush()?;
+        let pool = self.pool.borrow();
+        let dev = pool.device();
+        let first = self.rp.first_page().0;
+        let mut corrupt = Vec::new();
+        let mut buf = Vec::new();
+        for p in 0..self.rp.num_pages() {
+            let id = PageId(first + p as u32);
+            match dev.read_page(id, &mut buf) {
+                Ok(()) => {}
+                Err(StorageError::Corrupted { .. }) => corrupt.push(id),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(corrupt)
+    }
+
+    /// Detects corrupt RP pages and rebuilds them from `base`, the
+    /// engine's current logical cube `A` (e.g. reloaded from the last
+    /// snapshot plus replayed WAL). Quarantined pages are rewritten with
+    /// freshly computed RP values — refreshing their checksums — the
+    /// overlay is rebuilt to match, and the pool cache is dropped so no
+    /// stale pre-repair bytes survive.
+    ///
+    /// Graceful degradation, not silent repair: the report lists every
+    /// page that was corrupt, and corruption the base cube cannot fix
+    /// (wrong shape) is a typed error.
+    pub fn scrub(&mut self, base: &NdCube<T>) -> Result<ScrubReport, StorageError> {
+        let corrupted = self.verify_pages()?;
+        let pages_checked = self.rp.num_pages();
+        if corrupted.is_empty() {
+            return Ok(ScrubReport {
+                pages_checked,
+                corrupted,
+                rebuilt: 0,
+            });
+        }
+        if base.shape() != self.rp.shape() {
+            return Err(StorageError::Layout {
+                detail: format!(
+                    "scrub base cube shape {:?} does not match engine shape {:?}",
+                    base.shape().dims(),
+                    self.rp.shape().dims()
+                ),
+            });
+        }
+        let rp_mem = relative_prefix_sums(base, &self.grid);
+        let pool = self.pool.get_mut();
+        let cells_per_page = pool.device().cells_per_page();
+        let mut rebuilt_pages: HashMap<PageId, Vec<T>> = corrupted
+            .iter()
+            .map(|&id| (id, vec![T::default(); cells_per_page]))
+            .collect();
+        let full = self.rp.shape().full_region();
+        let rp = &self.rp;
+        self.rp.shape().for_each_region_cell(&full, |coords, lin| {
+            let (page, slot) = rp.locate(coords);
+            if let Some(buf) = rebuilt_pages.get_mut(&page) {
+                buf[slot] = rp_mem.get_linear(lin).clone();
+            }
+        });
+        for (page, buf) in &rebuilt_pages {
+            pool.device_mut().write_page(*page, buf)?;
+        }
+        // The pool may cache pre-repair bytes for the rewritten pages.
+        pool.drop_cache()?;
+        // The overlay is rebuilt from the same base so overlay and RP
+        // agree again even if the corruption predated overlay updates.
+        self.overlay = build_overlay(base, &rp_mem, self.grid.clone());
+        Ok(ScrubReport {
+            pages_checked,
+            rebuilt: corrupted.len(),
+            corrupted,
+        })
+    }
+
     /// The prefix region sum `Sum(A[0,…,0] : A[x])` — the same
     /// reconstruction as [`rps_core::RpsEngine::prefix_sum`], with the
     /// single RP read going to disk.
     pub fn prefix_sum(&self, x: &[usize]) -> Result<T, NdError> {
         self.rp.shape().check(x)?;
-        let (acc, reads) = with_scratch(|s| self.prefix_kernel(x, s.split().1));
+        let result = with_scratch(|s| self.prefix_kernel(x, s.split().1));
+        let (acc, reads) = result.map_err(to_nd_error)?;
         self.stats.reads(reads);
         Ok(acc)
     }
@@ -190,14 +322,14 @@ impl<T: GroupValue + Default, S: PageStore<T>> DiskRpsEngine<T, S> {
     /// The prefix reconstruction without stats side effects: returns the
     /// value and the cell-read count so callers can coalesce stats into a
     /// single counter update per operation.
-    fn prefix_kernel(&self, x: &[usize], ks: &mut KernelScratch) -> (T, u64) {
+    fn prefix_kernel(&self, x: &[usize], ks: &mut KernelScratch) -> Result<(T, u64), StorageError> {
         let (mut acc, mut reads) = overlay_prefix_part_with(&self.grid, &self.overlay, x, ks);
 
         // The single disk access of the reconstruction: one RP cell.
-        let rp_val = self.rp.get(&mut self.pool.borrow_mut(), x);
+        let rp_val = self.rp.get(&mut self.pool.borrow_mut(), x)?;
         acc.add_assign(&rp_val);
         reads += 1;
-        (acc, reads)
+        Ok((acc, reads))
     }
 }
 
@@ -213,14 +345,28 @@ impl<T: GroupValue + Default, S: PageStore<T>> RangeSumEngine<T> for DiskRpsEngi
     fn query(&self, region: &Region) -> Result<T, NdError> {
         self.rp.shape().check_region(region)?;
         let mut total_reads = 0u64;
+        let mut io_err: Option<StorageError> = None;
         let sum = with_scratch(|s| {
             let (corner_buf, ks) = s.split();
             range_sum_from_prefix_with(region, corner_buf, |corner| {
-                let (v, reads) = self.prefix_kernel(corner, ks);
-                total_reads += reads;
-                v
+                if io_err.is_some() {
+                    return T::default();
+                }
+                match self.prefix_kernel(corner, ks) {
+                    Ok((v, reads)) => {
+                        total_reads += reads;
+                        v
+                    }
+                    Err(e) => {
+                        io_err = Some(e);
+                        T::default()
+                    }
+                }
             })
         });
+        if let Some(e) = io_err {
+            return Err(to_nd_error(e));
+        }
         self.stats.reads(total_reads);
         self.stats.query();
         Ok(sum)
@@ -235,6 +381,7 @@ impl<T: GroupValue + Default, S: PageStore<T>> RangeSumEngine<T> for DiskRpsEngi
             return Ok(());
         }
 
+        let mut io_err: Option<StorageError> = None;
         let writes = with_scratch(|s| {
             let (_, ks) = s.split();
             // RP cascade within the box, through the pool.
@@ -243,15 +390,28 @@ impl<T: GroupValue + Default, S: PageStore<T>> RangeSumEngine<T> for DiskRpsEngi
                 let pool = self.pool.get_mut();
                 let rp = &self.rp;
                 for_each_rp_cascade_cell(&self.grid, coords, ks, |cur| {
-                    rp.modify(pool, cur, |c| c.add_assign(&delta));
-                    writes += 1;
+                    if io_err.is_some() {
+                        return;
+                    }
+                    match rp.modify(pool, cur, |c| c.add_assign(&delta)) {
+                        Ok(()) => writes += 1,
+                        Err(e) => io_err = Some(e),
+                    }
                 });
+            }
+            if io_err.is_some() {
+                return writes;
             }
 
             // Overlay walk — the overlay lives in memory, so this half is
             // shared verbatim with the in-memory engine.
             writes + apply_overlay_update_with(&self.grid, &mut self.overlay, coords, &delta, ks)
         });
+        if let Some(e) = io_err {
+            // The RP cascade may be partially applied; the caller's WAL
+            // record (via DurableEngine) is what makes this recoverable.
+            return Err(to_nd_error(e));
+        }
         self.stats.writes(writes);
         self.stats.update();
         Ok(())
@@ -322,7 +482,7 @@ mod tests {
         .unwrap();
         disk.reset_io_stats();
         disk.update(&[1, 1], 1).unwrap();
-        disk.flush();
+        disk.flush().unwrap();
         let io = disk.io_stats();
         assert_eq!(io.page_reads, 1, "update should fault exactly one RP page");
         assert_eq!(io.page_writes, 1, "flush writes exactly one dirty page");
@@ -365,7 +525,7 @@ mod tests {
                 .unwrap();
         disk.reset_io_stats();
         disk.update(&[5, 5], 0).unwrap();
-        disk.flush();
+        disk.flush().unwrap();
         let io = disk.io_stats();
         assert_eq!(io.page_reads, 0);
         assert_eq!(io.page_writes, 0);
@@ -405,9 +565,18 @@ mod tests {
             DeviceConfig { cells_per_page: 16 },
             8,
             false, // row-major RP layout
-        );
+        )
+        .unwrap();
         let mem = rps_core::RpsEngine::from_cube_uniform(&a, 4).unwrap();
         let r = Region::new(&[3, 5], &[12, 14]).unwrap();
         assert_eq!(disk.query(&r).unwrap(), mem.query(&r).unwrap());
+    }
+
+    #[test]
+    fn verify_pages_clean_engine_reports_nothing() {
+        let a = cube_16();
+        let disk = DiskRpsEngine::from_cube_uniform(&a, 4, DeviceConfig { cells_per_page: 16 }, 8)
+            .unwrap();
+        assert!(disk.verify_pages().unwrap().is_empty());
     }
 }

@@ -17,14 +17,21 @@
 //! the updates the snapshot does not contain: no loss, no double-apply.
 //! The caller must store the checkpoint LSN durably alongside the
 //! snapshot (a sidecar file, a filename suffix, …).
+//!
+//! Failure semantics (see `docs/DURABILITY.md`): a failed append is
+//! rolled back, so an update that returns an error was **not** applied
+//! and will **not** reappear at recovery; transient faults are retried
+//! under the engine's [`RetryPolicy`] first. In strict
+//! (`sync_every_append`) mode a failed sync also rolls the record back —
+//! an acknowledged update is durable, an errored one is gone.
 
-use std::io;
 use std::path::Path;
 
-use ndcube::{NdError, Region};
+use ndcube::Region;
 use rps_core::{CostStats, RangeSumEngine};
 
-use crate::wal::Wal;
+use crate::error::{CheckpointError, RetryPolicy, StorageError};
+use crate::wal::{FsLogFile, LogFile, Wal};
 
 /// An engine whose updates are write-ahead logged.
 ///
@@ -32,26 +39,45 @@ use crate::wal::Wal;
 /// wrapping a `SumCount`/float engine would need a pluggable delta codec
 /// (deliberately out of scope; see DESIGN.md S21). Every example and the
 /// CLI persist `i64` measures.
+///
+/// Generic over the [`LogFile`] so the torture harness can swap the real
+/// file for the fault-injecting [`crate::SimLogFile`].
 #[derive(Debug)]
-pub struct DurableEngine<E> {
+pub struct DurableEngine<E, L: LogFile = FsLogFile> {
     engine: E,
-    wal: Wal,
+    wal: Wal<L>,
     sync_every_append: bool,
+    retry: RetryPolicy,
 }
 
-impl<E: RangeSumEngine<i64>> DurableEngine<E> {
+impl<E: RangeSumEngine<i64>> DurableEngine<E, FsLogFile> {
     /// Wraps `engine` — the state of the checkpoint taken at
     /// `snapshot_lsn` (0 for a fresh structure with no checkpoint) — and
     /// replays WAL records with LSN > `snapshot_lsn` onto it. Repairs a
     /// torn tail left by a crash.
-    pub fn open(mut engine: E, wal_path: &Path, snapshot_lsn: u64) -> io::Result<DurableEngine<E>> {
-        let records = Wal::repair(wal_path)?;
+    pub fn open(
+        engine: E,
+        wal_path: &Path,
+        snapshot_lsn: u64,
+    ) -> Result<DurableEngine<E, FsLogFile>, StorageError> {
+        Self::open_log(engine, FsLogFile::open(wal_path)?, snapshot_lsn)
+    }
+}
+
+impl<E: RangeSumEngine<i64>, L: LogFile> DurableEngine<E, L> {
+    /// [`Self::open`] over any [`LogFile`] — the entry point the fault
+    /// harness uses with a [`crate::SimLogFile`].
+    pub fn open_log(
+        mut engine: E,
+        log: L,
+        snapshot_lsn: u64,
+    ) -> Result<DurableEngine<E, L>, StorageError> {
+        let (mut wal, records) = Wal::from_log(log)?;
         for rec in records.iter().filter(|r| r.lsn > snapshot_lsn) {
             engine
                 .update(&rec.coords, rec.delta)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                .map_err(StorageError::Engine)?;
         }
-        let mut wal = Wal::open(wal_path)?;
         // After a checkpoint truncated the log, a reopened counter would
         // restart below snapshot_lsn and recovery would later discard new
         // records; pin the floor to the snapshot's LSN.
@@ -60,6 +86,7 @@ impl<E: RangeSumEngine<i64>> DurableEngine<E> {
             engine,
             wal,
             sync_every_append: false,
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -70,25 +97,53 @@ impl<E: RangeSumEngine<i64>> DurableEngine<E> {
         self.sync_every_append = on;
     }
 
+    /// Replaces the transient-fault retry policy for WAL appends and
+    /// syncs (default: [`RetryPolicy::default`]).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
     /// Logged point update: the WAL append happens first, so a crash
     /// after the append but before the structural change is replayed on
     /// recovery, and a crash during the append leaves a repairable tail.
-    pub fn update(&mut self, coords: &[usize], delta: i64) -> Result<(), NdError> {
-        self.engine.shape().check(coords)?;
-        self.wal
-            .append(coords, delta)
-            // lint:allow(L2): crash-safety policy — an unlogged mutation must never happen
-            .expect("WAL append failed: refusing to apply an unlogged update");
-        if self.sync_every_append {
-            // lint:allow(L2): crash-safety policy — an unsynced write would break durability
-            self.wal.sync().expect("WAL sync failed");
+    ///
+    /// On error the update was **not** applied and its record is not in
+    /// the log (failed appends and failed strict-mode syncs are rolled
+    /// back), so an error here never resurfaces as a phantom update at
+    /// recovery.
+    pub fn update(&mut self, coords: &[usize], delta: i64) -> Result<(), StorageError> {
+        self.engine
+            .shape()
+            .check(coords)
+            .map_err(StorageError::Engine)?;
+        let prev_len = self.wal.len();
+        let prev_next_lsn = self.wal.last_lsn() + 1;
+        {
+            let retry = self.retry;
+            let wal = &mut self.wal;
+            retry.run(|| wal.append(coords, delta).map(|_| ()))?;
         }
-        self.engine.update(coords, delta)
+        if self.sync_every_append {
+            let sync_result = {
+                let retry = self.retry;
+                let wal = &mut self.wal;
+                retry.run(|| wal.sync())
+            };
+            if let Err(e) = sync_result {
+                // Leaving the record would let recovery apply an update
+                // the caller is about to see fail.
+                self.wal.rollback_last(prev_len, prev_next_lsn)?;
+                return Err(e);
+            }
+        }
+        self.engine
+            .update(coords, delta)
+            .map_err(StorageError::Engine)
     }
 
     /// Range query (read-only; never logged).
-    pub fn query(&self, region: &Region) -> Result<i64, NdError> {
-        self.engine.query(region)
+    pub fn query(&self, region: &Region) -> Result<i64, StorageError> {
+        self.engine.query(region).map_err(StorageError::Engine)
     }
 
     /// Checkpoints: `persist` receives the engine and the LSN this
@@ -98,15 +153,15 @@ impl<E: RangeSumEngine<i64>> DurableEngine<E> {
     pub fn checkpoint<Err>(
         &mut self,
         persist: impl FnOnce(&E, u64) -> Result<(), Err>,
-    ) -> Result<u64, Err> {
-        // lint:allow(L2): crash-safety policy — checkpointing an unsynced WAL loses updates
-        self.wal.sync().expect("WAL sync before checkpoint");
+    ) -> Result<u64, CheckpointError<Err>> {
+        {
+            let retry = self.retry;
+            let wal = &mut self.wal;
+            retry.run(|| wal.sync()).map_err(CheckpointError::Storage)?;
+        }
         let lsn = self.wal.last_lsn();
-        persist(&self.engine, lsn)?;
-        self.wal
-            .checkpoint()
-            // lint:allow(L2): crash-safety policy — a live WAL plus a snapshot double-applies
-            .expect("WAL truncate after successful checkpoint");
+        persist(&self.engine, lsn).map_err(CheckpointError::Persist)?;
+        self.wal.checkpoint().map_err(CheckpointError::Storage)?;
         Ok(lsn)
     }
 
@@ -117,7 +172,7 @@ impl<E: RangeSumEngine<i64>> DurableEngine<E> {
 
     /// Unflushed updates currently protected only by the WAL.
     pub fn wal_bytes(&self) -> u64 {
-        self.wal.len().unwrap_or(0)
+        self.wal.len()
     }
 
     /// The wrapped engine.
@@ -201,11 +256,11 @@ mod tests {
                 DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
             d.update(&[1, 1], 100).unwrap();
             // Persist succeeds durably, then "crash" before truncation.
-            let result: Result<u64, ()> = d.checkpoint(|e, lsn| {
+            let result: Result<u64, _> = d.checkpoint(|e, lsn| {
                 persist_with_lsn(e, lsn, &snap).unwrap();
                 Err(()) // simulate dying before checkpoint() truncates
             });
-            assert!(result.is_err());
+            assert!(matches!(result, Err(CheckpointError::Persist(()))));
             assert!(d.wal_bytes() > 0, "WAL must still hold the record");
         }
 
@@ -298,8 +353,8 @@ mod tests {
             DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
         d.update(&[3, 3], 5).unwrap();
         let before = d.wal_bytes();
-        let result: Result<u64, &str> = d.checkpoint(|_, _| Err("disk full"));
-        assert!(result.is_err());
+        let result: Result<u64, _> = d.checkpoint(|_, _| Err("disk full"));
+        assert!(matches!(result, Err(CheckpointError::Persist("disk full"))));
         assert_eq!(
             d.wal_bytes(),
             before,

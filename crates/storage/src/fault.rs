@@ -1,0 +1,665 @@
+//! Deterministic fault injection for the durable storage stack.
+//!
+//! Two wrappers, one RNG:
+//!
+//! * [`FaultyStore`] sits between the buffer pool and any
+//!   [`PageStore`], injecting transient `EIO`s, read-side bit flips,
+//!   torn page writes (a prefix of the new page lands, the old suffix
+//!   survives) and silently-lost writes.
+//! * [`SimLogFile`] is a [`LogFile`] that models the two-level reality
+//!   of a log on a real disk: a volatile *cache* (what the process
+//!   wrote) in front of durable *media* (what survives a power cut).
+//!   `sync` promotes cache to media — unless the plan says the fsync
+//!   fails, or worse, *lies*. [`SimLogHandle::crash_states`] enumerates
+//!   every byte-granular state the media could be in after a crash.
+//!
+//! Everything is driven by [`SimRng`] (SplitMix64) seeded from the
+//! torture harness, and by a [`FaultPlan`] of integer per-mille
+//! probabilities — both chosen so a failing seed replays exactly.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::device::{DeviceStats, PageId};
+use crate::error::StorageError;
+use crate::file_device::{PageStore, PodCell};
+use crate::wal::LogFile;
+
+/// SplitMix64: tiny, seedable, high-quality enough for fault schedules,
+/// and — critically — dependency-free and bit-identical everywhere.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// A generator whose whole future is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SimRng { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `per_mille`/1000.
+    pub fn chance(&mut self, per_mille: u32) -> bool {
+        per_mille > 0 && self.next_u64() % 1000 < u64::from(per_mille)
+    }
+
+    /// Uniform in `0..n` (0 when `n == 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// Integer per-mille fault probabilities — integers so a plan prints and
+/// replays exactly, with no float-formatting ambiguity.
+///
+/// Page-store faults drive [`FaultyStore`]; log faults drive
+/// [`SimLogFile`]. [`FaultPlan::none`] (= `default()`) injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Page read fails with a transient error (‰).
+    pub read_transient: u32,
+    /// Page write fails with a transient error, nothing written (‰).
+    pub write_transient: u32,
+    /// A read returns a page with one flipped bit (‰).
+    pub read_bit_flip: u32,
+    /// A page write lands only a prefix, then errors (‰).
+    pub torn_write: u32,
+    /// A page write reports success without writing (‰).
+    pub lost_write: u32,
+    /// A log append fails transiently, nothing appended (‰).
+    pub append_transient: u32,
+    /// A log append lands only a byte prefix, then errors (‰).
+    pub append_torn: u32,
+    /// A log sync fails honestly (‰).
+    pub sync_fail: u32,
+    /// A log sync reports success without making bytes durable (‰).
+    pub sync_lie: u32,
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FaultPlan{{read_transient={}, write_transient={}, read_bit_flip={}, \
+             torn_write={}, lost_write={}, append_transient={}, append_torn={}, \
+             sync_fail={}, sync_lie={}}} (per-mille)",
+            self.read_transient,
+            self.write_transient,
+            self.read_bit_flip,
+            self.torn_write,
+            self.lost_write,
+            self.append_transient,
+            self.append_torn,
+            self.sync_fail,
+            self.sync_lie,
+        )
+    }
+}
+
+/// Counters of what a [`FaultyStore`] actually injected — the torture
+/// harness asserts on these so "no fault fired" runs don't vacuously
+/// pass corruption checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Transient read/write errors returned.
+    pub transients: u64,
+    /// Bit flips applied to read results.
+    pub bit_flips: u64,
+    /// Torn page writes (prefix landed, error returned).
+    pub torn_writes: u64,
+    /// Writes acknowledged but dropped.
+    pub lost_writes: u64,
+}
+
+/// A [`PageStore`] wrapper that injects faults per a [`FaultPlan`].
+///
+/// Deterministic: the same seed and call sequence produce the same
+/// faults. Setup paths (`alloc_pages`) are never faulted — the torture
+/// harness faults steady-state traffic, not construction.
+#[derive(Debug)]
+pub struct FaultyStore<T, S> {
+    inner: S,
+    plan: FaultPlan,
+    rng: RefCell<SimRng>,
+    transients: Cell<u64>,
+    bit_flips: Cell<u64>,
+    torn_writes: Cell<u64>,
+    lost_writes: Cell<u64>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: PodCell, S: PageStore<T>> FaultyStore<T, S> {
+    /// Wraps `inner`, injecting per `plan` with randomness from `seed`.
+    pub fn new(inner: S, plan: FaultPlan, seed: u64) -> Self {
+        FaultyStore {
+            inner,
+            plan,
+            rng: RefCell::new(SimRng::new(seed)),
+            transients: Cell::new(0),
+            bit_flips: Cell::new(0),
+            torn_writes: Cell::new(0),
+            lost_writes: Cell::new(0),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped store (bypasses injection — used by
+    /// tests to plant or inspect ground-truth bytes).
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwraps to the inner store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Replaces the fault plan (e.g. disable injection for a recovery
+    /// phase that the scenario wants to run on healthy hardware).
+    pub fn set_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+    }
+
+    /// What has been injected so far.
+    pub fn injected(&self) -> InjectedFaults {
+        InjectedFaults {
+            transients: self.transients.get(),
+            bit_flips: self.bit_flips.get(),
+            torn_writes: self.torn_writes.get(),
+            lost_writes: self.lost_writes.get(),
+        }
+    }
+
+    fn flip_one_bit(buf: &mut [T], rng: &mut SimRng) {
+        if buf.is_empty() {
+            return;
+        }
+        let cell = rng.below(buf.len());
+        let bit = rng.below(T::BYTES * 8);
+        let mut bytes = vec![0u8; T::BYTES];
+        buf[cell].write_le(&mut bytes);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        buf[cell] = T::read_le(&bytes);
+    }
+}
+
+impl<T: PodCell, S: PageStore<T>> PageStore<T> for FaultyStore<T, S> {
+    fn cells_per_page(&self) -> usize {
+        self.inner.cells_per_page()
+    }
+
+    fn num_pages(&self) -> usize {
+        self.inner.num_pages()
+    }
+
+    fn alloc_pages(&mut self, n: usize) -> Result<PageId, StorageError> {
+        self.inner.alloc_pages(n)
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut Vec<T>) -> Result<(), StorageError> {
+        let mut rng = self.rng.borrow_mut();
+        if rng.chance(self.plan.read_transient) {
+            self.transients.set(self.transients.get() + 1);
+            return Err(StorageError::Transient {
+                op: "read page (injected)",
+            });
+        }
+        self.inner.read_page(id, buf)?;
+        if rng.chance(self.plan.read_bit_flip) {
+            Self::flip_one_bit(buf, &mut rng);
+            self.bit_flips.set(self.bit_flips.get() + 1);
+        }
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[T]) -> Result<(), StorageError> {
+        let fate = {
+            let mut rng = self.rng.borrow_mut();
+            if rng.chance(self.plan.write_transient) {
+                0
+            } else if rng.chance(self.plan.lost_write) {
+                1
+            } else if rng.chance(self.plan.torn_write) {
+                2 + rng.below(data.len().max(1))
+            } else {
+                usize::MAX
+            }
+        };
+        match fate {
+            0 => {
+                self.transients.set(self.transients.get() + 1);
+                Err(StorageError::Transient {
+                    op: "write page (injected)",
+                })
+            }
+            1 => {
+                // The lying write: success reported, nothing persisted.
+                self.lost_writes.set(self.lost_writes.get() + 1);
+                Ok(())
+            }
+            usize::MAX => self.inner.write_page(id, data),
+            prefix_plus_2 => {
+                // Torn write: a prefix of the new page lands over the old
+                // bytes, then the device errors — the caller must treat
+                // the page as unknown.
+                let prefix = prefix_plus_2 - 2;
+                let mut mixed = Vec::new();
+                self.inner.read_page(id, &mut mixed)?;
+                mixed[..prefix].clone_from_slice(&data[..prefix]);
+                self.inner.write_page(id, &mixed)?;
+                self.torn_writes.set(self.torn_writes.get() + 1);
+                Err(StorageError::io(
+                    "write page (injected torn write)",
+                    std::io::Error::other("simulated power cut mid-write"),
+                ))
+            }
+        }
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.inner.sync()
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+    }
+}
+
+#[derive(Debug)]
+struct SimLogState {
+    /// What survives a power cut.
+    media: Vec<u8>,
+    /// What the process has written (media is always a prefix of this).
+    cache: Vec<u8>,
+    plan: FaultPlan,
+    rng: SimRng,
+    /// A sync claimed success without promoting cache to media.
+    lied: bool,
+    torn_appends: u64,
+    transients: u64,
+    sync_fails: u64,
+}
+
+impl SimLogState {
+    fn check_invariant(&self) {
+        debug_assert!(
+            self.media.len() <= self.cache.len() && self.cache.starts_with(&self.media),
+            "media must be a prefix of cache"
+        );
+    }
+}
+
+/// A simulated [`LogFile`]: volatile cache over durable media, with
+/// injected torn appends, transient errors and failing or lying fsyncs.
+///
+/// Create one with [`SimLogFile::new`] and keep the [`SimLogHandle`]
+/// from [`SimLogFile::handle`]: the file moves into the WAL, the handle
+/// stays with the test to enumerate crash states and inspect what was
+/// injected.
+#[derive(Debug)]
+pub struct SimLogFile {
+    state: Rc<RefCell<SimLogState>>,
+}
+
+/// A shared view of a [`SimLogFile`]'s state — the torture harness's
+/// window into the log while [`crate::DurableEngine`] owns the file.
+#[derive(Debug, Clone)]
+pub struct SimLogHandle {
+    state: Rc<RefCell<SimLogState>>,
+}
+
+impl SimLogFile {
+    /// An empty log injecting per `plan` with randomness from `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        SimLogFile {
+            state: Rc::new(RefCell::new(SimLogState {
+                media: Vec::new(),
+                cache: Vec::new(),
+                plan,
+                rng: SimRng::new(seed),
+                lied: false,
+                torn_appends: 0,
+                transients: 0,
+                sync_fails: 0,
+            })),
+        }
+    }
+
+    /// A fault-free log pre-loaded with `bytes` — the reopen-after-crash
+    /// path: the bytes are one of [`SimLogHandle::crash_states`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        SimLogFile {
+            state: Rc::new(RefCell::new(SimLogState {
+                media: bytes.clone(),
+                cache: bytes,
+                plan: FaultPlan::none(),
+                rng: SimRng::new(0),
+                lied: false,
+                torn_appends: 0,
+                transients: 0,
+                sync_fails: 0,
+            })),
+        }
+    }
+
+    /// A handle sharing this log's state.
+    pub fn handle(&self) -> SimLogHandle {
+        SimLogHandle {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+impl SimLogHandle {
+    /// Bytes that survive a power cut right now.
+    pub fn media(&self) -> Vec<u8> {
+        self.state.borrow().media.clone()
+    }
+
+    /// Bytes the process has written (≥ media).
+    pub fn cache(&self) -> Vec<u8> {
+        self.state.borrow().cache.clone()
+    }
+
+    /// Every byte-granular log state a crash at this instant could leave
+    /// behind: the durable media, plus each prefix of the not-yet-synced
+    /// tail (the OS may have flushed any amount of it on its own).
+    pub fn crash_states(&self) -> Vec<Vec<u8>> {
+        let st = self.state.borrow();
+        st.check_invariant();
+        let mut states = Vec::with_capacity(st.cache.len() - st.media.len() + 1);
+        for cut in st.media.len()..=st.cache.len() {
+            states.push(st.cache[..cut].to_vec());
+        }
+        states
+    }
+
+    /// Whether any sync lied (claimed durability it didn't deliver).
+    /// Under a lying fsync only prefix consistency is guaranteed, not
+    /// no-loss — the torture harness relaxes its assertions accordingly.
+    pub fn sync_lied(&self) -> bool {
+        self.state.borrow().lied
+    }
+
+    /// (torn appends, transient append errors, honest sync failures)
+    /// injected so far.
+    pub fn injected(&self) -> (u64, u64, u64) {
+        let st = self.state.borrow();
+        (st.torn_appends, st.transients, st.sync_fails)
+    }
+
+    /// Replaces the fault plan mid-run (e.g. stop injecting while the
+    /// scenario drains to a known state).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        self.state.borrow_mut().plan = plan;
+    }
+}
+
+impl LogFile for SimLogFile {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        let mut st = self.state.borrow_mut();
+        let plan = st.plan;
+        if st.rng.chance(plan.append_transient) {
+            st.transients += 1;
+            return Err(StorageError::Transient {
+                op: "append log record (injected)",
+            });
+        }
+        if st.rng.chance(plan.append_torn) {
+            let prefix = st.rng.below(bytes.len());
+            st.cache.extend_from_slice(&bytes[..prefix]);
+            st.torn_appends += 1;
+            return Err(StorageError::io(
+                "append log record (injected torn append)",
+                std::io::Error::other("simulated power cut mid-append"),
+            ));
+        }
+        st.cache.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        let mut st = self.state.borrow_mut();
+        let plan = st.plan;
+        if st.rng.chance(plan.sync_fail) {
+            st.sync_fails += 1;
+            return Err(StorageError::io(
+                "sync log (injected)",
+                std::io::Error::other("simulated fsync failure"),
+            ));
+        }
+        if st.rng.chance(plan.sync_lie) {
+            // The dishonest disk: success without durability.
+            st.lied = true;
+            return Ok(());
+        }
+        let st = &mut *st;
+        st.media.clone_from(&st.cache);
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
+        let mut st = self.state.borrow_mut();
+        let len = len as usize;
+        st.cache.truncate(len);
+        // Truncation is modelled as metadata-durable (as journalling
+        // filesystems provide); media can never exceed cache.
+        if st.media.len() > len {
+            st.media.truncate(len);
+        }
+        st.check_invariant();
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64, StorageError> {
+        Ok(self.state.borrow().cache.len() as u64)
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, StorageError> {
+        Ok(self.state.borrow().cache.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{BlockDevice, DeviceConfig};
+
+    #[test]
+    fn simrng_is_deterministic_and_not_constant() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        // Different seeds diverge.
+        let mut c = SimRng::new(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(7);
+        assert!(!(0..100).any(|_| r.chance(0)));
+        assert!((0..100).all(|_| r.chance(1000)));
+    }
+
+    #[test]
+    fn faultless_store_is_transparent() {
+        let mut dev = BlockDevice::<i64>::new(DeviceConfig { cells_per_page: 4 });
+        dev.alloc_page();
+        let mut faulty = FaultyStore::new(dev, FaultPlan::none(), 1);
+        faulty.write_page(PageId(0), &[1, 2, 3, 4]).unwrap();
+        let mut buf = Vec::new();
+        faulty.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf, vec![1, 2, 3, 4]);
+        assert_eq!(faulty.injected(), InjectedFaults::default());
+    }
+
+    #[test]
+    fn bit_flips_change_exactly_one_bit() {
+        let mut dev = BlockDevice::<i64>::new(DeviceConfig { cells_per_page: 4 });
+        dev.alloc_page();
+        let mut faulty = FaultyStore::new(
+            dev,
+            FaultPlan {
+                read_bit_flip: 1000,
+                ..FaultPlan::none()
+            },
+            99,
+        );
+        faulty.write_page(PageId(0), &[0, 0, 0, 0]).unwrap();
+        let mut buf = Vec::new();
+        faulty.read_page(PageId(0), &mut buf).unwrap();
+        let ones: u32 = buf.iter().map(|c| c.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one bit flipped: {buf:?}");
+        assert_eq!(faulty.injected().bit_flips, 1);
+        // The device itself is untouched — flips are read-side.
+        let mut raw = Vec::new();
+        faulty.inner().read_page(PageId(0), &mut raw);
+        assert_eq!(raw, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn torn_write_lands_prefix_and_errors() {
+        let mut dev = BlockDevice::<i64>::new(DeviceConfig { cells_per_page: 4 });
+        dev.alloc_page();
+        let mut faulty = FaultyStore::new(
+            dev,
+            FaultPlan {
+                torn_write: 1000,
+                ..FaultPlan::none()
+            },
+            5,
+        );
+        assert!(faulty.write_page(PageId(0), &[9, 9, 9, 9]).is_err());
+        assert_eq!(faulty.injected().torn_writes, 1);
+        let mut buf = Vec::new();
+        faulty.inner().read_page(PageId(0), &mut buf);
+        // Some prefix of nines, old zeros after.
+        let nines = buf.iter().take_while(|&&c| c == 9).count();
+        assert!(buf[nines..].iter().all(|&c| c == 0), "{buf:?}");
+        assert!(nines < 4, "a torn write is by definition incomplete");
+    }
+
+    #[test]
+    fn lost_write_acknowledges_without_writing() {
+        let mut dev = BlockDevice::<i64>::new(DeviceConfig { cells_per_page: 2 });
+        dev.alloc_page();
+        let mut faulty = FaultyStore::new(
+            dev,
+            FaultPlan {
+                lost_write: 1000,
+                ..FaultPlan::none()
+            },
+            3,
+        );
+        faulty.write_page(PageId(0), &[7, 7]).unwrap();
+        assert_eq!(faulty.injected().lost_writes, 1);
+        let mut buf = Vec::new();
+        faulty.inner().read_page(PageId(0), &mut buf);
+        assert_eq!(buf, vec![0, 0], "the write must have been dropped");
+    }
+
+    #[test]
+    fn sim_log_round_trip_and_crash_states() {
+        let mut log = SimLogFile::new(FaultPlan::none(), 11);
+        let h = log.handle();
+        log.append(b"abc").unwrap();
+        log.sync().unwrap();
+        log.append(b"de").unwrap();
+        // Crash now: media holds "abc"; the unsynced "de" may have
+        // partially reached the platter.
+        let states = h.crash_states();
+        assert_eq!(
+            states,
+            vec![b"abc".to_vec(), b"abcd".to_vec(), b"abcde".to_vec(),]
+        );
+        assert_eq!(log.read_all().unwrap(), b"abcde");
+        assert_eq!(log.len().unwrap(), 5);
+    }
+
+    #[test]
+    fn sync_lie_keeps_media_stale() {
+        let mut log = SimLogFile::new(
+            FaultPlan {
+                sync_lie: 1000,
+                ..FaultPlan::none()
+            },
+            13,
+        );
+        let h = log.handle();
+        log.append(b"xyz").unwrap();
+        log.sync().unwrap(); // lies
+        assert!(h.sync_lied());
+        assert_eq!(h.media(), b"");
+        assert_eq!(h.cache(), b"xyz");
+    }
+
+    #[test]
+    fn truncate_clips_media_and_cache() {
+        let mut log = SimLogFile::new(FaultPlan::none(), 17);
+        let h = log.handle();
+        log.append(b"abcdef").unwrap();
+        log.sync().unwrap();
+        log.truncate(2).unwrap();
+        assert_eq!(h.media(), b"ab");
+        assert_eq!(h.cache(), b"ab");
+    }
+
+    #[test]
+    fn torn_append_lands_partial_bytes_then_errors() {
+        let mut log = SimLogFile::new(
+            FaultPlan {
+                append_torn: 1000,
+                ..FaultPlan::none()
+            },
+            19,
+        );
+        let h = log.handle();
+        assert!(log.append(b"0123456789").is_err());
+        let cache = h.cache();
+        assert!(cache.len() < 10, "torn append must be incomplete");
+        assert_eq!(cache, b"0123456789"[..cache.len()].to_vec());
+        assert_eq!(h.injected().0, 1);
+    }
+
+    #[test]
+    fn from_bytes_reopens_a_crash_state() {
+        let mut log = SimLogFile::from_bytes(b"hello".to_vec());
+        assert_eq!(log.read_all().unwrap(), b"hello");
+        log.append(b"!").unwrap();
+        log.sync().unwrap();
+        assert_eq!(log.handle().media(), b"hello!");
+    }
+}

@@ -9,10 +9,10 @@
 
 use std::cell::Cell;
 use std::fs::{File, OpenOptions};
-use std::io;
 use std::path::Path;
 
 use crate::device::{BlockDevice, DeviceConfig, DeviceStats, PageId};
+use crate::error::StorageError;
 
 /// A fixed-width cell that can live on a [`FileDevice`] page.
 pub trait PodCell: Clone + Default {
@@ -43,17 +43,26 @@ impl_pod!(i32, i64, u32, u64, f32, f64);
 
 /// The abstract page interface shared by the simulated and file-backed
 /// devices.
+///
+/// Every data-moving operation is fallible: real devices fail, and the
+/// fault-injection wrappers ([`crate::FaultyStore`]) rely on being able
+/// to surface transient and permanent errors through this trait.
 pub trait PageStore<T> {
     /// Cells per page.
     fn cells_per_page(&self) -> usize;
     /// Allocated pages.
     fn num_pages(&self) -> usize;
     /// Allocates `n` consecutive zeroed pages, returning the first id.
-    fn alloc_pages(&mut self, n: usize) -> PageId;
+    fn alloc_pages(&mut self, n: usize) -> Result<PageId, StorageError>;
     /// Reads a page into `buf` (resized to page size). Counted.
-    fn read_page(&self, id: PageId, buf: &mut Vec<T>);
+    fn read_page(&self, id: PageId, buf: &mut Vec<T>) -> Result<(), StorageError>;
     /// Writes one full page. Counted.
-    fn write_page(&mut self, id: PageId, data: &[T]);
+    fn write_page(&mut self, id: PageId, data: &[T]) -> Result<(), StorageError>;
+    /// Forces written pages to stable storage (no-op for in-memory
+    /// stores).
+    fn sync(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
     /// I/O counters.
     fn stats(&self) -> DeviceStats;
     /// Resets counters.
@@ -69,16 +78,39 @@ impl<T: Clone + Default> PageStore<T> for BlockDevice<T> {
         BlockDevice::num_pages(self)
     }
 
-    fn alloc_pages(&mut self, n: usize) -> PageId {
-        BlockDevice::alloc_pages(self, n)
+    fn alloc_pages(&mut self, n: usize) -> Result<PageId, StorageError> {
+        Ok(BlockDevice::alloc_pages(self, n))
     }
 
-    fn read_page(&self, id: PageId, buf: &mut Vec<T>) {
+    fn read_page(&self, id: PageId, buf: &mut Vec<T>) -> Result<(), StorageError> {
+        if id.0 as usize >= BlockDevice::num_pages(self) {
+            return Err(StorageError::Unallocated {
+                page: id,
+                pages: BlockDevice::num_pages(self),
+            });
+        }
         BlockDevice::read_page(self, id, buf);
+        Ok(())
     }
 
-    fn write_page(&mut self, id: PageId, data: &[T]) {
+    fn write_page(&mut self, id: PageId, data: &[T]) -> Result<(), StorageError> {
+        if id.0 as usize >= BlockDevice::num_pages(self) {
+            return Err(StorageError::Unallocated {
+                page: id,
+                pages: BlockDevice::num_pages(self),
+            });
+        }
+        if data.len() != self.config().cells_per_page {
+            return Err(StorageError::Layout {
+                detail: format!(
+                    "partial page write: {} cells, page holds {}",
+                    data.len(),
+                    self.config().cells_per_page
+                ),
+            });
+        }
         BlockDevice::write_page(self, id, data);
+        Ok(())
     }
 
     fn stats(&self) -> DeviceStats {
@@ -103,14 +135,19 @@ pub struct FileDevice<T> {
 
 impl<T: PodCell> FileDevice<T> {
     /// Creates (truncating) a device file.
-    pub fn create(path: &Path, config: DeviceConfig) -> io::Result<Self> {
-        assert!(config.cells_per_page >= 1);
+    pub fn create(path: &Path, config: DeviceConfig) -> Result<Self, StorageError> {
+        if config.cells_per_page < 1 {
+            return Err(StorageError::Layout {
+                detail: "pages must hold at least one cell".into(),
+            });
+        }
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path)?;
+            .open(path)
+            .map_err(|e| StorageError::io("create device file", e))?;
         Ok(FileDevice {
             file,
             config,
@@ -123,15 +160,23 @@ impl<T: PodCell> FileDevice<T> {
 
     /// Opens an existing device file, inferring the page count from its
     /// length (must be a whole number of pages).
-    pub fn open(path: &Path, config: DeviceConfig) -> io::Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+    pub fn open(path: &Path, config: DeviceConfig) -> Result<Self, StorageError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| StorageError::io("open device file", e))?;
         let page_bytes = (config.cells_per_page * T::BYTES) as u64;
-        let len = file.metadata()?.len();
+        let len = file
+            .metadata()
+            .map_err(|e| StorageError::io("stat device file", e))?
+            .len();
         if len % page_bytes != 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("file length {len} is not a whole number of {page_bytes}-byte pages"),
-            ));
+            return Err(StorageError::Layout {
+                detail: format!(
+                    "file length {len} is not a whole number of {page_bytes}-byte pages"
+                ),
+            });
         }
         Ok(FileDevice {
             file,
@@ -161,49 +206,76 @@ impl<T: PodCell> PageStore<T> for FileDevice<T> {
         self.pages
     }
 
-    fn alloc_pages(&mut self, n: usize) -> PageId {
+    fn alloc_pages(&mut self, n: usize) -> Result<PageId, StorageError> {
         use std::io::{Seek, SeekFrom, Write};
-        // lint:allow(L2): a file device exhausts disk long before 2^32 pages
-        let first = PageId(u32::try_from(self.pages).expect("page count fits u32"));
+        let first = u32::try_from(self.pages)
+            .map_err(|_| StorageError::Layout {
+                detail: format!("page count {} exceeds the u32 page-id range", self.pages),
+            })
+            .map(PageId)?;
         let zeros = vec![0u8; self.page_bytes()];
         self.file
             .seek(SeekFrom::Start(self.offset(first)))
-            // lint:allow(L2): the Device trait is infallible by design; I/O loss is fatal
-            .expect("seek to end of device file");
+            .map_err(|e| StorageError::io("seek to end of device file", e))?;
         for _ in 0..n {
-            // lint:allow(L2): the Device trait is infallible by design; I/O loss is fatal
-            self.file.write_all(&zeros).expect("extend device file");
+            self.file
+                .write_all(&zeros)
+                .map_err(|e| StorageError::io("extend device file", e))?;
         }
         self.pages += n;
-        first
+        Ok(first)
     }
 
-    fn read_page(&self, id: PageId, buf: &mut Vec<T>) {
+    fn read_page(&self, id: PageId, buf: &mut Vec<T>) -> Result<(), StorageError> {
         use std::os::unix::fs::FileExt;
-        assert!((id.0 as usize) < self.pages, "page {id:?} unallocated");
+        if id.0 as usize >= self.pages {
+            return Err(StorageError::Unallocated {
+                page: id,
+                pages: self.pages,
+            });
+        }
         let mut raw = vec![0u8; self.page_bytes()];
         self.file
             .read_exact_at(&mut raw, self.offset(id))
-            // lint:allow(L2): the Device trait is infallible by design; I/O loss is fatal
-            .expect("read device page");
+            .map_err(|e| StorageError::io("read device page", e))?;
         buf.clear();
         buf.extend(raw.chunks_exact(T::BYTES).map(T::read_le));
         self.reads.set(self.reads.get() + 1);
+        Ok(())
     }
 
-    fn write_page(&mut self, id: PageId, data: &[T]) {
+    fn write_page(&mut self, id: PageId, data: &[T]) -> Result<(), StorageError> {
         use std::os::unix::fs::FileExt;
-        assert!((id.0 as usize) < self.pages, "page {id:?} unallocated");
-        assert_eq!(data.len(), self.config.cells_per_page, "partial page write");
+        if id.0 as usize >= self.pages {
+            return Err(StorageError::Unallocated {
+                page: id,
+                pages: self.pages,
+            });
+        }
+        if data.len() != self.config.cells_per_page {
+            return Err(StorageError::Layout {
+                detail: format!(
+                    "partial page write: {} cells, page holds {}",
+                    data.len(),
+                    self.config.cells_per_page
+                ),
+            });
+        }
         let mut raw = vec![0u8; self.page_bytes()];
         for (cell, chunk) in data.iter().zip(raw.chunks_exact_mut(T::BYTES)) {
             cell.write_le(chunk);
         }
         self.file
             .write_all_at(&raw, self.offset(id))
-            // lint:allow(L2): the Device trait is infallible by design; I/O loss is fatal
-            .expect("write device page");
+            .map_err(|e| StorageError::io("write device page", e))?;
         self.writes.set(self.writes.get() + 1);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::io("sync device file", e))
     }
 
     fn stats(&self) -> DeviceStats {
@@ -233,13 +305,13 @@ mod tests {
     fn round_trip_through_file() {
         let path = tmp("rt.pages");
         let mut dev = FileDevice::<i64>::create(&path, DeviceConfig { cells_per_page: 4 }).unwrap();
-        let p0 = dev.alloc_pages(3);
+        let p0 = dev.alloc_pages(3).unwrap();
         assert_eq!(p0, PageId(0));
-        dev.write_page(PageId(1), &[10, -20, 30, -40]);
+        dev.write_page(PageId(1), &[10, -20, 30, -40]).unwrap();
         let mut buf = Vec::new();
-        dev.read_page(PageId(1), &mut buf);
+        dev.read_page(PageId(1), &mut buf).unwrap();
         assert_eq!(buf, vec![10, -20, 30, -40]);
-        dev.read_page(PageId(0), &mut buf);
+        dev.read_page(PageId(0), &mut buf).unwrap();
         assert_eq!(buf, vec![0, 0, 0, 0]);
         assert_eq!(dev.stats().page_reads, 2);
         assert_eq!(dev.stats().page_writes, 1);
@@ -251,14 +323,15 @@ mod tests {
         {
             let mut dev =
                 FileDevice::<i64>::create(&path, DeviceConfig { cells_per_page: 2 }).unwrap();
-            dev.alloc_pages(2);
-            dev.write_page(PageId(0), &[7, 8]);
-            dev.write_page(PageId(1), &[9, 10]);
+            dev.alloc_pages(2).unwrap();
+            dev.write_page(PageId(0), &[7, 8]).unwrap();
+            dev.write_page(PageId(1), &[9, 10]).unwrap();
+            dev.sync().unwrap();
         }
         let dev = FileDevice::<i64>::open(&path, DeviceConfig { cells_per_page: 2 }).unwrap();
         assert_eq!(PageStore::<i64>::num_pages(&dev), 2);
         let mut buf = Vec::new();
-        dev.read_page(PageId(1), &mut buf);
+        dev.read_page(PageId(1), &mut buf).unwrap();
         assert_eq!(buf, vec![9, 10]);
     }
 
@@ -273,19 +346,35 @@ mod tests {
     fn f64_cells() {
         let path = tmp("floats.pages");
         let mut dev = FileDevice::<f64>::create(&path, DeviceConfig { cells_per_page: 2 }).unwrap();
-        dev.alloc_pages(1);
-        dev.write_page(PageId(0), &[1.5, -2.25]);
+        dev.alloc_pages(1).unwrap();
+        dev.write_page(PageId(0), &[1.5, -2.25]).unwrap();
         let mut buf = Vec::new();
-        dev.read_page(PageId(0), &mut buf);
+        dev.read_page(PageId(0), &mut buf).unwrap();
         assert_eq!(buf, vec![1.5, -2.25]);
     }
 
     #[test]
-    #[should_panic(expected = "unallocated")]
-    fn reads_beyond_allocation_panic() {
+    fn reads_beyond_allocation_are_typed_errors() {
         let path = tmp("oob.pages");
         let dev = FileDevice::<i64>::create(&path, DeviceConfig { cells_per_page: 2 }).unwrap();
         let mut buf = Vec::new();
-        dev.read_page(PageId(0), &mut buf);
+        match dev.read_page(PageId(0), &mut buf) {
+            Err(StorageError::Unallocated { page, pages }) => {
+                assert_eq!(page, PageId(0));
+                assert_eq!(pages, 0);
+            }
+            other => panic!("expected Unallocated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_writes_are_typed_errors() {
+        let path = tmp("partial.pages");
+        let mut dev = FileDevice::<i64>::create(&path, DeviceConfig { cells_per_page: 4 }).unwrap();
+        dev.alloc_pages(1).unwrap();
+        assert!(matches!(
+            dev.write_page(PageId(0), &[1, 2]),
+            Err(StorageError::Layout { .. })
+        ));
     }
 }

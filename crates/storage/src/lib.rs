@@ -34,20 +34,26 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod checked;
 mod device;
 mod disk_array;
 mod diskrps;
 mod durable;
+mod error;
+mod fault;
 mod file_device;
 mod latency;
 mod pool;
 mod wal;
 
+pub use checked::CheckedStore;
 pub use device::{BlockDevice, DeviceConfig, DeviceStats, PageId};
 pub use disk_array::{DiskArray, Layout};
-pub use diskrps::DiskRpsEngine;
+pub use diskrps::{DiskRpsEngine, ScrubReport};
 pub use durable::DurableEngine;
+pub use error::{to_nd_error, CheckpointError, RetryPolicy, StorageError};
+pub use fault::{FaultPlan, FaultyStore, SimLogFile, SimLogHandle, SimRng};
 pub use file_device::{FileDevice, PageStore, PodCell};
 pub use latency::LatencyModel;
 pub use pool::{BufferPool, IoStats};
-pub use wal::{Wal, WalRecord};
+pub use wal::{decode_records, FsLogFile, LogFile, Wal, WalRecord};

@@ -3,10 +3,16 @@
 //! Classic textbook design: a fixed number of frames, a hash map from
 //! page id to frame, strict LRU eviction of unpinned frames, dirty
 //! tracking with write-back on eviction and on [`BufferPool::flush`].
+//!
+//! All device traffic goes through the pool's [`RetryPolicy`]: transient
+//! faults (injected `EIO`s, interrupted syscalls) are retried with
+//! bounded exponential backoff; permanent faults surface as
+//! [`StorageError`] to the caller, never as a panic.
 
 use std::collections::HashMap;
 
 use crate::device::{BlockDevice, DeviceStats, PageId};
+use crate::error::{RetryPolicy, StorageError};
 use crate::file_device::PageStore;
 
 /// Pool- and device-level I/O counters.
@@ -42,6 +48,7 @@ pub struct BufferPool<T, S = BlockDevice<T>> {
     device: S,
     frames: Vec<Frame<T>>,
     map: HashMap<PageId, usize>,
+    retry: RetryPolicy,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -65,6 +72,7 @@ impl<T: Clone + Default, S: PageStore<T>> BufferPool<T, S> {
             device,
             frames,
             map: HashMap::new(),
+            retry: RetryPolicy::default(),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -75,6 +83,17 @@ impl<T: Clone + Default, S: PageStore<T>> BufferPool<T, S> {
     /// Number of frames.
     pub fn capacity(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Replaces the transient-fault retry policy (default:
+    /// [`RetryPolicy::default`]).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The underlying device (e.g. to allocate pages).
@@ -88,49 +107,65 @@ impl<T: Clone + Default, S: PageStore<T>> BufferPool<T, S> {
     }
 
     /// Runs `f` over the contents of `page`, faulting it in if needed.
-    pub fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[T]) -> R) -> R {
-        let frame = self.acquire(page);
+    pub fn with_page<R>(
+        &mut self,
+        page: PageId,
+        f: impl FnOnce(&[T]) -> R,
+    ) -> Result<R, StorageError> {
+        let frame = self.acquire(page)?;
         let out = f(&self.frames[frame].data);
         self.frames[frame].pins -= 1;
-        out
+        Ok(out)
     }
 
     /// Runs `f` over mutable contents of `page`, marking it dirty.
-    pub fn with_page_mut<R>(&mut self, page: PageId, f: impl FnOnce(&mut [T]) -> R) -> R {
-        let frame = self.acquire(page);
+    pub fn with_page_mut<R>(
+        &mut self,
+        page: PageId,
+        f: impl FnOnce(&mut [T]) -> R,
+    ) -> Result<R, StorageError> {
+        let frame = self.acquire(page)?;
         self.frames[frame].dirty = true;
         let out = f(&mut self.frames[frame].data);
         self.frames[frame].pins -= 1;
-        out
+        Ok(out)
     }
 
     /// Faults `page` into a frame, pins it, returns the frame index.
-    fn acquire(&mut self, page: PageId) -> usize {
+    fn acquire(&mut self, page: PageId) -> Result<usize, StorageError> {
         self.clock += 1;
         if let Some(&frame) = self.map.get(&page) {
             self.hits += 1;
             self.frames[frame].pins += 1;
             self.frames[frame].last_used = self.clock;
-            return frame;
+            return Ok(frame);
         }
         self.misses += 1;
-        let frame = self.find_victim();
+        let frame = self.find_victim()?;
         // Evict current occupant.
         if let Some(old) = self.frames[frame].page {
             if self.frames[frame].dirty {
-                self.device.write_page(old, &self.frames[frame].data);
+                let data = &self.frames[frame].data;
+                let device = &mut self.device;
+                self.retry.run(|| device.write_page(old, data))?;
             }
             self.map.remove(&old);
             self.evictions += 1;
         }
         let slot = &mut self.frames[frame];
-        self.device.read_page(page, &mut slot.data);
-        slot.page = Some(page);
+        // A failed read leaves the frame empty, not mapped to stale data.
+        slot.page = None;
         slot.dirty = false;
+        {
+            let device = &self.device;
+            let data = &mut slot.data;
+            self.retry.run(|| device.read_page(page, data))?;
+        }
+        slot.page = Some(page);
         slot.pins = 1;
         slot.last_used = self.clock;
         self.map.insert(page, frame);
-        frame
+        Ok(frame)
     }
 
     /// Least-recently-used unpinned frame (empty frames first).
@@ -139,9 +174,9 @@ impl<T: Clone + Default, S: PageStore<T>> BufferPool<T, S> {
     /// pool sizes this workspace uses (≤ a few thousand frames). A
     /// deployment with very large pools would swap this for an intrusive
     /// LRU list to make faults O(1).
-    fn find_victim(&self) -> usize {
+    fn find_victim(&self) -> Result<usize, StorageError> {
         if let Some(i) = self.frames.iter().position(|fr| fr.page.is_none()) {
-            return i;
+            return Ok(i);
         }
         self.frames
             .iter()
@@ -149,18 +184,41 @@ impl<T: Clone + Default, S: PageStore<T>> BufferPool<T, S> {
             .filter(|(_, fr)| fr.pins == 0)
             .min_by_key(|(_, fr)| fr.last_used)
             .map(|(i, _)| i)
-            // lint:allow(L2): a pool sized below its working set is a config bug; fail loudly
-            .expect("all frames pinned: pool too small for working set")
+            .ok_or(StorageError::PoolExhausted {
+                frames: self.frames.len(),
+            })
     }
 
     /// Writes every dirty frame back to the device.
-    pub fn flush(&mut self) {
+    pub fn flush(&mut self) -> Result<(), StorageError> {
         for frame in &mut self.frames {
             if let (Some(page), true) = (frame.page, frame.dirty) {
-                self.device.write_page(page, &frame.data);
+                let data = &frame.data;
+                let device = &mut self.device;
+                self.retry.run(|| device.write_page(page, data))?;
                 frame.dirty = false;
             }
         }
+        Ok(())
+    }
+
+    /// Drops every cached frame, flushing dirty ones first. Used after
+    /// device-level repairs (e.g. [`crate::DiskRpsEngine::scrub`]) so the
+    /// pool cannot serve bytes that predate the repair.
+    pub fn drop_cache(&mut self) -> Result<(), StorageError> {
+        self.flush()?;
+        if self.frames.iter().any(|fr| fr.pins > 0) {
+            return Err(StorageError::PoolExhausted {
+                frames: self.frames.len(),
+            });
+        }
+        for frame in &mut self.frames {
+            frame.page = None;
+            frame.dirty = false;
+            frame.data.clear();
+        }
+        self.map.clear();
+        Ok(())
     }
 
     /// Combined pool + device counters.
@@ -201,8 +259,8 @@ mod tests {
     #[test]
     fn hit_after_miss() {
         let mut p = pool(2, 3);
-        p.with_page(PageId(0), |d| assert_eq!(d, &[0, 0]));
-        p.with_page(PageId(0), |_| ());
+        p.with_page(PageId(0), |d| assert_eq!(d, &[0, 0])).unwrap();
+        p.with_page(PageId(0), |_| ()).unwrap();
         let io = p.io_stats();
         assert_eq!(io.pool_misses, 1);
         assert_eq!(io.pool_hits, 1);
@@ -212,19 +270,19 @@ mod tests {
     #[test]
     fn dirty_write_back_on_eviction() {
         let mut p = pool(1, 2);
-        p.with_page_mut(PageId(0), |d| d[0] = 42);
+        p.with_page_mut(PageId(0), |d| d[0] = 42).unwrap();
         // Touching another page evicts page 0, forcing a write-back.
-        p.with_page(PageId(1), |_| ());
+        p.with_page(PageId(1), |_| ()).unwrap();
         assert_eq!(p.io_stats().page_writes, 1);
         // Re-reading page 0 shows the persisted value.
-        p.with_page(PageId(0), |d| assert_eq!(d[0], 42));
+        p.with_page(PageId(0), |d| assert_eq!(d[0], 42)).unwrap();
     }
 
     #[test]
     fn clean_eviction_skips_write() {
         let mut p = pool(1, 2);
-        p.with_page(PageId(0), |_| ());
-        p.with_page(PageId(1), |_| ());
+        p.with_page(PageId(0), |_| ()).unwrap();
+        p.with_page(PageId(1), |_| ()).unwrap();
         let io = p.io_stats();
         assert_eq!(io.evictions, 1);
         assert_eq!(io.page_writes, 0);
@@ -233,13 +291,13 @@ mod tests {
     #[test]
     fn lru_evicts_coldest() {
         let mut p = pool(2, 3);
-        p.with_page(PageId(0), |_| ());
-        p.with_page(PageId(1), |_| ());
-        p.with_page(PageId(0), |_| ()); // page 1 is now LRU
-        p.with_page(PageId(2), |_| ()); // evicts page 1
-                                        // Page 0 should still be cached.
+        p.with_page(PageId(0), |_| ()).unwrap();
+        p.with_page(PageId(1), |_| ()).unwrap();
+        p.with_page(PageId(0), |_| ()).unwrap(); // page 1 is now LRU
+        p.with_page(PageId(2), |_| ()).unwrap(); // evicts page 1
+                                                 // Page 0 should still be cached.
         let before = p.io_stats().pool_hits;
-        p.with_page(PageId(0), |_| ());
+        p.with_page(PageId(0), |_| ()).unwrap();
         assert_eq!(p.io_stats().pool_hits, before + 1);
     }
 
@@ -247,12 +305,13 @@ mod tests {
     fn flush_persists_all_dirty() {
         let mut p = pool(3, 3);
         for i in 0..3 {
-            p.with_page_mut(PageId(i), |d| d[1] = i as i64 + 10);
+            p.with_page_mut(PageId(i), |d| d[1] = i as i64 + 10)
+                .unwrap();
         }
-        p.flush();
+        p.flush().unwrap();
         assert_eq!(p.io_stats().page_writes, 3);
         // Second flush is a no-op.
-        p.flush();
+        p.flush().unwrap();
         assert_eq!(p.io_stats().page_writes, 3);
     }
 
@@ -261,13 +320,37 @@ mod tests {
         let mut p = pool(1, 4);
         for round in 0..3 {
             for i in 0..4 {
-                p.with_page_mut(PageId(i), |d| d[0] += 1);
+                p.with_page_mut(PageId(i), |d| d[0] += 1).unwrap();
                 let _ = round;
             }
         }
-        p.flush();
+        p.flush().unwrap();
         for i in 0..4 {
-            p.with_page(PageId(i), |d| assert_eq!(d[0], 3));
+            p.with_page(PageId(i), |d| assert_eq!(d[0], 3)).unwrap();
         }
+    }
+
+    #[test]
+    fn unallocated_page_is_typed_error() {
+        let mut p = pool(2, 1);
+        assert!(matches!(
+            p.with_page(PageId(5), |_| ()),
+            Err(StorageError::Unallocated { .. })
+        ));
+        // The pool stays usable after the failed fault.
+        p.with_page(PageId(0), |_| ()).unwrap();
+    }
+
+    #[test]
+    fn drop_cache_forgets_frames_but_persists_dirty() {
+        let mut p = pool(2, 2);
+        p.with_page_mut(PageId(0), |d| d[0] = 9).unwrap();
+        p.drop_cache().unwrap();
+        let io = p.io_stats();
+        assert_eq!(io.page_writes, 1, "dirty frame flushed before drop");
+        // Next access re-faults from the device.
+        let misses = io.pool_misses;
+        p.with_page(PageId(0), |d| assert_eq!(d[0], 9)).unwrap();
+        assert_eq!(p.io_stats().pool_misses, misses + 1);
     }
 }

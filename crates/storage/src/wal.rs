@@ -22,14 +22,24 @@
 //! A torn tail (partial final record, or one with a bad checksum) is
 //! detected and cut off — exactly what a crash mid-append produces.
 //!
+//! The log's byte-level behaviour is abstracted behind [`LogFile`]:
+//! [`FsLogFile`] is the real file; the fault-injection
+//! [`crate::SimLogFile`] models torn appends, lying fsyncs and crashes
+//! for the torture harness. [`Wal`] itself tracks the length of the
+//! valid region (`valid_len`) so a failed or torn append can be rolled
+//! back instead of leaving garbage that would silently swallow every
+//! later record at replay.
+//!
 //! Durability policy: appends land in the OS page cache; call
 //! [`Wal::sync`] to force them to the device (per-append for strict
 //! durability, or at interval for group commit). [`Wal::checkpoint`]
 //! syncs its truncation.
 
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+
+use crate::error::StorageError;
 
 /// The dimension limit shared with the snapshot format.
 const MAX_NDIM: usize = 16;
@@ -60,37 +70,238 @@ fn encode(rec: &WalRecord) -> Vec<u8> {
     buf
 }
 
-/// An append-only update log backed by a file.
-#[derive(Debug)]
-pub struct Wal {
-    file: File,
-    path: PathBuf,
-    next_lsn: u64,
+/// Decodes every intact record from the front of `bytes`, stopping at
+/// the first torn or corrupt record. Returns the records and how many
+/// bytes were valid (so callers may truncate the tail).
+///
+/// This is the single source of truth for recovery: [`Wal::replay`],
+/// [`Wal::repair`] and the torture harness's crash-state oracle all go
+/// through it, so "what survives a crash" is defined in exactly one
+/// place.
+pub fn decode_records(bytes: &[u8]) -> (Vec<WalRecord>, u64) {
+    let mut records: Vec<WalRecord> = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < 12 {
+            break;
+        }
+        // lint:allow(L2): length checked ≥ 12 just above
+        let lsn = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+        // lint:allow(L2): length checked ≥ 12 just above
+        let ndim = u32::from_le_bytes(rest[8..12].try_into().expect("4 bytes")) as usize;
+        if ndim == 0 || ndim > MAX_NDIM {
+            break; // corrupt header: treat as torn tail
+        }
+        let rec_len = 8 + 4 + ndim * 4 + 8 + 8;
+        if rest.len() < rec_len {
+            break;
+        }
+        let framed = &rest[..rec_len - 8];
+        // lint:allow(L2): rec_len bounds checked just above
+        let crc = u64::from_le_bytes(rest[rec_len - 8..rec_len].try_into().expect("8 bytes"));
+        if fnv1a(framed) != crc {
+            break;
+        }
+        // LSNs must be strictly increasing; a regression means the
+        // bytes are stale garbage after an unsynced truncation.
+        if let Some(last) = records.last() {
+            if lsn <= last.lsn {
+                break;
+            }
+        }
+        let coords: Vec<usize> = rest[12..12 + ndim * 4]
+            .chunks_exact(4)
+            // lint:allow(L2): chunks_exact(4) hands us exactly 4 bytes
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")) as usize)
+            .collect();
+        let delta = i64::from_le_bytes(
+            rest[12 + ndim * 4..12 + ndim * 4 + 8]
+                .try_into()
+                // lint:allow(L2): rec_len bounds checked just above
+                .expect("8 bytes"),
+        );
+        records.push(WalRecord { lsn, coords, delta });
+        pos += rec_len;
+    }
+    (records, pos as u64)
 }
 
-impl Wal {
+/// Byte-level log storage: append-only writes plus truncation, behind
+/// which the WAL's framing and recovery logic is device-agnostic.
+pub trait LogFile {
+    /// Appends `bytes` at the end of the log. On error nothing, some
+    /// prefix, or all of `bytes` may have landed — [`Wal`] rolls the
+    /// tail back via [`LogFile::truncate`].
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError>;
+    /// Forces appended bytes to stable storage.
+    fn sync(&mut self) -> Result<(), StorageError>;
+    /// Truncates the log to `len` bytes.
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError>;
+    /// Current log length in bytes.
+    fn len(&self) -> Result<u64, StorageError>;
+    /// Whether the log is empty.
+    fn is_empty(&self) -> Result<bool, StorageError> {
+        Ok(self.len()? == 0)
+    }
+    /// Reads the whole log into memory (recovery path).
+    fn read_all(&mut self) -> Result<Vec<u8>, StorageError>;
+}
+
+/// The real-file [`LogFile`].
+#[derive(Debug)]
+pub struct FsLogFile {
+    file: File,
+    path: PathBuf,
+}
+
+impl FsLogFile {
+    /// Opens (creating if absent) the log file at `path`, cursor at the
+    /// end.
+    pub fn open(path: &Path) -> Result<Self, StorageError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| StorageError::io("open WAL file", e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| StorageError::io("seek WAL file", e))?;
+        Ok(FsLogFile {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl LogFile for FsLogFile {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.file
+            .write_all(bytes)
+            .map_err(|e| StorageError::io("append WAL record", e))
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::io("sync WAL", e))
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
+        self.file
+            .set_len(len)
+            .map_err(|e| StorageError::io("truncate WAL", e))?;
+        self.file
+            .seek(SeekFrom::Start(len))
+            .map_err(|e| StorageError::io("seek WAL file", e))?;
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64, StorageError> {
+        Ok(self
+            .file
+            .metadata()
+            .map_err(|e| StorageError::io("stat WAL file", e))?
+            .len())
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, StorageError> {
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| StorageError::io("seek WAL file", e))?;
+        let mut bytes = Vec::new();
+        self.file
+            .read_to_end(&mut bytes)
+            .map_err(|e| StorageError::io("read WAL file", e))?;
+        Ok(bytes)
+    }
+}
+
+/// An append-only update log over any [`LogFile`].
+#[derive(Debug)]
+pub struct Wal<L: LogFile = FsLogFile> {
+    log: L,
+    next_lsn: u64,
+    /// Bytes of the log known to hold intact records. Appends extend it
+    /// only on success; a failed append truncates back to it, so garbage
+    /// from a torn write can never sit *between* valid records.
+    valid_len: u64,
+    /// Set when a failed append could not be rolled back: the tail may
+    /// hold garbage that would swallow later appends at replay, so the
+    /// log refuses further writes.
+    poisoned: bool,
+}
+
+impl Wal<FsLogFile> {
     /// Opens (creating if absent) the log at `path`, appending after the
     /// last *intact* record; the next LSN continues from there.
     ///
     /// Any torn tail left by a crash is truncated first — otherwise new
     /// appends would land behind garbage that replay treats as the end
     /// of the log, silently losing them.
-    pub fn open(path: &Path) -> io::Result<Wal> {
-        let (records, valid_bytes) = Wal::replay(path)?;
+    pub fn open(path: &Path) -> Result<Wal<FsLogFile>, StorageError> {
+        let (wal, _) = Wal::from_log(FsLogFile::open(path)?)?;
+        Ok(wal)
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        self.log.path()
+    }
+
+    /// Reads every intact record from the start of the log at `path`,
+    /// stopping at the first torn or corrupt record (returning how many
+    /// bytes were valid, so callers may truncate the tail).
+    pub fn replay(path: &Path) -> Result<(Vec<WalRecord>, u64), StorageError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+            Err(e) => return Err(StorageError::io("read WAL file", e)),
+        };
+        Ok(decode_records(&bytes))
+    }
+
+    /// Drops the torn tail after a crash: truncates the log to its last
+    /// intact record.
+    pub fn repair(path: &Path) -> Result<Vec<WalRecord>, StorageError> {
+        let (records, valid) = Wal::replay(path)?;
+        if path.exists() {
+            let f = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| StorageError::io("open WAL file", e))?;
+            f.set_len(valid)
+                .map_err(|e| StorageError::io("truncate WAL", e))?;
+        }
+        Ok(records)
+    }
+}
+
+impl<L: LogFile> Wal<L> {
+    /// Wraps an opened [`LogFile`], truncating any torn tail and
+    /// returning the intact records found (recovery input).
+    pub fn from_log(mut log: L) -> Result<(Wal<L>, Vec<WalRecord>), StorageError> {
+        let bytes = log.read_all()?;
+        let (records, valid) = decode_records(&bytes);
+        if valid < bytes.len() as u64 {
+            log.truncate(valid)?;
+        }
         let next_lsn = records.last().map_or(1, |r| r.lsn + 1);
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        file.set_len(valid_bytes)?;
-        file.seek(SeekFrom::Start(valid_bytes))?;
-        Ok(Wal {
-            file,
-            path: path.to_path_buf(),
-            next_lsn,
-        })
+        Ok((
+            Wal {
+                log,
+                next_lsn,
+                valid_len: valid,
+                poisoned: false,
+            },
+            records,
+        ))
     }
 
     /// Appends one update record and returns its LSN.
@@ -98,38 +309,75 @@ impl Wal {
     /// Rejects records the format cannot represent (more than 16
     /// dimensions, or coordinates beyond `u32::MAX`) instead of writing
     /// something replay would later misread as corruption.
-    pub fn append(&mut self, coords: &[usize], delta: i64) -> io::Result<u64> {
+    ///
+    /// On an append failure the torn tail is truncated away, so the log
+    /// stays appendable; if that rollback itself fails, the log is
+    /// poisoned and refuses further appends (garbage between records
+    /// would silently swallow them at replay).
+    pub fn append(&mut self, coords: &[usize], delta: i64) -> Result<u64, StorageError> {
+        if self.poisoned {
+            return Err(StorageError::Wal {
+                detail: "log poisoned by an unrollbackable torn append".into(),
+            });
+        }
         if coords.is_empty() || coords.len() > MAX_NDIM {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
+            return Err(StorageError::Wal {
+                detail: format!(
                     "WAL records support 1..={MAX_NDIM} dimensions, got {}",
                     coords.len()
                 ),
-            ));
+            });
         }
         if let Some(&c) = coords.iter().find(|&&c| c > u32::MAX as usize) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("coordinate {c} exceeds the WAL's u32 coordinate range"),
-            ));
+            return Err(StorageError::Wal {
+                detail: format!("coordinate {c} exceeds the WAL's u32 coordinate range"),
+            });
         }
         let rec = WalRecord {
             lsn: self.next_lsn,
             coords: coords.to_vec(),
             delta,
         };
-        self.file.write_all(&encode(&rec))?;
-        self.next_lsn += 1;
-        Ok(rec.lsn)
+        let bytes = encode(&rec);
+        match self.log.append(&bytes) {
+            Ok(()) => {
+                self.valid_len += bytes.len() as u64;
+                self.next_lsn += 1;
+                Ok(rec.lsn)
+            }
+            Err(e) => {
+                // The failed append may have landed a partial prefix;
+                // cut it off so the next append starts at a record
+                // boundary.
+                if self.log.truncate(self.valid_len).is_err() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Rolls back the most recent successful append (used when a
+    /// required post-append sync fails: leaving the record in the log
+    /// would let recovery apply an update the caller saw fail).
+    pub fn rollback_last(&mut self, prev_len: u64, prev_next_lsn: u64) -> Result<(), StorageError> {
+        if self.log.truncate(prev_len).is_err() {
+            self.poisoned = true;
+            return Err(StorageError::Wal {
+                detail: "rollback truncation failed; log poisoned".into(),
+            });
+        }
+        self.valid_len = prev_len;
+        self.next_lsn = prev_next_lsn;
+        Ok(())
     }
 
     /// Forces appended records to the device (`fdatasync`). Call after
     /// each append for strict durability, or at interval for group
     /// commit; without it, records survive a process crash but not a
     /// power failure.
-    pub fn sync(&self) -> io::Result<()> {
-        self.file.sync_data()
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.log.sync()
     }
 
     /// The LSN of the most recently appended record (0 when none).
@@ -156,99 +404,26 @@ impl Wal {
     /// run after a checkpoint has durably recorded [`Self::last_lsn`]
     /// alongside the snapshot (recovery skips ≤ that LSN even if the
     /// truncation never happens). LSNs keep counting monotonically.
-    pub fn checkpoint(&mut self) -> io::Result<()> {
-        self.file.set_len(0)?;
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.sync_data()
+    pub fn checkpoint(&mut self) -> Result<(), StorageError> {
+        self.log.truncate(0)?;
+        self.valid_len = 0;
+        self.poisoned = false;
+        self.log.sync()
     }
 
-    /// Current log length in bytes.
-    pub fn len(&self) -> io::Result<u64> {
-        Ok(self.file.metadata()?.len())
+    /// Bytes of intact records currently in the log.
+    pub fn len(&self) -> u64 {
+        self.valid_len
     }
 
     /// Whether the log holds no records.
-    pub fn is_empty(&self) -> io::Result<bool> {
-        Ok(self.len()? == 0)
+    pub fn is_empty(&self) -> bool {
+        self.valid_len == 0
     }
 
-    /// Reads every intact record from the start of the log, stopping at
-    /// the first torn or corrupt record (returning how many bytes were
-    /// valid, so callers may truncate the tail).
-    pub fn replay(path: &Path) -> io::Result<(Vec<WalRecord>, u64)> {
-        let file = match File::open(path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
-            Err(e) => return Err(e),
-        };
-        let mut r = BufReader::new(file);
-        let mut records: Vec<WalRecord> = Vec::new();
-        let mut valid_bytes = 0u64;
-        loop {
-            let mut lsn_b = [0u8; 8];
-            match r.read_exact(&mut lsn_b) {
-                Ok(()) => {}
-                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-                Err(e) => return Err(e),
-            }
-            let mut ndim_b = [0u8; 4];
-            if r.read_exact(&mut ndim_b).is_err() {
-                break;
-            }
-            let ndim = u32::from_le_bytes(ndim_b) as usize;
-            if ndim == 0 || ndim > MAX_NDIM {
-                break; // corrupt header: treat as torn tail
-            }
-            let mut body = vec![0u8; ndim * 4 + 8];
-            if r.read_exact(&mut body).is_err() {
-                break;
-            }
-            let mut crc_b = [0u8; 8];
-            if r.read_exact(&mut crc_b).is_err() {
-                break;
-            }
-            let mut framed = Vec::with_capacity(12 + body.len());
-            framed.extend_from_slice(&lsn_b);
-            framed.extend_from_slice(&ndim_b);
-            framed.extend_from_slice(&body);
-            if fnv1a(&framed) != u64::from_le_bytes(crc_b) {
-                break;
-            }
-            let lsn = u64::from_le_bytes(lsn_b);
-            // LSNs must be strictly increasing; a regression means the
-            // bytes are stale garbage after an unsynced truncation.
-            if let Some(last) = records.last() {
-                if lsn <= last.lsn {
-                    break;
-                }
-            }
-            let coords: Vec<usize> = body[..ndim * 4]
-                .chunks_exact(4)
-                // lint:allow(L2): chunks_exact(4) hands us exactly 4 bytes
-                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")) as usize)
-                .collect();
-            // lint:allow(L2): the record length check above guarantees an 8-byte tail
-            let delta = i64::from_le_bytes(body[ndim * 4..].try_into().expect("8 bytes"));
-            records.push(WalRecord { lsn, coords, delta });
-            valid_bytes += (8 + 4 + ndim * 4 + 8 + 8) as u64;
-        }
-        Ok((records, valid_bytes))
-    }
-
-    /// Drops the torn tail after a crash: truncates the log to its last
-    /// intact record.
-    pub fn repair(path: &Path) -> io::Result<Vec<WalRecord>> {
-        let (records, valid) = Wal::replay(path)?;
-        if path.exists() {
-            let f = OpenOptions::new().write(true).open(path)?;
-            f.set_len(valid)?;
-        }
-        Ok(records)
-    }
-
-    /// The log's path.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// The underlying log file.
+    pub fn log_mut(&mut self) -> &mut L {
+        &mut self.log
     }
 }
 
@@ -307,7 +482,7 @@ mod tests {
         let mut wal = Wal::open(&path).unwrap();
         wal.append(&[1, 1], 9).unwrap();
         wal.checkpoint().unwrap();
-        assert!(wal.is_empty().unwrap());
+        assert!(wal.is_empty());
         assert_eq!(wal.append(&[2, 2], 4).unwrap(), 2); // not reset to 1
         let (recs, _) = Wal::replay(&path).unwrap();
         assert_eq!(recs.len(), 1);
@@ -370,7 +545,7 @@ mod tests {
         // Empty coords.
         assert!(wal.append(&[], 1).is_err());
         // Nothing was written by the failed appends.
-        assert!(wal.is_empty().unwrap());
+        assert!(wal.is_empty());
         assert_eq!(wal.last_lsn(), 0);
     }
 
@@ -440,5 +615,21 @@ mod tests {
         wal.sync().unwrap();
         let (recs, _) = Wal::replay(&path).unwrap();
         assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn decode_records_matches_file_replay() {
+        let path = tmp("decode.wal");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&[4, 2], 6).unwrap();
+            wal.append(&[1, 0], -3).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let (via_bytes, valid) = decode_records(&bytes);
+        let (via_file, valid_file) = Wal::replay(&path).unwrap();
+        assert_eq!(via_bytes, via_file);
+        assert_eq!(valid, valid_file);
+        assert_eq!(valid, bytes.len() as u64);
     }
 }

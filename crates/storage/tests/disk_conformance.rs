@@ -67,7 +67,8 @@ proptest! {
             DeviceConfig { cells_per_page: sc.cells_per_page },
             sc.pool_frames,
             sc.box_aligned,
-        );
+        )
+        .unwrap();
         let mut mem = RpsEngine::from_cube_uniform(&cube, sc.k).unwrap();
 
         for ((r, c), delta) in &sc.updates {
@@ -96,16 +97,17 @@ proptest! {
         let mut model = vec![vec![0i64; cpp]; 16];
         for (page, slot, val) in &writes {
             let slot = slot % cpp;
-            pool.with_page_mut(PageId(*page as u32), |d| d[slot] = *val);
+            pool.with_page_mut(PageId(*page as u32), |d| d[slot] = *val).unwrap();
             model[*page][slot] = *val;
         }
-        pool.flush();
+        pool.flush().unwrap();
         // Every cell must read back exactly as the model says, through a
         // fresh traversal that forces evictions.
         for (page, cells) in model.iter().enumerate() {
             pool.with_page(PageId(page as u32), |d| {
                 assert_eq!(d, &cells[..], "page {page}");
-            });
+            })
+            .unwrap();
         }
     }
 
@@ -119,10 +121,10 @@ proptest! {
         dev.alloc_pages(8);
         let mut pool = BufferPool::new(dev, 1);
         for (i, v) in vals.iter().enumerate() {
-            pool.with_page_mut(PageId(i as u32), |d| d[0] = *v);
+            pool.with_page_mut(PageId(i as u32), |d| d[0] = *v).unwrap();
         }
         for (i, v) in vals.iter().enumerate() {
-            pool.with_page(PageId(i as u32), |d| assert_eq!(d[0], *v));
+            pool.with_page(PageId(i as u32), |d| assert_eq!(d[0], *v)).unwrap();
         }
     }
 }
@@ -135,7 +137,7 @@ fn io_accounting_is_consistent() {
     let mut pool = BufferPool::new(dev, 3);
     let mut requests = 0u64;
     for i in [0u32, 1, 2, 0, 3, 4, 0, 5, 1] {
-        pool.with_page(PageId(i), |_| ());
+        pool.with_page(PageId(i), |_| ()).unwrap();
         requests += 1;
     }
     let io = pool.io_stats();

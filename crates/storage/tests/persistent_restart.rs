@@ -36,10 +36,11 @@ fn survives_restart_from_file() {
         )
         .unwrap();
         let pool = BufferPool::new(device, 8);
-        let mut engine = DiskRpsEngine::from_cube_with_pool(&cube, grid(&cube), pool, true);
+        let mut engine =
+            DiskRpsEngine::from_cube_with_pool(&cube, grid(&cube), pool, true).unwrap();
         engine.update(&[3, 3], 100).unwrap();
         engine.update(&[15, 0], -7).unwrap();
-        engine.flush();
+        engine.flush().unwrap();
     }
 
     // Session 2: reopen the same file, rebuild the overlay, verify.
@@ -51,7 +52,7 @@ fn survives_restart_from_file() {
     )
     .unwrap();
     let pool = BufferPool::new(device, 8);
-    let reopened = DiskRpsEngine::reopen(grid(&cube), pool, true);
+    let reopened = DiskRpsEngine::reopen(grid(&cube), pool, true).unwrap();
 
     let mut oracle = RpsEngine::from_cube_uniform(&cube, K).unwrap();
     oracle.update(&[3, 3], 100).unwrap();
@@ -86,8 +87,8 @@ fn updates_after_restart_also_persist() {
         )
         .unwrap();
         let pool = BufferPool::new(device, 4);
-        let engine = DiskRpsEngine::from_cube_with_pool(&cube, grid(&cube), pool, true);
-        engine.flush();
+        let engine = DiskRpsEngine::from_cube_with_pool(&cube, grid(&cube), pool, true).unwrap();
+        engine.flush().unwrap();
     }
     // Second session applies more updates.
     {
@@ -99,9 +100,9 @@ fn updates_after_restart_also_persist() {
         )
         .unwrap();
         let pool = BufferPool::new(device, 4);
-        let mut engine = DiskRpsEngine::reopen(grid(&cube), pool, true);
+        let mut engine = DiskRpsEngine::reopen(grid(&cube), pool, true).unwrap();
         engine.update(&[0, 0], 1000).unwrap();
-        engine.flush();
+        engine.flush().unwrap();
     }
     // Third session sees both generations of data.
     let device = FileDevice::<i64>::open(
@@ -112,7 +113,7 @@ fn updates_after_restart_also_persist() {
     )
     .unwrap();
     let pool = BufferPool::new(device, 4);
-    let engine = DiskRpsEngine::reopen(grid(&cube), pool, true);
+    let engine = DiskRpsEngine::reopen(grid(&cube), pool, true).unwrap();
     let full = Region::new(&[0, 0], &[N - 1, N - 1]).unwrap();
     let base: i64 = (0..N)
         .flat_map(|r| (0..N).map(move |c| (r + c) as i64))
@@ -127,13 +128,14 @@ fn row_major_layout_restarts_too() {
     {
         let device = FileDevice::<i64>::create(&path, DeviceConfig { cells_per_page: 10 }).unwrap();
         let pool = BufferPool::new(device, 4);
-        let mut engine = DiskRpsEngine::from_cube_with_pool(&cube, grid(&cube), pool, false);
+        let mut engine =
+            DiskRpsEngine::from_cube_with_pool(&cube, grid(&cube), pool, false).unwrap();
         engine.update(&[7, 7], 9).unwrap();
-        engine.flush();
+        engine.flush().unwrap();
     }
     let device = FileDevice::<i64>::open(&path, DeviceConfig { cells_per_page: 10 }).unwrap();
     let pool = BufferPool::new(device, 4);
-    let engine = DiskRpsEngine::reopen(grid(&cube), pool, false);
+    let engine = DiskRpsEngine::reopen(grid(&cube), pool, false).unwrap();
     assert_eq!(engine.cell(&[7, 7]).unwrap(), cube.get(&[7, 7]) + 9);
 }
 
@@ -150,11 +152,9 @@ fn reopen_rejects_undersized_device() {
     let pool = BufferPool::<i64, _>::new(device, 4);
     let cube = NdCube::from_fn(&[N, N], |_| 0i64).unwrap();
     let g = grid(&cube);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        DiskRpsEngine::reopen(g, pool, true)
-    }));
+    let result = DiskRpsEngine::reopen(g, pool, true);
     assert!(
-        result.is_err(),
-        "reopen on an empty device must fail loudly"
+        matches!(result, Err(rps_storage::StorageError::Layout { .. })),
+        "reopen on an empty device must be a typed layout error"
     );
 }

@@ -149,8 +149,10 @@ pub const L1_ALLOWED_MODULES: &[&str] = &[
 
 /// The five library crates whose `src/` trees L2 scans. Tests, benches,
 /// examples, the CLI binary, the bench harness and the `compat/` shims
-/// are exempt by construction.
-const L2_LIBRARY_SRC: &[&str] = &[
+/// are exempt by construction. Public so the fixture tests can assert
+/// the scope itself — in particular that the durable storage crate's
+/// I/O paths stay under the no-panic policy.
+pub const L2_LIBRARY_SRC: &[&str] = &[
     "crates/ndcube/src",
     "crates/rps-core/src",
     "crates/storage/src",

@@ -1,0 +1,34 @@
+//! L2 negative fixture: `unwrap()`/`expect()` on **I/O results** in
+//! storage-style library code — the pattern the durable stack replaces
+//! with `StorageError`. Never compiled — consumed as text by
+//! `tests/lint_fixtures.rs`.
+
+use std::io::Read;
+
+pub fn read_page(path: &std::path::Path, buf: &mut Vec<u8>) {
+    let mut f = std::fs::File::open(path).unwrap(); // line 9: open().unwrap()
+    f.read_to_end(buf).expect("short read"); // line 10: read .expect()
+}
+
+pub fn sync_log(f: &std::fs::File) {
+    f.sync_all().unwrap(); // line 14: fsync .unwrap()
+}
+
+pub fn must_not_happen(res: std::io::Result<u64>) -> std::io::Error {
+    res.unwrap_err() // line 18: .unwrap_err()
+}
+
+pub fn append(f: &mut std::fs::File, bytes: &[u8]) {
+    use std::io::Write;
+    // lint:allow(L2): fixture demonstrates an escaped write; real code returns StorageError
+    f.write_all(bytes).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_io() {
+        let dir = std::env::temp_dir();
+        std::fs::metadata(&dir).unwrap();
+    }
+}

@@ -6,7 +6,7 @@ use std::path::{Path, PathBuf};
 
 use xtask::lints::{
     check_l1, check_l2, check_l3_crate_root, check_l3_manifest, check_l4, check_l5, run_workspace,
-    Finding, Lint,
+    Finding, Lint, L2_LIBRARY_SRC,
 };
 
 fn fixture(name: &str) -> String {
@@ -41,6 +41,37 @@ fn l2_fires_on_panic_family() {
     assert!(messages[1].contains("panic!"));
     assert!(messages[2].contains("expect"));
     assert!(messages[3].contains("todo!"));
+}
+
+#[test]
+fn l2_fires_on_io_unwraps() {
+    // The storage-crate pattern: panicking on I/O results. The escaped
+    // write and the test-module unwrap stay silent.
+    let found = check_l2("l2_io_unwrap.rs", &fixture("l2_io_unwrap.rs"));
+    assert_eq!(lines(&found), vec![9, 10, 14, 18], "findings: {found:#?}");
+    let messages: Vec<&str> = found.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages[0].contains("unwrap"));
+    assert!(messages[1].contains("expect"));
+    assert!(messages[2].contains("unwrap"));
+    assert!(messages[3].contains("unwrap_err"));
+    for f in &found {
+        assert_eq!(f.lint, Lint::L2);
+        assert!(
+            f.hint.contains("typed error"),
+            "hint points at the Result/StorageError fix"
+        );
+    }
+}
+
+#[test]
+fn l2_scope_covers_the_storage_crate() {
+    // The durable stack's library paths must stay under the no-panic
+    // policy: a regression that drops `crates/storage/src` from the L2
+    // scope fails here, not silently in a future review.
+    assert!(
+        L2_LIBRARY_SRC.contains(&"crates/storage/src"),
+        "L2 must scan crates/storage/src; scope is {L2_LIBRARY_SRC:?}"
+    );
 }
 
 #[test]

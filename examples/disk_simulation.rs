@@ -28,11 +28,13 @@ fn main() {
     let mut engines = [
         (
             "box-aligned",
-            DiskRpsEngine::from_cube_with_grid(&cube, grid.clone(), device, pool_frames, true),
+            DiskRpsEngine::from_cube_with_grid(&cube, grid.clone(), device, pool_frames, true)
+                .expect("build disk engine"),
         ),
         (
             "row-major",
-            DiskRpsEngine::from_cube_with_grid(&cube, grid, device, pool_frames, false),
+            DiskRpsEngine::from_cube_with_grid(&cube, grid, device, pool_frames, false)
+                .expect("build disk engine"),
         ),
     ];
 
@@ -70,7 +72,7 @@ fn main() {
         for (c, delta) in ug.take(500) {
             engine.update(&c, delta).unwrap();
         }
-        engine.flush();
+        engine.flush().expect("flush");
         let u_io = engine.io_stats();
 
         table.row(&[

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the deterministic crash-consistency torture harness for the
+# durable storage stack (crates/storage/tests/torture.rs).
+#
+# Each seed derives a fault plan (torn writes, lost writes, fsync
+# failures/lies, bit rot, transient EIO), drives a scripted
+# update/checkpoint workload, then reopens the engine from every crash
+# state — including byte-granular cuts in the WAL tail — and checks the
+# recovery invariants documented in docs/DURABILITY.md. Failures print
+# the seed and the full fault plan; rerunning with that seed reproduces
+# the run exactly.
+#
+# Usage:
+#   scripts/torture.sh               # default seed count (64 in release)
+#   SEEDS=512 scripts/torture.sh     # crank it up
+#   scripts/torture.sh -- --nocapture  # extra args go to the test binary
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ -n "${SEEDS:-}" ]]; then
+  export TORTURE_SEEDS="$SEEDS"
+fi
+
+# Release profile: the sweep reopens the engine at thousands of crash
+# points per seed; debug builds cap the default seed count instead.
+exec cargo test --release -p rps-storage --test torture "$@"

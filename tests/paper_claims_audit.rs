@@ -264,7 +264,7 @@ fn s44_box_sized_pages_give_constant_io() {
     .unwrap();
     disk.reset_io_stats();
     disk.update(&[9, 9], 1).unwrap();
-    disk.flush();
+    disk.flush().unwrap();
     let io = disk.io_stats();
     assert!(io.page_reads <= 1 && io.page_writes <= 1, "{io:?}");
 
