@@ -85,6 +85,37 @@ fn steady_state_query_and_update_do_not_allocate_d3() {
     assert_eq!(u, 0, "d=3 updates allocated {u} times in {OPS} ops");
 }
 
+/// The observability layer must not break the contract even in its most
+/// expensive configuration: latency timing enabled (every query/update
+/// span reads the clock and records into a histogram) and the global
+/// trace ring installed (every finished span is pushed into the
+/// preallocated ring). Metric registration itself allocates, but only
+/// once — the warm-up pass inside `measure` absorbs it.
+#[test]
+fn instrumented_paths_stay_alloc_free_with_timing_and_tracing() {
+    rps_obs::set_timing(true);
+    rps_obs::trace::install(1024);
+    let (q, u) = measure(&[32, 32]);
+    assert_eq!(
+        q, 0,
+        "instrumented queries allocated {q} times in {OPS} ops"
+    );
+    assert_eq!(
+        u, 0,
+        "instrumented updates allocated {u} times in {OPS} ops"
+    );
+    assert!(rps_obs::trace::installed());
+    // The spans above must actually have been recorded, or this test
+    // proves nothing about the instrumented path. Updates run last, so
+    // after thousands of ops the ring (capacity 1024, overwrite-oldest)
+    // holds the trailing rps.update spans.
+    let (events, _overwritten) = rps_obs::trace::drain();
+    assert!(
+        events.iter().any(|e| e.name == "rps.update"),
+        "expected rps.update spans in the trace ring"
+    );
+}
+
 /// Dimensionality changes re-size the shared thread-local scratch; after
 /// one warm-up on the new shape the counter must freeze again. This pins
 /// the `ensure(d)` grow-only design: switching between engines of

@@ -30,9 +30,26 @@ fn save_atomic(
     Ok(())
 }
 
+/// Forces every metric family in the workspace to register, so a stats
+/// dump or `--metrics-file` export shows the full catalog (zeros
+/// included) even when a command never touched some subsystem.
+fn touch_registries() {
+    let _ = rps_core::obs::core();
+    let _ = rps_storage::obs::storage();
+}
+
 /// Dispatches a parsed command line.
+///
+/// Every command accepts `--metrics-file FILE`: after the command runs
+/// (successfully or not), the process-wide metric registry is written to
+/// FILE in Prometheus text format. The flag also enables latency timing
+/// (`rps_obs::set_timing`) so the `*_ns` histograms populate.
 pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
-    match args.command.as_str() {
+    if args.optional("metrics-file").is_some() {
+        rps_obs::set_timing(true);
+        touch_registries();
+    }
+    let result = match args.command.as_str() {
         "help" => help(out),
         "generate" => generate(args, out),
         "ingest" => ingest(args, out),
@@ -46,11 +63,22 @@ pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
         "recover" => recover(args, out),
         "record" => record(args, out),
         "replay" => replay(args, out),
+        "stats" => stats(args, out),
         other => {
             writeln!(out, "unknown command `{other}`")?;
             help(out)
         }
+    };
+    if let Some(path) = args.optional("metrics-file") {
+        touch_registries();
+        if let Err(e) = std::fs::write(path, rps_obs::registry().render()) {
+            // A command failure outranks a failed metrics export.
+            if result.is_ok() {
+                return Err(e.into());
+            }
+        }
     }
+    result
 }
 
 /// Prints usage.
@@ -91,7 +119,14 @@ pub fn help(out: &mut dyn Write) -> CmdResult {
          \x20     record a mixed workload as a replayable trace file\n\
          \x20 replay   --trace FILE [--method naive|chunked|prefix|rps|fenwick]\n\
          \x20     replay a trace (default: all methods, with a cost table)\n\
-         \x20 help\n"
+         \x20 stats    [--from FILE] [--format table|prom] [--watch SECS] [--count N]\n\
+         \x20     dump process metrics (or pretty-print an exported FILE);\n\
+         \x20     --watch re-renders every SECS seconds, --count bounds it\n\
+         \x20 help\n\
+         \n\
+         every command also accepts --metrics-file FILE: after the command\n\
+         runs, the metric registry is exported there in Prometheus text\n\
+         format (see docs/OBSERVABILITY.md)\n"
     )?;
     Ok(())
 }
@@ -568,6 +603,88 @@ fn replay(args: &Args, out: &mut dyn Write) -> CmdResult {
     write!(out, "{}", table.render())?;
     if checksums.windows(2).any(|w| w[0] != w[1]) {
         return Err("methods disagreed on the trace".into());
+    }
+    Ok(())
+}
+
+/// Splits a Prometheus series into (family name, label block).
+fn split_series(series: &str) -> (&str, &str) {
+    match series.find('{') {
+        Some(i) => series.split_at(i),
+        None => (series, ""),
+    }
+}
+
+/// Pretty-prints Prometheus exposition text as a two-column table.
+/// Histogram families collapse to one `count …, mean …` row; counters
+/// and gauges print their raw value.
+fn render_stats_table(text: &str, out: &mut dyn Write) -> CmdResult {
+    let mut table = Table::new(&["metric", "value"]);
+    let mut sums: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut series_count = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let (name, labels) = split_series(series);
+        if name.ends_with("_bucket") {
+            continue;
+        }
+        if let Some(base) = name.strip_suffix("_sum") {
+            sums.insert(format!("{base}{labels}"), value.parse().unwrap_or(0.0));
+            continue;
+        }
+        if let Some(base) = name.strip_suffix("_count") {
+            let key = format!("{base}{labels}");
+            if let Some(sum) = sums.get(&key) {
+                let count: f64 = value.parse().unwrap_or(0.0);
+                let mean = if count > 0.0 { sum / count } else { 0.0 };
+                table.row(&[key, format!("count {value}, mean {mean:.0}")]);
+                series_count += 1;
+                continue;
+            }
+        }
+        table.row(&[series.to_string(), value.to_string()]);
+        series_count += 1;
+    }
+    write!(out, "{}", table.render())?;
+    writeln!(out, "\n{series_count} series")?;
+    Ok(())
+}
+
+fn stats(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let from = args.optional("from");
+    let format = args.optional("format").unwrap_or("table");
+    if !matches!(format, "table" | "prom") {
+        return Err(format!("unknown --format `{format}` (expected table or prom)").into());
+    }
+    let watch = args.optional_usize("watch")?;
+    let count = args.optional_usize("count")?;
+    let mut rounds = 0usize;
+    loop {
+        let text = if let Some(path) = from {
+            std::fs::read_to_string(path)?
+        } else {
+            touch_registries();
+            rps_obs::registry().render()
+        };
+        if format == "prom" {
+            write!(out, "{text}")?;
+        } else {
+            render_stats_table(&text, out)?;
+        }
+        rounds += 1;
+        let Some(secs) = watch else { break };
+        if count.is_some_and(|n| rounds >= n) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(
+            u64::try_from(secs).unwrap_or(u64::MAX),
+        ));
     }
     Ok(())
 }
@@ -1140,6 +1257,82 @@ mod tests {
         .unwrap();
         let mut buf = Vec::new();
         assert!(run(&args, &mut buf).is_err());
+    }
+
+    #[test]
+    fn stats_live_dump_lists_catalog() {
+        let (out, ok) = run_capture(&["stats"]);
+        assert!(ok, "{out}");
+        for name in [
+            "rps_engine_queries_total",
+            "storage_wal_fsyncs_total",
+            "storage_faults_injected_total",
+        ] {
+            assert!(out.contains(name), "stats missing {name}:\n{out}");
+        }
+        assert!(out.contains("series"), "{out}");
+    }
+
+    #[test]
+    fn stats_rejects_unknown_format() {
+        let args = Args::parse(
+            ["stats", "--format", "json"]
+                .iter()
+                .map(std::string::ToString::to_string),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        assert!(run(&args, &mut buf).is_err());
+    }
+
+    #[test]
+    fn metrics_file_exports_prometheus_text() {
+        let cube = tmp("m.cube");
+        let engine = tmp("m.rps");
+        let metrics = tmp("m.prom");
+        run_capture(&["generate", "--dims", "8x8", "--out", &cube]);
+        run_capture(&["build", "--cube", &cube, "--out", &engine]);
+        let (out, ok) = run_capture(&[
+            "query",
+            "--file",
+            &engine,
+            "--range",
+            "0,0:7,7",
+            "--metrics-file",
+            &metrics,
+        ]);
+        assert!(ok, "{out}");
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            text.contains("# TYPE rps_engine_queries_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("rps_engine_queries_total{engine=\"rps\"}")),
+            "{text}"
+        );
+        // The export carries the full catalog, including subsystems this
+        // command never touched.
+        assert!(text.contains("storage_checkpoints_total"), "{text}");
+
+        // And `stats --from` pretty-prints it, folding histograms.
+        let (out, ok) = run_capture(&["stats", "--from", &metrics]);
+        assert!(ok, "{out}");
+        assert!(out.contains("rps_engine_queries_total"), "{out}");
+        assert!(!out.contains("_bucket"), "{out}");
+
+        // `--watch 0 --count 2` renders twice and terminates.
+        let (out, ok) = run_capture(&[
+            "stats", "--from", &metrics, "--watch", "0", "--count", "2", "--format", "prom",
+        ]);
+        assert!(ok, "{out}");
+        assert_eq!(
+            out.matches("# TYPE rps_engine_queries_total counter")
+                .count(),
+            2,
+            "{out}"
+        );
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Fixed-bucket log2 histograms for latency distributions.
+//!
+//! One atomic `fetch_add` into a power-of-two bucket plus a saturating
+//! sum/count update per sample — wait-free apart from the (uncontended
+//! in practice) saturating-sum CAS, and allocation-free always. Bucket
+//! boundaries are compile-time fixed so a `Histogram` is
+//! `const`-constructible and can live in a `static` next to the
+//! counters it complements.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of *finite* buckets. Bucket `i` counts samples `v` with
+/// `v <= 2^i` (and `v > 2^(i-1)` for `i >= 1`); everything above
+/// `2^(BUCKETS-1)` lands in the overflow bucket. With nanosecond
+/// samples the largest finite bound is 2³¹ ns ≈ 2.1 s — anything slower
+/// than that is an outage, not a latency.
+pub const BUCKETS: usize = 32;
+
+/// Total storage slots: the finite buckets plus the overflow bucket.
+pub const SLOTS: usize = BUCKETS + 1;
+
+/// Bucket index for a sample: `0` for `v <= 1`, else `ceil(log2 v)`,
+/// clamped into the overflow slot.
+#[inline]
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        let idx = 64 - (v - 1).leading_zeros() as usize;
+        idx.min(BUCKETS)
+    }
+}
+
+/// Inclusive upper bound of finite bucket `i`, or `None` for the
+/// overflow bucket (`le="+Inf"` in exposition).
+#[must_use]
+pub fn upper_bound(i: usize) -> Option<u64> {
+    (i < BUCKETS).then(|| 1u64 << i)
+}
+
+/// A wait-free log2 latency histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; SLOTS],
+    /// Saturating sum of all samples (so a pathological sample stream
+    /// degrades the mean, never wraps it back towards zero).
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)] // array-init seed
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; SLOTS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Relaxed ordering throughout: cross-thread
+    /// sums may transiently disagree with counts mid-update, which is
+    /// fine for statistics and free for the hot path.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating add needs a CAS loop; contention is negligible for
+        // per-metric statics and the loop body allocates nothing.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Saturating sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts, sum and count. Racy
+    /// across cells (samples may land between loads) but each cell is
+    /// exact; good enough for exposition.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; SLOTS];
+        for (slot, out) in self.buckets.iter().zip(buckets.iter_mut()) {
+            *out = slot.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+
+    /// Zeroes every cell (see [`crate::Counter::reset`]).
+    pub fn reset(&self) {
+        for slot in &self.buckets {
+            slot.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) sample counts; index [`BUCKETS`] is
+    /// the overflow bucket.
+    pub buckets: [u64; SLOTS],
+    /// Saturating sum of samples.
+    pub sum: u64,
+    /// Total samples.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Smallest finite bucket bound `b` such that at least
+    /// `q` (in `0..=1000`, permille) of samples are `<= b`; `None` when
+    /// the quantile falls in the overflow bucket or the histogram is
+    /// empty. Coarse by construction (power-of-two resolution).
+    #[must_use]
+    pub fn quantile_bound(&self, q_permille: u64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (self.count.saturating_mul(q_permille)).div_ceil(1000);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return upper_bound(i);
+            }
+        }
+        None
+    }
+}

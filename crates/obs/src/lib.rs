@@ -1,0 +1,102 @@
+//! Zero-overhead observability for the RPS workspace.
+//!
+//! The paper this repo reproduces sells a *measurable* trade-off —
+//! O(1)-read queries against O(n^{d/2}) updates — and this crate is how
+//! a running engine proves it live instead of only in offline benches:
+//!
+//! * [`Counter`] / [`Gauge`] — relaxed-ordering `AtomicU64` cells, one
+//!   `fetch_add` per event on the hot path, nothing else;
+//! * [`Histogram`] — fixed-bucket log2 latency histograms
+//!   ([`histogram::BUCKETS`] buckets plus an overflow bucket), wait-free
+//!   recording, saturating sums;
+//! * [`Registry`] — static registration of `&'static` metrics with
+//!   name/help/unit/label metadata and Prometheus-style text
+//!   [`Registry::render`];
+//! * [`Span`] — lightweight span timers that record elapsed nanoseconds
+//!   into a histogram on drop, with an optional fixed-capacity
+//!   ring-buffer trace sink ([`trace`]);
+//! * a global [`set_timing`] switch: counters are always on (one relaxed
+//!   atomic add, unmeasurable next to a cache miss), while clock reads
+//!   for latency histograms/spans are gated behind a single relaxed
+//!   `bool` load so the *default* hot-path cost is counters only.
+//!
+//! # Design constraints
+//!
+//! * **Dependency-free.** This crate sits below `rps-core` and
+//!   `rps-storage` in the dependency graph; it must not drag anything
+//!   into the kernels.
+//! * **Allocation-free on the hot path.** Recording a counter, gauge,
+//!   histogram sample, span, or trace event performs zero heap
+//!   allocations (the trace ring is preallocated at install time).
+//!   Verified by `crates/bench/tests/zero_alloc.rs` under the counting
+//!   allocator, and priced by the `exp_obs_overhead` bench
+//!   (`BENCH_OBS.json`).
+//! * **`Instant` lives here and only here.** The repo lint `L6`
+//!   (`cargo xtask lint`) forbids direct `std::time::Instant` use in
+//!   hot-path modules; timers must go through [`Span`] /
+//!   [`Stopwatch`] so the timing gate stays honest.
+//!
+//! # Quick start
+//!
+//! ```
+//! use rps_obs::{self as obs, Counter, Histogram, registry};
+//!
+//! static QUERIES: Counter = Counter::new();
+//! static QUERY_NS: Histogram = Histogram::new();
+//!
+//! // Register once (idempotence is the caller's job; a OnceLock works).
+//! registry().counter("demo_queries_total", "Queries served", "ops", "demo", &[], &QUERIES);
+//! registry().histogram("demo_query_ns", "Query latency", "ns", "demo", &[], &QUERY_NS);
+//!
+//! // Hot path: one relaxed add; the span is a no-op until timing is on.
+//! QUERIES.inc();
+//! obs::set_timing(true);
+//! {
+//!     let _span = obs::Span::enter("demo.query", &QUERY_NS);
+//! } // drop records elapsed ns
+//!
+//! assert_eq!(QUERIES.get(), 1);
+//! assert_eq!(QUERY_NS.count(), 1);
+//! let text = registry().render();
+//! assert!(text.contains("demo_queries_total 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod metric;
+pub mod registry;
+pub mod span;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use metric::{Counter, Gauge};
+pub use registry::{registry, Desc, Kind, Registry, Sample, Value};
+pub use span::{Span, Stopwatch};
+pub use trace::TraceEvent;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Global switch for clock reads (span timers, stopwatches).
+///
+/// Counters and gauges are always live; only *timing* — the two
+/// `Instant::now()` calls a span costs — is gated, because on a
+/// ~300 ns query those clock reads are the one part of instrumentation
+/// that is not free. Off by default.
+static TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables latency timing globally (relaxed store).
+///
+/// Counters keep counting either way; histograms simply stop receiving
+/// samples while timing is off.
+pub fn set_timing(on: bool) {
+    TIMING.store(on, Ordering::Relaxed);
+}
+
+/// Whether latency timing is currently enabled (relaxed load — this is
+/// the only cost a disabled span pays).
+#[inline]
+pub fn timing_enabled() -> bool {
+    TIMING.load(Ordering::Relaxed)
+}

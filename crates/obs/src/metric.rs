@@ -1,0 +1,131 @@
+//! Counters and gauges: relaxed-ordering `AtomicU64` cells.
+//!
+//! Same idiom as `rps-core`'s `StatsCell`: monotonic event counts where
+//! each observation is one `fetch_add(_, Relaxed)` — no fences, no
+//! locks, no allocation. Relaxed ordering is sufficient because these
+//! are statistics, not synchronization: readers only need each cell to
+//! be internally consistent, never cross-cell ordering.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// `const`-constructible so it can live in a `static` and be registered
+/// once with the [`crate::Registry`]; the hot path then touches the
+/// atomic directly and never sees the registry.
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` events in one atomic op — callers that already batch
+    /// (e.g. a parallel update sweep) coalesce to a single add.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero. Exposition normally never resets (Prometheus
+    /// counters are cumulative); tests and the CLI `stats` command use
+    /// this to scope a measurement window.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// A last-value-wins instantaneous measurement (pool occupancy, ring
+/// depth). Stored as `u64`; signed gauges are out of scope here.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds to the current value.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts from the current value (saturating at zero would need a
+    /// CAS; callers keep their own invariant that the gauge never goes
+    /// negative, matching how pool pin counts behave).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (see [`Counter::reset`]).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+    }
+}

@@ -1,0 +1,413 @@
+//! Static metric registration and Prometheus-style text exposition.
+//!
+//! Metrics are `&'static` atomics (see [`crate::Counter`],
+//! [`crate::Histogram`]); the registry holds only *metadata* plus a
+//! reference, so the hot path never touches it — registration happens
+//! once per process (each subsystem guards its own `OnceLock`), and
+//! exposition walks the entries under a mutex that no fast path ever
+//! takes.
+
+use std::sync::{Mutex, OnceLock};
+
+use crate::histogram::{upper_bound, HistogramSnapshot, BUCKETS};
+use crate::{Counter, Gauge, Histogram};
+
+/// What a registered metric is, for `# TYPE` lines and pretty-printing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonic event count.
+    Counter,
+    /// Last-value-wins measurement.
+    Gauge,
+    /// Log2 latency distribution.
+    Histogram,
+}
+
+impl Kind {
+    /// The Prometheus `# TYPE` keyword.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Metric metadata: everything docs/OBSERVABILITY.md catalogs.
+#[derive(Debug, Clone, Copy)]
+pub struct Desc {
+    /// Exposition name, e.g. `rps_engine_queries_total`.
+    pub name: &'static str,
+    /// One-line human description (the `# HELP` text).
+    pub help: &'static str,
+    /// Unit of the value or samples: `ops`, `ns`, `pages`, …
+    pub unit: &'static str,
+    /// Which subsystem emits it: `rps-core`, `storage`, `cli`, …
+    pub subsystem: &'static str,
+    /// Fixed label pairs, e.g. `&[("engine", "rps")]`. Metrics sharing a
+    /// name with different labels are one logical family.
+    pub labels: &'static [(&'static str, &'static str)],
+    /// Metric kind.
+    pub kind: Kind,
+}
+
+enum Handle {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// A point-in-time value of one registered metric.
+///
+/// Sized by its histogram variant (a full bucket array); samples are
+/// exposition-path only, so compactness is irrelevant.
+#[derive(Debug, Clone, Copy)]
+#[allow(clippy::large_enum_variant)]
+pub enum Value {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// One registered metric plus its current value.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// The metric's metadata.
+    pub desc: Desc,
+    /// Its value at snapshot time.
+    pub value: Value,
+}
+
+struct Entry {
+    desc: Desc,
+    handle: Handle,
+}
+
+/// The metric registry: registration order is exposition order.
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.entries.lock().map_or(0, |e| e.len());
+        write!(f, "Registry({n} metrics)")
+    }
+}
+
+/// The process-global registry every subsystem registers into.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+impl Registry {
+    /// An empty registry (the global one is usually what you want; a
+    /// private registry is useful in tests).
+    #[must_use]
+    pub fn new() -> Self {
+        Registry {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn push(&self, desc: Desc, handle: Handle) {
+        let Ok(mut entries) = self.entries.lock() else {
+            return; // a poisoned registry only degrades exposition
+        };
+        // Idempotent: re-registering the same (name, labels) pair keeps
+        // the first registration, so subsystem init guards stay simple.
+        if entries
+            .iter()
+            .any(|e| e.desc.name == desc.name && e.desc.labels == desc.labels)
+        {
+            return;
+        }
+        entries.push(Entry { desc, handle });
+    }
+
+    /// Registers a counter.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        unit: &'static str,
+        subsystem: &'static str,
+        labels: &'static [(&'static str, &'static str)],
+        metric: &'static Counter,
+    ) {
+        self.push(
+            Desc {
+                name,
+                help,
+                unit,
+                subsystem,
+                labels,
+                kind: Kind::Counter,
+            },
+            Handle::Counter(metric),
+        );
+    }
+
+    /// Registers a gauge.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        unit: &'static str,
+        subsystem: &'static str,
+        labels: &'static [(&'static str, &'static str)],
+        metric: &'static Gauge,
+    ) {
+        self.push(
+            Desc {
+                name,
+                help,
+                unit,
+                subsystem,
+                labels,
+                kind: Kind::Gauge,
+            },
+            Handle::Gauge(metric),
+        );
+    }
+
+    /// Registers a histogram.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        unit: &'static str,
+        subsystem: &'static str,
+        labels: &'static [(&'static str, &'static str)],
+        metric: &'static Histogram,
+    ) {
+        self.push(
+            Desc {
+                name,
+                help,
+                unit,
+                subsystem,
+                labels,
+                kind: Kind::Histogram,
+            },
+            Handle::Histogram(metric),
+        );
+    }
+
+    /// Distinct metric names in registration order (label variants of a
+    /// family collapse to one name) — what docs/OBSERVABILITY.md's
+    /// catalog is diffed against.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        let Ok(entries) = self.entries.lock() else {
+            return Vec::new();
+        };
+        let mut names: Vec<&'static str> = Vec::with_capacity(entries.len());
+        for e in entries.iter() {
+            if !names.contains(&e.desc.name) {
+                names.push(e.desc.name);
+            }
+        }
+        names
+    }
+
+    /// Point-in-time values of every registered metric.
+    #[must_use]
+    pub fn samples(&self) -> Vec<Sample> {
+        let Ok(entries) = self.entries.lock() else {
+            return Vec::new();
+        };
+        entries
+            .iter()
+            .map(|e| Sample {
+                desc: e.desc,
+                value: match e.handle {
+                    Handle::Counter(c) => Value::Counter(c.get()),
+                    Handle::Gauge(g) => Value::Gauge(g.get()),
+                    Handle::Histogram(h) => Value::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
+    }
+
+    /// Resets every registered metric to zero (measurement windows in
+    /// tests and the CLI; a scrape endpoint would never call this).
+    pub fn reset(&self) {
+        let Ok(entries) = self.entries.lock() else {
+            return;
+        };
+        for e in entries.iter() {
+            match e.handle {
+                Handle::Counter(c) => c.reset(),
+                Handle::Gauge(g) => g.reset(),
+                Handle::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Renders the whole registry in Prometheus text exposition format.
+    ///
+    /// `# HELP` / `# TYPE` are emitted once per metric family (first
+    /// registration wins); histograms emit cumulative `_bucket` lines up
+    /// to the highest occupied finite bucket, then `le="+Inf"`, `_sum`
+    /// and `_count`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let samples = self.samples();
+        let mut out = String::new();
+        let mut seen: Vec<&'static str> = Vec::new();
+        for s in &samples {
+            if !seen.contains(&s.desc.name) {
+                seen.push(s.desc.name);
+                out.push_str("# HELP ");
+                out.push_str(s.desc.name);
+                out.push(' ');
+                out.push_str(s.desc.help);
+                if !s.desc.unit.is_empty() {
+                    out.push_str(" (");
+                    out.push_str(s.desc.unit);
+                    out.push(')');
+                }
+                out.push('\n');
+                out.push_str("# TYPE ");
+                out.push_str(s.desc.name);
+                out.push(' ');
+                out.push_str(s.desc.kind.as_str());
+                out.push('\n');
+            }
+            render_sample(&mut out, s);
+        }
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+/// `{k1="v1",k2="v2"}`, with `extra` (used for `le`) appended last;
+/// empty string when there are no labels at all.
+fn label_block(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut s = String::from("{");
+    let mut first = true;
+    for (k, v) in labels.iter().copied().chain(extra) {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(k);
+        s.push_str("=\"");
+        s.push_str(v);
+        s.push('"');
+    }
+    s.push('}');
+    s
+}
+
+fn render_sample(out: &mut String, s: &Sample) {
+    use std::fmt::Write as _;
+    let name = s.desc.name;
+    let labels = s.desc.labels;
+    match s.value {
+        Value::Counter(v) | Value::Gauge(v) => {
+            let _ = writeln!(out, "{name}{} {v}", label_block(labels, None));
+        }
+        Value::Histogram(snap) => {
+            let last = snap
+                .buckets
+                .iter()
+                .take(BUCKETS)
+                .rposition(|&c| c > 0)
+                .unwrap_or(0);
+            let mut cum = 0u64;
+            let mut bound = String::new();
+            for (i, &c) in snap.buckets.iter().take(last + 1).enumerate() {
+                cum += c;
+                bound.clear();
+                let _ = write!(bound, "{}", upper_bound(i).unwrap_or(u64::MAX));
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {cum}",
+                    label_block(labels, Some(("le", &bound)))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {}",
+                label_block(labels, Some(("le", "+Inf"))),
+                snap.count
+            );
+            let _ = writeln!(out, "{name}_sum{} {}", label_block(labels, None), snap.sum);
+            let _ = writeln!(
+                out,
+                "{name}_count{} {}",
+                label_block(labels, None),
+                snap.count
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static C: Counter = Counter::new();
+    static G: Gauge = Gauge::new();
+    static H: Histogram = Histogram::new();
+
+    #[test]
+    fn render_covers_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("t_ops_total", "Ops", "ops", "test", &[], &C);
+        reg.gauge("t_depth", "Depth", "items", "test", &[], &G);
+        reg.histogram("t_ns", "Latency", "ns", "test", &[], &H);
+        C.add(3);
+        G.set(7);
+        H.record(5);
+        let text = reg.render();
+        assert!(text.contains("# TYPE t_ops_total counter"));
+        assert!(text.contains("t_ops_total 3"));
+        assert!(text.contains("t_depth 7"));
+        assert!(text.contains("t_ns_bucket{le=\"8\"} 1"));
+        assert!(text.contains("t_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("t_ns_sum 5"));
+        assert!(text.contains("t_ns_count 1"));
+        assert_eq!(reg.names(), vec!["t_ops_total", "t_depth", "t_ns"]);
+    }
+
+    #[test]
+    fn duplicate_registration_is_idempotent() {
+        static D: Counter = Counter::new();
+        let reg = Registry::new();
+        reg.counter("dup_total", "A", "ops", "test", &[], &D);
+        reg.counter("dup_total", "B", "ops", "test", &[], &D);
+        assert_eq!(reg.samples().len(), 1);
+    }
+
+    #[test]
+    fn label_variants_share_help_and_type() {
+        static A: Counter = Counter::new();
+        static B: Counter = Counter::new();
+        let reg = Registry::new();
+        reg.counter("fam_total", "Family", "ops", "t", &[("engine", "rps")], &A);
+        reg.counter("fam_total", "Family", "ops", "t", &[("engine", "disk")], &B);
+        A.add(1);
+        B.add(2);
+        let text = reg.render();
+        assert_eq!(text.matches("# TYPE fam_total counter").count(), 1);
+        assert!(text.contains("fam_total{engine=\"rps\"} 1"));
+        assert!(text.contains("fam_total{engine=\"disk\"} 2"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Span timers: scoped latency measurement that respects the global
+//! timing gate.
+//!
+//! A [`Span`] is the only sanctioned way to read the clock from
+//! hot-path code (repo lint L6 flags raw `std::time::Instant` use
+//! there): when timing is disabled ([`crate::set_timing`]) entering and
+//! dropping a span costs one relaxed `bool` load and nothing else — no
+//! clock read, no histogram traffic, no trace event.
+
+use std::time::Instant;
+
+use crate::{timing_enabled, trace, Histogram};
+
+/// Converts a [`std::time::Duration`] to whole nanoseconds, saturating
+/// (a >584-year span is not a latency).
+fn ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A free-standing timer for code that wants the elapsed value itself
+/// (e.g. to record into one of several histograms depending on the
+/// outcome). Obeys the timing gate: when disabled, `elapsed_ns` is
+/// `None` and nothing was measured.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Starts the watch (a no-op when timing is disabled).
+    #[inline]
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: timing_enabled().then(Instant::now),
+        }
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`], or `None` when timing was
+    /// disabled at start time.
+    #[inline]
+    #[must_use]
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.start.map(|s| ns(s.elapsed()))
+    }
+
+    /// Records the elapsed time into `hist` (no-op when disabled).
+    #[inline]
+    pub fn record(self, hist: &Histogram) {
+        if let Some(v) = self.elapsed_ns() {
+            hist.record(v);
+        }
+    }
+}
+
+/// A scoped span: on drop, records elapsed nanoseconds into its
+/// histogram and, if a trace ring is installed ([`trace::install`]),
+/// appends a [`crate::TraceEvent`].
+///
+/// Span names are static, dot-separated `subsystem.operation` strings
+/// (`rps.query`, `wal.fsync`, `pool.miss` — see
+/// docs/OBSERVABILITY.md for the conventions) so tracing never
+/// allocates or formats on the hot path.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    hist: &'static Histogram,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Enters a span over `hist` (a no-op when timing is disabled).
+    #[inline]
+    #[must_use]
+    pub fn enter(name: &'static str, hist: &'static Histogram) -> Self {
+        Span {
+            name,
+            hist,
+            start: timing_enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let dur_ns = ns(start.elapsed());
+            self.hist.record(dur_ns);
+            trace::push(self.name, start, dur_ns);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Optional ring-buffer trace sink for span events.
+//!
+//! Off by default: until [`install`] is called, a finished span pays
+//! one `OnceLock` load to discover there is no sink. Installing
+//! preallocates a fixed-capacity ring of [`TraceEvent`]s; pushes then
+//! overwrite the oldest event, so steady-state tracing is
+//! allocation-free and bounded regardless of traffic.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One finished span: static name, start offset from the sink's epoch,
+/// duration. Fixed-size so the ring never allocates per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The span's static name (`wal.fsync`, `rps.query`, …).
+    pub name: &'static str,
+    /// Nanoseconds between the sink's installation and the span's start.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct Ring {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next overwrite position once the ring is full.
+    next: usize,
+    /// Events discarded because the ring was full.
+    dropped: u64,
+}
+
+struct Sink {
+    ring: Mutex<Ring>,
+    epoch: Instant,
+}
+
+static SINK: OnceLock<Sink> = OnceLock::new();
+
+/// Installs the global trace ring with room for `capacity` events.
+/// Returns `false` if a sink was already installed (the first one
+/// wins; capacity cannot be changed afterwards).
+pub fn install(capacity: usize) -> bool {
+    let cap = capacity.max(1);
+    SINK.set(Sink {
+        ring: Mutex::new(Ring {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            dropped: 0,
+        }),
+        epoch: Instant::now(),
+    })
+    .is_ok()
+}
+
+/// Whether a trace ring is installed.
+#[must_use]
+pub fn installed() -> bool {
+    SINK.get().is_some()
+}
+
+/// Appends a finished span to the ring, if one is installed. Within the
+/// preallocated capacity; never allocates.
+pub(crate) fn push(name: &'static str, start: Instant, dur_ns: u64) {
+    let Some(sink) = SINK.get() else { return };
+    let start_ns =
+        u64::try_from(start.saturating_duration_since(sink.epoch).as_nanos()).unwrap_or(u64::MAX);
+    let ev = TraceEvent {
+        name,
+        start_ns,
+        dur_ns,
+    };
+    let Ok(mut ring) = sink.ring.lock() else {
+        return;
+    };
+    if ring.buf.len() < ring.cap {
+        ring.buf.push(ev);
+    } else {
+        let at = ring.next;
+        ring.buf[at] = ev;
+        ring.next = (at + 1) % ring.cap;
+        ring.dropped += 1;
+    }
+}
+
+/// Drains the ring: returns the retained events in chronological order
+/// and the count of older events the ring overwrote, then resets it.
+/// Returns `(empty, 0)` when no sink is installed.
+#[must_use]
+pub fn drain() -> (Vec<TraceEvent>, u64) {
+    let Some(sink) = SINK.get() else {
+        return (Vec::new(), 0);
+    };
+    let Ok(mut ring) = sink.ring.lock() else {
+        return (Vec::new(), 0);
+    };
+    let mut out = Vec::with_capacity(ring.buf.len());
+    out.extend_from_slice(&ring.buf[ring.next..]);
+    out.extend_from_slice(&ring.buf[..ring.next]);
+    let dropped = ring.dropped;
+    ring.buf.clear();
+    ring.next = 0;
+    ring.dropped = 0;
+    (out, dropped)
+}

@@ -1,0 +1,93 @@
+//! Histogram bucket-boundary behavior: exact power-of-two edges, the
+//! overflow bucket, and u64 saturation of the running sum.
+
+use rps_obs::histogram::{bucket_index, upper_bound, BUCKETS, SLOTS};
+use rps_obs::Histogram;
+
+#[test]
+fn bucket_index_at_every_power_of_two_edge() {
+    // Bucket 0 holds 0 and 1; bucket i (i >= 1) holds (2^(i-1), 2^i].
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 0);
+    for i in 1..BUCKETS {
+        let bound = 1u64 << i;
+        assert_eq!(bucket_index(bound), i, "2^{i} itself is inclusive");
+        // 2^i − 1 stays in bucket i for i >= 2 (still above 2^(i-1));
+        // the one exception is i = 1, where 2^1 − 1 = 1 is in bucket 0.
+        let below = if i == 1 { 0 } else { i };
+        assert_eq!(bucket_index(bound - 1), below, "just below the bound");
+        assert_eq!(bucket_index(bound + 1), i + 1, "just above spills over");
+    }
+    // Edge spot checks, written out so a bucketing regression reads off
+    // the diff directly.
+    assert_eq!(bucket_index(2), 1);
+    assert_eq!(bucket_index(3), 2);
+    assert_eq!(bucket_index(4), 2);
+    assert_eq!(bucket_index(5), 3);
+    assert_eq!(bucket_index(1024), 10);
+    assert_eq!(bucket_index(1025), 11);
+}
+
+#[test]
+fn values_beyond_the_last_finite_bound_land_in_overflow() {
+    let top = 1u64 << (BUCKETS - 1); // largest finite bound
+    assert_eq!(bucket_index(top), BUCKETS - 1);
+    assert_eq!(bucket_index(top + 1), BUCKETS, "first overflow value");
+    assert_eq!(bucket_index(u64::MAX), BUCKETS);
+    assert_eq!(upper_bound(BUCKETS), None, "overflow bucket is +Inf");
+    assert_eq!(upper_bound(BUCKETS - 1), Some(top));
+
+    let h = Histogram::new();
+    h.record(top);
+    h.record(top + 1);
+    h.record(u64::MAX);
+    let snap = h.snapshot();
+    assert_eq!(snap.buckets[BUCKETS - 1], 1);
+    assert_eq!(snap.buckets[BUCKETS], 2, "overflow bucket counts both");
+    assert_eq!(snap.count, 3);
+    assert_eq!(snap.buckets.len(), SLOTS);
+}
+
+#[test]
+fn sum_saturates_instead_of_wrapping() {
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    assert_eq!(h.sum(), u64::MAX);
+    // A second enormous sample must pin the sum at MAX, not wrap it back
+    // toward zero (which would corrupt every derived mean).
+    h.record(u64::MAX);
+    assert_eq!(h.sum(), u64::MAX);
+    assert_eq!(h.count(), 2);
+    h.record(7);
+    assert_eq!(h.sum(), u64::MAX, "still pinned once saturated");
+    assert_eq!(h.snapshot().mean(), u64::MAX / 3);
+}
+
+#[test]
+fn snapshot_mean_and_quantiles() {
+    let h = Histogram::new();
+    for v in [1u64, 2, 3, 4, 100] {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 5);
+    assert_eq!(snap.sum, 110);
+    assert_eq!(snap.mean(), 22);
+    // The median (3rd of 5 samples) falls in the bucket bounded by 4;
+    // p99 in the one holding 100 (le=128). Coarse (log2) by design.
+    assert_eq!(snap.quantile_bound(500), Some(4));
+    assert_eq!(snap.quantile_bound(990), Some(128));
+    assert_eq!(Histogram::new().snapshot().quantile_bound(500), None);
+}
+
+#[test]
+fn reset_zeroes_everything() {
+    let h = Histogram::new();
+    h.record(5);
+    h.record(u64::MAX);
+    h.reset();
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.sum, 0);
+    assert!(snap.buckets.iter().all(|&c| c == 0));
+}

@@ -1,0 +1,56 @@
+//! Span timing gate + trace ring behavior.
+//!
+//! One test function on purpose: the timing gate and the trace sink are
+//! process-global, so the scenario runs as a single deterministic
+//! sequence instead of racing parallel `#[test]`s over shared state.
+
+use rps_obs::{set_timing, timing_enabled, trace, Histogram, Span, Stopwatch};
+
+static H: Histogram = Histogram::new();
+
+#[test]
+fn spans_respect_gate_and_feed_the_ring() {
+    // Timing off (the default): spans and stopwatches are inert.
+    assert!(!timing_enabled());
+    {
+        let _s = Span::enter("test.off", &H);
+    }
+    let sw = Stopwatch::start();
+    assert_eq!(sw.elapsed_ns(), None);
+    sw.record(&H);
+    assert_eq!(H.count(), 0, "disabled timing must record nothing");
+
+    // No sink installed: timed spans record latency but trace nothing.
+    set_timing(true);
+    {
+        let _s = Span::enter("test.unsinked", &H);
+    }
+    assert_eq!(H.count(), 1);
+    let (events, dropped) = trace::drain();
+    assert!(events.is_empty() && dropped == 0);
+
+    // Install a 4-slot ring, run 6 spans: the ring retains the newest 4
+    // in chronological order and reports 2 overwritten.
+    assert!(trace::install(4));
+    assert!(!trace::install(8), "second install must not win");
+    assert!(trace::installed());
+    for _ in 0..6 {
+        let _s = Span::enter("test.traced", &H);
+    }
+    let (events, dropped) = trace::drain();
+    assert_eq!(events.len(), 4, "ring capacity bounds retention");
+    assert_eq!(dropped, 2);
+    assert!(events.iter().all(|e| e.name == "test.traced"));
+    assert!(events.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+
+    // Drain resets; a stopwatch with timing on measures something real.
+    let (empty, d) = trace::drain();
+    assert!(empty.is_empty() && d == 0, "drain resets the ring");
+    let sw = Stopwatch::start();
+    std::hint::black_box(0u64);
+    let ns = sw.elapsed_ns().expect("timing is on");
+    sw.record(&H);
+    assert!(H.count() >= 8, "stopwatch recorded");
+    let _ = ns;
+    set_timing(false);
+}

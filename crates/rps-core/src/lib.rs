@@ -55,6 +55,7 @@ pub mod corners;
 pub mod engine;
 pub mod fenwick;
 pub mod naive;
+pub mod obs;
 pub mod prefix;
 pub mod rps;
 pub mod snapshot;

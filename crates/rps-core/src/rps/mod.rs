@@ -47,17 +47,42 @@ use crate::value::GroupValue;
 
 /// Range-sum engine implementing the relative prefix sum method.
 ///
+/// The README quick start, compiled (through the `rps` facade the same
+/// code reads `use rps::{RangeSumEngine, RpsEngine};`):
+///
 /// ```
 /// use rps_core::{RangeSumEngine, RpsEngine};
 /// use ndcube::{NdCube, Region};
 ///
-/// let cube = NdCube::from_fn(&[9, 9], |c| (c[0] + c[1]) as i64).unwrap();
-/// let mut engine = RpsEngine::from_cube_uniform(&cube, 3).unwrap();
-/// let region = Region::new(&[2, 2], &[7, 5]).unwrap();
-/// let before = engine.query(&region).unwrap();
-/// engine.update(&[4, 4], 10).unwrap();
-/// assert_eq!(engine.query(&region).unwrap(), before + 10);
+/// // SALES by CUSTOMER_AGE × DAY.
+/// let sales = NdCube::from_fn(&[100, 365], |c| ((c[0] * 13 + c[1]) % 97) as i64)?;
+/// let mut engine = RpsEngine::from_cube(&sales);          // k = ⌈√n⌉ boxes
+///
+/// // O(1) range sum: ages 37–52, days 275–364.
+/// let q = Region::new(&[37, 275], &[52, 364])?;
+/// let total = engine.query(&q)?;
+///
+/// // A new sale arrives: cheap in-place update, no cube rebuild.
+/// engine.update(&[41, 364], 250)?;
+/// assert_eq!(engine.query(&q)?, total + 250);
+/// # Ok::<(), ndcube::NdError>(())
+/// ```
+///
+/// An explicit box side (the `k` the paper's §4.3 optimizes) comes from
+/// [`RpsEngine::from_cube_uniform`]:
+///
+/// ```
+/// use rps_core::{RangeSumEngine, RpsEngine};
+/// use ndcube::{NdCube, Region};
+///
+/// let cube = NdCube::from_fn(&[9, 9], |c| (c[0] + c[1]) as i64)?;
+/// let mut engine = RpsEngine::from_cube_uniform(&cube, 3)?;
+/// let region = Region::new(&[2, 2], &[7, 5])?;
+/// let before = engine.query(&region)?;
+/// engine.update(&[4, 4], 10)?;
+/// assert_eq!(engine.query(&region)?, before + 10);
 /// // O(1): the query read at most 2^d·(d+2) = 16 cells.
+/// # Ok::<(), ndcube::NdError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct RpsEngine<T> {
@@ -333,12 +358,14 @@ impl<T: GroupValue> RpsEngine<T> {
         );
         let mut cache: HashMap<Vec<usize>, T> = HashMap::with_capacity(cap);
         let mut total_reads = 0u64;
+        let mut lookups = 0u64;
         let out = with_scratch(|s| {
             let (corner_buf, ks) = s.split();
             regions
                 .iter()
                 .map(|r| {
                     let sum = range_sum_from_prefix_with(r, corner_buf, |corner| {
+                        lookups += 1;
                         // Entry API: one hash per corner whether hit or miss.
                         cache
                             // lint:allow(L5): the cache key must own its corner; amortized by dedup across regions
@@ -356,6 +383,16 @@ impl<T: GroupValue> RpsEngine<T> {
                 .collect()
         });
         self.stats.reads(total_reads);
+        // Coalesced observability: one add per counter per batch. Misses
+        // are exactly the distinct corners the cache ended up owning.
+        let m = crate::obs::engine(crate::obs::EngineKind::Rps);
+        m.queries
+            .add(u64::try_from(regions.len()).unwrap_or(u64::MAX));
+        let misses = u64::try_from(cache.len()).unwrap_or(u64::MAX);
+        let core = crate::obs::core();
+        core.query_many_corner_misses.add(misses);
+        core.query_many_corner_hits
+            .add(lookups.saturating_sub(misses));
         Ok(out)
     }
 }
@@ -371,6 +408,9 @@ impl<T: GroupValue> RangeSumEngine<T> for RpsEngine<T> {
 
     fn query(&self, region: &Region) -> Result<T, NdError> {
         self.rp.shape().check_region(region)?;
+        let m = crate::obs::engine(crate::obs::EngineKind::Rps);
+        m.queries.inc();
+        let _span = rps_obs::Span::enter("rps.query", &m.query_ns);
         let sum = with_scratch(|s| {
             let (corner_buf, ks) = s.split();
             let mut reads = 0u64;
@@ -389,6 +429,9 @@ impl<T: GroupValue> RangeSumEngine<T> for RpsEngine<T> {
 
     fn update(&mut self, coords: &[usize], delta: T) -> Result<(), NdError> {
         self.rp.shape().check(coords)?;
+        let m = crate::obs::engine(crate::obs::EngineKind::Rps);
+        m.updates.inc();
+        let _span = rps_obs::Span::enter("rps.update", &m.update_ns);
         if delta.is_zero() {
             // Adding the identity touches nothing; skip the cascades.
             self.stats.update();

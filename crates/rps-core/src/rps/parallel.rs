@@ -249,6 +249,10 @@ impl<T: GroupValue + Send + Sync> crate::rps::RpsEngine<T> {
         for (coords, _) in updates {
             self.shape().check(coords)?;
         }
+        let m = crate::obs::engine(crate::obs::EngineKind::Rps);
+        m.batches.inc();
+        m.batch_updates
+            .add(u64::try_from(updates.len()).unwrap_or(u64::MAX));
         let sample = updates.len().min(SAMPLE);
         let before = self.stats().cell_writes;
         let (sampled, rest) = updates.split_at(sample);

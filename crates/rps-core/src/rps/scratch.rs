@@ -135,9 +135,15 @@ thread_local! {
 /// panicking on the inner borrow, so composing old and new entry points
 /// is always safe — the inner call merely loses the reuse benefit.
 pub fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
-    TLS_SCRATCH.with(|cell| match cell.try_borrow_mut() {
-        Ok(mut scratch) => f(&mut scratch),
-        Err(_) => f(&mut Scratch::new()),
+    let m = crate::obs::core();
+    TLS_SCRATCH.with(|cell| {
+        if let Ok(mut scratch) = cell.try_borrow_mut() {
+            m.scratch_reuse.inc();
+            f(&mut scratch)
+        } else {
+            m.scratch_fresh.inc();
+            f(&mut Scratch::new())
+        }
     })
 }
 

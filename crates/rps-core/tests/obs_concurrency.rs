@@ -1,0 +1,77 @@
+//! Concurrency smoke test for the observability layer: the process-wide
+//! engine counters are relaxed atomics bumped from inside the query and
+//! update paths, and under concurrent load through [`SharedEngine`]
+//! every operation must be counted exactly once — no lost increments,
+//! no double counting, and (with timing enabled) one histogram sample
+//! per timed operation.
+//!
+//! This is the full-size, real-thread complement to the loom
+//! interleaving tests in `loom_shared_engine.rs`: `SharedEngine` funnels
+//! its primitives through `rps_core::sync_compat`, so the lock and
+//! counter traffic exercised here is the same code loom model-checks at
+//! small scale.
+//!
+//! The test lives alone in its own integration binary because the
+//! counters are process-global: a sibling `#[test]` running engine ops
+//! on another thread would legitimately move them mid-measurement.
+
+use ndcube::Region;
+use rps_core::sync_compat::Arc;
+use rps_core::{RpsEngine, SharedEngine};
+
+#[test]
+fn concurrent_queries_and_updates_are_counted_exactly() {
+    const THREADS: usize = 8;
+    const OPS: usize = 500;
+
+    let metrics = rps_core::obs::engine(rps_core::obs::EngineKind::Rps);
+    rps_obs::set_timing(true);
+    let queries_before = metrics.queries.get();
+    let updates_before = metrics.updates.get();
+    let query_samples_before = metrics.query_ns.count();
+    let update_samples_before = metrics.update_ns.count();
+
+    let shared = Arc::new(SharedEngine::new(
+        RpsEngine::<i64>::zeros(&[16, 16]).expect("valid dims"),
+    ));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let shared = Arc::clone(&shared);
+            s.spawn(move || {
+                let region = Region::new(&[t % 4, t % 4], &[15, 15]).expect("in bounds");
+                for i in 0..OPS {
+                    let _: i64 = shared.query(&region).expect("in bounds");
+                    shared.update(&[t, i % 16], 1i64).expect("in bounds");
+                }
+            });
+        }
+    });
+    rps_obs::set_timing(false);
+
+    let expected = (THREADS * OPS) as u64;
+    assert_eq!(
+        metrics.queries.get() - queries_before,
+        expected,
+        "every concurrent query must be counted exactly once"
+    );
+    assert_eq!(
+        metrics.updates.get() - updates_before,
+        expected,
+        "every concurrent update must be counted exactly once"
+    );
+    assert_eq!(
+        metrics.query_ns.count() - query_samples_before,
+        expected,
+        "with timing on, every query records exactly one latency sample"
+    );
+    assert_eq!(
+        metrics.update_ns.count() - update_samples_before,
+        expected,
+        "with timing on, every update records exactly one latency sample"
+    );
+
+    // The engine's own per-instance accounting and the process-wide
+    // counters saw the same operations.
+    assert_eq!(shared.query_count(), expected);
+    assert_eq!(shared.update_count(), expected);
+}

@@ -193,6 +193,7 @@ impl<T: PodCell, S: PageStore<T>> PageStore<T> for CheckedStore<T, S> {
             let expected = self.sums.get(id.0 as usize).copied();
             if expected != Some(page_checksum(buf)) {
                 self.quarantined.borrow_mut().insert(id.0);
+                crate::obs::storage().checksum_quarantines.inc();
                 return Err(StorageError::Corrupted {
                     detail: "page checksum mismatch".into(),
                     page: Some(id),

@@ -262,6 +262,9 @@ impl<T: GroupValue + Default, S: PageStore<T>> DiskRpsEngine<T, S> {
     pub fn scrub(&mut self, base: &NdCube<T>) -> Result<ScrubReport, StorageError> {
         let corrupted = self.verify_pages()?;
         let pages_checked = self.rp.num_pages();
+        crate::obs::storage()
+            .scrub_pages_checked
+            .add(u64::try_from(pages_checked).unwrap_or(u64::MAX));
         if corrupted.is_empty() {
             return Ok(ScrubReport {
                 pages_checked,
@@ -301,6 +304,9 @@ impl<T: GroupValue + Default, S: PageStore<T>> DiskRpsEngine<T, S> {
         // The overlay is rebuilt from the same base so overlay and RP
         // agree again even if the corruption predated overlay updates.
         self.overlay = build_overlay(base, &rp_mem, self.grid.clone());
+        crate::obs::storage()
+            .scrub_repairs
+            .add(u64::try_from(corrupted.len()).unwrap_or(u64::MAX));
         Ok(ScrubReport {
             pages_checked,
             rebuilt: corrupted.len(),
@@ -344,6 +350,9 @@ impl<T: GroupValue + Default, S: PageStore<T>> RangeSumEngine<T> for DiskRpsEngi
 
     fn query(&self, region: &Region) -> Result<T, NdError> {
         self.rp.shape().check_region(region)?;
+        let m = rps_core::obs::engine(rps_core::obs::EngineKind::Disk);
+        m.queries.inc();
+        let _span = rps_obs::Span::enter("disk.query", &m.query_ns);
         let mut total_reads = 0u64;
         let mut io_err: Option<StorageError> = None;
         let sum = with_scratch(|s| {
@@ -374,6 +383,9 @@ impl<T: GroupValue + Default, S: PageStore<T>> RangeSumEngine<T> for DiskRpsEngi
 
     fn update(&mut self, coords: &[usize], delta: T) -> Result<(), NdError> {
         self.rp.shape().check(coords)?;
+        let m = rps_core::obs::engine(rps_core::obs::EngineKind::Disk);
+        m.updates.inc();
+        let _span = rps_obs::Span::enter("disk.update", &m.update_ns);
         if delta.is_zero() {
             // Same short-circuit as the in-memory engine: adding the
             // identity must not fault or dirty any RP page.

@@ -35,6 +35,28 @@ use crate::wal::{FsLogFile, LogFile, Wal};
 
 /// An engine whose updates are write-ahead logged.
 ///
+/// ```
+/// use ndcube::{NdCube, Region};
+/// use rps_core::RpsEngine;
+/// use rps_storage::DurableEngine;
+///
+/// # let dir = std::env::temp_dir().join("rps-durable-doctest");
+/// # std::fs::create_dir_all(&dir)?;
+/// # let wal_path = dir.join("ops.wal");
+/// # let _ = std::fs::remove_file(&wal_path);
+/// // Fresh structure, nothing checkpointed yet → snapshot_lsn = 0.
+/// let base = NdCube::from_fn(&[8, 8], |_| 0i64)?;
+/// let mut durable = DurableEngine::open(RpsEngine::from_cube(&base), &wal_path, 0)?;
+/// durable.update(&[3, 4], 250)?;   // WAL append happens first
+///
+/// // A crash here loses nothing: reopening replays the log.
+/// let recovered = DurableEngine::open(RpsEngine::from_cube(&base), &wal_path, 0)?;
+/// let everything = Region::new(&[0, 0], &[7, 7])?;
+/// assert_eq!(recovered.query(&everything)?, 250);
+/// # std::fs::remove_file(&wal_path)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
 /// Deltas are `i64` — the WAL frame stores one fixed-width delta, so
 /// wrapping a `SumCount`/float engine would need a pluggable delta codec
 /// (deliberately out of scope; see DESIGN.md S21). Every example and the
@@ -112,6 +134,9 @@ impl<E: RangeSumEngine<i64>, L: LogFile> DurableEngine<E, L> {
     /// back), so an error here never resurfaces as a phantom update at
     /// recovery.
     pub fn update(&mut self, coords: &[usize], delta: i64) -> Result<(), StorageError> {
+        let m = rps_core::obs::engine(rps_core::obs::EngineKind::Durable);
+        m.updates.inc();
+        let _span = rps_obs::Span::enter("durable.update", &m.update_ns);
         self.engine
             .shape()
             .check(coords)
@@ -143,6 +168,9 @@ impl<E: RangeSumEngine<i64>, L: LogFile> DurableEngine<E, L> {
 
     /// Range query (read-only; never logged).
     pub fn query(&self, region: &Region) -> Result<i64, StorageError> {
+        let m = rps_core::obs::engine(rps_core::obs::EngineKind::Durable);
+        m.queries.inc();
+        let _span = rps_obs::Span::enter("durable.query", &m.query_ns);
         self.engine.query(region).map_err(StorageError::Engine)
     }
 
@@ -162,6 +190,7 @@ impl<E: RangeSumEngine<i64>, L: LogFile> DurableEngine<E, L> {
         let lsn = self.wal.last_lsn();
         persist(&self.engine, lsn).map_err(CheckpointError::Persist)?;
         self.wal.checkpoint().map_err(CheckpointError::Storage)?;
+        crate::obs::storage().checkpoints.inc();
         Ok(lsn)
     }
 

@@ -199,8 +199,12 @@ impl RetryPolicy {
                 Err(e) => {
                     tried += 1;
                     if tried >= attempts || !e.is_transient() {
+                        if e.is_transient() {
+                            crate::obs::storage().retry_exhausted.inc();
+                        }
                         return Err(e);
                     }
+                    crate::obs::storage().retry_attempts.inc();
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                         delay = delay.saturating_mul(2);

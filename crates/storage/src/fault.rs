@@ -225,6 +225,7 @@ impl<T: PodCell, S: PageStore<T>> PageStore<T> for FaultyStore<T, S> {
         let mut rng = self.rng.borrow_mut();
         if rng.chance(self.plan.read_transient) {
             self.transients.set(self.transients.get() + 1);
+            crate::obs::faults().transient.inc();
             return Err(StorageError::Transient {
                 op: "read page (injected)",
             });
@@ -233,6 +234,7 @@ impl<T: PodCell, S: PageStore<T>> PageStore<T> for FaultyStore<T, S> {
         if rng.chance(self.plan.read_bit_flip) {
             Self::flip_one_bit(buf, &mut rng);
             self.bit_flips.set(self.bit_flips.get() + 1);
+            crate::obs::faults().bit_flip.inc();
         }
         Ok(())
     }
@@ -253,6 +255,7 @@ impl<T: PodCell, S: PageStore<T>> PageStore<T> for FaultyStore<T, S> {
         match fate {
             0 => {
                 self.transients.set(self.transients.get() + 1);
+                crate::obs::faults().transient.inc();
                 Err(StorageError::Transient {
                     op: "write page (injected)",
                 })
@@ -260,6 +263,7 @@ impl<T: PodCell, S: PageStore<T>> PageStore<T> for FaultyStore<T, S> {
             1 => {
                 // The lying write: success reported, nothing persisted.
                 self.lost_writes.set(self.lost_writes.get() + 1);
+                crate::obs::faults().lost_write.inc();
                 Ok(())
             }
             usize::MAX => self.inner.write_page(id, data),
@@ -273,6 +277,7 @@ impl<T: PodCell, S: PageStore<T>> PageStore<T> for FaultyStore<T, S> {
                 mixed[..prefix].clone_from_slice(&data[..prefix]);
                 self.inner.write_page(id, &mixed)?;
                 self.torn_writes.set(self.torn_writes.get() + 1);
+                crate::obs::faults().torn_write.inc();
                 Err(StorageError::io(
                     "write page (injected torn write)",
                     std::io::Error::other("simulated power cut mid-write"),
@@ -430,6 +435,7 @@ impl LogFile for SimLogFile {
         let plan = st.plan;
         if st.rng.chance(plan.append_transient) {
             st.transients += 1;
+            crate::obs::faults().append_transient.inc();
             return Err(StorageError::Transient {
                 op: "append log record (injected)",
             });
@@ -438,6 +444,7 @@ impl LogFile for SimLogFile {
             let prefix = st.rng.below(bytes.len());
             st.cache.extend_from_slice(&bytes[..prefix]);
             st.torn_appends += 1;
+            crate::obs::faults().torn_append.inc();
             return Err(StorageError::io(
                 "append log record (injected torn append)",
                 std::io::Error::other("simulated power cut mid-append"),
@@ -452,6 +459,7 @@ impl LogFile for SimLogFile {
         let plan = st.plan;
         if st.rng.chance(plan.sync_fail) {
             st.sync_fails += 1;
+            crate::obs::faults().sync_fail.inc();
             return Err(StorageError::io(
                 "sync log (injected)",
                 std::io::Error::other("simulated fsync failure"),
@@ -460,6 +468,7 @@ impl LogFile for SimLogFile {
         if st.rng.chance(plan.sync_lie) {
             // The dishonest disk: success without durability.
             st.lied = true;
+            crate::obs::faults().sync_lie.inc();
             return Ok(());
         }
         let st = &mut *st;

@@ -43,6 +43,7 @@ mod error;
 mod fault;
 mod file_device;
 mod latency;
+pub mod obs;
 mod pool;
 mod wal;
 

@@ -133,14 +133,17 @@ impl<T: Clone + Default, S: PageStore<T>> BufferPool<T, S> {
 
     /// Faults `page` into a frame, pins it, returns the frame index.
     fn acquire(&mut self, page: PageId) -> Result<usize, StorageError> {
+        let m = crate::obs::storage();
         self.clock += 1;
         if let Some(&frame) = self.map.get(&page) {
             self.hits += 1;
+            m.pool_hits.inc();
             self.frames[frame].pins += 1;
             self.frames[frame].last_used = self.clock;
             return Ok(frame);
         }
         self.misses += 1;
+        m.pool_misses.inc();
         let frame = self.find_victim()?;
         // Evict current occupant.
         if let Some(old) = self.frames[frame].page {
@@ -151,6 +154,7 @@ impl<T: Clone + Default, S: PageStore<T>> BufferPool<T, S> {
             }
             self.map.remove(&old);
             self.evictions += 1;
+            m.pool_evictions.inc();
         }
         let slot = &mut self.frames[frame];
         // A failed read leaves the frame empty, not mapped to stale data.

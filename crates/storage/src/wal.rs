@@ -291,6 +291,7 @@ impl<L: LogFile> Wal<L> {
         let (records, valid) = decode_records(&bytes);
         if valid < bytes.len() as u64 {
             log.truncate(valid)?;
+            crate::obs::storage().wal_torn_trims.inc();
         }
         let next_lsn = records.last().map_or(1, |r| r.lsn + 1);
         Ok((
@@ -339,16 +340,22 @@ impl<L: LogFile> Wal<L> {
             delta,
         };
         let bytes = encode(&rec);
+        let m = crate::obs::storage();
+        m.wal_appends.inc();
+        let sw = rps_obs::Stopwatch::start();
         match self.log.append(&bytes) {
             Ok(()) => {
+                sw.record(&m.wal_append_ns);
                 self.valid_len += bytes.len() as u64;
                 self.next_lsn += 1;
                 Ok(rec.lsn)
             }
             Err(e) => {
+                m.wal_append_failures.inc();
                 // The failed append may have landed a partial prefix;
                 // cut it off so the next append starts at a record
                 // boundary.
+                m.wal_torn_trims.inc();
                 if self.log.truncate(self.valid_len).is_err() {
                     self.poisoned = true;
                 }
@@ -361,6 +368,7 @@ impl<L: LogFile> Wal<L> {
     /// required post-append sync fails: leaving the record in the log
     /// would let recovery apply an update the caller saw fail).
     pub fn rollback_last(&mut self, prev_len: u64, prev_next_lsn: u64) -> Result<(), StorageError> {
+        crate::obs::storage().wal_rollbacks.inc();
         if self.log.truncate(prev_len).is_err() {
             self.poisoned = true;
             return Err(StorageError::Wal {
@@ -377,7 +385,16 @@ impl<L: LogFile> Wal<L> {
     /// commit; without it, records survive a process crash but not a
     /// power failure.
     pub fn sync(&mut self) -> Result<(), StorageError> {
-        self.log.sync()
+        let m = crate::obs::storage();
+        m.wal_fsyncs.inc();
+        let sw = rps_obs::Stopwatch::start();
+        let out = self.log.sync();
+        if out.is_ok() {
+            sw.record(&m.wal_fsync_ns);
+        } else {
+            m.wal_fsync_failures.inc();
+        }
+        out
     }
 
     /// The LSN of the most recently appended record (0 when none).

@@ -1,0 +1,67 @@
+//! docs/OBSERVABILITY.md is the catalog of record: every metric the
+//! workspace registers must have a row in its catalog tables, and every
+//! row must correspond to a registered metric. This test diffs the two
+//! sets in both directions, so a metric cannot ship undocumented and a
+//! stale doc row fails CI.
+//!
+//! It lives in `rps-storage` because this is the highest crate that can
+//! see both registering subsystems (`rps_core::obs` and
+//! `rps_storage::obs`) without a dependency cycle.
+
+use std::collections::BTreeSet;
+
+/// Metric names documented in docs/OBSERVABILITY.md: the first
+/// backticked cell of every catalog table row (`| \`name\` | …`).
+fn documented_names() -> BTreeSet<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/OBSERVABILITY.md");
+    let doc = std::fs::read_to_string(path).expect("read docs/OBSERVABILITY.md");
+    let mut names = BTreeSet::new();
+    for line in doc.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("| `") else {
+            continue;
+        };
+        let Some((name, _)) = rest.split_once('`') else {
+            continue;
+        };
+        names.insert(name.to_string());
+    }
+    assert!(
+        !names.is_empty(),
+        "no `| `name` |` catalog rows found in docs/OBSERVABILITY.md — \
+         did the table format change?"
+    );
+    names
+}
+
+/// Metric names actually registered, after touching every registering
+/// subsystem the workspace has.
+fn registered_names() -> BTreeSet<String> {
+    let _ = rps_core::obs::core();
+    let _ = rps_storage::obs::storage();
+    let _ = rps_storage::obs::faults();
+    rps_obs::registry()
+        .names()
+        .into_iter()
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn every_registered_metric_is_documented_and_vice_versa() {
+    let documented = documented_names();
+    let registered = registered_names();
+
+    let undocumented: Vec<&String> = registered.difference(&documented).collect();
+    let stale: Vec<&String> = documented.difference(&registered).collect();
+
+    assert!(
+        undocumented.is_empty(),
+        "metrics registered but missing from the docs/OBSERVABILITY.md \
+         catalog tables: {undocumented:?} — add a row per metric"
+    );
+    assert!(
+        stale.is_empty(),
+        "docs/OBSERVABILITY.md documents metrics that are not registered: \
+         {stale:?} — remove the stale rows or register the metrics"
+    );
+}

@@ -40,6 +40,37 @@ const SIDE: usize = 8;
 const DIMS: [usize; 2] = [SIDE, SIDE];
 const OPS: usize = 40;
 
+/// Turns latency timing on when a metrics export was requested, so the
+/// WAL append/fsync histograms populate. Called at the top of every
+/// test in this binary.
+fn metrics_init() {
+    if std::env::var_os("TORTURE_METRICS_FILE").is_some() {
+        rps_obs::set_timing(true);
+    }
+}
+
+/// When `TORTURE_METRICS_FILE` is set, dumps the current registry on
+/// test completion. Every test in this binary exports (serialized by a
+/// lock — the tests share one process), so whichever finishes last
+/// leaves the union of everything the run injected and everything the
+/// stack did about it: the CI `torture-metrics` artifact
+/// (see docs/OBSERVABILITY.md and scripts/torture.sh).
+fn export_metrics() {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    if let Ok(path) = std::env::var("TORTURE_METRICS_FILE") {
+        // A poisoned lock only means another test failed mid-export; the
+        // file write itself is still safe to serialize on it.
+        let guard = LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, rps_obs::registry().render()).expect("write TORTURE_METRICS_FILE");
+        drop(guard);
+    }
+}
+
 fn seed_count() -> u64 {
     std::env::var("TORTURE_SEEDS")
         .ok()
@@ -186,8 +217,10 @@ fn sweep_crash_states(
 }
 
 /// One full torture run: scripted workload, crash sweep at every
-/// boundary, no-loss check under honest fsync.
-fn torture_one_seed(seed: u64) {
+/// boundary, no-loss check under honest fsync. Returns the log
+/// wrapper's own injection counts `(torn, transient, sync_fail)` so the
+/// caller can check the process-wide metrics against them.
+fn torture_one_seed(seed: u64) -> (u64, u64, u64) {
     let plan = plan_for(seed);
     let strict = seed.is_multiple_of(2);
     let log = SimLogFile::new(plan, seed);
@@ -272,18 +305,54 @@ fn torture_one_seed(seed: u64) {
             );
         }
     }
+    handle.injected()
 }
 
 #[test]
 fn wal_crash_torture_across_seeds() {
+    metrics_init();
+    // Dual accounting: the injectors' per-instance counters are
+    // authoritative; the process-wide `storage_faults_injected_total`
+    // mirrors must move in lockstep. Other tests in this binary run
+    // concurrently and bump the same process-wide counters, so the
+    // race-free form of "lockstep" is ≥ our own injections.
+    let faults = rps_storage::obs::faults();
+    let torn_before = faults.torn_append.get();
+    let transient_before = faults.append_transient.get();
+    let sync_fail_before = faults.sync_fail.get();
+    let fsyncs_before = rps_storage::obs::storage().wal_fsyncs.get();
+
     let seeds = seed_count();
+    let (mut torn, mut transient, mut sync_fails) = (0u64, 0u64, 0u64);
     for seed in 0..seeds {
-        torture_one_seed(seed);
+        let (t, tr, sf) = torture_one_seed(seed);
+        torn += t;
+        transient += tr;
+        sync_fails += sf;
     }
+
+    assert!(
+        faults.torn_append.get() - torn_before >= torn,
+        "obs mirror lost torn-append injections ({torn} counted here)"
+    );
+    assert!(
+        faults.append_transient.get() - transient_before >= transient,
+        "obs mirror lost transient-append injections ({transient} counted here)"
+    );
+    assert!(
+        faults.sync_fail.get() - sync_fail_before >= sync_fails,
+        "obs mirror lost sync-failure injections ({sync_fails} counted here)"
+    );
+    assert!(
+        rps_storage::obs::storage().wal_fsyncs.get() > fsyncs_before,
+        "the seed sweep must have attempted WAL fsyncs"
+    );
+    export_metrics();
 }
 
 #[test]
 fn faulty_seeds_actually_inject() {
+    metrics_init();
     // Guard against a vacuous pass: across the seed set, torn appends,
     // transients and sync failures must all actually fire.
     let (mut torn, mut transient, mut sync_fails, mut lied) = (0u64, 0u64, 0u64, false);
@@ -309,6 +378,13 @@ fn faulty_seeds_actually_inject() {
     assert!(transient > 0, "no transient append error ever fired");
     assert!(sync_fails > 0, "no sync failure ever fired");
     assert!(lied, "no sync lie ever fired");
+    // The lie has no count accessor on the handle, only a flag — the obs
+    // mirror is where its count lives; it must have seen at least one.
+    assert!(
+        rps_storage::obs::faults().sync_lie.get() > 0,
+        "sync lies fired but the obs mirror never counted one"
+    );
+    export_metrics();
 }
 
 // ---------------------------------------------------------------------
@@ -347,7 +423,10 @@ fn bit_flips_never_change_an_answer() {
     // Read-side bit flips under the checksum layer: every flipped read
     // is caught and surfaces as a typed error; a successful query is
     // always the correct answer. Wrong answers: never.
+    metrics_init();
     let oracle = RpsEngine::from_cube_uniform(&cube(), K).unwrap();
+    let flips_obs_before = rps_storage::obs::faults().bit_flip.get();
+    let quarantines_before = rps_storage::obs::storage().checksum_quarantines.get();
     let (mut flips_seen, mut errors_seen, mut oks_seen) = (0u64, 0u64, 0u64);
     for seed in 0..seed_count() {
         let engine = engine_over_faulty(seed, 2); // tiny pool: constant re-reads
@@ -387,10 +466,21 @@ fn bit_flips_never_change_an_answer() {
     assert!(flips_seen > 0, "no bit flip ever injected — vacuous run");
     assert!(errors_seen > 0, "no flip was ever caught — vacuous run");
     assert!(oks_seen > 0, "every query failed — the harness is too hot");
+    // Dual accounting (≥: parallel tests share the process-wide counters).
+    assert!(
+        rps_storage::obs::faults().bit_flip.get() - flips_obs_before >= flips_seen,
+        "obs mirror lost bit-flip injections ({flips_seen} counted here)"
+    );
+    assert!(
+        rps_storage::obs::storage().checksum_quarantines.get() - quarantines_before >= errors_seen,
+        "every caught flip must register a checksum quarantine"
+    );
+    export_metrics();
 }
 
 #[test]
 fn planted_rot_is_detected_and_scrub_repairs_it() {
+    metrics_init();
     let base = cube();
     let mut engine = engine_over_faulty(3, 4);
     engine.flush().unwrap();
@@ -428,10 +518,12 @@ fn planted_rot_is_detected_and_scrub_repairs_it() {
             "{r:?}"
         );
     }
+    export_metrics();
 }
 
 #[test]
 fn disabled_verification_serves_garbage_negative_control() {
+    metrics_init();
     // The acceptance gate: this test FAILS if checksum verification is
     // not doing its job. With verification on, planted rot is a typed
     // error; with it off, the identical read silently returns garbage.
@@ -460,10 +552,14 @@ fn disabled_verification_serves_garbage_negative_control() {
         oracle.query(&region).unwrap(),
         "without verification the same rot flows through as a silent wrong answer"
     );
+    export_metrics();
 }
 
 #[test]
 fn transient_faults_are_retried_to_success() {
+    metrics_init();
+    let transients_obs_before = rps_storage::obs::faults().transient.get();
+    let retries_before = rps_storage::obs::storage().retry_attempts.get();
     let device = BlockDevice::new(DeviceConfig {
         cells_per_page: CPP,
     });
@@ -492,10 +588,24 @@ fn transient_faults_are_retried_to_success() {
     }
     let injected = engine.with_device(rps_storage::FaultyStore::injected);
     assert!(injected.transients > 0, "no transient ever injected");
+    // Dual accounting (≥: parallel tests share the process-wide
+    // counters): every injected transient was mirrored, and every one of
+    // them cost the retry loop at least one extra try.
+    assert!(
+        rps_storage::obs::faults().transient.get() - transients_obs_before >= injected.transients,
+        "obs mirror lost transient injections ({} counted here)",
+        injected.transients
+    );
+    assert!(
+        rps_storage::obs::storage().retry_attempts.get() - retries_before >= injected.transients,
+        "retries must have absorbed the injected transients"
+    );
+    export_metrics();
 }
 
 #[test]
 fn torn_page_write_surfaces_then_recovers_by_rewrite() {
+    metrics_init();
     // A torn page write errors out of update(); the page content is
     // unknown (prefix of new + suffix of old). A later full-page flush
     // rewrites it, and the checksum layer confirms the heal.
@@ -524,4 +634,5 @@ fn torn_page_write_surfaces_then_recovers_by_rewrite() {
     engine.with_device_mut(|c| c.inner_mut().set_plan(FaultPlan::none()));
     engine.flush().unwrap();
     assert!(engine.verify_pages().unwrap().is_empty());
+    export_metrics();
 }

@@ -1,4 +1,4 @@
-//! The four repo-specific lints behind `cargo xtask lint`.
+//! The repo-specific lints behind `cargo xtask lint`.
 //!
 //! | ID | What it catches | Where |
 //! |----|-----------------|-------|
@@ -7,6 +7,7 @@
 //! | L3 | missing crate-root lint headers / missing `[lints] workspace = true` | all workspace members |
 //! | L4 | bare `as` numeric casts | `ndcube`, `rps-core` |
 //! | L5 | heap allocation (`vec!`, `Vec::new`, `.to_vec()`, `.collect::<Vec`) in hot-path kernel modules | `rps-core` hot paths |
+//! | L6 | direct `std::time::Instant` use outside the `rps-obs` timers | the five library crates |
 //!
 //! Every lint accepts an explicit escape written as a comment on the
 //! offending line or the line directly above:
@@ -40,6 +41,9 @@ pub enum Lint {
     L4,
     /// Heap allocation in the allocation-free hot-path kernel modules.
     L5,
+    /// Direct `std::time::Instant` use in library code, bypassing the
+    /// `rps_obs::set_timing` gate.
+    L6,
 }
 
 impl Lint {
@@ -51,10 +55,11 @@ impl Lint {
             Lint::L3 => "L3",
             Lint::L4 => "L4",
             Lint::L5 => "L5",
+            Lint::L6 => "L6",
         }
     }
 
-    /// Parses `"L1"`..`"L4"` (case-insensitive).
+    /// Parses `"L1"`..`"L6"` (case-insensitive).
     pub fn parse(s: &str) -> Option<Lint> {
         match s.to_ascii_uppercase().as_str() {
             "L1" => Some(Lint::L1),
@@ -62,12 +67,13 @@ impl Lint {
             "L3" => Some(Lint::L3),
             "L4" => Some(Lint::L4),
             "L5" => Some(Lint::L5),
+            "L6" => Some(Lint::L6),
             _ => None,
         }
     }
 
     /// All lints, in report order.
-    pub const ALL: [Lint; 5] = [Lint::L1, Lint::L2, Lint::L3, Lint::L4, Lint::L5];
+    pub const ALL: [Lint; 6] = [Lint::L1, Lint::L2, Lint::L3, Lint::L4, Lint::L5, Lint::L6];
 
     /// One-line description for `cargo xtask lint --list`.
     pub fn describe(self) -> &'static str {
@@ -78,6 +84,9 @@ impl Lint {
             Lint::L4 => "bare `as` numeric casts in ndcube/rps-core (use TryFrom/From)",
             Lint::L5 => {
                 "heap allocation (vec!/Vec::new/.to_vec/.collect::<Vec) in hot-path kernel modules"
+            }
+            Lint::L6 => {
+                "direct std::time::Instant outside rps_obs::Span/Stopwatch (five library crates)"
             }
         }
     }
@@ -147,11 +156,14 @@ pub const L1_ALLOWED_MODULES: &[&str] = &[
     "crates/rps-core/src/rps/update.rs",
 ];
 
-/// The five library crates whose `src/` trees L2 scans. Tests, benches,
-/// examples, the CLI binary, the bench harness and the `compat/` shims
-/// are exempt by construction. Public so the fixture tests can assert
-/// the scope itself — in particular that the durable storage crate's
-/// I/O paths stay under the no-panic policy.
+/// The five library crates whose `src/` trees L2 and L6 scan. Tests,
+/// benches, examples, the CLI binary, the bench harness and the
+/// `compat/` shims are exempt by construction; `crates/obs` is exempt
+/// from L6 by being outside this list — it is the sanctioned home of
+/// the `Instant` reads (`Span`, `Stopwatch`, the trace ring). Public so
+/// the fixture tests can assert the scope itself — in particular that
+/// the durable storage crate's I/O paths stay under the no-panic
+/// policy.
 pub const L2_LIBRARY_SRC: &[&str] = &[
     "crates/ndcube/src",
     "crates/rps-core/src",
@@ -175,6 +187,7 @@ pub const L5_HOT_PATH_MODULES: &[&str] = &[
 /// Crate roots that must carry the L3 lint header.
 const L3_CRATE_ROOTS: &[&str] = &[
     "crates/ndcube/src/lib.rs",
+    "crates/obs/src/lib.rs",
     "crates/rps-core/src/lib.rs",
     "crates/storage/src/lib.rs",
     "crates/workload/src/lib.rs",
@@ -626,6 +639,52 @@ pub fn check_l5(file: &str, source: &str) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
+// L6 — raw Instant in library code
+// ---------------------------------------------------------------------------
+
+/// Checks one library file for direct `Instant` use.
+///
+/// Timing in library code must go through `rps_obs::Span` /
+/// `rps_obs::Stopwatch`, whose clock reads sit behind the global
+/// `rps_obs::set_timing` gate — a raw `Instant::now()` reintroduces the
+/// ~20–25 ns clock read on every call and cannot be switched off. The
+/// check flags the `Instant` identifier itself (imports included, so a
+/// `use std::time::Instant;` is caught even before the first call
+/// site), deduplicated per line.
+pub fn check_l6(file: &str, source: &str) -> Vec<Finding> {
+    let tokens = tokenize(source);
+    let masked = test_line_ranges(&tokens);
+    let allows = collect_allows(source, Lint::L6);
+    let mut out = Vec::new();
+    malformed_to_findings(file, Lint::L6, &allows, &mut out);
+
+    let mut seen_lines = HashSet::new();
+    for tok in &tokens {
+        if !tok.is_ident("Instant") {
+            continue;
+        }
+        if in_ranges(tok.line, &masked)
+            || allows.lines.contains(&tok.line)
+            || !seen_lines.insert(tok.line)
+        {
+            continue;
+        }
+        out.push(Finding {
+            lint: Lint::L6,
+            file: file.to_string(),
+            line: tok.line,
+            message: "direct `Instant` use in library code bypasses the rps_obs timing gate"
+                .to_string(),
+            hint: "time through rps_obs::Span / rps_obs::Stopwatch so the set_timing gate \
+                   controls the clock read, or add `// lint:allow(L6): <why this timer is cold \
+                   or must not be gated>`"
+                .to_string(),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Workspace driver
 // ---------------------------------------------------------------------------
 
@@ -679,7 +738,7 @@ pub fn run_workspace(root: &Path, only: Option<&[Lint]>) -> io::Result<Vec<Findi
         }
     }
 
-    if enabled(Lint::L2) {
+    if enabled(Lint::L2) || enabled(Lint::L6) {
         let mut files = Vec::new();
         for scope in L2_LIBRARY_SRC {
             rust_files(&root.join(scope), &mut files)?;
@@ -687,7 +746,12 @@ pub fn run_workspace(root: &Path, only: Option<&[Lint]>) -> io::Result<Vec<Findi
         for path in &files {
             let name = rel(root, path);
             let source = read(path)?;
-            findings.extend(check_l2(&name, &source));
+            if enabled(Lint::L2) {
+                findings.extend(check_l2(&name, &source));
+            }
+            if enabled(Lint::L6) {
+                findings.extend(check_l6(&name, &source));
+            }
         }
     }
 
@@ -831,6 +895,32 @@ mod tests {
         let found = check_l5("hot.rs", src);
         assert_eq!(found.len(), 2, "missing reason + the unsuppressed vec!");
         assert!(found[0].message.contains("without a reason"));
+    }
+
+    #[test]
+    fn l6_flags_instant_once_per_line() {
+        let src = "use std::time::Instant;\npub fn f() -> u128 {\n    let t: Instant = Instant::now();\n    t.elapsed().as_nanos()\n}\n";
+        let found = check_l6("lib.rs", src);
+        assert_eq!(found.len(), 2, "import line + call line, deduped per line");
+        assert_eq!(found[0].line, 1);
+        assert_eq!(
+            found[1].line, 3,
+            "two `Instant` tokens on line 3 report once"
+        );
+    }
+
+    #[test]
+    fn l6_allow_escape_and_tests_are_exempt() {
+        let allowed = "pub fn cold() {\n    // lint:allow(L6): one-shot startup timer, off the hot path\n    let _t = std::time::Instant::now();\n}\n";
+        assert!(check_l6("lib.rs", allowed).is_empty());
+        let test_only = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _t = std::time::Instant::now();\n    }\n}\n";
+        assert!(check_l6("lib.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn l6_does_not_flag_span_or_stopwatch() {
+        let src = "pub fn f(h: &rps_obs::Histogram) {\n    let _span = rps_obs::Span::start(h);\n    let sw = rps_obs::Stopwatch::start();\n    let _ = sw.elapsed_ns();\n}\n";
+        assert!(check_l6("lib.rs", src).is_empty());
     }
 
     #[test]

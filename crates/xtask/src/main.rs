@@ -13,7 +13,7 @@ const USAGE: &str = "\
 cargo xtask — workspace automation
 
 USAGE:
-    cargo xtask lint [--only <L1|L2|L3|L4|L5>]... [--root <path>] [--list]
+    cargo xtask lint [--only <L1|L2|L3|L4|L5|L6>]... [--root <path>] [--list]
 
 SUBCOMMANDS:
     lint    run the repo-specific static-analysis lints (see docs/STATIC_ANALYSIS.md)
@@ -55,7 +55,7 @@ fn run_lint(args: &[String]) -> ExitCode {
                 if let Some(Some(lint)) = iter.next().map(|s| Lint::parse(s)) {
                     only.push(lint);
                 } else {
-                    eprintln!("error: --only expects one of L1, L2, L3, L4, L5");
+                    eprintln!("error: --only expects one of L1, L2, L3, L4, L5, L6");
                     return ExitCode::FAILURE;
                 }
             }
@@ -83,7 +83,7 @@ fn run_lint(args: &[String]) -> ExitCode {
     match lints::run_workspace(&root, filter) {
         Ok(findings) if findings.is_empty() => {
             let which = filter.map_or_else(
-                || "L1 L2 L3 L4 L5".to_string(),
+                || "L1 L2 L3 L4 L5 L6".to_string(),
                 |set| set.iter().map(|l| l.id()).collect::<Vec<_>>().join(" "),
             );
             println!("xtask lint: clean ({which})");

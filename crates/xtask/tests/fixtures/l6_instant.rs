@@ -1,0 +1,22 @@
+//! Seeded L6 violations: raw `Instant` timing in library code.
+use std::time::Instant;
+
+pub fn hot(xs: &mut [u64]) -> u128 {
+    let start: Instant = Instant::now();
+    xs.sort_unstable();
+    start.elapsed().as_nanos()
+}
+
+pub fn cold() -> u128 {
+    // lint:allow(L6): one-shot startup probe, never on the hot path
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

@@ -5,8 +5,8 @@
 use std::path::{Path, PathBuf};
 
 use xtask::lints::{
-    check_l1, check_l2, check_l3_crate_root, check_l3_manifest, check_l4, check_l5, run_workspace,
-    Finding, Lint, L2_LIBRARY_SRC,
+    check_l1, check_l2, check_l3_crate_root, check_l3_manifest, check_l4, check_l5, check_l6,
+    run_workspace, Finding, Lint, L2_LIBRARY_SRC,
 };
 
 fn fixture(name: &str) -> String {
@@ -117,6 +117,32 @@ fn l5_fires_on_hot_path_allocations() {
 }
 
 #[test]
+fn l6_fires_on_raw_instant() {
+    let found = check_l6("l6_instant.rs", &fixture("l6_instant.rs"));
+    // Line 2: the import; line 5: the annotated `Instant::now()` call
+    // (two tokens, one finding). The escaped cold-path timer and the
+    // test-module timer stay silent.
+    assert_eq!(lines(&found), vec![2, 5], "findings: {found:#?}");
+    for f in &found {
+        assert_eq!(f.lint, Lint::L6);
+        assert!(
+            f.hint.contains("rps_obs::Span"),
+            "hint points at the gated timers"
+        );
+    }
+}
+
+#[test]
+fn l6_scope_excludes_the_obs_crate() {
+    // `crates/obs` is the sanctioned home of the `Instant` reads; it
+    // must stay out of the shared library-src scope L6 scans.
+    assert!(
+        !L2_LIBRARY_SRC.contains(&"crates/obs/src"),
+        "crates/obs must not be L6-scanned; scope is {L2_LIBRARY_SRC:?}"
+    );
+}
+
+#[test]
 fn clean_fixture_passes_every_lint() {
     let src = fixture("clean.rs");
     assert!(check_l1("clean.rs", &src).is_empty());
@@ -124,6 +150,7 @@ fn clean_fixture_passes_every_lint() {
     assert!(check_l3_crate_root("clean.rs", &src).is_empty());
     assert!(check_l4("clean.rs", &src).is_empty());
     assert!(check_l5("clean.rs", &src).is_empty());
+    assert!(check_l6("clean.rs", &src).is_empty());
 }
 
 #[test]

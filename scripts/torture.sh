@@ -14,6 +14,12 @@
 #   scripts/torture.sh               # default seed count (64 in release)
 #   SEEDS=512 scripts/torture.sh     # crank it up
 #   scripts/torture.sh -- --nocapture  # extra args go to the test binary
+#
+# Every run exports the observability registry (fault counters, WAL
+# fsync/retry/quarantine accounting, latency histograms — see
+# docs/OBSERVABILITY.md) to $METRICS_FILE, default
+# target/torture-metrics.prom; CI archives it as the `torture-metrics`
+# artifact. Pretty-print it with `rps-cube stats --from <file>`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +27,15 @@ if [[ -n "${SEEDS:-}" ]]; then
   export TORTURE_SEEDS="$SEEDS"
 fi
 
+# Absolute: the test binaries run with the package directory as cwd.
+export TORTURE_METRICS_FILE="$(pwd)/${METRICS_FILE:-target/torture-metrics.prom}"
+mkdir -p "$(dirname "$TORTURE_METRICS_FILE")"
+
 # Release profile: the sweep reopens the engine at thousands of crash
 # points per seed; debug builds cap the default seed count instead.
-exec cargo test --release -p rps-storage --test torture "$@"
+cargo test --release -p rps-storage --test torture "$@"
+
+echo
+echo "metrics exported to $TORTURE_METRICS_FILE:"
+grep -c '^[a-z]' "$TORTURE_METRICS_FILE" | xargs -I{} echo "  {} samples"
+grep '^storage_faults_injected_total' "$TORTURE_METRICS_FILE" | sed 's/^/  /'
