@@ -207,6 +207,34 @@ fn run_mode(
             engine.update(c, *d).expect("in bounds");
         },
     ));
+
+    // The sharded parallel front-end, measured per query. Worker-side
+    // scratch lives on the worker threads (invisible to this thread's
+    // counter by design); what this pins is the *calling thread's*
+    // per-batch bookkeeping, which must amortize to ~0 allocs per query.
+    let batch: Vec<Region> = QueryGen::new(&dims, 19, RegionSpec::Fraction(0.5)).take(1024);
+    let rounds = (query_ops / batch.len()).max(1);
+    let m = measure("parallel_query_t4", rounds, None, || {
+        let out = engine.query_many_parallel(&batch, 4).expect("in bounds");
+        sink = sink.wrapping_add(out.last().copied().unwrap_or(0));
+    });
+    let per_query = Measurement {
+        name: m.name,
+        ops: m.ops * batch.len(),
+        ns_per_op: m.ns_per_op / batch.len() as f64,
+        allocs_per_op: m.allocs_per_op / batch.len() as f64,
+        baseline_ns_per_op: None,
+    };
+    if mode == "timing_off" {
+        assert!(
+            per_query.allocs_per_op < 0.05,
+            "timing-off parallel queries must stay ~0 allocs/op on the \
+             calling thread, measured {:.4}",
+            per_query.allocs_per_op
+        );
+    }
+    results.push(per_query);
+
     assert!(sink != i64::MIN, "checksum sentinel");
     ModeRun { mode, results }
 }

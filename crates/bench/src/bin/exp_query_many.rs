@@ -5,6 +5,9 @@
 //! `RpsEngine::query_many` caches reconstructed prefix sums across a
 //! batch; this experiment measures the cell-read savings on three
 //! realistic batch shapes.
+//!
+//! `--out FILE` additionally writes the rows as JSON (BENCH_*-style
+//! schema) so trajectory tooling can diff the savings across PRs.
 
 use ndcube::{NdCube, Region};
 use rps_analysis::Table;
@@ -26,6 +29,13 @@ fn measure(engine: &RpsEngine<i64>, regions: &[Region]) -> (u64, u64, f64) {
 
 fn main() {
     const N: usize = 365;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut json_rows: Vec<String> = Vec::new();
     let cube = NdCube::from_fn(&[100, N], |c| ((c[0] * 13 + c[1] * 7) % 50) as i64).unwrap();
     let engine = RpsEngine::from_cube(&cube);
 
@@ -43,6 +53,10 @@ fn main() {
         .map(|s| Region::new(&[20, s], &[60, s + 29]).unwrap())
         .collect();
     let (b, i, f) = measure(&engine, &rolling);
+    json_rows.push(format!(
+        "{{\"name\":\"rolling_30_day\",\"queries\":{},\"reads_batched\":{b},\"reads_individual\":{i},\"saving\":{f:.4}}}",
+        rolling.len()
+    ));
     table.row(&[
         "rolling 30-day".into(),
         rolling.len().to_string(),
@@ -56,6 +70,10 @@ fn main() {
         .map(|m| Region::new(&[0, m * 30], &[99, (m * 30 + 29).min(N - 1)]).unwrap())
         .collect();
     let (b, i, f) = measure(&engine, &monthly);
+    json_rows.push(format!(
+        "{{\"name\":\"monthly_group_by\",\"queries\":{},\"reads_batched\":{b},\"reads_individual\":{i},\"saving\":{f:.4}}}",
+        monthly.len()
+    ));
     table.row(&[
         "monthly group-by".into(),
         monthly.len().to_string(),
@@ -78,6 +96,10 @@ fn main() {
         }
     }
     let (b, i, f) = measure(&engine, &crosstab);
+    json_rows.push(format!(
+        "{{\"name\":\"crosstab_10x4\",\"queries\":{},\"reads_batched\":{b},\"reads_individual\":{i},\"saving\":{f:.4}}}",
+        crosstab.len()
+    ));
     table.row(&[
         "10×4 cross-tab".into(),
         crosstab.len().to_string(),
@@ -86,6 +108,14 @@ fn main() {
         format!("{f:.2}×"),
     ]);
 
+    if let Some(path) = out_path {
+        let json = format!(
+            "{{\n  \"bench\": \"exp_query_many\",\n  \"rows\": [\n    {}\n  ]\n}}\n",
+            json_rows.join(",\n    ")
+        );
+        std::fs::write(&path, json).expect("write --out file");
+        println!("wrote {path}\n");
+    }
     print!("{}", table.render());
     println!(
         "\nbatched answers are asserted identical to per-query answers; the\n\

@@ -116,6 +116,58 @@ fn instrumented_paths_stay_alloc_free_with_timing_and_tracing() {
     );
 }
 
+/// The lane-width kernels ride the same contract: on a cube whose
+/// innermost axis is wide (runs ≫ `LANES`, so the chunked lane path —
+/// not the remainder tail — does the work), steady-state updates and
+/// queries through an explicit wide-box grid must not allocate. This is
+/// the instrumented runtime check backing the L5 lint's static coverage
+/// of `rps/kernels.rs`.
+#[test]
+fn instrumented_lane_kernels_stay_alloc_free() {
+    let cube = CubeGen::new(0xA110C)
+        .uniform(&[8, 512], -50, 50)
+        .expect("dims");
+    // k = 64 along the innermost axis: every RP cascade and sweep run is
+    // 64 contiguous cells — 8 full lanes per run.
+    let mut engine = RpsEngine::from_cube_uniform(&cube, 64).expect("grid");
+    assert!(
+        engine.grid().box_size()[1] >= 8 * rps_core::rps::kernels::LANES,
+        "box must span many lanes for this test to exercise the lane path"
+    );
+    let dims = [8usize, 512];
+    let regions: Vec<Region> = QueryGen::new(&dims, 7, RegionSpec::Fraction(0.5)).take(OPS);
+    let updates: Vec<(Vec<usize>, i64)> = UpdateGen::uniform(&dims, 13, 50).take(OPS);
+
+    let mut sink = 0i64;
+    for r in regions.iter().take(WARM) {
+        sink = sink.wrapping_add(engine.query(r).expect("in bounds"));
+    }
+    for (c, d) in updates.iter().take(WARM) {
+        engine.update(c, *d).expect("in bounds");
+    }
+
+    let before = thread_allocs();
+    for (c, d) in &updates {
+        engine.update(c, *d).expect("in bounds");
+    }
+    let update_allocs = thread_allocs() - before;
+    let before = thread_allocs();
+    for r in &regions {
+        sink = sink.wrapping_add(engine.query(r).expect("in bounds"));
+    }
+    let query_allocs = thread_allocs() - before;
+
+    assert!(sink != i64::MIN, "checksum sentinel");
+    assert_eq!(
+        update_allocs, 0,
+        "lane-kernel updates allocated {update_allocs} times in {OPS} ops"
+    );
+    assert_eq!(
+        query_allocs, 0,
+        "lane-kernel queries allocated {query_allocs} times in {OPS} ops"
+    );
+}
+
 /// Dimensionality changes re-size the shared thread-local scratch; after
 /// one warm-up on the new shape the counter must freeze again. This pins
 /// the `ensure(d)` grow-only design: switching between engines of

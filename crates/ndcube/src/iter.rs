@@ -185,6 +185,76 @@ impl Iterator for LinearRegionIter<'_> {
 
 impl ExactSizeIterator for LinearRegionIter<'_> {}
 
+/// Iterates the maximal contiguous runs of a region inside a shape: one
+/// `(start, len)` pair per outer coordinate, where `start` is the linear
+/// offset of the run's first cell and `len` its innermost-axis extent.
+///
+/// Row-major layout makes the last dimension the only contiguous one, so
+/// each run covers `hi[last] − lo[last] + 1` cells. This is the iterator
+/// form of [`Shape::for_each_contiguous_run_in_bounds`], for callers that
+/// want run-structured access (slice-at-a-time kernels) with iterator
+/// ergonomics; the callback form is the zero-alloc hot-path variant.
+pub struct ContiguousRuns<'a> {
+    shape: &'a Shape,
+    region: &'a Region,
+    coords: Vec<usize>,
+    start: usize,
+    run_len: usize,
+    remaining: usize,
+}
+
+impl<'a> ContiguousRuns<'a> {
+    pub(crate) fn new(shape: &'a Shape, region: &'a Region) -> Self {
+        debug_assert!(shape.check_region(region).is_ok());
+        let coords = region.lo().to_vec();
+        let start = shape.linear_unchecked(&coords);
+        let last = shape.ndim() - 1;
+        let run_len = region.hi()[last] - region.lo()[last] + 1;
+        ContiguousRuns {
+            shape,
+            region,
+            coords,
+            start,
+            run_len,
+            remaining: region.cell_count() / run_len,
+        }
+    }
+}
+
+impl Iterator for ContiguousRuns<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let out = (self.start, self.run_len);
+        // Advance the outer odometer (the innermost coordinate stays at
+        // the run start); d == 1 has a single run, then exhausts.
+        let d = self.coords.len();
+        let mut dim = d - 1;
+        while dim > 0 {
+            dim -= 1;
+            if self.coords[dim] < self.region.hi()[dim] {
+                self.coords[dim] += 1;
+                self.start += self.shape.strides()[dim];
+                break;
+            }
+            let span = self.coords[dim] - self.region.lo()[dim];
+            self.start -= span * self.shape.strides()[dim];
+            self.coords[dim] = self.region.lo()[dim];
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for ContiguousRuns<'_> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

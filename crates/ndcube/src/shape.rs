@@ -210,6 +210,66 @@ impl Shape {
         }
     }
 
+    /// Calls `f` with `(start, len)` for every maximal contiguous run of
+    /// cells in `lo ..= hi`: the innermost-axis span at each outer
+    /// coordinate. Row-major layout makes the last dimension the only
+    /// contiguous one, so a run is `hi[last] − lo[last] + 1` cells long and
+    /// starts at the linear offset of `(…outer…, lo[last])`.
+    ///
+    /// This is the walk the lane kernels in `rps-core` consume: one
+    /// callback per run lets them process the run as a slice (chunked,
+    /// autovectorizable) instead of paying the odometer per cell as
+    /// [`Self::for_each_linear_in_bounds`] does. Reuses the caller's
+    /// coordinate buffer: zero allocations. Bounds must be in range
+    /// (debug-asserted).
+    pub fn for_each_contiguous_run_in_bounds(
+        &self,
+        lo: &[usize],
+        hi: &[usize],
+        cur: &mut Vec<usize>,
+        mut f: impl FnMut(usize, usize),
+    ) {
+        let d = self.ndim();
+        debug_assert_eq!(lo.len(), d);
+        debug_assert_eq!(hi.len(), d);
+        debug_assert!(lo.iter().zip(hi).all(|(l, h)| l <= h));
+        debug_assert!(self.check(hi).is_ok());
+        cur.clear();
+        cur.extend_from_slice(lo);
+        let mut start = self.linear_unchecked(cur);
+        let run_len = hi[d - 1] - lo[d - 1] + 1;
+        loop {
+            f(start, run_len);
+            if d == 1 {
+                return;
+            }
+            // Odometer over the outer dimensions only; the innermost
+            // coordinate stays pinned at lo[last] (the run start).
+            let mut dim = d - 1;
+            loop {
+                if dim == 0 {
+                    return;
+                }
+                dim -= 1;
+                if cur[dim] < hi[dim] {
+                    cur[dim] += 1;
+                    start += self.strides[dim];
+                    break;
+                }
+                let span = cur[dim] - lo[dim];
+                start -= span * self.strides[dim];
+                cur[dim] = lo[dim];
+            }
+        }
+    }
+
+    /// Iterator form of [`Self::for_each_contiguous_run_in_bounds`] over a
+    /// [`Region`]: yields `(start, len)` for each maximal contiguous
+    /// (innermost-axis) run, in row-major order of the outer coordinates.
+    pub fn contiguous_runs<'a>(&'a self, region: &'a Region) -> crate::ContiguousRuns<'a> {
+        crate::ContiguousRuns::new(self, region)
+    }
+
     /// Calls `f` with each (coordinates, linear offset) pair of `region`
     /// in row-major order, reusing one coordinate buffer — the pairing
     /// every cube-walking loop needs, so call sites don't hand-roll the
@@ -342,6 +402,54 @@ mod tests {
         got.clear();
         s1.for_each_linear_in_bounds(&[9], &[9], &mut buf, |lin| got.push(lin));
         assert_eq!(got, vec![9]);
+    }
+
+    #[test]
+    fn contiguous_runs_cover_the_region_in_order() {
+        let s = Shape::new(&[3, 4, 5]).unwrap();
+        let r = Region::new(&[1, 0, 2], &[2, 3, 4]).unwrap();
+        let mut buf = vec![9usize; 5]; // pre-dirtied: must be cleared
+        let mut via_runs = Vec::new();
+        s.for_each_contiguous_run_in_bounds(r.lo(), r.hi(), &mut buf, |start, len| {
+            via_runs.extend(start..start + len);
+        });
+        let want: Vec<usize> = s.linear_region_iter(&r).collect();
+        assert_eq!(via_runs, want);
+
+        // Iterator form agrees with the callback form.
+        let via_iter: Vec<usize> = s
+            .contiguous_runs(&r)
+            .flat_map(|(start, len)| start..start + len)
+            .collect();
+        assert_eq!(via_iter, want);
+        assert_eq!(s.contiguous_runs(&r).len(), 2 * 4);
+    }
+
+    #[test]
+    fn contiguous_runs_one_dim_is_a_single_run() {
+        let s = Shape::new(&[10]).unwrap();
+        let r = Region::new(&[3], &[7]).unwrap();
+        let mut buf = Vec::new();
+        let mut runs = Vec::new();
+        s.for_each_contiguous_run_in_bounds(r.lo(), r.hi(), &mut buf, |start, len| {
+            runs.push((start, len));
+        });
+        assert_eq!(runs, vec![(3, 5)]);
+        assert_eq!(s.contiguous_runs(&r).collect::<Vec<_>>(), vec![(3, 5)]);
+    }
+
+    #[test]
+    fn contiguous_runs_singleton_and_unit_rows() {
+        // Unit innermost extent: every run has length 1 (worst case, the
+        // walk degrades to the per-cell odometer).
+        let s = Shape::new(&[4, 4]).unwrap();
+        let r = Region::new(&[1, 2], &[3, 2]).unwrap();
+        let mut buf = Vec::new();
+        let mut runs = Vec::new();
+        s.for_each_contiguous_run_in_bounds(r.lo(), r.hi(), &mut buf, |start, len| {
+            runs.push((start, len));
+        });
+        assert_eq!(runs, vec![(6, 1), (10, 1), (14, 1)]);
     }
 
     #[test]

@@ -121,6 +121,28 @@ impl<E> SharedEngine<E> {
         self.read(|e| e.cell(coords))
     }
 
+    /// Answers a batch of queries, fanned out across `threads` worker
+    /// shards, under one shared-lock hold — the whole batch observes one
+    /// snapshot, exactly like a single [`SharedEngine::query`] does.
+    pub fn query_many_parallel<T>(
+        &self,
+        regions: &[Region],
+        threads: usize,
+    ) -> Result<Vec<T>, NdError>
+    where
+        T: GroupValue + Send + Sync,
+        E: std::borrow::Borrow<crate::RpsEngine<T>>,
+    {
+        let out = self.read(|e| e.borrow().query_many_parallel(regions, threads));
+        if out.is_ok() {
+            self.inner.queries.fetch_add(
+                u64::try_from(regions.len()).unwrap_or(u64::MAX),
+                Ordering::Relaxed,
+            );
+        }
+        out
+    }
+
     /// Sum of the entire cube.
     pub fn total<T: GroupValue>(&self) -> T
     where
@@ -216,6 +238,19 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(shared.total(), 800);
+    }
+
+    #[test]
+    fn shared_query_many_parallel_matches_serial_queries() {
+        let shared = SharedEngine::new(RpsEngine::from_cube_uniform(&paper_array_a(), 3).unwrap());
+        let regions: Vec<Region> = (0..24)
+            .map(|i| Region::new(&[i % 5, i % 4], &[(i % 5) + 3, (i % 4) + 4]).unwrap())
+            .collect();
+        let serial: Vec<i64> = regions.iter().map(|r| shared.query(r).unwrap()).collect();
+        let before = shared.query_count();
+        let par = shared.query_many_parallel::<i64>(&regions, 4).unwrap();
+        assert_eq!(par, serial);
+        assert_eq!(shared.query_count(), before + 24);
     }
 
     #[test]

@@ -71,6 +71,11 @@ pub struct CoreMetrics {
     pub scratch_reuse: Counter,
     /// Ops that fell back to a fresh scratch (re-entrant `with_scratch`).
     pub scratch_fresh: Counter,
+    /// Worker shards fanned out by `query_many_parallel` batches.
+    pub parallel_query_shards: Counter,
+    /// Contiguous runs processed by the lane-width kernels (runs of at
+    /// least [`crate::rps::kernels::LANES`] cells).
+    pub lane_runs: Counter,
 }
 
 static RPS: EngineMetrics = EngineMetrics::new();
@@ -81,6 +86,8 @@ static CORE: CoreMetrics = CoreMetrics {
     query_many_corner_misses: Counter::new(),
     scratch_reuse: Counter::new(),
     scratch_fresh: Counter::new(),
+    parallel_query_shards: Counter::new(),
+    lane_runs: Counter::new(),
 };
 
 fn register_kind(m: &'static EngineMetrics, labels: &'static [(&'static str, &'static str)]) {
@@ -171,6 +178,22 @@ fn register_all() {
         "rps-core",
         &[],
         &CORE.scratch_fresh,
+    );
+    reg.counter(
+        "rps_parallel_query_shards_total",
+        "Worker shards fanned out by query_many_parallel batches",
+        "ops",
+        "rps-core",
+        &[],
+        &CORE.parallel_query_shards,
+    );
+    reg.counter(
+        "rps_lane_runs_total",
+        "Contiguous runs processed by the lane-width kernels",
+        "ops",
+        "rps-core",
+        &[],
+        &CORE.lane_runs,
     );
 }
 

@@ -11,6 +11,7 @@ use ndcube::{NdCube, NdError, Region, Shape};
 
 use crate::corners::range_sum_from_prefix;
 use crate::engine::RangeSumEngine;
+use crate::rps::kernels;
 use crate::stats::{CostStats, StatsCell};
 use crate::value::GroupValue;
 
@@ -47,46 +48,130 @@ pub fn prefix_sums_in_place<T: GroupValue>(a: &mut NdCube<T>) {
 /// not a multiple of `k` — the box-boundary reset of the RP sweep)
 /// accumulates its predecessor along `dim`.
 ///
-/// Structured as blocks × coordinates × rows so the per-cell
-/// `(lin / stride) % n` division of the naive form disappears: the
-/// coordinate test runs once per `stride` cells. This kernel is the
-/// build path's inner loop for P, RP and the RP inverse.
+/// Two regimes, both built on the lane kernels:
+///
+/// * `stride == 1` (the innermost dimension): each period is one
+///   contiguous run and the running sum is a loop-carried scan —
+///   [`kernels::prefix_scan_run`] per run.
+/// * `stride > 1` (outer dimensions): consecutive coordinates are rows of
+///   `stride` contiguous cells that combine *elementwise*
+///   ([`kernels::add_rows`], lane-widened), tiled into
+///   [`kernels::tile_width`]-sized column blocks so the row pair being
+///   combined stays resident in L1 across the whole coordinate walk.
+///
+/// This kernel is the build path's inner loop for P, RP and the RP
+/// inverse.
 pub(crate) fn sweep_dim_forward<T: GroupValue>(data: &mut [T], stride: usize, n: usize, k: usize) {
+    if stride == 1 {
+        for run in data.chunks_mut(n) {
+            kernels::prefix_scan_run(run, k);
+        }
+        return;
+    }
     let period = stride * n;
+    let tile = kernels::tile_width::<T>(stride);
+    let mut lane_rows = 0u64;
     let mut base = 0usize;
     while base < data.len() {
-        for coord in 1..n {
-            if k != usize::MAX && coord % k == 0 {
-                continue; // first cell of a box along `dim`: no carry-in
+        let block = &mut data[base..base + period];
+        let mut col = 0usize;
+        while col < stride {
+            let w = tile.min(stride - col);
+            for coord in 1..n {
+                if k != usize::MAX && coord % k == 0 {
+                    continue; // first cell of a box along `dim`: no carry-in
+                }
+                let row = coord * stride;
+                let (prev, cur) = block.split_at_mut(row);
+                kernels::add_rows(&mut cur[col..col + w], &prev[row - stride + col..][..w]);
+                lane_rows += u64::from(kernels::is_lane_run(w));
             }
-            let row = base + coord * stride;
-            for off in 0..stride {
-                let prev = data[row + off - stride].clone();
-                data[row + off].add_assign(&prev);
+            col += w;
+        }
+        base += period;
+    }
+    if lane_rows > 0 {
+        // Coalesced: one relaxed add per sweep, not one per row.
+        crate::obs::core().lane_runs.add(lane_rows);
+    }
+}
+
+/// The inverse of [`sweep_dim_backward`]'s forward twin: processes
+/// coordinates in descending order so each cell subtracts a predecessor
+/// that is still in its summed state. Same lane/tile structure as
+/// [`sweep_dim_forward`] with [`kernels::sub_rows`] /
+/// [`kernels::inverse_prefix_scan_run`].
+pub(crate) fn sweep_dim_backward<T: GroupValue>(data: &mut [T], stride: usize, n: usize, k: usize) {
+    if stride == 1 {
+        for run in data.chunks_mut(n) {
+            kernels::inverse_prefix_scan_run(run, k);
+        }
+        return;
+    }
+    let period = stride * n;
+    let tile = kernels::tile_width::<T>(stride);
+    let mut base = 0usize;
+    while base < data.len() {
+        let block = &mut data[base..base + period];
+        let mut col = 0usize;
+        while col < stride {
+            let w = tile.min(stride - col);
+            for coord in (1..n).rev() {
+                if k != usize::MAX && coord % k == 0 {
+                    continue;
+                }
+                let row = coord * stride;
+                let (prev, cur) = block.split_at_mut(row);
+                kernels::sub_rows(&mut cur[col..col + w], &prev[row - stride + col..][..w]);
             }
+            col += w;
         }
         base += period;
     }
 }
 
-/// The inverse of [`sweep_dim_forward`]: processes coordinates in
-/// descending order so each cell subtracts a predecessor that is still
-/// in its summed state.
-pub(crate) fn sweep_dim_backward<T: GroupValue>(data: &mut [T], stride: usize, n: usize, k: usize) {
-    let period = stride * n;
-    let mut base = 0usize;
-    while base < data.len() {
-        for coord in (1..n).rev() {
-            if k != usize::MAX && coord % k == 0 {
-                continue;
+/// The original per-cell sweeps, kept verbatim as the oracle the lane
+/// kernels are property-tested against (bit-identical results for every
+/// dimension, stride, and box size k, including k = 1 and non-divisible
+/// n/k tails).
+#[cfg(test)]
+pub(crate) mod sweep_oracle {
+    use crate::value::GroupValue;
+
+    pub fn sweep_dim_forward<T: GroupValue>(data: &mut [T], stride: usize, n: usize, k: usize) {
+        let period = stride * n;
+        let mut base = 0usize;
+        while base < data.len() {
+            for coord in 1..n {
+                if k != usize::MAX && coord % k == 0 {
+                    continue;
+                }
+                let row = base + coord * stride;
+                for off in 0..stride {
+                    let prev = data[row + off - stride].clone();
+                    data[row + off].add_assign(&prev);
+                }
             }
-            let row = base + coord * stride;
-            for off in 0..stride {
-                let prev = data[row + off - stride].clone();
-                data[row + off].sub_assign(&prev);
-            }
+            base += period;
         }
-        base += period;
+    }
+
+    pub fn sweep_dim_backward<T: GroupValue>(data: &mut [T], stride: usize, n: usize, k: usize) {
+        let period = stride * n;
+        let mut base = 0usize;
+        while base < data.len() {
+            for coord in (1..n).rev() {
+                if k != usize::MAX && coord % k == 0 {
+                    continue;
+                }
+                let row = base + coord * stride;
+                for off in 0..stride {
+                    let prev = data[row + off - stride].clone();
+                    data[row + off].sub_assign(&prev);
+                }
+            }
+            base += period;
+        }
     }
 }
 
@@ -280,5 +365,73 @@ mod tests {
         let mut e = PrefixSumEngine::<i64>::zeros(&[3, 3]).unwrap();
         assert!(e.update(&[0, 3], 1).is_err());
         assert!(e.prefix_sum(&[3, 0]).is_err());
+    }
+
+    #[test]
+    fn lane_sweeps_match_oracle_on_wide_rows() {
+        // A stride (37) well past one lane exercises full chunks, the
+        // remainder tail, and tiling in a single deterministic case.
+        let dims = [7usize, 37];
+        let shape = Shape::new(&dims).unwrap();
+        let data: Vec<i64> = (0..shape.len())
+            .map(|i| (i as i64 * 31) % 101 - 50)
+            .collect();
+        for dim in 0..dims.len() {
+            for k in [1usize, 3, 5, usize::MAX] {
+                let mut a = data.clone();
+                let mut b = data.clone();
+                sweep_dim_forward(&mut a, shape.strides()[dim], shape.dim(dim), k);
+                sweep_oracle::sweep_dim_forward(&mut b, shape.strides()[dim], shape.dim(dim), k);
+                assert_eq!(a, b, "forward dim {dim} k {k}");
+                sweep_dim_backward(&mut a, shape.strides()[dim], shape.dim(dim), k);
+                sweep_oracle::sweep_dim_backward(&mut b, shape.strides()[dim], shape.dim(dim), k);
+                assert_eq!(a, b, "backward dim {dim} k {k}");
+                assert_eq!(a, data, "round trip dim {dim} k {k}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod sweep_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random geometry + contents + box size, for d ∈ 1..=4.
+    fn sweep_case() -> impl Strategy<Value = (Vec<usize>, Vec<i64>, usize)> {
+        (1usize..=4)
+            .prop_flat_map(|d| proptest::collection::vec(1usize..=6, d))
+            .prop_flat_map(|dims| {
+                let len: usize = dims.iter().product();
+                (
+                    Just(dims),
+                    proptest::collection::vec(-100i64..100, len..=len),
+                    1usize..=7,
+                )
+            })
+    }
+
+    proptest! {
+        /// The lane-widened sweeps are bit-identical to the retained
+        /// per-cell oracle for every dimension, every stride, and box
+        /// sizes k ∈ {1, random, ∞} — including non-divisible n/k tails
+        /// — and backward exactly inverts forward.
+        #[test]
+        fn lane_sweeps_match_scalar_oracle((dims, data, k) in sweep_case()) {
+            let shape = Shape::new(&dims).unwrap();
+            for dim in 0..dims.len() {
+                for kk in [1usize, k, usize::MAX] {
+                    let mut a = data.clone();
+                    let mut b = data.clone();
+                    sweep_dim_forward(&mut a, shape.strides()[dim], shape.dim(dim), kk);
+                    sweep_oracle::sweep_dim_forward(&mut b, shape.strides()[dim], shape.dim(dim), kk);
+                    prop_assert_eq!(&a, &b, "forward dim {} k {}", dim, kk);
+                    sweep_dim_backward(&mut a, shape.strides()[dim], shape.dim(dim), kk);
+                    sweep_oracle::sweep_dim_backward(&mut b, shape.strides()[dim], shape.dim(dim), kk);
+                    prop_assert_eq!(&a, &b, "backward dim {} k {}", dim, kk);
+                    prop_assert_eq!(&a, &data, "round trip dim {} k {}", dim, kk);
+                }
+            }
+        }
     }
 }

@@ -20,6 +20,7 @@ mod batch;
 mod build;
 mod grid;
 mod invariants;
+pub mod kernels;
 mod overlay;
 mod parallel;
 mod scratch;

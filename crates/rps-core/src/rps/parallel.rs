@@ -23,10 +23,12 @@
 //! have applied, in the same order: the result is bit-identical to
 //! serial application.
 
-use ndcube::NdCube;
+use ndcube::{NdCube, NdError, Region};
 
+use crate::corners::range_sum_from_prefix_with;
 use crate::rps::grid::BoxGrid;
-use crate::rps::scratch::KernelScratch;
+use crate::rps::kernels;
+use crate::rps::scratch::{KernelScratch, Scratch};
 use crate::rps::update::overlay_update_walk;
 use crate::value::GroupValue;
 
@@ -43,6 +45,12 @@ pub(crate) fn default_threads() -> usize {
 /// chunk of the row-major buffer. `global_offset` is the chunk's first
 /// linear index in the full array; `k = usize::MAX` gives the global
 /// (prefix-sum) sweep, otherwise accumulation stops at multiples of `k`.
+///
+/// The slab splits hand every chunk out row-aligned (and, for `stride ==
+/// 1`, aligned to whole innermost runs or box boundaries), so the sweep
+/// runs row-at-a-time through the lane kernels instead of dividing per
+/// cell: scans ([`kernels::prefix_scan_run`]) along the innermost
+/// dimension, elementwise row combines ([`kernels::add_rows`]) elsewhere.
 fn sweep_chunk<T: GroupValue>(
     chunk: &mut [T],
     global_offset: usize,
@@ -50,17 +58,36 @@ fn sweep_chunk<T: GroupValue>(
     n: usize,
     k: usize,
 ) {
-    for local in 0..chunk.len() {
-        let coord = ((global_offset + local) / stride) % n;
+    if stride == 1 {
+        // Innermost dimension. For d ≥ 2 the chunk is whole periods of
+        // `n`, so every run starts at coordinate 0; the d = 1 slabs are
+        // aligned to box boundaries, so restarting at *local* multiples
+        // of `k` matches the global sweep there too.
+        let run = n.min(chunk.len()).max(1);
+        for r in chunk.chunks_mut(run) {
+            kernels::prefix_scan_run(r, k);
+        }
+        return;
+    }
+    // Outer dimension: all `stride` cells of a row share one
+    // `dim`-coordinate, so the divide runs once per row and the row pair
+    // combines elementwise through the lane kernel.
+    debug_assert!(global_offset.is_multiple_of(stride));
+    debug_assert!(chunk.len().is_multiple_of(stride));
+    let first = global_offset / stride;
+    let rows = chunk.len() / stride;
+    for r in 0..rows {
+        let coord = (first + r) % n;
         let in_box = if k == usize::MAX {
             coord > 0
         } else {
             !coord.is_multiple_of(k)
         };
         if in_box {
-            debug_assert!(local >= stride, "predecessor lies within the chunk");
-            let prev = chunk[local - stride].clone();
-            chunk[local].add_assign(&prev);
+            let row = r * stride;
+            debug_assert!(row >= stride, "predecessor lies within the chunk");
+            let (prev, cur) = chunk.split_at_mut(row);
+            kernels::add_rows(&mut cur[..stride], &prev[row - stride..]);
         }
     }
 }
@@ -303,6 +330,7 @@ impl<T: GroupValue + Send + Sync> crate::rps::RpsEngine<T> {
         let n0 = rp_shape.dim(0);
 
         let mut total_writes = 0u64;
+        let mut total_lane_runs = 0u64;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(row_counts.len());
             let mut r_lo = 0usize;
@@ -324,20 +352,29 @@ impl<T: GroupValue + Send + Sync> crate::rps::RpsEngine<T> {
                 handles.push(scope.spawn(move || {
                     let mut ks = KernelScratch::new();
                     let mut writes = 0u64;
+                    let mut lane_runs = 0u64;
                     for (c, delta) in updates {
                         if delta.is_zero() {
                             continue;
                         }
                         // RP cascade — confined to c's own box, which lies
                         // entirely inside one slab (slab bounds are box-row
-                        // multiples).
+                        // multiples). Run-structured through the lane
+                        // kernel, like the serial cascade.
                         if c[0] >= cube_row_lo && c[0] < cube_row_hi {
                             ks.ensure(c.len());
                             grid.box_hi_of_cell_into(c, &mut ks.hi);
-                            rp_shape.for_each_linear_in_bounds(c, &ks.hi, &mut ks.cur, |lin| {
-                                my_rp[lin - my_rp_base].add_assign(delta);
-                                writes += 1;
-                            });
+                            rp_shape.for_each_contiguous_run_in_bounds(
+                                c,
+                                &ks.hi,
+                                &mut ks.cur,
+                                |start, len| {
+                                    let lo = start - my_rp_base;
+                                    kernels::add_delta_run(&mut my_rp[lo..lo + len], delta);
+                                    writes += u64::try_from(len).unwrap_or(u64::MAX);
+                                    lane_runs += u64::from(kernels::is_lane_run(len));
+                                },
+                            );
                         }
                         // Overlay orthant walk, clipped to this slab's rows.
                         writes += overlay_update_walk(
@@ -352,7 +389,7 @@ impl<T: GroupValue + Send + Sync> crate::rps::RpsEngine<T> {
                             &mut ks,
                         );
                     }
-                    writes
+                    (writes, lane_runs)
                 }));
                 r_lo = r_hi;
                 ov_base = ov_hi;
@@ -360,12 +397,117 @@ impl<T: GroupValue + Send + Sync> crate::rps::RpsEngine<T> {
             }
             for h in handles {
                 // lint:allow(L2): a worker panic is already a bug; propagate it
-                total_writes += h.join().expect("batch update worker panicked");
+                let (writes, lane_runs) = h.join().expect("batch update worker panicked");
+                total_writes += writes;
+                total_lane_runs += lane_runs;
             }
         });
         self.stats.writes(total_writes);
         // lint:allow(L4): batch lengths are far below 2^64
         self.stats.updates_n(updates.len() as u64);
+        if total_lane_runs > 0 {
+            // Worker-local counts merged on join: one relaxed add per
+            // batch, none on the per-update hot path.
+            crate::obs::core().lane_runs.add(total_lane_runs);
+        }
+    }
+
+    /// Answers a batch of range queries by sharding it across up to
+    /// `threads` scoped worker threads (the same `std::thread` idiom as
+    /// [`Self::apply_updates_parallel`]).
+    ///
+    /// Each shard owns a disjoint slice of the output, its own
+    /// [`Scratch`] (so the zero-allocation invariant holds per worker
+    /// after the per-shard warm-up) and its own corner cache; workers
+    /// share nothing mutable. Corner caching never changes a
+    /// reconstructed value, so the results are **bit-identical** to
+    /// [`crate::rps::RpsEngine::query_many`] and to one-at-a-time
+    /// queries. Stats and observability counters accumulate
+    /// shard-locally and merge on join, so relaxed-atomic contention
+    /// never appears on the query hot path.
+    ///
+    /// `threads ≤ 1` and batches too small to amortize the fan-out fall
+    /// back to the serial path (which also dedups corners across the
+    /// whole batch rather than per shard).
+    pub fn query_many_parallel(
+        &self,
+        regions: &[Region],
+        threads: usize,
+    ) -> Result<Vec<T>, NdError> {
+        use std::collections::HashMap;
+        let threads = threads.max(1);
+        if threads == 1 || regions.len() < 2 * threads {
+            return self.query_many(regions);
+        }
+        for r in regions {
+            self.rp_array().shape().check_region(r)?;
+        }
+        let d = self.rp_array().shape().ndim();
+        // Worst case 2^d distinct corners per region (see query_many).
+        let corners_per_region = 1usize
+            .checked_shl(u32::try_from(d).unwrap_or(u32::MAX))
+            .unwrap_or(usize::MAX);
+        let shard_sizes = slab_sizes(regions.len(), 1, 1, threads);
+        let mut out = vec![T::zero(); regions.len()];
+        let mut total_reads = 0u64;
+        let mut total_lookups = 0u64;
+        let mut total_misses = 0u64;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shard_sizes.len());
+            let mut out_rest = out.as_mut_slice();
+            let mut reg_rest = regions;
+            for &size in &shard_sizes {
+                let (my_out, out_tail) = out_rest.split_at_mut(size);
+                out_rest = out_tail;
+                let (my_regs, reg_tail) = reg_rest.split_at(size);
+                reg_rest = reg_tail;
+                handles.push(scope.spawn(move || {
+                    let mut scratch = Scratch::new();
+                    let (corner_buf, ks) = scratch.split();
+                    let cap = my_regs.len().saturating_mul(corners_per_region);
+                    let mut cache: HashMap<Vec<usize>, T> = HashMap::with_capacity(cap);
+                    let mut reads = 0u64;
+                    let mut lookups = 0u64;
+                    for (slot, r) in my_out.iter_mut().zip(my_regs) {
+                        *slot = range_sum_from_prefix_with(r, corner_buf, |corner| {
+                            lookups += 1;
+                            cache
+                                // lint:allow(L5): the cache key must own its corner; amortized by dedup across the shard
+                                .entry(corner.to_vec())
+                                .or_insert_with(|| {
+                                    let (v, rd) = self.prefix_kernel(corner, ks);
+                                    reads += rd;
+                                    v
+                                })
+                                .clone()
+                        });
+                    }
+                    let misses = u64::try_from(cache.len()).unwrap_or(u64::MAX);
+                    (reads, lookups, misses)
+                }));
+            }
+            for h in handles {
+                // lint:allow(L2): a worker panic is already a bug; propagate it
+                let (reads, lookups, misses) = h.join().expect("parallel query worker panicked");
+                total_reads += reads;
+                total_lookups += lookups;
+                total_misses += misses;
+            }
+        });
+        // Shard-local counters merged on join: one relaxed add per
+        // counter per batch.
+        let n = u64::try_from(regions.len()).unwrap_or(u64::MAX);
+        self.stats.reads(total_reads);
+        self.stats.queries_n(n);
+        let m = crate::obs::engine(crate::obs::EngineKind::Rps);
+        m.queries.add(n);
+        let core = crate::obs::core();
+        core.query_many_corner_misses.add(total_misses);
+        core.query_many_corner_hits
+            .add(total_lookups.saturating_sub(total_misses));
+        core.parallel_query_shards
+            .add(u64::try_from(shard_sizes.len()).unwrap_or(u64::MAX));
+        Ok(out)
     }
 }
 
@@ -509,6 +651,72 @@ mod tests {
         let mut s = a.clone();
         prefix_sums_in_place(&mut s);
         assert_eq!(p, s);
+    }
+
+    /// A dashboard-style mixed batch: rolling windows, group-bys, points.
+    fn query_batch(n: usize) -> Vec<Region> {
+        (0..n)
+            .map(|i| match i % 3 {
+                0 => Region::new(&[i % 30, i % 20], &[(i % 30) + 9, (i % 20) + 14]).unwrap(),
+                1 => Region::new(&[0, i % 35], &[39, (i % 35) + 4]).unwrap(),
+                _ => Region::point(&[i % 40, (i * 7) % 40]).unwrap(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn query_many_parallel_matches_serial() {
+        let a = NdCube::from_fn(&[40, 40], |c| ((c[0] * 17 + c[1] * 3) % 29) as i64).unwrap();
+        let e = RpsEngine::from_cube_uniform(&a, 7).unwrap();
+        let regions = query_batch(64);
+        let serial = e.query_many(&regions).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let par = e.query_many_parallel(&regions, threads).unwrap();
+            assert_eq!(par, serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn query_many_parallel_counts_queries_and_reads() {
+        let a = NdCube::from_fn(&[40, 40], |c| (c[0] + c[1]) as i64).unwrap();
+        let e = RpsEngine::from_cube_uniform(&a, 6).unwrap();
+        let regions = query_batch(48);
+        e.reset_stats();
+        e.query_many_parallel(&regions, 4).unwrap();
+        let s = e.stats();
+        assert_eq!(s.queries, 48);
+        // Reads are bounded by the uncached worst case 2^d·(d+2)·q.
+        assert!(
+            s.cell_reads > 0 && s.cell_reads <= 16 * 48,
+            "{}",
+            s.cell_reads
+        );
+    }
+
+    #[test]
+    fn query_many_parallel_small_batch_falls_back() {
+        // Fewer regions than 2 × threads: the serial path answers, with
+        // identical values.
+        let a = NdCube::from_fn(&[20, 20], |c| (c[0] * c[1]) as i64).unwrap();
+        let e = RpsEngine::from_cube_uniform(&a, 5).unwrap();
+        let regions: Vec<Region> = (0..5)
+            .map(|i| Region::new(&[i, 0], &[i + 3, 19]).unwrap())
+            .collect();
+        assert_eq!(
+            e.query_many_parallel(&regions, 8).unwrap(),
+            e.query_many(&regions).unwrap()
+        );
+    }
+
+    #[test]
+    fn query_many_parallel_rejects_bad_region() {
+        let e = RpsEngine::<i64>::zeros(&[10, 10]).unwrap();
+        let mut regions = query_batch(20)
+            .into_iter()
+            .map(|_| Region::new(&[0, 0], &[5, 5]).unwrap())
+            .collect::<Vec<_>>();
+        regions.push(Region::new(&[0, 0], &[10, 10]).unwrap()); // out of bounds
+        assert!(e.query_many_parallel(&regions, 4).is_err());
     }
 }
 

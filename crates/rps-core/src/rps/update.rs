@@ -31,6 +31,7 @@
 use ndcube::NdCube;
 
 use crate::rps::grid::BoxGrid;
+use crate::rps::kernels;
 use crate::rps::overlay::Overlay;
 use crate::rps::scratch::{with_scratch, KernelScratch};
 use crate::stats::StatsCell;
@@ -70,14 +71,22 @@ pub fn apply_update_with<T: GroupValue>(
     ks.ensure(c.len());
 
     // --- 1. RP: cascade within the box, clipped to x ≥ c. ---
+    // Run-structured: one lane-kernel call per contiguous innermost-axis
+    // run instead of one closure call per cell.
     grid.box_hi_of_cell_into(c, &mut ks.hi);
     let mut writes = 0u64;
+    let mut lane_runs = 0u64;
     {
         let (shape, data) = rp.parts_mut();
-        shape.for_each_linear_in_bounds(c, &ks.hi, &mut ks.cur, |lin| {
-            data[lin].add_assign(delta);
-            writes += 1;
+        shape.for_each_contiguous_run_in_bounds(c, &ks.hi, &mut ks.cur, |start, len| {
+            kernels::add_delta_run(&mut data[start..start + len], delta);
+            writes += u64::try_from(len).unwrap_or(u64::MAX);
+            lane_runs += u64::from(kernels::is_lane_run(len));
         });
+    }
+    if lane_runs > 0 {
+        // Coalesced: one relaxed add per update, not one per run.
+        crate::obs::core().lane_runs.add(lane_runs);
     }
 
     // --- 2. Overlay: walk the upper orthant of boxes. ---

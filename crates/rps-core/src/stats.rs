@@ -147,6 +147,14 @@ impl StatsCell {
         self.updates.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` answered queries in one add — the parallel query
+    /// front-end merges shard-local counts on join instead of touching
+    /// the shared counter once per query.
+    #[inline]
+    pub fn queries_n(&self, n: u64) {
+        self.queries.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Folds a whole snapshot into the counters (e.g. carrying history
     /// across a structure rebuild).
     pub fn add_snapshot(&self, s: CostStats) {
@@ -197,6 +205,17 @@ mod tests {
             a.update();
         }
         b.updates_n(5);
+        assert_eq!(a.get(), b.get());
+    }
+
+    #[test]
+    fn queries_n_matches_repeated_query() {
+        let a = StatsCell::new();
+        let b = StatsCell::new();
+        for _ in 0..7 {
+            a.query();
+        }
+        b.queries_n(7);
         assert_eq!(a.get(), b.get());
     }
 

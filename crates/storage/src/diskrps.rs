@@ -325,6 +325,68 @@ impl<T: GroupValue + Default, S: PageStore<T>> DiskRpsEngine<T, S> {
         Ok(acc)
     }
 
+    /// Answers a batch of range-sum queries with a shared corner cache,
+    /// mirroring [`rps_core::RpsEngine::query_many`].
+    ///
+    /// Serial by design: the buffer pool's `RefCell` makes this engine
+    /// `!Sync`, so the sharded `query_many_parallel` front-end cannot fan
+    /// a disk engine out across threads. The corner cache still pays off
+    /// here — adjacent dashboard panels share corners, and every cache hit
+    /// saves a buffer-pool probe (potentially a page fault).
+    pub fn query_many(&self, regions: &[Region]) -> Result<Vec<T>, NdError> {
+        let shape = self.rp.shape();
+        for region in regions {
+            shape.check_region(region)?;
+        }
+        let d = shape.ndim();
+        let m = rps_core::obs::engine(rps_core::obs::EngineKind::Disk);
+        m.queries
+            .add(u64::try_from(regions.len()).unwrap_or(u64::MAX));
+        let corners_per_region = 1usize
+            .checked_shl(u32::try_from(d).unwrap_or(u32::MAX))
+            .unwrap_or(usize::MAX);
+        let cap = regions.len().saturating_mul(corners_per_region);
+        let mut cache: HashMap<Vec<usize>, T> = HashMap::with_capacity(cap.min(1 << 16));
+        let mut total_reads = 0u64;
+        let mut io_err: Option<StorageError> = None;
+        let mut out = Vec::with_capacity(regions.len());
+        with_scratch(|s| {
+            let (corner_buf, ks) = s.split();
+            for region in regions {
+                if io_err.is_some() {
+                    break;
+                }
+                let sum = range_sum_from_prefix_with(region, corner_buf, |corner| {
+                    if io_err.is_some() {
+                        return T::default();
+                    }
+                    if let Some(v) = cache.get(corner) {
+                        return v.clone();
+                    }
+                    match self.prefix_kernel(corner, ks) {
+                        Ok((v, reads)) => {
+                            total_reads += reads;
+                            cache.insert(corner.to_vec(), v.clone());
+                            v
+                        }
+                        Err(e) => {
+                            io_err = Some(e);
+                            T::default()
+                        }
+                    }
+                });
+                out.push(sum);
+            }
+        });
+        if let Some(e) = io_err {
+            return Err(to_nd_error(e));
+        }
+        self.stats.reads(total_reads);
+        self.stats
+            .queries_n(u64::try_from(regions.len()).unwrap_or(u64::MAX));
+        Ok(out)
+    }
+
     /// The prefix reconstruction without stats side effects: returns the
     /// value and the cell-read count so callers can coalesce stats into a
     /// single counter update per operation.

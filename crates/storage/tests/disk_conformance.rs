@@ -145,3 +145,24 @@ fn io_accounting_is_consistent() {
     assert_eq!(io.pool_misses, io.page_reads);
     assert_eq!(io.page_writes, 0); // nothing dirtied
 }
+
+#[test]
+fn disk_query_many_matches_individual_queries() {
+    // The corner-cached batch path must be bit-identical to one-at-a-time
+    // queries, and count one logical query per region.
+    let cube = NdCube::from_fn(&[24, 24], |c| ((c[0] * 13 + c[1] * 7) % 31) as i64).unwrap();
+    let disk =
+        DiskRpsEngine::from_cube_uniform(&cube, 5, DeviceConfig { cells_per_page: 8 }, 4).unwrap();
+    let regions: Vec<Region> = (0..20)
+        .map(|i| Region::new(&[i % 6, i % 5], &[(i % 6) + 9, (i % 5) + 11]).unwrap())
+        .collect();
+    let serial: Vec<i64> = regions.iter().map(|r| disk.query(r).unwrap()).collect();
+    disk.reset_stats();
+    let batch = disk.query_many(&regions).unwrap();
+    assert_eq!(batch, serial);
+    let s = disk.stats();
+    assert_eq!(s.queries, 20);
+    // Shared corners mean the batch reads strictly fewer cells than 20
+    // independent queries would (2^d corners × (d + 2) reads each).
+    assert!(s.cell_reads < 20 * 4 * 4, "reads {}", s.cell_reads);
+}

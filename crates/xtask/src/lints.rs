@@ -182,6 +182,7 @@ pub const L5_HOT_PATH_MODULES: &[&str] = &[
     "crates/rps-core/src/rps/update.rs",
     "crates/rps-core/src/rps/mod.rs",
     "crates/rps-core/src/rps/grid.rs",
+    "crates/rps-core/src/rps/kernels.rs",
 ];
 
 /// Crate roots that must carry the L3 lint header.

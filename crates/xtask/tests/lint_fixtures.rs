@@ -6,7 +6,7 @@ use std::path::{Path, PathBuf};
 
 use xtask::lints::{
     check_l1, check_l2, check_l3_crate_root, check_l3_manifest, check_l4, check_l5, check_l6,
-    run_workspace, Finding, Lint, L2_LIBRARY_SRC,
+    run_workspace, Finding, Lint, L2_LIBRARY_SRC, L5_HOT_PATH_MODULES,
 };
 
 fn fixture(name: &str) -> String {
@@ -114,6 +114,17 @@ fn l5_fires_on_hot_path_allocations() {
         assert_eq!(f.lint, Lint::L5);
         assert!(f.hint.contains("KernelScratch"), "hint teaches the fix");
     }
+}
+
+#[test]
+fn l5_scope_covers_the_lane_kernels() {
+    // The lane-kernel module joined the hot path in the SIMD-width
+    // rewrite; dropping it from the L5 scan would let allocations creep
+    // into the innermost loops unnoticed.
+    assert!(
+        L5_HOT_PATH_MODULES.contains(&"crates/rps-core/src/rps/kernels.rs"),
+        "kernels.rs must stay L5-scanned; scope is {L5_HOT_PATH_MODULES:?}"
+    );
 }
 
 #[test]

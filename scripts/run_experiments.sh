@@ -18,6 +18,7 @@ BINS=(
   exp_dimensionality
   exp_parallel_build
   exp_query_many
+  exp_parallel_query
 )
 
 cargo build --release -p rps-bench --bins

@@ -2,9 +2,10 @@
 # Runs the concurrency-sensitive tests under ThreadSanitizer: the
 # parallel RP/P build sweeps (scoped threads over split_at_mut slabs —
 # including the non-aligned slab geometries the property tests
-# generate), SharedEngine's readers–writer paths, and the buffered
-# engine's flush. Needs a nightly toolchain with rust-src (TSan requires
-# rebuilding std with instrumentation):
+# generate), the sharded query_many_parallel front-end, SharedEngine's
+# readers–writer paths, and the buffered engine's flush. Needs a nightly
+# toolchain with rust-src (TSan requires rebuilding std with
+# instrumentation):
 #
 #   rustup toolchain install nightly --component rust-src
 #
@@ -20,4 +21,4 @@ export PROPTEST_CASES="${PROPTEST_CASES:-16}"
 TARGET="$(rustc +nightly -vV | sed -n 's/^host: //p')"
 
 exec cargo +nightly test -Z build-std --target "$TARGET" -p rps-core \
-    concurrent:: parallel:: buffered:: "$@"
+    concurrent:: parallel:: buffered:: query_many_parallel "$@"
