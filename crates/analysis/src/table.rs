@@ -58,6 +58,7 @@ impl Table {
         }
         let mut out = String::new();
         for (i, h) in self.headers.iter().enumerate() {
+            // lint:allow(L8): fmt::Write into a String is infallible — String's impl never errors
             let _ = write!(out, "{:>width$}", h, width = widths[i]);
             if i + 1 < cols {
                 out.push_str("  ");
@@ -69,6 +70,7 @@ impl Table {
         out.push('\n');
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
+                // lint:allow(L8): fmt::Write into a String is infallible — String's impl never errors
                 let _ = write!(out, "{:>width$}", cell, width = widths[i]);
                 if i + 1 < cols {
                     out.push_str("  ");

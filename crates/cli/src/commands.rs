@@ -65,8 +65,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
         "replay" => replay(args, out),
         "stats" => stats(args, out),
         other => {
-            writeln!(out, "unknown command `{other}`")?;
-            help(out)
+            help(out)?;
+            Err(format!("unknown command `{other}`").into())
         }
     };
     if let Some(path) = args.optional("metrics-file") {
@@ -804,10 +804,13 @@ mod tests {
     }
 
     #[test]
-    fn unknown_command_prints_help() {
-        let (out, ok) = run_capture(&["frobnicate"]);
-        assert!(ok);
-        assert!(out.contains("unknown command"));
+    fn unknown_command_prints_help_and_fails() {
+        let args = Args::parse(["frobnicate".to_string()]).unwrap();
+        let mut buf = Vec::new();
+        let err = run(&args, &mut buf).expect_err("unknown command must exit nonzero");
+        assert!(err.to_string().contains("unknown command"));
+        let out = String::from_utf8(buf).unwrap();
+        assert!(out.contains("commands:"), "help text still printed: {out}");
     }
 
     #[test]

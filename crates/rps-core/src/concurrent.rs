@@ -40,6 +40,12 @@ pub struct SharedEngine<E> {
 
 #[derive(Debug)]
 struct Shared<E> {
+    // The sanctioned nesting for the planned snapshot/MVCC read path:
+    // the engine RwLock is always the outermost guard, and a disk-backed
+    // engine's page-pool RefCell (`DiskRpsEngine::pool` in the storage
+    // crate) may only be borrowed while it is held. The L7 lint enforces
+    // this declaration workspace-wide.
+    // lock-order: engine < pool
     engine: RwLock<E>,
     queries: AtomicU64,
     updates: AtomicU64,

@@ -147,3 +147,72 @@ fn op_counters_exact_after_join() {
         assert_eq!(shared.query_count(), 1);
     });
 }
+
+/// A whole parallel batch runs under ONE shared-lock hold
+/// ([`SharedEngine::query_many_parallel`]), so a racing update must be
+/// invisible to the entire batch or visible to the entire batch — the
+/// shards may interleave freely with each other, but never with the
+/// writer. Any mixed answer vector means a shard re-read the engine
+/// after the lock was released.
+#[test]
+fn parallel_batch_queries_see_one_snapshot() {
+    loom::model(|| {
+        let shared = SharedEngine::new(RpsEngine::<i64>::zeros(&[4, 4]).unwrap());
+        let full = Region::new(&[0, 0], &[3, 3]).unwrap();
+        // 8 identical full-cube regions across 2 shards: enough to beat
+        // the serial fall-back (len >= 2 * threads) while keeping the
+        // schedule space small.
+        let regions: Vec<Region> = (0..8).map(|_| full.clone()).collect();
+
+        let writer = {
+            let shared = shared.clone();
+            loom::thread::spawn(move || {
+                shared.update(&[1, 1], 7).unwrap();
+            })
+        };
+        let answers = shared.query_many_parallel::<i64>(&regions, 2).unwrap();
+        let first = answers[0];
+        assert!(
+            first == 0 || first == 7,
+            "batch observed a half-applied update: {first}"
+        );
+        assert!(
+            answers.iter().all(|&a| a == first),
+            "shards disagree within one lock hold: {answers:?}"
+        );
+        writer.join().unwrap();
+        assert_eq!(shared.total(), 7);
+    });
+}
+
+/// Shard-local stats/obs counters merge into the shared atomics once,
+/// on join — not per shard, not per query. Two concurrent batches of
+/// 12 regions each must bump the handle's query counter by exactly 24
+/// regardless of how the four worker shards interleave.
+#[test]
+fn parallel_query_stats_merge_once_on_join() {
+    loom::model(|| {
+        let shared = SharedEngine::new(RpsEngine::<i64>::zeros(&[4, 4]).unwrap());
+        let regions: Vec<Region> = (0..12)
+            .map(|i| Region::new(&[i % 3, i % 4], &[3, 3]).unwrap())
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let shared = shared.clone();
+                let regions = regions.clone();
+                loom::thread::spawn(move || {
+                    let answers = shared.query_many_parallel::<i64>(&regions, 2).unwrap();
+                    assert!(answers.iter().all(|&a| a == 0));
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(
+            shared.query_count(),
+            24,
+            "each region counted exactly once on join"
+        );
+    });
+}

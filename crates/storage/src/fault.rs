@@ -222,8 +222,10 @@ impl<T: PodCell, S: PageStore<T>> PageStore<T> for FaultyStore<T, S> {
     }
 
     fn read_page(&self, id: PageId, buf: &mut Vec<T>) -> Result<(), StorageError> {
-        let mut rng = self.rng.borrow_mut();
-        if rng.chance(self.plan.read_transient) {
+        // Both RNG draws happen in scoped borrows so the RefCell guard is
+        // never live across the inner store's I/O (L7): the inner call may
+        // itself be a FaultyStore over this RNG in layered-fault tests.
+        if self.rng.borrow_mut().chance(self.plan.read_transient) {
             self.transients.set(self.transients.get() + 1);
             crate::obs::faults().transient.inc();
             return Err(StorageError::Transient {
@@ -231,6 +233,7 @@ impl<T: PodCell, S: PageStore<T>> PageStore<T> for FaultyStore<T, S> {
             });
         }
         self.inner.read_page(id, buf)?;
+        let mut rng = self.rng.borrow_mut();
         if rng.chance(self.plan.read_bit_flip) {
             Self::flip_one_bit(buf, &mut rng);
             self.bit_flips.set(self.bit_flips.get() + 1);

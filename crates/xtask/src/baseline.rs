@@ -1,0 +1,473 @@
+//! Machine-readable findings and the ratcheted baseline.
+//!
+//! `cargo xtask lint --json` emits structured findings; a committed
+//! `lint-baseline.json` pins the workspace's *intentional* residual debt
+//! (ideally: none). The driver partitions current findings against the
+//! baseline by a line-insensitive key — `(lint, file, message)` with
+//! multiplicity — so unrelated edits that shift line numbers don't churn
+//! the baseline, and fails only on findings **not** in it. The ratchet:
+//! `--update-baseline` writes the intersection of the old baseline and
+//! the current findings, so the file can only ever shrink; growing it
+//! requires a hand edit that a reviewer will see.
+//!
+//! Serialization is hand-rolled (the harness has zero dependencies); the
+//! parser below accepts the general JSON subset the emitter produces
+//! (objects, arrays, strings with escapes, integers), so a hand-edited
+//! baseline still parses.
+
+use std::collections::HashMap;
+
+use crate::lints::Finding;
+
+/// One pinned finding from `lint-baseline.json`. `line` is recorded for
+/// human readers but ignored when matching, so the pin survives line
+/// drift from unrelated edits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Lint id (`"L2"`, …).
+    pub lint: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Line recorded when the finding was pinned (informational).
+    pub line: usize,
+    /// The finding message.
+    pub message: String,
+}
+
+impl Entry {
+    fn key(&self) -> (String, String, String) {
+        (self.lint.clone(), self.file.clone(), self.message.clone())
+    }
+}
+
+/// Current findings split against a baseline.
+#[derive(Debug, Default)]
+pub struct Partition {
+    /// Findings not in the baseline — these fail the build.
+    pub new: Vec<Finding>,
+    /// Findings matched by a baseline entry — reported, not fatal.
+    pub pinned: Vec<Finding>,
+    /// Baseline entries with no matching finding — debt that was paid
+    /// down; `--update-baseline` drops them.
+    pub stale: Vec<Entry>,
+}
+
+/// Matches findings against baseline entries by `(lint, file, message)`
+/// with multiplicity: two identical findings need two pins.
+pub fn partition(findings: Vec<Finding>, baseline: &[Entry]) -> Partition {
+    let mut budget: HashMap<(String, String, String), usize> = HashMap::new();
+    for e in baseline {
+        *budget.entry(e.key()).or_insert(0) += 1;
+    }
+    let mut out = Partition::default();
+    for f in findings {
+        let key = (f.lint.id().to_string(), f.file.clone(), f.message.clone());
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                out.pinned.push(f);
+            }
+            _ => out.new.push(f),
+        }
+    }
+    // Whatever budget remains was not consumed: stale pins, again with
+    // multiplicity.
+    for e in baseline {
+        if let Some(n) = budget.get_mut(&e.key()) {
+            if *n > 0 {
+                *n -= 1;
+                out.stale.push(e.clone());
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Emit
+// ---------------------------------------------------------------------------
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"lint\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"hint\":\"{}\"}}",
+        f.lint.id(),
+        escape(&f.file),
+        f.line,
+        escape(&f.message),
+        escape(&f.hint)
+    )
+}
+
+fn entry_json(e: &Entry) -> String {
+    format!(
+        "{{\"lint\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+        escape(&e.lint),
+        escape(&e.file),
+        e.line,
+        escape(&e.message)
+    )
+}
+
+fn json_list<T>(items: &[T], render: impl Fn(&T) -> String, indent: &str) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let body: Vec<String> = items
+        .iter()
+        .map(|i| format!("{indent}  {}", render(i)))
+        .collect();
+    format!("[\n{}\n{indent}]", body.join(",\n"))
+}
+
+/// The `--json` report: new/pinned findings, stale pins, counts.
+pub fn report_json(p: &Partition) -> String {
+    format!(
+        "{{\n  \"new\": {},\n  \"pinned\": {},\n  \"stale\": {},\n  \"counts\": {{\"new\": {}, \"pinned\": {}, \"stale\": {}}}\n}}\n",
+        json_list(&p.new, finding_json, "  "),
+        json_list(&p.pinned, finding_json, "  "),
+        json_list(&p.stale, entry_json, "  "),
+        p.new.len(),
+        p.pinned.len(),
+        p.stale.len()
+    )
+}
+
+/// The `lint-baseline.json` document for a set of still-pinned findings.
+pub fn baseline_json(findings: &[Finding]) -> String {
+    let entries: Vec<Entry> = findings
+        .iter()
+        .map(|f| Entry {
+            lint: f.lint.id().to_string(),
+            file: f.file.clone(),
+            line: f.line,
+            message: f.message.clone(),
+        })
+        .collect();
+    format!(
+        "{{\n  \"version\": 1,\n  \"findings\": {}\n}}\n",
+        json_list(&entries, entry_json, "  ")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Parse
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(i64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'a str,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        format!(
+            "baseline JSON: {what} at offset {} of {} chars",
+            self.pos,
+            self.src.chars().count()
+        )
+    }
+
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.pos).is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.chars.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{c}`")))
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        for expected in word.chars() {
+            if self.chars.get(self.pos) != Some(&expected) {
+                return Err(self.err(&format!("expected `{word}`")));
+            }
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat('{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat('[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some(']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.chars.get(self.pos) {
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some('r') => out.push('\r'),
+                        Some('u') => {
+                            let hex: String =
+                                self.chars.iter().skip(self.pos + 1).take(4).collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        Some(&c) => out.push(c),
+                        None => return Err(self.err("unterminated escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.chars.get(self.pos) == Some(&'-') {
+            self.pos += 1;
+        }
+        while self.chars.get(self.pos).is_some_and(char::is_ascii_digit) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<i64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+/// Parses a `lint-baseline.json` document into its pinned entries.
+pub fn parse(source: &str) -> Result<Vec<Entry>, String> {
+    let mut p = Parser {
+        chars: source.chars().collect(),
+        pos: 0,
+        src: source,
+    };
+    let doc = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(p.err("trailing content after document"));
+    }
+    let Some(Json::Arr(items)) = doc.get("findings") else {
+        return Err("baseline JSON: missing `findings` array".to_string());
+    };
+    let mut out = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        let field = |key: &str| -> Result<&Json, String> {
+            item.get(key)
+                .ok_or_else(|| format!("baseline JSON: finding {i} is missing `{key}`"))
+        };
+        let text = |key: &str| -> Result<String, String> {
+            match field(key)? {
+                Json::Str(s) => Ok(s.clone()),
+                _ => Err(format!(
+                    "baseline JSON: finding {i} `{key}` is not a string"
+                )),
+            }
+        };
+        let line = match field("line")? {
+            Json::Num(n) => usize::try_from(*n)
+                .map_err(|_| format!("baseline JSON: finding {i} `line` is negative"))?,
+            _ => return Err(format!("baseline JSON: finding {i} `line` is not a number")),
+        };
+        out.push(Entry {
+            lint: text("lint")?,
+            file: text("file")?,
+            line,
+            message: text("message")?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Lint;
+
+    fn finding(lint: Lint, file: &str, line: usize, message: &str) -> Finding {
+        Finding {
+            lint,
+            file: file.to_string(),
+            line,
+            message: message.to_string(),
+            hint: "fix it".to_string(),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_emit_and_parse() {
+        let findings = vec![
+            finding(Lint::L2, "crates/a/src/lib.rs", 10, "msg \"quoted\" one"),
+            finding(Lint::L7, "crates/b/src/x.rs", 0, "msg\nwith newline"),
+        ];
+        let doc = baseline_json(&findings);
+        let entries = parse(&doc).expect("round trip parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].lint, "L2");
+        assert_eq!(entries[0].message, "msg \"quoted\" one");
+        assert_eq!(entries[1].message, "msg\nwith newline");
+        assert_eq!(entries[1].line, 0);
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let entries = parse("{\n  \"version\": 1,\n  \"findings\": []\n}\n").unwrap();
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn partition_matches_line_insensitively_with_multiplicity() {
+        let base = parse(&baseline_json(&[
+            finding(Lint::L2, "f.rs", 10, "dup"),
+            finding(Lint::L2, "f.rs", 20, "dup"),
+            finding(Lint::L2, "f.rs", 30, "paid down"),
+        ]))
+        .unwrap();
+        // Lines drifted, one dup remains, one brand-new finding appeared.
+        let now = vec![
+            finding(Lint::L2, "f.rs", 99, "dup"),
+            finding(Lint::L2, "f.rs", 5, "brand new"),
+        ];
+        let p = partition(now, &base);
+        assert_eq!(p.pinned.len(), 1, "one dup consumed one pin");
+        assert_eq!(p.new.len(), 1);
+        assert_eq!(p.new[0].message, "brand new");
+        assert_eq!(p.stale.len(), 2, "unused dup pin + paid-down pin");
+    }
+
+    #[test]
+    fn same_message_different_lint_is_new() {
+        let base = parse(&baseline_json(&[finding(Lint::L2, "f.rs", 1, "m")])).unwrap();
+        let p = partition(vec![finding(Lint::L8, "f.rs", 1, "m")], &base);
+        assert_eq!(p.new.len(), 1, "the lint id is part of the match key");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("{}").is_err(), "missing findings array");
+        assert!(parse("{\"findings\": [{\"lint\": \"L2\"}]}").is_err());
+        assert!(parse("{\"findings\": []} trailing").is_err());
+    }
+
+    #[test]
+    fn report_json_carries_counts() {
+        let p = partition(vec![finding(Lint::L1, "f.rs", 3, "m")], &[]);
+        let doc = report_json(&p);
+        assert!(doc.contains("\"counts\": {\"new\": 1, \"pinned\": 0, \"stale\": 0}"));
+        assert!(doc.contains("\"hint\":\"fix it\""));
+    }
+}

@@ -259,6 +259,80 @@ fn skip_raw_or_plain_string(chars: &[char], mut i: usize, line: &mut usize) -> u
     i
 }
 
+/// Parses a Rust string literal at the start of `text`, returning its
+/// unescaped contents. Handles plain (`"…"` with `\n`/`\t`/`\\`/`\"`/
+/// `\0`/`\u{…}` escapes) and raw (`r"…"`, `r#"…"#`) forms.
+///
+/// The token stream deliberately *skips* string contents, so lints that
+/// need to inspect one (L8's `expect`-message allowlist) re-read the raw
+/// source line and hand it here — keeping the string-syntax knowledge in
+/// the lexer.
+pub fn leading_string_literal(text: &str) -> Option<String> {
+    let chars: Vec<char> = text.chars().collect();
+    if chars.first() == Some(&'r') {
+        let mut j = 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+        let hashes = j - 1;
+        if chars.get(j) != Some(&'"') {
+            return None;
+        }
+        let mut out = String::new();
+        let mut i = j + 1;
+        while i < chars.len() {
+            if chars[i] == '"' {
+                let mut seen = 0usize;
+                while seen < hashes && chars.get(i + 1 + seen) == Some(&'#') {
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return Some(out);
+                }
+            }
+            out.push(chars[i]);
+            i += 1;
+        }
+        return None; // unterminated
+    }
+    if chars.first() != Some(&'"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut i = 1;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return Some(out),
+            '\\' => {
+                let esc = *chars.get(i + 1)?;
+                i += 2;
+                match esc {
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    '0' => out.push('\0'),
+                    'u' => {
+                        // \u{XXXX}
+                        if chars.get(i) != Some(&'{') {
+                            return None;
+                        }
+                        let close = (i..chars.len()).find(|&k| chars[k] == '}')?;
+                        let hex: String = chars[i + 1..close].iter().collect();
+                        out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                        i = close + 1;
+                    }
+                    other => out.push(other), // \\ \" \' and friends
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    None // unterminated
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +376,29 @@ mod tests {
         let toks = tokenize("a\nb\n\nc");
         let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn leading_string_literal_forms() {
+        assert_eq!(
+            leading_string_literal("\"engine lock poisoned\").unwrap()"),
+            Some("engine lock poisoned".to_string())
+        );
+        assert_eq!(
+            leading_string_literal(r#""a \"quoted\" msg""#),
+            Some("a \"quoted\" msg".to_string())
+        );
+        assert_eq!(
+            leading_string_literal("r#\"raw \"inner\"\"# trailing"),
+            Some("raw \"inner\"".to_string())
+        );
+        assert_eq!(
+            leading_string_literal("\"uni \\u{2264} code\""),
+            Some("uni \u{2264} code".to_string())
+        );
+        assert_eq!(leading_string_literal("&msg)"), None);
+        assert_eq!(leading_string_literal("format!(\"x\")"), None);
+        assert_eq!(leading_string_literal("\"unterminated"), None);
     }
 
     #[test]

@@ -1,20 +1,26 @@
 //! Workspace automation for the RPS repository, invoked as `cargo xtask`
 //! (alias in `.cargo/config.toml`).
 //!
-//! The only subcommand today is `lint`: five repo-specific static checks
-//! (L1–L5, see [`lints`]) that guard the invariants the paper's O(1)
-//! query / O(n^(d/2)) update bounds rest on. The checks are implemented
-//! on a hand-rolled token scanner ([`lexer`]) because the build
-//! environment is offline and `syn` is unavailable; the scanner handles
-//! exactly the token structure the lints need.
+//! The only subcommand today is `lint`: nine repo-specific static checks
+//! (L1–L9, see [`lints`]) that guard the invariants the paper's O(1)
+//! query / O(n^(d/2)) update bounds rest on. The token-grep checks
+//! (L1–L6) are implemented on a hand-rolled token scanner ([`lexer`])
+//! because the build environment is offline and `syn` is unavailable;
+//! the semantic checks (L7–L9) add a brace-matched syntactic model
+//! ([`model`]) on top of the same token stream — guard live ranges,
+//! call edges, `unsafe` item kinds. Findings can be pinned in a
+//! ratcheted JSON baseline ([`baseline`]): CI fails on *new* findings
+//! only, and `--update-baseline` only ever shrinks the file.
 //!
 //! The crate is a library plus a thin binary so the integration tests in
-//! `tests/lint_fixtures.rs` can call the lint functions directly against
-//! fixture files (and against the real workspace, proving `cargo xtask
-//! lint` stays clean).
+//! `tests/lint_fixtures.rs` and `tests/semantic_lints.rs` can call the
+//! lint functions directly against fixture files (and against the real
+//! workspace, proving `cargo xtask lint` stays clean).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod lexer;
 pub mod lints;
+pub mod model;

@@ -8,6 +8,13 @@
 //! | L4 | bare `as` numeric casts | `ndcube`, `rps-core` |
 //! | L5 | heap allocation (`vec!`, `Vec::new`, `.to_vec()`, `.collect::<Vec`) in hot-path kernel modules | `rps-core` hot paths |
 //! | L6 | direct `std::time::Instant` use outside the `rps-obs` timers | the five library crates |
+//! | L7 | lock/borrow guards held across storage I/O or a second acquisition; lock-order inversions | the five library crates |
+//! | L8 | silently discarded `Result` (`let _ = f(..)`); `expect` messages off the allowlist | the five library crates |
+//! | L9 | `unsafe` without an adjacent `// SAFETY:` comment | whole workspace, tests included |
+//!
+//! L1–L6 are token-grep lints over the [`crate::lexer`] stream; L7–L9
+//! additionally use the brace-matched item tree in [`crate::model`]
+//! (guard live ranges, call edges, `unsafe` item kinds).
 //!
 //! Every lint accepts an explicit escape written as a comment on the
 //! offending line or the line directly above:
@@ -20,15 +27,18 @@
 //! The reason string is mandatory; an allow without one is itself a
 //! finding. See `docs/STATIC_ANALYSIS.md` for the full policy.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::lexer::{tokenize, Token, TokenKind, KEYWORDS_BEFORE_ARRAY};
+use crate::lexer::{leading_string_literal, tokenize, TokenKind, KEYWORDS_BEFORE_ARRAY};
+use crate::model::{test_line_ranges, FileModel};
 
-/// Lint identifiers.
+/// Lint identifiers. Declaration order MUST match [`REGISTRY`] order:
+/// `id()`/`describe()` index the registry by discriminant (pinned by the
+/// `registry_order_matches_discriminants` test).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Lint {
     /// Raw slice/array indexing outside allow-listed low-level modules.
@@ -44,51 +54,111 @@ pub enum Lint {
     /// Direct `std::time::Instant` use in library code, bypassing the
     /// `rps_obs::set_timing` gate.
     L6,
+    /// Lock discipline: guard live ranges crossing storage I/O or a
+    /// second acquisition; undeclared/inverted lock orders.
+    L7,
+    /// Error hygiene: silently discarded `Result`s and unsanctioned
+    /// `expect` messages.
+    L8,
+    /// Unsafe audit: every `unsafe` needs an adjacent `// SAFETY:`.
+    L9,
 }
 
+/// One row of the lint registry: everything the driver needs to know
+/// about a lint, in one place.
+pub struct LintSpec {
+    /// The enum value.
+    pub lint: Lint,
+    /// Short identifier used in output and `lint:allow(..)` escapes.
+    pub id: &'static str,
+    /// One-line description for `cargo xtask lint --list`.
+    pub describe: &'static str,
+}
+
+/// The single source of truth for lint identity. `Lint::ALL`, `id()`,
+/// `parse()` and `describe()` are all derived from this table, so adding
+/// a lint is one new enum variant plus one new row — the three
+/// previously hand-maintained `match` arms cannot drift any more.
+pub const REGISTRY: [LintSpec; 9] = [
+    LintSpec {
+        lint: Lint::L1,
+        id: "L1",
+        describe: "raw slice indexing outside audited low-level modules (ndcube, rps-core)",
+    },
+    LintSpec {
+        lint: Lint::L2,
+        id: "L2",
+        describe: "unwrap()/expect()/panic!-family in library code (five library crates)",
+    },
+    LintSpec {
+        lint: Lint::L3,
+        id: "L3",
+        describe: "crate-root lint headers + `[lints] workspace = true` in every manifest",
+    },
+    LintSpec {
+        lint: Lint::L4,
+        id: "L4",
+        describe: "bare `as` numeric casts in ndcube/rps-core (use TryFrom/From)",
+    },
+    LintSpec {
+        lint: Lint::L5,
+        id: "L5",
+        describe:
+            "heap allocation (vec!/Vec::new/.to_vec/.collect::<Vec) in hot-path kernel modules",
+    },
+    LintSpec {
+        lint: Lint::L6,
+        id: "L6",
+        describe: "direct std::time::Instant outside rps_obs::Span/Stopwatch (five library crates)",
+    },
+    LintSpec {
+        lint: Lint::L7,
+        id: "L7",
+        describe: "lock/borrow guard held across storage I/O or a second acquisition; lock-order \
+                   inversions (five library crates; sanction nesting with `// lock-order: a < b`)",
+    },
+    LintSpec {
+        lint: Lint::L8,
+        id: "L8",
+        describe: "silently discarded Result (`let _ = f(..)`) and expect() messages outside the \
+                   sanctioned allowlist (five library crates)",
+    },
+    LintSpec {
+        lint: Lint::L9,
+        id: "L9",
+        describe: "unsafe block/fn without an adjacent `// SAFETY:` comment (whole workspace, \
+                   tests included; inventory in docs/UNSAFE_INVENTORY.md)",
+    },
+];
+
 impl Lint {
+    /// All lints, in report order (derived from [`REGISTRY`]).
+    pub const ALL: [Lint; REGISTRY.len()] = {
+        let mut all = [Lint::L1; REGISTRY.len()];
+        let mut i = 0;
+        while i < REGISTRY.len() {
+            all[i] = REGISTRY[i].lint;
+            i += 1;
+        }
+        all
+    };
+
     /// The short identifier used in output and `lint:allow(..)` escapes.
     pub fn id(self) -> &'static str {
-        match self {
-            Lint::L1 => "L1",
-            Lint::L2 => "L2",
-            Lint::L3 => "L3",
-            Lint::L4 => "L4",
-            Lint::L5 => "L5",
-            Lint::L6 => "L6",
-        }
+        REGISTRY[self as usize].id
     }
-
-    /// Parses `"L1"`..`"L6"` (case-insensitive).
-    pub fn parse(s: &str) -> Option<Lint> {
-        match s.to_ascii_uppercase().as_str() {
-            "L1" => Some(Lint::L1),
-            "L2" => Some(Lint::L2),
-            "L3" => Some(Lint::L3),
-            "L4" => Some(Lint::L4),
-            "L5" => Some(Lint::L5),
-            "L6" => Some(Lint::L6),
-            _ => None,
-        }
-    }
-
-    /// All lints, in report order.
-    pub const ALL: [Lint; 6] = [Lint::L1, Lint::L2, Lint::L3, Lint::L4, Lint::L5, Lint::L6];
 
     /// One-line description for `cargo xtask lint --list`.
     pub fn describe(self) -> &'static str {
-        match self {
-            Lint::L1 => "raw slice indexing outside audited low-level modules (ndcube, rps-core)",
-            Lint::L2 => "unwrap()/expect()/panic!-family in library code (five library crates)",
-            Lint::L3 => "crate-root lint headers + `[lints] workspace = true` in every manifest",
-            Lint::L4 => "bare `as` numeric casts in ndcube/rps-core (use TryFrom/From)",
-            Lint::L5 => {
-                "heap allocation (vec!/Vec::new/.to_vec/.collect::<Vec) in hot-path kernel modules"
-            }
-            Lint::L6 => {
-                "direct std::time::Instant outside rps_obs::Span/Stopwatch (five library crates)"
-            }
-        }
+        REGISTRY[self as usize].describe
+    }
+
+    /// Parses `"L1"`..`"L9"` (case-insensitive), via the registry.
+    pub fn parse(s: &str) -> Option<Lint> {
+        REGISTRY
+            .iter()
+            .find(|spec| spec.id.eq_ignore_ascii_case(s))
+            .map(|spec| spec.lint)
     }
 }
 
@@ -252,110 +322,6 @@ fn collect_allows(source: &str, lint: Lint) -> Allows {
         }
     }
     Allows { lines, malformed }
-}
-
-/// Line ranges covered by `#[cfg(test)]` / `#[test]` items (inclusive).
-/// Library-code lints skip these: tests are exempt by design.
-fn test_line_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
-    let mut ranges = Vec::new();
-    let mut i = 0usize;
-    while i < tokens.len() {
-        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
-            i += 1;
-            continue;
-        }
-        let attr_start_line = tokens[i].line;
-        let (attr_end, mut is_test) = scan_attribute(tokens, i + 1);
-        // Swallow any further attributes stacked on the same item
-        // (`#[cfg(test)] #[allow(..)] mod tests`).
-        let mut k = attr_end + 1;
-        while tokens.get(k).is_some_and(|t| t.is_punct('#'))
-            && tokens.get(k + 1).is_some_and(|t| t.is_punct('['))
-        {
-            let (end, test_too) = scan_attribute(tokens, k + 1);
-            is_test = is_test || test_too;
-            k = end + 1;
-        }
-        if !is_test {
-            i = attr_end + 1;
-            continue;
-        }
-        let item_end = skip_item(tokens, k);
-        let end_line = tokens
-            .get(item_end.min(tokens.len().saturating_sub(1)))
-            .map_or(attr_start_line, |t| t.line);
-        ranges.push((attr_start_line, end_line));
-        i = item_end + 1;
-    }
-    ranges
-}
-
-/// Scans one attribute whose `[` is at `open`; returns (index of the
-/// matching `]`, whether the attribute marks test-only code).
-fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
-    let mut depth = 0usize;
-    let mut saw_cfg = false;
-    let mut is_test = false;
-    let mut idents = 0usize;
-    let mut only_ident = None;
-    let mut j = open;
-    while j < tokens.len() {
-        let t = &tokens[j];
-        if t.is_punct('[') {
-            depth += 1;
-        } else if t.is_punct(']') {
-            depth -= 1;
-            if depth == 0 {
-                break;
-            }
-        } else if t.kind == TokenKind::Ident {
-            idents += 1;
-            only_ident = Some(t.text.as_str());
-            if t.text == "cfg" {
-                saw_cfg = true;
-            } else if t.text == "test" && saw_cfg {
-                is_test = true;
-            }
-        }
-        j += 1;
-    }
-    // `#[test]` — a lone `test` ident with no cfg wrapper.
-    if idents == 1 && only_ident == Some("test") {
-        is_test = true;
-    }
-    (j, is_test)
-}
-
-/// Skips the item starting at `start`: ends at a `;` outside any
-/// bracket/brace/paren nesting, or at the `}` closing the item body.
-fn skip_item(tokens: &[Token], start: usize) -> usize {
-    let mut braces = 0isize;
-    let mut parens = 0isize;
-    let mut brackets = 0isize;
-    let mut j = start;
-    while j < tokens.len() {
-        let t = &tokens[j];
-        if t.is_punct('{') {
-            braces += 1;
-        } else if t.is_punct('}') {
-            braces -= 1;
-            if braces == 0 {
-                return j;
-            }
-        } else if t.is_punct('(') {
-            parens += 1;
-        } else if t.is_punct(')') {
-            parens -= 1;
-        } else if t.is_punct('[') {
-            brackets += 1;
-        } else if t.is_punct(']') {
-            brackets -= 1;
-        } else if t.is_punct(';') && braces == 0 && parens == 0 && brackets == 0 {
-            return j;
-        }
-        j += 1;
-    }
-    tokens.len().saturating_sub(1)
 }
 
 fn in_ranges(line: usize, ranges: &[(usize, usize)]) -> bool {
@@ -686,6 +652,624 @@ pub fn check_l6(file: &str, source: &str) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
+// L7 — lock discipline
+// ---------------------------------------------------------------------------
+
+/// Call names that reach the storage/WAL/fsync paths. A guard whose live
+/// range spans one of these calls serializes I/O latency under the lock.
+/// Purely name-based (no resolution), so the list holds the workspace's
+/// actual I/O vocabulary: `PageStore`/`BufferPool`/`Wal`/`DurableEngine`
+/// entry points plus the `std::fs`/`File` calls they bottom out in.
+pub const L7_IO_CALLS: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "fsync",
+    "flush",
+    "write_page",
+    "read_page",
+    "read_all",
+    "alloc_pages",
+    "append",
+    "replay",
+    "checkpoint",
+    "recover",
+    "scrub",
+    "with_page",
+    "with_page_mut",
+    "create",
+    "open",
+    "remove_file",
+];
+
+/// One `// lock-order: a < b` declaration (a chain `a < b < c` yields
+/// consecutive pairs). Declarations are collected workspace-wide and
+/// sanction nested guard acquisitions in that order.
+#[derive(Debug, Clone)]
+pub struct LockOrderDecl {
+    /// The lock class that must be acquired first.
+    pub before: String,
+    /// The lock class that may be acquired while `before` is held.
+    pub after: String,
+    /// Workspace-relative path of the declaration.
+    pub file: String,
+    /// 1-based line of the declaration comment.
+    pub line: usize,
+}
+
+/// One observed nested acquisition: `acquired` taken while `held`'s
+/// guard is live. Adjudicated against the declared orders by
+/// [`l7_order_findings`].
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Class of the guard already held.
+    pub held: String,
+    /// Class of the guard being acquired.
+    pub acquired: String,
+    /// Workspace-relative path of the inner acquisition.
+    pub file: String,
+    /// 1-based line of the inner acquisition.
+    pub line: usize,
+}
+
+/// Per-file output of the L7 scan: immediate findings plus the raw
+/// material (edges, declarations) for the workspace-level order check.
+#[derive(Debug, Default)]
+pub struct L7File {
+    /// Guard-across-I/O, same-class nesting, and malformed-escape findings.
+    pub findings: Vec<Finding>,
+    /// Nested acquisitions to adjudicate against declared orders.
+    pub edges: Vec<LockEdge>,
+    /// `// lock-order:` declarations found in this file.
+    pub decls: Vec<LockOrderDecl>,
+}
+
+/// Scans a file for `// lock-order: a < b [< c …]` declarations.
+///
+/// Returns the expanded adjacent pairs plus findings for malformed
+/// declarations (fewer than two classes, or empty segments).
+pub fn parse_lock_order_decls(file: &str, source: &str) -> (Vec<LockOrderDecl>, Vec<Finding>) {
+    let mut decls = Vec::new();
+    let mut findings = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let Some(comment_at) = raw.find("//") else {
+            continue;
+        };
+        let comment = &raw[comment_at..];
+        let Some(marker) = comment.find("lock-order:") else {
+            continue;
+        };
+        let spec = comment[marker + "lock-order:".len()..].trim();
+        let parts: Vec<&str> = spec.split('<').map(str::trim).collect();
+        let well_formed = parts.len() >= 2
+            && parts
+                .iter()
+                .all(|p| !p.is_empty() && p.chars().all(|c| c.is_alphanumeric() || c == '_'));
+        if !well_formed {
+            findings.push(Finding {
+                lint: Lint::L7,
+                file: file.to_string(),
+                line: line_no,
+                message: format!("malformed `lock-order:` declaration `{spec}`"),
+                hint: "write `// lock-order: outer < inner` (identifiers are the receiver names \
+                       the guards are taken from; chains `a < b < c` are allowed)"
+                    .to_string(),
+            });
+            continue;
+        }
+        for pair in parts.windows(2) {
+            decls.push(LockOrderDecl {
+                before: pair[0].to_string(),
+                after: pair[1].to_string(),
+                file: file.to_string(),
+                line: line_no,
+            });
+        }
+    }
+    (decls, findings)
+}
+
+/// Checks one library file's guard live ranges: flags I/O calls and
+/// same-class re-acquisition under a live guard, and collects
+/// cross-class nesting edges plus `lock-order` declarations for the
+/// workspace-level adjudication in [`l7_order_findings`].
+pub fn check_l7(file: &str, source: &str) -> L7File {
+    let model = FileModel::parse(source);
+    let allows = collect_allows(source, Lint::L7);
+    let mut out = L7File::default();
+    malformed_to_findings(file, Lint::L7, &allows, &mut out.findings);
+    let (decls, decl_findings) = parse_lock_order_decls(file, source);
+    out.decls = decls;
+    out.findings.extend(decl_findings);
+
+    let mut reported_io: HashSet<usize> = HashSet::new();
+    let mut reported_nest: HashSet<usize> = HashSet::new();
+    for f in &model.fns {
+        let guards = model.guards_in(f.body.0, f.body.1);
+        for g in &guards {
+            let Some((lo, hi)) = g.live else { continue };
+            let Some(binding) = &g.binding else { continue };
+            if model.in_test(g.line) || allows.lines.contains(&g.line) {
+                continue; // an allow on the acquisition sanctions the whole range
+            }
+            for c in model.calls_in(lo + 1, hi) {
+                if !L7_IO_CALLS.contains(&c.name.as_str())
+                    || c.recv.as_deref() == Some(binding.as_str())
+                    || allows.lines.contains(&c.line)
+                    || !reported_io.insert(c.idx)
+                {
+                    continue;
+                }
+                out.findings.push(Finding {
+                    lint: Lint::L7,
+                    file: file.to_string(),
+                    line: c.line,
+                    message: format!(
+                        "`{}()` called while `{binding}` holds the `{}.{}()` guard from line {}",
+                        c.name, g.class, g.method, g.line
+                    ),
+                    hint: "scope the guard in a block that ends before the I/O (see \
+                           FaultyStore::write_page), drop() it early, or add \
+                           `// lint:allow(L7): <why the I/O must happen under the guard>`"
+                        .to_string(),
+                });
+            }
+            for g2 in &guards {
+                if g2.idx <= g.idx
+                    || g2.idx > hi
+                    || model.in_test(g2.line)
+                    || allows.lines.contains(&g2.line)
+                {
+                    continue;
+                }
+                if g2.class == g.class {
+                    if reported_nest.insert(g2.idx) {
+                        out.findings.push(Finding {
+                            lint: Lint::L7,
+                            file: file.to_string(),
+                            line: g2.line,
+                            message: format!(
+                                "`{}.{}()` acquired while a `{}` guard from line {} is still \
+                                 live — same lock class (deadlock / RefCell panic)",
+                                g2.class, g2.method, g.class, g.line
+                            ),
+                            hint: "drop the first guard before re-acquiring (scope it in a \
+                                   block), or thread the existing guard through instead of \
+                                   taking a second one"
+                                .to_string(),
+                        });
+                    }
+                } else {
+                    out.edges.push(LockEdge {
+                        held: g.class.clone(),
+                        acquired: g2.class.clone(),
+                        file: file.to_string(),
+                        line: g2.line,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Adjudicates the collected nesting edges against the declared lock
+/// orders: an edge `held → acquired` is sanctioned if `held < acquired`
+/// is declared (transitively), an inversion if the reverse is declared,
+/// and a finding either way otherwise. Cyclic declarations are findings
+/// in their own right.
+pub fn l7_order_findings(edges: &[LockEdge], decls: &[LockOrderDecl]) -> Vec<Finding> {
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for d in decls {
+        adj.entry(d.before.as_str())
+            .or_default()
+            .push(d.after.as_str());
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut stack: Vec<&str> = vec![from];
+        while let Some(n) = stack.pop() {
+            for &next in adj.get(n).map_or(&[][..], Vec::as_slice) {
+                if next == to {
+                    return true;
+                }
+                if seen.insert(next) {
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    };
+
+    let mut out = Vec::new();
+    let mut cycle_reported: HashSet<(String, usize)> = HashSet::new();
+    for d in decls {
+        if reaches(&d.after, &d.before) && cycle_reported.insert((d.file.clone(), d.line)) {
+            out.push(Finding {
+                lint: Lint::L7,
+                file: d.file.clone(),
+                line: d.line,
+                message: format!(
+                    "lock-order declarations form a cycle through `{} < {}`",
+                    d.before, d.after
+                ),
+                hint: "a cyclic order sanctions nothing — pick one global order for these lock \
+                       classes and fix the declarations"
+                    .to_string(),
+            });
+        }
+    }
+    for e in edges {
+        if reaches(&e.held, &e.acquired) {
+            continue; // sanctioned order
+        }
+        let (message, hint) = if reaches(&e.acquired, &e.held) {
+            (
+                format!(
+                    "lock-order inversion: `{}` is declared to precede `{}`, but `{}` is held \
+                     while acquiring `{}`",
+                    e.acquired, e.held, e.held, e.acquired
+                ),
+                "acquire the locks in the declared order (restructure so the outer guard is \
+                 taken first), or change the declared order everywhere in the same change"
+                    .to_string(),
+            )
+        } else {
+            (
+                format!(
+                    "nested acquisition `{}` → `{}` has no declared lock order",
+                    e.held, e.acquired
+                ),
+                format!(
+                    "declare the sanctioned order with `// lock-order: {} < {}` next to the \
+                     locks' definition, or restructure so the guards don't overlap",
+                    e.held, e.acquired
+                ),
+            )
+        };
+        out.push(Finding {
+            lint: Lint::L7,
+            file: e.file.clone(),
+            line: e.line,
+            message,
+            hint,
+        });
+    }
+    out
+}
+
+/// Convenience for single-file use (fixtures): [`check_l7`] plus
+/// [`l7_order_findings`] over that file's own edges and declarations.
+pub fn check_l7_single(file: &str, source: &str) -> Vec<Finding> {
+    let mut r = check_l7(file, source);
+    r.findings.extend(l7_order_findings(&r.edges, &r.decls));
+    r.findings.sort_by_key(|f| (f.line, f.message.clone()));
+    r.findings
+}
+
+// ---------------------------------------------------------------------------
+// L8 — error hygiene
+// ---------------------------------------------------------------------------
+
+/// The sanctioned `expect` messages in library code. Every entry names a
+/// proven invariant; a message outside this list means either a new
+/// invariant (extend the list in the same change that introduces and
+/// documents it) or a lazy `expect` that should be a typed error.
+/// Populated from the audited sites that existed when L8 landed.
+pub const EXPECT_MESSAGE_ALLOWLIST: &[&str] = &[
+    // ndcube: shape/region constructions proven valid by the caller.
+    "view dims match cell count",
+    "slice region valid",
+    "view region valid",
+    "full region of a valid shape is valid",
+    "coordinates in bounds",
+    "valid dims",
+    // rps-core: the paper's ⌈√n⌉ geometry and slot-enumeration invariants.
+    "coords ≤ hi",
+    "full region is always valid",
+    "in-bounds cell",
+    "valid shape",
+    "sqrt box sizes are valid",
+    "box region is valid",
+    "enumerated slots are stored",
+    "group enumeration yields stored slots",
+    "zero-offset cells are stored",
+    "corner cells have a zero offset",
+    "enumeration yields stored cells",
+    "c within its box",
+    "b within grid",
+    "dim validated by caller",
+    "window within base",
+    "bucket within base",
+    "grid shape valid",
+    "block corners ordered",
+    "block intersects the region by construction",
+    // rps-core concurrency: poisoning/panicked-worker policy (fail fast).
+    "engine lock poisoned",
+    "batch update worker panicked",
+    "parallel query worker panicked",
+    // storage: fixed-width codec slices cut to the checked width.
+    "8 bytes",
+    "4 bytes",
+    "width checked",
+    "page count fits u32",
+    // workload: generator-internal invariants ("valid dims" shared with
+    // ndcube above).
+    "query within cube",
+    "n >= 1",
+    "no NaN",
+    "categorical lookup exists",
+    "point in bounds",
+    "full region",
+    "in bounds",
+    // analysis: table/cost-model invariants.
+    "non-empty range",
+];
+
+/// Checks one library file for error-hygiene violations: `let _ =` over
+/// a call expression (silently discarded `Result`), and `.expect(..)`
+/// messages that are non-literal or off [`EXPECT_MESSAGE_ALLOWLIST`].
+pub fn check_l8(file: &str, source: &str) -> Vec<Finding> {
+    let tokens = tokenize(source);
+    let masked = test_line_ranges(&tokens);
+    let allows = collect_allows(source, Lint::L8);
+    let mut out = Vec::new();
+    malformed_to_findings(file, Lint::L8, &allows, &mut out);
+    let lines: Vec<&str> = source.lines().collect();
+    let mut expect_seen: HashMap<usize, usize> = HashMap::new();
+
+    for (idx, tok) in tokens.iter().enumerate() {
+        // `let _ = <expr containing a call>;` — discards any error.
+        if tok.is_ident("let")
+            && tokens.get(idx + 1).is_some_and(|t| t.is_ident("_"))
+            && tokens.get(idx + 2).is_some_and(|t| t.is_punct('='))
+        {
+            let mut depth = 0isize;
+            let mut has_call = false;
+            let mut j = idx + 3;
+            while let Some(t) = tokens.get(j) {
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    if t.is_punct('(') {
+                        has_call = true;
+                    }
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if t.is_punct(';') && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            if has_call && !in_ranges(tok.line, &masked) && !allows.lines.contains(&tok.line) {
+                out.push(Finding {
+                    lint: Lint::L8,
+                    file: file.to_string(),
+                    line: tok.line,
+                    message: "`let _ = …(…)` silently discards the call's result — a `Result` \
+                              error would vanish here"
+                        .to_string(),
+                    hint: "propagate with `?`, match on the error, or log it; if the value is \
+                           provably infallible or intentionally dropped, add \
+                           `// lint:allow(L8): <why>`"
+                        .to_string(),
+                });
+            }
+        }
+
+        // `.expect("…")` — the message must be a sanctioned literal.
+        if tok.is_ident("expect")
+            && idx > 0
+            && tokens[idx - 1].is_punct('.')
+            && tokens.get(idx + 1).is_some_and(|t| t.is_punct('('))
+        {
+            let occ_slot = expect_seen.entry(tok.line).or_insert(0);
+            let occ = *occ_slot;
+            *occ_slot += 1;
+            if in_ranges(tok.line, &masked) || allows.lines.contains(&tok.line) {
+                continue;
+            }
+            let hint = "use a message from EXPECT_MESSAGE_ALLOWLIST in crates/xtask/src/lints.rs \
+                        (each entry names a proven invariant), extend the list in the change \
+                        that introduces the invariant, or return a typed error instead"
+                .to_string();
+            match expect_message(&lines, tok.line, occ) {
+                Some(msg) if EXPECT_MESSAGE_ALLOWLIST.contains(&msg.as_str()) => {}
+                Some(msg) => out.push(Finding {
+                    lint: Lint::L8,
+                    file: file.to_string(),
+                    line: tok.line,
+                    message: format!(
+                        "`.expect(\"{msg}\")` message is not on the sanctioned allowlist"
+                    ),
+                    hint,
+                }),
+                None => out.push(Finding {
+                    lint: Lint::L8,
+                    file: file.to_string(),
+                    line: tok.line,
+                    message: "`.expect(…)` with a non-literal message — the invariant it \
+                              asserts is not reviewable"
+                        .to_string(),
+                    hint,
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the string-literal argument of the `occ`-th `expect(` on
+/// `line_no` (falling back to the next line for rustfmt-wrapped
+/// arguments). `None` when the argument is not a string literal.
+fn expect_message(lines: &[&str], line_no: usize, occ: usize) -> Option<String> {
+    let raw = lines.get(line_no.checked_sub(1)?)?;
+    let mut pos = 0usize;
+    for _ in 0..=occ {
+        let hit = raw[pos..].find("expect(")?;
+        pos += hit + "expect(".len();
+    }
+    let rest = raw[pos..].trim_start();
+    if rest.is_empty() {
+        return leading_string_literal(lines.get(line_no)?.trim_start());
+    }
+    leading_string_literal(rest)
+}
+
+// ---------------------------------------------------------------------------
+// L9 — unsafe audit
+// ---------------------------------------------------------------------------
+
+/// One `unsafe` occurrence, with its adjacent `// SAFETY:` text when
+/// present. The inventory generator lists all sites; L9 flags the ones
+/// with `safety: None`.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// 1-based line of the `unsafe` keyword.
+    pub line: usize,
+    /// What the keyword introduces: `block`, `fn`, `impl`, `trait`, or
+    /// `other` (e.g. an `unsafe` in a type position).
+    pub kind: &'static str,
+    /// First line of the adjacent `// SAFETY:` comment, if any.
+    pub safety: Option<String>,
+}
+
+/// Scans one file for `unsafe` keywords and their `// SAFETY:` comments.
+/// A comment is adjacent if it sits on the `unsafe` line itself or
+/// anywhere in the contiguous run of comment/attribute lines directly
+/// above it (so multi-line SAFETY prose and `#[inline]`-style attributes
+/// don't break adjacency).
+pub fn unsafe_sites(source: &str) -> Vec<UnsafeSite> {
+    let tokens = tokenize(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let safety_in = |raw: &str| -> Option<String> {
+        let comment = &raw[raw.find("//")?..];
+        let text = comment[comment.find("SAFETY:")? + "SAFETY:".len()..].trim();
+        Some(if text.is_empty() {
+            "(see source)".to_string()
+        } else {
+            text.to_string()
+        })
+    };
+    let mut out = Vec::new();
+    for (idx, tok) in tokens.iter().enumerate() {
+        if !tok.is_ident("unsafe") {
+            continue;
+        }
+        let kind = match tokens.get(idx + 1) {
+            Some(t) if t.is_punct('{') => "block",
+            Some(t) if t.is_ident("fn") => "fn",
+            Some(t) if t.is_ident("impl") => "impl",
+            Some(t) if t.is_ident("trait") => "trait",
+            _ => "other",
+        };
+        let mut safety = lines.get(tok.line - 1).and_then(|raw| safety_in(raw));
+        let mut l = tok.line - 1; // 1-based line above the `unsafe`
+        while safety.is_none() && l >= 1 {
+            let raw = lines[l - 1].trim_start();
+            if !(raw.starts_with("//") || raw.starts_with('#')) {
+                break;
+            }
+            safety = safety_in(raw);
+            l -= 1;
+        }
+        out.push(UnsafeSite {
+            line: tok.line,
+            kind,
+            safety,
+        });
+    }
+    out
+}
+
+/// Checks one file for `unsafe` sites lacking a `// SAFETY:` comment.
+/// Deliberately NOT test-masked: an unsound `unsafe` in a test corrupts
+/// the evidence the test provides.
+pub fn check_l9(file: &str, source: &str) -> Vec<Finding> {
+    let allows = collect_allows(source, Lint::L9);
+    let mut out = Vec::new();
+    malformed_to_findings(file, Lint::L9, &allows, &mut out);
+    for site in unsafe_sites(source) {
+        if site.safety.is_some() || allows.lines.contains(&site.line) {
+            continue;
+        }
+        out.push(Finding {
+            lint: Lint::L9,
+            file: file.to_string(),
+            line: site.line,
+            message: format!(
+                "`unsafe` {} without an adjacent `// SAFETY:` comment",
+                site.kind
+            ),
+            hint: "state the proof obligation and why it holds in a `// SAFETY:` comment on or \
+                   directly above the `unsafe` (≤ 3 lines), then regenerate the inventory with \
+                   `cargo xtask lint --unsafe-inventory`"
+                .to_string(),
+        });
+    }
+    out
+}
+
+/// Every Rust file in the L9 scan scope: the whole workspace source
+/// (`crates/`, `compat/`, `src/`), minus the lint fixtures, which are
+/// deliberate violations.
+pub fn l9_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for dir in ["crates", "compat", "src"] {
+        rust_files(&root.join(dir), &mut files)?;
+    }
+    files.retain(|p| !rel(root, p).starts_with("crates/xtask/tests/fixtures"));
+    files.sort();
+    Ok(files)
+}
+
+/// Renders `docs/UNSAFE_INVENTORY.md`: one table row per `unsafe` site
+/// in the workspace, with kind and SAFETY summary. A diff test enforces
+/// the committed file both directions, like the obs catalog.
+pub fn unsafe_inventory(root: &Path) -> io::Result<String> {
+    use std::fmt::Write as _;
+    let mut rows = Vec::new();
+    for path in l9_files(root)? {
+        let name = rel(root, &path);
+        for site in unsafe_sites(&fs::read_to_string(&path)?) {
+            rows.push((name.clone(), site));
+        }
+    }
+    rows.sort_by(|a, b| (a.0.as_str(), a.1.line).cmp(&(b.0.as_str(), b.1.line)));
+
+    let mut out = String::from(
+        "# Unsafe inventory\n\n\
+         Generated by `cargo xtask lint --unsafe-inventory` — do not edit by hand.\n\
+         Every `unsafe` site in the workspace (library, bench, compat and test\n\
+         sources), its kind, and the first line of its adjacent `// SAFETY:`\n\
+         comment. The diff test `unsafe_inventory_round_trips` in\n\
+         `crates/xtask/tests/semantic_lints.rs` fails when this file and the tree\n\
+         disagree in either direction; L9 separately fails any site with no\n\
+         SAFETY comment at all.\n\n\
+         | location | kind | SAFETY |\n\
+         |----------|------|--------|\n",
+    );
+    let with_safety = rows.iter().filter(|(_, s)| s.safety.is_some()).count();
+    for (file, site) in &rows {
+        let safety = site
+            .safety
+            .clone()
+            .unwrap_or_else(|| "**MISSING**".to_string())
+            .replace('|', "\\|");
+        let _ = writeln!(
+            out,
+            "| `{file}:{}` | `{}` | {safety} |",
+            site.line, site.kind
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n_Sites: {} ({with_safety} with SAFETY comments)._",
+        rows.len()
+    );
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
 // Workspace driver
 // ---------------------------------------------------------------------------
 
@@ -739,11 +1323,13 @@ pub fn run_workspace(root: &Path, only: Option<&[Lint]>) -> io::Result<Vec<Findi
         }
     }
 
-    if enabled(Lint::L2) || enabled(Lint::L6) {
+    if enabled(Lint::L2) || enabled(Lint::L6) || enabled(Lint::L7) || enabled(Lint::L8) {
         let mut files = Vec::new();
         for scope in L2_LIBRARY_SRC {
             rust_files(&root.join(scope), &mut files)?;
         }
+        let mut edges = Vec::new();
+        let mut decls = Vec::new();
         for path in &files {
             let name = rel(root, path);
             let source = read(path)?;
@@ -753,6 +1339,25 @@ pub fn run_workspace(root: &Path, only: Option<&[Lint]>) -> io::Result<Vec<Findi
             if enabled(Lint::L6) {
                 findings.extend(check_l6(&name, &source));
             }
+            if enabled(Lint::L7) {
+                let r = check_l7(&name, &source);
+                findings.extend(r.findings);
+                edges.extend(r.edges);
+                decls.extend(r.decls);
+            }
+            if enabled(Lint::L8) {
+                findings.extend(check_l8(&name, &source));
+            }
+        }
+        if enabled(Lint::L7) {
+            findings.extend(l7_order_findings(&edges, &decls));
+        }
+    }
+
+    if enabled(Lint::L9) {
+        for path in l9_files(root)? {
+            let name = rel(root, &path);
+            findings.extend(check_l9(&name, &read(&path)?));
         }
     }
 

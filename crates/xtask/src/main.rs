@@ -4,24 +4,35 @@
 #![warn(missing_docs)]
 
 use std::env;
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use xtask::baseline;
 use xtask::lints::{self, Lint};
 
 const USAGE: &str = "\
 cargo xtask — workspace automation
 
 USAGE:
-    cargo xtask lint [--only <L1|L2|L3|L4|L5|L6>]... [--root <path>] [--list]
+    cargo xtask lint [--only <ID>]... [--root <path>] [--list]
+                     [--json] [--baseline <path>] [--update-baseline]
+                     [--unsafe-inventory [--check]]
 
 SUBCOMMANDS:
     lint    run the repo-specific static-analysis lints (see docs/STATIC_ANALYSIS.md)
 
 OPTIONS:
-    --only <ID>    run only the named lint (repeatable)
-    --root <path>  workspace root to scan (default: this workspace)
-    --list         print the lint table and exit
+    --only <ID>         run only the named lint (repeatable; IDs from --list)
+    --root <path>       workspace root to scan (default: this workspace)
+    --list              print the lint table and exit
+    --json              emit findings as JSON on stdout (summary on stderr)
+    --baseline <path>   ratchet file of pinned findings
+                        (default: <root>/lint-baseline.json when it exists)
+    --update-baseline   rewrite the baseline without its stale entries
+                        (refuses if new findings exist — the file only shrinks)
+    --unsafe-inventory  regenerate docs/UNSAFE_INVENTORY.md from the tree
+    --check             with --unsafe-inventory: diff instead of writing
 ";
 
 fn main() -> ExitCode {
@@ -39,9 +50,27 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_lint(args: &[String]) -> ExitCode {
-    let mut only: Vec<Lint> = Vec::new();
-    let mut root: Option<PathBuf> = None;
+#[allow(clippy::struct_excessive_bools)] // a CLI flag bag: one bool per independent flag
+struct LintArgs {
+    only: Vec<Lint>,
+    root: Option<PathBuf>,
+    json: bool,
+    baseline_path: Option<PathBuf>,
+    update_baseline: bool,
+    unsafe_inventory: bool,
+    check: bool,
+}
+
+fn parse_lint_args(args: &[String]) -> Result<Option<LintArgs>, String> {
+    let mut parsed = LintArgs {
+        only: Vec::new(),
+        root: None,
+        json: false,
+        baseline_path: None,
+        update_baseline: false,
+        unsafe_inventory: false,
+        check: false,
+    };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -49,56 +78,180 @@ fn run_lint(args: &[String]) -> ExitCode {
                 for lint in Lint::ALL {
                     println!("{}  {}", lint.id(), lint.describe());
                 }
-                return ExitCode::SUCCESS;
+                return Ok(None);
             }
-            "--only" => {
-                if let Some(Some(lint)) = iter.next().map(|s| Lint::parse(s)) {
-                    only.push(lint);
-                } else {
-                    eprintln!("error: --only expects one of L1, L2, L3, L4, L5, L6");
-                    return ExitCode::FAILURE;
-                }
-            }
-            "--root" => {
-                if let Some(path) = iter.next() {
-                    root = Some(PathBuf::from(path));
-                } else {
-                    eprintln!("error: --root expects a path");
-                    return ExitCode::FAILURE;
-                }
-            }
-            other => {
-                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
-                return ExitCode::FAILURE;
-            }
+            "--only" => match iter.next().map(|s| Lint::parse(s)) {
+                Some(Some(lint)) => parsed.only.push(lint),
+                _ => return Err(format!("--only expects one of {}", id_list())),
+            },
+            "--root" => match iter.next() {
+                Some(path) => parsed.root = Some(PathBuf::from(path)),
+                None => return Err("--root expects a path".to_string()),
+            },
+            "--baseline" => match iter.next() {
+                Some(path) => parsed.baseline_path = Some(PathBuf::from(path)),
+                None => return Err("--baseline expects a path".to_string()),
+            },
+            "--json" => parsed.json = true,
+            "--update-baseline" => parsed.update_baseline = true,
+            "--unsafe-inventory" => parsed.unsafe_inventory = true,
+            "--check" => parsed.check = true,
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
         }
     }
+    if parsed.check && !parsed.unsafe_inventory {
+        return Err("--check only applies to --unsafe-inventory".to_string());
+    }
+    Ok(Some(parsed))
+}
 
-    let root = root.unwrap_or_else(workspace_root);
-    let filter = if only.is_empty() {
+/// The lint ids, straight from the registry (so USAGE errors can't
+/// drift when a lint is added).
+fn id_list() -> String {
+    Lint::ALL
+        .iter()
+        .map(|l| l.id())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let parsed = match parse_lint_args(args) {
+        Ok(Some(parsed)) => parsed,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = parsed.root.clone().unwrap_or_else(workspace_root);
+
+    if parsed.unsafe_inventory {
+        return run_unsafe_inventory(&root, parsed.check);
+    }
+
+    let filter = if parsed.only.is_empty() {
         None
     } else {
-        Some(only.as_slice())
+        Some(parsed.only.as_slice())
     };
-    match lints::run_workspace(&root, filter) {
-        Ok(findings) if findings.is_empty() => {
-            let which = filter.map_or_else(
-                || "L1 L2 L3 L4 L5 L6".to_string(),
-                |set| set.iter().map(|l| l.id()).collect::<Vec<_>>().join(" "),
-            );
-            println!("xtask lint: clean ({which})");
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for finding in &findings {
-                println!("{finding}");
-            }
-            eprintln!("xtask lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
-        }
+    let findings = match lints::run_workspace(&root, filter) {
+        Ok(findings) => findings,
         Err(err) => {
             eprintln!("xtask lint: io error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Load the baseline: an explicit --baseline must exist; the default
+    // location is optional. With --only, pins for disabled lints are
+    // ignored rather than reported stale.
+    let default_path = root.join("lint-baseline.json");
+    let (path, required) = parsed
+        .baseline_path
+        .as_ref()
+        .map_or((&default_path, false), |p| (p, true));
+    let entries = match fs::read_to_string(path) {
+        Ok(doc) => match baseline::parse(&doc) {
+            Ok(entries) => entries,
+            Err(err) => {
+                eprintln!("xtask lint: {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(err) if required => {
+            eprintln!("xtask lint: cannot read {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        Err(_) => Vec::new(),
+    };
+    let enabled = |id: &str| filter.is_none_or(|set| set.iter().any(|l| l.id() == id));
+    let entries: Vec<baseline::Entry> = entries.into_iter().filter(|e| enabled(&e.lint)).collect();
+    let part = baseline::partition(findings, &entries);
+
+    if parsed.update_baseline {
+        if !part.new.is_empty() {
+            for finding in &part.new {
+                eprintln!("{finding}");
+            }
+            eprintln!(
+                "xtask lint: refusing to update the baseline with {} new finding(s) — \
+                 fix or `lint:allow` them; the baseline only shrinks",
+                part.new.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        let doc = baseline::baseline_json(&part.pinned);
+        if let Err(err) = fs::write(path, doc) {
+            eprintln!("xtask lint: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask lint: baseline {} now pins {} finding(s) ({} stale entr{} dropped)",
+            path.display(),
+            part.pinned.len(),
+            part.stale.len(),
+            if part.stale.len() == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if parsed.json {
+        print!("{}", baseline::report_json(&part));
+    } else {
+        for finding in &part.new {
+            println!("{finding}");
+        }
+    }
+    let which = filter.map_or_else(id_list, |set| {
+        set.iter().map(|l| l.id()).collect::<Vec<_>>().join(", ")
+    });
+    let summary = format!(
+        "{} new, {} pinned, {} stale ({which})",
+        part.new.len(),
+        part.pinned.len(),
+        part.stale.len()
+    );
+    if part.new.is_empty() {
+        eprintln!("xtask lint: clean — {summary}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: FAILED — {summary}");
+        ExitCode::FAILURE
+    }
+}
+
+fn run_unsafe_inventory(root: &std::path::Path, check: bool) -> ExitCode {
+    let rendered = match lints::unsafe_inventory(root) {
+        Ok(rendered) => rendered,
+        Err(err) => {
+            eprintln!("xtask lint: io error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = root.join("docs/UNSAFE_INVENTORY.md");
+    if check {
+        let committed = fs::read_to_string(&path).unwrap_or_default();
+        if committed == rendered {
+            println!("xtask lint: {} is up to date", path.display());
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "xtask lint: {} is out of date — rerun `cargo xtask lint --unsafe-inventory`",
+                path.display()
+            );
             ExitCode::FAILURE
+        }
+    } else {
+        match fs::write(&path, rendered) {
+            Ok(()) => {
+                println!("xtask lint: wrote {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("xtask lint: cannot write {}: {err}", path.display());
+                ExitCode::FAILURE
+            }
         }
     }
 }

@@ -1,0 +1,603 @@
+//! A lightweight syntactic model of one Rust source file, built on the
+//! token stream from [`crate::lexer`].
+//!
+//! The token-grep lints (L1–L6) ask questions a flat scan can answer:
+//! "is this `[` an index expression?". The semantic rule families
+//! (L7–L9) need *structure* — a guard's live range, the calls made
+//! while it is held, whether an `unsafe` keyword opens a block or a
+//! function. This module provides exactly that structure and nothing
+//! more: a brace-matched item tree of functions, per-statement spans,
+//! guard-acquisition sites with live ranges, and a call-edge scan. It
+//! is deliberately *syntactic* — no name resolution, no types, no macro
+//! expansion — and the rules built on it compensate with allowlists and
+//! `lint:allow` escapes, exactly like the token-grep lints do.
+//!
+//! Limitations, by design (documented in docs/STATIC_ANALYSIS.md):
+//! guards bound by `match` arms are not tracked; a guard smuggled
+//! through a helper's return value is invisible; `Borrow::borrow()` is
+//! ambiguous with `RefCell::borrow()` so only the `*_mut` RefCell side
+//! is treated as a guard.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Methods whose empty-argument call yields a guard whose drop releases
+/// a lock or borrow. `read`/`write` cover `RwLock`, `lock` covers
+/// `Mutex`, `borrow_mut` covers `RefCell`. Plain `borrow()` is excluded:
+/// it collides with `std::borrow::Borrow::borrow`, and the read side of
+/// a `RefCell` cannot deadlock against another read.
+pub const GUARD_METHODS: &[&str] = &[
+    "lock",
+    "try_lock",
+    "read",
+    "try_read",
+    "write",
+    "try_write",
+    "borrow_mut",
+    "try_borrow_mut",
+];
+
+/// One function item: name, source line, and the token-index range of
+/// its brace-matched body (`{` .. `}` inclusive).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token indices of the body's opening and closing braces.
+    pub body: (usize, usize),
+}
+
+/// One lock/borrow acquisition site inside a function body.
+#[derive(Debug, Clone)]
+pub struct GuardSite {
+    /// The lock class: the receiver identifier the guard method was
+    /// called on (`self.inner.engine.read()` → `engine`).
+    pub class: String,
+    /// Which [`GUARD_METHODS`] entry was called.
+    pub method: String,
+    /// 1-based source line of the acquisition.
+    pub line: usize,
+    /// Token index of the method identifier.
+    pub idx: usize,
+    /// The `let` binding name when the guard is bound (`let g = …`,
+    /// `if let Ok(g) = …`); `None` for a temporary dropped at the end
+    /// of its statement and for `let _ = …` (dropped immediately).
+    pub binding: Option<String>,
+    /// Token-index range over which a *bound* guard is live: from the
+    /// acquisition to the close of the enclosing block (plain `let` /
+    /// `let … else`) or of the conditional's body (`if let` /
+    /// `while let`), truncated at an explicit `drop(binding)`.
+    pub live: Option<(usize, usize)>,
+}
+
+/// One call edge: an identifier applied to an argument list inside a
+/// function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee identifier (`write_page`, `fsync`, a local fn name, …).
+    pub name: String,
+    /// 1-based source line of the call.
+    pub line: usize,
+    /// Token index of the callee identifier.
+    pub idx: usize,
+    /// The receiver identifier for method calls (`pool.flush()` →
+    /// `Some("pool")`); `None` for free-function and path calls.
+    pub recv: Option<String>,
+}
+
+/// The parsed model of one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// The file's token stream.
+    pub tokens: Vec<Token>,
+    /// Every function item, in source order (nested fns included).
+    pub fns: Vec<FnItem>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]`
+    /// items — the scopes the library-code rules exempt.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// For each `{` token index, the index of its matching `}`.
+    brace_match: Vec<usize>,
+    /// For each token index, the token index of the innermost open
+    /// `{` containing it (`usize::MAX` at the top level).
+    enclosing_open: Vec<usize>,
+}
+
+impl FileModel {
+    /// Tokenizes and models `source`.
+    pub fn parse(source: &str) -> FileModel {
+        let tokens = tokenize(source);
+        let test_ranges = test_line_ranges(&tokens);
+        let (brace_match, enclosing_open) = match_braces(&tokens);
+        let fns = find_fns(&tokens, &brace_match);
+        FileModel {
+            tokens,
+            fns,
+            test_ranges,
+            brace_match,
+            enclosing_open,
+        }
+    }
+
+    /// Whether `line` lies inside a test-only item.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// The token index of the `}` closing the innermost block that
+    /// contains token `idx` (the end of the file when `idx` sits at the
+    /// top level).
+    pub fn enclosing_close(&self, idx: usize) -> usize {
+        let open = self.enclosing_open[idx];
+        if open == usize::MAX {
+            self.tokens.len().saturating_sub(1)
+        } else {
+            self.brace_match[open]
+        }
+    }
+
+    /// Every call edge in the token range `lo..=hi`: an identifier
+    /// directly followed by `(` that is not a declaration (`fn name(`)
+    /// and not a macro (`name!(`).
+    pub fn calls_in(&self, lo: usize, hi: usize) -> Vec<CallSite> {
+        let mut out = Vec::new();
+        for i in lo..=hi.min(self.tokens.len().saturating_sub(1)) {
+            let t = &self.tokens[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            if !self.tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            if i > 0 && self.tokens[i - 1].is_ident("fn") {
+                continue; // declaration, not a call
+            }
+            let recv = if i >= 2 && self.tokens[i - 1].is_punct('.') {
+                (self.tokens[i - 2].kind == TokenKind::Ident)
+                    .then(|| self.tokens[i - 2].text.clone())
+            } else {
+                None
+            };
+            out.push(CallSite {
+                name: t.text.clone(),
+                line: t.line,
+                idx: i,
+                recv,
+            });
+        }
+        out
+    }
+
+    /// Every guard acquisition in the token range `lo..=hi`: a
+    /// [`GUARD_METHODS`] method call with an *empty* argument list
+    /// (`RwLock::read()` takes none; `io::Read::read(buf)` does not
+    /// match), with its binding and live range resolved.
+    pub fn guards_in(&self, lo: usize, hi: usize) -> Vec<GuardSite> {
+        let mut out = Vec::new();
+        for i in lo..=hi.min(self.tokens.len().saturating_sub(1)) {
+            let t = &self.tokens[i];
+            if t.kind != TokenKind::Ident || !GUARD_METHODS.contains(&t.text.as_str()) {
+                continue;
+            }
+            let empty_call = self.tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && self.tokens.get(i + 2).is_some_and(|n| n.is_punct(')'));
+            if !empty_call || i == 0 || !self.tokens[i - 1].is_punct('.') {
+                continue;
+            }
+            let class = if i >= 2 && self.tokens[i - 2].kind == TokenKind::Ident {
+                self.tokens[i - 2].text.clone()
+            } else {
+                "<expr>".to_string()
+            };
+            let (binding, live) = self.resolve_binding(i);
+            out.push(GuardSite {
+                class,
+                method: t.text.clone(),
+                line: t.line,
+                idx: i,
+                binding,
+                live,
+            });
+        }
+        out
+    }
+
+    /// Determines whether the guard acquired at token `idx` is bound by
+    /// its statement, and if so over which token range it lives.
+    fn resolve_binding(&self, idx: usize) -> (Option<String>, Option<(usize, usize)>) {
+        // Statement start: the token after the previous `;`/`{`/`}`.
+        let mut s = idx;
+        while s > 0 {
+            let p = &self.tokens[s - 1];
+            if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+                break;
+            }
+            s -= 1;
+        }
+        let starts_with =
+            |off: usize, kw: &str| self.tokens.get(s + off).is_some_and(|t| t.is_ident(kw));
+        let (let_at, conditional) = if starts_with(0, "let") {
+            (s, false)
+        } else if (starts_with(0, "if") || starts_with(0, "while")) && starts_with(1, "let") {
+            (s + 1, true)
+        } else {
+            return (None, None); // temporary: dropped at statement end
+        };
+        let Some(binding) = self.binding_name(let_at, idx) else {
+            return (None, None); // `let _ = …` drops the guard immediately
+        };
+        // The guard is bound only when the acquisition is the outermost
+        // value of the initializer: after `()`, only `.unwrap()` /
+        // `.expect(…)` chains (which return the guard) may follow before
+        // the statement ends.
+        let mut j = idx + 3; // past `name ( )`
+        loop {
+            let chained = self.tokens.get(j).is_some_and(|t| t.is_punct('.'))
+                && self
+                    .tokens
+                    .get(j + 1)
+                    .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+                && self.tokens.get(j + 2).is_some_and(|t| t.is_punct('('));
+            if !chained {
+                break;
+            }
+            // Skip to the matching `)` of the chained call.
+            let mut depth = 0usize;
+            let mut k = j + 2;
+            while k < self.tokens.len() {
+                if self.tokens[k].is_punct('(') {
+                    depth += 1;
+                } else if self.tokens[k].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        let end = if conditional {
+            // `if let` / `while let`: the guard lives for the braced
+            // body that follows the condition.
+            let Some(open) = (j..self.tokens.len()).find(|&k| self.tokens[k].is_punct('{')) else {
+                return (Some(binding), None);
+            };
+            self.brace_match[open]
+        } else {
+            let terminated = self
+                .tokens
+                .get(j)
+                .is_some_and(|t| t.is_punct(';') || t.is_ident("else"));
+            if !terminated {
+                return (None, None); // initializer continues: temporary
+            }
+            // Plain `let` / `let … else`: to the close of the enclosing
+            // block (over-approximates past a diverging `else` body,
+            // which by definition runs no further statements).
+            self.enclosing_close(idx)
+        };
+        // An explicit `drop(binding)` ends the live range early.
+        let mut hi = end;
+        for k in idx..end {
+            if self.tokens[k].is_ident("drop")
+                && self.tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+                && self.tokens.get(k + 2).is_some_and(|t| t.is_ident(&binding))
+            {
+                hi = k;
+                break;
+            }
+        }
+        (Some(binding), Some((idx, hi)))
+    }
+
+    /// The first pattern identifier of the `let` at token `let_at`
+    /// (skipping `mut`/`Ok`/`Some`/`Err` wrappers), or `None` for a
+    /// wildcard `_` pattern. `stop` bounds the scan (the acquisition
+    /// site, which is always past the `=`).
+    fn binding_name(&self, let_at: usize, stop: usize) -> Option<String> {
+        for k in let_at + 1..stop {
+            let t = &self.tokens[k];
+            if t.is_punct('=') {
+                return None;
+            }
+            if t.kind == TokenKind::Ident {
+                match t.text.as_str() {
+                    "mut" | "Ok" | "Some" | "Err" => {}
+                    "_" => return None,
+                    _ => return Some(t.text.clone()),
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Matches every `{` to its `}` and records, for every token, the
+/// innermost open brace containing it.
+fn match_braces(tokens: &[Token]) -> (Vec<usize>, Vec<usize>) {
+    let mut brace_match = vec![usize::MAX; tokens.len()];
+    let mut enclosing = vec![usize::MAX; tokens.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        enclosing[i] = stack.last().copied().unwrap_or(usize::MAX);
+        if t.is_punct('{') {
+            stack.push(i);
+        } else if t.is_punct('}') {
+            if let Some(open) = stack.pop() {
+                brace_match[open] = i;
+            }
+        }
+    }
+    // Unbalanced files (mid-edit): close any dangling opens at EOF.
+    for open in stack {
+        brace_match[open] = tokens.len().saturating_sub(1);
+    }
+    (brace_match, enclosing)
+}
+
+/// Finds every `fn name` item and its brace-matched body. Trait-method
+/// declarations (`fn f(…);`) have no body and are skipped.
+fn find_fns(tokens: &[Token], brace_match: &[usize]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // The body is the first `{` outside the parameter list and any
+        // return-type brackets; a `;` at depth 0 first means a bodiless
+        // trait-method declaration.
+        let mut parens = 0isize;
+        let mut brackets = 0isize;
+        let mut j = i + 2;
+        let mut body = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('(') {
+                parens += 1;
+            } else if t.is_punct(')') {
+                parens -= 1;
+            } else if t.is_punct('[') {
+                brackets += 1;
+            } else if t.is_punct(']') {
+                brackets -= 1;
+            } else if parens == 0 && brackets == 0 {
+                if t.is_punct('{') {
+                    body = Some((j, brace_match[j]));
+                    break;
+                }
+                if t.is_punct(';') {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if let Some(body) = body {
+            out.push(FnItem {
+                name: name_tok.text.clone(),
+                line: tokens[i].line,
+                body,
+            });
+        }
+    }
+    out
+}
+
+/// Line ranges covered by `#[cfg(test)]` / `#[test]` items (inclusive).
+/// Library-code lints skip these: tests are exempt by design.
+pub fn test_line_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start_line = tokens[i].line;
+        let (attr_end, mut is_test) = scan_attribute(tokens, i + 1);
+        // Swallow any further attributes stacked on the same item
+        // (`#[cfg(test)] #[allow(..)] mod tests`).
+        let mut k = attr_end + 1;
+        while tokens.get(k).is_some_and(|t| t.is_punct('#'))
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let (end, test_too) = scan_attribute(tokens, k + 1);
+            is_test = is_test || test_too;
+            k = end + 1;
+        }
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        let item_end = skip_item(tokens, k);
+        let end_line = tokens
+            .get(item_end.min(tokens.len().saturating_sub(1)))
+            .map_or(attr_start_line, |t| t.line);
+        ranges.push((attr_start_line, end_line));
+        i = item_end + 1;
+    }
+    ranges
+}
+
+/// Scans one attribute whose `[` is at `open`; returns (index of the
+/// matching `]`, whether the attribute marks test-only code).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut saw_cfg = false;
+    let mut is_test = false;
+    let mut idents = 0usize;
+    let mut only_ident = None;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokenKind::Ident {
+            idents += 1;
+            only_ident = Some(t.text.as_str());
+            if t.text == "cfg" {
+                saw_cfg = true;
+            } else if t.text == "test" && saw_cfg {
+                is_test = true;
+            }
+        }
+        j += 1;
+    }
+    // `#[test]` — a lone `test` ident with no cfg wrapper.
+    if idents == 1 && only_ident == Some("test") {
+        is_test = true;
+    }
+    (j, is_test)
+}
+
+/// Skips the item starting at `start`: ends at a `;` outside any
+/// bracket/brace/paren nesting, or at the `}` closing the item body.
+fn skip_item(tokens: &[Token], start: usize) -> usize {
+    let mut braces = 0isize;
+    let mut parens = 0isize;
+    let mut brackets = 0isize;
+    let mut j = start;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('{') {
+            braces += 1;
+        } else if t.is_punct('}') {
+            braces -= 1;
+            if braces == 0 {
+                return j;
+            }
+        } else if t.is_punct('(') {
+            parens += 1;
+        } else if t.is_punct(')') {
+            parens -= 1;
+        } else if t.is_punct('[') {
+            brackets += 1;
+        } else if t.is_punct(']') {
+            brackets -= 1;
+        } else if t.is_punct(';') && braces == 0 && parens == 0 && brackets == 0 {
+            return j;
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fns_and_bodies_are_found() {
+        let src = "fn a() { g(); }\nimpl S {\n    fn b(&self) -> Result<(), E> { h() }\n}\ntrait T { fn c(&self); }\n";
+        let m = FileModel::parse(src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"], "bodiless trait fn is skipped");
+    }
+
+    #[test]
+    fn array_return_type_does_not_end_the_signature() {
+        let m = FileModel::parse("fn f() -> [u8; 4] { [0; 4] }\n");
+        assert_eq!(m.fns.len(), 1);
+    }
+
+    #[test]
+    fn bound_guard_lives_to_block_close() {
+        let src =
+            "fn f(&self) {\n    let mut g = self.state.lock();\n    g.touch();\n    other();\n}\n";
+        let m = FileModel::parse(src);
+        let body = m.fns[0].body;
+        let guards = m.guards_in(body.0, body.1);
+        assert_eq!(guards.len(), 1);
+        let g = &guards[0];
+        assert_eq!(g.class, "state");
+        assert_eq!(g.binding.as_deref(), Some("g"));
+        let (lo, hi) = g.live.expect("bound guard has a live range");
+        let calls = m.calls_in(lo, hi);
+        assert!(calls.iter().any(|c| c.name == "other"));
+        assert!(calls
+            .iter()
+            .any(|c| c.name == "touch" && c.recv.as_deref() == Some("g")));
+    }
+
+    #[test]
+    fn temporary_and_wildcard_guards_have_no_live_range() {
+        let src = "fn f(&self) {\n    let v = self.rp.get(&mut self.pool.borrow_mut(), x);\n    let _ = self.m.lock();\n    h(&self.l.read());\n}\n";
+        let m = FileModel::parse(src);
+        let body = m.fns[0].body;
+        for g in m.guards_in(body.0, body.1) {
+            assert!(g.live.is_none(), "{g:?} must be a temporary");
+        }
+    }
+
+    #[test]
+    fn expect_chain_keeps_guard_bound() {
+        let src =
+            "fn f(&self) {\n    let g = self.e.write().expect(\"poisoned\");\n    use_it(&g);\n}\n";
+        let m = FileModel::parse(src);
+        let body = m.fns[0].body;
+        let guards = m.guards_in(body.0, body.1);
+        assert_eq!(guards.len(), 1);
+        assert!(guards[0].live.is_some(), "expect() returns the guard");
+    }
+
+    #[test]
+    fn if_let_guard_scopes_to_the_conditional_body() {
+        let src = "fn f(&self) {\n    if let Ok(mut s) = cell.try_borrow_mut() {\n        inside();\n    }\n    outside();\n}\n";
+        let m = FileModel::parse(src);
+        let body = m.fns[0].body;
+        let g = &m.guards_in(body.0, body.1)[0];
+        assert_eq!(g.binding.as_deref(), Some("s"));
+        let (lo, hi) = g.live.unwrap();
+        let names: Vec<String> = m.calls_in(lo, hi).into_iter().map(|c| c.name).collect();
+        assert!(names.contains(&"inside".to_string()));
+        assert!(!names.contains(&"outside".to_string()));
+    }
+
+    #[test]
+    fn drop_ends_the_live_range() {
+        let src = "fn f(&self) {\n    let g = self.m.lock();\n    early(&g);\n    drop(g);\n    late();\n}\n";
+        let m = FileModel::parse(src);
+        let body = m.fns[0].body;
+        let g = &m.guards_in(body.0, body.1)[0];
+        let (lo, hi) = g.live.unwrap();
+        let names: Vec<String> = m.calls_in(lo, hi).into_iter().map(|c| c.name).collect();
+        assert!(names.contains(&"early".to_string()));
+        assert!(!names.contains(&"late".to_string()));
+    }
+
+    #[test]
+    fn guard_method_with_arguments_is_not_an_acquisition() {
+        // `SharedEngine::read(|e| …)` and `io::Read::read(buf)` take
+        // arguments; `RwLock::read()` takes none.
+        let src =
+            "fn f(&self) {\n    self.shared.read(|e| e.total());\n    file.read(&mut buf);\n}\n";
+        let m = FileModel::parse(src);
+        let body = m.fns[0].body;
+        assert!(m.guards_in(body.0, body.1).is_empty());
+    }
+
+    #[test]
+    fn calls_exclude_declarations_and_see_receivers() {
+        let src = "fn outer() {\n    fn inner() {}\n    inner();\n    pool.flush();\n}\n";
+        let m = FileModel::parse(src);
+        let body = m.fns[0].body;
+        let calls = m.calls_in(body.0, body.1);
+        let inner: Vec<&CallSite> = calls.iter().filter(|c| c.name == "inner").collect();
+        assert_eq!(inner.len(), 1, "the declaration is not a call");
+        let flush = calls.iter().find(|c| c.name == "flush").unwrap();
+        assert_eq!(flush.recv.as_deref(), Some("pool"));
+    }
+}

@@ -1,0 +1,78 @@
+//! L7 fixture: guards held across I/O, nesting, and lock orders.
+// lock-order: engine < pool
+
+pub fn guard_across_io(store: &S) {
+    let mut g = store.state.lock();
+    g.touch();
+    store.inner.write_page(0, &[]);
+}
+
+pub fn scoped_guard_is_fine(store: &S) {
+    {
+        let mut g = store.state.lock();
+        g.touch();
+    }
+    store.inner.write_page(0, &[]);
+}
+
+pub fn guard_receiver_io_is_fine(pool: &P) {
+    let mut p = pool.cell.borrow_mut();
+    p.flush();
+}
+
+pub fn allowed_io_under_guard(store: &S) {
+    let g = store.state.lock();
+    // lint:allow(L7): the flush must observe the locked state atomically
+    store.inner.flush();
+    g.done();
+}
+
+pub fn same_class_nesting(a: &S) {
+    let g1 = a.state.lock();
+    let g2 = a.state.lock();
+    g1.touch();
+    g2.touch();
+}
+
+pub fn sanctioned_nesting(e: &S, p: &S) {
+    let g1 = e.engine.write();
+    let g2 = p.pool.borrow_mut();
+    g1.touch();
+    g2.touch();
+}
+
+pub fn inverted_nesting(e: &S, p: &S) {
+    let g1 = p.pool.borrow_mut();
+    let g2 = e.engine.write();
+    g1.touch();
+    g2.touch();
+}
+
+pub fn undeclared_nesting(a: &S, b: &S) {
+    let g1 = a.wal.lock();
+    let g2 = b.cache.lock();
+    g1.touch();
+    g2.touch();
+}
+
+pub fn drop_releases_early(a: &S, store: &S) {
+    let g = a.state.lock();
+    g.touch();
+    drop(g);
+    store.inner.write_page(0, &[]);
+}
+
+pub fn temporary_guard_is_fine(store: &S) {
+    let n = store.counter.borrow_mut().bump();
+    store.inner.write_page(n, &[]);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_exempt() {
+        let g = STORE.state.lock();
+        STORE.inner.write_page(0, &[]);
+        g.touch();
+    }
+}

@@ -1,0 +1,26 @@
+//! L8 fixture: discarded Results and unsanctioned expect messages.
+
+pub fn discards(dev: &D) {
+    let _ = dev.sync_all();
+    let _ = ignored;
+    // lint:allow(L8): fire-and-forget prefetch; errors surface on the real read
+    let _ = dev.prefetch();
+}
+
+pub fn expects(x: Option<u32>) -> u32 {
+    let a = x.expect("made-up reason");
+    let b = x.expect("engine lock poisoned");
+    let msg = "dynamic";
+    let c = x.expect(msg);
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_exempt() {
+        let _ = std::fs::remove_file("x");
+        let v = Some(1u32).expect("whatever, it's a test");
+        assert_eq!(v, 1);
+    }
+}

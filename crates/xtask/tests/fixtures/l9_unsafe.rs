@@ -1,0 +1,25 @@
+//! L9 fixture: unsafe without an adjacent SAFETY comment.
+
+pub fn uncommented_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Reads a raw pointer the caller promises is valid.
+// SAFETY: caller contract — `p` is non-null, aligned, and live for the read.
+pub unsafe fn commented_fn(p: *const u8) -> u8 {
+    // SAFETY: covered by the function's caller contract above.
+    unsafe { *p }
+}
+
+// lint:allow(L9): audited shim; the proof lives on the trait impl one level up
+pub unsafe fn escaped_fn() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_is_still_audited() {
+        let x = 1u8;
+        let y = unsafe { *(&x as *const u8) };
+        assert_eq!(y, 1);
+    }
+}

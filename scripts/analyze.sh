@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-command local run of the full static-analysis gate:
+#
+#   1. the nine repo lints (L1 token scans through L9 unsafe audit)
+#      against the ratcheted lint-baseline.json, emitting the JSON
+#      new/pinned/stale report (kept as a CI artifact),
+#   2. the unsafe-inventory freshness check (docs/UNSAFE_INVENTORY.md
+#      must match the tree — regenerate with
+#      `cargo xtask lint --unsafe-inventory`),
+#   3. the lint harness's own test suite, which pins every rule to
+#      exact fixture lines and asserts the real workspace is clean.
+#
+# Pass a path to change where the JSON report lands (default
+# target/lint-findings.json). See docs/STATIC_ANALYSIS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-target/lint-findings.json}"
+mkdir -p "$(dirname "$out")"
+
+echo "== cargo xtask lint --json (baseline: lint-baseline.json)"
+# Capture the report even when the lint gate fails, so CI uploads the
+# findings that caused the failure.
+status=0
+cargo run --quiet --release -p xtask -- lint --json >"$out" || status=$?
+cat "$out"
+echo
+
+echo "== unsafe inventory freshness (docs/UNSAFE_INVENTORY.md)"
+cargo run --quiet --release -p xtask -- lint --unsafe-inventory --check
+
+echo "== lint harness self-tests (cargo test -p xtask)"
+cargo test --quiet --release -p xtask
+
+exit "$status"
