@@ -1,7 +1,8 @@
 //! Query-batch throughput baseline: the sharded parallel front-end
 //! (`query_many_parallel`) against serial `query_many`, plus the
 //! lane-width kernels against their retained scalar twins, emitted as
-//! `BENCH_THROUGHPUT.json` in the same schema as `BENCH_HOTPATH.json`.
+//! the `exp_parallel_query` section of `BENCH_THROUGHPUT.json` (shared
+//! with `exp_mixed_readwrite`; see `rps_bench::throughput`).
 //!
 //! ```text
 //! cargo run --release -p rps-bench --bin exp_parallel_query            # full
@@ -19,89 +20,15 @@
 //! the `host_cpus` field; on a single-core container the parallel rows
 //! measure pure sharding overhead (~1×), not fan-out gains.
 
-use std::time::Instant;
-
 use ndcube::Region;
-use rps_bench::alloc_counter::{thread_allocs, CountingAllocator};
+use rps_bench::alloc_counter::CountingAllocator;
+use rps_bench::throughput::{measure_batch, section_json, write_section, Scenario};
 use rps_core::rps::kernels;
 use rps_core::RpsEngine;
 use rps_workload::{CubeGen, QueryGen, RegionSpec};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
-
-/// One measured loop: ns/op and allocs/op over `ops` operations.
-struct Measurement {
-    ops: usize,
-    ns_per_op: f64,
-    allocs_per_op: f64,
-}
-
-impl Measurement {
-    fn json(&self, name: &str) -> String {
-        format!(
-            "{{\"name\":\"{name}\",\"ops\":{},\"ns_per_op\":{:.1},\"allocs_per_op\":{:.4},\"ops_per_sec\":{:.0}}}",
-            self.ops,
-            self.ns_per_op,
-            self.allocs_per_op,
-            1e9 / self.ns_per_op.max(1e-9)
-        )
-    }
-}
-
-struct Scenario {
-    name: String,
-    dims: Vec<usize>,
-    box_size: Vec<usize>,
-    results: Vec<Measurement>,
-    result_names: Vec<String>,
-}
-
-impl Scenario {
-    fn json(&self) -> String {
-        let dims: Vec<String> = self.dims.iter().map(ToString::to_string).collect();
-        let ks: Vec<String> = self.box_size.iter().map(ToString::to_string).collect();
-        let measurements: Vec<String> = self
-            .results
-            .iter()
-            .zip(&self.result_names)
-            .map(|(m, n)| m.json(n))
-            .collect();
-        format!(
-            "    {{\"scenario\":\"{}\",\"dims\":[{}],\"box_size\":[{}],\"measurements\":[\n      {}\n    ]}}",
-            self.name,
-            dims.join(","),
-            ks.join(","),
-            measurements.join(",\n      ")
-        )
-    }
-}
-
-/// Times `rounds` repetitions of a whole-batch call, reporting per-query
-/// cost (the batch is the op unit the front-end amortizes over).
-fn measure_batch(
-    rounds: usize,
-    batch_len: usize,
-    mut body: impl FnMut() -> i64,
-) -> (Measurement, i64) {
-    let mut sink = 0i64;
-    let alloc_before = thread_allocs();
-    let start = Instant::now();
-    for _ in 0..rounds {
-        sink = sink.wrapping_add(body());
-    }
-    let elapsed = start.elapsed();
-    let allocs = thread_allocs() - alloc_before;
-    let ops = rounds * batch_len;
-    (
-        Measurement {
-            ops,
-            ns_per_op: elapsed.as_nanos() as f64 / ops as f64,
-            allocs_per_op: allocs as f64 / ops as f64,
-        },
-        sink,
-    )
-}
 
 fn run_scenario(
     name: &str,
@@ -214,13 +141,7 @@ fn main() {
     };
 
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    let body: Vec<String> = scenarios.iter().map(Scenario::json).collect();
-    let json = format!(
-        "{{\n  \"bench\": \"exp_parallel_query\",\n  \"mode\": \"{}\",\n  \"host_cpus\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
-        if smoke { "smoke" } else { "full" },
-        host_cpus,
-        body.join(",\n")
-    );
+    let section = section_json(if smoke { "smoke" } else { "full" }, host_cpus, &scenarios);
 
     println!("=== query-batch throughput baseline ({host_cpus} host cpus) ===\n");
     for s in &scenarios {
@@ -244,6 +165,6 @@ fn main() {
         }
     }
 
-    std::fs::write(&out_path, &json).expect("write BENCH_THROUGHPUT.json");
-    println!("\nwrote {out_path}");
+    write_section(&out_path, "exp_parallel_query", &section);
+    println!("\nwrote {out_path} (section exp_parallel_query)");
 }

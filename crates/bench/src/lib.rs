@@ -20,6 +20,7 @@
 #![deny(unsafe_code)]
 
 pub mod alloc_counter;
+pub mod throughput;
 
 use ndcube::Region;
 use rps_core::RangeSumEngine;

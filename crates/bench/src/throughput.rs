@@ -1,0 +1,255 @@
+//! Shared plumbing for the throughput report binaries
+//! (`exp_parallel_query`, `exp_mixed_readwrite`).
+//!
+//! Both binaries write into the one committed `BENCH_THROUGHPUT.json`,
+//! so the file is structured as a map of per-binary sections:
+//!
+//! ```json
+//! { "benches": {
+//!     "exp_mixed_readwrite": { "mode": "full", ... },
+//!     "exp_parallel_query":  { "mode": "full", ... } } }
+//! ```
+//!
+//! [`splice_section`] replaces (or inserts) exactly one named section,
+//! preserving every other byte-for-byte, with a small string-aware
+//! brace matcher — no JSON dependency, per the workspace's offline
+//! policy. Files in the pre-section legacy layout (a bare
+//! `{"bench": ...}` object) are treated as absent and rebuilt.
+
+use std::time::Instant;
+
+use crate::alloc_counter::thread_allocs;
+
+/// One measured loop: ns/op and allocs/op over `ops` operations.
+pub struct Measurement {
+    /// Operations timed.
+    pub ops: usize,
+    /// Mean wall-clock nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Mean heap allocations per operation (this thread only).
+    pub allocs_per_op: f64,
+}
+
+impl Measurement {
+    /// The measurement as one JSON object row.
+    pub fn json(&self, name: &str) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"ops\":{},\"ns_per_op\":{:.1},\"allocs_per_op\":{:.4},\"ops_per_sec\":{:.0}}}",
+            self.ops,
+            self.ns_per_op,
+            self.allocs_per_op,
+            1e9 / self.ns_per_op.max(1e-9)
+        )
+    }
+}
+
+/// One scenario (shape + box size) with its named measurements.
+pub struct Scenario {
+    /// Scenario label, e.g. `d2_n512`.
+    pub name: String,
+    /// Cube dimensions.
+    pub dims: Vec<usize>,
+    /// Box size the engine chose/was given.
+    pub box_size: Vec<usize>,
+    /// Measurements, parallel to `result_names`.
+    pub results: Vec<Measurement>,
+    /// Row name per measurement.
+    pub result_names: Vec<String>,
+}
+
+impl Scenario {
+    /// The scenario as a JSON object (indented for the committed file).
+    pub fn json(&self) -> String {
+        let dims: Vec<String> = self.dims.iter().map(ToString::to_string).collect();
+        let ks: Vec<String> = self.box_size.iter().map(ToString::to_string).collect();
+        let measurements: Vec<String> = self
+            .results
+            .iter()
+            .zip(&self.result_names)
+            .map(|(m, n)| m.json(n))
+            .collect();
+        format!(
+            "      {{\"scenario\":\"{}\",\"dims\":[{}],\"box_size\":[{}],\"measurements\":[\n        {}\n      ]}}",
+            self.name,
+            dims.join(","),
+            ks.join(","),
+            measurements.join(",\n        ")
+        )
+    }
+}
+
+/// Assembles one binary's section body from its mode and scenarios.
+pub fn section_json(mode: &str, host_cpus: usize, scenarios: &[Scenario]) -> String {
+    let body: Vec<String> = scenarios.iter().map(Scenario::json).collect();
+    format!(
+        "{{\n      \"mode\": \"{mode}\",\n      \"host_cpus\": {host_cpus},\n      \"scenarios\": [\n{}\n      ]\n    }}",
+        body.join(",\n")
+    )
+}
+
+/// Times `rounds` repetitions of a whole-batch call, reporting per-op
+/// cost over `rounds * batch_len` operations (the batch is the op unit
+/// the front-ends amortize over).
+pub fn measure_batch(
+    rounds: usize,
+    batch_len: usize,
+    mut body: impl FnMut() -> i64,
+) -> (Measurement, i64) {
+    let mut sink = 0i64;
+    let alloc_before = thread_allocs();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        sink = sink.wrapping_add(body());
+    }
+    let elapsed = start.elapsed();
+    let allocs = thread_allocs() - alloc_before;
+    let ops = rounds * batch_len;
+    (
+        Measurement {
+            ops,
+            ns_per_op: elapsed.as_nanos() as f64 / ops as f64,
+            allocs_per_op: allocs as f64 / ops as f64,
+        },
+        sink,
+    )
+}
+
+/// Splices `section` in as `benches.<name>` of `existing`, preserving
+/// every other section verbatim. `existing = None` (or a file not in
+/// the `{"benches": ...}` layout) starts a fresh document. Sections are
+/// emitted sorted by name so regeneration order doesn't churn the file.
+pub fn splice_section(existing: Option<&str>, name: &str, section: &str) -> String {
+    let mut sections: Vec<(String, String)> = existing
+        .and_then(extract_sections)
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|(n, _)| n != name)
+        .collect();
+    sections.push((name.to_string(), section.trim().to_string()));
+    sections.sort_by(|a, b| a.0.cmp(&b.0));
+    let body: Vec<String> = sections
+        .iter()
+        .map(|(n, s)| format!("    \"{n}\": {s}"))
+        .collect();
+    format!("{{\n  \"benches\": {{\n{}\n  }}\n}}\n", body.join(",\n"))
+}
+
+/// Reads, splices and rewrites the throughput file at `path`.
+pub fn write_section(path: &str, name: &str, section: &str) {
+    let existing = std::fs::read_to_string(path).ok();
+    let json = splice_section(existing.as_deref(), name, section);
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+/// Pulls the `(name, body)` pairs out of a `{"benches": {...}}`
+/// document, or `None` when the layout doesn't match.
+fn extract_sections(doc: &str) -> Option<Vec<(String, String)>> {
+    let key = doc.find("\"benches\"")?;
+    let open = doc[key..].find('{')? + key;
+    let inner_end = matching_brace(doc, open)?;
+    let inner = &doc[open + 1..inner_end];
+
+    let mut out = Vec::new();
+    let mut rest = inner;
+    while let Some(q0) = rest.find('"') {
+        let q1 = q0 + 1 + rest[q0 + 1..].find('"')?;
+        let name = rest[q0 + 1..q1].to_string();
+        let after = &rest[q1 + 1..];
+        let colon = after.find(':')?;
+        let body_rel = after[colon..].find('{')? + colon;
+        let body_abs_start = q1 + 1 + body_rel;
+        let body_end = matching_brace(rest, body_abs_start)?;
+        out.push((name, rest[body_abs_start..=body_end].to_string()));
+        rest = &rest[body_end + 1..];
+    }
+    Some(out)
+}
+
+/// Index of the `}` matching the `{` at `open`, skipping string
+/// literals (with escapes).
+fn matching_brace(s: &str, open: usize) -> Option<usize> {
+    debug_assert_eq!(s.as_bytes().get(open), Some(&b'{'));
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, b) in s.bytes().enumerate().skip(open) {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splice_into_empty_creates_the_layout() {
+        let doc = splice_section(None, "exp_parallel_query", r#"{"mode": "full"}"#);
+        assert!(doc.contains("\"benches\""));
+        assert!(doc.contains("\"exp_parallel_query\": {\"mode\": \"full\"}"));
+    }
+
+    #[test]
+    fn splice_preserves_other_sections() {
+        let doc = splice_section(None, "exp_parallel_query", r#"{"mode": "full", "n": 1}"#);
+        let doc = splice_section(Some(&doc), "exp_mixed_readwrite", r#"{"mode": "smoke"}"#);
+        // Both present, sorted, original untouched.
+        assert!(doc.contains("\"exp_parallel_query\": {\"mode\": \"full\", \"n\": 1}"));
+        assert!(doc.contains("\"exp_mixed_readwrite\": {\"mode\": \"smoke\"}"));
+        assert!(doc.find("exp_mixed_readwrite").unwrap() < doc.find("exp_parallel_query").unwrap());
+    }
+
+    #[test]
+    fn splice_replaces_a_section_in_place() {
+        let doc = splice_section(None, "a", r#"{"v": 1}"#);
+        let doc = splice_section(Some(&doc), "b", r#"{"v": 2}"#);
+        let doc = splice_section(Some(&doc), "a", r#"{"v": 3}"#);
+        assert!(doc.contains("\"a\": {\"v\": 3}"));
+        assert!(doc.contains("\"b\": {\"v\": 2}"));
+        assert!(!doc.contains("\"v\": 1"));
+    }
+
+    #[test]
+    fn legacy_layout_is_rebuilt() {
+        let legacy = r#"{"bench": "exp_parallel_query", "scenarios": []}"#;
+        let doc = splice_section(Some(legacy), "exp_parallel_query", r#"{"mode": "full"}"#);
+        assert!(doc.contains("\"benches\""));
+        assert!(!doc.contains("\"scenarios\": []"));
+    }
+
+    #[test]
+    fn brace_matching_skips_braces_inside_strings() {
+        let doc = splice_section(None, "a", r#"{"note": "has } and { inside", "v": 1}"#);
+        let doc = splice_section(Some(&doc), "b", r#"{"v": 2}"#);
+        assert!(doc.contains("has } and { inside"));
+        assert!(doc.contains("\"b\": {\"v\": 2}"));
+    }
+
+    #[test]
+    fn nested_objects_survive_round_trips() {
+        let section = r#"{"scenarios": [{"m": [{"name": "x", "ops": 3}]}]}"#;
+        let doc = splice_section(None, "deep", section);
+        let doc = splice_section(Some(&doc), "other", r#"{"v": 1}"#);
+        assert!(doc.contains(section));
+    }
+}

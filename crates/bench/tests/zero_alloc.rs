@@ -168,6 +168,59 @@ fn instrumented_lane_kernels_stay_alloc_free() {
     );
 }
 
+/// The batched front-ends ride the contract too (S1): `query_many`'s
+/// corner cache is keyed by linear cell index (`usize`), not by cloned
+/// coordinate vectors, so a batch performs only a small per-batch
+/// constant of allocations (the output `Vec` plus the pre-sized cache
+/// table) regardless of batch length — ≈0 allocs/op amortized. The
+/// versioned engine's snapshot `query_many` shares the same kernel and
+/// the same bound.
+#[test]
+fn query_many_batches_stay_near_zero_alloc() {
+    const BATCH: usize = 512;
+    const ROUNDS: u64 = 8;
+    // Worst-case per batch: output Vec + cache table + a possible grow.
+    const PER_BATCH_BUDGET: u64 = 4;
+
+    let dims = [48usize, 48];
+    let engine = engine_for(&dims);
+    let versioned = rps_core::VersionedEngine::new(engine_for(&dims));
+    let regions: Vec<Region> = QueryGen::new(&dims, 7, RegionSpec::Fraction(0.5)).take(BATCH);
+
+    // Warm-up sizes the thread-local scratch.
+    let expected = engine.query_many(&regions).expect("in bounds");
+
+    let before = thread_allocs();
+    let mut sink = 0i64;
+    for _ in 0..ROUNDS {
+        let out = engine.query_many(&regions).expect("in bounds");
+        sink = sink.wrapping_add(out.last().copied().unwrap_or(0));
+    }
+    let serial_allocs = thread_allocs() - before;
+
+    let snap = versioned.snapshot();
+    let warm = snap.query_many(&regions).expect("in bounds");
+    assert_eq!(warm, expected, "snapshot must answer identically");
+    let before = thread_allocs();
+    for _ in 0..ROUNDS {
+        let out = snap.query_many(&regions).expect("in bounds");
+        sink = sink.wrapping_add(out.last().copied().unwrap_or(0));
+    }
+    let snapshot_allocs = thread_allocs() - before;
+
+    assert!(sink != i64::MIN, "checksum sentinel");
+    assert!(
+        serial_allocs <= ROUNDS * PER_BATCH_BUDGET,
+        "serial query_many allocated {serial_allocs} times across {ROUNDS} \
+         batches of {BATCH} ops (budget {PER_BATCH_BUDGET}/batch)"
+    );
+    assert!(
+        snapshot_allocs <= ROUNDS * PER_BATCH_BUDGET,
+        "snapshot query_many allocated {snapshot_allocs} times across {ROUNDS} \
+         batches of {BATCH} ops (budget {PER_BATCH_BUDGET}/batch)"
+    );
+}
+
 /// Dimensionality changes re-size the shared thread-local scratch; after
 /// one warm-up on the new shape the counter must freeze again. This pins
 /// the `ensure(d)` grow-only design: switching between engines of

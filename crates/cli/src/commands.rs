@@ -108,7 +108,8 @@ pub fn help(out: &mut dyn Write) -> CmdResult {
          \x20 bench    [--dims 256x256] [--ops N] [--seed N] [--parallel N]\n\
          \x20     compare all methods on a mixed workload (cells touched);\n\
          \x20     --parallel N also times the query batch through the sharded\n\
-         \x20     N-thread front-end against the serial path\n\
+         \x20     N-thread front-end (on a lock-free versioned snapshot)\n\
+         \x20     against the serial path\n\
          \x20 rollup   --file FILE --dim D --bucket B [--range LO:HI]\n\
          \x20     GROUP BY along dimension D in buckets of B (engine snapshots)\n\
          \x20 verify   [--file FILE] [--wal FILE]\n\
@@ -757,16 +758,24 @@ fn bench(args: &Args, out: &mut dyn Write) -> CmdResult {
         let t0 = std::time::Instant::now();
         let serial = engine.query_many(&regions)?;
         let serial_ns = t0.elapsed().as_nanos();
+        // The sharded batch runs through the versioned engine's
+        // lock-free read path: the snapshot is pinned once and the whole
+        // batch answers from it without ever blocking a writer (see
+        // docs/PERFORMANCE.md §8).
+        let versioned = rps_core::VersionedEngine::new(RpsEngine::from_cube(&cube));
+        let snapshot = versioned.snapshot();
         let t1 = std::time::Instant::now();
-        let parallel = engine.query_many_parallel(&regions, threads)?;
+        let parallel = snapshot.query_many_parallel(&regions, threads)?;
         let parallel_ns = t1.elapsed().as_nanos();
         if serial != parallel {
             return Err("parallel front-end disagreed with serial query_many".into());
         }
         writeln!(
             out,
-            "\nparallel query front-end: {} queries, {threads} threads",
-            regions.len()
+            "\nparallel query front-end: {} queries, {threads} threads \
+             (versioned snapshot v{})",
+            regions.len(),
+            snapshot.number()
         )?;
         writeln!(out, "  serial    {serial_ns} ns")?;
         // lint:allow(L4): bench reporting; f64 rounding is irrelevant here

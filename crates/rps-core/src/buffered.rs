@@ -8,6 +8,13 @@
 //! prefix-sum engine this trades its O(n^d) per-update cost for an
 //! amortized one; wrapped around RPS it trims the constant further for
 //! update-heavy phases. `exp_batch_updates` measures the trade-off.
+//!
+//! The versioned engine offers the same batching lever on its write
+//! path: [`crate::VersionedEngine::with_publish_threshold`] buffers
+//! accepted updates inside the writer and publishes them as one
+//! copy-on-write version, amortizing the per-publish slab clones the
+//! way this combinator amortizes the wrapped engine's per-update cost —
+//! but with snapshot-atomic visibility instead of read-time merging.
 
 use std::collections::HashMap;
 

@@ -11,6 +11,12 @@
 //! Note: the per-engine [`crate::CostStats`] counters use `Cell` and are
 //! *not* shared across threads; `SharedEngine` therefore exposes its own
 //! atomic op counters instead of the cell-level ones.
+//!
+//! For workloads where readers dominate and writer stalls are
+//! unacceptable, prefer [`crate::VersionedEngine`]: it removes the
+//! reader side of this lock entirely by publishing immutable
+//! copy-on-write snapshots (see `docs/PERFORMANCE.md` §8 for the
+//! trade-off).
 
 use crate::sync_compat::{Arc, AtomicU64, Ordering, RwLock};
 
@@ -40,12 +46,15 @@ pub struct SharedEngine<E> {
 
 #[derive(Debug)]
 struct Shared<E> {
-    // The sanctioned nesting for the planned snapshot/MVCC read path:
+    // The sanctioned nestings, enforced workspace-wide by the L7 lint:
     // the engine RwLock is always the outermost guard, and a disk-backed
     // engine's page-pool RefCell (`DiskRpsEngine::pool` in the storage
-    // crate) may only be borrowed while it is held. The L7 lint enforces
-    // this declaration workspace-wide.
+    // crate) may only be borrowed while it is held. In the versioned
+    // engine (`crate::versioned`), the writer mutex is the outermost
+    // guard and publication-ring slot locks are only taken beneath it;
+    // reader pins take a slot lock alone, never the writer mutex.
     // lock-order: engine < pool
+    // lock-order: writer < slot
     engine: RwLock<E>,
     queries: AtomicU64,
     updates: AtomicU64,

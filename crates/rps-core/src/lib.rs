@@ -63,6 +63,7 @@ pub mod stats;
 pub mod sync_compat;
 pub mod testdata;
 pub mod value;
+pub mod versioned;
 
 pub use buffered::{BufferedEngine, SparseDelta};
 pub use chunked::ChunkedEngine;
@@ -74,3 +75,4 @@ pub use prefix::PrefixSumEngine;
 pub use rps::{BoxGrid, Overlay, RpsEngine};
 pub use stats::{CostStats, StatsCell};
 pub use value::{GroupValue, SumCount};
+pub use versioned::{PinnedSnapshot, ReaderHandle, Version, VersionedEngine};

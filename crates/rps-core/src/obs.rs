@@ -15,7 +15,7 @@
 
 use std::sync::OnceLock;
 
-use rps_obs::{registry, Counter, Histogram};
+use rps_obs::{registry, Counter, Gauge, Histogram};
 
 /// Which engine implementation emitted an operation — the `engine`
 /// label on the `rps_engine_*` metric families.
@@ -78,6 +78,21 @@ pub struct CoreMetrics {
     pub lane_runs: Counter,
 }
 
+/// Metrics for the versioned snapshot engine
+/// ([`crate::versioned::VersionedEngine`]).
+#[derive(Debug)]
+pub struct SnapshotMetrics {
+    /// Immutable versions published by the writer.
+    pub versions: Counter,
+    /// Box granules (overlay or RP) cloned copy-on-write because a
+    /// published version still referenced them.
+    pub cow_boxes: Counter,
+    /// Reader handles currently registered in an epoch slot.
+    pub readers: Gauge,
+    /// Readers currently holding a pinned snapshot.
+    pub pinned_readers: Gauge,
+}
+
 static RPS: EngineMetrics = EngineMetrics::new();
 static DISK: EngineMetrics = EngineMetrics::new();
 static DURABLE: EngineMetrics = EngineMetrics::new();
@@ -88,6 +103,12 @@ static CORE: CoreMetrics = CoreMetrics {
     scratch_fresh: Counter::new(),
     parallel_query_shards: Counter::new(),
     lane_runs: Counter::new(),
+};
+static SNAPSHOT: SnapshotMetrics = SnapshotMetrics {
+    versions: Counter::new(),
+    cow_boxes: Counter::new(),
+    readers: Gauge::new(),
+    pinned_readers: Gauge::new(),
 };
 
 fn register_kind(m: &'static EngineMetrics, labels: &'static [(&'static str, &'static str)]) {
@@ -195,6 +216,38 @@ fn register_all() {
         &[],
         &CORE.lane_runs,
     );
+    reg.counter(
+        "rps_snapshot_versions_total",
+        "Immutable versions published by the versioned engine's writer",
+        "ops",
+        "rps-core",
+        &[],
+        &SNAPSHOT.versions,
+    );
+    reg.counter(
+        "rps_snapshot_cow_boxes_total",
+        "Box granules cloned copy-on-write during versioned publishes",
+        "boxes",
+        "rps-core",
+        &[],
+        &SNAPSHOT.cow_boxes,
+    );
+    reg.gauge(
+        "rps_snapshot_readers",
+        "Reader handles currently registered with a versioned engine",
+        "readers",
+        "rps-core",
+        &[],
+        &SNAPSHOT.readers,
+    );
+    reg.gauge(
+        "rps_snapshot_pinned_readers",
+        "Readers currently holding a pinned versioned snapshot",
+        "readers",
+        "rps-core",
+        &[],
+        &SNAPSHOT.pinned_readers,
+    );
 }
 
 #[inline]
@@ -222,4 +275,12 @@ pub fn engine(kind: EngineKind) -> &'static EngineMetrics {
 pub fn core() -> &'static CoreMetrics {
     ensure_registered();
     &CORE
+}
+
+/// The versioned-snapshot metrics (registering on first use, like
+/// [`engine`]).
+#[inline]
+pub fn snapshot() -> &'static SnapshotMetrics {
+    ensure_registered();
+    &SNAPSHOT
 }

@@ -32,8 +32,11 @@ pub use build::{
 pub use grid::BoxGrid;
 pub use invariants::Violation;
 pub use overlay::Overlay;
+pub(crate) use overlay::{overlay_prefix_part_src, OverlaySource};
+pub(crate) use parallel::{effective_threads, slab_sizes};
 pub use parallel::{prefix_sums_parallel, relative_prefix_sums_parallel};
 pub use scratch::{with_scratch, KernelScratch, Scratch};
+pub(crate) use update::overlay_update_walk;
 pub use update::{
     apply_overlay_update, apply_overlay_update_with, apply_update, apply_update_with,
     for_each_rp_cascade_cell, for_each_stored_offset_geq, for_each_stored_offset_geq_with,
@@ -140,6 +143,13 @@ impl<T: GroupValue> RpsEngine<T> {
     #[doc(hidden)]
     pub fn overlay_mut_for_tests(&mut self) -> &mut Overlay<T> {
         &mut self.overlay
+    }
+
+    /// Decomposes the engine into its structures. The versioned engine's
+    /// writer takes ownership this way and re-chunks them into
+    /// copy-on-write slabs.
+    pub(crate) fn into_parts(self) -> (BoxGrid, Overlay<T>, NdCube<T>) {
+        (self.grid, self.overlay, self.rp)
     }
 
     fn from_cube_with_grid(a: &NdCube<T>, grid: BoxGrid) -> Self {
@@ -264,76 +274,20 @@ pub fn overlay_prefix_part<T: GroupValue>(
 
 /// [`overlay_prefix_part`] with caller scratch — zero heap allocations.
 ///
-/// Shared by the in-memory engine and the disk-resident engine
-/// (`rps-storage`), which differ only in where the final RP cell comes
-/// from — this is the subtlest arithmetic in the workspace and must
-/// exist exactly once.
+/// Shared by the in-memory engine, the disk-resident engine
+/// (`rps-storage`) and the versioned snapshots
+/// ([`crate::versioned::VersionedEngine`]), which differ only in where
+/// the cells come from — this is the subtlest arithmetic in the
+/// workspace and it exists exactly once, in the storage-generic
+/// `overlay_prefix_part_src` this delegates to with the flat overlay
+/// layout.
 pub fn overlay_prefix_part_with<T: GroupValue>(
     grid: &BoxGrid,
     overlay: &Overlay<T>,
     x: &[usize],
     ks: &mut KernelScratch,
 ) -> (T, u64) {
-    let d = x.len();
-    ks.ensure(d);
-    let KernelScratch {
-        b,
-        anchor,
-        extents,
-        offsets,
-        e,
-        ..
-    } = ks;
-    grid.box_index_into(x, b);
-    let box_lin = overlay.box_linear(b);
-    grid.anchor_into(b, anchor);
-    grid.extents_into(b, extents);
-
-    // Anchor value: everything preceding the box's anchor cell.
-    let mut acc = overlay.get(overlay.anchor_index(box_lin)).clone();
-    let mut reads = 1u64;
-
-    for (o, (&xi, &ai)) in offsets.iter_mut().zip(x.iter().zip(anchor.iter())) {
-        *o = xi - ai;
-    }
-
-    if offsets.contains(&0) {
-        // x itself is a stored overlay cell: every other border term
-        // cancels in pairs and the sum telescopes to
-        // anchor + border[x] (+ RP[x] added by the caller). At x = α the
-        // border is the (zero-valued by definition) anchor slot itself
-        // and is skipped.
-        if offsets.iter().any(|&e| e != 0) {
-            let idx = overlay
-                .cell_index(box_lin, offsets, extents)
-                // lint:allow(L2): x has a non-zero offset, so its border slot is stored
-                .expect("zero-offset cells are stored");
-            acc.add_assign(overlay.get(idx));
-            reads += 1;
-        }
-    } else {
-        // Interior x: alternating sum over the proper corner cells of
-        // the sub-box α..=x. Subset S of dimensions taking x's offset.
-        for mask in 1u64..((1u64 << d) - 1) {
-            for (i, (ei, &off)) in e.iter_mut().zip(offsets.iter()).enumerate() {
-                *ei = if mask & (1 << i) != 0 { off } else { 0 };
-            }
-            let idx = overlay
-                .cell_index(box_lin, e, extents)
-                // lint:allow(L2): mask < 2^d−1 keeps at least one zero offset, so the slot is stored
-                .expect("corner cells have a zero offset");
-            let term = overlay.get(idx);
-            // lint:allow(L4): u32 → usize is lossless on every supported target
-            let s = mask.count_ones() as usize;
-            if (d - 1 - s).is_multiple_of(2) {
-                acc.add_assign(term);
-            } else {
-                acc.sub_assign(term);
-            }
-            reads += 1;
-        }
-    }
-    (acc, reads)
+    overlay_prefix_part_src(grid, overlay, x, ks)
 }
 
 impl<T: GroupValue> RpsEngine<T> {
@@ -357,7 +311,14 @@ impl<T: GroupValue> RpsEngine<T> {
                 .checked_shl(u32::try_from(d).unwrap_or(u32::MAX))
                 .unwrap_or(usize::MAX),
         );
-        let mut cache: HashMap<Vec<usize>, T> = HashMap::with_capacity(cap);
+        // Corners are keyed by their linear cell index: the corner
+        // enumerator only ever hands this callback in-bounds coordinates
+        // (underflowed corners are suppressed upstream), so the linear
+        // index is collision-free — and a `usize` key needs no per-corner
+        // heap allocation, unlike the owned `Vec` keys this cache used to
+        // clone (~4 allocs per region in BENCH_THROUGHPUT.json).
+        let shape = self.rp.shape();
+        let mut cache: HashMap<usize, T> = HashMap::with_capacity(cap);
         let mut total_reads = 0u64;
         let mut lookups = 0u64;
         let out = with_scratch(|s| {
@@ -369,8 +330,7 @@ impl<T: GroupValue> RpsEngine<T> {
                         lookups += 1;
                         // Entry API: one hash per corner whether hit or miss.
                         cache
-                            // lint:allow(L5): the cache key must own its corner; amortized by dedup across regions
-                            .entry(corner.to_vec())
+                            .entry(shape.linear_unchecked(corner))
                             .or_insert_with(|| {
                                 let (v, reads) = self.prefix_kernel(corner, ks);
                                 total_reads += reads;

@@ -4,7 +4,122 @@
 use ndcube::Shape;
 
 use crate::rps::grid::BoxGrid;
+use crate::rps::scratch::KernelScratch;
 use crate::value::GroupValue;
+
+/// Read-only view of overlay storage, for the prefix reconstruction.
+///
+/// Implemented by the flat [`Overlay`] and by the chunked per-box-row
+/// slabs of the versioned engine's snapshots
+/// ([`crate::versioned::VersionedEngine`]), so the inclusion–exclusion
+/// arithmetic in [`overlay_prefix_part_src`] — the subtlest in the
+/// workspace — exists exactly once regardless of how the cells are laid
+/// out.
+pub(crate) trait OverlaySource<T> {
+    /// The per-box offset table: `offsets()[b] .. offsets()[b+1]` is box
+    /// `b`'s slot range in the flat cell numbering.
+    fn offsets(&self) -> &[usize];
+
+    /// Reads the stored cell at flat index `idx`. The index always lies
+    /// in the slot range of a box whose dim-0 grid index is `box_row` —
+    /// chunked implementations use the row to locate the owning slab,
+    /// the flat [`Overlay`] ignores it.
+    fn cell(&self, box_row: usize, idx: usize) -> &T;
+}
+
+impl<T: GroupValue> OverlaySource<T> for Overlay<T> {
+    #[inline]
+    fn offsets(&self) -> &[usize] {
+        &self.box_offsets
+    }
+
+    #[inline]
+    fn cell(&self, _box_row: usize, idx: usize) -> &T {
+        &self.cells[idx]
+    }
+}
+
+/// The overlay's share of a prefix-sum reconstruction — anchor plus the
+/// border combination for `x` — generic over the storage layout.
+///
+/// This is the single home of the alternating corner sum (see
+/// [`crate::rps::RpsEngine::prefix_sum`] for the derivation); the public
+/// [`crate::rps::overlay_prefix_part_with`] delegates here with the flat
+/// [`Overlay`], the versioned engine's snapshots with their slab view.
+/// Returns the accumulated value and the number of overlay cells read.
+pub(crate) fn overlay_prefix_part_src<T, S>(
+    grid: &BoxGrid,
+    src: &S,
+    x: &[usize],
+    ks: &mut KernelScratch,
+) -> (T, u64)
+where
+    T: GroupValue,
+    S: OverlaySource<T> + ?Sized,
+{
+    let d = x.len();
+    ks.ensure(d);
+    let KernelScratch {
+        b,
+        anchor,
+        extents,
+        offsets,
+        e,
+        ..
+    } = ks;
+    grid.box_index_into(x, b);
+    let box_lin = grid.grid_shape().linear_unchecked(b);
+    let box_row = b.first().copied().unwrap_or(0);
+    grid.anchor_into(b, anchor);
+    grid.extents_into(b, extents);
+
+    let base = src.offsets()[box_lin];
+
+    // Anchor value: everything preceding the box's anchor cell (the
+    // anchor is always slot 0 of its box).
+    let mut acc = src.cell(box_row, base).clone();
+    let mut reads = 1u64;
+
+    for (o, (&xi, &ai)) in offsets.iter_mut().zip(x.iter().zip(anchor.iter())) {
+        *o = xi - ai;
+    }
+
+    if offsets.contains(&0) {
+        // x itself is a stored overlay cell: every other border term
+        // cancels in pairs and the sum telescopes to
+        // anchor + border[x] (+ RP[x] added by the caller). At x = α the
+        // border is the (zero-valued by definition) anchor slot itself
+        // and is skipped.
+        if offsets.iter().any(|&o| o != 0) {
+            let slot = BoxGrid::slot_of(offsets, extents)
+                // lint:allow(L2): x has a non-zero offset, so its border slot is stored
+                .expect("zero-offset cells are stored");
+            acc.add_assign(src.cell(box_row, base + slot));
+            reads += 1;
+        }
+    } else {
+        // Interior x: alternating sum over the proper corner cells of
+        // the sub-box α..=x. Subset S of dimensions taking x's offset.
+        for mask in 1u64..((1u64 << d) - 1) {
+            for (i, (ei, &off)) in e.iter_mut().zip(offsets.iter()).enumerate() {
+                *ei = if mask & (1 << i) != 0 { off } else { 0 };
+            }
+            let slot = BoxGrid::slot_of(e, extents)
+                // lint:allow(L2): mask < 2^d−1 keeps at least one zero offset, so the slot is stored
+                .expect("corner cells have a zero offset");
+            let term = src.cell(box_row, base + slot);
+            // lint:allow(L4): u32 → usize is lossless on every supported target
+            let s = mask.count_ones() as usize;
+            if (d - 1 - s).is_multiple_of(2) {
+                acc.add_assign(term);
+            } else {
+                acc.sub_assign(term);
+            }
+            reads += 1;
+        }
+    }
+    (acc, reads)
+}
 
 /// Compact storage for every overlay box's anchor and border values.
 ///
@@ -103,6 +218,14 @@ impl<T: GroupValue> Overlay<T> {
     #[inline]
     pub(crate) fn parts_mut(&mut self) -> (&[usize], &mut [T]) {
         (&self.box_offsets, &mut self.cells)
+    }
+
+    /// Consumes the overlay into its offset table and flat cell buffer.
+    /// The versioned engine uses this to decompose an overlay into its
+    /// copy-on-write box-row slabs.
+    #[inline]
+    pub(crate) fn into_parts(self) -> (Vec<usize>, Vec<T>) {
+        (self.box_offsets, self.cells)
     }
 
     /// The number of stored cells of one box.

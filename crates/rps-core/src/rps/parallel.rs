@@ -41,6 +41,18 @@ pub(crate) fn default_threads() -> usize {
         .min(8)
 }
 
+/// Caps a requested shard count at the host's available parallelism.
+///
+/// Query shards are pure CPU with nothing to overlap, so spawning more
+/// workers than cores only adds scheduling overhead — the cause of the
+/// `query_many_parallel_t2` < `_t1` inversion BENCH_THROUGHPUT.json
+/// recorded on a 1-CPU host before the clamp.
+pub(crate) fn effective_threads(requested: usize) -> usize {
+    requested
+        .min(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+        .max(1)
+}
+
 /// Runs one dimension's (box-local or global) sweep over a contiguous
 /// chunk of the row-major buffer. `global_offset` is the chunk's first
 /// linear index in the full array; `k = usize::MAX` gives the global
@@ -94,7 +106,7 @@ fn sweep_chunk<T: GroupValue>(
 
 /// Splits the buffer into per-thread slabs of whole dim-0 rows, each a
 /// multiple of `align` rows (except possibly the last).
-fn slab_sizes(rows: usize, row_len: usize, align: usize, threads: usize) -> Vec<usize> {
+pub(crate) fn slab_sizes(rows: usize, row_len: usize, align: usize, threads: usize) -> Vec<usize> {
     let align = align.max(1);
     let target_rows = rows.div_ceil(threads).div_ceil(align) * align;
     let mut sizes = Vec::new();
@@ -414,7 +426,7 @@ impl<T: GroupValue + Send + Sync> crate::rps::RpsEngine<T> {
 
     /// Answers a batch of range queries by sharding it across up to
     /// `threads` scoped worker threads (the same `std::thread` idiom as
-    /// [`Self::apply_updates_parallel`]).
+    /// `Self::apply_updates_parallel`).
     ///
     /// Each shard owns a disjoint slice of the output, its own
     /// [`Scratch`] (so the zero-allocation invariant holds per worker
@@ -428,14 +440,23 @@ impl<T: GroupValue + Send + Sync> crate::rps::RpsEngine<T> {
     ///
     /// `threads ≤ 1` and batches too small to amortize the fan-out fall
     /// back to the serial path (which also dedups corners across the
-    /// whole batch rather than per shard).
+    /// whole batch rather than per shard). The requested thread count is
+    /// first clamped to [`std::thread::available_parallelism`]
+    /// (`effective_threads`), so oversubscribed shard spawns degrade to
+    /// the serial path instead of regressing below it.
     pub fn query_many_parallel(
         &self,
         regions: &[Region],
         threads: usize,
     ) -> Result<Vec<T>, NdError> {
         use std::collections::HashMap;
-        let threads = threads.max(1);
+        // Unit-test and loom builds skip the host clamp so the shard
+        // path stays exercised on 1-CPU hosts.
+        let threads = if cfg!(any(test, loom)) {
+            threads.max(1)
+        } else {
+            effective_threads(threads)
+        };
         if threads == 1 || regions.len() < 2 * threads {
             return self.query_many(regions);
         }
@@ -448,6 +469,7 @@ impl<T: GroupValue + Send + Sync> crate::rps::RpsEngine<T> {
             .checked_shl(u32::try_from(d).unwrap_or(u32::MAX))
             .unwrap_or(usize::MAX);
         let shard_sizes = slab_sizes(regions.len(), 1, 1, threads);
+        let shape = self.rp_array().shape();
         let mut out = vec![T::zero(); regions.len()];
         let mut total_reads = 0u64;
         let mut total_lookups = 0u64;
@@ -465,15 +487,17 @@ impl<T: GroupValue + Send + Sync> crate::rps::RpsEngine<T> {
                     let mut scratch = Scratch::new();
                     let (corner_buf, ks) = scratch.split();
                     let cap = my_regs.len().saturating_mul(corners_per_region);
-                    let mut cache: HashMap<Vec<usize>, T> = HashMap::with_capacity(cap);
+                    // Linear-index keys, like the serial path: corners are
+                    // always in-bounds, so the key is collision-free and
+                    // allocation-free.
+                    let mut cache: HashMap<usize, T> = HashMap::with_capacity(cap);
                     let mut reads = 0u64;
                     let mut lookups = 0u64;
                     for (slot, r) in my_out.iter_mut().zip(my_regs) {
                         *slot = range_sum_from_prefix_with(r, corner_buf, |corner| {
                             lookups += 1;
                             cache
-                                // lint:allow(L5): the cache key must own its corner; amortized by dedup across the shard
-                                .entry(corner.to_vec())
+                                .entry(shape.linear_unchecked(corner))
                                 .or_insert_with(|| {
                                     let (v, rd) = self.prefix_kernel(corner, ks);
                                     reads += rd;
@@ -706,6 +730,17 @@ mod tests {
             e.query_many_parallel(&regions, 8).unwrap(),
             e.query_many(&regions).unwrap()
         );
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_host() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(effective_threads(0), 1);
+        assert_eq!(effective_threads(1), 1);
+        // Requests beyond the host cap come back as exactly the cap.
+        assert_eq!(effective_threads(cores), cores);
+        assert_eq!(effective_threads(cores + 7), cores);
+        assert_eq!(effective_threads(usize::MAX), cores);
     }
 
     #[test]

@@ -4,17 +4,18 @@
 //! `RUSTFLAGS="--cfg loom"` they re-export the loom model-checker's
 //! instrumented twins instead, so [`crate::SharedEngine`]'s lock and
 //! counter traffic runs through loom's scheduler in the
-//! `tests/loom_shared_engine.rs` interleaving tests without any change
-//! to the production code. Everything `concurrent.rs` touches funnels
-//! through this one module — add new primitives here, not via direct
+//! `tests/loom_shared_engine.rs` / `tests/loom_versioned_engine.rs`
+//! interleaving tests without any change to the production code.
+//! Everything `concurrent.rs` and `versioned.rs` touch funnels through
+//! this one module — add new primitives here, not via direct
 //! `std::sync` imports.
 
 #[cfg(loom)]
 pub use loom::sync::atomic::{AtomicU64, Ordering};
 #[cfg(loom)]
-pub use loom::sync::{Arc, RwLock};
+pub use loom::sync::{Arc, Mutex, RwLock};
 
 #[cfg(not(loom))]
 pub use std::sync::atomic::{AtomicU64, Ordering};
 #[cfg(not(loom))]
-pub use std::sync::{Arc, RwLock};
+pub use std::sync::{Arc, Mutex, RwLock};

@@ -1,0 +1,128 @@
+//! Loom interleaving tests for the versioned engine's publication and
+//! reclamation protocol (`rps_core::versioned`).
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (see `scripts/loom.sh`),
+//! where `rps_core::sync_compat` swaps `std::sync` for loom's
+//! instrumented primitives. The protocol under test is the safe-Rust
+//! arc-swap: writer fills a ring slot then bumps `current` (SeqCst),
+//! readers announce an epoch then revalidate `current` before cloning
+//! out of the slot, and the writer's reclaim scan must never clear a
+//! slot a validated pin still needs.
+//!
+//! Models are deliberately tiny — a handful of operations on 2–3
+//! threads — because loom's state space is exponential in the number
+//! of synchronization events.
+
+#![cfg(loom)]
+
+use ndcube::Region;
+use rps_core::{RpsEngine, VersionedEngine};
+
+/// A pin racing one publish must observe a complete version: either the
+/// pre-update snapshot or the post-update one, never a mix, and the
+/// snapshot's `update_count` must agree with the value it reports.
+#[test]
+fn pin_races_publish_atomically() {
+    loom::model(|| {
+        let v = VersionedEngine::new(RpsEngine::<i64>::zeros(&[4, 4]).unwrap());
+        let full = Region::new(&[0, 0], &[3, 3]).unwrap();
+
+        let writer = {
+            let v = v.clone();
+            loom::thread::spawn(move || {
+                v.update(&[1, 1], 7).unwrap();
+            })
+        };
+        let mut reader = v.reader();
+        let pinned = reader.pin();
+        let total = pinned.query(&full).unwrap();
+        assert!(
+            total == 0 || total == 7,
+            "pin observed a half-published version: {total}"
+        );
+        // The snapshot is internally consistent with its own metadata.
+        assert_eq!(total, 7 * i64::try_from(pinned.update_count()).unwrap());
+        drop(pinned);
+        writer.join().unwrap();
+        assert_eq!(v.total(), 7);
+        assert_eq!(v.current_version(), 1);
+    });
+}
+
+/// Reclamation racing a pin: the writer publishes twice (the second
+/// publish's reclaim scan is the adversary) while a reader pins and
+/// queries. A validated pin must keep answering from a complete
+/// version even if its ring slot is concurrently reclaimed — the `Arc`
+/// clone is the backstop.
+#[test]
+fn reclaim_never_invalidates_a_pin() {
+    loom::model(|| {
+        let v = VersionedEngine::new(RpsEngine::<i64>::zeros(&[4, 4]).unwrap());
+        let full = Region::new(&[0, 0], &[3, 3]).unwrap();
+
+        let writer = {
+            let v = v.clone();
+            loom::thread::spawn(move || {
+                v.update(&[0, 0], 1).unwrap();
+                v.update(&[3, 3], 1).unwrap();
+            })
+        };
+        let mut reader = v.reader();
+        let pinned = reader.pin();
+        let n = pinned.update_count();
+        let total = pinned.query(&full).unwrap();
+        // Whatever prefix was pinned, the snapshot reports exactly it.
+        assert_eq!(total, i64::try_from(n).unwrap());
+        // Re-querying the same pin later (after any reclamation) still
+        // answers from the same version.
+        assert_eq!(pinned.query(&full).unwrap(), total);
+        drop(pinned);
+        writer.join().unwrap();
+        assert_eq!(v.total(), 2);
+    });
+}
+
+/// Two readers pinning around a publish observe a monotone sequence of
+/// versions: a pin taken after another pin was dropped can never see an
+/// older version than the first.
+#[test]
+fn successive_pins_are_monotone() {
+    loom::model(|| {
+        let v = VersionedEngine::new(RpsEngine::<i64>::zeros(&[4, 4]).unwrap());
+
+        let writer = {
+            let v = v.clone();
+            loom::thread::spawn(move || {
+                v.update(&[2, 2], 1).unwrap();
+            })
+        };
+        let mut reader = v.reader();
+        let first = reader.pin().number();
+        let second = reader.pin().number();
+        assert!(second >= first, "pin went backwards: {first} → {second}");
+        writer.join().unwrap();
+        assert_eq!(v.snapshot().number(), 1);
+    });
+}
+
+/// Unpinned snapshots racing publishes: `snapshot()` (pin-free path,
+/// no epoch slot) must still always return a complete version.
+#[test]
+fn unpinned_snapshot_races_publish() {
+    loom::model(|| {
+        let v = VersionedEngine::new(RpsEngine::<i64>::zeros(&[4, 4]).unwrap());
+        let full = Region::new(&[0, 0], &[3, 3]).unwrap();
+
+        let writer = {
+            let v = v.clone();
+            loom::thread::spawn(move || {
+                v.update(&[1, 2], 5).unwrap();
+            })
+        };
+        let snap = v.snapshot();
+        let total = snap.query(&full).unwrap();
+        assert!(total == 0 || total == 5, "torn snapshot: {total}");
+        writer.join().unwrap();
+        assert_eq!(v.total(), 5);
+    });
+}

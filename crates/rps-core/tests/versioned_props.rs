@@ -1,0 +1,199 @@
+//! Property tests for the versioned-snapshot engine (S3): snapshot
+//! monotonicity and batch atomicity.
+//!
+//! The versioned engine's contract is that every snapshot is
+//! bit-identical to a serial [`RpsEngine`] that applied some *prefix* of
+//! the update sequence — never a reordering, never a partial batch.
+//! These properties drive random cubes (d = 1..=3), random box sizes,
+//! and random interleavings of writer publishes with reader-pinned
+//! queries, and check every snapshot against serial replays of all
+//! possible prefixes.
+
+use ndcube::{NdCube, Region};
+use proptest::prelude::*;
+use rps_core::{RangeSumEngine, RpsEngine, VersionedEngine};
+
+type Coords = Vec<usize>;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    dims: Vec<usize>,
+    k: Vec<usize>,
+    initial: Vec<i64>,
+    /// Update batches; each is published atomically via `apply_batch`.
+    batches: Vec<Vec<(Coords, i64)>>,
+    /// Probe region, clamped in-bounds.
+    probe: (Coords, Coords),
+}
+
+fn scenario(d: usize) -> impl Strategy<Value = Scenario> {
+    proptest::collection::vec(2usize..=7, d..=d)
+        .prop_flat_map(move |dims| {
+            let n: usize = dims.iter().product();
+            let coord = dims.iter().map(|&n_i| 0..n_i).collect::<Vec<_>>();
+            let k = dims.iter().map(|&n_i| 1..=n_i).collect::<Vec<_>>();
+            (
+                Just(dims.clone()),
+                k,
+                proptest::collection::vec(-9i64..9, n..=n),
+                proptest::collection::vec(
+                    proptest::collection::vec((coord.clone(), -20i64..20), 1..4),
+                    0..5,
+                ),
+                (coord.clone(), coord),
+            )
+        })
+        .prop_map(|(dims, k, initial, batches, probe)| Scenario {
+            dims,
+            k,
+            initial,
+            batches,
+            probe,
+        })
+}
+
+impl Scenario {
+    fn probe_region(&self) -> Region {
+        let lo: Vec<usize> = self
+            .probe
+            .0
+            .iter()
+            .zip(&self.probe.1)
+            .map(|(&a, &b)| a.min(b))
+            .collect();
+        let hi: Vec<usize> = self
+            .probe
+            .0
+            .iter()
+            .zip(&self.probe.1)
+            .map(|(&a, &b)| a.max(b))
+            .collect();
+        Region::new(&lo, &hi).unwrap()
+    }
+
+    fn cube(&self) -> NdCube<i64> {
+        NdCube::from_vec(&self.dims, self.initial.clone()).unwrap()
+    }
+
+    /// The probe answer of a serial engine that applied the first
+    /// `prefix` whole batches.
+    fn serial_answer_after(&self, prefix: usize, region: &Region) -> i64 {
+        let mut serial = RpsEngine::from_cube_with_box_size(&self.cube(), &self.k).unwrap();
+        for batch in &self.batches[..prefix] {
+            for (c, delta) in batch {
+                serial.update(c, *delta).unwrap();
+            }
+        }
+        serial.query(region).unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Snapshot monotonicity: with a reader pinning between every
+    // publish, each pinned snapshot answers exactly as a serial engine
+    // that applied some prefix of the batch sequence — and the prefix
+    // lengths observed by successive pins never decrease. One instance
+    // per dimension count so shrinking stays within one shape family.
+
+    /// d = 1.
+    #[test]
+    fn monotone_prefixes_d1(s in scenario(1)) {
+        check_monotone_prefixes(&s);
+    }
+
+    /// d = 2.
+    #[test]
+    fn monotone_prefixes_d2(s in scenario(2)) {
+        check_monotone_prefixes(&s);
+    }
+
+    /// d = 3.
+    #[test]
+    fn monotone_prefixes_d3(s in scenario(3)) {
+        check_monotone_prefixes(&s);
+    }
+
+    /// Negative test (batch atomicity): a reader pinned *before* a
+    /// multi-update batch publishes never sees any proper subset of it
+    /// — the pinned answer matches a whole-batch prefix exactly.
+    #[test]
+    fn pinned_reader_never_sees_partial_batches(s in scenario(2)) {
+        prop_assume!(!s.batches.is_empty());
+        let region = s.probe_region();
+        let v = VersionedEngine::new(
+            RpsEngine::from_cube_with_box_size(&s.cube(), &s.k).unwrap(),
+        );
+        let mut reader = v.reader();
+
+        // Pin before anything publishes, hold across every publish.
+        let pinned = reader.pin();
+        let before = pinned.query(&region).unwrap();
+        for batch in &s.batches {
+            v.apply_batch(batch).unwrap();
+        }
+        // The held pin still answers from prefix 0 — not from any
+        // partially-applied state of the batches published meanwhile.
+        prop_assert_eq!(pinned.query(&region).unwrap(), before);
+        prop_assert_eq!(before, s.serial_answer_after(0, &region));
+        drop(pinned);
+
+        // Every fresh pin lands exactly on a whole-batch boundary: its
+        // update_count equals the length of some batch prefix, and its
+        // answer matches the serial replay of exactly that prefix.
+        let pinned = reader.pin();
+        let total_updates: usize = s.batches.iter().map(Vec::len).sum();
+        prop_assert_eq!(pinned.update_count(), total_updates as u64);
+        prop_assert_eq!(
+            pinned.query(&region).unwrap(),
+            s.serial_answer_after(s.batches.len(), &region)
+        );
+    }
+}
+
+/// Shared body: publish batches one at a time, pinning between each
+/// publish; every pinned answer must equal the serial replay of the
+/// exact whole-batch prefix the snapshot's metadata claims, and the
+/// claimed prefixes must be monotone.
+fn check_monotone_prefixes(s: &Scenario) {
+    let region = s.probe_region();
+    let v = VersionedEngine::new(RpsEngine::from_cube_with_box_size(&s.cube(), &s.k).unwrap());
+    let mut reader = v.reader();
+
+    // Cumulative batch sizes → map a snapshot's update_count back to
+    // the batch prefix it claims to be.
+    let mut boundaries = vec![0usize];
+    for b in &s.batches {
+        boundaries.push(boundaries.last().unwrap() + b.len());
+    }
+
+    let mut last_count = 0u64;
+    for (i, batch) in s.batches.iter().enumerate() {
+        {
+            let pinned = reader.pin();
+            let count = pinned.update_count();
+            // Monotone: a later pin never observes an older prefix.
+            assert!(count >= last_count, "prefix went backwards");
+            last_count = count;
+            // The claimed prefix is a whole-batch boundary…
+            let prefix = boundaries
+                .iter()
+                .position(|&b| b as u64 == count)
+                .expect("snapshot landed inside a batch");
+            // …and the answer matches the serial replay of exactly it.
+            assert_eq!(
+                pinned.query(&region).unwrap(),
+                s.serial_answer_after(prefix, &region),
+                "snapshot diverged from serial prefix {prefix}"
+            );
+        }
+        v.apply_batch(batch).unwrap();
+        let _ = i;
+    }
+    // Final state: full sequence.
+    assert_eq!(
+        v.query(&region).unwrap(),
+        s.serial_answer_after(s.batches.len(), &region)
+    );
+}

@@ -224,6 +224,9 @@ pub const L1_ALLOWED_MODULES: &[&str] = &[
     "crates/rps-core/src/rps/overlay.rs",
     "crates/rps-core/src/rps/parallel.rs",
     "crates/rps-core/src/rps/update.rs",
+    // The versioned engine's slab views reproduce the overlay/RP cell
+    // addressing against chunked storage; same audited index arithmetic.
+    "crates/rps-core/src/versioned.rs",
 ];
 
 /// The five library crates whose `src/` trees L2 and L6 scan. Tests,

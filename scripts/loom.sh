@@ -2,8 +2,9 @@
 # Runs the loom interleaving tests for rps-core's concurrent paths.
 #
 # Under `--cfg loom`, rps_core::sync_compat swaps std::sync for loom's
-# instrumented primitives and crates/rps-core/tests/loom_shared_engine.rs
-# compiles in. With the in-tree compat shim (offline default) each model
+# instrumented primitives and the loom test targets
+# (crates/rps-core/tests/loom_shared_engine.rs and
+# crates/rps-core/tests/loom_versioned_engine.rs) compile in. With the in-tree compat shim (offline default) each model
 # body is stress-scheduled LOOM_SHIM_ITERS times (default 200); with
 # upstream loom (point [workspace.dependencies].loom at crates.io) the
 # same tests become exhaustive model checks.
@@ -13,4 +14,5 @@ cd "$(dirname "$0")/.."
 export RUSTFLAGS="--cfg loom ${RUSTFLAGS:-}"
 # Loom models are release-speed sensitive: the shim reruns each body
 # hundreds of times and upstream loom explores thousands of schedules.
-exec cargo test --release -p rps-core --test loom_shared_engine "$@"
+cargo test --release -p rps-core --test loom_shared_engine "$@"
+exec cargo test --release -p rps-core --test loom_versioned_engine "$@"

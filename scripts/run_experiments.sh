@@ -19,6 +19,7 @@ BINS=(
   exp_parallel_build
   exp_query_many
   exp_parallel_query
+  exp_mixed_readwrite
 )
 
 cargo build --release -p rps-bench --bins

@@ -3,7 +3,9 @@
 # parallel RP/P build sweeps (scoped threads over split_at_mut slabs —
 # including the non-aligned slab geometries the property tests
 # generate), the sharded query_many_parallel front-end, SharedEngine's
-# readers–writer paths, and the buffered engine's flush. Needs a nightly
+# readers–writer paths, the buffered engine's flush, and the
+# versioned engine's publish/pin/reclaim protocol (module tests plus
+# the snapshot-monotonicity property suite). Needs a nightly
 # toolchain with rust-src (TSan requires rebuilding std with
 # instrumentation):
 #
@@ -20,5 +22,10 @@ export PROPTEST_CASES="${PROPTEST_CASES:-16}"
 
 TARGET="$(rustc +nightly -vV | sed -n 's/^host: //p')"
 
+# Unit tests of the concurrent modules (including versioned::'s
+# publish/pin/reclaim protocol), then the integration suites that
+# exercise them at full size.
+cargo +nightly test -Z build-std --target "$TARGET" -p rps-core \
+    concurrent:: parallel:: buffered:: versioned:: query_many_parallel "$@"
 exec cargo +nightly test -Z build-std --target "$TARGET" -p rps-core \
-    concurrent:: parallel:: buffered:: query_many_parallel "$@"
+    --test versioned_props "$@"
