@@ -1,15 +1,22 @@
 //! Minimal dependency-free argument parsing for `rps-cube`.
 //!
-//! Grammar: `rps-cube <command> [--flag value]…`. Values use compact
-//! notations: dims `64x64x8`, cells `3,4`, ranges `0,0:63,63`.
+//! Grammar: `rps-cube <command> [<sub-action>] [--flag value]…`. Values
+//! use compact notations: dims `64x64x8`, cells `3,4`, ranges
+//! `0,0:63,63`. Only some commands take a sub-action (e.g.
+//! `snapshot take`); `run` rejects a stray one everywhere else.
 
 use std::collections::HashMap;
 
-/// A parsed command line: the subcommand plus `--flag value` pairs.
+/// A parsed command line: the subcommand, an optional sub-action
+/// (second positional argument, e.g. `snapshot take`), plus
+/// `--flag value` pairs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
+    /// The sub-action (second positional argument), for commands that
+    /// take one: `snapshot take|list|verify`.
+    pub sub: Option<String>,
     flags: HashMap<String, String>,
 }
 
@@ -52,11 +59,15 @@ impl std::error::Error for ArgError {}
 impl Args {
     /// Parses `argv[1..]`.
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
-        let mut it = argv.into_iter();
+        let mut it = argv.into_iter().peekable();
         let command = it.next().ok_or(ArgError::NoCommand)?;
         if command.starts_with("--") {
             return Err(ArgError::UnexpectedToken(command));
         }
+        let sub = match it.peek() {
+            Some(tok) if !tok.starts_with("--") => it.next(),
+            _ => None,
+        };
         let mut flags = HashMap::new();
         while let Some(tok) = it.next() {
             let Some(name) = tok.strip_prefix("--") else {
@@ -67,7 +78,11 @@ impl Args {
                 .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
             flags.insert(name.to_string(), value);
         }
-        Ok(Args { command, flags })
+        Ok(Args {
+            command,
+            sub,
+            flags,
+        })
     }
 
     /// A required string flag.
@@ -164,9 +179,18 @@ mod tests {
     fn parses_command_and_flags() {
         let a = Args::parse(argv(&["generate", "--dims", "8x8", "--seed", "7"])).unwrap();
         assert_eq!(a.command, "generate");
+        assert_eq!(a.sub, None);
         assert_eq!(a.required("dims").unwrap(), "8x8");
         assert_eq!(a.u64_or("seed", 0).unwrap(), 7);
         assert_eq!(a.u64_or("absent", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn parses_sub_action() {
+        let a = Args::parse(argv(&["snapshot", "take", "--dir", "d"])).unwrap();
+        assert_eq!(a.command, "snapshot");
+        assert_eq!(a.sub.as_deref(), Some("take"));
+        assert_eq!(a.required("dir").unwrap(), "d");
     }
 
     #[test]
@@ -176,9 +200,10 @@ mod tests {
             Args::parse(argv(&["q", "--x"])),
             Err(ArgError::MissingValue("x".into()))
         );
+        // A second positional parses as a sub-action; a third is an error.
         assert_eq!(
-            Args::parse(argv(&["q", "oops"])),
-            Err(ArgError::UnexpectedToken("oops".into()))
+            Args::parse(argv(&["q", "sub", "extra"])),
+            Err(ArgError::UnexpectedToken("extra".into()))
         );
         let a = Args::parse(argv(&["q"])).unwrap();
         assert!(matches!(a.required("file"), Err(ArgError::MissingFlag(_))));

@@ -49,24 +49,34 @@ pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
         rps_obs::set_timing(true);
         touch_registries();
     }
-    let result = match args.command.as_str() {
-        "help" => help(out),
-        "generate" => generate(args, out),
-        "ingest" => ingest(args, out),
-        "build" => build(args, out),
-        "info" => info(args, out),
-        "query" => query(args, out),
-        "update" => update(args, out),
-        "bench" => bench(args, out),
-        "rollup" => rollup(args, out),
-        "verify" => verify(args, out),
-        "recover" => recover(args, out),
-        "record" => record(args, out),
-        "replay" => replay(args, out),
-        "stats" => stats(args, out),
-        other => {
-            help(out)?;
-            Err(format!("unknown command `{other}`").into())
+    let result = if args.command != "snapshot" && args.sub.is_some() {
+        Err(format!(
+            "`{}` takes no sub-action (got `{}`)",
+            args.command,
+            args.sub.as_deref().unwrap_or_default()
+        )
+        .into())
+    } else {
+        match args.command.as_str() {
+            "help" => help(out),
+            "generate" => generate(args, out),
+            "ingest" => ingest(args, out),
+            "build" => build(args, out),
+            "info" => info(args, out),
+            "query" => query(args, out),
+            "update" => update(args, out),
+            "bench" => bench(args, out),
+            "rollup" => rollup(args, out),
+            "verify" => verify(args, out),
+            "recover" => recover(args, out),
+            "snapshot" => snapshot_cmd(args, out),
+            "record" => record(args, out),
+            "replay" => replay(args, out),
+            "stats" => stats(args, out),
+            other => {
+                help(out)?;
+                Err(format!("unknown command `{other}`").into())
+            }
         }
     };
     if let Some(path) = args.optional("metrics-file") {
@@ -118,6 +128,17 @@ pub fn help(out: &mut dyn Write) -> CmdResult {
          \x20 recover  --snapshot FILE --wal FILE [--out FILE]\n\
          \x20     crash recovery: trim the WAL's torn tail, replay records\n\
          \x20     newer than the snapshot's `.lsn` sidecar, save atomically\n\
+         \x20 recover  --dir DIR --wal FILE --dims 64x64 [--out FILE]\n\
+         \x20     checkpoint-directory recovery: load the newest valid binary\n\
+         \x20     snapshot (corrupt ones are quarantined aside), replay the\n\
+         \x20     WAL tail past its LSN, degrade to full replay if needed\n\
+         \x20 snapshot take   --dir DIR --wal FILE --dims 64x64\n\
+         \x20     recover, then cut a checkpointed binary snapshot (RPSSNAP1,\n\
+         \x20     see docs/FORMATS.md) into DIR\n\
+         \x20 snapshot list   --dir DIR\n\
+         \x20     list the snapshot chain (LSN, geometry, size)\n\
+         \x20 snapshot verify --dir DIR\n\
+         \x20     CRC-check every artifact; exits nonzero if any is corrupt\n\
          \x20 record   [--dims 128x128] [--ops N] [--seed N] [--ratio PCT] --out FILE\n\
          \x20     record a mixed workload as a replayable trace file\n\
          \x20 replay   --trace FILE [--method naive|chunked|prefix|rps|fenwick]\n\
@@ -459,7 +480,124 @@ fn read_lsn_sidecar(snap_path: &str) -> Result<u64, Box<dyn std::error::Error>> 
     }
 }
 
+/// Opens a durable engine from a checkpoint directory + WAL: the newest
+/// valid binary snapshot is the base, records with higher LSNs replay
+/// on top, corrupt artifacts are quarantined on the way down, and a
+/// fresh `--dims` engine is the full-replay floor.
+#[allow(clippy::type_complexity)]
+fn recover_from_dir(
+    dir: &str,
+    wal: &str,
+    dims: &[usize],
+) -> Result<
+    (
+        rps_storage::DurableEngine<RpsEngine<i64>, rps_storage::FsLogFile>,
+        rps_storage::RecoveryReport,
+    ),
+    Box<dyn std::error::Error>,
+> {
+    let dims = dims.to_vec();
+    let fresh = move || Ok::<_, rps_storage::StorageError>(RpsEngine::<i64>::zeros(&dims)?);
+    Ok(rps_storage::DurableEngine::recover(
+        std::path::Path::new(dir),
+        std::path::Path::new(wal),
+        fresh,
+    )?)
+}
+
+/// `snapshot take|list|verify` — operate on a checkpoint directory of
+/// binary `RPSSNAP1` artifacts (see docs/FORMATS.md).
+fn snapshot_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
+    use rps_storage::SnapshotStore;
+    let action = args
+        .sub
+        .as_deref()
+        .ok_or("snapshot needs a sub-action: take | list | verify")?;
+    let dir = args.required("dir")?;
+    let mut store = rps_storage::FsSnapshotDir::open(std::path::Path::new(dir))?;
+    match action {
+        "take" => {
+            let wal = args.required("wal")?;
+            let dims = parse_dims(args.required("dims")?)?;
+            let (mut d, report) = recover_from_dir(dir, wal, &dims)?;
+            writeln!(out, "{report}")?;
+            let lsn = d.checkpoint_to(&mut store)?;
+            writeln!(
+                out,
+                "checkpointed snapshot at LSN {lsn} → {}",
+                store.slot_path(lsn).display()
+            )?;
+        }
+        "list" => {
+            let lsns = store.list()?;
+            if lsns.is_empty() {
+                writeln!(out, "{dir}: no snapshots")?;
+            }
+            for lsn in lsns {
+                let bytes = store.read(lsn)?;
+                match rps_storage::peek_header(&bytes) {
+                    Ok(h) => writeln!(
+                        out,
+                        "LSN {lsn:>6}  dims {:?}  box {:?}  {} bytes",
+                        h.dims,
+                        h.box_size,
+                        bytes.len()
+                    )?,
+                    Err(check) => writeln!(out, "LSN {lsn:>6}  CORRUPT: {check}")?,
+                }
+            }
+        }
+        "verify" => {
+            let lsns = store.list()?;
+            let mut bad = 0usize;
+            for &lsn in &lsns {
+                let bytes = store.read(lsn)?;
+                match rps_storage::decode_snapshot(&bytes) {
+                    Ok((h, cells)) => writeln!(
+                        out,
+                        "LSN {lsn:>6}  OK — {} cells, dims {:?}, payload CRC verified",
+                        cells.len(),
+                        h.dims
+                    )?,
+                    Err(check) => {
+                        bad += 1;
+                        writeln!(out, "LSN {lsn:>6}  CORRUPT: {check}")?;
+                    }
+                }
+            }
+            writeln!(out, "{} snapshot(s), {bad} corrupt", lsns.len())?;
+            if bad > 0 {
+                return Err(format!(
+                    "{bad} corrupt snapshot(s) — recovery will quarantine and fall back"
+                )
+                .into());
+            }
+        }
+        other => {
+            return Err(
+                format!("unknown snapshot sub-action `{other}` (take | list | verify)").into(),
+            )
+        }
+    }
+    Ok(())
+}
+
 fn recover(args: &Args, out: &mut dyn Write) -> CmdResult {
+    // Checkpoint-directory mode: prefer the newest valid binary
+    // snapshot, replay the WAL tail, optionally save the state as an
+    // engine snapshot. The legacy `--snapshot FILE` sidecar path below
+    // stays as the compatibility route.
+    if let Some(dir) = args.optional("dir") {
+        let wal = args.required("wal")?;
+        let dims = parse_dims(args.required("dims")?)?;
+        let (d, report) = recover_from_dir(dir, wal, &dims)?;
+        writeln!(out, "{report}")?;
+        if let Some(out_path) = args.optional("out") {
+            save_atomic(out_path, |w| snapshot::save_rps(d.engine(), w))?;
+            writeln!(out, "saved recovered engine → {out_path}")?;
+        }
+        return Ok(());
+    }
     let snap_path = args.required("snapshot")?;
     let wal_path = args.required("wal")?;
     let out_path = args.optional("out").unwrap_or(snap_path);
@@ -1143,6 +1281,94 @@ mod tests {
         assert!(out.contains("1 replayed"), "{out}");
         assert_eq!(std::fs::metadata(&wal).unwrap().len(), intact as u64);
         assert_eq!(query_sum(&engine, "0,0:7,7"), before + 5);
+    }
+
+    #[test]
+    fn snapshot_take_list_verify_and_dir_recover() {
+        let dir = tmp("snapcli");
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = format!("{dir}/cube.wal");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Three WAL'd updates, then cut a checkpoint.
+        let mut w = rps_storage::Wal::open(std::path::Path::new(&wal)).unwrap();
+        w.append(&[1, 2], 10).unwrap();
+        w.append(&[3, 3], -4).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let (out, ok) = run_capture(&[
+            "snapshot", "take", "--dir", &dir, "--wal", &wal, "--dims", "8x8",
+        ]);
+        assert!(ok, "{out}");
+        assert!(out.contains("full WAL replay"), "{out}");
+        assert!(out.contains("checkpointed snapshot at LSN 2"), "{out}");
+
+        let (out, ok) = run_capture(&["snapshot", "list", "--dir", &dir]);
+        assert!(ok, "{out}");
+        assert!(out.contains("LSN      2"), "{out}");
+        assert!(out.contains("dims [8, 8]"), "{out}");
+
+        let (out, ok) = run_capture(&["snapshot", "verify", "--dir", &dir]);
+        assert!(ok, "{out}");
+        assert!(out.contains("1 snapshot(s), 0 corrupt"), "{out}");
+
+        // More updates land only in the WAL; recovery prefers the
+        // snapshot and replays just the tail.
+        let mut w = rps_storage::Wal::open(std::path::Path::new(&wal)).unwrap();
+        w.append(&[1, 2], 5).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let engine = format!("{dir}/recovered.rps");
+        let (out, ok) = run_capture(&[
+            "recover", "--dir", &dir, "--wal", &wal, "--dims", "8x8", "--out", &engine,
+        ]);
+        assert!(ok, "{out}");
+        assert!(out.contains("recovered from snapshot at LSN 2"), "{out}");
+        assert!(out.contains("1 records replayed"), "{out}");
+        assert_eq!(query_sum(&engine, "0,0:7,7"), 10 - 4 + 5);
+
+        // Rot the artifact: `snapshot verify` turns red, and recovery
+        // provably falls back to full WAL replay with no data loss.
+        let store = rps_storage::FsSnapshotDir::open(std::path::Path::new(&dir)).unwrap();
+        let snap_path = store.slot_path(2);
+        let mut bytes = std::fs::read(&snap_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&snap_path, &bytes).unwrap();
+        let args = Args::parse(
+            ["snapshot", "verify", "--dir", dir.as_str()]
+                .iter()
+                .map(std::string::ToString::to_string),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        let err = run(&args, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+
+        let (out, ok) = run_capture(&[
+            "recover", "--dir", &dir, "--wal", &wal, "--dims", "8x8", "--out", &engine,
+        ]);
+        assert!(ok, "{out}");
+        assert!(out.contains("full WAL replay"), "{out}");
+        assert!(out.contains("quarantined"), "{out}");
+        assert_eq!(query_sum(&engine, "0,0:7,7"), 11);
+    }
+
+    #[test]
+    fn stray_sub_action_is_rejected() {
+        let args = Args::parse(
+            ["bench", "hard"]
+                .iter()
+                .map(std::string::ToString::to_string),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        let err = run(&args, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("no sub-action"), "{err}");
+
+        let args = Args::parse(["snapshot"].iter().map(std::string::ToString::to_string)).unwrap();
+        let err = run(&args, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("take | list | verify"), "{err}");
     }
 
     #[test]

@@ -2,21 +2,35 @@
 //!
 //! Protocol (classic ARIES-lite at the granularity of whole snapshots):
 //!
-//! 1. [`DurableEngine::open`] loads the last checkpoint (the caller
-//!    supplies the base engine *and the LSN that snapshot includes*) and
-//!    replays only WAL records **newer than that LSN**;
+//! 1. [`DurableEngine::recover`] enumerates the snapshot chain
+//!    newest-first, verifies each artifact's header and CRCs, loads the
+//!    newest valid one and replays only WAL records **newer than the
+//!    LSN in its header** — quarantining anything corrupt and degrading
+//!    gracefully down to full WAL replay;
 //! 2. every [`update`](DurableEngine::update) appends to the WAL *before*
 //!    touching the structure (optionally fsyncing per append);
-//! 3. [`checkpoint`](DurableEngine::checkpoint) hands the caller's
-//!    persistence action the engine **and the LSN the snapshot will
-//!    include**; on success the WAL is truncated as a replay-time
-//!    optimization.
+//! 3. [`checkpoint_to`](DurableEngine::checkpoint_to) captures the
+//!    engine at the current LSN into an `RPSSNAP1` artifact (the LSN
+//!    lives *in the header* — no out-of-band sidecar needed) and GC's
+//!    snapshots past the [`SnapshotPolicy`] retention;
+//!    [`maybe_checkpoint`](DurableEngine::maybe_checkpoint) applies the
+//!    policy's bytes/records hybrid trigger.
 //!
 //! Because recovery filters by LSN, a crash *anywhere* — including
-//! between a successful persist and the WAL truncation — replays exactly
-//! the updates the snapshot does not contain: no loss, no double-apply.
-//! The caller must store the checkpoint LSN durably alongside the
-//! snapshot (a sidecar file, a filename suffix, …).
+//! mid-snapshot-write — replays exactly the updates the loaded snapshot
+//! does not contain: no loss, no double-apply.
+//!
+//! **Compatibility path**: [`DurableEngine::open`] /
+//! [`DurableEngine::open_log`] predate the snapshot format. There the
+//! caller supplies the base engine *and the LSN its state includes*,
+//! stored durably out-of-band (a sidecar file, a filename suffix, …) —
+//! a footgun the snapshot header removes, kept for callers with their
+//! own persistence format; [`checkpoint`](DurableEngine::checkpoint) is
+//! its caller-managed persist hook, and the only path that truncates
+//! the WAL. `checkpoint_to` deliberately does **not** truncate: the
+//! intact log is what lets a later recovery fall past a corrupt
+//! snapshot all the way to full replay, so corruption can only make
+//! recovery slower, never lossy.
 //!
 //! Failure semantics (see `docs/DURABILITY.md`): a failed append is
 //! rolled back, so an update that returns an error was **not** applied
@@ -31,6 +45,10 @@ use ndcube::Region;
 use rps_core::{CostStats, RangeSumEngine};
 
 use crate::error::{CheckpointError, RetryPolicy, StorageError};
+use crate::snapshot::{
+    decode_snapshot, encode_snapshot, FsSnapshotDir, RecoveryReport, RecoverySource,
+    SnapshotCheckFailed, SnapshotPolicy, SnapshotState, SnapshotStore,
+};
 use crate::wal::{FsLogFile, LogFile, Wal};
 
 /// An engine whose updates are write-ahead logged.
@@ -70,19 +88,44 @@ pub struct DurableEngine<E, L: LogFile = FsLogFile> {
     wal: Wal<L>,
     sync_every_append: bool,
     retry: RetryPolicy,
+    policy: SnapshotPolicy,
+    /// WAL length at the last checkpoint — the byte half of the
+    /// policy's hybrid trigger measures growth past this mark.
+    wal_len_at_checkpoint: u64,
+    /// Updates logged since the last checkpoint (the record half).
+    records_since_checkpoint: u64,
 }
 
 impl<E: RangeSumEngine<i64>> DurableEngine<E, FsLogFile> {
-    /// Wraps `engine` — the state of the checkpoint taken at
-    /// `snapshot_lsn` (0 for a fresh structure with no checkpoint) — and
-    /// replays WAL records with LSN > `snapshot_lsn` onto it. Repairs a
-    /// torn tail left by a crash.
+    /// **Compatibility path** — wraps `engine`, the state of a
+    /// checkpoint whose LSN the caller stored out-of-band (0 for a
+    /// fresh structure), and replays WAL records with LSN >
+    /// `snapshot_lsn` onto it. Repairs a torn tail left by a crash.
+    ///
+    /// New code should prefer [`DurableEngine::recover`]: `RPSSNAP1`
+    /// snapshots carry their LSN in the header, so recovery needs no
+    /// out-of-band LSN and survives a corrupt snapshot chain.
     pub fn open(
         engine: E,
         wal_path: &Path,
         snapshot_lsn: u64,
     ) -> Result<DurableEngine<E, FsLogFile>, StorageError> {
         Self::open_log(engine, FsLogFile::open(wal_path)?, snapshot_lsn)
+    }
+}
+
+impl<E: RangeSumEngine<i64> + SnapshotState> DurableEngine<E, FsLogFile> {
+    /// Recovers from the snapshot directory at `dir` plus the WAL at
+    /// `wal_path`: newest valid snapshot wins, corrupt ones are
+    /// quarantined, and with no usable snapshot the whole WAL is
+    /// replayed onto `fresh()`. See [`DurableEngine::recover_with`].
+    pub fn recover(
+        dir: &Path,
+        wal_path: &Path,
+        fresh: impl FnOnce() -> Result<E, StorageError>,
+    ) -> Result<(DurableEngine<E, FsLogFile>, RecoveryReport), StorageError> {
+        let mut store = FsSnapshotDir::open(dir)?;
+        Self::recover_with(&mut store, FsLogFile::open(wal_path)?, fresh)
     }
 }
 
@@ -104,12 +147,28 @@ impl<E: RangeSumEngine<i64>, L: LogFile> DurableEngine<E, L> {
         // restart below snapshot_lsn and recovery would later discard new
         // records; pin the floor to the snapshot's LSN.
         wal.ensure_lsn_after(snapshot_lsn);
+        let wal_len = wal.len();
         Ok(DurableEngine {
             engine,
             wal,
             sync_every_append: false,
             retry: RetryPolicy::default(),
+            policy: SnapshotPolicy::default(),
+            wal_len_at_checkpoint: wal_len,
+            records_since_checkpoint: 0,
         })
+    }
+
+    /// Replaces the automatic-checkpoint policy consulted by
+    /// [`Self::maybe_checkpoint`] (default: explicit trigger only,
+    /// retain 2).
+    pub fn set_snapshot_policy(&mut self, policy: SnapshotPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active automatic-checkpoint policy.
+    pub fn snapshot_policy(&self) -> SnapshotPolicy {
+        self.policy
     }
 
     /// Per-append `fdatasync` for strict durability (survives power
@@ -163,7 +222,9 @@ impl<E: RangeSumEngine<i64>, L: LogFile> DurableEngine<E, L> {
         }
         self.engine
             .update(coords, delta)
-            .map_err(StorageError::Engine)
+            .map_err(StorageError::Engine)?;
+        self.records_since_checkpoint += 1;
+        Ok(())
     }
 
     /// Range query (read-only; never logged).
@@ -174,10 +235,15 @@ impl<E: RangeSumEngine<i64>, L: LogFile> DurableEngine<E, L> {
         self.engine.query(region).map_err(StorageError::Engine)
     }
 
-    /// Checkpoints: `persist` receives the engine and the LSN this
-    /// snapshot includes, and must durably save **both**. On success the
-    /// WAL is truncated (replay-time optimization only — recovery is
+    /// **Compatibility path** — caller-managed checkpoint: `persist`
+    /// receives the engine and the LSN this snapshot includes, and must
+    /// durably save **both** (the LSN out-of-band). On success the WAL
+    /// is truncated (replay-time optimization only — recovery is
     /// already correct without it, thanks to the LSN filter).
+    ///
+    /// Truncation makes this incompatible with a retained snapshot
+    /// chain: records older checkpoints would need for fallback are
+    /// gone. Use [`Self::checkpoint_to`] for chain-aware checkpoints.
     pub fn checkpoint<Err>(
         &mut self,
         persist: impl FnOnce(&E, u64) -> Result<(), Err>,
@@ -191,12 +257,25 @@ impl<E: RangeSumEngine<i64>, L: LogFile> DurableEngine<E, L> {
         persist(&self.engine, lsn).map_err(CheckpointError::Persist)?;
         self.wal.checkpoint().map_err(CheckpointError::Storage)?;
         crate::obs::storage().checkpoints.inc();
+        self.wal_len_at_checkpoint = 0;
+        self.records_since_checkpoint = 0;
         Ok(lsn)
     }
 
     /// LSN of the most recent logged update (0 when none ever).
     pub fn last_lsn(&self) -> u64 {
         self.wal.last_lsn()
+    }
+
+    /// WAL bytes accumulated since the last checkpoint — the byte half
+    /// of the [`SnapshotPolicy`] hybrid trigger.
+    pub fn wal_bytes_since_checkpoint(&self) -> u64 {
+        self.wal.len().saturating_sub(self.wal_len_at_checkpoint)
+    }
+
+    /// Updates logged since the last checkpoint (the record half).
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.records_since_checkpoint
     }
 
     /// Unflushed updates currently protected only by the WAL.
@@ -212,6 +291,166 @@ impl<E: RangeSumEngine<i64>, L: LogFile> DurableEngine<E, L> {
     /// Engine cost counters.
     pub fn stats(&self) -> CostStats {
         self.engine.stats()
+    }
+}
+
+impl<E: RangeSumEngine<i64> + SnapshotState, L: LogFile> DurableEngine<E, L> {
+    /// Checkpoints the engine into `store` as an `RPSSNAP1` artifact at
+    /// the current LSN, then GC's snapshots beyond the policy's
+    /// retention. Returns the checkpoint LSN.
+    ///
+    /// The WAL is synced first (so the snapshot never gets *ahead* of
+    /// the durable log) but — unlike the legacy [`Self::checkpoint`] —
+    /// **never truncated**: bounded recovery time comes from starting
+    /// replay at the snapshot's LSN, and the intact log is exactly what
+    /// lets [`Self::recover_with`] fall past a corrupt snapshot all the
+    /// way to full replay with no data loss.
+    ///
+    /// A failed snapshot write leaves recovery no worse than before the
+    /// call: the WAL still holds everything, and any partial artifact
+    /// fails its CRC at load and is quarantined.
+    pub fn checkpoint_to<S: SnapshotStore>(&mut self, store: &mut S) -> Result<u64, StorageError> {
+        {
+            let retry = self.retry;
+            let wal = &mut self.wal;
+            retry.run(|| wal.sync())?;
+        }
+        let lsn = self.wal.last_lsn();
+        let (dims, box_size, cells) = self.engine.capture();
+        let bytes = encode_snapshot(lsn, &dims, &box_size, &cells)?;
+        let m = crate::obs::storage();
+        let sw = rps_obs::Stopwatch::start();
+        {
+            let retry = self.retry;
+            retry.run(|| store.write(lsn, &bytes))?;
+        }
+        sw.record(&m.snapshot_save_ns);
+        m.snapshot_saves.inc();
+        m.snapshot_last_lsn.set(lsn);
+        m.checkpoints.inc();
+        let retain = self.policy.retain.max(1);
+        let lsns = store.list()?;
+        if lsns.len() > retain {
+            for &old in &lsns[..lsns.len() - retain] {
+                // Retention GC is best-effort: a leftover artifact
+                // costs disk, not correctness, and the next checkpoint
+                // retries it.
+                let _gc_best_effort = store.remove(old);
+            }
+        }
+        self.wal_len_at_checkpoint = self.wal.len();
+        self.records_since_checkpoint = 0;
+        Ok(lsn)
+    }
+
+    /// Runs [`Self::checkpoint_to`] iff the [`SnapshotPolicy`] hybrid
+    /// trigger (bytes-since-checkpoint OR records-since-checkpoint)
+    /// fires; returns the checkpoint LSN when one was cut. Call after a
+    /// batch of updates to drive automatic checkpointing.
+    pub fn maybe_checkpoint<S: SnapshotStore>(
+        &mut self,
+        store: &mut S,
+    ) -> Result<Option<u64>, StorageError> {
+        if self.policy.should_checkpoint(
+            self.wal_bytes_since_checkpoint(),
+            self.records_since_checkpoint,
+        ) {
+            self.checkpoint_to(store).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Recovers from a snapshot chain plus the WAL, degrading
+    /// gracefully:
+    ///
+    /// 1. enumerate `store`'s snapshots **newest-first**;
+    /// 2. verify header + checksums, load the first valid one and
+    ///    replay WAL records with LSN > its header LSN;
+    /// 3. quarantine anything corrupt, torn or unreadable (typed in the
+    ///    [`RecoveryReport`]) and try the next-older snapshot;
+    /// 4. with no usable snapshot, replay the **whole** WAL onto
+    ///    `fresh()` — corruption can make recovery slower, never lossy.
+    ///
+    /// `fresh` builds the empty engine full replay starts from (its
+    /// geometry is the caller's, since no snapshot survived to provide
+    /// one); it is not called when a snapshot loads.
+    pub fn recover_with<S: SnapshotStore>(
+        store: &mut S,
+        log: L,
+        fresh: impl FnOnce() -> Result<E, StorageError>,
+    ) -> Result<(DurableEngine<E, L>, RecoveryReport), StorageError> {
+        let (mut wal, records) = Wal::from_log(log)?;
+        let m = crate::obs::storage();
+        let mut quarantined: Vec<(u64, SnapshotCheckFailed)> = Vec::new();
+        let mut quarantine_failures = 0u64;
+        let mut base: Option<(E, u64)> = None;
+        let lsns = store.list()?;
+        for &slot in lsns.iter().rev() {
+            let sw = rps_obs::Stopwatch::start();
+            let failed = match store.read(slot) {
+                Err(_) => SnapshotCheckFailed::Unreadable,
+                Ok(bytes) => match decode_snapshot(&bytes) {
+                    Err(check) => check,
+                    Ok((header, cells)) => {
+                        match E::restore(&header.dims, &header.box_size, cells) {
+                            // The bytes verified but the engine rejects
+                            // the geometry — same policy as a corrupt
+                            // header: quarantine, fall back.
+                            Err(_) => SnapshotCheckFailed::Geometry,
+                            Ok(engine) => {
+                                sw.record(&m.snapshot_load_ns);
+                                m.snapshot_loads.inc();
+                                base = Some((engine, header.lsn));
+                                break;
+                            }
+                        }
+                    }
+                },
+            };
+            m.snapshot_fallbacks.inc();
+            quarantined.push((slot, failed));
+            if store.quarantine(slot).is_err() {
+                quarantine_failures += 1;
+            }
+        }
+        let (mut engine, snap_lsn, source) = match base {
+            Some((engine, lsn)) => (engine, lsn, RecoverySource::Snapshot(lsn)),
+            None => (fresh()?, 0, RecoverySource::FullReplay),
+        };
+        let mut replayed = 0u64;
+        // Bytes of the replay-skipped prefix: records the snapshot
+        // already contains still sit in the (untruncated) log, but they
+        // must not count toward the next policy trigger.
+        let mut prefix_bytes = 0u64;
+        for rec in &records {
+            if rec.lsn > snap_lsn {
+                engine
+                    .update(&rec.coords, rec.delta)
+                    .map_err(StorageError::Engine)?;
+                replayed += 1;
+            } else {
+                prefix_bytes += (8 + 4 + rec.coords.len() * 4 + 8 + 8) as u64;
+            }
+        }
+        wal.ensure_lsn_after(snap_lsn);
+        Ok((
+            DurableEngine {
+                engine,
+                wal,
+                sync_every_append: false,
+                retry: RetryPolicy::default(),
+                policy: SnapshotPolicy::default(),
+                wal_len_at_checkpoint: prefix_bytes,
+                records_since_checkpoint: 0,
+            },
+            RecoveryReport {
+                source,
+                quarantined,
+                replayed,
+                quarantine_failures,
+            },
+        ))
     }
 }
 
@@ -411,5 +650,147 @@ mod tests {
         d.set_sync_every_append(true);
         d.update(&[1, 1], 3).unwrap();
         assert_eq!(d.query(&full_small()).unwrap(), 3);
+    }
+
+    // --- RPSSNAP1 snapshot-chain checkpoints ---------------------------
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("rps-durable-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fresh_8x8() -> Result<RpsEngine<i64>, StorageError> {
+        RpsEngine::<i64>::zeros(&[8, 8]).map_err(StorageError::Engine)
+    }
+
+    #[test]
+    fn checkpoint_to_and_recover_round_trip() {
+        let dir = tmp_dir("snapchain");
+        let wal = dir.join("ops.wal");
+        let snaps = dir.join("snaps");
+        {
+            let mut d = DurableEngine::open(fresh_8x8().unwrap(), &wal, 0).unwrap();
+            let mut store = FsSnapshotDir::open(&snaps).unwrap();
+            d.update(&[1, 1], 10).unwrap();
+            d.update(&[2, 2], 20).unwrap();
+            let lsn = d.checkpoint_to(&mut store).unwrap();
+            assert_eq!(lsn, 2);
+            assert!(d.wal_bytes() > 0, "checkpoint_to must not truncate the WAL");
+            d.update(&[3, 3], 12).unwrap(); // post-checkpoint tail
+        }
+        let (d, report) = DurableEngine::recover(&snaps, &wal, fresh_8x8).unwrap();
+        assert_eq!(report.source, RecoverySource::Snapshot(2));
+        assert_eq!(report.replayed, 1, "only the post-checkpoint record");
+        assert!(report.quarantined.is_empty());
+        assert_eq!(d.query(&full()).unwrap(), 42);
+        assert_eq!(d.last_lsn(), 3, "LSN counter continues past recovery");
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_older_then_full_replay() {
+        let dir = tmp_dir("snapfallback");
+        let wal = dir.join("ops.wal");
+        let snaps = dir.join("snaps");
+        {
+            let mut d = DurableEngine::open(fresh_8x8().unwrap(), &wal, 0).unwrap();
+            let mut store = FsSnapshotDir::open(&snaps).unwrap();
+            d.update(&[0, 0], 1).unwrap();
+            d.checkpoint_to(&mut store).unwrap(); // lsn 1
+            d.update(&[0, 1], 2).unwrap();
+            d.checkpoint_to(&mut store).unwrap(); // lsn 2
+            d.update(&[0, 2], 4).unwrap();
+        }
+        // Flip one payload byte in the newest snapshot.
+        let store = FsSnapshotDir::open(&snaps).unwrap();
+        let newest = store.slot_path(2);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let len = bytes.len();
+        bytes[len - 20] ^= 0x01;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let (d, report) = DurableEngine::recover(&snaps, &wal, fresh_8x8).unwrap();
+        assert_eq!(report.source, RecoverySource::Snapshot(1));
+        assert_eq!(
+            report.quarantined,
+            vec![(2, crate::SnapshotCheckFailed::PayloadCrc)]
+        );
+        assert_eq!(report.replayed, 2);
+        assert_eq!(
+            d.query(&full()).unwrap(),
+            7,
+            "no data loss through fallback"
+        );
+        // The bad artifact left the chain.
+        assert_eq!(
+            FsSnapshotDir::open(&snaps).unwrap().list().unwrap(),
+            vec![1]
+        );
+
+        // Corrupt the remaining snapshot too → full replay, still lossless.
+        let store = FsSnapshotDir::open(&snaps).unwrap();
+        let mut bytes = std::fs::read(store.slot_path(1)).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(store.slot_path(1), &bytes).unwrap();
+        let (d, report) = DurableEngine::recover(&snaps, &wal, fresh_8x8).unwrap();
+        assert_eq!(report.source, RecoverySource::FullReplay);
+        assert_eq!(report.fallbacks(), 1);
+        assert_eq!(report.replayed, 3);
+        assert_eq!(d.query(&full()).unwrap(), 7);
+        assert!(
+            store.list().unwrap().is_empty(),
+            "all artifacts quarantined"
+        );
+    }
+
+    #[test]
+    fn recover_with_empty_chain_is_full_replay() {
+        let dir = tmp_dir("snapnone");
+        let wal = dir.join("ops.wal");
+        {
+            let mut d = DurableEngine::open(fresh_8x8().unwrap(), &wal, 0).unwrap();
+            d.update(&[4, 4], 9).unwrap();
+        }
+        let (d, report) = DurableEngine::recover(&dir.join("snaps"), &wal, fresh_8x8).unwrap();
+        assert_eq!(report.source, RecoverySource::FullReplay);
+        assert_eq!(report.fallbacks(), 0, "an empty chain is not corruption");
+        assert_eq!(d.query(&full()).unwrap(), 9);
+    }
+
+    #[test]
+    fn maybe_checkpoint_hybrid_trigger_and_retention_gc() {
+        let dir = tmp_dir("snappolicy");
+        let wal = dir.join("ops.wal");
+        let mut store = FsSnapshotDir::open(&dir.join("snaps")).unwrap();
+        let mut d = DurableEngine::open(fresh_8x8().unwrap(), &wal, 0).unwrap();
+        d.set_snapshot_policy(SnapshotPolicy {
+            max_wal_bytes: None,
+            max_records: Some(3),
+            retain: 2,
+        });
+        let mut cut = Vec::new();
+        for i in 0..12u64 {
+            d.update(&[(i % 8) as usize, 0], 1).unwrap();
+            if let Some(lsn) = d.maybe_checkpoint(&mut store).unwrap() {
+                cut.push(lsn);
+            }
+        }
+        assert_eq!(cut, vec![3, 6, 9, 12], "every 3rd record cuts a checkpoint");
+        assert_eq!(
+            store.list().unwrap(),
+            vec![9, 12],
+            "retention keeps the newest two"
+        );
+        assert_eq!(d.records_since_checkpoint(), 0);
+        // Recovery from the retained chain reproduces the state.
+        let (r, report) = DurableEngine::recover_with(
+            &mut FsSnapshotDir::open(&dir.join("snaps")).unwrap(),
+            crate::FsLogFile::open(&wal).unwrap(),
+            fresh_8x8,
+        )
+        .unwrap();
+        assert_eq!(report.source, RecoverySource::Snapshot(12));
+        assert_eq!(r.query(&full()).unwrap(), 12);
     }
 }

@@ -38,8 +38,13 @@ pub enum StorageError {
         op: &'static str,
     },
     /// Data failed validation: a page checksum mismatch, a WAL record
-    /// that decodes but contradicts its frame, a snapshot with a bad
-    /// footer. Never retryable — the bytes themselves are wrong.
+    /// that decodes but contradicts its frame, a snapshot failing one
+    /// of its typed checks (see
+    /// [`SnapshotCheckFailed`](crate::SnapshotCheckFailed), whose
+    /// [`into_error`](crate::SnapshotCheckFailed::into_error) names the
+    /// failed check in `detail`). Never retryable — the bytes
+    /// themselves are wrong; recovery quarantines the artifact and
+    /// falls back instead.
     Corrupted {
         /// What was found corrupt.
         detail: String,

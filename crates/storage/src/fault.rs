@@ -1,6 +1,6 @@
 //! Deterministic fault injection for the durable storage stack.
 //!
-//! Two wrappers, one RNG:
+//! Three wrappers, one RNG:
 //!
 //! * [`FaultyStore`] sits between the buffer pool and any
 //!   [`PageStore`], injecting transient `EIO`s, read-side bit flips,
@@ -12,17 +12,25 @@
 //!   `sync` promotes cache to media — unless the plan says the fsync
 //!   fails, or worse, *lies*. [`SimLogHandle::crash_states`] enumerates
 //!   every byte-granular state the media could be in after a crash.
+//! * [`SimSnapshotStore`] is a [`SnapshotStore`] double reusing the
+//!   same plan fields for snapshot I/O: torn snapshot writes, lost
+//!   (acknowledged-then-dropped) writes, transient errors and read-side
+//!   bit rot. [`SimSnapshotStore::plant`] installs arbitrary bytes in a
+//!   slot so the torture harness can enumerate every byte-granular
+//!   crash state of a snapshot write.
 //!
 //! Everything is driven by [`SimRng`] (SplitMix64) seeded from the
 //! torture harness, and by a [`FaultPlan`] of integer per-mille
 //! probabilities — both chosen so a failing seed replays exactly.
 
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use crate::device::{DeviceStats, PageId};
 use crate::error::StorageError;
 use crate::file_device::{PageStore, PodCell};
+use crate::snapshot::SnapshotStore;
 use crate::wal::LogFile;
 
 /// SplitMix64: tiny, seedable, high-quality enough for fault schedules,
@@ -501,6 +509,169 @@ impl LogFile for SimLogFile {
     }
 }
 
+/// A fault-injecting in-memory [`SnapshotStore`]: the snapshot-side
+/// sibling of [`SimLogFile`], driven by the same [`FaultPlan`] fields
+/// that govern page writes (`write_transient`, `torn_write`,
+/// `lost_write`, `read_transient`, `read_bit_flip`).
+///
+/// Unlike [`FsSnapshotDir`](crate::FsSnapshotDir) there is no atomic
+/// rename here — a torn write leaves a *visible* partial artifact,
+/// exactly the state the harness wants recovery to quarantine.
+#[derive(Debug, Clone)]
+pub struct SimSnapshotStore {
+    slots: BTreeMap<u64, Vec<u8>>,
+    quarantined: BTreeMap<u64, Vec<u8>>,
+    plan: FaultPlan,
+    rng: SimRng,
+    torn_writes: u64,
+    lost_writes: u64,
+    transients: u64,
+    bit_flips: u64,
+}
+
+impl SimSnapshotStore {
+    /// An empty store injecting per `plan` with randomness from `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        SimSnapshotStore {
+            slots: BTreeMap::new(),
+            quarantined: BTreeMap::new(),
+            plan,
+            rng: SimRng::new(seed),
+            torn_writes: 0,
+            lost_writes: 0,
+            transients: 0,
+            bit_flips: 0,
+        }
+    }
+
+    /// Installs `bytes` verbatim in the slot at `lsn`, bypassing
+    /// injection — how the torture harness plants a crash state (a
+    /// byte prefix of a real snapshot) or a corrupted artifact.
+    pub fn plant(&mut self, lsn: u64, bytes: Vec<u8>) {
+        self.slots.insert(lsn, bytes);
+    }
+
+    /// The live (non-quarantined) slots, ground truth with no injection.
+    pub fn slots(&self) -> &BTreeMap<u64, Vec<u8>> {
+        &self.slots
+    }
+
+    /// Slots recovery has quarantined (kept for forensics).
+    pub fn quarantined(&self) -> &BTreeMap<u64, Vec<u8>> {
+        &self.quarantined
+    }
+
+    /// A fault-free copy of the current slots — the "reopen after
+    /// crash" store, mirroring [`SimLogFile::from_bytes`].
+    #[must_use]
+    pub fn fork(&self) -> SimSnapshotStore {
+        SimSnapshotStore {
+            slots: self.slots.clone(),
+            quarantined: BTreeMap::new(),
+            plan: FaultPlan::none(),
+            rng: SimRng::new(0),
+            torn_writes: 0,
+            lost_writes: 0,
+            transients: 0,
+            bit_flips: 0,
+        }
+    }
+
+    /// Replaces the fault plan mid-run.
+    pub fn set_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+    }
+
+    /// What has been injected so far.
+    pub fn injected(&self) -> InjectedFaults {
+        InjectedFaults {
+            transients: self.transients,
+            bit_flips: self.bit_flips,
+            torn_writes: self.torn_writes,
+            lost_writes: self.lost_writes,
+        }
+    }
+
+    fn missing(lsn: u64) -> StorageError {
+        StorageError::io(
+            "read snapshot slot",
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no snapshot at LSN {lsn}"),
+            ),
+        )
+    }
+}
+
+impl SnapshotStore for SimSnapshotStore {
+    fn write(&mut self, lsn: u64, bytes: &[u8]) -> Result<(), StorageError> {
+        if self.rng.chance(self.plan.write_transient) {
+            self.transients += 1;
+            crate::obs::faults().transient.inc();
+            return Err(StorageError::Transient {
+                op: "write snapshot (injected)",
+            });
+        }
+        if self.rng.chance(self.plan.lost_write) {
+            // Acknowledged, never persisted: the slot keeps its old
+            // contents (or stays absent).
+            self.lost_writes += 1;
+            crate::obs::faults().lost_write.inc();
+            return Ok(());
+        }
+        if self.rng.chance(self.plan.torn_write) {
+            let prefix = self.rng.below(bytes.len());
+            self.slots.insert(lsn, bytes[..prefix].to_vec());
+            self.torn_writes += 1;
+            crate::obs::faults().torn_write.inc();
+            return Err(StorageError::io(
+                "write snapshot (injected torn write)",
+                std::io::Error::other("simulated power cut mid-snapshot"),
+            ));
+        }
+        self.slots.insert(lsn, bytes.to_vec());
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<u64>, StorageError> {
+        Ok(self.slots.keys().copied().collect())
+    }
+
+    fn read(&mut self, lsn: u64) -> Result<Vec<u8>, StorageError> {
+        if self.rng.chance(self.plan.read_transient) {
+            self.transients += 1;
+            crate::obs::faults().transient.inc();
+            return Err(StorageError::Transient {
+                op: "read snapshot (injected)",
+            });
+        }
+        let mut bytes = self
+            .slots
+            .get(&lsn)
+            .cloned()
+            .ok_or_else(|| Self::missing(lsn))?;
+        if !bytes.is_empty() && self.rng.chance(self.plan.read_bit_flip) {
+            let pos = self.rng.below(bytes.len());
+            let bit = self.rng.below(8);
+            bytes[pos] ^= 1 << bit;
+            self.bit_flips += 1;
+            crate::obs::faults().bit_flip.inc();
+        }
+        Ok(bytes)
+    }
+
+    fn quarantine(&mut self, lsn: u64) -> Result<(), StorageError> {
+        let bytes = self.slots.remove(&lsn).ok_or_else(|| Self::missing(lsn))?;
+        self.quarantined.insert(lsn, bytes);
+        Ok(())
+    }
+
+    fn remove(&mut self, lsn: u64) -> Result<(), StorageError> {
+        self.slots.remove(&lsn).ok_or_else(|| Self::missing(lsn))?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -673,5 +844,85 @@ mod tests {
         log.append(b"!").unwrap();
         log.sync().unwrap();
         assert_eq!(log.handle().media(), b"hello!");
+    }
+
+    #[test]
+    fn sim_snapshot_store_round_trip_and_quarantine() {
+        let mut store = SimSnapshotStore::new(FaultPlan::none(), 23);
+        store.write(5, b"alpha").unwrap();
+        store.write(9, b"beta").unwrap();
+        assert_eq!(store.list().unwrap(), vec![5, 9]);
+        assert_eq!(store.read(9).unwrap(), b"beta");
+        store.quarantine(9).unwrap();
+        assert_eq!(store.list().unwrap(), vec![5]);
+        assert!(store.read(9).is_err());
+        assert_eq!(store.quarantined().get(&9).unwrap(), b"beta");
+        store.remove(5).unwrap();
+        assert!(store.list().unwrap().is_empty());
+        assert_eq!(store.injected(), InjectedFaults::default());
+    }
+
+    #[test]
+    fn sim_snapshot_torn_write_leaves_visible_prefix() {
+        let mut store = SimSnapshotStore::new(
+            FaultPlan {
+                torn_write: 1000,
+                ..FaultPlan::none()
+            },
+            29,
+        );
+        assert!(store.write(1, b"0123456789").is_err());
+        let partial = store.slots().get(&1).unwrap();
+        assert!(partial.len() < 10, "torn write must be incomplete");
+        assert_eq!(partial[..], b"0123456789"[..partial.len()]);
+        assert_eq!(store.injected().torn_writes, 1);
+    }
+
+    #[test]
+    fn sim_snapshot_lost_write_acknowledges_without_writing() {
+        let mut store = SimSnapshotStore::new(
+            FaultPlan {
+                lost_write: 1000,
+                ..FaultPlan::none()
+            },
+            31,
+        );
+        store.write(1, b"gone").unwrap();
+        assert!(store.slots().is_empty(), "the write must have been dropped");
+        assert_eq!(store.injected().lost_writes, 1);
+    }
+
+    #[test]
+    fn sim_snapshot_read_bit_flip_changes_one_bit() {
+        let mut store = SimSnapshotStore::new(
+            FaultPlan {
+                read_bit_flip: 1000,
+                ..FaultPlan::none()
+            },
+            37,
+        );
+        store.write(1, &[0u8; 8]).unwrap();
+        let bytes = store.read(1).unwrap();
+        let ones: u32 = bytes.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one bit flipped: {bytes:?}");
+        // Ground truth untouched — flips are read-side rot.
+        assert_eq!(store.slots().get(&1).unwrap(), &vec![0u8; 8]);
+    }
+
+    #[test]
+    fn sim_snapshot_fork_is_faultless_copy() {
+        let mut store = SimSnapshotStore::new(
+            FaultPlan {
+                read_bit_flip: 1000,
+                ..FaultPlan::none()
+            },
+            41,
+        );
+        store.write(3, b"data").unwrap();
+        let mut fork = store.fork();
+        assert_eq!(fork.read(3).unwrap(), b"data", "fork injects nothing");
+        fork.plant(7, b"planted".to_vec());
+        assert_eq!(fork.list().unwrap(), vec![3, 7]);
+        assert_eq!(store.list().unwrap(), vec![3], "fork is independent");
     }
 }

@@ -45,6 +45,7 @@ mod file_device;
 mod latency;
 pub mod obs;
 mod pool;
+mod snapshot;
 mod wal;
 
 pub use checked::CheckedStore;
@@ -53,8 +54,13 @@ pub use disk_array::{DiskArray, Layout};
 pub use diskrps::{DiskRpsEngine, ScrubReport};
 pub use durable::DurableEngine;
 pub use error::{to_nd_error, CheckpointError, RetryPolicy, StorageError};
-pub use fault::{FaultPlan, FaultyStore, SimLogFile, SimLogHandle, SimRng};
+pub use fault::{FaultPlan, FaultyStore, SimLogFile, SimLogHandle, SimRng, SimSnapshotStore};
 pub use file_device::{FileDevice, PageStore, PodCell};
 pub use latency::LatencyModel;
 pub use pool::{BufferPool, IoStats};
+pub use snapshot::{
+    crc32, decode_snapshot, encode_snapshot, peek_header, FsSnapshotDir, RecoveryReport,
+    RecoverySource, SnapshotCheckFailed, SnapshotHeader, SnapshotPolicy, SnapshotState,
+    SnapshotStore, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use wal::{decode_records, FsLogFile, LogFile, Wal, WalRecord};

@@ -15,7 +15,7 @@
 
 use std::sync::OnceLock;
 
-use rps_obs::{registry, Counter, Histogram};
+use rps_obs::{registry, Counter, Gauge, Histogram};
 
 /// Process-wide storage metrics. Obtain via [`storage`].
 #[derive(Debug)]
@@ -54,6 +54,19 @@ pub struct StorageMetrics {
     pub scrub_repairs: Counter,
     /// Durable-engine checkpoints completed.
     pub checkpoints: Counter,
+    /// Snapshot checkpoints written (`checkpoint_to`/`maybe_checkpoint`).
+    pub snapshot_saves: Counter,
+    /// Snapshots verified and loaded as a recovery base.
+    pub snapshot_loads: Counter,
+    /// Recovery fallbacks past a corrupt, torn or unreadable snapshot.
+    pub snapshot_fallbacks: Counter,
+    /// Snapshot encode+write latency (ns; gated by `rps_obs::set_timing`).
+    pub snapshot_save_ns: Histogram,
+    /// Snapshot read+verify+restore latency (ns; gated by
+    /// `rps_obs::set_timing`).
+    pub snapshot_load_ns: Histogram,
+    /// LSN of the most recently written snapshot checkpoint.
+    pub snapshot_last_lsn: Gauge,
 }
 
 /// Injected-fault counters (one per `kind` label of
@@ -98,6 +111,12 @@ static STORAGE: StorageMetrics = StorageMetrics {
     scrub_pages_checked: Counter::new(),
     scrub_repairs: Counter::new(),
     checkpoints: Counter::new(),
+    snapshot_saves: Counter::new(),
+    snapshot_loads: Counter::new(),
+    snapshot_fallbacks: Counter::new(),
+    snapshot_save_ns: Histogram::new(),
+    snapshot_load_ns: Histogram::new(),
+    snapshot_last_lsn: Gauge::new(),
 };
 
 static FAULTS: FaultMetrics = FaultMetrics {
@@ -250,6 +269,54 @@ fn register_all() {
         sub,
         &[],
         &STORAGE.checkpoints,
+    );
+    reg.counter(
+        "rps_snapshot_saves_total",
+        "Snapshot checkpoints written",
+        "ops",
+        sub,
+        &[],
+        &STORAGE.snapshot_saves,
+    );
+    reg.counter(
+        "rps_snapshot_loads_total",
+        "Snapshots verified and loaded as a recovery base",
+        "ops",
+        sub,
+        &[],
+        &STORAGE.snapshot_loads,
+    );
+    reg.counter(
+        "rps_snapshot_fallbacks_total",
+        "Recovery fallbacks past a corrupt, torn or unreadable snapshot",
+        "ops",
+        sub,
+        &[],
+        &STORAGE.snapshot_fallbacks,
+    );
+    reg.histogram(
+        "rps_snapshot_save_ns",
+        "Snapshot encode+write latency",
+        "ns",
+        sub,
+        &[],
+        &STORAGE.snapshot_save_ns,
+    );
+    reg.histogram(
+        "rps_snapshot_load_ns",
+        "Snapshot read+verify+restore latency",
+        "ns",
+        sub,
+        &[],
+        &STORAGE.snapshot_load_ns,
+    );
+    reg.gauge(
+        "rps_snapshot_last_lsn",
+        "LSN of the most recently written snapshot checkpoint",
+        "lsn",
+        sub,
+        &[],
+        &STORAGE.snapshot_last_lsn,
     );
     for (labels, c) in [
         (

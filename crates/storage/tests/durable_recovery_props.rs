@@ -11,8 +11,10 @@
 
 use ndcube::NdCube;
 use proptest::prelude::*;
-use rps_core::{NaiveEngine, RangeSumEngine};
-use rps_storage::{DurableEngine, FaultPlan, SimLogFile};
+use rps_core::{NaiveEngine, RangeSumEngine, RpsEngine};
+use rps_storage::{
+    DurableEngine, FaultPlan, RecoverySource, SimLogFile, SimSnapshotStore, StorageError,
+};
 
 #[derive(Debug, Clone)]
 struct Scenario {
@@ -135,5 +137,169 @@ proptest! {
         // before, at, or after the crash point — the LSN filter must
         // keep recovery exact in all three configurations.
         assert_recovery_matches(&sc, sc.crash_at, "mid-batch crash");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot-path recovery: snapshot-then-replay ≡ full-replay ≡ serial
+// oracle, with binary checkpoints cut at arbitrary points.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct SnapScenario {
+    dims: Vec<usize>,
+    updates: Vec<(Vec<usize>, i64)>,
+    /// Cut a binary snapshot after each of these update indices.
+    checkpoints: Vec<usize>,
+    /// Mid-batch crash: only updates[..crash_at] were issued.
+    crash_at: usize,
+    /// Which byte the negative control flips in the newest snapshot.
+    flip_at: usize,
+}
+
+fn snap_scenario() -> impl Strategy<Value = SnapScenario> {
+    (1usize..=3)
+        .prop_flat_map(|d| {
+            (
+                proptest::collection::vec(2usize..=6, d),
+                proptest::collection::vec(
+                    (proptest::collection::vec(0usize..64, d), -50i64..=50),
+                    1..32,
+                ),
+                proptest::collection::vec(0usize..64, 0..4),
+                0usize..64,
+                any::<usize>(),
+            )
+        })
+        .prop_map(|(dims, raw_updates, cp_raw, crash_raw, flip_at)| {
+            let n = raw_updates.len();
+            let updates: Vec<(Vec<usize>, i64)> = raw_updates
+                .into_iter()
+                .map(|(c, delta)| (c.iter().zip(&dims).map(|(r, &m)| r % m).collect(), delta))
+                .collect();
+            let mut checkpoints: Vec<usize> = cp_raw.into_iter().map(|c| c % n).collect();
+            checkpoints.sort_unstable();
+            checkpoints.dedup();
+            SnapScenario {
+                crash_at: crash_raw % (n + 1),
+                dims,
+                updates,
+                checkpoints,
+                flip_at,
+            }
+        })
+}
+
+/// Issues `updates[..crash_at]`, cutting binary snapshots where the
+/// scenario says, and returns the store chain plus the crashed WAL.
+fn run_with_snapshots(sc: &SnapScenario) -> (SimSnapshotStore, Vec<u8>) {
+    let log = SimLogFile::new(FaultPlan::none(), 1);
+    let handle = log.handle();
+    let mut d = DurableEngine::open_log(RpsEngine::<i64>::zeros(&sc.dims).unwrap(), log, 0)
+        .expect("fresh open");
+    let mut store = SimSnapshotStore::new(FaultPlan::none(), 1);
+    for (i, (coords, delta)) in sc.updates.iter().take(sc.crash_at).enumerate() {
+        d.update(coords, *delta).expect("fault-free update");
+        if sc.checkpoints.contains(&i) {
+            d.checkpoint_to(&mut store).expect("fault-free checkpoint");
+        }
+    }
+    (store, handle.cache())
+}
+
+/// Recovers from `store` + WAL and compares cell-for-cell against the
+/// serial-replay oracle; returns the recovery report for source checks.
+fn assert_snapshot_recovery_matches(
+    sc: &SnapScenario,
+    store: &mut SimSnapshotStore,
+    wal: &[u8],
+    label: &str,
+) -> rps_storage::RecoveryReport {
+    let fresh = || Ok::<_, StorageError>(RpsEngine::<i64>::zeros(&sc.dims)?);
+    let (recovered, report) =
+        DurableEngine::recover_with(store, SimLogFile::from_bytes(wal.to_vec()), fresh)
+            .unwrap_or_else(|e| panic!("{label}: recovery must never fail: {e} ({sc:?})"));
+    let oracle = {
+        let mut e = NaiveEngine::<i64>::zeros(&sc.dims).unwrap();
+        for (coords, delta) in sc.updates.iter().take(sc.crash_at) {
+            e.update(coords, *delta).unwrap();
+        }
+        e
+    };
+    let shape = oracle.shape().clone();
+    let full = shape.full_region();
+    let mut mismatch: Option<String> = None;
+    shape.for_each_region_cell(&full, |coords, _| {
+        if mismatch.is_some() {
+            return;
+        }
+        let got = recovered.engine().cell(coords).unwrap();
+        let want = oracle.cell(coords).unwrap();
+        if got != want {
+            mismatch = Some(format!(
+                "{label}: cell {coords:?} recovered {got}, serial replay {want} ({sc:?})"
+            ));
+        }
+    });
+    if let Some(msg) = mismatch {
+        panic!("{msg}");
+    }
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn snapshot_recovery_equals_full_replay_equals_serial_replay(sc in snap_scenario()) {
+        let (store, wal) = run_with_snapshots(&sc);
+        // The newest snapshot the run actually cut (checkpoint after
+        // update i ⇒ snapshot at LSN i+1; only those before the crash).
+        let newest = sc
+            .checkpoints
+            .iter()
+            .filter(|&&i| i < sc.crash_at)
+            .max()
+            .map(|&i| (i + 1) as u64);
+
+        // 1. Snapshot-then-replay: the newest snapshot must be chosen as
+        //    the base, and the result must equal the serial oracle.
+        let mut chain = store.fork();
+        let report = assert_snapshot_recovery_matches(&sc, &mut chain, &wal, "snapshot+replay");
+        match newest {
+            Some(lsn) => prop_assert_eq!(report.source, RecoverySource::Snapshot(lsn)),
+            None => prop_assert_eq!(report.source, RecoverySource::FullReplay),
+        }
+        prop_assert_eq!(report.fallbacks(), 0);
+
+        // 2. Full replay (no snapshots at all) reaches the same state.
+        let mut empty = SimSnapshotStore::new(FaultPlan::none(), 2);
+        let report = assert_snapshot_recovery_matches(&sc, &mut empty, &wal, "full replay");
+        prop_assert_eq!(report.source, RecoverySource::FullReplay);
+        prop_assert_eq!(report.replayed, sc.crash_at as u64);
+
+        // 3. Negative control: flip ONE byte anywhere in the newest
+        //    snapshot — recovery must take the fallback path (quarantine
+        //    the rotted artifact) and still match the oracle exactly.
+        if let Some(lsn) = newest {
+            let mut rotted = store.fork();
+            let mut bytes = rotted.slots()[&lsn].clone();
+            let flip = sc.flip_at % bytes.len();
+            bytes[flip] ^= 1 << (sc.flip_at % 8);
+            rotted.plant(lsn, bytes);
+            let report =
+                assert_snapshot_recovery_matches(&sc, &mut rotted, &wal, "one-byte rot");
+            prop_assert!(
+                report.fallbacks() >= 1,
+                "a flipped byte at offset {} must force a fallback ({:?})",
+                flip,
+                report
+            );
+            prop_assert_eq!(
+                report.quarantined.first().map(|q| q.0),
+                Some(lsn),
+                "the rotted newest snapshot must be the quarantined one"
+            );
+        }
     }
 }

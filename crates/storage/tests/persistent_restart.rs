@@ -5,7 +5,10 @@
 
 use ndcube::{NdCube, Region};
 use rps_core::{BoxGrid, RangeSumEngine, RpsEngine};
-use rps_storage::{BufferPool, DeviceConfig, DiskRpsEngine, FileDevice};
+use rps_storage::{
+    BufferPool, DeviceConfig, DiskRpsEngine, DurableEngine, FileDevice, FsSnapshotDir,
+    RecoverySource, StorageError,
+};
 
 fn tmp(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("rps-persistent-tests");
@@ -137,6 +140,70 @@ fn row_major_layout_restarts_too() {
     let pool = BufferPool::new(device, 4);
     let engine = DiskRpsEngine::reopen(grid(&cube), pool, false).unwrap();
     assert_eq!(engine.cell(&[7, 7]).unwrap(), cube.get(&[7, 7]) + 9);
+}
+
+/// Checkpointed-snapshot restart on the real filesystem: a
+/// [`DurableEngine`] cuts a binary snapshot plus WAL tail in session 1,
+/// session 2 recovers preferring the newest valid snapshot, and after
+/// on-disk rot session 3 provably falls back — same state either way.
+#[test]
+fn snapshot_round_trip_survives_restart_and_rot() {
+    let dir = tmp("snapdir");
+    let _fresh_dir = std::fs::remove_dir_all(&dir); // idempotent reruns
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal_path = dir.join("cube.wal");
+    let fresh = || Ok::<_, StorageError>(RpsEngine::<i64>::zeros(&[8, 8])?);
+
+    // Session 1: fresh recovery (nothing on disk yet), updates, one
+    // checkpoint, then more updates that live only in the WAL tail.
+    let snap_lsn = {
+        let (mut d, report) = DurableEngine::recover(&dir, &wal_path, fresh).unwrap();
+        assert_eq!(report.source, RecoverySource::FullReplay);
+        assert_eq!(report.replayed, 0);
+        d.update(&[1, 2], 10).unwrap();
+        d.update(&[7, 7], -3).unwrap();
+        let mut store = FsSnapshotDir::open(&dir).unwrap();
+        let lsn = d.checkpoint_to(&mut store).unwrap();
+        assert_eq!(lsn, 2);
+        d.update(&[1, 2], 5).unwrap(); // WAL-tail only
+        lsn
+    };
+
+    // Session 2: recovery prefers the newest valid snapshot and replays
+    // exactly the tail past it.
+    {
+        let (d, report) = DurableEngine::recover(&dir, &wal_path, fresh).unwrap();
+        assert_eq!(report.source, RecoverySource::Snapshot(snap_lsn));
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.fallbacks(), 0);
+        assert_eq!(d.engine().cell(&[1, 2]).unwrap(), 15);
+        assert_eq!(d.engine().cell(&[7, 7]).unwrap(), -3);
+    }
+
+    // Rot the snapshot file on disk. Session 3 must quarantine it (the
+    // file is renamed aside), fall back to full WAL replay, and still
+    // reach the identical state.
+    let snap_path = FsSnapshotDir::open(&dir).unwrap().slot_path(snap_lsn);
+    let mut bytes = std::fs::read(&snap_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap_path, &bytes).unwrap();
+    {
+        let (d, report) = DurableEngine::recover(&dir, &wal_path, fresh).unwrap();
+        assert_eq!(report.source, RecoverySource::FullReplay);
+        assert_eq!(report.fallbacks(), 1);
+        assert_eq!(report.replayed, 3);
+        assert_eq!(d.engine().cell(&[1, 2]).unwrap(), 15);
+        assert_eq!(d.engine().cell(&[7, 7]).unwrap(), -3);
+    }
+    assert!(
+        !snap_path.exists(),
+        "the rotted snapshot must have been quarantined aside"
+    );
+    assert!(
+        snap_path.with_extension("quarantined").exists(),
+        "the quarantined artifact is kept for forensics"
+    );
 }
 
 #[test]
