@@ -1,0 +1,107 @@
+//! The `rps-cube client` subcommand: a thin wrapper over
+//! [`rps_serve::Client`] so an `rps-serve` server can be driven from
+//! scripts and smoke tests without writing Rust (docs/SERVING.md,
+//! docs/OPERATIONS.md).
+
+use std::io::Write;
+
+use rps_serve::{scrape_metrics, Client};
+
+use crate::args::{parse_cell, parse_dims, parse_range, Args};
+use crate::commands::CmdResult;
+
+/// A `(cell, delta)` batch item as [`rps_serve::Client::batch_update`]
+/// takes them.
+type BatchItems = Vec<(Vec<usize>, i64)>;
+
+/// Parses `--updates "1,2:+5;3,4:-2"` into batch items.
+fn parse_updates(spec: &str) -> Result<BatchItems, Box<dyn std::error::Error>> {
+    let mut out = Vec::new();
+    for item in spec.split(';').filter(|s| !s.trim().is_empty()) {
+        let (cell, delta) = item
+            .split_once(':')
+            .ok_or_else(|| format!("bad update `{item}` (expected CELL:DELTA)"))?;
+        out.push((parse_cell(cell.trim())?, delta.trim().parse::<i64>()?));
+    }
+    if out.is_empty() {
+        return Err("empty --updates".into());
+    }
+    Ok(out)
+}
+
+/// Dispatches `rps-cube client <action>`.
+pub fn client(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let addr = args.required("addr")?;
+    let action = args.sub.as_deref().unwrap_or("");
+    if action == "metrics" {
+        write!(out, "{}", scrape_metrics(addr)?)?;
+        return Ok(());
+    }
+    let mut client = Client::connect(addr)?;
+    match action {
+        "create" => {
+            let tenant = args.required("tenant")?;
+            let dims = parse_dims(args.required("dims")?)?;
+            client.create_tenant(tenant, &dims)?;
+            writeln!(out, "created tenant `{tenant}` {dims:?} on {addr}")?;
+        }
+        "query" => {
+            let tenant = args.required("tenant")?;
+            let (lo, hi) = parse_range(args.required("region")?)?;
+            let sum = client.query(tenant, &lo, &hi)?;
+            writeln!(out, "SUM[{lo:?}..={hi:?}] = {sum}")?;
+        }
+        "update" => {
+            let tenant = args.required("tenant")?;
+            let cell = parse_cell(args.required("cell")?)?;
+            let delta = args.i64_or("delta", 1)?;
+            client.update(tenant, &cell, delta)?;
+            writeln!(out, "updated {cell:?} by {delta:+}")?;
+        }
+        "batch" => {
+            let tenant = args.required("tenant")?;
+            let updates = parse_updates(args.required("updates")?)?;
+            let applied = client.batch_update(tenant, &updates)?;
+            writeln!(out, "applied {applied} updates atomically")?;
+        }
+        "stats" => {
+            let tenant = args.required("tenant")?;
+            let s = client.stats(tenant)?;
+            writeln!(
+                out,
+                "tenant `{tenant}`: dims {:?}, version {}, {} updates, last checkpoint lsn {}",
+                s.dims, s.version, s.update_count, s.last_checkpoint_lsn
+            )?;
+        }
+        "snapshot" => {
+            let tenant = args.required("tenant")?;
+            let lsn = client.snapshot(tenant)?;
+            writeln!(out, "checkpointed `{tenant}` at lsn {lsn}")?;
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            writeln!(out, "server at {addr} is draining")?;
+        }
+        other => {
+            return Err(format!(
+                "unknown client action `{other}` (expected create|query|update|batch|stats|\
+                 snapshot|shutdown|metrics)"
+            )
+            .into());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_spec_parses() {
+        let got = parse_updates("1,2:+5;3,4:-2").unwrap();
+        assert_eq!(got, vec![(vec![1, 2], 5), (vec![3, 4], -2)]);
+        assert!(parse_updates("").is_err());
+        assert!(parse_updates("1,2").is_err());
+    }
+}

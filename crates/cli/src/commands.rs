@@ -49,7 +49,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
         rps_obs::set_timing(true);
         touch_registries();
     }
-    let result = if args.command != "snapshot" && args.sub.is_some() {
+    let takes_sub = args.command == "snapshot" || args.command == "client";
+    let result = if !takes_sub && args.sub.is_some() {
         Err(format!(
             "`{}` takes no sub-action (got `{}`)",
             args.command,
@@ -73,6 +74,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
             "record" => record(args, out),
             "replay" => replay(args, out),
             "stats" => stats(args, out),
+            "client" => crate::client_cmd::client(args, out),
             other => {
                 help(out)?;
                 Err(format!("unknown command `{other}`").into())
@@ -146,6 +148,17 @@ pub fn help(out: &mut dyn Write) -> CmdResult {
          \x20 stats    [--from FILE] [--format table|prom] [--watch SECS] [--count N]\n\
          \x20     dump process metrics (or pretty-print an exported FILE);\n\
          \x20     --watch re-renders every SECS seconds, --count bounds it\n\
+         \x20 client ACTION --addr HOST:PORT [flags]\n\
+         \x20     drive a running rps-serve server over RPSWIRE1\n\
+         \x20     (docs/SERVING.md); actions:\n\
+         \x20       create   --tenant T --dims 64x64\n\
+         \x20       query    --tenant T --region 0,0:63,63\n\
+         \x20       update   --tenant T --cell 1,2 [--delta N]\n\
+         \x20       batch    --tenant T --updates \"1,2:+5;3,4:-2\"\n\
+         \x20       stats    --tenant T\n\
+         \x20       snapshot --tenant T     (force a durable checkpoint)\n\
+         \x20       shutdown                (graceful drain)\n\
+         \x20       metrics                 (scrape /metrics as text)\n\
          \x20 help\n\
          \n\
          every command also accepts --metrics-file FILE: after the command\n\

@@ -9,6 +9,7 @@
 //! ```
 
 mod args;
+mod client_cmd;
 mod commands;
 mod csv;
 mod spec;

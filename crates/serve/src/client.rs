@@ -1,0 +1,213 @@
+//! A minimal blocking `RPSWIRE1` client, used by the `rps-cube client`
+//! subcommand, the throughput bench and the protocol tests.
+//!
+//! One request in flight per connection; replies arrive in order. A
+//! typed server rejection surfaces as [`ClientError::Rejected`] with
+//! the server's [`RejectCode`] and message — quota pushback is an
+//! expected, matchable outcome, not an opaque failure.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{self, Frame, Opcode, RejectCode, TenantStats, WireError};
+
+/// Client-side failure: transport, framing, an unexpected reply shape,
+/// or a typed server rejection.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's bytes did not decode as a frame.
+    Wire(WireError),
+    /// A frame decoded but was not the reply this request expects.
+    UnexpectedReply(Opcode),
+    /// The server rejected the request with a typed code.
+    Rejected {
+        /// The wire rejection code.
+        code: RejectCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::UnexpectedReply(op) => write!(f, "unexpected reply opcode {op:?}"),
+            ClientError::Rejected { code, message } => {
+                write!(f, "rejected ({}): {message}", code.as_str())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to an `rps-serve` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: u32,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7171`).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    fn call(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        request.write_to(&mut self.stream)?;
+        match Frame::read_from(&mut self.stream, self.max_frame_bytes)? {
+            Ok(Some(reply)) => {
+                if reply.opcode == Opcode::Error {
+                    let (code, message) = wire::decode_error(&reply.payload)
+                        .unwrap_or((RejectCode::Internal, "undecodable error reply".to_string()));
+                    Err(ClientError::Rejected { code, message })
+                } else {
+                    Ok(reply)
+                }
+            }
+            Ok(None) => Err(ClientError::Wire(WireError::Truncated)),
+            Err(e) => Err(ClientError::Wire(e)),
+        }
+    }
+
+    /// Provisions a tenant with the given cube dimensions.
+    pub fn create_tenant(&mut self, tenant: &str, dims: &[usize]) -> Result<(), ClientError> {
+        let reply = self.call(&Frame {
+            opcode: Opcode::CreateTenant,
+            tenant: tenant.to_string(),
+            payload: wire::encode_create(dims),
+        })?;
+        expect_ack(&reply).map(|_| ())
+    }
+
+    /// Range-sum over the inclusive region `[lo, hi]`.
+    pub fn query(&mut self, tenant: &str, lo: &[usize], hi: &[usize]) -> Result<i64, ClientError> {
+        let reply = self.call(&Frame {
+            opcode: Opcode::Query,
+            tenant: tenant.to_string(),
+            payload: wire::encode_query(lo, hi),
+        })?;
+        let sums = expect_sums(&reply)?;
+        sums.first()
+            .copied()
+            .ok_or(ClientError::UnexpectedReply(reply.opcode))
+    }
+
+    /// Batched range-sums (one reply value per region, in order).
+    pub fn query_many(
+        &mut self,
+        tenant: &str,
+        regions: &[(Vec<usize>, Vec<usize>)],
+    ) -> Result<Vec<i64>, ClientError> {
+        let reply = self.call(&Frame {
+            opcode: Opcode::QueryMany,
+            tenant: tenant.to_string(),
+            payload: wire::encode_query_many(regions),
+        })?;
+        expect_sums(&reply)
+    }
+
+    /// Single point update.
+    pub fn update(
+        &mut self,
+        tenant: &str,
+        coords: &[usize],
+        delta: i64,
+    ) -> Result<(), ClientError> {
+        let reply = self.call(&Frame {
+            opcode: Opcode::Update,
+            tenant: tenant.to_string(),
+            payload: wire::encode_update(coords, delta),
+        })?;
+        expect_ack(&reply).map(|_| ())
+    }
+
+    /// Atomic batch of point updates; returns the applied count.
+    pub fn batch_update(
+        &mut self,
+        tenant: &str,
+        updates: &[(Vec<usize>, i64)],
+    ) -> Result<u64, ClientError> {
+        let reply = self.call(&Frame {
+            opcode: Opcode::BatchUpdate,
+            tenant: tenant.to_string(),
+            payload: wire::encode_batch_update(updates),
+        })?;
+        expect_ack(&reply)
+    }
+
+    /// Forces a durable checkpoint; returns its LSN.
+    pub fn snapshot(&mut self, tenant: &str) -> Result<u64, ClientError> {
+        let reply = self.call(&Frame {
+            opcode: Opcode::Snapshot,
+            tenant: tenant.to_string(),
+            payload: Vec::new(),
+        })?;
+        if reply.opcode != Opcode::SnapshotDone {
+            return Err(ClientError::UnexpectedReply(reply.opcode));
+        }
+        wire::decode_u64(&reply.payload).ok_or(ClientError::UnexpectedReply(reply.opcode))
+    }
+
+    /// Tenant statistics.
+    pub fn stats(&mut self, tenant: &str) -> Result<TenantStats, ClientError> {
+        let reply = self.call(&Frame {
+            opcode: Opcode::Stats,
+            tenant: tenant.to_string(),
+            payload: Vec::new(),
+        })?;
+        if reply.opcode != Opcode::StatsReply {
+            return Err(ClientError::UnexpectedReply(reply.opcode));
+        }
+        wire::decode_stats(&reply.payload).ok_or(ClientError::UnexpectedReply(reply.opcode))
+    }
+
+    /// Asks the server to drain and shut down.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let reply = self.call(&Frame::admin(Opcode::Shutdown, Vec::new()))?;
+        expect_ack(&reply).map(|_| ())
+    }
+}
+
+fn expect_ack(reply: &Frame) -> Result<u64, ClientError> {
+    if reply.opcode != Opcode::Ack {
+        return Err(ClientError::UnexpectedReply(reply.opcode));
+    }
+    wire::decode_u64(&reply.payload).ok_or(ClientError::UnexpectedReply(reply.opcode))
+}
+
+fn expect_sums(reply: &Frame) -> Result<Vec<i64>, ClientError> {
+    if reply.opcode != Opcode::Sums {
+        return Err(ClientError::UnexpectedReply(reply.opcode));
+    }
+    wire::decode_sums(&reply.payload).ok_or(ClientError::UnexpectedReply(reply.opcode))
+}
+
+/// Scrapes the server's `/metrics` endpoint over HTTP/1.0, returning
+/// the Prometheus text body.
+pub fn scrape_metrics(addr: impl ToSocketAddrs) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map_or(raw.as_str(), |(_, body)| body);
+    Ok(body.to_string())
+}

@@ -1,0 +1,261 @@
+//! Serve front-end metrics, registered with the process-global
+//! [`rps_obs::registry()`] and cataloged in docs/OBSERVABILITY.md (the
+//! `obs_catalog` diff test in this crate enforces the two stay in
+//! sync).
+//!
+//! Request counters and latency histograms are one family each,
+//! labeled by `op`; rejects are one family labeled by `reason`, with
+//! one label value per [`RejectCode`]. The
+//! latency histograms obey the global [`rps_obs::set_timing`] gate like
+//! every other span in the workspace.
+
+use std::sync::OnceLock;
+
+use rps_obs::{registry, Counter, Gauge, Histogram};
+
+use crate::wire::{Opcode, RejectCode};
+
+/// Connection- and tenant-level serve metrics. Obtain via [`serve`].
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// TCP connections accepted (both wire and `/metrics` scrapes).
+    pub conns: Counter,
+    /// Connections currently open.
+    pub active_conns: Gauge,
+    /// Tenants evicted to make room under the tenant cap.
+    pub tenant_evictions: Counter,
+}
+
+/// Per-opcode request metrics. Obtain via [`op`].
+#[derive(Debug)]
+pub struct OpMetrics {
+    /// Requests routed to this opcode (admitted or rejected).
+    pub requests: Counter,
+    /// End-to-end request latency (ns; gated by `rps_obs::set_timing`).
+    pub latency_ns: Histogram,
+}
+
+/// Per-reason reject counters. Obtain via [`reject`].
+#[derive(Debug)]
+pub struct RejectMetrics {
+    bad_magic: Counter,
+    bad_version: Counter,
+    bad_header_crc: Counter,
+    bad_body_crc: Counter,
+    truncated: Counter,
+    oversized: Counter,
+    unknown_opcode: Counter,
+    bad_payload: Counter,
+    unknown_tenant: Counter,
+    tenant_exists: Counter,
+    quota_in_flight: Counter,
+    quota_batch: Counter,
+    quota_bytes: Counter,
+    not_durable: Counter,
+    shutting_down: Counter,
+    internal: Counter,
+}
+
+impl RejectMetrics {
+    fn for_code(&self, code: RejectCode) -> &Counter {
+        match code {
+            RejectCode::BadMagic => &self.bad_magic,
+            RejectCode::BadVersion => &self.bad_version,
+            RejectCode::BadHeaderCrc => &self.bad_header_crc,
+            RejectCode::BadBodyCrc => &self.bad_body_crc,
+            RejectCode::Truncated => &self.truncated,
+            RejectCode::Oversized => &self.oversized,
+            RejectCode::UnknownOpcode => &self.unknown_opcode,
+            RejectCode::BadPayload => &self.bad_payload,
+            RejectCode::UnknownTenant => &self.unknown_tenant,
+            RejectCode::TenantExists => &self.tenant_exists,
+            RejectCode::QuotaInFlight => &self.quota_in_flight,
+            RejectCode::QuotaBatch => &self.quota_batch,
+            RejectCode::QuotaBytes => &self.quota_bytes,
+            RejectCode::NotDurable => &self.not_durable,
+            RejectCode::ShuttingDown => &self.shutting_down,
+            RejectCode::Internal => &self.internal,
+        }
+    }
+}
+
+static SERVE: ServeMetrics = ServeMetrics {
+    conns: Counter::new(),
+    active_conns: Gauge::new(),
+    tenant_evictions: Counter::new(),
+};
+
+static QUERY: OpMetrics = OpMetrics {
+    requests: Counter::new(),
+    latency_ns: Histogram::new(),
+};
+static QUERY_MANY: OpMetrics = OpMetrics {
+    requests: Counter::new(),
+    latency_ns: Histogram::new(),
+};
+static UPDATE: OpMetrics = OpMetrics {
+    requests: Counter::new(),
+    latency_ns: Histogram::new(),
+};
+static BATCH_UPDATE: OpMetrics = OpMetrics {
+    requests: Counter::new(),
+    latency_ns: Histogram::new(),
+};
+static SNAPSHOT: OpMetrics = OpMetrics {
+    requests: Counter::new(),
+    latency_ns: Histogram::new(),
+};
+static STATS: OpMetrics = OpMetrics {
+    requests: Counter::new(),
+    latency_ns: Histogram::new(),
+};
+static ADMIN: OpMetrics = OpMetrics {
+    requests: Counter::new(),
+    latency_ns: Histogram::new(),
+};
+
+static REJECTS: RejectMetrics = RejectMetrics {
+    bad_magic: Counter::new(),
+    bad_version: Counter::new(),
+    bad_header_crc: Counter::new(),
+    bad_body_crc: Counter::new(),
+    truncated: Counter::new(),
+    oversized: Counter::new(),
+    unknown_opcode: Counter::new(),
+    bad_payload: Counter::new(),
+    unknown_tenant: Counter::new(),
+    tenant_exists: Counter::new(),
+    quota_in_flight: Counter::new(),
+    quota_batch: Counter::new(),
+    quota_bytes: Counter::new(),
+    not_durable: Counter::new(),
+    shutting_down: Counter::new(),
+    internal: Counter::new(),
+};
+
+#[allow(clippy::too_many_lines)] // one registration call per metric, by design
+fn register_all() {
+    let reg = registry();
+    let sub = "serve";
+    reg.counter(
+        "rps_serve_conns_total",
+        "TCP connections accepted by the serve front-end",
+        "conns",
+        sub,
+        &[],
+        &SERVE.conns,
+    );
+    reg.gauge(
+        "rps_serve_active_conns",
+        "Connections currently open",
+        "conns",
+        sub,
+        &[],
+        &SERVE.active_conns,
+    );
+    reg.counter(
+        "rps_serve_tenant_evictions_total",
+        "Tenants evicted to make room under the tenant cap",
+        "tenants",
+        sub,
+        &[],
+        &SERVE.tenant_evictions,
+    );
+    for (labels, m) in [
+        (
+            &[("op", "query")] as &'static [(&'static str, &'static str)],
+            &QUERY,
+        ),
+        (&[("op", "query_many")], &QUERY_MANY),
+        (&[("op", "update")], &UPDATE),
+        (&[("op", "batch_update")], &BATCH_UPDATE),
+        (&[("op", "snapshot")], &SNAPSHOT),
+        (&[("op", "stats")], &STATS),
+        (&[("op", "admin")], &ADMIN),
+    ] {
+        reg.counter(
+            "rps_serve_requests_total",
+            "Wire requests routed, by opcode",
+            "ops",
+            sub,
+            labels,
+            &m.requests,
+        );
+        reg.histogram(
+            "rps_serve_request_ns",
+            "End-to-end request latency, by opcode",
+            "ns",
+            sub,
+            labels,
+            &m.latency_ns,
+        );
+    }
+    for (labels, c) in [
+        (
+            &[("reason", "bad_magic")] as &'static [(&'static str, &'static str)],
+            &REJECTS.bad_magic,
+        ),
+        (&[("reason", "bad_version")], &REJECTS.bad_version),
+        (&[("reason", "bad_header_crc")], &REJECTS.bad_header_crc),
+        (&[("reason", "bad_body_crc")], &REJECTS.bad_body_crc),
+        (&[("reason", "truncated")], &REJECTS.truncated),
+        (&[("reason", "oversized")], &REJECTS.oversized),
+        (&[("reason", "unknown_opcode")], &REJECTS.unknown_opcode),
+        (&[("reason", "bad_payload")], &REJECTS.bad_payload),
+        (&[("reason", "unknown_tenant")], &REJECTS.unknown_tenant),
+        (&[("reason", "tenant_exists")], &REJECTS.tenant_exists),
+        (&[("reason", "quota_in_flight")], &REJECTS.quota_in_flight),
+        (&[("reason", "quota_batch")], &REJECTS.quota_batch),
+        (&[("reason", "quota_bytes")], &REJECTS.quota_bytes),
+        (&[("reason", "not_durable")], &REJECTS.not_durable),
+        (&[("reason", "shutting_down")], &REJECTS.shutting_down),
+        (&[("reason", "internal")], &REJECTS.internal),
+    ] {
+        reg.counter(
+            "rps_serve_rejects_total",
+            "Typed request rejections, by reason",
+            "ops",
+            sub,
+            labels,
+            c,
+        );
+    }
+}
+
+#[inline]
+fn ensure_registered() {
+    static REGISTERED: OnceLock<()> = OnceLock::new();
+    REGISTERED.get_or_init(register_all);
+}
+
+/// The connection/tenant serve metrics, registering the whole family
+/// with the global registry on first use.
+#[inline]
+pub fn serve() -> &'static ServeMetrics {
+    ensure_registered();
+    &SERVE
+}
+
+/// The per-opcode metrics for `opcode` (reply opcodes and admin ops
+/// share the `admin` label).
+#[inline]
+#[must_use]
+pub fn op(opcode: Opcode) -> &'static OpMetrics {
+    ensure_registered();
+    match opcode {
+        Opcode::Query => &QUERY,
+        Opcode::QueryMany => &QUERY_MANY,
+        Opcode::Update => &UPDATE,
+        Opcode::BatchUpdate => &BATCH_UPDATE,
+        Opcode::Snapshot => &SNAPSHOT,
+        Opcode::Stats => &STATS,
+        _ => &ADMIN,
+    }
+}
+
+/// Bumps the reject counter for `code`.
+#[inline]
+pub fn reject(code: RejectCode) {
+    ensure_registered();
+    REJECTS.for_code(code).inc();
+}

@@ -1,0 +1,232 @@
+//! Per-tenant admission control: in-flight caps, batch caps and a
+//! byte-rate token bucket.
+//!
+//! Every quota decision is made *before* a request executes and maps to
+//! one typed [`RejectCode`], so a client can
+//! always tell an admission failure from an execution failure. The
+//! token bucket takes its clock as an argument (nanoseconds from any
+//! monotonic origin) — the server feeds it a process-monotonic reading,
+//! tests feed it synthetic time, and the refill arithmetic itself stays
+//! deterministic.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use crate::wire::RejectCode;
+
+/// Per-tenant admission limits. `0` means "unlimited" for every field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Concurrent requests a tenant may have executing.
+    pub max_in_flight: u32,
+    /// Largest accepted `query_many` / `batch_update` item count.
+    pub max_batch: usize,
+    /// Sustained request-byte budget per second (token bucket refill).
+    pub bytes_per_sec: u64,
+    /// Token bucket capacity: the burst a tenant may spend at once.
+    pub burst_bytes: u64,
+}
+
+impl Default for TenantQuota {
+    /// Unlimited everything — quotas are opt-in per deployment.
+    fn default() -> TenantQuota {
+        TenantQuota {
+            max_in_flight: 0,
+            max_batch: 0,
+            bytes_per_sec: 0,
+            burst_bytes: 0,
+        }
+    }
+}
+
+/// Token bucket state, separate from the lock-free in-flight counter.
+#[derive(Debug)]
+struct Bucket {
+    /// Bytes currently available.
+    tokens: u64,
+    /// Clock reading at the last refill.
+    last_ns: u64,
+}
+
+/// Runtime admission state for one tenant.
+#[derive(Debug)]
+pub struct QuotaState {
+    quota: TenantQuota,
+    in_flight: AtomicU32,
+    bucket: Mutex<Bucket>,
+}
+
+/// RAII in-flight slot: dropping it releases the slot.
+#[derive(Debug)]
+pub struct InFlightGuard<'a> {
+    counter: &'a AtomicU32,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl QuotaState {
+    /// Fresh state for `quota`, with a full token bucket.
+    #[must_use]
+    pub fn new(quota: TenantQuota) -> QuotaState {
+        QuotaState {
+            quota,
+            in_flight: AtomicU32::new(0),
+            bucket: Mutex::new(Bucket {
+                tokens: quota.burst_bytes.max(quota.bytes_per_sec),
+                last_ns: 0,
+            }),
+        }
+    }
+
+    /// The configured limits.
+    #[must_use]
+    pub fn quota(&self) -> TenantQuota {
+        self.quota
+    }
+
+    /// Requests currently holding an in-flight slot.
+    #[must_use]
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Claims an in-flight slot, or rejects with
+    /// [`RejectCode::QuotaInFlight`] when the tenant is saturated.
+    pub fn admit(&self) -> Result<InFlightGuard<'_>, RejectCode> {
+        let limit = self.quota.max_in_flight;
+        if limit == 0 {
+            self.in_flight.fetch_add(1, Ordering::AcqRel);
+            return Ok(InFlightGuard {
+                counter: &self.in_flight,
+            });
+        }
+        let claimed = self
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (cur < limit).then_some(cur + 1)
+            });
+        match claimed {
+            Ok(_) => Ok(InFlightGuard {
+                counter: &self.in_flight,
+            }),
+            Err(_) => Err(RejectCode::QuotaInFlight),
+        }
+    }
+
+    /// Checks a batch item count against the batch quota.
+    pub fn check_batch(&self, items: usize) -> Result<(), RejectCode> {
+        if self.quota.max_batch != 0 && items > self.quota.max_batch {
+            return Err(RejectCode::QuotaBatch);
+        }
+        Ok(())
+    }
+
+    /// Spends `bytes` from the token bucket at clock reading `now_ns`,
+    /// or rejects with [`RejectCode::QuotaBytes`] when the bucket is
+    /// dry. Refill is `bytes_per_sec` tokens per elapsed second, capped
+    /// at `max(burst_bytes, bytes_per_sec)`.
+    pub fn take_bytes(&self, bytes: u64, now_ns: u64) -> Result<(), RejectCode> {
+        if self.quota.bytes_per_sec == 0 {
+            return Ok(());
+        }
+        let cap = self.quota.burst_bytes.max(self.quota.bytes_per_sec);
+        let mut b = match self.bucket.lock() {
+            Ok(g) => g,
+            // A poisoned bucket only ever means another admission check
+            // panicked mid-update; the state is a pair of integers, so
+            // recover it rather than wedging the tenant.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let elapsed = now_ns.saturating_sub(b.last_ns);
+        let refill = u128::from(elapsed) * u128::from(self.quota.bytes_per_sec) / 1_000_000_000;
+        let refill = u64::try_from(refill).unwrap_or(u64::MAX);
+        b.tokens = b.tokens.saturating_add(refill).min(cap);
+        b.last_ns = now_ns;
+        if b.tokens < bytes {
+            return Err(RejectCode::QuotaBytes);
+        }
+        b.tokens -= bytes;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_quota_admits_everything() {
+        let q = QuotaState::new(TenantQuota::default());
+        let _a = q.admit().unwrap();
+        let _b = q.admit().unwrap();
+        q.check_batch(usize::MAX).unwrap();
+        q.take_bytes(u64::MAX, 0).unwrap();
+    }
+
+    #[test]
+    fn in_flight_slots_are_raii() {
+        let q = QuotaState::new(TenantQuota {
+            max_in_flight: 2,
+            ..TenantQuota::default()
+        });
+        let a = q.admit().unwrap();
+        let b = q.admit().unwrap();
+        assert_eq!(q.admit().unwrap_err(), RejectCode::QuotaInFlight);
+        drop(a);
+        let c = q.admit().unwrap();
+        assert_eq!(q.in_flight(), 2);
+        drop(b);
+        drop(c);
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn batch_quota() {
+        let q = QuotaState::new(TenantQuota {
+            max_batch: 4,
+            ..TenantQuota::default()
+        });
+        q.check_batch(4).unwrap();
+        assert_eq!(q.check_batch(5).unwrap_err(), RejectCode::QuotaBatch);
+    }
+
+    #[test]
+    fn token_bucket_refills_with_synthetic_time() {
+        let q = QuotaState::new(TenantQuota {
+            bytes_per_sec: 1000,
+            burst_bytes: 1000,
+            ..TenantQuota::default()
+        });
+        // The bucket starts full: spend it all.
+        q.take_bytes(1000, 0).unwrap();
+        assert_eq!(q.take_bytes(1, 0).unwrap_err(), RejectCode::QuotaBytes);
+        // Half a second refills half the bucket.
+        q.take_bytes(500, 500_000_000).unwrap();
+        assert_eq!(
+            q.take_bytes(1, 500_000_000).unwrap_err(),
+            RejectCode::QuotaBytes
+        );
+        // Refill caps at the burst size no matter how long the idle gap.
+        q.take_bytes(1000, 100_000_000_000).unwrap();
+        assert_eq!(
+            q.take_bytes(1, 100_000_000_000).unwrap_err(),
+            RejectCode::QuotaBytes
+        );
+    }
+
+    #[test]
+    fn clock_going_backwards_is_harmless() {
+        let q = QuotaState::new(TenantQuota {
+            bytes_per_sec: 10,
+            burst_bytes: 10,
+            ..TenantQuota::default()
+        });
+        q.take_bytes(10, 5_000_000_000).unwrap();
+        // An earlier reading must not mint tokens or underflow.
+        assert_eq!(q.take_bytes(1, 0).unwrap_err(), RejectCode::QuotaBytes);
+    }
+}

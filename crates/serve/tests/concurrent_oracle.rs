@@ -1,0 +1,299 @@
+//! Correctness of the serving path under real concurrency.
+//!
+//! * **Oracle equivalence.** Several client threads hammer distinct
+//!   tenants over one server; each thread keeps a local dense mirror
+//!   of its cube and checks every wire answer against a naive
+//!   recomputation — bit-identical to the serial oracle, mid-run and
+//!   at the end. Tenants are single-writer (the RPS write model), so
+//!   mirrors stay exact even while other tenants' traffic interleaves
+//!   on the shared worker pool.
+//! * **Atomic batches.** A reader thread polls a region invariant that
+//!   only holds if `batch_update` publishes all-or-nothing.
+//! * **Graceful drain.** A durable server checkpoints every tenant at
+//!   drain, and a reprovisioned server over the same data dir serves
+//!   the exact pre-drain state.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+use rps_serve::{Client, Server, ServerConfig};
+use rps_storage::{SimRng, SnapshotPolicy};
+
+const DIMS: [usize; 2] = [16, 16];
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rps-serve-oracle-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+/// Dense local oracle mirroring one tenant's cube.
+struct Mirror {
+    cells: Vec<i64>,
+}
+
+impl Mirror {
+    fn new() -> Mirror {
+        Mirror {
+            cells: vec![0; DIMS[0] * DIMS[1]],
+        }
+    }
+
+    fn update(&mut self, c: &[usize], delta: i64) {
+        self.cells[c[0] * DIMS[1] + c[1]] += delta;
+    }
+
+    fn sum(&self, lo: &[usize], hi: &[usize]) -> i64 {
+        let mut s = 0;
+        for x in lo[0]..=hi[0] {
+            for y in lo[1]..=hi[1] {
+                s += self.cells[x * DIMS[1] + y];
+            }
+        }
+        s
+    }
+}
+
+fn random_region(rng: &mut SimRng) -> (Vec<usize>, Vec<usize>) {
+    let mut lo = Vec::with_capacity(2);
+    let mut hi = Vec::with_capacity(2);
+    for &d in &DIMS {
+        let a = (rng.next_u64() as usize) % d;
+        let b = (rng.next_u64() as usize) % d;
+        lo.push(a.min(b));
+        hi.push(a.max(b));
+    }
+    (lo, hi)
+}
+
+/// One tenant's workload: seeded updates, batches, and cross-checked
+/// queries. Returns the final oracle total.
+fn drive_tenant(addr: SocketAddr, tenant: &str, seed: u64) -> i64 {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut rng = SimRng::new(seed);
+    let mut mirror = Mirror::new();
+
+    for step in 0..300 {
+        match rng.next_u64() % 4 {
+            0 | 1 => {
+                let c = vec![
+                    (rng.next_u64() as usize) % DIMS[0],
+                    (rng.next_u64() as usize) % DIMS[1],
+                ];
+                let delta = (rng.next_u64() % 41) as i64 - 20;
+                client.update(tenant, &c, delta).expect("update");
+                mirror.update(&c, delta);
+            }
+            2 => {
+                let n = 1 + (rng.next_u64() as usize) % 8;
+                let batch: Vec<(Vec<usize>, i64)> = (0..n)
+                    .map(|_| {
+                        let c = vec![
+                            (rng.next_u64() as usize) % DIMS[0],
+                            (rng.next_u64() as usize) % DIMS[1],
+                        ];
+                        let delta = (rng.next_u64() % 11) as i64 - 5;
+                        (c, delta)
+                    })
+                    .collect();
+                let applied = client.batch_update(tenant, &batch).expect("batch");
+                assert_eq!(applied as usize, batch.len());
+                for (c, delta) in &batch {
+                    mirror.update(c, *delta);
+                }
+            }
+            _ => {
+                let regions: Vec<(Vec<usize>, Vec<usize>)> =
+                    (0..3).map(|_| random_region(&mut rng)).collect();
+                let sums = client.query_many(tenant, &regions).expect("query_many");
+                for (i, (lo, hi)) in regions.iter().enumerate() {
+                    assert_eq!(
+                        sums[i],
+                        mirror.sum(lo, hi),
+                        "tenant {tenant} step {step}: wire sum diverged from serial oracle"
+                    );
+                }
+            }
+        }
+    }
+
+    let total = client
+        .query(tenant, &[0, 0], &[DIMS[0] - 1, DIMS[1] - 1])
+        .expect("final total");
+    assert_eq!(total, mirror.sum(&[0, 0], &[DIMS[0] - 1, DIMS[1] - 1]));
+    total
+}
+
+#[test]
+fn concurrent_tenants_match_serial_oracle() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    for t in ["alpha", "beta", "gamma", "delta"] {
+        server.create_tenant(t, &DIMS).expect("tenant");
+    }
+    let handle = server.shutdown_handle();
+    let running = std::thread::spawn(move || server.run());
+
+    let drivers: Vec<_> = ["alpha", "beta", "gamma", "delta"]
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| std::thread::spawn(move || drive_tenant(addr, t, 0xACE0 + i as u64)))
+        .collect();
+    for d in drivers {
+        d.join().expect("driver thread");
+    }
+
+    handle.shutdown();
+    let report = running.join().expect("server thread").expect("drain");
+    assert_eq!(report.workers_joined, 4);
+    assert!(
+        report.checkpoints.is_empty(),
+        "ephemeral server checkpoints nothing"
+    );
+}
+
+#[test]
+fn batches_publish_atomically_under_concurrent_reads() {
+    // Writer: batches that keep cell (0,0) + cell (1,1) == 0 as an
+    // invariant (+k to one, -k to the other). Reader: polls the sum of
+    // both cells; any nonzero observation means a torn batch.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    server.create_tenant("atomic", &DIMS).expect("tenant");
+    let handle = server.shutdown_handle();
+    let running = std::thread::spawn(move || server.run());
+
+    let writer = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("writer connect");
+        for k in 1..=200i64 {
+            let batch = vec![(vec![0, 0], k), (vec![1, 1], -k)];
+            client.batch_update("atomic", &batch).expect("batch");
+        }
+    });
+    let reader = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("reader connect");
+        for _ in 0..200 {
+            let sums = client
+                .query_many(
+                    "atomic",
+                    &[(vec![0, 0], vec![0, 0]), (vec![1, 1], vec![1, 1])],
+                )
+                .expect("reader query");
+            assert_eq!(
+                sums[0] + sums[1],
+                0,
+                "torn batch observed: {} + {} != 0",
+                sums[0],
+                sums[1]
+            );
+        }
+    });
+    writer.join().expect("writer");
+    reader.join().expect("reader");
+
+    handle.shutdown();
+    let report = running.join().expect("server thread").expect("drain");
+    assert_eq!(report.workers_joined, 3);
+}
+
+#[test]
+fn drain_checkpoints_and_state_survives_reprovisioning() {
+    let root = tmp("drain");
+    let policy = SnapshotPolicy::default(); // explicit/drain-triggered only
+    let expected: i64;
+
+    // First server: ingest, then drain.
+    {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            }
+            .durable(root.clone(), policy),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        server.create_tenant("kept", &DIMS).expect("tenant");
+        let handle = server.shutdown_handle();
+        let running = std::thread::spawn(move || server.run());
+
+        let mut client = Client::connect(addr).expect("connect");
+        let mut rng = SimRng::new(7);
+        let mut total = 0i64;
+        for _ in 0..50 {
+            let c = vec![
+                (rng.next_u64() as usize) % DIMS[0],
+                (rng.next_u64() as usize) % DIMS[1],
+            ];
+            let delta = (rng.next_u64() % 9) as i64 + 1;
+            client.update("kept", &c, delta).expect("update");
+            total += delta;
+        }
+        expected = total;
+
+        handle.shutdown();
+        let report = running.join().expect("server thread").expect("drain");
+        assert_eq!(report.workers_joined, 2);
+        assert_eq!(
+            report.checkpoints.len(),
+            1,
+            "drain must checkpoint every durable tenant: {report:?}"
+        );
+        assert_eq!(report.checkpoints[0].0, "kept");
+        assert!(
+            report.checkpoints[0].1 > 0,
+            "final checkpoint must have a real LSN"
+        );
+        assert!(report.checkpoint_failures.is_empty());
+    }
+
+    // Second server over the same data dir: recovered bit-identical.
+    {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            }
+            .durable(root.clone(), policy),
+        )
+        .expect("rebind");
+        let addr = server.local_addr();
+        server.create_tenant("kept", &DIMS).expect("reprovision");
+        let handle = server.shutdown_handle();
+        let running = std::thread::spawn(move || server.run());
+
+        let mut client = Client::connect(addr).expect("reconnect");
+        assert_eq!(
+            client
+                .query("kept", &[0, 0], &[DIMS[0] - 1, DIMS[1] - 1])
+                .expect("recovered total"),
+            expected,
+            "recovered server must serve the exact pre-drain state"
+        );
+        let stats = client.stats("kept").expect("stats");
+        assert!(stats.last_checkpoint_lsn > 0);
+
+        handle.shutdown();
+        running.join().expect("server thread").expect("drain");
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -4,9 +4,10 @@
 //! sets in both directions, so a metric cannot ship undocumented and a
 //! stale doc row fails CI.
 //!
-//! It lives in `rps-storage` because this is the highest crate that can
-//! see both registering subsystems (`rps_core::obs` and
-//! `rps_storage::obs`) without a dependency cycle.
+//! It lives in `rps-serve` because this is the highest crate that can
+//! see every registering subsystem (`rps_core::obs`, `rps_storage::obs`
+//! and `rps_serve::obs`) without a dependency cycle; it moved here from
+//! `rps-storage` when the serving layer grew its own metrics.
 
 use std::collections::BTreeSet;
 
@@ -39,6 +40,7 @@ fn registered_names() -> BTreeSet<String> {
     let _ = rps_core::obs::core();
     let _ = rps_storage::obs::storage();
     let _ = rps_storage::obs::faults();
+    let _ = rps_serve::obs::serve();
     rps_obs::registry()
         .names()
         .into_iter()

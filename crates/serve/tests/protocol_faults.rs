@@ -1,0 +1,331 @@
+//! Protocol fault suite: malformed, corrupted, truncated, oversized
+//! and over-quota traffic against a live server must produce the typed
+//! rejections docs/SERVING.md documents — and must never panic a
+//! worker. Worker panics are detected at drain time: a panicked worker
+//! fails its join and is missing from `DrainReport::workers_joined`.
+//!
+//! Corruption is injected with the same seeded-generator discipline as
+//! the storage torture tests (`SimRng`), so every run covers a
+//! reproducible spread of fault positions and kinds.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+
+use rps_serve::wire::{self, Frame};
+use rps_serve::{Client, ClientError, Opcode, RejectCode, Server, ServerConfig, TenantQuota};
+use rps_storage::{crc32, SimRng};
+
+const WORKERS: usize = 3;
+
+/// A server with one 8×8 tenant `t`; batches are capped at 4 items.
+fn start() -> (
+    SocketAddr,
+    rps_serve::ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<rps_serve::DrainReport>>,
+) {
+    let config = ServerConfig {
+        workers: WORKERS,
+        quota: TenantQuota {
+            max_batch: 4,
+            ..TenantQuota::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    server.create_tenant("t", &[8, 8]).expect("tenant");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+/// Writes raw bytes, half-closes, and decodes at most one reply frame.
+/// Write and half-close are best-effort: the server may already have
+/// rejected and closed (even reset) the connection mid-send, which is
+/// exactly the behavior under test.
+fn raw_roundtrip(addr: SocketAddr, bytes: &[u8]) -> Option<Frame> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    if stream.write_all(bytes).is_err() {
+        return None;
+    }
+    let _half_close_best_effort = stream.shutdown(Shutdown::Write);
+    match Frame::read_from(&mut stream, wire::DEFAULT_MAX_FRAME_BYTES) {
+        Ok(Ok(frame)) => frame,
+        _ => None,
+    }
+}
+
+fn reject_of(reply: Option<Frame>) -> Option<RejectCode> {
+    let reply = reply?;
+    assert_eq!(
+        reply.opcode,
+        Opcode::Error,
+        "faulty frame must get an error reply"
+    );
+    let (code, _msg) = wire::decode_error(&reply.payload)?;
+    Some(code)
+}
+
+fn valid_query() -> Vec<u8> {
+    Frame {
+        opcode: Opcode::Query,
+        tenant: "t".to_string(),
+        payload: wire::encode_query(&[0, 0], &[7, 7]),
+    }
+    .encode()
+}
+
+/// Re-seals the header CRC after a deliberate header edit, so the test
+/// reaches the check *behind* the CRC.
+fn reseal_header(bytes: &mut [u8]) {
+    let crc = crc32(&bytes[..wire::HEADER_LEN - 4]);
+    bytes[wire::HEADER_LEN - 4..wire::HEADER_LEN].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn documented_rejects_for_each_fault_class() {
+    let (addr, handle, join) = start();
+
+    // Baseline sanity: the unmodified frame round-trips.
+    let reply = raw_roundtrip(addr, &valid_query()).expect("valid frame gets a reply");
+    assert_eq!(reply.opcode, Opcode::Sums);
+
+    // Bad magic.
+    let mut bytes = valid_query();
+    bytes[0] ^= 0xFF;
+    assert_eq!(
+        reject_of(raw_roundtrip(addr, &bytes)),
+        Some(RejectCode::BadMagic)
+    );
+
+    // Header corruption behind intact magic: header CRC catches it
+    // before the corrupted length can drive anything.
+    let mut bytes = valid_query();
+    bytes[20] ^= 0xFF; // payload_len
+    assert_eq!(
+        reject_of(raw_roundtrip(addr, &bytes)),
+        Some(RejectCode::BadHeaderCrc)
+    );
+
+    // Unsupported version, CRC re-sealed so the version check is hit.
+    let mut bytes = valid_query();
+    bytes[8..12].copy_from_slice(&9u32.to_le_bytes());
+    reseal_header(&mut bytes);
+    assert_eq!(
+        reject_of(raw_roundtrip(addr, &bytes)),
+        Some(RejectCode::BadVersion)
+    );
+
+    // Unknown opcode number.
+    let mut bytes = valid_query();
+    bytes[12..16].copy_from_slice(&0x55u32.to_le_bytes());
+    reseal_header(&mut bytes);
+    assert_eq!(
+        reject_of(raw_roundtrip(addr, &bytes)),
+        Some(RejectCode::UnknownOpcode)
+    );
+
+    // Oversized: a (validly sealed) header declaring a body over the
+    // 1 MiB cap is refused before allocation.
+    let mut bytes = valid_query();
+    bytes[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+    reseal_header(&mut bytes);
+    assert_eq!(
+        reject_of(raw_roundtrip(addr, &bytes)),
+        Some(RejectCode::Oversized)
+    );
+
+    // Truncation: every strict prefix that still contains a full
+    // header is a detectable torn frame.
+    let bytes = valid_query();
+    assert_eq!(
+        reject_of(raw_roundtrip(addr, &bytes[..wire::HEADER_LEN + 3])),
+        Some(RejectCode::Truncated)
+    );
+
+    // Body corruption: flip one payload byte.
+    let mut bytes = valid_query();
+    let body_at = wire::HEADER_LEN + "t".len() + 2;
+    bytes[body_at] ^= 0x01;
+    assert_eq!(
+        reject_of(raw_roundtrip(addr, &bytes)),
+        Some(RejectCode::BadBodyCrc)
+    );
+
+    // The server survived all of it.
+    let mut client = Client::connect(addr).expect("reconnect");
+    assert_eq!(client.query("t", &[0, 0], &[7, 7]).expect("live query"), 0);
+
+    handle.shutdown();
+    let report = join.join().expect("server thread").expect("drain");
+    assert_eq!(
+        report.workers_joined, WORKERS,
+        "a worker panicked during the fault suite"
+    );
+}
+
+#[test]
+fn seeded_corruption_sweep_never_kills_workers() {
+    let (addr, handle, join) = start();
+    let template = valid_query();
+    let mut rng = SimRng::new(0xC0FFEE);
+
+    for round in 0..200 {
+        let mut bytes = template.clone();
+        match rng.next_u64() % 3 {
+            // Flip one byte anywhere in the frame.
+            0 => {
+                let at = (rng.next_u64() as usize) % bytes.len();
+                let bit = 1u8 << (rng.next_u64() % 8);
+                bytes[at] ^= bit;
+                // A flip can cancel against nothing here — the frame is
+                // always corrupt — so any error reply (or a straight
+                // close) is acceptable; replies must decode as errors.
+                if let Some(reply) = raw_roundtrip(addr, &bytes) {
+                    assert_eq!(reply.opcode, Opcode::Error, "round {round}");
+                }
+            }
+            // Truncate at a random boundary.
+            1 => {
+                let keep = (rng.next_u64() as usize) % bytes.len();
+                if let Some(reply) = raw_roundtrip(addr, &bytes[..keep]) {
+                    assert_eq!(reply.opcode, Opcode::Error, "round {round}");
+                }
+            }
+            // Garbage prefix of random length.
+            _ => {
+                let len = 1 + (rng.next_u64() as usize) % 64;
+                let garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+                if let Some(reply) = raw_roundtrip(addr, &garbage) {
+                    assert_eq!(reply.opcode, Opcode::Error, "round {round}");
+                }
+            }
+        }
+    }
+
+    // Liveness after the sweep, then a clean drain with every worker
+    // intact.
+    let mut client = Client::connect(addr).expect("reconnect");
+    client.update("t", &[1, 1], 5).expect("live update");
+    assert_eq!(client.query("t", &[0, 0], &[7, 7]).expect("live query"), 5);
+
+    handle.shutdown();
+    let report = join.join().expect("server thread").expect("drain");
+    assert_eq!(
+        report.workers_joined, WORKERS,
+        "a worker panicked during the sweep"
+    );
+}
+
+#[test]
+fn quota_and_semantic_rejects_are_typed_and_keep_the_connection() {
+    let (addr, handle, join) = start();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Over the 4-item batch cap → quota_batch, connection stays usable.
+    let oversized_batch: Vec<(Vec<usize>, i64)> = (0..5).map(|i| (vec![i, i], 1i64)).collect();
+    match client.batch_update("t", &oversized_batch) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, RejectCode::QuotaBatch),
+        other => panic!("expected quota_batch reject, got {other:?}"),
+    }
+
+    // Same connection: an in-cap batch still lands.
+    let ok_batch: Vec<(Vec<usize>, i64)> = (0..4).map(|i| (vec![i, i], 1i64)).collect();
+    assert_eq!(
+        client.batch_update("t", &ok_batch).expect("in-cap batch"),
+        4
+    );
+
+    // Unknown tenant → unknown_tenant; connection stays usable.
+    match client.query("ghost", &[0, 0], &[7, 7]) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, RejectCode::UnknownTenant),
+        other => panic!("expected unknown_tenant reject, got {other:?}"),
+    }
+
+    // Duplicate create → tenant_exists.
+    match client.create_tenant("t", &[8, 8]) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, RejectCode::TenantExists),
+        other => panic!("expected tenant_exists reject, got {other:?}"),
+    }
+
+    // Coordinates outside the cube → bad_payload (decodes fine, fails
+    // engine validation).
+    match client.query("t", &[0, 0], &[800, 800]) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, RejectCode::BadPayload),
+        other => panic!("expected bad_payload reject, got {other:?}"),
+    }
+
+    // Snapshot without --data-dir → not_durable.
+    match client.snapshot("t") {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, RejectCode::NotDurable),
+        other => panic!("expected not_durable reject, got {other:?}"),
+    }
+
+    // Everything above left the tenant consistent.
+    assert_eq!(client.query("t", &[0, 0], &[7, 7]).expect("final query"), 4);
+
+    handle.shutdown();
+    let report = join.join().expect("server thread").expect("drain");
+    assert_eq!(report.workers_joined, WORKERS);
+}
+
+#[test]
+fn byte_rate_quota_rejects_with_quota_bytes() {
+    // A bucket so small only one frame fits: the second request on the
+    // same tick must bounce with quota_bytes.
+    let config = ServerConfig {
+        workers: 2,
+        quota: TenantQuota {
+            bytes_per_sec: 1, // ~no refill within the test
+            burst_bytes: 128, // one small frame
+            ..TenantQuota::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    server.create_tenant("t", &[8, 8]).expect("tenant");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(
+        client
+            .query("t", &[0, 0], &[7, 7])
+            .expect("first is in-burst"),
+        0
+    );
+    match client.query("t", &[0, 0], &[7, 7]) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, RejectCode::QuotaBytes),
+        other => panic!("expected quota_bytes reject, got {other:?}"),
+    }
+
+    handle.shutdown();
+    let report = join.join().expect("server thread").expect("drain");
+    assert_eq!(report.workers_joined, 2);
+}
+
+#[test]
+fn draining_server_rejects_new_requests() {
+    let (addr, handle, join) = start();
+    handle.shutdown();
+
+    // Connections racing the drain see one of: a typed shutting_down
+    // reject, a refused connect, or an immediate close — never a hang
+    // or a bogus success.
+    for _ in 0..5 {
+        let Ok(mut client) = Client::connect(addr) else {
+            continue;
+        };
+        match client.query("t", &[0, 0], &[7, 7]) {
+            Err(ClientError::Rejected { code, .. }) => {
+                assert_eq!(code, RejectCode::ShuttingDown);
+            }
+            Err(ClientError::Io(_) | ClientError::Wire(_)) => {}
+            other => panic!("draining server answered a query: {other:?}"),
+        }
+    }
+
+    let report = join.join().expect("server thread").expect("drain");
+    assert_eq!(report.workers_joined, WORKERS);
+}

@@ -1,0 +1,226 @@
+//! docs/SERVING.md is the wire specification of record. This golden
+//! test diffs it against the implementation in both directions:
+//!
+//! * the frame-header byte-offset table must equal
+//!   [`rps_serve::wire::HEADER_LAYOUT`] exactly;
+//! * every encoded frame must place its fields at the documented
+//!   offsets (checked against real encoder output, CRCs included);
+//! * the opcode and rejection catalogs must list exactly the codes the
+//!   decoder accepts, with the documented names and connection-close
+//!   behavior.
+//!
+//! Editing the wire format without editing the spec — or vice versa —
+//! fails here, the same way `obs_catalog` pins the metric docs.
+
+use rps_serve::wire::{self, Frame, HEADER_LAYOUT, HEADER_LEN, TRAILER_LEN};
+use rps_serve::{Opcode, RejectCode};
+
+fn spec() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/SERVING.md");
+    std::fs::read_to_string(path).expect("read docs/SERVING.md")
+}
+
+/// Splits a markdown table row into trimmed cells, or `None` if the
+/// line is not a row.
+fn row_cells(line: &str) -> Option<Vec<String>> {
+    let line = line.trim();
+    let inner = line.strip_prefix('|')?.strip_suffix('|')?;
+    Some(inner.split('|').map(|c| c.trim().to_string()).collect())
+}
+
+/// The backticked word in a cell like `` `magic` ``.
+fn backticked(cell: &str) -> Option<String> {
+    let rest = cell.strip_prefix('`')?;
+    let (name, _) = rest.split_once('`')?;
+    Some(name.to_string())
+}
+
+/// Rows of the frame-header table: (offset, size, field).
+fn documented_header_layout(doc: &str) -> Vec<(usize, usize, String)> {
+    let mut rows = Vec::new();
+    for line in doc.lines() {
+        let Some(cells) = row_cells(line) else {
+            continue;
+        };
+        if cells.len() != 4 {
+            continue;
+        }
+        let (Ok(offset), Ok(size)) = (cells[0].parse::<usize>(), cells[1].parse::<usize>()) else {
+            continue;
+        };
+        let Some(field) = backticked(&cells[2]) else {
+            continue;
+        };
+        rows.push((offset, size, field));
+    }
+    rows
+}
+
+/// Rows of the opcode catalogs: opcode number (from a `` `0xNN` ``
+/// cell) → documented name.
+fn documented_opcodes(doc: &str) -> Vec<(u32, String)> {
+    let mut rows = Vec::new();
+    for line in doc.lines() {
+        let Some(cells) = row_cells(line) else {
+            continue;
+        };
+        if cells.len() < 3 {
+            continue;
+        }
+        let Some(hex) = backticked(&cells[0]).and_then(|c| {
+            c.strip_prefix("0x")
+                .and_then(|h| u32::from_str_radix(h, 16).ok())
+        }) else {
+            continue;
+        };
+        let Some(name) = backticked(&cells[1]) else {
+            continue;
+        };
+        rows.push((hex, name));
+    }
+    rows
+}
+
+/// Rows of the rejection catalog: (code, name, closes-cell).
+fn documented_rejects(doc: &str) -> Vec<(u32, String, String)> {
+    let mut rows = Vec::new();
+    for line in doc.lines() {
+        let Some(cells) = row_cells(line) else {
+            continue;
+        };
+        if cells.len() != 4 {
+            continue;
+        }
+        let Ok(code) = cells[0].parse::<u32>() else {
+            continue;
+        };
+        let Some(name) = backticked(&cells[1]) else {
+            continue;
+        };
+        // Header rows also start with an integer; reject rows are the
+        // ones whose second cell is a backticked name, not a size.
+        if cells[1].parse::<usize>().is_ok() {
+            continue;
+        }
+        rows.push((code, name, cells[2].clone()));
+    }
+    rows
+}
+
+#[test]
+fn header_table_matches_header_layout() {
+    let documented = documented_header_layout(&spec());
+    let implemented: Vec<(usize, usize, String)> = HEADER_LAYOUT
+        .iter()
+        .map(|&(o, s, f)| (o, s, f.to_string()))
+        .collect();
+    assert_eq!(
+        documented, implemented,
+        "docs/SERVING.md frame-header table diverges from wire::HEADER_LAYOUT \
+         — update whichever side changed"
+    );
+    // The layout itself must be gapless and cover the whole header.
+    let mut expect = 0;
+    for &(offset, size, field) in HEADER_LAYOUT {
+        assert_eq!(offset, expect, "gap before field `{field}`");
+        expect = offset + size;
+    }
+    assert_eq!(expect, HEADER_LEN);
+}
+
+#[test]
+fn encoder_bytes_land_on_documented_offsets() {
+    let frame = Frame {
+        opcode: Opcode::Query,
+        tenant: "t".to_string(),
+        payload: vec![0xAA, 0xBB, 0xCC],
+    };
+    let bytes = frame.encode();
+    let field = |name: &str| -> &[u8] {
+        let &(o, s, _) = HEADER_LAYOUT
+            .iter()
+            .find(|&&(_, _, f)| f == name)
+            .expect("field in HEADER_LAYOUT");
+        &bytes[o..o + s]
+    };
+    let le = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("4-byte field"));
+
+    assert_eq!(field("magic"), b"RPSWIRE1");
+    assert_eq!(le(field("version")), wire::WIRE_VERSION);
+    assert_eq!(le(field("opcode")), Opcode::Query as u32);
+    assert_eq!(le(field("tenant_len")), 1);
+    assert_eq!(le(field("payload_len")), 3);
+    assert_eq!(
+        le(field("header_crc")),
+        rps_storage::crc32(&bytes[..HEADER_LEN - 4]),
+        "header_crc must cover header bytes 0–23"
+    );
+    // Body and trailer as documented: tenant ‖ payload ‖ CRC-32(body).
+    assert_eq!(bytes.len(), HEADER_LEN + 1 + 3 + TRAILER_LEN);
+    assert_eq!(&bytes[HEADER_LEN..=HEADER_LEN], b"t");
+    assert_eq!(&bytes[HEADER_LEN + 1..HEADER_LEN + 4], &[0xAA, 0xBB, 0xCC]);
+    assert_eq!(
+        u32::from_le_bytes(bytes[HEADER_LEN + 4..].try_into().expect("trailer")),
+        rps_storage::crc32(&bytes[HEADER_LEN..HEADER_LEN + 4]),
+    );
+}
+
+#[test]
+fn opcode_catalog_is_exact() {
+    let documented = documented_opcodes(&spec());
+    assert!(
+        !documented.is_empty(),
+        "no opcode rows parsed from docs/SERVING.md"
+    );
+    let documented_nums: std::collections::BTreeSet<u32> =
+        documented.iter().map(|&(n, _)| n).collect();
+    let accepted: std::collections::BTreeSet<u32> = (0..=0x1FF)
+        .filter(|&n| Opcode::from_u32(n).is_some())
+        .collect();
+    assert_eq!(
+        documented_nums, accepted,
+        "docs/SERVING.md opcode catalog diverges from Opcode::from_u32"
+    );
+    assert_eq!(
+        documented.len(),
+        documented_nums.len(),
+        "duplicate opcode rows in docs/SERVING.md"
+    );
+}
+
+#[test]
+fn rejection_catalog_is_exact() {
+    let documented = documented_rejects(&spec());
+    assert!(
+        !documented.is_empty(),
+        "no rejection rows parsed from docs/SERVING.md"
+    );
+    let accepted: std::collections::BTreeSet<u32> = (0..=64)
+        .filter(|&n| RejectCode::from_u32(n).is_some())
+        .collect();
+    let documented_nums: std::collections::BTreeSet<u32> =
+        documented.iter().map(|&(n, _, _)| n).collect();
+    assert_eq!(
+        documented_nums, accepted,
+        "docs/SERVING.md rejection catalog diverges from RejectCode::from_u32"
+    );
+    for (num, name, closes_cell) in &documented {
+        let code = RejectCode::from_u32(*num).expect("checked above");
+        assert_eq!(
+            name,
+            code.as_str(),
+            "documented name for reject code {num} diverges"
+        );
+        // "yes"/"no" must match closes_connection(); prose cells (the
+        // dual-behavior unknown_opcode row) are exempt from the bool
+        // check but still name-checked above.
+        match closes_cell.as_str() {
+            "yes" => assert!(code.closes_connection(), "code {num} documented as closing"),
+            "no" => assert!(
+                !code.closes_connection(),
+                "code {num} documented as keeping the connection"
+            ),
+            _ => {}
+        }
+    }
+}
