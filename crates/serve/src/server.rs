@@ -313,7 +313,12 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             Ok(Ok(Some(frame))) => frame,
             Ok(Err(wire_err)) => {
                 reply_wire_error(&mut conn.stream, &wire_err);
-                return; // framing broken: the stream cannot be re-synced
+                if wire_err.reject_code().closes_connection() {
+                    return; // framing broken: the stream cannot be re-synced
+                }
+                // Non-closing decode failures (unknown opcode) consumed
+                // the CRC-verified body, so the stream is still in sync.
+                continue;
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::TimedOut
@@ -382,7 +387,11 @@ fn read_exact_polling(stream: &mut TcpStream, buf: &mut [u8], shared: &Arc<Share
                 if e.kind() == std::io::ErrorKind::TimedOut
                     || e.kind() == std::io::ErrorKind::WouldBlock =>
             {
-                if shared.shutdown.load(Ordering::SeqCst) && filled == 0 {
+                // Mirrors Prefixed::read's drain behavior: once a drain
+                // begins, a peer that stalls mid-sniff (even with 1-3
+                // bytes sent) must not keep this worker polling, or
+                // Server::run blocks on join forever.
+                if shared.shutdown.load(Ordering::SeqCst) {
                     return false;
                 }
             }

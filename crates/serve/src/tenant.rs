@@ -15,10 +15,12 @@
 //! best-effort final checkpoint when it is durable).
 //!
 //! Lock classes, outermost first:
-//! `tenants` (registry map) before any per-tenant `durable` mutex.
-// lock-order: tenants < durable
+//! `reserved` (in-flight creations), then `tenants` (registry map),
+//! then any per-tenant `durable` mutex. `reserved` and `tenants` are
+//! never held together.
+// lock-order: reserved < tenants < durable
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -103,15 +105,15 @@ impl Tenant {
         Ok(())
     }
 
-    /// Applies a batch atomically on the read path (readers observe all
-    /// updates or none); durability is per-record WAL-first, as with
-    /// [`Tenant::update`].
+    /// Applies a batch atomically on both paths: readers observe all
+    /// updates or none, and the durable side validates every record
+    /// before the first WAL append (rolling the whole batch back on any
+    /// append failure) — so a rejected batch leaves no durable trace to
+    /// reappear at the next checkpoint or restart.
     pub fn batch_update(&self, updates: &[(Vec<usize>, i64)]) -> Result<(), ServeError> {
         if let Some(durable) = &self.durable {
             let mut d = lock_durable(durable);
-            for (coords, delta) in updates {
-                d.engine.update(coords, *delta)?;
-            }
+            d.engine.update_batch(updates)?;
             self.versioned.apply_batch(updates)?;
             let DurableTenant {
                 engine,
@@ -242,10 +244,37 @@ pub enum Persistence {
 #[derive(Debug)]
 pub struct Registry {
     tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+    /// Names with a provisioning in flight. A name is reserved here
+    /// *before* any durable recovery I/O runs, because recovery opens
+    /// (and may repair-truncate) `<root>/<name>/wal.log` — which must
+    /// never happen for a name that is live in `tenants` or mid-recovery
+    /// on another thread.
+    reserved: Mutex<HashSet<String>>,
     persistence: Persistence,
     quota: TenantQuota,
     max_tenants: usize,
     lru_clock: AtomicU64,
+}
+
+/// Removes a name from [`Registry::reserved`] on drop, so every exit
+/// from [`Registry::create`] — including error paths — releases the
+/// reservation.
+struct Reservation<'a> {
+    reserved: &'a Mutex<HashSet<String>>,
+    name: &'a str,
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        lock_set(self.reserved).remove(self.name);
+    }
+}
+
+fn lock_set<'a>(m: &'a Mutex<HashSet<String>>) -> std::sync::MutexGuard<'a, HashSet<String>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 impl Registry {
@@ -254,6 +283,7 @@ impl Registry {
     pub fn new(persistence: Persistence, quota: TenantQuota, max_tenants: usize) -> Registry {
         Registry {
             tenants: RwLock::new(HashMap::new()),
+            reserved: Mutex::new(HashSet::new()),
             persistence,
             quota,
             max_tenants,
@@ -302,14 +332,30 @@ impl Registry {
                 "tenant name must be 1..=255 bytes".to_string(),
             ));
         }
-        let tenant = self.build_tenant(name, dims)?;
-        let mut map = self.write_map();
-        if map.contains_key(name) {
+        // Reserve the name, then check liveness, and only then recover:
+        // durable recovery opens (and may repair-truncate) the tenant's
+        // WAL, so it must never run while the same name is hosted or a
+        // concurrent create of it is mid-recovery. The reservation is
+        // dropped after the map insert, so the name is always in at
+        // least one of the two sets until creation fully resolves.
+        if !lock_set(&self.reserved).insert(name.to_string()) {
+            return Err(ServeError::Reject(
+                RejectCode::TenantExists,
+                format!("tenant `{name}` is being provisioned"),
+            ));
+        }
+        let _reservation = Reservation {
+            reserved: &self.reserved,
+            name,
+        };
+        if self.read_map().contains_key(name) {
             return Err(ServeError::Reject(
                 RejectCode::TenantExists,
                 format!("tenant `{name}` already exists"),
             ));
         }
+        let tenant = self.build_tenant(name, dims)?;
+        let mut map = self.write_map();
         let mut evicted = 0usize;
         if self.max_tenants != 0 && map.len() >= self.max_tenants {
             let lru = map
@@ -475,6 +521,97 @@ mod tests {
         let sum = snap.query(&Region::new(&[0, 0], &[7, 7]).unwrap()).unwrap();
         assert_eq!(sum, 20, "snapshot base + WAL tail must both recover");
         assert_eq!(t.stats().last_checkpoint_lsn, 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn duplicate_create_never_reopens_a_live_tenants_wal() {
+        let root = tmp("dup-create");
+        let persistence = Persistence::Durable {
+            root: root.clone(),
+            policy: SnapshotPolicy::default(),
+        };
+        {
+            let reg = Registry::new(persistence.clone(), TenantQuota::default(), 0);
+            reg.create("sales", &[8, 8]).unwrap();
+            let t = reg.get("sales").unwrap();
+            t.update(&[1, 1], 5).unwrap();
+            // The duplicate create must be refused before any recovery
+            // I/O touches the live tenant's directory.
+            assert!(matches!(
+                reg.create("sales", &[8, 8]).unwrap_err(),
+                ServeError::Reject(RejectCode::TenantExists, _)
+            ));
+            // The live WAL is still intact and appendable.
+            t.update(&[2, 2], 6).unwrap();
+        }
+        let reg = Registry::new(persistence, TenantQuota::default(), 0);
+        reg.create("sales", &[8, 8]).unwrap();
+        let t = reg.get("sales").unwrap();
+        let snap = t.versioned().snapshot();
+        let sum = snap.query(&Region::new(&[0, 0], &[7, 7]).unwrap()).unwrap();
+        assert_eq!(sum, 11, "updates around the duplicate create must survive");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn concurrent_creates_of_one_name_yield_exactly_one_winner() {
+        let root = tmp("race-create");
+        let persistence = Persistence::Durable {
+            root: root.clone(),
+            policy: SnapshotPolicy::default(),
+        };
+        let reg = Arc::new(Registry::new(persistence, TenantQuota::default(), 0));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    reg.create("hot", &[8, 8]).is_ok()
+                })
+            })
+            .collect();
+        let wins = threads
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .filter(|&won| won)
+            .count();
+        assert_eq!(wins, 1, "exactly one create may open the tenant's WAL");
+        assert!(reg.get("hot").is_ok());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rejected_batch_leaves_no_trace_on_either_path() {
+        let root = tmp("batch-reject");
+        let persistence = Persistence::Durable {
+            root: root.clone(),
+            policy: SnapshotPolicy::default(),
+        };
+        {
+            let reg = Registry::new(persistence.clone(), TenantQuota::default(), 0);
+            reg.create("a", &[8, 8]).unwrap();
+            let t = reg.get("a").unwrap();
+            t.update(&[0, 0], 1).unwrap();
+            let version_before = t.versioned().current_version();
+            // Valid prefix, out-of-bounds last item: the whole batch
+            // must be rejected with no durable or published effect.
+            let bad: Vec<(Vec<usize>, i64)> =
+                vec![(vec![1, 1], 5), (vec![2, 2], 6), (vec![9, 9], 7)];
+            assert!(t.batch_update(&bad).is_err());
+            assert_eq!(t.versioned().current_version(), version_before);
+            let snap = t.versioned().snapshot();
+            assert_eq!(snap.total(), 1, "rejected prefix published");
+        }
+        // The rejected prefix must not resurface from the WAL either.
+        let reg = Registry::new(persistence, TenantQuota::default(), 0);
+        reg.create("a", &[8, 8]).unwrap();
+        let t = reg.get("a").unwrap();
+        let snap = t.versioned().snapshot();
+        let sum = snap.query(&Region::new(&[0, 0], &[7, 7]).unwrap()).unwrap();
+        assert_eq!(sum, 1, "rejected batch reappeared after recovery");
         let _ = std::fs::remove_dir_all(&root);
     }
 

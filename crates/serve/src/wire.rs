@@ -107,7 +107,11 @@ impl Opcode {
 /// docs/SERVING.md catalogs every code; the split between *framing*
 /// codes (1–6, the stream can no longer be trusted, the server closes
 /// the connection after replying) and *semantic* codes (7+, the
-/// connection stays usable) is part of the contract.
+/// connection stays usable, except `shutting_down` where the drain
+/// closes it) is part of the contract. `unknown_opcode` is semantic on
+/// both paths: the decoder consumes the CRC-verified body before
+/// checking the opcode, so even an undecodable opcode field leaves the
+/// stream in sync.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u32)]
 pub enum RejectCode {
@@ -347,10 +351,6 @@ impl Frame {
         if version != WIRE_VERSION {
             return Ok(Err(WireError::BadVersion(version)));
         }
-        let opcode_raw = le_u32(&header[12..16]);
-        let Some(opcode) = Opcode::from_u32(opcode_raw) else {
-            return Ok(Err(WireError::UnknownOpcode(opcode_raw)));
-        };
         let tenant_len = le_u32(&header[16..20]) as u64;
         let payload_len = le_u32(&header[20..24]) as u64;
         let body_len = tenant_len + payload_len;
@@ -369,6 +369,15 @@ impl Frame {
         if crc32(&body) != le_u32(&trailer) {
             return Ok(Err(WireError::BadBodyCrc));
         }
+        // The opcode check runs only after the CRC-verified body has
+        // been consumed, so an unknown opcode leaves the stream in sync
+        // and the connection stays usable — which is what lets
+        // `RejectCode::UnknownOpcode::closes_connection()` be `false`
+        // unconditionally.
+        let opcode_raw = le_u32(&header[12..16]);
+        let Some(opcode) = Opcode::from_u32(opcode_raw) else {
+            return Ok(Err(WireError::UnknownOpcode(opcode_raw)));
+        };
         let split = usize::try_from(tenant_len).unwrap_or(usize::MAX);
         let Ok(tenant) = std::str::from_utf8(&body[..split]) else {
             return Ok(Err(WireError::BadTenantName));

@@ -218,6 +218,67 @@ fn seeded_corruption_sweep_never_kills_workers() {
 }
 
 #[test]
+fn unknown_opcode_keeps_the_connection_usable() {
+    let (addr, handle, join) = start();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+
+    // An unknown opcode number behind a valid header CRC: the server
+    // consumes the CRC-verified body, replies unknown_opcode, and the
+    // stream stays in sync — as closes_connection() promises.
+    assert!(!RejectCode::UnknownOpcode.closes_connection());
+    let mut bytes = valid_query();
+    bytes[12..16].copy_from_slice(&0x55u32.to_le_bytes());
+    reseal_header(&mut bytes);
+    stream.write_all(&bytes).expect("send unknown opcode");
+    let reply = Frame::read_from(&mut stream, wire::DEFAULT_MAX_FRAME_BYTES)
+        .expect("read reply")
+        .expect("decode reply")
+        .expect("one reply frame");
+    assert_eq!(reply.opcode, Opcode::Error);
+    assert_eq!(
+        wire::decode_error(&reply.payload).map(|(code, _)| code),
+        Some(RejectCode::UnknownOpcode)
+    );
+
+    // Same connection, next frame: still served.
+    stream.write_all(&valid_query()).expect("send valid query");
+    let reply = Frame::read_from(&mut stream, wire::DEFAULT_MAX_FRAME_BYTES)
+        .expect("read second reply")
+        .expect("decode second reply")
+        .expect("second reply frame");
+    assert_eq!(
+        reply.opcode,
+        Opcode::Sums,
+        "connection must stay usable after unknown_opcode"
+    );
+
+    drop(stream);
+    handle.shutdown();
+    let report = join.join().expect("server thread").expect("drain");
+    assert_eq!(report.workers_joined, WORKERS);
+}
+
+#[test]
+fn partial_sniff_peer_does_not_stall_drain() {
+    let (addr, handle, join) = start();
+
+    // A peer that sends fewer than the 4 sniff bytes and then goes
+    // silent (socket held open) must not keep a worker polling past
+    // the drain.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"GE").expect("partial sniff");
+    std::thread::sleep(std::time::Duration::from_millis(60)); // let a worker adopt it
+
+    handle.shutdown();
+    let report = join.join().expect("server thread").expect("drain");
+    assert_eq!(
+        report.workers_joined, WORKERS,
+        "drain must complete with a stalled mid-sniff peer"
+    );
+    drop(stream);
+}
+
+#[test]
 fn quota_and_semantic_rejects_are_typed_and_keep_the_connection() {
     let (addr, handle, join) = start();
     let mut client = Client::connect(addr).expect("connect");

@@ -227,6 +227,63 @@ impl<E: RangeSumEngine<i64>, L: LogFile> DurableEngine<E, L> {
         Ok(())
     }
 
+    /// Logged atomic batch: every record is validated against the
+    /// engine's shape *before* the first WAL append, and a failure
+    /// anywhere in the append run (or a failed strict-mode sync) rolls
+    /// the whole batch's records back in one truncation. A batch that
+    /// returns an error was therefore **not** applied — in whole or in
+    /// part — and leaves no durable trace to resurface at recovery,
+    /// which is what lets a server promise rejected-means-not-applied
+    /// for client batches.
+    pub fn update_batch(&mut self, updates: &[(Vec<usize>, i64)]) -> Result<(), StorageError> {
+        let m = rps_core::obs::engine(rps_core::obs::EngineKind::Durable);
+        m.batches.inc();
+        m.batch_updates
+            .add(u64::try_from(updates.len()).unwrap_or(u64::MAX));
+        let _span = rps_obs::Span::enter("durable.update_batch", &m.update_ns);
+        for (coords, _) in updates {
+            self.engine
+                .shape()
+                .check(coords)
+                .map_err(StorageError::Engine)?;
+        }
+        let prev_len = self.wal.len();
+        let prev_next_lsn = self.wal.last_lsn() + 1;
+        for (coords, delta) in updates {
+            let append = {
+                let retry = self.retry;
+                let wal = &mut self.wal;
+                retry.run(|| wal.append(coords, *delta).map(|_| ()))
+            };
+            if let Err(e) = append {
+                // `Wal::append` already trimmed its own torn tail;
+                // rolling back to the batch start removes the earlier
+                // records of this batch too.
+                self.wal.rollback_last(prev_len, prev_next_lsn)?;
+                return Err(e);
+            }
+        }
+        if self.sync_every_append {
+            let sync_result = {
+                let retry = self.retry;
+                let wal = &mut self.wal;
+                retry.run(|| wal.sync())
+            };
+            if let Err(e) = sync_result {
+                self.wal.rollback_last(prev_len, prev_next_lsn)?;
+                return Err(e);
+            }
+        }
+        // Shape-checked above, so structural application cannot fail.
+        for (coords, delta) in updates {
+            self.engine
+                .update(coords, *delta)
+                .map_err(StorageError::Engine)?;
+        }
+        self.records_since_checkpoint += u64::try_from(updates.len()).unwrap_or(u64::MAX);
+        Ok(())
+    }
+
     /// Range query (read-only; never logged).
     pub fn query(&self, region: &Region) -> Result<i64, StorageError> {
         let m = rps_core::obs::engine(rps_core::obs::EngineKind::Durable);
@@ -489,6 +546,38 @@ mod tests {
         let lsn: u64 = std::fs::read_to_string(snap.with_extension("lsn"))
             .map_or(0, |s| s.trim().parse().unwrap());
         (engine, lsn)
+    }
+
+    #[test]
+    fn rejected_batch_leaves_no_durable_trace() {
+        let wal = tmp("batchatomic.wal");
+        {
+            let mut d =
+                DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
+            d.update(&[0, 0], 1).unwrap();
+            let len_before = d.wal_bytes();
+            let lsn_before = d.last_lsn();
+
+            // Valid prefix, out-of-bounds tail: must reject before the
+            // first append, so neither the log nor the engine moves.
+            let bad: Vec<(Vec<usize>, i64)> =
+                vec![(vec![1, 1], 5), (vec![2, 2], 6), (vec![9, 9], 7)];
+            assert!(matches!(
+                d.update_batch(&bad),
+                Err(StorageError::Engine(_))
+            ));
+            assert_eq!(d.wal_bytes(), len_before, "rejected batch logged records");
+            assert_eq!(d.last_lsn(), lsn_before, "rejected batch advanced the LSN");
+            assert_eq!(d.query(&full()).unwrap(), 1);
+
+            // A clean batch still goes through afterwards.
+            d.update_batch(&[(vec![1, 1], 5), (vec![2, 2], 6)]).unwrap();
+            assert_eq!(d.query(&full()).unwrap(), 12);
+        }
+        // Recovery replays exactly the accepted updates — no phantom
+        // prefix from the rejected batch.
+        let d = DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
+        assert_eq!(d.query(&full()).unwrap(), 12);
     }
 
     #[test]
