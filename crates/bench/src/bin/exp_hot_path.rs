@@ -22,10 +22,10 @@
 
 use std::time::Instant;
 
-use ndcube::Region;
+use ndcube::{NdCube, Region};
 use rps_bench::alloc_counter::{thread_allocs, CountingAllocator};
-use rps_core::{RangeSumEngine, RpsEngine};
-use rps_workload::{CubeGen, QueryGen, RegionSpec, UpdateGen};
+use rps_core::{BlockedFenwickEngine, FenwickEngine, RangeSumEngine, RpsEngine};
+use rps_workload::{CubeGen, QueryGen, RegionSpec, UpdateGen, UpdateSpec};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -163,6 +163,172 @@ fn run_scenario(name: &str, dims: &[usize], query_ops: usize, update_ops: usize)
     }
 }
 
+/// One engine's fast-path vs per-cell-default timing for a rectangle
+/// shape: the speedup column is the tentpole number this experiment
+/// exists to track.
+struct RangeEngineResult {
+    engine: &'static str,
+    fast: Measurement,
+    per_cell: Measurement,
+}
+
+impl RangeEngineResult {
+    fn speedup(&self) -> f64 {
+        self.per_cell.ns_per_op / self.fast.ns_per_op
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"engine\":\"{}\",\"fast_ns_per_op\":{:.1},\"fast_allocs_per_op\":{:.4},\"per_cell_ns_per_op\":{:.1},\"speedup\":{:.2}}}",
+            self.engine,
+            self.fast.ns_per_op,
+            self.fast.allocs_per_op,
+            self.per_cell.ns_per_op,
+            self.speedup()
+        )
+    }
+}
+
+struct RangeShapeResult {
+    shape: &'static str,
+    cells_per_op: f64,
+    engines: Vec<RangeEngineResult>,
+}
+
+impl RangeShapeResult {
+    fn json(&self) -> String {
+        let engines: Vec<String> = self.engines.iter().map(RangeEngineResult::json).collect();
+        format!(
+            "      {{\"shape\":\"{}\",\"cells_per_op\":{:.1},\"engines\":[\n        {}\n      ]}}",
+            self.shape,
+            self.cells_per_op,
+            engines.join(",\n        ")
+        )
+    }
+}
+
+struct RangeScenario {
+    name: String,
+    dims: Vec<usize>,
+    shapes: Vec<RangeShapeResult>,
+}
+
+impl RangeScenario {
+    fn json(&self) -> String {
+        let dims: Vec<String> = self.dims.iter().map(ToString::to_string).collect();
+        let shapes: Vec<String> = self.shapes.iter().map(RangeShapeResult::json).collect();
+        format!(
+            "    {{\"scenario\":\"{}\",\"dims\":[{}],\"shapes\":[\n{}\n    ]}}",
+            self.name,
+            dims.join(","),
+            shapes.join(",\n")
+        )
+    }
+}
+
+/// Times one engine over the pre-drawn rectangles twice: once through its
+/// `range_update` fast path, once through the trait's per-cell default
+/// (an explicit `update` loop — identical work to the default impl).
+fn measure_range_engine<E: RangeSumEngine<i64>>(
+    engine_name: &'static str,
+    mut engine: E,
+    rects: &[(Region, i64)],
+    fast_ops: usize,
+    per_cell_ops: usize,
+) -> RangeEngineResult {
+    // Warm up both paths so lazily-grown scratch is faulted in.
+    for (r, d) in rects.iter().take(4) {
+        engine.range_update(r, *d).expect("in bounds");
+        for c in r.iter().take(64) {
+            engine.update(&c, *d).expect("in bounds");
+        }
+    }
+
+    let mut it = rects.iter().cycle();
+    let fast = measure(fast_ops, || {
+        let (r, d) = it.next().expect("cycle never ends");
+        engine.range_update(r, *d).expect("in bounds");
+    });
+
+    let mut it = rects.iter().cycle();
+    let per_cell = measure(per_cell_ops, || {
+        let (r, d) = it.next().expect("cycle never ends");
+        for c in r.iter() {
+            engine.update(&c, *d).expect("in bounds");
+        }
+    });
+
+    RangeEngineResult {
+        engine: engine_name,
+        fast,
+        per_cell,
+    }
+}
+
+/// The update-rectangle-size axis: point / small / large / full_row
+/// rectangles, each shape timed through every bulk-update fast path and
+/// through the per-cell default it replaces.
+fn run_range_scenario(name: &str, dims: &[usize], ops: usize, smoke: bool) -> RangeScenario {
+    let mut gen = CubeGen::new(0xBA5EBA11);
+    let cube: NdCube<i64> = gen.uniform(dims, 0, 100).expect("valid dims");
+
+    let shapes = [
+        ("point", UpdateSpec::Point),
+        ("small", UpdateSpec::Fraction(0.05)),
+        ("large", UpdateSpec::Fraction(0.5)),
+        ("full_row", UpdateSpec::FullRow),
+    ];
+    // The per-cell loop costs cells × point-update; cap how many raw
+    // cells it replays so large rectangles keep the run under seconds.
+    let cell_budget: f64 = if smoke { 50_000.0 } else { 500_000.0 };
+
+    let mut out = Vec::new();
+    for (label, spec) in shapes {
+        let rects: Vec<(Region, i64)> = {
+            let mut g = UpdateGen::uniform(dims, 23, 50).with_region_spec(spec);
+            (0..ops.max(1)).map(|_| g.next_range_update()).collect()
+        };
+        let cells_per_op =
+            rects.iter().map(|(r, _)| r.cell_count() as f64).sum::<f64>() / rects.len() as f64;
+        let per_cell_ops = ((cell_budget / cells_per_op) as usize).clamp(4, ops.max(4));
+
+        let engines = vec![
+            measure_range_engine(
+                "rps",
+                RpsEngine::from_cube(&cube),
+                &rects,
+                ops,
+                per_cell_ops,
+            ),
+            measure_range_engine(
+                "fenwick",
+                FenwickEngine::from_cube(&cube),
+                &rects,
+                ops,
+                per_cell_ops,
+            ),
+            measure_range_engine(
+                "blocked_fenwick",
+                BlockedFenwickEngine::from_cube(&cube),
+                &rects,
+                ops,
+                per_cell_ops,
+            ),
+        ];
+        out.push(RangeShapeResult {
+            shape: label,
+            cells_per_op,
+            engines,
+        });
+    }
+
+    RangeScenario {
+        name: name.to_string(),
+        dims: dims.to_vec(),
+        shapes: out,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -191,11 +357,23 @@ fn main() {
         ]
     };
 
+    let range_ops = if smoke { 64 } else { 512 };
+    let range_scenarios = if smoke {
+        vec![run_range_scenario("d2_n64", &[64, 64], range_ops, smoke)]
+    } else {
+        vec![
+            run_range_scenario("d2_n512", &[512, 512], range_ops, smoke),
+            run_range_scenario("d3_n64", &[64, 64, 64], range_ops, smoke),
+        ]
+    };
+
     let body: Vec<String> = scenarios.iter().map(Scenario::json).collect();
+    let range_body: Vec<String> = range_scenarios.iter().map(RangeScenario::json).collect();
     let json = format!(
-        "{{\n  \"bench\": \"exp_hot_path\",\n  \"mode\": \"{}\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"exp_hot_path\",\n  \"mode\": \"{}\",\n  \"scenarios\": [\n{}\n  ],\n  \"range_update\": [\n{}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
-        body.join(",\n")
+        body.join(",\n"),
+        range_body.join(",\n")
     );
 
     println!("=== hot-path latency & allocation baseline ===\n");
@@ -206,6 +384,20 @@ fn main() {
                 "  {n:<16} {:>10.1} ns/op  {:>8.4} allocs/op  ({} ops)",
                 m.ns_per_op, m.allocs_per_op, m.ops
             );
+        }
+    }
+
+    println!("\n=== range_update: fast path vs per-cell default ===\n");
+    for s in &range_scenarios {
+        println!("scenario {} dims {:?}", s.name, s.dims);
+        for shape in &s.shapes {
+            println!("  shape {:<9} (~{:.0} cells/op)", shape.shape, shape.cells_per_op);
+            for e in &shape.engines {
+                println!(
+                    "    {:<16} fast {:>12.1} ns/op   per-cell {:>14.1} ns/op   speedup {:>8.2}x",
+                    e.engine, e.fast.ns_per_op, e.per_cell.ns_per_op, e.speedup()
+                );
+            }
         }
     }
 

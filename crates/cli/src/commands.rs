@@ -115,8 +115,9 @@ pub fn help(out: &mut dyn Write) -> CmdResult {
          \x20     range query against an engine snapshot (sum) or a facts\n\
          \x20     snapshot (sum/count/avg); --range 0,0:63,63 uses raw\n\
          \x20     indices, --where \"AGE=37..52,REGION=East\" uses the schema\n\
-         \x20 update   --file FILE --cell R,C --delta N\n\
-         \x20     apply a point update and write the snapshot back\n\
+         \x20 update   --file FILE (--cell R,C | --region LO:HI) --delta N\n\
+         \x20     apply a point update, or add N to every cell of an\n\
+         \x20     inclusive rectangle, and write the snapshot back\n\
          \x20 bench    [--dims 256x256] [--ops N] [--seed N] [--parallel N]\n\
          \x20     compare all methods on a mixed workload (cells touched);\n\
          \x20     --parallel N also times the query batch through the sharded\n\
@@ -416,20 +417,41 @@ fn query(args: &Args, out: &mut dyn Write) -> CmdResult {
 
 fn update(args: &Args, out: &mut dyn Write) -> CmdResult {
     let path = args.required("file")?;
-    let cell = parse_cell(args.required("cell")?)?;
     let delta = args.i64_or("delta", 1)?;
     let mut engine = snapshot::load_rps(BufReader::new(File::open(path)?))?;
     engine.reset_stats();
-    engine.update(&cell, delta)?;
-    let writes = engine.stats().cell_writes;
-    // In-place rewrite of the only copy: go through a temp file so a
-    // crash or full disk mid-save can't truncate the snapshot.
-    save_atomic(path, |w| snapshot::save_rps(&engine, w))?;
-    writeln!(
-        out,
-        "applied {delta:+} at {cell:?} ({writes} cells written); new cell value {}",
-        engine.cell(&cell)?
-    )?;
+    match (args.optional("cell"), args.optional("region")) {
+        (Some(_), Some(_)) => {
+            return Err("update takes --cell R,C or --region LO:HI, not both".into())
+        }
+        (None, None) => return Err("update needs --cell R,C or --region LO:HI".into()),
+        (Some(cell_s), None) => {
+            let cell = parse_cell(cell_s)?;
+            engine.update(&cell, delta)?;
+            let writes = engine.stats().cell_writes;
+            // In-place rewrite of the only copy: go through a temp file so a
+            // crash or full disk mid-save can't truncate the snapshot.
+            save_atomic(path, |w| snapshot::save_rps(&engine, w))?;
+            writeln!(
+                out,
+                "applied {delta:+} at {cell:?} ({writes} cells written); new cell value {}",
+                engine.cell(&cell)?
+            )?;
+        }
+        (None, Some(region_s)) => {
+            let (lo, hi) = parse_range(region_s)?;
+            let region = Region::new(&lo, &hi)?;
+            engine.range_update(&region, delta)?;
+            let writes = engine.stats().cell_writes;
+            save_atomic(path, |w| snapshot::save_rps(&engine, w))?;
+            writeln!(
+                out,
+                "applied {delta:+} to each of {} cells in {lo:?}..={hi:?} \
+                 ({writes} cells written)",
+                region.cell_count()
+            )?;
+        }
+    }
     Ok(())
 }
 
@@ -1016,6 +1038,53 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(parse_sum(&q2), parse_sum(&q1) + 10);
+    }
+
+    #[test]
+    fn region_update_moves_sum_by_cells_times_delta() {
+        let cube = tmp("rect.cube");
+        let engine = tmp("rect.rps");
+        let (out, ok) =
+            run_capture(&["generate", "--dims", "16x16", "--seed", "9", "--out", &cube]);
+        assert!(ok, "{out}");
+        let (out, ok) = run_capture(&["build", "--cube", &cube, "--k", "4", "--out", &engine]);
+        assert!(ok, "{out}");
+
+        let parse_sum = |s: &str| -> i64 {
+            s.split(" = ")
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let (q1, ok) = run_capture(&["query", "--file", &engine, "--range", "0,0:15,15"]);
+        assert!(ok, "{q1}");
+
+        // A 3×5 rectangle at +7 per cell moves the total by 105.
+        let (out, ok) = run_capture(&[
+            "update", "--file", &engine, "--region", "2,1:4,5", "--delta", "7",
+        ]);
+        assert!(ok, "{out}");
+        assert!(out.contains("15 cells"), "{out}");
+
+        let (q2, ok) = run_capture(&["query", "--file", &engine, "--range", "0,0:15,15"]);
+        assert!(ok, "{q2}");
+        assert_eq!(parse_sum(&q2), parse_sum(&q1) + 15 * 7);
+
+        // A region query strictly inside the rectangle also moved.
+        let (inner, ok) = run_capture(&["query", "--file", &engine, "--range", "3,2:3,2"]);
+        assert!(ok, "{inner}");
+
+        // Flag misuse is rejected loudly.
+        let (_, ok) = run_capture(&[
+            "update", "--file", &engine, "--cell", "1,1", "--region", "0,0:1,1",
+        ]);
+        assert!(!ok, "--cell plus --region must be rejected");
+        let (_, ok) = run_capture(&["update", "--file", &engine, "--delta", "3"]);
+        assert!(!ok, "update with neither --cell nor --region must be rejected");
     }
 
     #[test]

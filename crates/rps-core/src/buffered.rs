@@ -215,6 +215,22 @@ impl<T: GroupValue, M: RangeSumEngine<T>> RangeSumEngine<T> for BufferedEngine<M
         Ok(())
     }
 
+    // Bulk updates bypass the buffer: flush pending point deltas first so
+    // order-dependent observers (stats, merges) stay coherent, then hand
+    // the rectangle to the wrapped engine's own fast path — buffering it
+    // per-cell would turn one O(fast) operation into |R| buffer entries.
+    fn range_update(&mut self, region: &Region, delta: T) -> Result<(), NdError> {
+        self.shape().check_region(region)?;
+        if !self.delta.is_empty() {
+            self.merge()?;
+        }
+        self.main.range_update(region, delta)?;
+        // Book the logical operation on the buffer's op counters, where
+        // `stats()` reads user-facing query/update counts from.
+        self.delta.stats.update();
+        Ok(())
+    }
+
     fn stats(&self) -> CostStats {
         // Reads/writes aggregate across both structures, but each logical
         // query/update passes through the delta buffer exactly once —

@@ -128,6 +128,19 @@ impl<E> SharedEngine<E> {
         out
     }
 
+    /// Serialized bulk range update (exclusive lock): the whole rectangle
+    /// becomes visible atomically, like a single point update.
+    pub fn range_update<T: GroupValue>(&self, region: &Region, delta: T) -> Result<(), NdError>
+    where
+        E: RangeSumEngine<T>,
+    {
+        let out = self.write(|e| e.range_update(region, delta));
+        if out.is_ok() {
+            self.inner.updates.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
     /// Reads one cell.
     pub fn cell<T: GroupValue>(&self, coords: &[usize]) -> Result<T, NdError>
     where

@@ -27,6 +27,29 @@ pub trait RangeSumEngine<T: GroupValue> {
     /// Adds `delta` to cell `coords` of the conceptual cube.
     fn update(&mut self, coords: &[usize], delta: T) -> Result<(), NdError>;
 
+    /// Adds `delta` to **every** cell of the (inclusive) region — the bulk
+    /// form real OLAP write streams use when a whole sub-array is adjusted
+    /// at once (a price change over a date range, a reclassified slice).
+    ///
+    /// Default: one point update per cell, so every implementor is
+    /// conformant by construction. Engines with a cheaper bulk path
+    /// override it; the conformance suite pins every override bit-identical
+    /// to this per-cell loop.
+    fn range_update(&mut self, region: &Region, delta: T) -> Result<(), NdError> {
+        self.shape().check_region(region)?;
+        let m = crate::obs::core();
+        m.range_update_slow.inc();
+        m.range_update_cells
+            .add(u64::try_from(region.cell_count()).unwrap_or(u64::MAX));
+        if delta.is_zero() {
+            return Ok(());
+        }
+        for coords in region.iter() {
+            self.update(&coords, delta.clone())?;
+        }
+        Ok(())
+    }
+
     /// Running cell-access counters.
     fn stats(&self) -> CostStats;
 

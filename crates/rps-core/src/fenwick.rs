@@ -30,10 +30,169 @@ use crate::value::GroupValue;
 /// assert_eq!(e.query(&r).unwrap(), 10);
 /// assert_eq!(e.total(), 15);
 /// ```
+///
+/// **Range updates** use the classic dual-BIT trick generalized to `d`
+/// dimensions: a suffix-add of `δ` at corner `p` contributes
+/// `δ·∏ᵢ(yᵢ − pᵢ + 1)` to `prefix(y)` for `y ≥ p`; expanding
+/// `∏ᵢ((yᵢ+1) − pᵢ)` over subsets `S` of the dimensions turns that into
+/// `2^d` auxiliary trees, where tree `S` takes a point-add of
+/// `(−1)^{d−|S|}·δ·∏_{i∉S} pᵢ` at `p` and contributes
+/// `prefix_S(y)·∏_{i∈S}(yᵢ+1)` to every later query. A range update is
+/// the usual `2^d`-corner inclusion–exclusion of suffix-adds — so
+/// `O(4^d·log^d n)` total, independent of the rectangle size. The
+/// auxiliary trees are allocated on the first range update; point-only
+/// workloads keep the original single-tree footprint.
 #[derive(Debug, Clone)]
 pub struct FenwickEngine<T> {
     tree: NdCube<T>,
+    /// `2^d` auxiliary trees for the dual-BIT range-update decomposition
+    /// (empty until the first range update). `aux[s]` accumulates the
+    /// corner terms whose query-side factor is `∏_{i∈s}(yᵢ+1)`.
+    aux: Vec<NdCube<T>>,
+    /// Cached grand total, bumped on every update — `total()` in O(1).
+    total: T,
     stats: StatsCell,
+}
+
+/// One Fenwick prefix chain walk over `tree` (recursive over dimensions).
+fn tree_prefix_rec<T: GroupValue>(
+    tree: &NdCube<T>,
+    stats: &StatsCell,
+    x: &[usize],
+    dim: usize,
+    idx: &mut [usize],
+) -> T {
+    let mut acc = T::zero();
+    // 1-based chain: i = x[dim]+1; i > 0; i -= i & (-i)
+    let mut i = x[dim] + 1;
+    while i > 0 {
+        idx[dim] = i - 1;
+        if dim + 1 == x.len() {
+            let lin = tree.shape().linear_unchecked(idx);
+            stats.reads(1);
+            acc.add_assign(tree.get_linear(lin));
+        } else {
+            let sub = tree_prefix_rec(tree, stats, x, dim + 1, idx);
+            acc.add_assign(&sub);
+        }
+        i -= i & i.wrapping_neg();
+    }
+    acc
+}
+
+/// One Fenwick point-add chain walk over `tree` (recursive over
+/// dimensions).
+fn tree_add_rec<T: GroupValue>(
+    tree: &mut NdCube<T>,
+    stats: &StatsCell,
+    coords: &[usize],
+    dim: usize,
+    idx: &mut [usize],
+    delta: &T,
+) {
+    let n = tree.shape().dim(dim);
+    let mut i = coords[dim] + 1;
+    while i <= n {
+        idx[dim] = i - 1;
+        if dim + 1 == coords.len() {
+            let lin = tree.shape().linear_unchecked(idx);
+            tree.get_linear_mut(lin).add_assign(delta);
+            stats.writes(1);
+        } else {
+            tree_add_rec(tree, stats, coords, dim + 1, idx, delta);
+        }
+        i += i & i.wrapping_neg();
+    }
+}
+
+/// Applies the `2^d`-corner dual-BIT decomposition of a range update to
+/// the auxiliary trees, allocating them on first use — shared by
+/// [`FenwickEngine`] and [`crate::BlockedFenwickEngine`], whose base
+/// layouts differ but whose range-update mechanism is identical.
+pub(crate) fn range_update_aux<T: GroupValue>(
+    shape: &Shape,
+    aux: &mut Vec<NdCube<T>>,
+    stats: &StatsCell,
+    region: &Region,
+    delta: &T,
+) {
+    let d = shape.ndim();
+    if aux.is_empty() {
+        // One-time lazy allocation on the first range update; point-only
+        // workloads never pay for the auxiliary trees.
+        *aux = (0..1usize << d)
+            .map(|_| {
+                NdCube::filled(shape.dims(), T::zero())
+                    // lint:allow(L2): dims come from the engine's own valid shape
+                    .expect("valid dims")
+            })
+            .collect();
+    }
+    let mut p = vec![0usize; d];
+    let mut idx = vec![0usize; d];
+    // Inclusion–exclusion over the 2^d region corners: +δ at lo-side
+    // corners, −δ past the hi side; corners past the cube edge are empty
+    // suffixes and vanish.
+    'corners: for c in 0..1usize << d {
+        let mut corner_sign = false;
+        for i in 0..d {
+            if c & (1 << i) != 0 {
+                let past = region.hi()[i] + 1;
+                if past >= shape.dim(i) {
+                    continue 'corners;
+                }
+                p[i] = past;
+                corner_sign = !corner_sign;
+            } else {
+                p[i] = region.lo()[i];
+            }
+        }
+        for (s, tree) in aux.iter_mut().enumerate() {
+            // lint:allow(L4): ∏ pᵢ ≤ the cube's cell count fits u64
+            let mut coeff = 1u64;
+            let mut sign = corner_sign;
+            for (i, &pi) in p.iter().enumerate() {
+                if s & (1 << i) == 0 {
+                    coeff *= pi as u64; // lint:allow(L4): pᵢ ≤ n fits u64
+                    sign = !sign;
+                }
+            }
+            if coeff == 0 {
+                continue; // a zero coordinate outside S: no term
+            }
+            let mut val = delta.scale(coeff);
+            if sign {
+                val = T::zero().sub(&val);
+            }
+            tree_add_rec(tree, stats, &p, 0, &mut idx, &val);
+        }
+    }
+}
+
+/// The auxiliary trees' share of a prefix sum:
+/// `Σ_S prefix_S(x) · ∏_{i∈S}(xᵢ+1)`. Zero work while `aux` is empty.
+pub(crate) fn aux_prefix_part<T: GroupValue>(
+    aux: &[NdCube<T>],
+    stats: &StatsCell,
+    x: &[usize],
+    idx: &mut [usize],
+) -> T {
+    let mut acc = T::zero();
+    // lint:allow(L4): per-dimension factors (≤ dim size) multiply to ≤
+    // the cube's cell count, which fits u64.
+    for (s, tree) in aux.iter().enumerate() {
+        let part = tree_prefix_rec(tree, stats, x, 0, idx);
+        if part.is_zero() {
+            continue;
+        }
+        let factor = x
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| s & (1 << i) != 0)
+            .fold(1u64, |f, (_, &xi)| f * (xi + 1) as u64); // lint:allow(L4): ∏(xᵢ+1) ≤ cell count fits u64
+        acc.add_assign(&part.scale(factor));
+    }
+    acc
 }
 
 impl<T: GroupValue> FenwickEngine<T> {
@@ -41,6 +200,8 @@ impl<T: GroupValue> FenwickEngine<T> {
     pub fn zeros(dims: &[usize]) -> Result<Self, NdError> {
         Ok(FenwickEngine {
             tree: NdCube::filled(dims, T::zero())?,
+            aux: Vec::new(),
+            total: T::zero(),
             stats: StatsCell::new(),
         })
     }
@@ -51,69 +212,39 @@ impl<T: GroupValue> FenwickEngine<T> {
         // lint:allow(L2): dims come from an existing valid shape
         let mut e = FenwickEngine::zeros(a.shape().dims()).expect("valid dims");
         let full = a.shape().full_region();
+        let mut total = T::zero();
         a.shape().for_each_region_cell(&full, |coords, lin| {
             let v = a.get_linear(lin);
+            total.add_assign(v);
             if !v.is_zero() {
                 e.add_internal(coords, v);
             }
         });
+        e.total = total;
         e.reset_stats();
         e
     }
 
-    /// Inclusive prefix sum `Sum(A[0,…,0] : A[x])` — O(log^d n) reads.
+    /// Inclusive prefix sum `Sum(A[0,…,0] : A[x])` — O(log^d n) reads
+    /// (`O(2^d·log^d n)` once range updates have populated the auxiliary
+    /// trees).
     pub fn prefix_sum(&self, x: &[usize]) -> Result<T, NdError> {
         self.tree.shape().check(x)?;
         Ok(self.prefix_internal(x))
     }
 
     fn prefix_internal(&self, x: &[usize]) -> T {
-        // Recursive descent over dimensions; at the last dimension the
-        // index chain reads tree cells directly.
         let d = x.len();
         let mut idx = vec![0usize; d];
-        self.prefix_rec(x, 0, &mut idx)
-    }
-
-    fn prefix_rec(&self, x: &[usize], dim: usize, idx: &mut Vec<usize>) -> T {
-        let mut acc = T::zero();
-        // 1-based chain: i = x[dim]+1; i > 0; i -= i & (-i)
-        let mut i = x[dim] + 1;
-        while i > 0 {
-            idx[dim] = i - 1;
-            if dim + 1 == x.len() {
-                let lin = self.tree.shape().linear_unchecked(idx);
-                self.stats.reads(1);
-                acc.add_assign(self.tree.get_linear(lin));
-            } else {
-                let sub = self.prefix_rec(x, dim + 1, idx);
-                acc.add_assign(&sub);
-            }
-            i -= i & i.wrapping_neg();
-        }
+        let mut acc = tree_prefix_rec(&self.tree, &self.stats, x, 0, &mut idx);
+        acc.add_assign(&aux_prefix_part(&self.aux, &self.stats, x, &mut idx));
         acc
     }
 
     fn add_internal(&mut self, coords: &[usize], delta: &T) {
         let d = coords.len();
         let mut idx = vec![0usize; d];
-        self.add_rec(coords, 0, &mut idx, delta);
-    }
-
-    fn add_rec(&mut self, coords: &[usize], dim: usize, idx: &mut Vec<usize>, delta: &T) {
-        let n = self.tree.shape().dim(dim);
-        let mut i = coords[dim] + 1;
-        while i <= n {
-            idx[dim] = i - 1;
-            if dim + 1 == coords.len() {
-                let lin = self.tree.shape().linear_unchecked(idx);
-                self.tree.get_linear_mut(lin).add_assign(delta);
-                self.stats.writes(1);
-            } else {
-                self.add_rec(coords, dim + 1, idx, delta);
-            }
-            i += i & i.wrapping_neg();
-        }
+        tree_add_rec(&mut self.tree, &self.stats, coords, 0, &mut idx, delta);
     }
 }
 
@@ -135,7 +266,30 @@ impl<T: GroupValue> RangeSumEngine<T> for FenwickEngine<T> {
 
     fn update(&mut self, coords: &[usize], delta: T) -> Result<(), NdError> {
         self.tree.shape().check(coords)?;
+        self.total.add_assign(&delta);
         self.add_internal(coords, &delta);
+        self.stats.update();
+        Ok(())
+    }
+
+    // Fast path: the d-dimensional dual-BIT decomposition — 2^d corner
+    // suffix-adds into 2^d auxiliary trees, O(4^d·log^d n) regardless of
+    // the rectangle size (see the type-level docs).
+    fn range_update(&mut self, region: &Region, delta: T) -> Result<(), NdError> {
+        let shape = self.tree.shape().clone();
+        shape.check_region(region)?;
+        let m = crate::obs::core();
+        m.range_update_fast.inc();
+        m.range_update_cells
+            .add(u64::try_from(region.cell_count()).unwrap_or(u64::MAX));
+        if delta.is_zero() {
+            self.stats.update();
+            return Ok(());
+        }
+        let _span = rps_obs::Span::enter("fenwick.range_update", &m.range_update_ns);
+        self.total
+            .add_assign(&delta.scale(u64::try_from(region.cell_count()).unwrap_or(u64::MAX)));
+        range_update_aux(&shape, &mut self.aux, &self.stats, region, &delta);
         self.stats.update();
         Ok(())
     }
@@ -149,7 +303,12 @@ impl<T: GroupValue> RangeSumEngine<T> for FenwickEngine<T> {
     }
 
     fn storage_cells(&self) -> usize {
-        self.tree.len()
+        self.tree.len() + self.aux.iter().map(NdCube::len).sum::<usize>()
+    }
+
+    // O(1): the cached running total, maintained by both update paths.
+    fn total(&self) -> T {
+        self.total.clone()
     }
 }
 
@@ -251,5 +410,76 @@ mod tests {
         let mut e = FenwickEngine::<i64>::zeros(&[4, 4]).unwrap();
         assert!(e.update(&[4, 0], 1).is_err());
         assert!(e.prefix_sum(&[0, 4]).is_err());
+    }
+
+    #[test]
+    fn range_update_matches_per_cell_loop() {
+        let a = paper_array_a();
+        let mut fast = FenwickEngine::from_cube(&a);
+        let mut slow = FenwickEngine::from_cube(&a);
+        for (lo, hi, delta) in [
+            ([0usize, 0usize], [8usize, 8usize], 3i64),
+            ([2, 3], [7, 5], -4),
+            ([4, 4], [4, 4], 9), // point region
+            ([0, 5], [3, 8], 1), // flush against the hi edge
+            ([8, 0], [8, 8], -7),
+        ] {
+            let r = Region::new(&lo, &hi).unwrap();
+            fast.range_update(&r, delta).unwrap();
+            for c in r.iter() {
+                slow.update(&c, delta).unwrap();
+            }
+            for (qlo, qhi) in [
+                ([0usize, 0usize], [8usize, 8usize]),
+                ([1, 2], [6, 7]),
+                ([8, 8], [8, 8]),
+                ([0, 0], [0, 0]),
+            ] {
+                let q = Region::new(&qlo, &qhi).unwrap();
+                assert_eq!(
+                    fast.query(&q).unwrap(),
+                    slow.query(&q).unwrap(),
+                    "query {q:?} after range {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_update_3d_matches_per_cell_loop() {
+        let a = NdCube::from_fn(&[5, 4, 6], |c| (c[0] * 31 + c[1] * 7 + c[2]) as i64).unwrap();
+        let mut fast = FenwickEngine::from_cube(&a);
+        let mut slow = FenwickEngine::from_cube(&a);
+        let r = Region::new(&[1, 0, 2], &[4, 2, 5]).unwrap();
+        fast.range_update(&r, -13).unwrap();
+        for c in r.iter() {
+            slow.update(&c, -13).unwrap();
+        }
+        assert_eq!(fast.materialize(), slow.materialize());
+    }
+
+    #[test]
+    fn cached_total_is_o1_and_exact() {
+        let mut e = FenwickEngine::from_cube(&paper_array_a());
+        assert_eq!(e.total(), 290);
+        e.update(&[3, 4], 7).unwrap();
+        e.range_update(&Region::new(&[1, 1], &[5, 6]).unwrap(), -2)
+            .unwrap();
+        let full = e.shape().full_region();
+        assert_eq!(e.total(), e.query(&full).unwrap());
+        // O(1): the cached total reads no tree cells.
+        e.reset_stats();
+        let _ = e.total();
+        assert_eq!(e.stats().cell_reads, 0);
+    }
+
+    #[test]
+    fn point_only_workloads_allocate_no_aux_trees() {
+        let mut e = FenwickEngine::<i64>::zeros(&[16, 16]).unwrap();
+        e.update(&[3, 4], 10).unwrap();
+        assert_eq!(e.storage_cells(), 256);
+        e.range_update(&Region::new(&[0, 0], &[7, 7]).unwrap(), 1)
+            .unwrap();
+        assert_eq!(e.storage_cells(), 256 * 5); // base + 2² aux trees
     }
 }

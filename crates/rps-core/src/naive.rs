@@ -7,6 +7,7 @@
 use ndcube::{NdCube, NdError, Region, Shape};
 
 use crate::engine::RangeSumEngine;
+use crate::rps::kernels;
 use crate::stats::{CostStats, StatsCell};
 use crate::value::GroupValue;
 
@@ -66,6 +67,36 @@ impl<T: GroupValue> RangeSumEngine<T> for NaiveEngine<T> {
         let lin = self.a.shape().linear(coords)?;
         self.a.get_linear_mut(lin).add_assign(&delta);
         self.stats.writes(1);
+        self.stats.update();
+        Ok(())
+    }
+
+    // Fast path: `A` is stored directly, so a range update is one
+    // lane-kernel delta add per contiguous run of the region.
+    fn range_update(&mut self, region: &Region, delta: T) -> Result<(), NdError> {
+        self.a.shape().check_region(region)?;
+        let m = crate::obs::core();
+        m.range_update_fast.inc();
+        m.range_update_cells
+            .add(u64::try_from(region.cell_count()).unwrap_or(u64::MAX));
+        if delta.is_zero() {
+            return Ok(());
+        }
+        let _span = rps_obs::Span::enter("naive.range_update", &m.range_update_ns);
+        let mut writes = 0u64;
+        let mut lane_runs = 0u64;
+        let mut cur = Vec::with_capacity(region.ndim());
+        let (shape, data) = self.a.parts_mut();
+        shape.for_each_contiguous_run_in_bounds(region.lo(), region.hi(), &mut cur, |start, len| {
+            // lint:allow(L1): run bounds come from the shape's own region walk
+            kernels::add_delta_run(&mut data[start..start + len], &delta);
+            writes += u64::try_from(len).unwrap_or(u64::MAX);
+            lane_runs += u64::from(kernels::is_lane_run(len));
+        });
+        if lane_runs > 0 {
+            m.lane_runs.add(lane_runs);
+        }
+        self.stats.writes(writes);
         self.stats.update();
         Ok(())
     }

@@ -76,6 +76,17 @@ pub struct CoreMetrics {
     /// Contiguous runs processed by the lane-width kernels (runs of at
     /// least [`crate::rps::kernels::LANES`] cells).
     pub lane_runs: Counter,
+    /// `range_update` calls answered by an engine fast path (anything
+    /// cheaper than the per-cell default loop).
+    pub range_update_fast: Counter,
+    /// `range_update` calls that fell through to the per-cell default.
+    pub range_update_slow: Counter,
+    /// Conceptual cells covered by `range_update` regions (the work a
+    /// per-cell loop would have done, fast path or not).
+    pub range_update_cells: Counter,
+    /// `range_update` latency (ns; populated only while timing is
+    /// enabled).
+    pub range_update_ns: Histogram,
 }
 
 /// Metrics for the versioned snapshot engine
@@ -103,6 +114,10 @@ static CORE: CoreMetrics = CoreMetrics {
     scratch_fresh: Counter::new(),
     parallel_query_shards: Counter::new(),
     lane_runs: Counter::new(),
+    range_update_fast: Counter::new(),
+    range_update_slow: Counter::new(),
+    range_update_cells: Counter::new(),
+    range_update_ns: Histogram::new(),
 };
 static SNAPSHOT: SnapshotMetrics = SnapshotMetrics {
     versions: Counter::new(),
@@ -215,6 +230,38 @@ fn register_all() {
         "rps-core",
         &[],
         &CORE.lane_runs,
+    );
+    reg.counter(
+        "rps_range_update_fast_total",
+        "range_update calls answered by an engine fast path",
+        "ops",
+        "rps-core",
+        &[],
+        &CORE.range_update_fast,
+    );
+    reg.counter(
+        "rps_range_update_slow_total",
+        "range_update calls served by the per-cell default loop",
+        "ops",
+        "rps-core",
+        &[],
+        &CORE.range_update_slow,
+    );
+    reg.counter(
+        "rps_range_update_cells_total",
+        "Conceptual cells covered by range_update regions",
+        "cells",
+        "rps-core",
+        &[],
+        &CORE.range_update_cells,
+    );
+    reg.histogram(
+        "rps_range_update_ns",
+        "range_update latency",
+        "ns",
+        "rps-core",
+        &[],
+        &CORE.range_update_ns,
     );
     reg.counter(
         "rps_snapshot_versions_total",

@@ -247,6 +247,72 @@ impl<T: GroupValue> RangeSumEngine<T> for PrefixSumEngine<T> {
         Ok(())
     }
 
+    // Fast path: a rectangle update changes `P[x]` by
+    // `delta · ∏ᵢ (min(xᵢ,hiᵢ) − loᵢ + 1)` for every `x ≥ lo` — the count
+    // of updated source cells inside the prefix region of `x`. The count
+    // is separable, so each innermost-axis row of the affected suffix is
+    // one ramp ([`kernels::add_ramp_run`]) up to `hi` followed by one
+    // constant add past it — O(suffix) total instead of the per-cell
+    // loop's O(|region| · suffix).
+    fn range_update(&mut self, region: &Region, delta: T) -> Result<(), NdError> {
+        self.p.shape().check_region(region)?;
+        let m = crate::obs::core();
+        m.range_update_fast.inc();
+        m.range_update_cells
+            .add(u64::try_from(region.cell_count()).unwrap_or(u64::MAX));
+        if delta.is_zero() {
+            return Ok(());
+        }
+        let _span = rps_obs::Span::enter("prefix.range_update", &m.range_update_ns);
+        let (shape, data) = self.p.parts_mut();
+        let d = shape.ndim();
+        let last = d - 1;
+        let (lo, hi) = (region.lo(), region.hi());
+        let n_last = shape.dim(last);
+        let mut writes = 0u64;
+        // Odometer over the outer coordinates of the affected suffix
+        // `lo ..= n−1`; the innermost row is handled as two slices.
+        let mut cur: Vec<usize> = lo[..last].to_vec();
+        let mut base: usize = cur
+            .iter()
+            .zip(shape.strides())
+            .map(|(&c, &s)| c * s)
+            .sum();
+        'rows: loop {
+            // lint:allow(L4): per-dimension counts multiply to ≤ shape.len() ≤ u64::MAX
+            let mult = cur
+                .iter()
+                .enumerate()
+                .fold(1u64, |acc, (i, &c)| acc * (c.min(hi[i]) - lo[i] + 1) as u64); // lint:allow(L4): counts fit u64
+            let row = &mut data[base + lo[last]..base + n_last];
+            let ramp_len = hi[last] - lo[last] + 1;
+            let step = delta.scale(mult);
+            let (ramp, rest) = row.split_at_mut(ramp_len);
+            let acc = kernels::add_ramp_run(ramp, &step);
+            kernels::add_delta_run(rest, &acc);
+            writes += u64::try_from(ramp_len + rest.len()).unwrap_or(u64::MAX);
+            // Advance the outer odometer within `lo ..= dims−1`.
+            let mut dim = last;
+            loop {
+                if dim == 0 {
+                    break 'rows;
+                }
+                dim -= 1;
+                if cur[dim] < shape.dim(dim) - 1 {
+                    cur[dim] += 1;
+                    base += shape.strides()[dim];
+                    break;
+                }
+                let span = cur[dim] - lo[dim];
+                base -= span * shape.strides()[dim];
+                cur[dim] = lo[dim];
+            }
+        }
+        self.stats.writes(writes);
+        self.stats.update();
+        Ok(())
+    }
+
     fn stats(&self) -> CostStats {
         self.stats.get()
     }

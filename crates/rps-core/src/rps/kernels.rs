@@ -167,6 +167,62 @@ pub fn border_from_p_run_scalar<T: GroupValue>(dst: &mut [T], p: &[T], rp: &[T],
     }
 }
 
+/// Sum of a contiguous run, accumulated as `LANES` independent partial
+/// sums folded at the end — the in-block partial-prefix read of the
+/// blocked Fenwick engine (`crate::blocked_fenwick`). Reassociating the
+/// adds is exact for the integer instances (wrapping addition is
+/// commutative and associative mod 2^w), which is what the property test
+/// pins against the scalar twin.
+#[inline]
+#[must_use]
+pub fn sum_run<T: GroupValue>(run: &[T]) -> T {
+    let mut accs: [T; LANES] = std::array::from_fn(|_| T::zero());
+    let mut chunks = run.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for (a, v) in accs.iter_mut().zip(chunk) {
+            a.add_assign(v);
+        }
+    }
+    let mut acc = T::zero();
+    for a in &accs {
+        acc.add_assign(a);
+    }
+    for v in chunks.remainder() {
+        acc.add_assign(v);
+    }
+    acc
+}
+
+/// The retained scalar form of [`sum_run`] (oracle + baseline).
+#[inline]
+#[must_use]
+pub fn sum_run_scalar<T: GroupValue>(run: &[T]) -> T {
+    let mut acc = T::zero();
+    for v in run {
+        acc.add_assign(v);
+    }
+    acc
+}
+
+/// Adds a running multiple of `step` to a contiguous run:
+/// `run[i] ⊕= (i+1)·step` — the innermost-axis shape of a range update's
+/// prefix-count ramp (each successive cell absorbs one more source cell
+/// of the updated rectangle). Returns the final accumulated value
+/// `len·step`, which callers reuse as the constant delta for the cells
+/// past the rectangle's upper bound ([`add_delta_run`]).
+///
+/// Deliberately scalar, like the scan kernels: the running accumulator is
+/// a loop-carried dependence chain.
+#[inline]
+pub fn add_ramp_run<T: GroupValue>(run: &mut [T], step: &T) -> T {
+    let mut acc = T::zero();
+    for cell in run {
+        acc.add_assign(step);
+        cell.add_assign(&acc);
+    }
+    acc
+}
+
 /// In-place running sum along one contiguous run, restarting at every
 /// multiple of `k` (`k = usize::MAX` scans the whole run) — the
 /// innermost-dimension (stride 1) sweep, where the loop-carried
@@ -265,6 +321,16 @@ mod tests {
         prefix_scan_run(&mut x, 4);
         assert_eq!(x, vec![1, 2, 3, 4, 1, 2, 3, 4, 1, 2]);
     }
+
+    #[test]
+    fn ramp_adds_running_multiples_and_returns_total() {
+        let mut x = vec![10i64; 5];
+        let total = add_ramp_run(&mut x, &3);
+        assert_eq!(x, vec![13, 16, 19, 22, 25]);
+        assert_eq!(total, 15);
+        let mut empty: Vec<i64> = Vec::new();
+        assert_eq!(add_ramp_run(&mut empty, &3), 0);
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +381,13 @@ mod props {
             border_from_p_run(&mut a, &p, &rp, &anchor);
             border_from_p_run_scalar(&mut b, &p, &rp, &anchor);
             prop_assert_eq!(a, b);
+        }
+
+        /// The folded lane sum is bit-identical to the scalar left fold
+        /// for the integer instance, every run length.
+        #[test]
+        fn sum_run_lane_matches_scalar(a in run()) {
+            prop_assert_eq!(sum_run(&a), sum_run_scalar(&a));
         }
 
         /// The scan restarts exactly at multiples of k (including k = 1,

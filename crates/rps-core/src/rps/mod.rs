@@ -36,10 +36,11 @@ pub(crate) use overlay::{overlay_prefix_part_src, OverlaySource};
 pub(crate) use parallel::{effective_threads, slab_sizes};
 pub use parallel::{prefix_sums_parallel, relative_prefix_sums_parallel};
 pub use scratch::{with_scratch, KernelScratch, Scratch};
-pub(crate) use update::overlay_update_walk;
+pub(crate) use update::{overlay_range_walk, overlay_update_walk, rp_range_box};
 pub use update::{
-    apply_overlay_update, apply_overlay_update_with, apply_update, apply_update_with,
-    for_each_rp_cascade_cell, for_each_stored_offset_geq, for_each_stored_offset_geq_with,
+    apply_overlay_update, apply_overlay_update_with, apply_range_update_with, apply_update,
+    apply_update_with, for_each_rp_cascade_cell, for_each_stored_offset_geq,
+    for_each_stored_offset_geq_with,
 };
 
 use ndcube::{NdCube, NdError, Region, Shape};
@@ -407,6 +408,33 @@ impl<T: GroupValue> RangeSumEngine<T> for RpsEngine<T> {
             &mut self.scratch,
         );
         // One atomic add for the whole update, not one per cascade half.
+        self.stats.writes(writes);
+        self.stats.update();
+        Ok(())
+    }
+
+    // Fast path: per-box delta decomposition — each box's RP rows become
+    // one ramp + one constant run, overlay cells get counting multiples of
+    // the delta — instead of |R| full point-update cascades.
+    fn range_update(&mut self, region: &Region, delta: T) -> Result<(), NdError> {
+        self.rp.shape().check_region(region)?;
+        let core = crate::obs::core();
+        core.range_update_fast.inc();
+        core.range_update_cells
+            .add(u64::try_from(region.cell_count()).unwrap_or(u64::MAX));
+        let _span = rps_obs::Span::enter("rps.range_update", &core.range_update_ns);
+        if delta.is_zero() {
+            self.stats.update();
+            return Ok(());
+        }
+        let writes = apply_range_update_with(
+            &self.grid,
+            &mut self.overlay,
+            &mut self.rp,
+            region,
+            &delta,
+            &mut self.scratch,
+        );
         self.stats.writes(writes);
         self.stats.update();
         Ok(())

@@ -27,8 +27,29 @@
 //! in `overlay_update_walk`, parameterized by a dim-0 box-row range so the
 //! parallel batch path (`rps::parallel`) can partition the same walk into
 //! disjoint slabs.
+//!
+//! **Range updates** (`+δ` over every cell of a region `R = [lo, hi]`)
+//! generalize the same classification by *counting* instead of testing:
+//! with `N(y) = |R ∩ {q : q ≤ y}|` and `N_B(y) = |R ∩ B ∩ {q : q ≤ y}|`,
+//! linearity of the defining identities gives, uniformly for every box,
+//!
+//! ```text
+//! ΔRP[x]      = δ · N_B(x)
+//! Δanchor(α)  = δ · (N(α) − [α ∈ R])
+//! Δborder(p)  = δ · (N(p) − N_B(p) − (N(α) − [α ∈ R]))
+//! ```
+//!
+//! which collapses to the point-update cases at `|R| = 1`. The affected
+//! boxes are exactly the upper orthant of `lo`'s box (everything else has
+//! all three counts zero), `lo`'s own box is overlay-untouched (any
+//! `q ∈ R` with `q ≤ p ∈ B` satisfies `α ≤ lo ≤ q ≤ p ≤ hi(B)`, so
+//! `N = N_B` there), and boxes wholly past `R` (`hi ≤ α` componentwise)
+//! are anchor-only. `apply_range_update_with` walks RP box by box, turning
+//! each innermost row into one ramp + one constant run, so the whole
+//! update is `O(cells touched)` with lane-kernel inner loops instead of
+//! `|R|` separate cascades.
 
-use ndcube::NdCube;
+use ndcube::{NdCube, Region};
 
 use crate::rps::grid::BoxGrid;
 use crate::rps::kernels;
@@ -226,6 +247,328 @@ pub(crate) fn overlay_update_walk<T: GroupValue>(
     writes
 }
 
+/// `N(y) = |R ∩ {q : q ≤ y}|` for `R = [lo, hi]`: the number of region
+/// cells weakly preceding `y` componentwise. Separable, so it is a product
+/// of per-dimension counts; any empty dimension zeroes the whole product.
+// lint:allow(L4): per-dimension counts are ≤ the cube side and their
+// product is ≤ the cube's cell count, which fits u64 on every target.
+#[inline]
+fn region_cells_leq(lo: &[usize], hi: &[usize], y: &[usize]) -> u64 {
+    let mut n = 1u64;
+    for ((&l, &h), &yi) in lo.iter().zip(hi).zip(y) {
+        let top = yi.min(h);
+        if top < l {
+            return 0;
+        }
+        n *= (top - l + 1) as u64; // lint:allow(L4): extent ≤ n fits u64
+    }
+    n
+}
+
+/// [`region_cells_leq`] at `y = α + e`, without materializing `y` — the
+/// border enumeration hands out in-box offsets, not absolute coordinates.
+// lint:allow(L4): see region_cells_leq
+#[inline]
+fn region_cells_leq_off(lo: &[usize], hi: &[usize], alpha: &[usize], e: &[usize]) -> u64 {
+    let mut n = 1u64;
+    for i in 0..lo.len() {
+        let top = (alpha[i] + e[i]).min(hi[i]);
+        if top < lo[i] {
+            return 0;
+        }
+        n *= (top - lo[i] + 1) as u64; // lint:allow(L4): extent ≤ n fits u64
+    }
+    n
+}
+
+/// `N_B(y) = |R ∩ B ∩ {q : q ≤ y}|` at `y = α + e`, for the box anchored
+/// at `alpha`. `y` always lies inside `B`, so clamping the lower end to
+/// the anchor is the only difference from [`region_cells_leq_off`].
+// lint:allow(L4): see region_cells_leq
+#[inline]
+fn box_region_cells_leq_off(lo: &[usize], hi: &[usize], alpha: &[usize], e: &[usize]) -> u64 {
+    let mut n = 1u64;
+    for i in 0..lo.len() {
+        let top = (alpha[i] + e[i]).min(hi[i]);
+        let bot = lo[i].max(alpha[i]);
+        if top < bot {
+            return 0;
+        }
+        n *= (top - bot + 1) as u64; // lint:allow(L4): extent ≤ n fits u64
+    }
+    n
+}
+
+/// Applies a range update to `rp` and `overlay` using caller scratch —
+/// zero heap allocations after the scratch buffers are sized. Returns the
+/// number of cells written (RP + overlay).
+///
+/// The region must already be validated against the cube shape. The
+/// result is bit-identical to a per-cell [`apply_update_with`] loop over
+/// the region (pinned by the property tests below) at the cost of the
+/// cells *touched*, not `|R|` separate cascades.
+pub fn apply_range_update_with<T: GroupValue>(
+    grid: &BoxGrid,
+    overlay: &mut Overlay<T>,
+    rp: &mut NdCube<T>,
+    region: &Region,
+    delta: &T,
+    ks: &mut KernelScratch,
+) -> u64 {
+    ks.ensure(region.ndim());
+    let mut writes = rp_range_cascade(grid, rp, region.lo(), region.hi(), delta, ks);
+    let rows = grid.grid_shape().dim(0);
+    let (box_offsets, cells) = overlay.parts_mut();
+    writes += overlay_range_walk(
+        grid,
+        box_offsets,
+        cells,
+        0,
+        0,
+        rows,
+        region.lo(),
+        region.hi(),
+        delta,
+        ks,
+    );
+    writes
+}
+
+/// The RP half of a range update: every box intersecting `R` gets
+/// `δ·N_B(x)` added to its cells `x ≥ max(α, lo)`, one box at a time via
+/// [`rp_range_box`].
+fn rp_range_cascade<T: GroupValue>(
+    grid: &BoxGrid,
+    rp: &mut NdCube<T>,
+    lo: &[usize],
+    hi: &[usize],
+    delta: &T,
+    ks: &mut KernelScratch,
+) -> u64 {
+    let d = lo.len();
+    ks.ensure(d);
+    let KernelScratch {
+        b,
+        offsets,
+        alpha,
+        lo: rlo,
+        hi: box_hi,
+        cur,
+        e,
+        ..
+    } = ks;
+    // Boxes intersecting R form the index rectangle [box(lo), box(hi)].
+    grid.box_index_into(lo, b);
+    grid.box_index_into(hi, offsets);
+    let (_, data) = rp.parts_mut();
+    cur.clear();
+    cur.extend_from_slice(b);
+    let mut writes = 0u64;
+    'boxes: loop {
+        writes += rp_range_box(grid, data, 0, cur, lo, hi, delta, alpha, rlo, box_hi, e);
+        let mut dim = d;
+        loop {
+            if dim == 0 {
+                break 'boxes;
+            }
+            dim -= 1;
+            if cur[dim] < offsets[dim] {
+                cur[dim] += 1;
+                break;
+            }
+            cur[dim] = b[dim];
+        }
+    }
+    writes
+}
+
+/// Adds `δ·N_B(x)` to the RP cells of one box `bp` intersecting
+/// `R = [lo, hi]`, writing through a cell slice that starts at flat RP
+/// index `base` (the versioned engine hands in one copy-on-write dim-0
+/// slab at a time; `base = 0` with the full array is the in-memory path).
+///
+/// Per innermost row the count factorizes as `m · (x_last-dependent
+/// term)`: a ramp of step `δ·m` up to `min(hi, box_hi)` in the last
+/// dimension, then that ramp's final value as a constant over the rest of
+/// the row — one [`kernels::add_ramp_run`] plus one
+/// [`kernels::add_delta_run`] per row. Returns cells written.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rp_range_box<T: GroupValue>(
+    grid: &BoxGrid,
+    data: &mut [T],
+    base: usize,
+    bp: &[usize],
+    lo: &[usize],
+    hi: &[usize],
+    delta: &T,
+    alpha: &mut [usize],
+    rlo: &mut [usize],
+    box_hi: &mut [usize],
+    row: &mut Vec<usize>,
+) -> u64 {
+    let d = bp.len();
+    let last = d - 1;
+    grid.anchor_into(bp, alpha);
+    let sizes = grid.box_size().iter().zip(grid.cube_shape().dims());
+    for (o, ((&b, (&k, &n)), (&a, &l))) in box_hi
+        .iter_mut()
+        .zip(bp.iter().zip(sizes).zip(alpha.iter().zip(lo)))
+    {
+        *o = ((b + 1) * k).min(n) - 1;
+        debug_assert!(*o >= a.max(l), "box must intersect the region");
+    }
+    for (r, (&a, &l)) in rlo.iter_mut().zip(alpha.iter().zip(lo)) {
+        *r = a.max(l);
+    }
+    let strides = grid.cube_shape().strides();
+    row.clear();
+    row.extend_from_slice(&rlo[..last]);
+    let mut row_base: usize = row.iter().zip(strides).map(|(&c, &s)| c * s).sum();
+    let mut writes = 0u64;
+    let mut lane_runs = 0u64;
+    'rows: loop {
+        // Prefactor: region cells preceding this row in the outer dims.
+        // lint:allow(L4): per-dimension counts multiply to ≤ the cube's
+        // cell count, which fits u64.
+        let m = row
+            .iter()
+            .enumerate()
+            .fold(1u64, |acc, (i, &c)| acc * (c.min(hi[i]) - rlo[i] + 1) as u64); // lint:allow(L4): counts fit u64
+        let start = row_base + rlo[last] - base;
+        let ramp_len = hi[last].min(box_hi[last]) - rlo[last] + 1;
+        let total_len = box_hi[last] - rlo[last] + 1;
+        let slice = &mut data[start..start + total_len];
+        let step = delta.scale(m);
+        let (ramp, rest) = slice.split_at_mut(ramp_len);
+        let acc = kernels::add_ramp_run(ramp, &step);
+        kernels::add_delta_run(rest, &acc);
+        writes += u64::try_from(total_len).unwrap_or(u64::MAX);
+        lane_runs += u64::from(kernels::is_lane_run(total_len));
+        if last == 0 {
+            break;
+        }
+        let mut dim = last;
+        loop {
+            if dim == 0 {
+                break 'rows;
+            }
+            dim -= 1;
+            if row[dim] < box_hi[dim] {
+                row[dim] += 1;
+                row_base += strides[dim];
+                break;
+            }
+            row_base -= (row[dim] - rlo[dim]) * strides[dim];
+            row[dim] = rlo[dim];
+        }
+    }
+    if lane_runs > 0 {
+        crate::obs::core().lane_runs.add(lane_runs);
+    }
+    writes
+}
+
+/// The overlay half of a range update, restricted to boxes whose dim-0
+/// index lies in `row_lo .. row_hi` and writing through a cell slice that
+/// starts at flat overlay index `base` — the same slab parameterization as
+/// [`overlay_update_walk`], so the versioned engine can reuse it per
+/// copy-on-write granule. Returns cells written.
+///
+/// Every box of the upper orthant of `lo`'s box gets the counting form of
+/// the point-update classification (see the module docs): the anchor gets
+/// `δ·(N(α) − [α∈R])`, border cells `p = α + e` get
+/// `δ·(N(p) − N_B(p) − Δanchor-count)`. Boxes wholly past the region
+/// (`hi ≤ α`) are anchor-only; `lo`'s own box is untouched.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn overlay_range_walk<T: GroupValue>(
+    grid: &BoxGrid,
+    box_offsets: &[usize],
+    cells: &mut [T],
+    base: usize,
+    row_lo: usize,
+    row_hi: usize,
+    lo: &[usize],
+    hi: &[usize],
+    delta: &T,
+    ks: &mut KernelScratch,
+) -> u64 {
+    debug_assert!(row_lo < row_hi && row_hi <= grid.grid_shape().dim(0));
+    ks.ensure(lo.len());
+    let KernelScratch {
+        b,
+        alpha,
+        lb,
+        extents,
+        lo: wlo,
+        hi: whi,
+        cur,
+        e,
+        ..
+    } = ks;
+    grid.box_index_into(lo, b);
+    if b[0] >= row_hi {
+        return 0;
+    }
+    wlo.copy_from_slice(b);
+    wlo[0] = wlo[0].max(row_lo);
+    for (h, &g) in whi.iter_mut().zip(grid.grid_shape().dims()) {
+        *h = g - 1;
+    }
+    whi[0] = row_hi - 1;
+
+    let grid_shape = grid.grid_shape();
+    let mut writes = 0u64;
+    ndcube::for_each_coords_in_bounds(wlo, whi, cur, |bp| {
+        if bp == b.as_slice() {
+            return; // lo's own box: N = N_B there, overlay untouched
+        }
+        for (ai, (&bi, &ki)) in alpha.iter_mut().zip(bp.iter().zip(grid.box_size())) {
+            *ai = bi * ki;
+        }
+        let cell_base = box_offsets[grid_shape.linear_unchecked(bp)] - base;
+        let mut anchor_count = region_cells_leq(lo, hi, alpha);
+        if alpha
+            .iter()
+            .zip(lo.iter().zip(hi))
+            .all(|(&a, (&l, &h))| l <= a && a <= h)
+        {
+            // α ∈ R: P[α] and A[α] move together, so the anchor
+            // (= P[α] − A[α]) excludes α itself.
+            anchor_count -= 1;
+        }
+        if anchor_count > 0 {
+            cells[cell_base].add_assign(&delta.scale(anchor_count)); // anchor is slot 0
+            writes += 1;
+        }
+        if alpha.iter().zip(hi).all(|(&ai, &h)| ai >= h) {
+            return; // R ≤ α componentwise: border counts cancel exactly
+        }
+        // Offsets below lo − α have all three counts zero; enumerate the
+        // rest, with the uniform per-cell count.
+        for (l, (&li, &ai)) in lb.iter_mut().zip(lo.iter().zip(&*alpha)) {
+            *l = li.saturating_sub(ai);
+        }
+        grid.extents_into(bp, extents);
+        for_each_stored_offset_geq_with(extents, lb, e, |eo| {
+            if eo.iter().all(|&x| x == 0) {
+                return; // the anchor (slot 0), handled above
+            }
+            let n_p = region_cells_leq_off(lo, hi, alpha, eo);
+            let nb_p = box_region_cells_leq_off(lo, hi, alpha, eo);
+            debug_assert!(n_p - nb_p >= anchor_count, "border count is non-negative");
+            let count = n_p - nb_p - anchor_count;
+            if count > 0 {
+                let slot = BoxGrid::slot_of(eo, extents)
+                    // lint:allow(L2): the offset enumeration visits exactly the stored slots
+                    .expect("enumeration yields stored cells");
+                cells[cell_base + slot].add_assign(&delta.scale(count));
+                writes += 1;
+            }
+        });
+    });
+    writes
+}
+
 /// Enumerates every *stored* offset `e` (at least one zero component) of a
 /// box with the given extents satisfying `e ≥ lb` componentwise, visiting
 /// each exactly once (canonical order: grouped by first zero dimension).
@@ -329,6 +672,22 @@ pub(crate) mod oracle {
             writes += 1;
         }
         writes + apply_overlay_update(grid, overlay, c, delta)
+    }
+
+    /// Per-cell range-update reference: one point update per region cell.
+    /// The counting fast path must land bit-identical to this loop.
+    pub fn apply_range_update<T: GroupValue>(
+        grid: &BoxGrid,
+        overlay: &mut Overlay<T>,
+        rp: &mut NdCube<T>,
+        region: &Region,
+        delta: &T,
+    ) -> u64 {
+        let mut writes = 0u64;
+        for c in region.iter() {
+            writes += apply_update(grid, overlay, rp, &c, delta);
+        }
+        writes
     }
 
     /// Pre-scratch `apply_overlay_update`: Region-based orthant walk.
@@ -472,6 +831,25 @@ mod props {
             })
     }
 
+    /// Random geometry + two region corners (sorted per dimension by the
+    /// test), for d ∈ 1..=4.
+    #[allow(clippy::type_complexity)]
+    fn range_update_case(
+    ) -> impl Strategy<Value = (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>, i64)> {
+        (1usize..=4)
+            .prop_flat_map(|d| {
+                (
+                    proptest::collection::vec(1usize..=6, d),
+                    proptest::collection::vec(1usize..=4, d),
+                )
+            })
+            .prop_flat_map(|(dims, ks)| {
+                let a: Vec<std::ops::Range<usize>> = dims.iter().map(|&n| 0..n).collect();
+                let b = a.clone();
+                (Just(dims), Just(ks), a, b, -50i64..50)
+            })
+    }
+
     proptest! {
         /// The scratch update kernel and the original allocating path
         /// produce identical overlay cells, RP arrays, and write counts.
@@ -493,6 +871,33 @@ mod props {
             let all: Vec<usize> = (0..ov_new.storage_cells()).collect();
             for i in all {
                 prop_assert_eq!(ov_new.get(i), ov_old.get(i), "overlay cell {}", i);
+            }
+        }
+
+        /// The counting range-update kernel lands bit-identical to a
+        /// per-cell point-update loop over the same region — RP array and
+        /// every overlay cell — across random geometry, including point,
+        /// full-cube, and box-straddling regions.
+        #[test]
+        fn range_update_matches_per_cell_loop((dims, ks, a, b, delta) in range_update_case()) {
+            let lo: Vec<usize> = a.iter().zip(&b).map(|(&x, &y)| x.min(y)).collect();
+            let hi: Vec<usize> = a.iter().zip(&b).map(|(&x, &y)| x.max(y)).collect();
+            let region = ndcube::Region::new(&lo, &hi).unwrap();
+            let grid = BoxGrid::new(Shape::new(&dims).unwrap(), &ks).unwrap();
+            let mut ov_fast = Overlay::<i64>::zeros(grid.clone());
+            let mut ov_ref = ov_fast.clone();
+            let mut rp_fast = NdCube::<i64>::zeros(&dims);
+            let mut rp_ref = rp_fast.clone();
+
+            let mut scratch = Scratch::new();
+            apply_range_update_with(
+                &grid, &mut ov_fast, &mut rp_fast, &region, &delta, &mut scratch.kernel,
+            );
+            oracle::apply_range_update(&grid, &mut ov_ref, &mut rp_ref, &region, &delta);
+
+            prop_assert_eq!(rp_fast.as_slice(), rp_ref.as_slice());
+            for i in 0..ov_fast.storage_cells() {
+                prop_assert_eq!(ov_fast.get(i), ov_ref.get(i), "overlay cell {}", i);
             }
         }
 

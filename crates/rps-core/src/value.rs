@@ -53,6 +53,33 @@ pub trait GroupValue: Clone + PartialEq + Debug + 'static {
     fn is_zero(&self) -> bool {
         *self == Self::zero()
     }
+
+    /// `self ⊕ self ⊕ … ⊕ self`, `count` times (`zero()` when `count`
+    /// is 0) — the "n·x" of the group, needed by the range-update fast
+    /// paths, where one stored cell absorbs the deltas of many source
+    /// cells at once.
+    ///
+    /// Default: double-and-add, O(log count) group operations, exact for
+    /// every lawful group. The fixed-width integer instances override it
+    /// with a wrapping machine multiply, which agrees with repeated
+    /// wrapping addition modulo 2^w; the float instances override with a
+    /// plain multiply (the usual approximate-group caveat applies).
+    #[must_use]
+    fn scale(&self, count: u64) -> Self {
+        let mut acc = Self::zero();
+        let mut base = self.clone();
+        let mut n = count;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc.add_assign(&base);
+            }
+            n >>= 1;
+            if n > 0 {
+                base = base.add(&base);
+            }
+        }
+        acc
+    }
 }
 
 macro_rules! impl_group_for_int {
@@ -70,6 +97,10 @@ macro_rules! impl_group_for_int {
             fn add_assign(&mut self, other: &Self) { *self = self.wrapping_add(*other); }
             #[inline]
             fn sub_assign(&mut self, other: &Self) { *self = self.wrapping_sub(*other); }
+            #[inline]
+            // lint:allow(L4): truncation is the point — scaling by count mod 2^w
+            // is exactly repeated wrapping addition in Z/2^w.
+            fn scale(&self, count: u64) -> Self { self.wrapping_mul(count as $t) }
         }
     )*};
 }
@@ -94,6 +125,10 @@ macro_rules! impl_group_for_float {
             fn add_assign(&mut self, other: &Self) { *self += other; }
             #[inline]
             fn sub_assign(&mut self, other: &Self) { *self -= other; }
+            #[inline]
+            // lint:allow(L4): floats are an approximate group anyway; a single
+            // multiply loses no more than the repeated-addition default.
+            fn scale(&self, count: u64) -> Self { self * (count as $t) }
         }
     )*};
 }
@@ -263,5 +298,33 @@ mod tests {
         assert!(0i64.is_zero());
         assert!(!3i64.is_zero());
         assert!(SumCount::<i64>::zero().is_zero());
+    }
+
+    #[test]
+    fn scale_matches_repeated_addition() {
+        for count in [0u64, 1, 2, 7, 63, 64, 1000] {
+            let mut want = 0i64;
+            for _ in 0..count {
+                want = want.wrapping_add(-13);
+            }
+            assert_eq!((-13i64).scale(count), want, "count {count}");
+            // The composite default (double-and-add) agrees too.
+            let sc = SumCount::new(-13i64, 2);
+            let mut acc = SumCount::zero();
+            for _ in 0..count {
+                acc.add_assign(&sc);
+            }
+            assert_eq!(sc.scale(count), acc, "count {count}");
+        }
+    }
+
+    #[test]
+    fn scale_wraps_like_repeated_wrapping_addition() {
+        // i8 exercises the truncating cast: count mod 2^8 is what matters.
+        let x = 100i8;
+        assert_eq!(x.scale(300), x.wrapping_mul((300 % 256) as i8));
+        // Large i64 values wrap exactly like the sum would.
+        let big = i64::MAX / 2 + 7;
+        assert_eq!(big.scale(5), big.wrapping_mul(5));
     }
 }

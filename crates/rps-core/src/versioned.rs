@@ -50,8 +50,9 @@ use ndcube::{NdCube, NdError, Region, Shape};
 
 use crate::corners::range_sum_from_prefix_with;
 use crate::rps::{
-    effective_threads, kernels, overlay_prefix_part_src, overlay_update_walk, slab_sizes,
-    with_scratch, BoxGrid, KernelScratch, OverlaySource, RpsEngine, Scratch,
+    effective_threads, kernels, overlay_prefix_part_src, overlay_range_walk, overlay_update_walk,
+    rp_range_box, slab_sizes, with_scratch, BoxGrid, KernelScratch, OverlaySource, RpsEngine,
+    Scratch,
 };
 use crate::value::GroupValue;
 
@@ -287,6 +288,15 @@ fn corner_capacity(regions: usize, d: usize) -> usize {
     )
 }
 
+/// One accepted-but-unpublished write: a point delta or a whole-rectangle
+/// delta. Both publish through the same copy-on-write batch path, so a
+/// version boundary never splits a rectangle.
+#[derive(Debug, Clone)]
+enum PendingOp<T> {
+    Point(Vec<usize>, T),
+    Range(Region, T),
+}
+
 /// The writer's private, mutable twin of [`VersionData`]: same slabs,
 /// plus the pending batch and reusable scratch.
 #[derive(Debug)]
@@ -301,7 +311,7 @@ struct WriterState<T> {
     stride0: usize,
     scratch: KernelScratch,
     /// Updates accepted but not yet published.
-    pending: Vec<(Vec<usize>, T)>,
+    pending: Vec<PendingOp<T>>,
     /// Publish after this many pending updates (≥ 1; default 1 =
     /// publish every update immediately).
     publish_threshold: usize,
@@ -334,7 +344,7 @@ impl<T: GroupValue> WriterState<T> {
     /// only ever touches boxes at `b₀` or below (see
     /// [`crate::rps::apply_update_with`]) — so earlier rows keep sharing
     /// their slabs with published versions untouched.
-    fn apply_batch(&mut self, batch: &[(Vec<usize>, T)]) -> (u64, u64, u64) {
+    fn apply_batch(&mut self, batch: &[PendingOp<T>]) -> (u64, u64, u64) {
         let WriterState {
             grid,
             shape,
@@ -353,49 +363,134 @@ impl<T: GroupValue> WriterState<T> {
         let mut writes = 0u64;
         let mut cow_boxes = 0u64;
         let mut lane_runs = 0u64;
-        for (c, delta) in batch {
-            if delta.is_zero() {
-                continue;
-            }
-            let b0 = c[0] / k0;
-            ks.ensure(c.len());
-            // RP cascade, run-structured through the lane kernel — the
-            // same replay as `apply_updates_parallel`, against slab b₀.
-            grid.box_hi_of_cell_into(c, &mut ks.hi);
-            {
-                let slab = &mut rp_slabs[b0];
-                if Arc::strong_count(slab) > 1 {
-                    cow_boxes += row_boxes;
+        for op in batch {
+            match op {
+                PendingOp::Point(c, delta) => {
+                    if delta.is_zero() {
+                        continue;
+                    }
+                    let b0 = c[0] / k0;
+                    ks.ensure(c.len());
+                    // RP cascade, run-structured through the lane kernel —
+                    // the same replay as `apply_updates_parallel`, against
+                    // slab b₀.
+                    grid.box_hi_of_cell_into(c, &mut ks.hi);
+                    {
+                        let slab = &mut rp_slabs[b0];
+                        if Arc::strong_count(slab) > 1 {
+                            cow_boxes += row_boxes;
+                        }
+                        let cells = Arc::make_mut(slab);
+                        let base = b0 * k0 * stride0;
+                        shape.for_each_contiguous_run_in_bounds(
+                            c,
+                            &ks.hi,
+                            &mut ks.cur,
+                            |start, len| {
+                                let lo = start - base;
+                                kernels::add_delta_run(&mut cells[lo..lo + len], delta);
+                                writes += u64::try_from(len).unwrap_or(u64::MAX);
+                                lane_runs += u64::from(kernels::is_lane_run(len));
+                            },
+                        );
+                    }
+                    // Overlay orthant walk, clipped to one box-row slab at
+                    // a time. Rows before b₀ are never touched (the walk's
+                    // row clip would return 0 writes), so they are not
+                    // even cloned.
+                    for r in b0..rows {
+                        let slab = &mut ov_slabs[r];
+                        if Arc::strong_count(slab) > 1 {
+                            cow_boxes += row_boxes;
+                        }
+                        let cells = Arc::make_mut(slab);
+                        writes += overlay_update_walk(
+                            grid,
+                            box_offsets,
+                            cells,
+                            ov_base[r],
+                            r,
+                            r + 1,
+                            c,
+                            delta,
+                            ks,
+                        );
+                    }
                 }
-                let cells = Arc::make_mut(slab);
-                let base = b0 * k0 * stride0;
-                shape.for_each_contiguous_run_in_bounds(c, &ks.hi, &mut ks.cur, |start, len| {
-                    let lo = start - base;
-                    kernels::add_delta_run(&mut cells[lo..lo + len], delta);
-                    writes += u64::try_from(len).unwrap_or(u64::MAX);
-                    lane_runs += u64::from(kernels::is_lane_run(len));
-                });
-            }
-            // Overlay orthant walk, clipped to one box-row slab at a
-            // time. Rows before b₀ are never touched (the walk's row
-            // clip would return 0 writes), so they are not even cloned.
-            for r in b0..rows {
-                let slab = &mut ov_slabs[r];
-                if Arc::strong_count(slab) > 1 {
-                    cow_boxes += row_boxes;
+                PendingOp::Range(region, delta) => {
+                    if delta.is_zero() {
+                        continue;
+                    }
+                    let (lo, hi) = (region.lo(), region.hi());
+                    let d = lo.len();
+                    ks.ensure(d);
+                    // RP half: per affected box-row slab, sweep the boxes
+                    // of the [box(lo), box(hi)] index rectangle with that
+                    // dim-0 index — the slab-clipped form of the serial
+                    // engine's box cascade.
+                    grid.box_index_into(lo, &mut ks.b);
+                    grid.box_index_into(hi, &mut ks.offsets);
+                    let b0 = ks.b[0];
+                    for r in b0..=ks.offsets[0] {
+                        let slab = &mut rp_slabs[r];
+                        if Arc::strong_count(slab) > 1 {
+                            cow_boxes += row_boxes;
+                        }
+                        let cells = Arc::make_mut(slab);
+                        let base = r * k0 * stride0;
+                        let KernelScratch {
+                            b,
+                            offsets,
+                            alpha,
+                            lo: rlo,
+                            hi: box_hi,
+                            cur,
+                            e,
+                            ..
+                        } = &mut *ks;
+                        cur.clear();
+                        cur.extend_from_slice(b);
+                        cur[0] = r;
+                        'boxes: loop {
+                            writes += rp_range_box(
+                                grid, cells, base, cur, lo, hi, delta, alpha, rlo, box_hi, e,
+                            );
+                            let mut dim = d;
+                            loop {
+                                if dim == 1 {
+                                    break 'boxes; // dim 0 is pinned to this slab
+                                }
+                                dim -= 1;
+                                if cur[dim] < offsets[dim] {
+                                    cur[dim] += 1;
+                                    continue 'boxes;
+                                }
+                                cur[dim] = b[dim];
+                            }
+                        }
+                    }
+                    // Overlay half: every box row of lo's upper orthant,
+                    // one slab-clipped walk per row.
+                    for r in b0..rows {
+                        let slab = &mut ov_slabs[r];
+                        if Arc::strong_count(slab) > 1 {
+                            cow_boxes += row_boxes;
+                        }
+                        let cells = Arc::make_mut(slab);
+                        writes += overlay_range_walk(
+                            grid,
+                            box_offsets,
+                            cells,
+                            ov_base[r],
+                            r,
+                            r + 1,
+                            lo,
+                            hi,
+                            delta,
+                            ks,
+                        );
+                    }
                 }
-                let cells = Arc::make_mut(slab);
-                writes += overlay_update_walk(
-                    grid,
-                    box_offsets,
-                    cells,
-                    ov_base[r],
-                    r,
-                    r + 1,
-                    c,
-                    delta,
-                    ks,
-                );
             }
         }
         (writes, cow_boxes, lane_runs)
@@ -711,7 +806,29 @@ impl<T: GroupValue> VersionedEngine<T> {
         m.updates.inc();
         // lint:allow(L2): poisoning means a writer already panicked; fail fast is the policy
         let mut w = self.inner.writer.lock().expect("engine lock poisoned");
-        w.pending.push((coords.to_vec(), delta));
+        w.pending.push(PendingOp::Point(coords.to_vec(), delta));
+        self.inner.updates.fetch_add(1, Ordering::Relaxed);
+        if w.pending.len() >= w.publish_threshold {
+            self.inner.publish_locked(&mut w);
+        }
+        Ok(())
+    }
+
+    /// Accepts one bulk range update: `delta` is added to every cell of
+    /// `region`. The rectangle is applied copy-on-write as a single
+    /// pending op and published like a point update, so readers always
+    /// observe it atomically — one version boundary never splits it.
+    pub fn range_update(&self, region: &Region, delta: T) -> Result<(), NdError> {
+        self.inner.shape.check_region(region)?;
+        let m = crate::obs::core();
+        m.range_update_fast.inc();
+        m.range_update_cells
+            .add(u64::try_from(region.cell_count()).unwrap_or(u64::MAX));
+        let _span = rps_obs::Span::enter("versioned.range_update", &m.range_update_ns);
+        crate::obs::engine(crate::obs::EngineKind::Rps).updates.inc();
+        // lint:allow(L2): poisoning means a writer already panicked; fail fast is the policy
+        let mut w = self.inner.writer.lock().expect("engine lock poisoned");
+        w.pending.push(PendingOp::Range(region.clone(), delta));
         self.inner.updates.fetch_add(1, Ordering::Relaxed);
         if w.pending.len() >= w.publish_threshold {
             self.inner.publish_locked(&mut w);
@@ -732,7 +849,8 @@ impl<T: GroupValue> VersionedEngine<T> {
             .add(u64::try_from(updates.len()).unwrap_or(u64::MAX));
         // lint:allow(L2): poisoning means a writer already panicked; fail fast is the policy
         let mut w = self.inner.writer.lock().expect("engine lock poisoned");
-        w.pending.extend_from_slice(updates);
+        w.pending
+            .extend(updates.iter().cloned().map(|(c, v)| PendingOp::Point(c, v)));
         self.inner.updates.fetch_add(
             u64::try_from(updates.len()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
@@ -1105,6 +1223,54 @@ mod tests {
             let delta = i64::try_from(i).unwrap() % 11 - 5;
             serial.update(&c, delta).unwrap();
             v.update(&c, delta).unwrap();
+        }
+        let snap = v.snapshot();
+        for x in &a.shape().full_region() {
+            let r = Region::new(&[0; 3], &x).unwrap();
+            assert_eq!(snap.query(&r).unwrap(), serial.query(&r).unwrap(), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn range_update_matches_serial_and_respects_pins() {
+        let v = paper_versioned();
+        let mut serial = RpsEngine::from_cube_uniform(&paper_array_a(), 3).unwrap();
+        let mut reader = v.reader();
+        let pinned = reader.pin();
+        let r = Region::new(&[1, 2], &[6, 7]).unwrap();
+        v.range_update(&r, 5).unwrap();
+        serial.range_update(&r, 5).unwrap();
+        // The pin still observes the pre-update state...
+        assert_eq!(pinned.total(), 290);
+        drop(pinned);
+        // ...and a fresh pin sees the whole rectangle at once, cell-for-
+        // cell identical to the serial engine's fast path.
+        let snap = reader.pin();
+        for x in &snap.shape().full_region() {
+            let pr = Region::new(&[0; 2], &x).unwrap();
+            assert_eq!(snap.query(&pr).unwrap(), serial.query(&pr).unwrap(), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_point_and_range_ops_match_serial_3d() {
+        // d = 3, ragged boxes: range rectangles crossing slab boundaries
+        // interleaved with point deltas.
+        let a = NdCube::from_fn(&[6, 5, 4], |c| (c[0] * 20 + c[1] * 4 + c[2]) as i64).unwrap();
+        let mut serial = RpsEngine::from_cube_with_box_size(&a, &[2, 3, 2]).unwrap();
+        let v = VersionedEngine::new(RpsEngine::from_cube_with_box_size(&a, &[2, 3, 2]).unwrap());
+        for i in 0..24usize {
+            let c = [i % 6, (i * 3) % 5, (i * 7) % 4];
+            let delta = i64::try_from(i).unwrap() % 11 - 5;
+            if i % 3 == 0 {
+                let hi = [(c[0] + 3).min(5), (c[1] + 2).min(4), (c[2] + 1).min(3)];
+                let r = Region::new(&c, &hi).unwrap();
+                serial.range_update(&r, delta).unwrap();
+                v.range_update(&r, delta).unwrap();
+            } else {
+                serial.update(&c, delta).unwrap();
+                v.update(&c, delta).unwrap();
+            }
         }
         let snap = v.snapshot();
         for x in &a.shape().full_region() {

@@ -5,9 +5,11 @@
 //! particular the d ≥ 3 alternating-border query and the orthant-walk
 //! update, neither of which is spelled out in the paper body.
 
-use ndcube::{NdCube, Region};
+use ndcube::{NdCube, Region, Shape};
 use proptest::prelude::*;
-use rps_core::{FenwickEngine, NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine};
+use rps_core::{
+    BlockedFenwickEngine, FenwickEngine, NaiveEngine, PrefixSumEngine, RangeSumEngine, RpsEngine,
+};
 
 /// A random cube of 1..=4 dimensions with small per-dimension sizes,
 /// a compatible box size per dimension, a batch of point updates and a
@@ -156,6 +158,205 @@ proptest! {
         let engine = RpsEngine::from_cube_with_box_size(&cube, &sc.box_size).unwrap();
         prop_assert_eq!(engine.materialize(), cube);
     }
+}
+
+// ---------------------------------------------------------------------
+// Range-update conformance: interleaved point and rectangle updates on
+// every engine must be bit-identical to a per-cell flat-array oracle —
+// the oracle never goes through any engine's fast path.
+// ---------------------------------------------------------------------
+
+/// One update operation: a point delta or a rectangle delta.
+#[derive(Debug, Clone)]
+enum Op {
+    Point(Vec<usize>, i64),
+    Range(Vec<usize>, Vec<usize>, i64),
+}
+
+/// Mixed point/range workload over a random cube of 1..=3 dimensions.
+/// The innermost dimension ranges past one blocked-Fenwick block (8), so
+/// non-divisible tail blocks are exercised.
+#[derive(Debug, Clone)]
+struct RangeScenario {
+    dims: Vec<usize>,
+    box_size: Vec<usize>,
+    initial: Vec<i64>,
+    ops: Vec<Op>,
+    queries: Vec<(Vec<usize>, Vec<usize>)>,
+}
+
+fn range_scenario() -> impl Strategy<Value = RangeScenario> {
+    (1usize..=3)
+        .prop_flat_map(|d| {
+            (
+                proptest::collection::vec(1usize..=11, d..=d),
+                proptest::collection::vec(1usize..=5, d..=d),
+            )
+        })
+        .prop_flat_map(|(dims, box_size)| {
+            let n: usize = dims.iter().product();
+            let coord = {
+                let dims = dims.clone();
+                move || {
+                    let dims: Vec<usize> = dims.clone();
+                    proptest::collection::vec(0usize..usize::MAX, dims.len()).prop_map(move |raw| {
+                        raw.iter()
+                            .zip(&dims)
+                            .map(|(&r, &s)| r % s)
+                            .collect::<Vec<_>>()
+                    })
+                }
+            };
+            let corners = {
+                let coord = coord.clone();
+                move || {
+                    (coord(), coord()).prop_map(|(a, b)| {
+                        let lo: Vec<usize> = a.iter().zip(&b).map(|(&x, &y)| x.min(y)).collect();
+                        let hi: Vec<usize> = a.iter().zip(&b).map(|(&x, &y)| x.max(y)).collect();
+                        (lo, hi)
+                    })
+                }
+            };
+            let op = (any::<bool>(), coord(), corners(), -100i64..100).prop_map(
+                |(is_range, c, (lo, hi), v)| {
+                    if is_range {
+                        Op::Range(lo, hi, v)
+                    } else {
+                        Op::Point(c, v)
+                    }
+                },
+            );
+            (
+                Just(dims),
+                Just(box_size),
+                proptest::collection::vec(-50i64..50, n..=n),
+                proptest::collection::vec(op, 0..14),
+                proptest::collection::vec(corners(), 1..8),
+            )
+        })
+        .prop_map(|(dims, box_size, initial, ops, queries)| RangeScenario {
+            dims,
+            box_size,
+            initial,
+            ops,
+            queries,
+        })
+}
+
+/// Applies the scenario's ops to `engine` and to a flat per-cell oracle,
+/// then checks every query region, every single cell, and the total.
+fn run_range_ops<E: RangeSumEngine<i64>>(mut engine: E, sc: &RangeScenario) {
+    let shape = Shape::new(&sc.dims).unwrap();
+    let mut oracle = sc.initial.clone();
+    for op in &sc.ops {
+        match op {
+            Op::Point(c, delta) => {
+                engine.update(c, *delta).unwrap();
+                oracle[shape.linear(c).unwrap()] += *delta;
+            }
+            Op::Range(lo, hi, delta) => {
+                let r = Region::new(lo, hi).unwrap();
+                engine.range_update(&r, *delta).unwrap();
+                for c in r.iter() {
+                    oracle[shape.linear(&c).unwrap()] += *delta;
+                }
+            }
+        }
+    }
+    for (lo, hi) in &sc.queries {
+        let r = Region::new(lo, hi).unwrap();
+        let mut want = 0i64;
+        for c in r.iter() {
+            want += oracle[shape.linear(&c).unwrap()];
+        }
+        assert_eq!(
+            engine.query(&r).unwrap(),
+            want,
+            "{} disagrees with the per-cell oracle on {r:?} (scenario {sc:?})",
+            engine.name()
+        );
+    }
+    assert_eq!(
+        engine.materialize(),
+        NdCube::from_vec(&sc.dims, oracle.clone()).unwrap(),
+        "{} materializes differently from the oracle",
+        engine.name()
+    );
+    assert_eq!(engine.total(), oracle.iter().sum::<i64>());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn naive_range_updates_match_oracle(sc in range_scenario()) {
+        let cube = NdCube::from_vec(&sc.dims, sc.initial.clone()).unwrap();
+        run_range_ops(NaiveEngine::from_cube(cube), &sc);
+    }
+
+    #[test]
+    fn prefix_sum_range_updates_match_oracle(sc in range_scenario()) {
+        let cube = NdCube::from_vec(&sc.dims, sc.initial.clone()).unwrap();
+        run_range_ops(PrefixSumEngine::from_cube(&cube), &sc);
+    }
+
+    #[test]
+    fn rps_range_updates_match_oracle(sc in range_scenario()) {
+        let cube = NdCube::from_vec(&sc.dims, sc.initial.clone()).unwrap();
+        let engine = RpsEngine::from_cube_with_box_size(&cube, &sc.box_size).unwrap();
+        run_range_ops(engine, &sc);
+    }
+
+    #[test]
+    fn fenwick_range_updates_match_oracle(sc in range_scenario()) {
+        let cube = NdCube::from_vec(&sc.dims, sc.initial.clone()).unwrap();
+        run_range_ops(FenwickEngine::from_cube(&cube), &sc);
+    }
+
+    #[test]
+    fn blocked_fenwick_range_updates_match_oracle(sc in range_scenario()) {
+        let cube = NdCube::from_vec(&sc.dims, sc.initial.clone()).unwrap();
+        run_range_ops(BlockedFenwickEngine::from_cube(&cube), &sc);
+    }
+}
+
+#[test]
+fn range_update_edge_regions_all_engines() {
+    // Deterministic edge coverage on a 5×13 cube: the innermost extent
+    // 13 = 8 + 5 gives the blocked-Fenwick layout a non-divisible tail
+    // block. Point region, full region, full row, and a box that ends
+    // exactly on the 8-boundary.
+    let dims = [5usize, 13];
+    let cube = NdCube::from_fn(&dims, |c| (c[0] * 13 + c[1]) as i64 % 9).unwrap();
+    let edges = [
+        Region::new(&[2, 7], &[2, 7]).unwrap(),   // single cell
+        Region::new(&[0, 0], &[4, 12]).unwrap(),  // full cube
+        Region::new(&[3, 0], &[3, 12]).unwrap(),  // full row
+        Region::new(&[1, 0], &[2, 7]).unwrap(),   // ends on the block edge
+        Region::new(&[0, 8], &[4, 12]).unwrap(),  // entirely in the tail block
+    ];
+    let sc = RangeScenario {
+        dims: dims.to_vec(),
+        box_size: vec![2, 4],
+        initial: cube.as_slice().to_vec(),
+        ops: edges
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Op::Range(r.lo().to_vec(), r.hi().to_vec(), 3 * i as i64 - 5))
+            .collect(),
+        queries: edges
+            .iter()
+            .map(|r| (r.lo().to_vec(), r.hi().to_vec()))
+            .collect(),
+    };
+    run_range_ops(NaiveEngine::from_cube(cube.clone()), &sc);
+    run_range_ops(PrefixSumEngine::from_cube(&cube), &sc);
+    run_range_ops(
+        RpsEngine::from_cube_with_box_size(&cube, &sc.box_size).unwrap(),
+        &sc,
+    );
+    run_range_ops(FenwickEngine::from_cube(&cube), &sc);
+    run_range_ops(BlockedFenwickEngine::from_cube(&cube), &sc);
 }
 
 #[test]

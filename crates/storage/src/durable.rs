@@ -49,7 +49,20 @@ use crate::snapshot::{
     decode_snapshot, encode_snapshot, FsSnapshotDir, RecoveryReport, RecoverySource,
     SnapshotCheckFailed, SnapshotPolicy, SnapshotState, SnapshotStore,
 };
-use crate::wal::{FsLogFile, LogFile, Wal};
+use crate::wal::{FsLogFile, LogFile, Wal, WalRecord};
+
+/// Applies one replayed WAL record — point or range — to an engine.
+fn replay_record<E: RangeSumEngine<i64>>(
+    engine: &mut E,
+    rec: &WalRecord,
+) -> Result<(), StorageError> {
+    match &rec.hi {
+        None => engine.update(&rec.coords, rec.delta),
+        Some(hi) => Region::new(&rec.coords, hi)
+            .and_then(|region| engine.range_update(&region, rec.delta)),
+    }
+    .map_err(StorageError::Engine)
+}
 
 /// An engine whose updates are write-ahead logged.
 ///
@@ -139,9 +152,7 @@ impl<E: RangeSumEngine<i64>, L: LogFile> DurableEngine<E, L> {
     ) -> Result<DurableEngine<E, L>, StorageError> {
         let (mut wal, records) = Wal::from_log(log)?;
         for rec in records.iter().filter(|r| r.lsn > snapshot_lsn) {
-            engine
-                .update(&rec.coords, rec.delta)
-                .map_err(StorageError::Engine)?;
+            replay_record(&mut engine, rec)?;
         }
         // After a checkpoint truncated the log, a reopened counter would
         // restart below snapshot_lsn and recovery would later discard new
@@ -222,6 +233,45 @@ impl<E: RangeSumEngine<i64>, L: LogFile> DurableEngine<E, L> {
         }
         self.engine
             .update(coords, delta)
+            .map_err(StorageError::Engine)?;
+        self.records_since_checkpoint += 1;
+        Ok(())
+    }
+
+    /// Logged bulk range update: one WAL record covers the whole
+    /// rectangle, so an arbitrarily large `region` is atomic under crash
+    /// recovery — either the record is intact and replay re-applies the
+    /// entire box, or it is torn and none of it reappears. Same
+    /// error-means-not-applied contract as [`Self::update`]: a failed
+    /// append (or failed strict-mode sync) is rolled back.
+    pub fn range_update(&mut self, region: &Region, delta: i64) -> Result<(), StorageError> {
+        let m = rps_core::obs::engine(rps_core::obs::EngineKind::Durable);
+        m.updates.inc();
+        let _span = rps_obs::Span::enter("durable.range_update", &m.update_ns);
+        self.engine
+            .shape()
+            .check_region(region)
+            .map_err(StorageError::Engine)?;
+        let prev_len = self.wal.len();
+        let prev_next_lsn = self.wal.last_lsn() + 1;
+        {
+            let retry = self.retry;
+            let wal = &mut self.wal;
+            retry.run(|| wal.append_range(region.lo(), region.hi(), delta).map(|_| ()))?;
+        }
+        if self.sync_every_append {
+            let sync_result = {
+                let retry = self.retry;
+                let wal = &mut self.wal;
+                retry.run(|| wal.sync())
+            };
+            if let Err(e) = sync_result {
+                self.wal.rollback_last(prev_len, prev_next_lsn)?;
+                return Err(e);
+            }
+        }
+        self.engine
+            .range_update(region, delta)
             .map_err(StorageError::Engine)?;
         self.records_since_checkpoint += 1;
         Ok(())
@@ -482,12 +532,10 @@ impl<E: RangeSumEngine<i64> + SnapshotState, L: LogFile> DurableEngine<E, L> {
         let mut prefix_bytes = 0u64;
         for rec in &records {
             if rec.lsn > snap_lsn {
-                engine
-                    .update(&rec.coords, rec.delta)
-                    .map_err(StorageError::Engine)?;
+                replay_record(&mut engine, rec)?;
                 replayed += 1;
             } else {
-                prefix_bytes += (8 + 4 + rec.coords.len() * 4 + 8 + 8) as u64;
+                prefix_bytes += rec.encoded_len() as u64;
             }
         }
         wal.ensure_lsn_after(snap_lsn);
@@ -701,6 +749,79 @@ mod tests {
 
         let d = DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
         assert_eq!(d.query(&full()).unwrap(), 1); // first update survived
+    }
+
+    #[test]
+    fn range_update_recovers_from_wal() {
+        let wal = tmp("range.wal");
+        {
+            let mut d =
+                DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
+            d.update(&[0, 0], 1).unwrap();
+            let box2x3 = Region::new(&[2, 1], &[3, 3]).unwrap();
+            d.range_update(&box2x3, 5).unwrap(); // 6 cells × 5 = 30
+            d.update(&[7, 7], 2).unwrap();
+            assert_eq!(d.query(&full()).unwrap(), 33);
+            assert_eq!(d.last_lsn(), 3, "range record takes one LSN");
+        }
+        // Recovery replays the range record as a single bulk op.
+        let d = DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
+        assert_eq!(d.query(&full()).unwrap(), 33);
+        let inside = Region::new(&[2, 1], &[2, 1]).unwrap();
+        assert_eq!(d.query(&inside).unwrap(), 5, "every cell of the box got the delta");
+    }
+
+    #[test]
+    fn torn_range_record_drops_whole_box_atomically() {
+        let wal = tmp("range-torn.wal");
+        {
+            let mut d =
+                DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
+            d.update(&[0, 0], 1).unwrap();
+            d.range_update(&Region::new(&[0, 0], &[7, 7]).unwrap(), 3)
+                .unwrap();
+        }
+        let len = std::fs::metadata(&wal).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let d = DurableEngine::open(RpsEngine::<i64>::zeros(&[8, 8]).unwrap(), &wal, 0).unwrap();
+        // All 64 cells of the torn bulk update vanish together; the
+        // intact point update survives.
+        assert_eq!(d.query(&full()).unwrap(), 1);
+    }
+
+    #[test]
+    fn range_update_rejects_out_of_bounds_without_logging() {
+        let wal = tmp("range-oob.wal");
+        let mut d =
+            DurableEngine::open(RpsEngine::<i64>::zeros(&[4, 4]).unwrap(), &wal, 0).unwrap();
+        let out = Region::new(&[2, 2], &[5, 5]).unwrap();
+        assert!(d.range_update(&out, 1).is_err());
+        assert_eq!(d.wal_bytes(), 0, "invalid range updates must not be logged");
+    }
+
+    #[test]
+    fn range_update_survives_snapshot_chain_recovery() {
+        let dir = tmp_dir("range-snap");
+        let wal = dir.join("ops.wal");
+        let snaps = dir.join("snaps");
+        {
+            let mut d = DurableEngine::open(fresh_8x8().unwrap(), &wal, 0).unwrap();
+            let mut store = FsSnapshotDir::open(&snaps).unwrap();
+            d.range_update(&Region::new(&[0, 0], &[1, 1]).unwrap(), 10)
+                .unwrap(); // 4 cells → 40, lsn 1
+            d.checkpoint_to(&mut store).unwrap();
+            d.range_update(&Region::new(&[4, 4], &[5, 5]).unwrap(), 1)
+                .unwrap(); // post-checkpoint tail, lsn 2
+        }
+        let (d, report) = DurableEngine::recover(&snaps, &wal, fresh_8x8).unwrap();
+        assert_eq!(report.source, RecoverySource::Snapshot(1));
+        assert_eq!(report.replayed, 1, "only the post-checkpoint range record");
+        assert_eq!(d.query(&full()).unwrap(), 44, "no loss, no double-apply");
     }
 
     #[test]

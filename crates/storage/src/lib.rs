@@ -63,4 +63,4 @@ pub use snapshot::{
     RecoverySource, SnapshotCheckFailed, SnapshotHeader, SnapshotPolicy, SnapshotState,
     SnapshotStore, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
-pub use wal::{decode_records, FsLogFile, LogFile, Wal, WalRecord};
+pub use wal::{decode_records, FsLogFile, LogFile, Wal, WalRecord, RANGE_FLAG};

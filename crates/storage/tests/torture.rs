@@ -113,6 +113,20 @@ fn lin(coords: &[usize]) -> usize {
     coords[0] * SIDE + coords[1]
 }
 
+/// Applies one surviving WAL record — point or range — to a flat oracle.
+fn apply_to_oracle(oracle: &mut [i64], rec: &rps_storage::WalRecord) {
+    match &rec.hi {
+        None => oracle[lin(&rec.coords)] += rec.delta,
+        Some(hi) => {
+            for r in rec.coords[0]..=hi[0] {
+                for c in rec.coords[1]..=hi[1] {
+                    oracle[r * SIDE + c] += rec.delta;
+                }
+            }
+        }
+    }
+}
+
 /// Ground truth carried alongside the engine under test.
 struct Model {
     /// Current logical state (every acknowledged update applied).
@@ -120,8 +134,9 @@ struct Model {
     /// State of the last durably persisted checkpoint.
     snapshot: Vec<i64>,
     snapshot_lsn: u64,
-    /// Every acknowledged update, by LSN.
-    acked: BTreeMap<u64, (Vec<usize>, i64)>,
+    /// Every acknowledged update, by LSN: lo corner, optional hi corner
+    /// (range records), delta.
+    acked: BTreeMap<u64, (Vec<usize>, Option<Vec<usize>>, i64)>,
 }
 
 /// Recovers one crash state and checks it cell-for-cell against
@@ -145,7 +160,7 @@ fn check_recovery(seed: u64, plan: &FaultPlan, op: usize, state: &[u8], model: &
     .unwrap_or_else(|e| panic!("recovery must never fail: {e} ({})", ctx()));
     let mut oracle = model.snapshot.clone();
     for rec in records.iter().filter(|r| r.lsn > model.snapshot_lsn) {
-        oracle[lin(&rec.coords)] += rec.delta;
+        apply_to_oracle(&mut oracle, rec);
     }
     for r in 0..SIDE {
         for c in 0..SIDE {
@@ -174,8 +189,8 @@ fn check_no_fabrication(seed: u64, plan: &FaultPlan, op: usize, state: &[u8], mo
         );
         prev = rec.lsn;
         match model.acked.get(&rec.lsn) {
-            Some((coords, delta)) => assert!(
-                *coords == rec.coords && *delta == rec.delta,
+            Some((coords, hi, delta)) => assert!(
+                *coords == rec.coords && *hi == rec.hi && *delta == rec.delta,
                 "record at LSN {} does not match the acknowledged update \
                  (seed {seed}, op {op}, {plan})",
                 rec.lsn
@@ -254,6 +269,37 @@ fn torture_one_seed(seed: u64) -> (u64, u64, u64) {
                 model.snapshot_lsn = lsn;
             }
             drop(result); // injected sync failures legitimately surface here
+        } else if op % 5 == 4 {
+            // A bulk range update: one WAL record covers the whole box,
+            // so crash recovery must see it all-or-nothing.
+            let a = [rng.below(SIDE), rng.below(SIDE)];
+            let b = [rng.below(SIDE), rng.below(SIDE)];
+            let lo = [a[0].min(b[0]), a[1].min(b[1])];
+            let hi = [a[0].max(b[0]), a[1].max(b[1])];
+            let region = Region::new(&lo, &hi).unwrap();
+            let delta = (rng.next_u64() % 21) as i64 - 10;
+            let lsn_before = d.last_lsn();
+            match d.range_update(&region, delta) {
+                Ok(()) => {
+                    let lsn = d.last_lsn();
+                    assert_eq!(lsn, lsn_before + 1, "seed {seed}: range takes one LSN");
+                    for r in lo[0]..=hi[0] {
+                        for c in lo[1]..=hi[1] {
+                            model.cells[r * SIDE + c] += delta;
+                        }
+                    }
+                    model
+                        .acked
+                        .insert(lsn, (lo.to_vec(), Some(hi.to_vec()), delta));
+                }
+                Err(_) => {
+                    assert_eq!(
+                        d.last_lsn(),
+                        lsn_before,
+                        "failed range update must not burn an LSN"
+                    );
+                }
+            }
         } else {
             let coords = [rng.below(SIDE), rng.below(SIDE)];
             let delta = (rng.next_u64() % 21) as i64 - 10;
@@ -263,7 +309,7 @@ fn torture_one_seed(seed: u64) -> (u64, u64, u64) {
                     let lsn = d.last_lsn();
                     assert_eq!(lsn, lsn_before + 1, "seed {seed}: LSNs must be dense");
                     model.cells[lin(&coords)] += delta;
-                    model.acked.insert(lsn, (coords.to_vec(), delta));
+                    model.acked.insert(lsn, (coords.to_vec(), None, delta));
                 }
                 Err(_) => {
                     // The contract under test: an errored update was NOT
@@ -297,7 +343,7 @@ fn torture_one_seed(seed: u64) -> (u64, u64, u64) {
             let (records, _) = decode_records(&media);
             let mut durable = model.snapshot.clone();
             for rec in records.iter().filter(|r| r.lsn > model.snapshot_lsn) {
-                durable[lin(&rec.coords)] += rec.delta;
+                apply_to_oracle(&mut durable, rec);
             }
             assert_eq!(
                 durable, model.cells,

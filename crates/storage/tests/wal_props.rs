@@ -2,8 +2,10 @@
 //! exactly; any truncation point recovers a strict prefix; repair always
 //! leaves an appendable log.
 
+use ndcube::Region;
 use proptest::prelude::*;
-use rps_storage::{Wal, WalRecord};
+use rps_core::{RangeSumEngine, RpsEngine};
+use rps_storage::{DurableEngine, Wal, WalRecord};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -44,6 +46,7 @@ proptest! {
             .map(|(i, (c, d))| WalRecord {
                 lsn: i as u64 + 1,
                 coords: c.clone(),
+                hi: None,
                 delta: *d,
             })
             .collect();
@@ -80,6 +83,7 @@ proptest! {
             .map(|(i, (c, d))| WalRecord {
                 lsn: i as u64 + 1,
                 coords: c.clone(),
+                hi: None,
                 delta: *d,
             })
             .collect();
@@ -97,6 +101,60 @@ proptest! {
         prop_assert_eq!(&last.coords, &vec![7usize]);
         prop_assert_eq!(last.delta, 7);
         prop_assert_eq!(last.lsn, n_before as u64 + 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mixed_point_and_range_ops_replay_to_per_cell_oracle(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0usize..6, 0usize..6, 0usize..6, 0usize..6, -50i64..50),
+            0..20,
+        ),
+    ) {
+        // Every fast path the engines take for logged range updates must
+        // be bit-identical, after a crash + WAL replay, to a flat oracle
+        // that only ever applies per-cell deltas.
+        const SIDE: usize = 6;
+        let path = tmp();
+        let mut oracle = vec![0i64; SIDE * SIDE];
+        {
+            let mut d = DurableEngine::open(
+                RpsEngine::<i64>::zeros(&[SIDE, SIDE]).unwrap(),
+                &path,
+                0,
+            )
+            .unwrap();
+            for &(is_range, a, b, c, e, delta) in &ops {
+                if is_range {
+                    let lo = [a.min(b), c.min(e)];
+                    let hi = [a.max(b), c.max(e)];
+                    d.range_update(&Region::new(&lo, &hi).unwrap(), delta).unwrap();
+                    for r in lo[0]..=hi[0] {
+                        for col in lo[1]..=hi[1] {
+                            oracle[r * SIDE + col] += delta;
+                        }
+                    }
+                } else {
+                    d.update(&[a, c], delta).unwrap();
+                    oracle[a * SIDE + c] += delta;
+                }
+            }
+        } // crash: nothing checkpointed, recovery is pure WAL replay
+        let d = DurableEngine::open(
+            RpsEngine::<i64>::zeros(&[SIDE, SIDE]).unwrap(),
+            &path,
+            0,
+        )
+        .unwrap();
+        for r in 0..SIDE {
+            for c in 0..SIDE {
+                prop_assert_eq!(
+                    d.engine().cell(&[r, c]).unwrap(),
+                    oracle[r * SIDE + c],
+                    "cell [{}, {}] diverged after replay", r, c
+                );
+            }
+        }
         let _ = std::fs::remove_file(&path);
     }
 
@@ -126,6 +184,7 @@ proptest! {
             .map(|(i, (c, d))| WalRecord {
                 lsn: i as u64 + 1,
                 coords: c.clone(),
+                hi: None,
                 delta: *d,
             })
             .collect();

@@ -66,6 +66,47 @@ fn every_byte_offset_of_the_final_record_recovers_cleanly() {
 }
 
 #[test]
+fn every_byte_offset_of_a_final_range_record_recovers_cleanly() {
+    // Same exhaustive sweep for the doubled-coordinate range framing:
+    // point, point, range — then cut at every byte of the range record.
+    for ndim in [1usize, 2, 3] {
+        let path = tmp(&format!("range-sweep-{ndim}.wal"));
+        let point_len = 8 + 4 + 4 * ndim + 8 + 8;
+        let range_len = 8 + 4 + 8 * ndim + 8 + 8;
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            let coords: Vec<usize> = (0..ndim).collect();
+            wal.append(&coords, 3).unwrap();
+            wal.append(&coords, 6).unwrap();
+            let hi: Vec<usize> = (0..ndim).map(|d| d + 4).collect();
+            wal.append_range(&coords, &hi, 9).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), 2 * point_len + range_len, "framing size sanity");
+        let intact_prefix = 2 * point_len;
+        for extra in 0..range_len {
+            let cut = intact_prefix + extra;
+            let (records, valid) = decode_records(&bytes[..cut]);
+            assert_eq!(
+                records.len(),
+                2,
+                "cut {extra} bytes into the final {ndim}-d range record"
+            );
+            assert_eq!(valid, intact_prefix as u64);
+            assert!(records.iter().all(|r| r.hi.is_none()));
+        }
+        // The full log decodes the range record intact.
+        let (records, valid) = decode_records(&bytes);
+        assert_eq!(records.len(), 3);
+        assert_eq!(valid, bytes.len() as u64);
+        let last = records.last().unwrap();
+        assert_eq!(last.coords, (0..ndim).collect::<Vec<_>>());
+        assert_eq!(last.hi, Some((0..ndim).map(|d| d + 4).collect::<Vec<_>>()));
+        assert_eq!(last.delta, 9);
+    }
+}
+
+#[test]
 fn every_crc_byte_offset_via_real_file_repair() {
     // The same sweep through the CRC field specifically, but through the
     // file-based repair path (truncate file → Wal::repair → reopen →
@@ -98,6 +139,7 @@ fn every_crc_byte_offset_via_real_file_repair() {
             WalRecord {
                 lsn: 2,
                 coords: vec![9, 9],
+                hi: None,
                 delta: 99
             }
         );

@@ -23,6 +23,6 @@ pub mod zipf;
 pub use cubegen::CubeGen;
 pub use scenario::SalesScenario;
 pub use schema::{CubeSchema, Dimension, Key};
-pub use stream::{MixedWorkload, Op, QueryGen, RegionSpec, UpdateGen};
+pub use stream::{MixedWorkload, Op, QueryGen, RegionSpec, UpdateGen, UpdateSpec};
 pub use trace::{load_trace, save_trace, TraceError};
 pub use zipf::Zipf;

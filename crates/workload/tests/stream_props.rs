@@ -2,9 +2,58 @@
 //! distribution sanity for arbitrary seeds and shapes.
 
 use proptest::prelude::*;
-use rps_workload::{CubeGen, MixedWorkload, Op, QueryGen, RegionSpec, UpdateGen, Zipf};
+use rps_workload::{CubeGen, MixedWorkload, Op, QueryGen, RegionSpec, UpdateGen, UpdateSpec, Zipf};
 
 proptest! {
+    #[test]
+    fn update_spec_fraction_round_trips(frac in 0.000001f64..=1.0) {
+        // Rust's shortest-round-trip float Display guarantees
+        // parse(display(f)) == f bit-for-bit.
+        let spec = UpdateSpec::Fraction(frac);
+        let back: UpdateSpec = spec.to_string().parse().expect("display form parses");
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn range_updates_stay_in_bounds_for_any_spec(
+        seed in any::<u64>(),
+        dims in proptest::collection::vec(1usize..=12, 1..=3),
+        frac in 0.01f64..=1.0,
+        which in 0u8..4,
+    ) {
+        let spec = match which {
+            0 => UpdateSpec::Point,
+            1 => UpdateSpec::Fraction(frac),
+            2 => UpdateSpec::FullRow,
+            _ => UpdateSpec::Full,
+        };
+        let mut g = UpdateGen::uniform(&dims, seed, 10).with_region_spec(spec);
+        for _ in 0..30 {
+            let (r, d) = g.next_range_update();
+            prop_assert_eq!(r.ndim(), dims.len());
+            prop_assert!(r.hi().iter().zip(&dims).all(|(&h, &n)| h < n));
+            prop_assert!((1..=10).contains(&d));
+            match spec {
+                UpdateSpec::Point => prop_assert_eq!(r.cell_count(), 1),
+                UpdateSpec::Full => {
+                    prop_assert_eq!(r.cell_count(), dims.iter().product::<usize>());
+                }
+                UpdateSpec::FullRow => {
+                    prop_assert_eq!(r.extent(dims.len() - 1), dims[dims.len() - 1]);
+                    for d in 0..dims.len() - 1 {
+                        prop_assert_eq!(r.extent(d), 1);
+                    }
+                }
+                UpdateSpec::Fraction(f) => {
+                    for (d, &nd) in dims.iter().enumerate() {
+                        let cap = ((nd as f64 * f).ceil() as usize).clamp(1, nd);
+                        prop_assert!(r.extent(d) <= cap);
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn cubes_deterministic_and_bounded(
         seed in any::<u64>(),

@@ -218,6 +218,7 @@ pub const L1_ALLOWED_MODULES: &[&str] = &[
     // and the Fenwick/corner fallback structures.
     "crates/rps-core/src/prefix.rs",
     "crates/rps-core/src/fenwick.rs",
+    "crates/rps-core/src/blocked_fenwick.rs",
     "crates/rps-core/src/corners.rs",
     "crates/rps-core/src/rps/build.rs",
     "crates/rps-core/src/rps/grid.rs",
@@ -257,6 +258,7 @@ pub const L5_HOT_PATH_MODULES: &[&str] = &[
     "crates/rps-core/src/rps/mod.rs",
     "crates/rps-core/src/rps/grid.rs",
     "crates/rps-core/src/rps/kernels.rs",
+    "crates/rps-core/src/blocked_fenwick.rs",
 ];
 
 /// Crate roots that must carry the L3 lint header.

@@ -6,7 +6,7 @@ use std::path::{Path, PathBuf};
 
 use xtask::lints::{
     check_l1, check_l2, check_l3_crate_root, check_l3_manifest, check_l4, check_l5, check_l6,
-    run_workspace, Finding, Lint, L2_LIBRARY_SRC, L5_HOT_PATH_MODULES,
+    run_workspace, Finding, Lint, L1_ALLOWED_MODULES, L2_LIBRARY_SRC, L5_HOT_PATH_MODULES,
 };
 
 fn fixture(name: &str) -> String {
@@ -124,6 +124,22 @@ fn l5_scope_covers_the_lane_kernels() {
     assert!(
         L5_HOT_PATH_MODULES.contains(&"crates/rps-core/src/rps/kernels.rs"),
         "kernels.rs must stay L5-scanned; scope is {L5_HOT_PATH_MODULES:?}"
+    );
+}
+
+#[test]
+fn lint_scope_covers_the_blocked_fenwick_engine() {
+    // The cache-blocked b-ary Fenwick engine joined the hot path with
+    // the range-update work: its chain walks are audited raw-index
+    // kernels (L1) and its query/update paths must stay allocation-free
+    // (L5). Dropping it from either scan would let regressions creep in.
+    assert!(
+        L5_HOT_PATH_MODULES.contains(&"crates/rps-core/src/blocked_fenwick.rs"),
+        "blocked_fenwick.rs must stay L5-scanned; scope is {L5_HOT_PATH_MODULES:?}"
+    );
+    assert!(
+        L1_ALLOWED_MODULES.contains(&"crates/rps-core/src/blocked_fenwick.rs"),
+        "blocked_fenwick.rs chain walks are audited raw-index kernels; scope is {L1_ALLOWED_MODULES:?}"
     );
 }
 
